@@ -1,0 +1,128 @@
+//! All-pairs brute-force motif discovery — the suite's ground truth.
+//!
+//! Deliberately written from the definition (z-normalize both windows,
+//! accumulate the squared differences) with no shared machinery, so it
+//! cross-checks the optimized engines rather than repeating their
+//! potential mistakes. O(n²·ℓ) per length.
+
+use valmod_mp::{validate_window, MotifPair};
+use valmod_series::znorm::zdist;
+use valmod_series::Result;
+
+/// The single best motif pair at a fixed length, or `None` when no
+/// admissible pair exists.
+///
+/// # Errors
+///
+/// [`valmod_series::SeriesError::TooShort`] via [`validate_window`].
+pub fn brute_best_pair(series: &[f64], l: usize, exclusion: usize) -> Result<Option<MotifPair>> {
+    validate_window(series.len(), l)?;
+    let m = series.len() - l + 1;
+    let mut best: Option<MotifPair> = None;
+    for i in 0..m {
+        for j in i + exclusion + 1..m {
+            let d = zdist(&series[i..i + l], &series[j..j + l]);
+            if best.as_ref().is_none_or(|b| d < b.distance) {
+                best = Some(MotifPair::new(i, j, d, l));
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// The exact top-k motif pairs at a fixed length, using the same
+/// per-row-minimum + overlap-deduplication semantics as the rest of the
+/// suite (`valmod_mp::motif::top_k_pairs`).
+///
+/// # Errors
+///
+/// [`valmod_series::SeriesError::TooShort`] via [`validate_window`].
+pub fn brute_top_k(
+    series: &[f64],
+    l: usize,
+    exclusion: usize,
+    k: usize,
+) -> Result<Vec<MotifPair>> {
+    validate_window(series.len(), l)?;
+    let m = series.len() - l + 1;
+
+    // Row minima, straight from the definition.
+    let mut row_min: Vec<Option<MotifPair>> = vec![None; m];
+    for i in 0..m {
+        for j in 0..m {
+            if i.abs_diff(j) <= exclusion {
+                continue;
+            }
+            let d = zdist(&series[i..i + l], &series[j..j + l]);
+            if row_min[i].as_ref().is_none_or(|b| d < b.distance) {
+                row_min[i] = Some(MotifPair::new(i, j, d, l));
+            }
+        }
+    }
+
+    let mut candidates: Vec<MotifPair> = row_min.into_iter().flatten().collect();
+    candidates.sort_by(|x, y| {
+        x.distance
+            .partial_cmp(&y.distance)
+            .expect("distances are never NaN")
+            .then(x.a.cmp(&y.a))
+            .then(x.b.cmp(&y.b))
+    });
+    let mut selected: Vec<MotifPair> = Vec::with_capacity(k);
+    for cand in candidates {
+        if selected.len() == k {
+            break;
+        }
+        if selected.iter().any(|s| cand.overlaps(s, exclusion)) {
+            continue;
+        }
+        selected.push(cand);
+    }
+    Ok(selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_mp::stomp::stomp;
+    use valmod_mp::{default_exclusion, motif::top_k_pairs};
+    use valmod_series::gen;
+
+    #[test]
+    fn best_pair_agrees_with_stomp() {
+        let series = gen::ecg(250, &gen::EcgConfig::default(), 19);
+        let l = 24;
+        let excl = default_exclusion(l);
+        let brute = brute_best_pair(&series, l, excl).unwrap().unwrap();
+        let (i, j, d) = stomp(&series, l, excl).unwrap().min_entry().unwrap();
+        assert!((brute.distance - d).abs() < 1e-6);
+        assert_eq!((brute.a, brute.b), (i.min(j), i.max(j)));
+    }
+
+    #[test]
+    fn top_k_agrees_with_profile_extraction() {
+        let series = gen::random_walk(200, 23);
+        let l = 16;
+        let excl = default_exclusion(l);
+        let brute = brute_top_k(&series, l, excl, 4).unwrap();
+        let via_profile = top_k_pairs(&stomp(&series, l, excl).unwrap(), 4);
+        assert_eq!(brute.len(), via_profile.len());
+        for (b, p) in brute.iter().zip(&via_profile) {
+            assert!((b.distance - p.distance).abs() < 1e-6, "{b:?} vs {p:?}");
+        }
+    }
+
+    #[test]
+    fn no_admissible_pair_returns_none() {
+        let series = gen::random_walk(40, 2);
+        assert!(brute_best_pair(&series, 8, 100).unwrap().is_none());
+        assert!(brute_top_k(&series, 8, 100, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn validates_window() {
+        let series = gen::random_walk(40, 2);
+        assert!(brute_best_pair(&series, 3, 1).is_err());
+        assert!(brute_best_pair(&series, 39, 1).is_err());
+    }
+}

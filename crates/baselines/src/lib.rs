@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Competitor algorithms from the VALMOD paper's evaluation (Figure 3).
+//!
+//! The paper compares VALMOD against two families of algorithms:
+//!
+//! * fixed-length exact motif discovery run once per length in the range —
+//!   STOMP (provided by `valmod-mp`) and **QUICKMOTIF** ([`quickmotif`]),
+//!   the MBR/best-first algorithm of Li et al. (ICDE 2015);
+//! * **MOEN** ([`moen`]), Mueen's enumeration of motifs of all lengths
+//!   (ICDM 2013), which takes the range natively and reports the best
+//!   pair per length using MK-style reference-point pruning;
+//! * plus the all-pairs **brute force** ([`brute`]), used throughout the
+//!   suite as ground truth.
+//!
+//! All implementations are exact; tests cross-check every one of them
+//! against the brute force.
+
+pub mod brute;
+pub mod moen;
+pub mod quickmotif;
+pub mod verify;
+
+pub use brute::{brute_best_pair, brute_top_k};
+pub use moen::{moen_range, MoenConfig};
+pub use quickmotif::{quickmotif_best_pair, quickmotif_range, QuickMotifConfig};

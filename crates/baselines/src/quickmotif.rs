@@ -1,0 +1,273 @@
+//! QUICKMOTIF — MBR-based exact fixed-length motif discovery
+//! (Li, U, Yiu, Gong — ICDE 2015).
+//!
+//! QUICKMOTIF sketches every z-normalized subsequence with PAA (piecewise
+//! aggregate approximation), groups consecutive subsequences into minimum
+//! bounding rectangles (MBRs) in sketch space, and searches MBR *pairs*
+//! best-first by their lower-bounded distance, verifying candidates with
+//! an early-abandoning distance until the bound exceeds the best pair
+//! found. Like STOMP it answers one length per run; the paper's Figure 3
+//! loops it over the length range.
+//!
+//! The PAA bound is the classic one: for z-normalized windows `â`, `b̂`
+//! summarized by segment averages, `Σ_s len_s·(paa_a[s] − paa_b[s])² ≤
+//! ‖â − b̂‖²` by Cauchy-Schwarz per segment, and the MBR form replaces the
+//! per-segment difference by the gap between the rectangles' intervals.
+
+use valmod_mp::{validate_window, MotifPair};
+use valmod_series::stats::FLAT_EPS;
+use valmod_series::{Result, RollingStats};
+
+use crate::verify::early_abandon_zdist;
+
+/// QUICKMOTIF parameters.
+#[derive(Debug, Clone)]
+pub struct QuickMotifConfig {
+    /// PAA sketch dimensionality (segments per window).
+    pub paa_dims: usize,
+    /// Subsequences per MBR group.
+    pub group_size: usize,
+    /// Trivial-match exclusion denominator (zone = `⌈ℓ/den⌉`).
+    pub exclusion_den: usize,
+}
+
+impl Default for QuickMotifConfig {
+    fn default() -> Self {
+        Self { paa_dims: 8, group_size: 32, exclusion_den: 4 }
+    }
+}
+
+impl QuickMotifConfig {
+    fn exclusion(&self, l: usize) -> usize {
+        l.div_ceil(self.exclusion_den.max(1)).max(1)
+    }
+}
+
+/// The exact best motif pair at one length, or `None` when no admissible
+/// pair exists.
+///
+/// # Errors
+///
+/// [`valmod_series::SeriesError::TooShort`] via [`validate_window`].
+pub fn quickmotif_best_pair(
+    series: &[f64],
+    l: usize,
+    config: &QuickMotifConfig,
+) -> Result<Option<MotifPair>> {
+    validate_window(series.len(), l)?;
+    let m = series.len() - l + 1;
+    let excl = config.exclusion(l);
+    let stats = RollingStats::new(series);
+    let means = stats.means_for_length(l);
+    let stds = stats.stds_for_length(l);
+
+    if stds.iter().any(|&s| s < FLAT_EPS) {
+        // Flat windows use a conventional (non-Euclidean) distance that
+        // the PAA bound does not cover; fall back to the exact engine.
+        let mp = valmod_mp::stomp::stomp(series, l, excl)?;
+        return Ok(mp.min_entry().map(|(i, j, d)| MotifPair::new(i, j, d, l)));
+    }
+
+    // ---- PAA sketches of every z-normalized window. ----
+    let w = config.paa_dims.clamp(1, l);
+    // Segment boundaries (as even as possible).
+    let bounds: Vec<(usize, usize)> =
+        (0..w).map(|s| (s * l / w, (s + 1) * l / w)).collect();
+    let seg_lens: Vec<f64> = bounds.iter().map(|&(a, b)| (b - a) as f64).collect();
+    // Prefix sums for O(1) segment sums.
+    let mut prefix = Vec::with_capacity(series.len() + 1);
+    prefix.push(0.0);
+    let mut acc = 0.0;
+    for &v in series {
+        acc += v;
+        prefix.push(acc);
+    }
+    let mut sketches = vec![0.0f64; m * w];
+    for i in 0..m {
+        let inv = 1.0 / stds[i];
+        for (s, &(a, b)) in bounds.iter().enumerate() {
+            let seg_sum = prefix[i + b] - prefix[i + a];
+            sketches[i * w + s] = (seg_sum / seg_lens[s] - means[i]) * inv;
+        }
+    }
+
+    // ---- MBRs over groups of consecutive windows. ----
+    let g = config.group_size.max(1);
+    let num_groups = m.div_ceil(g);
+    let mut mbr_lo = vec![f64::INFINITY; num_groups * w];
+    let mut mbr_hi = vec![f64::NEG_INFINITY; num_groups * w];
+    for i in 0..m {
+        let grp = i / g;
+        for s in 0..w {
+            let v = sketches[i * w + s];
+            let idx = grp * w + s;
+            mbr_lo[idx] = mbr_lo[idx].min(v);
+            mbr_hi[idx] = mbr_hi[idx].max(v);
+        }
+    }
+    let mbr_mindist_sq = |ga: usize, gb: usize| -> f64 {
+        let mut acc = 0.0;
+        for s in 0..w {
+            let (alo, ahi) = (mbr_lo[ga * w + s], mbr_hi[ga * w + s]);
+            let (blo, bhi) = (mbr_lo[gb * w + s], mbr_hi[gb * w + s]);
+            let gap = if ahi < blo {
+                blo - ahi
+            } else if bhi < alo {
+                alo - bhi
+            } else {
+                0.0
+            };
+            acc += seg_lens[s] * gap * gap;
+        }
+        acc
+    };
+
+    // ---- Best-first over group pairs. ----
+    let mut group_pairs: Vec<(f64, u32, u32)> = Vec::with_capacity(num_groups * (num_groups + 1) / 2);
+    for ga in 0..num_groups {
+        for gb in ga..num_groups {
+            // Groups entirely inside the exclusion band can be skipped.
+            let min_offset_gap = if gb == ga { 0 } else { (gb - ga - 1) * g + 1 };
+            let max_offset_gap = (gb - ga + 1) * g;
+            if max_offset_gap <= excl {
+                continue;
+            }
+            let _ = min_offset_gap;
+            #[allow(clippy::cast_possible_truncation)]
+            group_pairs.push((mbr_mindist_sq(ga, gb), ga as u32, gb as u32));
+        }
+    }
+    group_pairs
+        .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bounds are never NaN"));
+
+    let mut best: Option<MotifPair> = None;
+    let mut bsf = f64::INFINITY;
+    let paa_pair_bound_sq = |x: usize, y: usize| -> f64 {
+        let mut acc = 0.0;
+        for s in 0..w {
+            let d = sketches[x * w + s] - sketches[y * w + s];
+            acc += seg_lens[s] * d * d;
+        }
+        acc
+    };
+
+    for &(mindist_sq, ga, gb) in &group_pairs {
+        if mindist_sq >= bsf * bsf {
+            break; // every remaining group pair is bounded away
+        }
+        let (ga, gb) = (ga as usize, gb as usize);
+        let xa = ga * g..(ga * g + g).min(m);
+        for x in xa {
+            let yb = if ga == gb { x + 1 } else { gb * g }..(gb * g + g).min(m);
+            for y in yb {
+                if y.abs_diff(x) <= excl {
+                    continue;
+                }
+                if paa_pair_bound_sq(x, y) >= bsf * bsf {
+                    continue;
+                }
+                if let Some(d) =
+                    early_abandon_zdist(series, &means, &stds, x, y, l, bsf)
+                {
+                    if d < bsf {
+                        bsf = d;
+                        best = Some(MotifPair::new(x, y, d, l));
+                    }
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// The paper's range adaptation: one QUICKMOTIF run per length.
+///
+/// # Errors
+///
+/// Propagates the per-length validation errors.
+pub fn quickmotif_range(
+    series: &[f64],
+    l_min: usize,
+    l_max: usize,
+    config: &QuickMotifConfig,
+) -> Result<Vec<Option<MotifPair>>> {
+    if l_min > l_max {
+        return Err(valmod_series::SeriesError::InvalidRange { l_min, l_max });
+    }
+    (l_min..=l_max).map(|l| quickmotif_best_pair(series, l, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_best_pair;
+    use valmod_series::gen;
+
+    fn assert_matches_brute(series: &[f64], l: usize, config: &QuickMotifConfig) {
+        let got = quickmotif_best_pair(series, l, config).unwrap();
+        let expect = brute_best_pair(series, l, config.exclusion(l)).unwrap();
+        match (got, expect) {
+            (Some(g), Some(e)) => assert!(
+                (g.distance - e.distance).abs() < 1e-6,
+                "length {l}: {g:?} vs {e:?}"
+            ),
+            (None, None) => {}
+            other => panic!("length {l}: presence mismatch {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matches_brute_on_random_walk() {
+        let series = gen::random_walk(300, 51);
+        for l in [8usize, 16, 32] {
+            assert_matches_brute(&series, l, &QuickMotifConfig::default());
+        }
+    }
+
+    #[test]
+    fn matches_brute_on_ecg() {
+        let series = gen::ecg(280, &gen::EcgConfig::default(), 27);
+        assert_matches_brute(&series, 24, &QuickMotifConfig::default());
+    }
+
+    #[test]
+    fn matches_brute_across_sketch_configurations() {
+        let series = gen::astro(240, &gen::AstroConfig::default(), 63);
+        for cfg in [
+            QuickMotifConfig { paa_dims: 1, group_size: 4, exclusion_den: 4 },
+            QuickMotifConfig { paa_dims: 4, group_size: 64, exclusion_den: 4 },
+            QuickMotifConfig { paa_dims: 16, group_size: 8, exclusion_den: 4 },
+            // paa_dims larger than the window must clamp, not break.
+            QuickMotifConfig { paa_dims: 64, group_size: 16, exclusion_den: 4 },
+        ] {
+            assert_matches_brute(&series, 20, &cfg);
+        }
+    }
+
+    #[test]
+    fn matches_brute_with_flat_plateau() {
+        let mut series = gen::white_noise(200, 6, 1.0);
+        for v in &mut series[70..110] {
+            *v = -1.0;
+        }
+        assert_matches_brute(&series, 12, &QuickMotifConfig::default());
+    }
+
+    #[test]
+    fn range_adaptation_covers_every_length() {
+        let series = gen::sine_mix(300, &[(40.0, 1.0)], 0.1, 2);
+        let results =
+            quickmotif_range(&series, 10, 14, &QuickMotifConfig::default()).unwrap();
+        assert_eq!(results.len(), 5);
+        for (offset, r) in results.iter().enumerate() {
+            let pair = r.expect("periodic series always has motifs");
+            assert_eq!(pair.length, 10 + offset);
+        }
+    }
+
+    #[test]
+    fn rejects_inverted_range() {
+        let series = gen::random_walk(100, 1);
+        assert!(quickmotif_range(&series, 20, 10, &QuickMotifConfig::default()).is_err());
+    }
+}

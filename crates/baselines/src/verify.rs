@@ -1,0 +1,91 @@
+//! Early-abandoning z-normalized distance — the verification primitive
+//! shared by MOEN (MK-style search) and QUICKMOTIF.
+
+/// Computes the z-normalized Euclidean distance between the windows at
+/// offsets `i` and `j` (length `l`), abandoning as soon as the running sum
+/// of squared differences exceeds `cutoff²`.
+///
+/// Returns `None` when abandoned (distance is certainly `> cutoff`), the
+/// exact distance otherwise. `means`/`stds` are per-offset window
+/// statistics for length `l`; flat windows (σ = 0) are the caller's
+/// responsibility — this fast path assumes non-degenerate inputs.
+#[must_use]
+pub fn early_abandon_zdist(
+    values: &[f64],
+    means: &[f64],
+    stds: &[f64],
+    i: usize,
+    j: usize,
+    l: usize,
+    cutoff: f64,
+) -> Option<f64> {
+    let cutoff_sq = cutoff * cutoff;
+    let (mu_i, sig_i) = (means[i], stds[i]);
+    let (mu_j, sig_j) = (means[j], stds[j]);
+    let inv_i = 1.0 / sig_i;
+    let inv_j = 1.0 / sig_j;
+    let mut acc = 0.0f64;
+    // Check the abandonment condition in blocks: per-element checks cost
+    // more than they save for the short windows this suite processes.
+    const BLOCK: usize = 16;
+    let mut t = 0;
+    while t < l {
+        let end = (t + BLOCK).min(l);
+        for k in t..end {
+            let a = (values[i + k] - mu_i) * inv_i;
+            let b = (values[j + k] - mu_j) * inv_j;
+            let d = a - b;
+            acc = d.mul_add(d, acc);
+        }
+        if acc > cutoff_sq {
+            return None;
+        }
+        t = end;
+    }
+    Some(acc.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::early_abandon_zdist;
+    use valmod_series::znorm::zdist;
+    use valmod_series::{gen, RollingStats};
+
+    fn stats_for(series: &[f64], l: usize) -> (Vec<f64>, Vec<f64>) {
+        let stats = RollingStats::new(series);
+        (stats.means_for_length(l), stats.stds_for_length(l))
+    }
+
+    #[test]
+    fn matches_reference_distance_when_not_abandoned() {
+        let series = gen::random_walk(200, 5);
+        let l = 24;
+        let (means, stds) = stats_for(&series, l);
+        for &(i, j) in &[(0usize, 50usize), (10, 130), (100, 170)] {
+            let d = early_abandon_zdist(&series, &means, &stds, i, j, l, f64::INFINITY)
+                .expect("infinite cutoff never abandons");
+            let expect = zdist(&series[i..i + l], &series[j..j + l]);
+            assert!((d - expect).abs() < 1e-9, "({i},{j}): {d} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn abandons_below_true_distance() {
+        let series = gen::white_noise(100, 9, 1.0);
+        let l = 32;
+        let (means, stds) = stats_for(&series, l);
+        let true_d = zdist(&series[0..l], &series[40..40 + l]);
+        assert!(early_abandon_zdist(&series, &means, &stds, 0, 40, l, true_d * 0.5).is_none());
+        assert!(early_abandon_zdist(&series, &means, &stds, 0, 40, l, true_d * 2.0).is_some());
+    }
+
+    #[test]
+    fn cutoff_exactly_at_distance_is_kept() {
+        let series = gen::sine_mix(120, &[(30.0, 1.0)], 0.0, 1);
+        let l = 16;
+        let (means, stds) = stats_for(&series, l);
+        // Identical windows one period apart: distance ~0, never abandoned.
+        let d = early_abandon_zdist(&series, &means, &stds, 0, 30, l, 1e-6).unwrap();
+        assert!(d < 1e-6);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests: every baseline is exact on arbitrary inputs.
+
+use proptest::prelude::*;
+use valmod_baselines::{
+    brute_best_pair, moen_range, quickmotif_best_pair, MoenConfig, QuickMotifConfig,
+};
+
+fn series() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-30.0f64..30.0, 50..130)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// QUICKMOTIF equals brute force for random series and random sketch
+    /// configurations.
+    #[test]
+    fn quickmotif_is_exact(values in series(), seed in 0usize..10_000) {
+        let l = 6 + seed % 10;
+        if valmod_mp::validate_window(values.len(), l).is_err() {
+            return Ok(());
+        }
+        let config = QuickMotifConfig {
+            paa_dims: 1 + seed % 12,
+            group_size: 1 + (seed / 12) % 40,
+            exclusion_den: 4,
+        };
+        let got = quickmotif_best_pair(&values, l, &config).unwrap();
+        let want = brute_best_pair(&values, l, config_exclusion(l)).unwrap();
+        match (got, want) {
+            (Some(g), Some(w)) => prop_assert!(
+                (g.distance - w.distance).abs() < 1e-6,
+                "{:?} vs {:?}", g, w
+            ),
+            (None, None) => {}
+            other => prop_assert!(false, "presence mismatch: {:?}", other),
+        }
+    }
+
+    /// MOEN equals brute force at every length of a random range.
+    #[test]
+    fn moen_is_exact(values in series(), seed in 0usize..10_000) {
+        let l_min = 6 + seed % 6;
+        let l_max = l_min + seed % 4;
+        if valmod_mp::validate_window(values.len(), l_max).is_err() {
+            return Ok(());
+        }
+        let config = MoenConfig { exclusion_den: 4, num_references: 1 + seed % 6 };
+        let results = moen_range(&values, l_min, l_max, &config).unwrap();
+        for (offset, got) in results.iter().enumerate() {
+            let l = l_min + offset;
+            let want = brute_best_pair(&values, l, config_exclusion(l)).unwrap();
+            match (got, want) {
+                (Some(g), Some(w)) => prop_assert!(
+                    (g.distance - w.distance).abs() < 1e-6,
+                    "length {}: {:?} vs {:?}", l, g, w
+                ),
+                (None, None) => {}
+                other => prop_assert!(false, "length {}: {:?}", l, other),
+            }
+        }
+    }
+}
+
+/// The shared exclusion rule (`⌈ℓ/4⌉`), spelled out so the reference uses
+/// the same zone as the configs above.
+fn config_exclusion(l: usize) -> usize {
+    l.div_ceil(4).max(1)
+}

@@ -1,0 +1,36 @@
+//! Ablation: the fixed-length matrix-profile engines — STAMP (O(n² log n))
+//! vs STOMP (O(n²)) vs diagonal-parallel STOMP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use valmod_bench::Dataset;
+use valmod_mp::stamp::stamp;
+use valmod_mp::stomp::{stomp, stomp_parallel};
+use valmod_mp::default_exclusion;
+
+fn bench_engines(c: &mut Criterion) {
+    let l = 64;
+    let excl = default_exclusion(l);
+
+    let mut group = c.benchmark_group("ablation_engines");
+    group.sample_size(10);
+    for n in [4_000usize, 8_000] {
+        let series = Dataset::Astro.generate(n);
+        group.bench_with_input(BenchmarkId::new("stomp", n), &n, |b, _| {
+            b.iter(|| black_box(stomp(black_box(&series), l, excl).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("stomp_par4", n), &n, |b, _| {
+            b.iter(|| black_box(stomp_parallel(black_box(&series), l, excl, 4).unwrap()));
+        });
+        // STAMP's O(n² log n) makes larger points too slow to sample.
+        if n <= 4_000 {
+            group.bench_with_input(BenchmarkId::new("stamp", n), &n, |b, _| {
+                b.iter(|| black_box(stamp(black_box(&series), l, excl).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, bench_engines);
+criterion_main!(ablation);

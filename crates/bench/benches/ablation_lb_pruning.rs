@@ -1,0 +1,55 @@
+//! Ablation: how the partial-profile size `p` trades memory for pruning
+//! power. Small `p` forces MASS recomputations (weak pruning); large `p`
+//! pays more per-length update work. DESIGN.md calls this the central
+//! design choice of VALMOD's stage 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use valmod_bench::Dataset;
+use valmod_core::{run_valmod, ValmodConfig};
+
+fn bench_profile_size(c: &mut Criterion) {
+    let series = Dataset::Ecg.generate(8_000);
+    let (l_min, l_max) = (48, 64);
+
+    let mut group = c.benchmark_group("ablation_profile_size");
+    group.sample_size(10);
+    for p in [1usize, 4, 16] {
+        let config = ValmodConfig::new(l_min, l_max).with_k(1).with_profile_size(p);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| black_box(run_valmod(black_box(&series), &config).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+/// Companion measurement printed once per bench run: the fraction of rows
+/// recomputed per `p`, i.e. the pruning power itself (criterion measures
+/// only time; the recomputation counts explain it).
+fn report_pruning_power() {
+    let series = Dataset::Ecg.generate(8_000);
+    let (l_min, l_max) = (48, 64);
+    eprintln!("# pruning power (ECG n=8000, range {l_min}..={l_max})");
+    eprintln!("# p, recomputed rows, total row-steps");
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        let config = ValmodConfig::new(l_min, l_max).with_k(1).with_profile_size(p);
+        let out = run_valmod(&series, &config).unwrap();
+        let recomputed: usize =
+            out.per_length.iter().map(|r| r.stats.recomputed_rows).sum();
+        let total: usize = out
+            .per_length
+            .iter()
+            .skip(1)
+            .map(|r| r.stats.valid_rows + r.stats.invalid_rows)
+            .sum();
+        eprintln!("{p}, {recomputed}, {total}");
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    report_pruning_power();
+    bench_profile_size(c);
+}
+
+criterion_group!(ablation, benches);
+criterion_main!(ablation);

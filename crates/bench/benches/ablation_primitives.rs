@@ -1,0 +1,45 @@
+//! Ablation: the substrate primitives — FFT vs naive sliding dot products
+//! (the MASS crossover), and the rolling-statistics engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use valmod_bench::Dataset;
+use valmod_fft::{sliding_dot_product_naive, SlidingDotPlan};
+use valmod_series::RollingStats;
+
+fn bench_sliding_dots(c: &mut Criterion) {
+    let series = Dataset::Ecg.generate(16_384);
+    let mut group = c.benchmark_group("sliding_dot");
+    group.sample_size(20);
+    for m in [64usize, 256, 1024] {
+        let query: Vec<f64> = series[100..100 + m].to_vec();
+        group.bench_with_input(BenchmarkId::new("naive", m), &m, |b, _| {
+            b.iter(|| black_box(sliding_dot_product_naive(black_box(&query), &series)));
+        });
+        let plan = SlidingDotPlan::new(&series);
+        group.bench_with_input(BenchmarkId::new("fft_planned", m), &m, |b, _| {
+            b.iter(|| black_box(plan.dot(black_box(&query))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rolling_stats(c: &mut Criterion) {
+    let series = Dataset::Astro.generate(100_000);
+    let mut group = c.benchmark_group("rolling_stats");
+    group.sample_size(20);
+    group.bench_function("build_100k", |b| {
+        b.iter(|| black_box(RollingStats::new(black_box(&series))));
+    });
+    let stats = RollingStats::new(&series);
+    group.bench_function("per_length_vectors_100k", |b| {
+        b.iter(|| {
+            black_box(stats.means_for_length(black_box(256)));
+            black_box(stats.stds_for_length(black_box(256)));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(ablation, bench_sliding_dots, bench_rolling_stats);
+criterion_main!(ablation);

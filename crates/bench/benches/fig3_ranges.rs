@@ -1,0 +1,36 @@
+//! Criterion companion to Figure 3 (top): time vs motif-length range
+//! width, all four algorithms, at a size small enough for statistical
+//! benchmarking. The full paper-shaped grid (with timeouts) is produced by
+//! the `fig3` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use valmod_bench::{Algorithm, Dataset};
+
+fn bench_ranges(c: &mut Criterion) {
+    let n = 6_000;
+    let l_min = 48;
+    let series = Dataset::Ecg.generate(n);
+
+    let mut group = c.benchmark_group("fig3_top_ecg");
+    group.sample_size(10);
+    for width in [4usize, 8, 16] {
+        let l_max = l_min + width - 1;
+        for algo in Algorithm::ALL {
+            // MOEN's verification-heavy scan is orders slower; keep its
+            // grid point count honest but bounded.
+            if algo == Algorithm::Moen && width > 8 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), width),
+                &width,
+                |b, _| b.iter(|| black_box(algo.run(black_box(&series), l_min, l_max))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranges);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion companion to Figure 3 (bottom): time vs series length at a
+//! fixed range width. The full paper-shaped grid (with timeouts) is
+//! produced by the `fig3` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use valmod_bench::{Algorithm, Dataset};
+
+fn bench_sizes(c: &mut Criterion) {
+    let l_min = 48;
+    let width = 8;
+    let l_max = l_min + width - 1;
+
+    let mut group = c.benchmark_group("fig3_bottom_astro");
+    group.sample_size(10);
+    for n in [2_000usize, 4_000, 8_000] {
+        let series = Dataset::Astro.generate(n);
+        for algo in Algorithm::ALL {
+            if algo == Algorithm::Moen && n > 4_000 {
+                continue; // MOEN is the paper's timeout case; bound it here
+            }
+            group.bench_with_input(BenchmarkId::new(algo.name(), n), &n, |b, _| {
+                b.iter(|| black_box(algo.run(black_box(&series), l_min, l_max)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sizes);
+criterion_main!(benches);

@@ -1,0 +1,229 @@
+//! Regenerates the paper's Figure 3: wall-clock time of VALMOD vs
+//! STOMP-range vs QUICKMOTIF-range vs MOEN, over (top) motif length ranges
+//! and (bottom) series lengths, on ECG and ASTRO data.
+//!
+//! Usage:
+//!
+//! ```text
+//! fig3 ranges [--n N] [--lmin N] [--timeout SECS]
+//! fig3 sizes  [--width N] [--lmin N] [--timeout SECS]
+//! fig3 single <algo> <dataset> <n> <lmin> <lmax>      # internal runner
+//! ```
+//!
+//! Like the paper (whose competitors were cut off at 24 hours), each
+//! measurement runs under a timeout — implemented by re-invoking this
+//! binary as a subprocess per cell, so a hung competitor cannot poison
+//! the remaining measurements. Timed-out cells print `TIMEOUT`, and the
+//! same algorithm is skipped at larger workloads of the same sweep (its
+//! cost is monotone).
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use valmod_bench::{grids, Algorithm, Dataset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match refs.split_first() {
+        Some((&"single", rest)) => run_single(rest),
+        Some((&"ranges", rest)) => run_ranges(rest),
+        Some((&"sizes", rest)) => run_sizes(rest),
+        _ => {
+            eprintln!(
+                "usage: fig3 ranges [--n N] [--lmin N] [--timeout SECS]\n       \
+                 fig3 sizes [--width N] [--lmin N] [--timeout SECS]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Internal runner: one (algorithm, dataset, workload) cell, prints the
+/// elapsed seconds on stdout.
+fn run_single(rest: &[&str]) {
+    let usage = "fig3 single <algo> <dataset> <n> <lmin> <lmax>";
+    let [algo, dataset, n, l_min, l_max] = rest else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let algo = Algorithm::from_name(algo).expect("unknown algorithm");
+    let dataset = Dataset::from_name(dataset).expect("unknown dataset");
+    let n: usize = n.parse().expect("n");
+    let l_min: usize = l_min.parse().expect("lmin");
+    let l_max: usize = l_max.parse().expect("lmax");
+    let series = dataset.generate(n);
+    let started = Instant::now();
+    let checksum = algo.run(&series, l_min, l_max);
+    let secs = started.elapsed().as_secs_f64();
+    println!("{secs:.6} {checksum:#x}");
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Cell {
+    Seconds(f64),
+    Timeout,
+    Skipped,
+}
+
+impl Cell {
+    fn render(self) -> String {
+        match self {
+            Self::Seconds(s) => format!("{s:>10.3}"),
+            Self::Timeout => format!("{:>10}", "TIMEOUT"),
+            Self::Skipped => format!("{:>10}", "skip"),
+        }
+    }
+}
+
+/// Runs one cell in a subprocess under `timeout`.
+fn measure(algo: Algorithm, dataset: Dataset, n: usize, l_min: usize, l_max: usize, timeout: Duration) -> Cell {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = Command::new(exe)
+        .args([
+            "single",
+            algo.name(),
+            dataset.name(),
+            &n.to_string(),
+            &l_min.to_string(),
+            &l_max.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn runner");
+    let deadline = Instant::now() + timeout;
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) if status.success() => {
+                let mut out = String::new();
+                use std::io::Read;
+                child.stdout.take().expect("stdout").read_to_string(&mut out).expect("read");
+                let secs: f64 = out
+                    .split_whitespace()
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .expect("runner output");
+                return Cell::Seconds(secs);
+            }
+            Some(status) => {
+                eprintln!("runner failed ({status}) for {} on {}", algo.name(), dataset.name());
+                return Cell::Skipped;
+            }
+            None => {
+                if Instant::now() >= deadline {
+                    child.kill().ok();
+                    child.wait().ok();
+                    return Cell::Timeout;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+struct SweepOpts {
+    n: usize,
+    width: usize,
+    l_min: usize,
+    timeout: Duration,
+}
+
+fn parse_opts(rest: &[&str], defaults: SweepOpts) -> SweepOpts {
+    let mut opts = defaults;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().expect("flag value");
+        match *flag {
+            "--n" => opts.n = value.parse().expect("--n"),
+            "--width" => opts.width = value.parse().expect("--width"),
+            "--lmin" => opts.l_min = value.parse().expect("--lmin"),
+            "--timeout" => opts.timeout = Duration::from_secs(value.parse().expect("--timeout")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    opts
+}
+
+fn sweep(
+    title: &str,
+    x_label: &str,
+    xs: &[usize],
+    cell_workload: impl Fn(usize) -> (usize, usize, usize), // x -> (n, l_min, l_max)
+    timeout: Duration,
+) {
+    for dataset in [Dataset::Ecg, Dataset::Astro] {
+        println!("\n=== Figure 3 ({title}) — {} ===", dataset.name());
+        print!("{x_label:>12}");
+        for algo in Algorithm::ALL {
+            print!(" {:>10}", algo.name());
+        }
+        println!();
+        let mut dead: Vec<Algorithm> = Vec::new();
+        for &x in xs {
+            let (n, l_min, l_max) = cell_workload(x);
+            print!("{x:>12}");
+            for algo in Algorithm::ALL {
+                let cell = if dead.contains(&algo) {
+                    Cell::Skipped
+                } else {
+                    let cell = measure(algo, dataset, n, l_min, l_max, timeout);
+                    if matches!(cell, Cell::Timeout) {
+                        dead.push(algo);
+                    }
+                    cell
+                };
+                print!(" {}", cell.render());
+            }
+            println!();
+        }
+    }
+}
+
+fn run_ranges(rest: &[&str]) {
+    let opts = parse_opts(
+        rest,
+        SweepOpts {
+            n: grids::RANGES_N,
+            width: 0,
+            l_min: grids::RANGES_LMIN,
+            timeout: Duration::from_secs(120),
+        },
+    );
+    println!(
+        "# fig3 top: time vs motif length range (n = {}, lmin = {}, timeout = {:?})",
+        opts.n, opts.l_min, opts.timeout
+    );
+    println!("# paper grid: widths {{100,150,200,400,600}} at n = 0.5M, lmin = 1024");
+    sweep(
+        "top: time vs range width",
+        "range width",
+        &grids::RANGE_WIDTHS,
+        |w| (opts.n, opts.l_min, opts.l_min + w - 1),
+        opts.timeout,
+    );
+}
+
+fn run_sizes(rest: &[&str]) {
+    let opts = parse_opts(
+        rest,
+        SweepOpts {
+            n: 0,
+            width: grids::SIZES_WIDTH,
+            l_min: grids::SIZES_LMIN,
+            timeout: Duration::from_secs(120),
+        },
+    );
+    println!(
+        "# fig3 bottom: time vs series length (range width = {}, lmin = {}, timeout = {:?})",
+        opts.width, opts.l_min, opts.timeout
+    );
+    println!("# paper grid: n in {{0.1M..1M}} at range width 100");
+    sweep(
+        "bottom: time vs series length",
+        "n",
+        &grids::SIZES_N,
+        |n| (n, opts.l_min, opts.l_min + opts.width - 1),
+        opts.timeout,
+    );
+}

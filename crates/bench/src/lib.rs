@@ -1,0 +1,210 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness shared by the criterion benches and the `fig3`
+//! figure-regeneration binary.
+//!
+//! The paper's Figure 3 measures the wall-clock time of four algorithms —
+//! VALMOD, STOMP (adapted to ranges), QUICKMOTIF (adapted to ranges) and
+//! MOEN — on ECG and ASTRO data, varying (top) the motif length range and
+//! (bottom) the series length. This crate pins down the exact workloads
+//! and exposes one entry point per algorithm so every bench measures the
+//! same code paths.
+
+use valmod_baselines::{moen_range, quickmotif_range, MoenConfig, QuickMotifConfig};
+use valmod_core::{run_valmod, ValmodConfig};
+use valmod_mp::motif::top_k_pairs;
+use valmod_mp::stomp::stomp;
+use valmod_series::gen;
+
+/// The two datasets of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// Synthetic electrocardiogram (see `valmod_series::gen::ecg`).
+    Ecg,
+    /// Synthetic light curve (see `valmod_series::gen::astro`).
+    Astro,
+}
+
+impl Dataset {
+    /// Parses a dataset name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "ecg" | "ECG" => Some(Self::Ecg),
+            "astro" | "ASTRO" => Some(Self::Astro),
+            _ => None,
+        }
+    }
+
+    /// Display name matching the paper's plots.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Ecg => "ECG",
+            Self::Astro => "ASTRO",
+        }
+    }
+
+    /// Generates `n` points with a fixed per-dataset seed, so every
+    /// algorithm and every run measures the same series.
+    #[must_use]
+    pub fn generate(self, n: usize) -> Vec<f64> {
+        match self {
+            Self::Ecg => gen::ecg(n, &gen::EcgConfig::default(), 0xBEA7),
+            Self::Astro => gen::astro(n, &gen::AstroConfig::default(), 0x57A6),
+        }
+    }
+}
+
+/// The four algorithms of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// VALMOD (this paper).
+    Valmod,
+    /// STOMP re-run once per length in the range.
+    StompRange,
+    /// QUICKMOTIF re-run once per length in the range.
+    QuickMotifRange,
+    /// MOEN (native range support).
+    Moen,
+}
+
+impl Algorithm {
+    /// All algorithms, in the order the paper lists them.
+    pub const ALL: [Self; 4] =
+        [Self::Valmod, Self::StompRange, Self::QuickMotifRange, Self::Moen];
+
+    /// Parses an algorithm name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "valmod" => Some(Self::Valmod),
+            "stomp" => Some(Self::StompRange),
+            "quickmotif" => Some(Self::QuickMotifRange),
+            "moen" => Some(Self::Moen),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Valmod => "valmod",
+            Self::StompRange => "stomp",
+            Self::QuickMotifRange => "quickmotif",
+            Self::Moen => "moen",
+        }
+    }
+
+    /// Runs the algorithm over the length range, returning a checksum of
+    /// best-pair offsets (so benches observe the result and the work is
+    /// not optimized away, and so tests can assert cross-algorithm
+    /// agreement).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the workload is invalid for the series (bench
+    /// workloads are constructed valid).
+    #[must_use]
+    pub fn run(self, series: &[f64], l_min: usize, l_max: usize) -> u64 {
+        match self {
+            Self::Valmod => {
+                let config = ValmodConfig::new(l_min, l_max).with_k(1);
+                let out = run_valmod(series, &config).expect("valid workload");
+                checksum(out.best_per_length().into_iter().flatten())
+            }
+            Self::StompRange => {
+                let mut pairs = Vec::with_capacity(l_max - l_min + 1);
+                for l in l_min..=l_max {
+                    let config = ValmodConfig::new(l, l);
+                    let mp = stomp(series, l, config.exclusion(l)).expect("valid workload");
+                    pairs.extend(top_k_pairs(&mp, 1));
+                }
+                checksum(pairs.into_iter())
+            }
+            Self::QuickMotifRange => {
+                let config = QuickMotifConfig::default();
+                let out = quickmotif_range(series, l_min, l_max, &config)
+                    .expect("valid workload");
+                checksum(out.into_iter().flatten())
+            }
+            Self::Moen => {
+                let config = MoenConfig::default();
+                let out = moen_range(series, l_min, l_max, &config).expect("valid workload");
+                checksum(out.into_iter().flatten())
+            }
+        }
+    }
+}
+
+/// Order-sensitive checksum over pair offsets and lengths.
+fn checksum(pairs: impl Iterator<Item = valmod_mp::MotifPair>) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for p in pairs {
+        for v in [p.a as u64, p.b as u64, p.length as u64] {
+            acc ^= v;
+            acc = acc.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    acc
+}
+
+/// The scaled-down default grids for Figure 3 (see DESIGN.md §5 for the
+/// correspondence with the paper's parameters).
+pub mod grids {
+    /// Fig. 3 (top): range widths, at fixed series length [`RANGES_N`].
+    pub const RANGE_WIDTHS: [usize; 5] = [8, 16, 32, 64, 128];
+    /// Fig. 3 (top): fixed series length.
+    pub const RANGES_N: usize = 16_000;
+    /// Fig. 3 (top): fixed `ℓmin` (the paper used 1024 at n = 0.5M).
+    pub const RANGES_LMIN: usize = 64;
+    /// Fig. 3 (bottom): series lengths, at fixed range width
+    /// [`SIZES_WIDTH`].
+    pub const SIZES_N: [usize; 5] = [5_000, 10_000, 20_000, 40_000, 60_000];
+    /// Fig. 3 (bottom): fixed range width (the paper used 100).
+    pub const SIZES_WIDTH: usize = 16;
+    /// Fig. 3 (bottom): fixed `ℓmin`.
+    pub const SIZES_LMIN: usize = 64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_algorithms_agree_on_the_motifs() {
+        // The checksum folds in each length's best-pair offsets; agreement
+        // means all four exact algorithms found the same motifs.
+        let series = Dataset::Ecg.generate(2000);
+        let (l_min, l_max) = (48, 52);
+        let reference = Algorithm::Valmod.run(&series, l_min, l_max);
+        for algo in [Algorithm::StompRange, Algorithm::QuickMotifRange, Algorithm::Moen] {
+            assert_eq!(
+                algo.run(&series, l_min, l_max),
+                reference,
+                "{} disagrees with valmod",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        assert_eq!(Dataset::Ecg.generate(500), Dataset::Ecg.generate(500));
+        assert_eq!(Dataset::Astro.generate(500), Dataset::Astro.generate(500));
+        assert_ne!(Dataset::Ecg.generate(500), Dataset::Astro.generate(500));
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for d in [Dataset::Ecg, Dataset::Astro] {
+            assert_eq!(Dataset::from_name(d.name()), Some(d));
+        }
+        for a in Algorithm::ALL {
+            assert_eq!(Algorithm::from_name(a.name()), Some(a));
+        }
+        assert!(Dataset::from_name("nope").is_none());
+        assert!(Algorithm::from_name("nope").is_none());
+    }
+}

@@ -1,0 +1,301 @@
+//! Hand-rolled argument parsing (no external dependencies), structured so
+//! the parser is unit-testable apart from `main`.
+
+use std::fmt;
+
+/// Parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run VALMOD over a series file and report VALMAP + motifs.
+    Run(RunArgs),
+    /// Compute a fixed-length matrix profile and report motifs/discords.
+    Profile(ProfileArgs),
+    /// Generate a synthetic dataset to a file.
+    Generate(GenerateArgs),
+    /// Expand a motif pair into its motif set.
+    MotifSet(MotifSetArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Arguments of `valmod run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Input series file.
+    pub input: String,
+    /// Minimum subsequence length.
+    pub l_min: usize,
+    /// Maximum subsequence length.
+    pub l_max: usize,
+    /// Motif pairs per length.
+    pub k: usize,
+    /// Partial-profile size `p`.
+    pub p: usize,
+    /// Optional path for a VALMAP JSON dump.
+    pub valmap_out: Option<String>,
+}
+
+/// Arguments of `valmod profile`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileArgs {
+    /// Input series file.
+    pub input: String,
+    /// Subsequence length.
+    pub length: usize,
+    /// Motif pairs to report.
+    pub k: usize,
+}
+
+/// Arguments of `valmod generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// Dataset kind: `ecg`, `astro`, `walk`, or `noise`.
+    pub kind: String,
+    /// Number of points.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output file.
+    pub output: String,
+}
+
+/// Arguments of `valmod motif-set`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MotifSetArgs {
+    /// Input series file.
+    pub input: String,
+    /// Left member offset.
+    pub a: usize,
+    /// Right member offset.
+    pub b: usize,
+    /// Subsequence length.
+    pub length: usize,
+    /// Expansion radius (defaults to 2× the pair distance).
+    pub radius: Option<f64>,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text shared by `--help` and parse errors.
+pub const USAGE: &str = "\
+valmod — variable-length motif discovery (VALMOD, SIGMOD 2018)
+
+USAGE:
+  valmod run --input FILE --lmin N --lmax N [--k N] [--p N] [--valmap-out FILE]
+  valmod profile --input FILE --length N [--k N]
+  valmod generate --kind ecg|astro|walk|noise|seismic|epg --n N [--seed N] --output FILE
+  valmod motif-set --input FILE --a N --b N --length N [--radius X]
+  valmod help
+";
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<&'a str, ParseError> {
+    it.next().ok_or_else(|| ParseError(format!("flag {flag} requires a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, ParseError> {
+    raw.parse().map_err(|_| ParseError(format!("cannot parse {raw:?} for {flag}")))
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// [`ParseError`] with a user-facing message for unknown commands, unknown
+/// flags, missing values, or missing required flags.
+pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
+    let Some((&cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" => parse_run(rest),
+        "profile" => parse_profile(rest),
+        "generate" => parse_generate(rest),
+        "motif-set" => parse_motif_set(rest),
+        other => Err(ParseError(format!("unknown command {other:?}"))),
+    }
+}
+
+fn parse_run(rest: &[&str]) -> Result<Command, ParseError> {
+    let (mut input, mut l_min, mut l_max) = (None, None, None);
+    let (mut k, mut p, mut valmap_out) = (10usize, 8usize, None);
+    let mut it = rest.iter().copied();
+    while let Some(flag) = it.next() {
+        match flag {
+            "--input" => input = Some(take_value(flag, &mut it)?.to_string()),
+            "--lmin" => l_min = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--lmax" => l_max = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--k" => k = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--p" => p = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--valmap-out" => valmap_out = Some(take_value(flag, &mut it)?.to_string()),
+            other => return Err(ParseError(format!("unknown flag {other:?} for run"))),
+        }
+    }
+    Ok(Command::Run(RunArgs {
+        input: input.ok_or_else(|| ParseError("run requires --input".into()))?,
+        l_min: l_min.ok_or_else(|| ParseError("run requires --lmin".into()))?,
+        l_max: l_max.ok_or_else(|| ParseError("run requires --lmax".into()))?,
+        k,
+        p,
+        valmap_out,
+    }))
+}
+
+fn parse_profile(rest: &[&str]) -> Result<Command, ParseError> {
+    let (mut input, mut length, mut k) = (None, None, 5usize);
+    let mut it = rest.iter().copied();
+    while let Some(flag) = it.next() {
+        match flag {
+            "--input" => input = Some(take_value(flag, &mut it)?.to_string()),
+            "--length" => length = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--k" => k = parse_num(flag, take_value(flag, &mut it)?)?,
+            other => return Err(ParseError(format!("unknown flag {other:?} for profile"))),
+        }
+    }
+    Ok(Command::Profile(ProfileArgs {
+        input: input.ok_or_else(|| ParseError("profile requires --input".into()))?,
+        length: length.ok_or_else(|| ParseError("profile requires --length".into()))?,
+        k,
+    }))
+}
+
+fn parse_generate(rest: &[&str]) -> Result<Command, ParseError> {
+    let (mut kind, mut n, mut seed, mut output) = (None, None, 42u64, None);
+    let mut it = rest.iter().copied();
+    while let Some(flag) = it.next() {
+        match flag {
+            "--kind" => kind = Some(take_value(flag, &mut it)?.to_string()),
+            "--n" => n = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--seed" => seed = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--output" => output = Some(take_value(flag, &mut it)?.to_string()),
+            other => return Err(ParseError(format!("unknown flag {other:?} for generate"))),
+        }
+    }
+    let kind = kind.ok_or_else(|| ParseError("generate requires --kind".into()))?;
+    if !matches!(kind.as_str(), "ecg" | "astro" | "walk" | "noise" | "seismic" | "epg") {
+        return Err(ParseError(format!(
+            "unknown dataset kind {kind:?} (expected ecg|astro|walk|noise|seismic|epg)"
+        )));
+    }
+    Ok(Command::Generate(GenerateArgs {
+        kind,
+        n: n.ok_or_else(|| ParseError("generate requires --n".into()))?,
+        seed,
+        output: output.ok_or_else(|| ParseError("generate requires --output".into()))?,
+    }))
+}
+
+fn parse_motif_set(rest: &[&str]) -> Result<Command, ParseError> {
+    let (mut input, mut a, mut b, mut length, mut radius) = (None, None, None, None, None);
+    let mut it = rest.iter().copied();
+    while let Some(flag) = it.next() {
+        match flag {
+            "--input" => input = Some(take_value(flag, &mut it)?.to_string()),
+            "--a" => a = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--b" => b = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--length" => length = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--radius" => radius = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            other => return Err(ParseError(format!("unknown flag {other:?} for motif-set"))),
+        }
+    }
+    Ok(Command::MotifSet(MotifSetArgs {
+        input: input.ok_or_else(|| ParseError("motif-set requires --input".into()))?,
+        a: a.ok_or_else(|| ParseError("motif-set requires --a".into()))?,
+        b: b.ok_or_else(|| ParseError("motif-set requires --b".into()))?,
+        length: length.ok_or_else(|| ParseError("motif-set requires --length".into()))?,
+        radius,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_with_defaults_and_overrides() {
+        let cmd =
+            parse(&["run", "--input", "x.txt", "--lmin", "50", "--lmax", "400"]).unwrap();
+        match cmd {
+            Command::Run(a) => {
+                assert_eq!(a.input, "x.txt");
+                assert_eq!((a.l_min, a.l_max, a.k, a.p), (50, 400, 10, 8));
+                assert!(a.valmap_out.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "run", "--input", "x", "--lmin", "8", "--lmax", "16", "--k", "3", "--p", "4",
+            "--valmap-out", "v.json",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run(a) => {
+                assert_eq!((a.k, a.p), (3, 4));
+                assert_eq!(a.valmap_out.as_deref(), Some("v.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(parse(&["run", "--input", "x"]).is_err());
+        assert!(parse(&["profile", "--length", "5"]).is_err());
+        assert!(parse(&["generate", "--kind", "ecg", "--n", "10"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_error() {
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["run", "--bogus", "1"]).is_err());
+        assert!(parse(&["generate", "--kind", "mystery", "--n", "5", "--output", "o"]).is_err());
+    }
+
+    #[test]
+    fn values_must_parse() {
+        assert!(parse(&["run", "--input", "x", "--lmin", "abc", "--lmax", "5"]).is_err());
+        assert!(parse(&["motif-set", "--input", "x", "--a", "-3", "--b", "5", "--length", "8"])
+            .is_err());
+    }
+
+    #[test]
+    fn motif_set_radius_is_optional() {
+        let cmd = parse(&[
+            "motif-set", "--input", "x", "--a", "3", "--b", "50", "--length", "8",
+        ])
+        .unwrap();
+        match cmd {
+            Command::MotifSet(a) => assert!(a.radius.is_none()),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "motif-set", "--input", "x", "--a", "3", "--b", "50", "--length", "8", "--radius",
+            "1.5",
+        ])
+        .unwrap();
+        match cmd {
+            Command::MotifSet(a) => assert_eq!(a.radius, Some(1.5)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! `valmod` — command-line driver for the VALMOD suite.
+//!
+//! This binary plays the role of the paper's C back-end: it reads a data
+//! series, runs VALMOD (or a fixed-length matrix profile), and emits the
+//! VALMAP analysis as text (and optionally JSON for downstream tooling —
+//! the demo's Python front-end equivalent).
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{Command, GenerateArgs, MotifSetArgs, ProfileArgs, RunArgs};
+use valmod_core::render::{render_valmap, sparkline};
+use valmod_core::{expand_motif_set, run_valmod, ValmodConfig};
+use valmod_mp::motif::{top_k_discords, top_k_pairs};
+use valmod_mp::stomp::stomp_parallel;
+use valmod_mp::{default_exclusion, MotifPair};
+use valmod_series::{gen, io};
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = raw.iter().map(String::as_str).collect();
+    let command = match args::parse(&refs) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", args::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        Command::Help => {
+            println!("{}", args::USAGE);
+            Ok(())
+        }
+        Command::Run(a) => cmd_run(&a),
+        Command::Profile(a) => cmd_profile(&a),
+        Command::Generate(a) => cmd_generate(&a),
+        Command::MotifSet(a) => cmd_motif_set(&a),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_pairs_table(pairs: &[MotifPair]) {
+    println!(
+        "{:>4} {:>10} {:>10} {:>8} {:>12} {:>12}",
+        "#", "offset a", "offset b", "length", "distance", "dist/sqrt(l)"
+    );
+    for (rank, p) in pairs.iter().enumerate() {
+        println!(
+            "{:>4} {:>10} {:>10} {:>8} {:>12.4} {:>12.4}",
+            rank + 1,
+            p.a,
+            p.b,
+            p.length,
+            p.distance,
+            p.distance / (p.length as f64).sqrt()
+        );
+    }
+}
+
+fn cmd_run(a: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let series = io::read_series(&a.input)?;
+    let config = ValmodConfig::new(a.l_min, a.l_max).with_k(a.k).with_profile_size(a.p);
+    let started = std::time::Instant::now();
+    let output = run_valmod(series.values(), &config)?;
+    let elapsed = started.elapsed();
+
+    println!("series: {} ({} points)", a.input, series.len());
+    println!("data |{}|\n", sparkline(series.values(), 72));
+    println!("{}", render_valmap(&output.valmap, 72));
+
+    println!("top motif pairs across lengths (length-normalized ranking):");
+    let ranking = output.ranking();
+    let pairs: Vec<MotifPair> = ranking.iter().take(a.k).map(|r| r.pair).collect();
+    print_pairs_table(&pairs);
+
+    let recomputed: usize = output.per_length.iter().map(|r| r.stats.recomputed_rows).sum();
+    println!("\ncompleted in {elapsed:.2?} ({recomputed} rows recomputed across all lengths)");
+
+    if let Some(path) = &a.valmap_out {
+        let json = valmap_to_json(&output.valmap);
+        std::fs::write(path, json)?;
+        println!("VALMAP written to {path}");
+    }
+    Ok(())
+}
+
+/// Minimal hand-rolled JSON dump of VALMAP (front-end hand-off format).
+fn valmap_to_json(valmap: &valmod_core::Valmap) -> String {
+    let join = |it: Vec<String>| it.join(", ");
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"l_min\": {},\n", valmap.l_min));
+    out.push_str(&format!(
+        "  \"mpn\": [{}],\n",
+        join(
+            valmap
+                .mpn
+                .iter()
+                .map(|v| if v.is_finite() { format!("{v:.6}") } else { "null".into() })
+                .collect()
+        )
+    ));
+    out.push_str(&format!(
+        "  \"ip\": [{}],\n",
+        join(valmap.ip.iter().map(|v| v.map_or("null".into(), |j| j.to_string())).collect())
+    ));
+    out.push_str(&format!(
+        "  \"lp\": [{}],\n",
+        join(valmap.lp.iter().map(ToString::to_string).collect())
+    ));
+    out.push_str(&format!(
+        "  \"checkpoints\": [{}]\n",
+        join(
+            valmap
+                .checkpoints
+                .iter()
+                .map(|c| {
+                    format!("{{\"length\": {}, \"updates\": {}}}", c.length, c.updates.len())
+                })
+                .collect()
+        )
+    ));
+    out.push('}');
+    out
+}
+
+fn cmd_profile(a: &ProfileArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let series = io::read_series(&a.input)?;
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mp = stomp_parallel(series.values(), a.length, default_exclusion(a.length), threads)?;
+    println!("series: {} ({} points), window {}", a.input, series.len(), a.length);
+    println!("data |{}|", sparkline(series.values(), 72));
+    println!("MP   |{}|\n", sparkline(&mp.values, 72));
+    println!("top-{} motif pairs:", a.k);
+    print_pairs_table(&top_k_pairs(&mp, a.k));
+    println!("\ntop-{} discords:", a.k);
+    for (rank, (offset, d)) in top_k_discords(&mp, a.k).iter().enumerate() {
+        println!("{:>4} offset {:>10} distance {:>12.4}", rank + 1, offset, d);
+    }
+    Ok(())
+}
+
+fn cmd_generate(a: &GenerateArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let values = match a.kind.as_str() {
+        "ecg" => gen::ecg(a.n, &gen::EcgConfig::default(), a.seed),
+        "astro" => gen::astro(a.n, &gen::AstroConfig::default(), a.seed),
+        "walk" => gen::random_walk(a.n, a.seed),
+        "seismic" => gen::seismic(a.n, &gen::SeismicConfig::default(), a.seed),
+        "epg" => gen::epg(a.n, &gen::EpgConfig::default(), a.seed),
+        "noise" => gen::white_noise(a.n, a.seed, 1.0),
+        other => unreachable!("parser rejects kind {other:?}"),
+    };
+    io::write_series(&a.output, &values)?;
+    println!("wrote {} points of {} (seed {}) to {}", values.len(), a.kind, a.seed, a.output);
+    Ok(())
+}
+
+fn cmd_motif_set(a: &MotifSetArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let series = io::read_series(&a.input)?;
+    let d = valmod_series::znorm::zdist(
+        series.subsequence(a.a, a.length)?,
+        series.subsequence(a.b, a.length)?,
+    );
+    let pair = MotifPair::new(a.a, a.b, d, a.length);
+    let set =
+        expand_motif_set(series.values(), &pair, a.radius, default_exclusion(a.length))?;
+    println!(
+        "motif set of pair ({}, {}) at length {} — radius {:.4}: {} occurrences",
+        a.a,
+        a.b,
+        a.length,
+        set.radius,
+        set.len()
+    );
+    for o in &set.occurrences {
+        println!("  offset {:>10} distance {:>12.4}", o.offset, o.distance);
+    }
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! End-to-end smoke tests of the `valmod` binary: every subcommand runs
+//! against a real generated file and produces the expected artifacts.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_valmod"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("valmod_cli_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn generate_ecg(path: &std::path::Path, n: usize) {
+    let out = bin()
+        .args([
+            "generate", "--kind", "ecg", "--n", &n.to_string(), "--seed", "9", "--output",
+        ])
+        .arg(path)
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("valmod run"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_then_run_produces_valmap_report_and_json() {
+    let series_path = temp_path("run_input.txt");
+    let json_path = temp_path("valmap.json");
+    generate_ecg(&series_path, 1200);
+
+    let out = bin()
+        .args(["run", "--lmin", "24", "--lmax", "40", "--k", "3", "--input"])
+        .arg(&series_path)
+        .arg("--valmap-out")
+        .arg(&json_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("VALMAP"), "missing VALMAP section:\n{text}");
+    assert!(text.contains("top motif pairs"), "missing motif table:\n{text}");
+
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"l_min\": 24"));
+    assert!(json.contains("\"checkpoints\""));
+    // 1200 points, l_min 24 -> 1177 entries in MPn.
+    assert!(json.matches(',').count() > 1177);
+}
+
+#[test]
+fn profile_reports_motifs_and_discords() {
+    let series_path = temp_path("profile_input.txt");
+    generate_ecg(&series_path, 1000);
+    let out = bin()
+        .args(["profile", "--length", "32", "--k", "2", "--input"])
+        .arg(&series_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("top-2 motif pairs"));
+    assert!(text.contains("top-2 discords"));
+}
+
+#[test]
+fn motif_set_expands_a_pair() {
+    let series_path = temp_path("motifset_input.txt");
+    generate_ecg(&series_path, 1500);
+    let out = bin()
+        .args([
+            "motif-set", "--a", "100", "--b", "700", "--length", "40", "--input",
+        ])
+        .arg(&series_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("motif set of pair (100, 700)"));
+    assert!(text.contains("occurrences"));
+}
+
+#[test]
+fn run_on_missing_file_fails_cleanly() {
+    let out = bin()
+        .args(["run", "--input", "/no/such/file.txt", "--lmin", "8", "--lmax", "16"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn generate_rejects_unknown_kind() {
+    let out = bin()
+        .args(["generate", "--kind", "seismo", "--n", "10", "--output", "/tmp/x"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,131 @@
+//! Real linear convolution, naive and FFT-based.
+
+use crate::{next_pow2, Complex64, Fft};
+
+/// Threshold below which the naive algorithm beats the FFT path.
+///
+/// Chosen conservatively; the `ablation_primitives` bench in
+/// `valmod-bench` measures the actual crossover on the host machine.
+const NAIVE_CUTOFF: usize = 1 << 12;
+
+/// Direct O(n·m) linear convolution of two real signals.
+///
+/// The result has length `a.len() + b.len() - 1` (empty if either input is
+/// empty).
+#[must_use]
+pub fn convolve_naive(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// Linear convolution of two real signals.
+///
+/// Uses the naive algorithm when the product of input lengths is small and
+/// an FFT of the next power of two otherwise, so the cost is
+/// O((n+m) log(n+m)) for long inputs.
+#[must_use]
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    if a.len().saturating_mul(b.len()) <= NAIVE_CUTOFF {
+        return convolve_naive(a, b);
+    }
+
+    let size = next_pow2(out_len);
+    let fft = Fft::new(size);
+
+    // Pack both real signals into one complex buffer (a in the real part,
+    // b in the imaginary part) and untangle the spectra, halving FFT work.
+    let mut packed = vec![Complex64::ZERO; size];
+    for (p, &x) in packed.iter_mut().zip(a) {
+        p.re = x;
+    }
+    for (p, &y) in packed.iter_mut().zip(b) {
+        p.im = y;
+    }
+    fft.forward(&mut packed);
+
+    // Spectrum of a: (P[k] + conj(P[N-k]))/2; spectrum of b: (P[k] - conj(P[N-k]))/(2i).
+    // Their product is the spectrum of the convolution.
+    let mut spec = vec![Complex64::ZERO; size];
+    for k in 0..size {
+        let pk = packed[k];
+        let pnk = packed[(size - k) % size].conj();
+        let fa = (pk + pnk).scale(0.5);
+        let fb_times_i = (pk - pnk).scale(0.5); // i * F{b}
+        // fa * fb = fa * (fb_times_i / i) = -i * fa * fb_times_i
+        let prod = fa * fb_times_i;
+        spec[k] = Complex64::new(prod.im, -prod.re);
+    }
+    fft.inverse(&mut spec);
+
+    spec.truncate(out_len);
+    spec.into_iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{convolve, convolve_naive};
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "mismatch at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_output() {
+        assert!(convolve(&[], &[1.0]).is_empty());
+        assert!(convolve(&[1.0], &[]).is_empty());
+        assert!(convolve_naive(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn single_elements_multiply() {
+        assert_close(&convolve(&[3.0], &[4.0]), &[12.0], 1e-12);
+    }
+
+    #[test]
+    fn known_small_convolution() {
+        // (1 + 2x)(3 + 4x) = 3 + 10x + 8x²
+        assert_close(&convolve(&[1.0, 2.0], &[3.0, 4.0]), &[3.0, 10.0, 8.0], 1e-12);
+    }
+
+    #[test]
+    fn delta_is_identity() {
+        let sig = [1.5, -2.0, 0.0, 3.25, 4.0];
+        assert_close(&convolve(&[1.0], &sig), &sig, 1e-12);
+    }
+
+    #[test]
+    fn fft_path_matches_naive() {
+        // Force the FFT path with inputs whose length product exceeds the cutoff.
+        let a: Vec<f64> = (0..300).map(|i| ((i * 37) % 17) as f64 - 8.0).collect();
+        let b: Vec<f64> = (0..200).map(|i| ((i * 91) % 23) as f64 * 0.25).collect();
+        assert!(a.len() * b.len() > super::NAIVE_CUTOFF);
+        let fast = convolve(&a, &b);
+        let slow = convolve_naive(&a, &b);
+        assert_close(&fast, &slow, 1e-6);
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let a: Vec<f64> = (0..150).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b: Vec<f64> = (0..90).map(|i| (i as f64 * 0.05).cos()).collect();
+        assert_close(&convolve(&a, &b), &convolve(&b, &a), 1e-8);
+    }
+}

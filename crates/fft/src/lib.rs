@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+
+//! Self-contained FFT substrate for the VALMOD suite.
+//!
+//! The MASS distance-profile algorithm (used by STAMP and by VALMOD's
+//! recomputation fallback) needs sliding dot products of a query against a
+//! long series, which are most efficiently computed as an FFT-based
+//! convolution. This crate provides everything required, from scratch:
+//!
+//! * [`Complex64`] — minimal complex arithmetic,
+//! * [`Fft`] — a planned, iterative radix-2 FFT (forward and inverse),
+//! * [`convolve`] / [`convolve_naive`] — real linear convolution,
+//! * [`sliding_dot_product`] — the MASS primitive: all dot products of a
+//!   query with every window of a series.
+//!
+//! # Example
+//!
+//! ```
+//! use valmod_fft::sliding_dot_product;
+//!
+//! let series = [1.0, 2.0, 3.0, 4.0, 5.0];
+//! let query = [1.0, 1.0];
+//! let qt = sliding_dot_product(&query, &series);
+//! assert_eq!(qt.len(), 4);
+//! assert!((qt[0] - 3.0).abs() < 1e-9); // 1*1 + 1*2
+//! assert!((qt[3] - 9.0).abs() < 1e-9); // 1*4 + 1*5
+//! ```
+
+mod complex;
+mod convolve;
+mod fft;
+mod sliding;
+
+pub use complex::Complex64;
+pub use convolve::{convolve, convolve_naive};
+pub use fft::Fft;
+pub use sliding::{sliding_dot_product, sliding_dot_product_naive, SlidingDotPlan};
+
+/// Smallest power of two greater than or equal to `n`.
+///
+/// Used to size FFT buffers for linear convolution.
+///
+/// # Panics
+///
+/// Panics if `n` exceeds `1 << 62` (far beyond any series this suite
+/// processes).
+#[must_use]
+pub fn next_pow2(n: usize) -> usize {
+    assert!(n <= (1usize << 62), "FFT size overflow: {n}");
+    n.next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::next_pow2;
+
+    #[test]
+    fn next_pow2_basics() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(4), 4);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(1023), 1024);
+        assert_eq!(next_pow2(1024), 1024);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+}

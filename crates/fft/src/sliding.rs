@@ -1,0 +1,186 @@
+//! Sliding dot products — the core primitive of the MASS algorithm.
+//!
+//! Given a query `q` of length `m` and a series `t` of length `n ≥ m`, the
+//! sliding dot product is the vector `QT` with
+//! `QT[i] = Σ_{k<m} q[k]·t[i+k]` for `i in 0..=n-m`. Computing it as a
+//! convolution with the reversed query costs O(n log n) instead of O(n·m).
+
+use crate::{next_pow2, Complex64, Fft};
+
+/// Direct O(n·m) sliding dot product, used as a reference and for short
+/// queries where it beats the FFT path.
+///
+/// Returns an empty vector when the query is empty or longer than the series.
+#[must_use]
+pub fn sliding_dot_product_naive(query: &[f64], series: &[f64]) -> Vec<f64> {
+    let m = query.len();
+    let n = series.len();
+    if m == 0 || m > n {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n - m + 1);
+    for i in 0..=n - m {
+        let window = &series[i..i + m];
+        let mut acc = 0.0;
+        for (q, w) in query.iter().zip(window) {
+            acc = q.mul_add(*w, acc);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Sliding dot product of `query` against every window of `series`.
+///
+/// Picks the naive or the FFT algorithm based on input sizes. For repeated
+/// queries against the same series, prefer [`SlidingDotPlan`], which reuses
+/// the series spectrum.
+#[must_use]
+pub fn sliding_dot_product(query: &[f64], series: &[f64]) -> Vec<f64> {
+    let m = query.len();
+    let n = series.len();
+    if m == 0 || m > n {
+        return Vec::new();
+    }
+    // Rough cost model: naive is m ops per output; FFT path ~ 3 log2(2n).
+    if (m as u64).saturating_mul(n as u64) <= 1 << 14 || m <= 32 {
+        return sliding_dot_product_naive(query, series);
+    }
+    SlidingDotPlan::new(series).dot(query)
+}
+
+/// A reusable plan holding the FFT of a series, so that many queries (as in
+/// STAMP, or VALMOD's per-row recomputation) each cost one forward and one
+/// inverse transform instead of two forward ones.
+#[derive(Debug, Clone)]
+pub struct SlidingDotPlan {
+    fft: Fft,
+    /// Forward spectrum of the (zero-padded) series.
+    series_spectrum: Vec<Complex64>,
+    series_len: usize,
+}
+
+impl SlidingDotPlan {
+    /// Builds a plan for the given series.
+    ///
+    /// The FFT size is the next power of two of `2 * series.len()`, large
+    /// enough for any query length up to the series length.
+    #[must_use]
+    pub fn new(series: &[f64]) -> Self {
+        let n = series.len();
+        let size = next_pow2((2 * n).max(1));
+        let fft = Fft::new(size);
+        let mut buf = vec![Complex64::ZERO; size];
+        for (b, &x) in buf.iter_mut().zip(series) {
+            b.re = x;
+        }
+        fft.forward(&mut buf);
+        Self { fft, series_spectrum: buf, series_len: n }
+    }
+
+    /// Length of the series this plan was built for.
+    #[inline]
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Sliding dot product of `query` against the planned series.
+    ///
+    /// Returns an empty vector when the query is empty or longer than the
+    /// series.
+    #[must_use]
+    pub fn dot(&self, query: &[f64]) -> Vec<f64> {
+        let m = query.len();
+        let n = self.series_len;
+        if m == 0 || m > n {
+            return Vec::new();
+        }
+        let size = self.fft.size();
+        let mut buf = vec![Complex64::ZERO; size];
+        // Reversed query, so the convolution aligns dot products at i+m-1.
+        for (b, &q) in buf.iter_mut().zip(query.iter().rev()) {
+            b.re = q;
+        }
+        self.fft.forward(&mut buf);
+        for (b, s) in buf.iter_mut().zip(&self.series_spectrum) {
+            *b *= *s;
+        }
+        self.fft.inverse(&mut buf);
+        (m - 1..n).map(|i| buf[i].re).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{sliding_dot_product, sliding_dot_product_naive, SlidingDotPlan};
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "mismatch at {i}: {x} vs {y}");
+        }
+    }
+
+    fn pseudo_series(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 100.0 - 5.0).collect()
+    }
+
+    #[test]
+    fn empty_and_oversized_queries() {
+        assert!(sliding_dot_product(&[], &[1.0, 2.0]).is_empty());
+        assert!(sliding_dot_product(&[1.0, 2.0, 3.0], &[1.0, 2.0]).is_empty());
+        assert!(sliding_dot_product_naive(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn naive_matches_hand_computation() {
+        let qt = sliding_dot_product_naive(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_close(&qt, &[11.0, 14.0], 1e-12); // 1*3+2*4, 1*4+2*5
+    }
+
+    #[test]
+    fn query_equal_to_series_gives_single_dot() {
+        let s = [1.0, -2.0, 3.0];
+        let qt = sliding_dot_product(&s, &s);
+        assert_close(&qt, &[14.0], 1e-9);
+    }
+
+    #[test]
+    fn fft_plan_matches_naive() {
+        let series = pseudo_series(700);
+        for &m in &[1usize, 2, 33, 128, 400, 700] {
+            let query = &series[7.min(700 - m)..7.min(700 - m) + m];
+            let plan = SlidingDotPlan::new(&series);
+            let fast = plan.dot(query);
+            let slow = sliding_dot_product_naive(query, &series);
+            assert_close(&fast, &slow, 1e-5);
+        }
+    }
+
+    #[test]
+    fn dispatcher_matches_naive_across_cutoff() {
+        let series = pseudo_series(1200);
+        for &m in &[8usize, 32, 33, 64, 256] {
+            let query: Vec<f64> = series[100..100 + m].to_vec();
+            let fast = sliding_dot_product(&query, &series);
+            let slow = sliding_dot_product_naive(&query, &series);
+            assert_close(&fast, &slow, 1e-5);
+        }
+    }
+
+    #[test]
+    fn plan_is_reusable_across_queries() {
+        let series = pseudo_series(512);
+        let plan = SlidingDotPlan::new(&series);
+        assert_eq!(plan.series_len(), 512);
+        for &m in &[40usize, 41, 100] {
+            let query: Vec<f64> = series[3..3 + m].to_vec();
+            assert_close(
+                &plan.dot(&query),
+                &sliding_dot_product_naive(&query, &series),
+                1e-6,
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the FFT substrate.
+
+use proptest::prelude::*;
+use valmod_fft::{convolve, convolve_naive, sliding_dot_product, sliding_dot_product_naive, Complex64, Fft};
+
+fn bounded_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// inverse(forward(x)) == x for arbitrary signals at power-of-two sizes.
+    #[test]
+    fn fft_roundtrips(re in bounded_signal(64), im in bounded_signal(64)) {
+        let n = re.len().min(im.len()).next_power_of_two();
+        let mut buf: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(
+                re.get(i).copied().unwrap_or(0.0),
+                im.get(i).copied().unwrap_or(0.0),
+            ))
+            .collect();
+        let orig = buf.clone();
+        let fft = Fft::new(n);
+        fft.forward(&mut buf);
+        fft.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&orig) {
+            prop_assert!((a.re - b.re).abs() < 1e-8);
+            prop_assert!((a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    /// Parseval: energy is preserved by the transform.
+    #[test]
+    fn fft_preserves_energy(re in bounded_signal(128)) {
+        let n = re.len().next_power_of_two();
+        let mut buf: Vec<Complex64> =
+            (0..n).map(|i| Complex64::from_real(re.get(i).copied().unwrap_or(0.0))).collect();
+        let time: f64 = buf.iter().map(|z| z.norm_sqr()).sum();
+        let fft = Fft::new(n);
+        fft.forward(&mut buf);
+        let freq: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time - freq).abs() <= 1e-6 * time.max(1.0));
+    }
+
+    /// FFT convolution equals the naive convolution.
+    #[test]
+    fn convolve_matches_naive(a in bounded_signal(96), b in bounded_signal(96)) {
+        let fast = convolve(&a, &b);
+        let slow = convolve_naive(&a, &b);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (x, y) in fast.iter().zip(&slow) {
+            prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
+        }
+    }
+
+    /// The sliding dot product dispatcher equals the naive definition for
+    /// every valid query length.
+    #[test]
+    fn sliding_dots_match_naive(series in bounded_signal(200), frac in 0.01f64..1.0) {
+        let m = ((series.len() as f64 * frac) as usize).clamp(1, series.len());
+        let query: Vec<f64> = series[..m].to_vec();
+        let fast = sliding_dot_product(&query, &series);
+        let slow = sliding_dot_product_naive(&query, &series);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (x, y) in fast.iter().zip(&slow) {
+            prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
+        }
+    }
+}

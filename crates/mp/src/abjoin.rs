@@ -1,0 +1,185 @@
+//! AB-joins: the cross-series matrix profile.
+//!
+//! Matrix Profile I is titled "*All Pairs Similarity Joins* for Time
+//! Series" — the self-join (motifs within one series) is the special case
+//! the rest of this suite focuses on, but the general form joins two
+//! different series: for every subsequence of `A`, the distance to its
+//! nearest neighbor *in `B`* (and vice versa). No exclusion zone applies,
+//! since positions in different series cannot be trivial matches.
+//!
+//! The STOMP dot-product recurrence works unchanged across two series, so
+//! the join costs O(|A|·|B|).
+
+use valmod_fft::sliding_dot_product;
+use valmod_series::stats::FLAT_EPS;
+use valmod_series::znorm::{dist_from_pearson, zdist_from_dot};
+use valmod_series::{Result, RollingStats, SeriesError};
+
+use crate::profile::MatrixProfile;
+use crate::{shifted, MIN_WINDOW};
+
+/// The two directed profiles of an AB-join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbJoin {
+    /// For each window of `A`: nearest neighbor in `B`.
+    pub a_to_b: MatrixProfile,
+    /// For each window of `B`: nearest neighbor in `A`.
+    pub b_to_a: MatrixProfile,
+}
+
+impl AbJoin {
+    /// The overall closest cross-series pair `(a offset, b offset,
+    /// distance)`.
+    #[must_use]
+    pub fn closest_pair(&self) -> Option<(usize, usize, f64)> {
+        self.a_to_b.min_entry()
+    }
+}
+
+/// Computes the AB-join of two series at window length `l`.
+///
+/// # Errors
+///
+/// [`SeriesError::TooShort`] when either series cannot host a window of
+/// `l`, or `l < MIN_WINDOW`.
+pub fn abjoin(a: &[f64], b: &[f64], l: usize) -> Result<AbJoin> {
+    if l < MIN_WINDOW {
+        return Err(SeriesError::TooShort { len: l, needed: MIN_WINDOW });
+    }
+    for s in [a, b] {
+        if s.len() < l {
+            return Err(SeriesError::TooShort { len: s.len(), needed: l });
+        }
+    }
+    // Center each series by its own mean (z-normalized distances are
+    // shift-invariant per window, so independent shifts are safe).
+    let a = shifted(a);
+    let b = shifted(b);
+    let (ma, mb) = (a.len() - l + 1, b.len() - l + 1);
+    let stats_a = RollingStats::new(&a);
+    let stats_b = RollingStats::new(&b);
+    let means_a = stats_a.means_for_length(l);
+    let stds_a = stats_a.stds_for_length(l);
+    let means_b = stats_b.means_for_length(l);
+    let stds_b = stats_b.stds_for_length(l);
+
+    // QT(0, j) and QT(i, 0) from two sliding-dot passes.
+    let first_row = sliding_dot_product(&a[..l], &b); // over B
+    let first_col = sliding_dot_product(&b[..l], &a); // over A
+    debug_assert_eq!(first_row.len(), mb);
+    debug_assert_eq!(first_col.len(), ma);
+
+    let mut a_to_b = MatrixProfile::unfilled(l, 0, ma);
+    let mut b_to_a = MatrixProfile::unfilled(l, 0, mb);
+    let lf = l as f64;
+    let flat = stds_a.iter().chain(&stds_b).any(|&s| s < FLAT_EPS);
+
+    let mut qt = first_row.clone();
+    for i in 0..ma {
+        if i > 0 {
+            for j in (1..mb).rev() {
+                qt[j] = a[i + l - 1].mul_add(b[j + l - 1], qt[j - 1] - a[i - 1] * b[j - 1]);
+            }
+            qt[0] = first_col[i];
+        }
+        if flat {
+            for (j, &dot) in qt.iter().enumerate() {
+                let d = zdist_from_dot(dot, l, means_a[i], stds_a[i], means_b[j], stds_b[j]);
+                a_to_b.offer(i, d, j);
+                b_to_a.offer(j, d, i);
+            }
+        } else {
+            // Fast path in correlation space.
+            let a_i = lf * means_a[i];
+            let inv_i = 1.0 / stds_a[i];
+            for (j, &dot) in qt.iter().enumerate() {
+                let rho = ((dot - a_i * means_b[j]) * inv_i / (lf * stds_b[j])).clamp(-1.0, 1.0);
+                let d = dist_from_pearson(rho, l);
+                a_to_b.offer(i, d, j);
+                b_to_a.offer(j, d, i);
+            }
+        }
+    }
+    Ok(AbJoin { a_to_b, b_to_a })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_series::gen;
+    use valmod_series::znorm::zdist;
+
+    fn brute_a_to_b(a: &[f64], b: &[f64], l: usize) -> Vec<f64> {
+        (0..=a.len() - l)
+            .map(|i| {
+                (0..=b.len() - l)
+                    .map(|j| zdist(&a[i..i + l], &b[j..j + l]))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_both_directions() {
+        let a = gen::random_walk(150, 1);
+        let b = gen::random_walk(120, 2);
+        let l = 16;
+        let join = abjoin(&a, &b, l).unwrap();
+        let expect_ab = brute_a_to_b(&a, &b, l);
+        let expect_ba = brute_a_to_b(&b, &a, l);
+        assert_eq!(join.a_to_b.len(), expect_ab.len());
+        for (i, (&got, want)) in join.a_to_b.values.iter().zip(&expect_ab).enumerate() {
+            assert!((got - want).abs() < 1e-6, "A->B mismatch at {i}: {got} vs {want}");
+        }
+        for (j, (&got, want)) in join.b_to_a.values.iter().zip(&expect_ba).enumerate() {
+            assert!((got - want).abs() < 1e-6, "B->A mismatch at {j}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn shared_pattern_across_series_is_the_closest_pair() {
+        let pattern: Vec<f64> =
+            (0..32).map(|i| (i as f64 / 32.0 * std::f64::consts::TAU * 2.0).sin()).collect();
+        let (a, _) = gen::planted_pair(800, &pattern, &[200], 0.01, 11);
+        let (b, _) = gen::planted_pair(700, &pattern, &[450], 0.01, 22);
+        let join = abjoin(&a, &b, 32).unwrap();
+        let (ia, jb, d) = join.closest_pair().unwrap();
+        assert!(ia.abs_diff(200) <= 2, "A offset {ia}");
+        assert!(jb.abs_diff(450) <= 2, "B offset {jb}");
+        assert!(d < 0.5);
+    }
+
+    #[test]
+    fn self_join_without_exclusion_is_zero() {
+        let a = gen::sine_mix(200, &[(30.0, 1.0)], 0.1, 3);
+        let join = abjoin(&a, &a, 16).unwrap();
+        // Every window matches itself exactly.
+        for (i, &d) in join.a_to_b.values.iter().enumerate() {
+            assert!(d < 1e-6, "self-distance at {i} is {d}");
+            assert_eq!(join.a_to_b.indices[i], Some(i));
+        }
+    }
+
+    #[test]
+    fn flat_windows_are_handled() {
+        let mut a = gen::white_noise(120, 4, 1.0);
+        for v in &mut a[40..70] {
+            *v = 1.0;
+        }
+        let b = gen::white_noise(100, 5, 1.0);
+        let join = abjoin(&a, &b, 12).unwrap();
+        let expect = brute_a_to_b(&a, &b, 12);
+        for (i, (&got, want)) in join.a_to_b.values.iter().zip(&expect).enumerate() {
+            assert!((got - want).abs() < 1e-6, "flat A->B mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let a = gen::random_walk(50, 1);
+        let b = gen::random_walk(8, 2);
+        assert!(abjoin(&a, &b, 3).is_err()); // below MIN_WINDOW
+        assert!(abjoin(&a, &b, 16).is_err()); // B too short
+        assert!(abjoin(&a, &b, 8).is_ok());
+    }
+}

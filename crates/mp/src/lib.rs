@@ -1,0 +1,120 @@
+#![warn(missing_docs)]
+
+//! Matrix Profile engines for the VALMOD suite.
+//!
+//! The Matrix Profile of a series `T` for window length `ℓ` is the vector
+//! whose `i`-th entry is the z-normalized Euclidean distance between the
+//! subsequence `T[i..i+ℓ)` and its best *non-trivial* match elsewhere in
+//! `T`, together with the offset of that match (the *index profile*). The
+//! motif of length `ℓ` is the pair realizing the global minimum.
+//!
+//! This crate implements the two classic exact engines plus the primitives
+//! they share:
+//!
+//! * [`mass`] — MASS v2 distance profiles (FFT-based, O(n log n) per query);
+//! * [`stamp`] — Matrix Profile I: one MASS call per subsequence;
+//! * [`stomp`] — Matrix Profile II: incremental dot products, O(n²) total,
+//!   with a diagonal-parallel variant;
+//! * [`profile`] / [`motif`] — the [`MatrixProfile`] container, top-k motif
+//!   pair and discord extraction.
+//!
+//! # Example
+//!
+//! ```
+//! use valmod_mp::{stomp::stomp, motif::top_k_pairs, default_exclusion};
+//! use valmod_series::gen;
+//!
+//! // A sine wave repeats: every window has a near-perfect match one period away.
+//! let series = gen::sine_mix(600, &[(50.0, 1.0)], 0.01, 7);
+//! let l = 32;
+//! let mp = stomp(&series, l, default_exclusion(l)).unwrap();
+//! let motifs = top_k_pairs(&mp, 1);
+//! assert_eq!(motifs.len(), 1);
+//! assert!(motifs[0].distance < 1.0);
+//! ```
+
+pub mod abjoin;
+pub mod mass;
+pub mod motif;
+pub mod profile;
+pub mod scrimp;
+pub mod stamp;
+pub mod stomp;
+pub mod streaming;
+
+pub use abjoin::{abjoin, AbJoin};
+pub use mass::DistanceProfiler;
+pub use scrimp::scrimp;
+pub use motif::{top_k_pairs, MotifPair};
+pub use profile::MatrixProfile;
+pub use streaming::StreamingProfile;
+
+/// Smallest supported subsequence length. Below this, z-normalized shapes
+/// carry almost no information and the matrix-profile literature does not
+/// define useful motifs.
+pub const MIN_WINDOW: usize = 4;
+
+/// The standard trivial-match exclusion zone: `max(1, ⌈ℓ/4⌉)`, as used by
+/// the matrix-profile papers (STAMP/STOMP).
+#[must_use]
+pub fn default_exclusion(l: usize) -> usize {
+    (l.div_ceil(4)).max(1)
+}
+
+/// Validates a `(series length, window)` combination shared by all engines.
+///
+/// # Errors
+///
+/// [`valmod_series::SeriesError::TooShort`] when `l < MIN_WINDOW`, or when
+/// fewer than two non-trivially-matching subsequences of length `l` exist.
+pub fn validate_window(n: usize, l: usize) -> valmod_series::Result<()> {
+    if l < MIN_WINDOW {
+        return Err(valmod_series::SeriesError::TooShort { len: l, needed: MIN_WINDOW });
+    }
+    // Need at least two windows separated by the minimal exclusion zone.
+    let needed = l + default_exclusion(l) + 1;
+    if n < needed {
+        return Err(valmod_series::SeriesError::TooShort { len: n, needed });
+    }
+    Ok(())
+}
+
+/// Subtracts the global mean from a series.
+///
+/// Z-normalized distances are shift-invariant, but the dot products flowing
+/// through STOMP/MASS are not: removing the global offset keeps their
+/// magnitudes small and the `QT − ℓμμ` cancellation benign. Every engine
+/// calls this once at entry.
+#[must_use]
+pub(crate) fn shifted(values: &[f64]) -> Vec<f64> {
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    values.iter().map(|v| v - mean).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_exclusion_follows_quarter_rule() {
+        assert_eq!(default_exclusion(4), 1);
+        assert_eq!(default_exclusion(8), 2);
+        assert_eq!(default_exclusion(10), 3);
+        assert_eq!(default_exclusion(100), 25);
+    }
+
+    #[test]
+    fn validate_window_bounds() {
+        assert!(validate_window(100, 3).is_err()); // window below MIN_WINDOW
+        assert!(validate_window(5, 4).is_err()); // needs 4 + 1 + 1 = 6 points
+        assert!(validate_window(6, 4).is_ok());
+        assert!(validate_window(8, 4).is_ok());
+        assert!(validate_window(1000, 64).is_ok());
+    }
+
+    #[test]
+    fn shifted_removes_global_mean() {
+        let s = shifted(&[1.0, 2.0, 3.0]);
+        assert!(s.iter().sum::<f64>().abs() < 1e-12);
+    }
+}

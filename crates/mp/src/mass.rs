@@ -1,0 +1,250 @@
+//! MASS — Mueen's Algorithm for Similarity Search.
+//!
+//! A *distance profile* is the vector of z-normalized distances between one
+//! query window and every window of a series. MASS v2 computes it with a
+//! single FFT-based sliding dot product plus O(1)-per-window statistics,
+//! for O(n log n) total — the primitive behind STAMP and behind VALMOD's
+//! recomputation fallback.
+
+use valmod_fft::{sliding_dot_product_naive, SlidingDotPlan};
+use valmod_series::znorm::zdist_from_dot;
+use valmod_series::{Result, RollingStats};
+
+use crate::{shifted, validate_window};
+
+/// Reusable distance-profile engine for one series.
+///
+/// Construction costs one FFT of the (padded) series and one prefix-sum
+/// pass; each subsequent profile costs one forward+inverse FFT.
+///
+/// # Example
+///
+/// ```
+/// use valmod_mp::DistanceProfiler;
+///
+/// let series: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let profiler = DistanceProfiler::new(&series).unwrap();
+/// let profile = profiler.self_profile(0, 16).unwrap();
+/// assert_eq!(profile.len(), 64 - 16 + 1);
+/// assert!(profile[0] < 1e-6); // a window matches itself exactly
+/// ```
+#[derive(Debug)]
+pub struct DistanceProfiler {
+    values: Vec<f64>,
+    plan: SlidingDotPlan,
+    stats: RollingStats,
+}
+
+impl DistanceProfiler {
+    /// Builds the engine (FFT plan + rolling statistics).
+    ///
+    /// # Errors
+    ///
+    /// [`valmod_series::SeriesError::TooShort`] for series shorter than the
+    /// minimal window.
+    pub fn new(series: &[f64]) -> Result<Self> {
+        validate_window(series.len(), crate::MIN_WINDOW)?;
+        let values = shifted(series);
+        let plan = SlidingDotPlan::new(&values);
+        let stats = RollingStats::new(&values);
+        Ok(Self { values, plan, stats })
+    }
+
+    /// Length of the underlying series.
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The rolling statistics of the (mean-shifted) series.
+    #[must_use]
+    pub fn stats(&self) -> &RollingStats {
+        &self.stats
+    }
+
+    /// Distance profile of the series' own subsequence `(offset, l)`
+    /// against every window of length `l`.
+    ///
+    /// Trivial matches are **not** excluded here — entry `offset` is 0 —
+    /// because different callers need different exclusion policies.
+    ///
+    /// # Errors
+    ///
+    /// [`valmod_series::SeriesError::InvalidSubsequence`] when the query
+    /// window does not fit, [`valmod_series::SeriesError::TooShort`] for
+    /// windows below the minimum.
+    pub fn self_profile(&self, offset: usize, l: usize) -> Result<Vec<f64>> {
+        validate_window(self.values.len(), l)?;
+        if offset + l > self.values.len() {
+            return Err(valmod_series::SeriesError::InvalidSubsequence {
+                offset,
+                length: l,
+                series_len: self.values.len(),
+            });
+        }
+        let qt = self.sliding_dots(offset, l);
+        let mu_q = self.stats.mean(offset, l);
+        let sig_q = self.stats.std(offset, l);
+        Ok(self.profile_from_dots(&qt, l, mu_q, sig_q))
+    }
+
+    /// Distance profile of an *external* query against every window of the
+    /// series (`query.len()` determines the window length).
+    ///
+    /// # Errors
+    ///
+    /// [`valmod_series::SeriesError::TooShort`] when the query is shorter
+    /// than the minimal window or longer than the series.
+    pub fn query_profile(&self, query: &[f64]) -> Result<Vec<f64>> {
+        let l = query.len();
+        if l < crate::MIN_WINDOW {
+            return Err(valmod_series::SeriesError::TooShort { len: l, needed: crate::MIN_WINDOW });
+        }
+        if l > self.values.len() {
+            return Err(valmod_series::SeriesError::TooShort {
+                len: self.values.len(),
+                needed: l,
+            });
+        }
+        // The engine's series is mean-shifted; shifting the query by any
+        // constant leaves z-normalized distances unchanged, so we can use
+        // the query as-is.
+        let qt = if l * self.values.len() <= 1 << 14 {
+            sliding_dot_product_naive(query, &self.values)
+        } else {
+            self.plan.dot(query)
+        };
+        let mu_q = query.iter().sum::<f64>() / l as f64;
+        let var_q =
+            query.iter().map(|x| (x - mu_q) * (x - mu_q)).sum::<f64>() / l as f64;
+        Ok(self.profile_from_dots(&qt, l, mu_q, var_q.sqrt()))
+    }
+
+    fn sliding_dots(&self, offset: usize, l: usize) -> Vec<f64> {
+        let query = &self.values[offset..offset + l];
+        if l * self.values.len() <= 1 << 14 {
+            sliding_dot_product_naive(query, &self.values)
+        } else {
+            self.plan.dot(query)
+        }
+    }
+
+    fn profile_from_dots(&self, qt: &[f64], l: usize, mu_q: f64, sig_q: f64) -> Vec<f64> {
+        qt.iter()
+            .enumerate()
+            .map(|(j, &dot)| {
+                zdist_from_dot(dot, l, mu_q, sig_q, self.stats.mean(j, l), self.stats.std(j, l))
+            })
+            .collect()
+    }
+}
+
+/// Brute-force distance profile used as the correctness reference: directly
+/// z-normalizes each pair of windows. O(n·ℓ).
+///
+/// # Errors
+///
+/// Same validation as [`DistanceProfiler::self_profile`].
+pub fn distance_profile_brute(series: &[f64], offset: usize, l: usize) -> Result<Vec<f64>> {
+    validate_window(series.len(), l)?;
+    if offset + l > series.len() {
+        return Err(valmod_series::SeriesError::InvalidSubsequence {
+            offset,
+            length: l,
+            series_len: series.len(),
+        });
+    }
+    let query = &series[offset..offset + l];
+    Ok((0..=series.len() - l)
+        .map(|j| valmod_series::znorm::zdist(query, &series[j..j + l]))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_series::gen;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "mismatch at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn self_profile_matches_brute_force() {
+        let series = gen::random_walk(400, 11);
+        let profiler = DistanceProfiler::new(&series).unwrap();
+        for &(offset, l) in &[(0usize, 16usize), (100, 50), (350, 50), (0, 300)] {
+            let fast = profiler.self_profile(offset, l).unwrap();
+            let slow = distance_profile_brute(&series, offset, l).unwrap();
+            assert_close(&fast, &slow, 1e-6);
+        }
+    }
+
+    #[test]
+    fn self_match_distance_is_zero() {
+        let series = gen::sine_mix(300, &[(37.0, 1.0)], 0.05, 3);
+        let profiler = DistanceProfiler::new(&series).unwrap();
+        for offset in [0usize, 13, 250] {
+            let p = profiler.self_profile(offset, 32).unwrap();
+            assert!(p[offset] < 1e-6, "self-distance at {offset} is {}", p[offset]);
+        }
+    }
+
+    #[test]
+    fn query_profile_matches_self_profile_for_internal_query() {
+        let series = gen::random_walk(500, 5);
+        let profiler = DistanceProfiler::new(&series).unwrap();
+        let l = 64;
+        let offset = 123;
+        let by_offset = profiler.self_profile(offset, l).unwrap();
+        let by_query = profiler.query_profile(&series[offset..offset + l]).unwrap();
+        assert_close(&by_offset, &by_query, 1e-6);
+    }
+
+    #[test]
+    fn query_profile_is_shift_invariant() {
+        let series = gen::random_walk(300, 9);
+        let profiler = DistanceProfiler::new(&series).unwrap();
+        let query: Vec<f64> = series[40..104].to_vec();
+        let shifted_query: Vec<f64> = query.iter().map(|v| v + 1000.0).collect();
+        let a = profiler.query_profile(&query).unwrap();
+        let b = profiler.query_profile(&shifted_query).unwrap();
+        assert_close(&a, &b, 1e-5);
+    }
+
+    #[test]
+    fn flat_windows_follow_convention() {
+        // Series with a flat plateau: windows inside the plateau are flat.
+        let mut series = gen::white_noise(200, 2, 1.0);
+        for v in &mut series[50..100] {
+            *v = 3.0;
+        }
+        let profiler = DistanceProfiler::new(&series).unwrap();
+        let l = 16;
+        let p = profiler.self_profile(60, l).unwrap(); // flat query
+        // Flat query vs flat window -> 0; vs wavy window -> sqrt(l).
+        assert!(p[70] < 1e-9);
+        assert!((p[0] - (l as f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let series = gen::random_walk(100, 1);
+        let profiler = DistanceProfiler::new(&series).unwrap();
+        assert!(profiler.self_profile(0, 2).is_err()); // below MIN_WINDOW
+        assert!(profiler.self_profile(97, 8).is_err()); // window does not fit
+        assert!(profiler.query_profile(&[1.0; 200]).is_err()); // query longer than series
+        assert!(DistanceProfiler::new(&[1.0, 2.0]).is_err()); // tiny series
+    }
+
+    #[test]
+    fn brute_profile_validates_inputs() {
+        let series = gen::random_walk(50, 1);
+        assert!(distance_profile_brute(&series, 49, 4).is_err());
+        assert!(distance_profile_brute(&series, 0, 3).is_err());
+        assert!(distance_profile_brute(&series, 0, 4).is_ok());
+    }
+}

@@ -1,0 +1,193 @@
+//! Motif-pair and discord extraction from a Matrix Profile.
+
+use crate::profile::MatrixProfile;
+
+/// A motif pair: the two subsequence offsets and their z-normalized
+/// distance, at a fixed length.
+///
+/// By the paper's convention the *right* member (`b`) is the best match of
+/// the *left* one (`a`), and we store `a < b` for a canonical form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotifPair {
+    /// Offset of the left (earlier) subsequence.
+    pub a: usize,
+    /// Offset of the right (later) subsequence.
+    pub b: usize,
+    /// Z-normalized Euclidean distance between the two subsequences.
+    pub distance: f64,
+    /// Subsequence length.
+    pub length: usize,
+}
+
+impl MotifPair {
+    /// Canonicalizes offsets so that `a < b`.
+    #[must_use]
+    pub fn new(i: usize, j: usize, distance: f64, length: usize) -> Self {
+        let (a, b) = if i <= j { (i, j) } else { (j, i) };
+        Self { a, b, distance, length }
+    }
+
+    /// Whether this pair overlaps another pair's occurrences within the
+    /// given exclusion half-width (used to deduplicate near-identical
+    /// pairs when ranking).
+    #[must_use]
+    pub fn overlaps(&self, other: &Self, exclusion: usize) -> bool {
+        let close = |x: usize, y: usize| x.abs_diff(y) <= exclusion;
+        (close(self.a, other.a) && close(self.b, other.b))
+            || (close(self.a, other.b) && close(self.b, other.a))
+    }
+}
+
+/// Extracts the top-k motif pairs of a fixed-length profile.
+///
+/// Pairs are reported in ascending distance order. A candidate whose
+/// occurrences both fall within the profile's exclusion zone of an already
+/// selected pair is skipped, so the k pairs describe k genuinely different
+/// co-occurrences rather than k shifted copies of the same one.
+#[must_use]
+pub fn top_k_pairs(mp: &MatrixProfile, k: usize) -> Vec<MotifPair> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut candidates: Vec<MotifPair> = mp
+        .values
+        .iter()
+        .zip(&mp.indices)
+        .enumerate()
+        .filter_map(|(i, (&d, &idx))| {
+            let j = idx?;
+            d.is_finite().then(|| MotifPair::new(i, j, d, mp.window))
+        })
+        .collect();
+    candidates.sort_by(|x, y| {
+        x.distance
+            .partial_cmp(&y.distance)
+            .expect("profile distances are never NaN")
+            .then(x.a.cmp(&y.a))
+            .then(x.b.cmp(&y.b))
+    });
+
+    let mut selected: Vec<MotifPair> = Vec::with_capacity(k);
+    for cand in candidates {
+        if selected.len() == k {
+            break;
+        }
+        if selected.iter().any(|s| cand.overlaps(s, mp.exclusion)) {
+            continue;
+        }
+        selected.push(cand);
+    }
+    selected
+}
+
+/// Extracts the top-k discords (subsequences farthest from their nearest
+/// neighbor), in descending distance order, skipping offsets within the
+/// exclusion zone of an already selected discord.
+#[must_use]
+pub fn top_k_discords(mp: &MatrixProfile, k: usize) -> Vec<(usize, f64)> {
+    let mut order: Vec<(usize, f64)> = mp
+        .values
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_finite())
+        .map(|(i, &d)| (i, d))
+        .collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+    let mut selected: Vec<(usize, f64)> = Vec::with_capacity(k);
+    for (i, d) in order {
+        if selected.len() == k {
+            break;
+        }
+        if selected.iter().any(|&(s, _)| s.abs_diff(i) <= mp.exclusion) {
+            continue;
+        }
+        selected.push((i, d));
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_exclusion;
+    use crate::stomp::stomp;
+    use valmod_series::gen;
+
+    fn profile_with(entries: &[(usize, f64, usize)], window: usize, excl: usize) -> MatrixProfile {
+        let len = entries.len();
+        let mut mp = MatrixProfile::unfilled(window, excl, len.max(8));
+        for &(i, d, j) in entries {
+            mp.values[i] = d;
+            mp.indices[i] = Some(j);
+        }
+        mp
+    }
+
+    #[test]
+    fn pair_is_canonicalized() {
+        let p = MotifPair::new(9, 2, 1.0, 8);
+        assert_eq!((p.a, p.b), (2, 9));
+    }
+
+    #[test]
+    fn overlap_detection_is_symmetric_in_members() {
+        let p = MotifPair::new(10, 50, 1.0, 8);
+        let same = MotifPair::new(51, 11, 1.1, 8);
+        let crossed = MotifPair::new(49, 9, 1.2, 8);
+        let distinct = MotifPair::new(100, 200, 0.9, 8);
+        assert!(p.overlaps(&same, 2));
+        assert!(p.overlaps(&crossed, 2));
+        assert!(!p.overlaps(&distinct, 2));
+    }
+
+    #[test]
+    fn top_k_orders_by_distance_and_dedupes() {
+        // Entries 0 and 1 describe the same pair (shifted by one).
+        let mp = profile_with(
+            &[(0, 1.0, 5), (1, 1.05, 6), (3, 2.0, 7), (7, 0.5, 3)],
+            8,
+            1,
+        );
+        let pairs = top_k_pairs(&mp, 3);
+        // (3,7,0.5) first; then (0,5,1.0); (1,6,1.05) is a shifted duplicate
+        // of (0,5); (3,7,2.0) duplicates the first.
+        assert_eq!(pairs.len(), 2);
+        assert_eq!((pairs[0].a, pairs[0].b), (3, 7));
+        assert_eq!((pairs[1].a, pairs[1].b), (0, 5));
+    }
+
+    #[test]
+    fn top_k_respects_k_and_handles_empty() {
+        let mp = MatrixProfile::unfilled(8, 1, 10);
+        assert!(top_k_pairs(&mp, 5).is_empty());
+        let mp = profile_with(&[(0, 1.0, 5)], 8, 1);
+        assert_eq!(top_k_pairs(&mp, 0).len(), 0);
+        assert_eq!(top_k_pairs(&mp, 10).len(), 1);
+    }
+
+    #[test]
+    fn discords_are_farthest_first_and_spread_out() {
+        let mp = profile_with(&[(0, 5.0, 3), (1, 4.9, 4), (4, 1.0, 0), (6, 3.0, 2)], 8, 1);
+        let discords = top_k_discords(&mp, 2);
+        assert_eq!(discords[0].0, 0);
+        // Offset 1 is within the exclusion zone of 0, so 6 comes next.
+        assert_eq!(discords[1].0, 6);
+    }
+
+    #[test]
+    fn end_to_end_motifs_on_planted_series() {
+        let pattern: Vec<f64> =
+            (0..40).map(|i| (i as f64 / 40.0 * std::f64::consts::TAU).sin()).collect();
+        let (series, truth) = gen::planted_pair(1500, &pattern, &[200, 900], 0.02, 31);
+        let mp = stomp(&series, 40, default_exclusion(40)).unwrap();
+        let pairs = top_k_pairs(&mp, 3);
+        assert!(!pairs.is_empty());
+        let top = pairs[0];
+        assert!(top.a.abs_diff(truth.offsets[0]) <= 2);
+        assert!(top.b.abs_diff(truth.offsets[1]) <= 2);
+        // Later pairs are strictly farther.
+        for w in pairs.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+}

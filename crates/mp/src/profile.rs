@@ -1,0 +1,160 @@
+//! The Matrix Profile container.
+
+use valmod_series::znorm;
+
+/// A fixed-length Matrix Profile: for each subsequence offset, the distance
+/// to (and offset of) its nearest non-trivial neighbor.
+///
+/// Entries whose subsequence has no admissible neighbor (possible only in
+/// degenerate inputs) carry `f64::INFINITY` and index `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixProfile {
+    /// Subsequence (window) length `ℓ`.
+    pub window: usize,
+    /// Trivial-match exclusion zone that was applied (in offsets).
+    pub exclusion: usize,
+    /// `values[i]` — z-normalized distance from subsequence `i` to its
+    /// nearest neighbor.
+    pub values: Vec<f64>,
+    /// `indices[i]` — offset of that nearest neighbor.
+    pub indices: Vec<Option<usize>>,
+}
+
+impl MatrixProfile {
+    /// Creates an "empty" profile of `len` entries, all at infinity — the
+    /// starting state of every engine.
+    #[must_use]
+    pub fn unfilled(window: usize, exclusion: usize, len: usize) -> Self {
+        Self {
+            window,
+            exclusion,
+            values: vec![f64::INFINITY; len],
+            indices: vec![None; len],
+        }
+    }
+
+    /// Number of profile entries (`series length − ℓ + 1`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the profile has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Records a candidate neighbor, keeping the closer of the existing and
+    /// the new one.
+    #[inline]
+    pub fn offer(&mut self, i: usize, dist: f64, j: usize) {
+        if dist < self.values[i] {
+            self.values[i] = dist;
+            self.indices[i] = Some(j);
+        }
+    }
+
+    /// The profile minimum: `(offset, best-match offset, distance)` — the
+    /// motif pair of this length. `None` if every entry is infinite.
+    #[must_use]
+    pub fn min_entry(&self) -> Option<(usize, usize, f64)> {
+        let (i, &d) = self
+            .values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("profile distances are never NaN"))?;
+        let j = self.indices[i]?;
+        d.is_finite().then_some((i, j, d))
+    }
+
+    /// The profile maximum over finite entries — the top discord (the
+    /// subsequence farthest from everything else).
+    #[must_use]
+    pub fn max_entry(&self) -> Option<(usize, usize, f64)> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_finite())
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("profile distances are never NaN"))
+            .and_then(|(i, &d)| self.indices[i].map(|j| (i, j, d)))
+    }
+
+    /// The same profile with every distance divided by `√ℓ` — the paper's
+    /// length-normalized form, the building block of VALMAP.
+    #[must_use]
+    pub fn length_normalized_values(&self) -> Vec<f64> {
+        self.values.iter().map(|&d| znorm::length_normalized(d, self.window)).collect()
+    }
+
+    /// Asserts the structural invariants (equal lengths, non-NaN, finite
+    /// entries have indices). Used by tests and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    pub fn check_invariants(&self) {
+        assert_eq!(self.values.len(), self.indices.len());
+        for (i, (&d, &idx)) in self.values.iter().zip(&self.indices).enumerate() {
+            assert!(!d.is_nan(), "NaN distance at {i}");
+            if d.is_finite() {
+                let j = idx.unwrap_or_else(|| panic!("finite entry {i} lacks an index"));
+                assert!(j < self.values.len(), "index out of range at {i}");
+                let gap = i.abs_diff(j);
+                assert!(gap > self.exclusion, "trivial match recorded at {i} (j={j})");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::MatrixProfile;
+
+    #[test]
+    fn unfilled_profile_is_all_infinite() {
+        let mp = MatrixProfile::unfilled(8, 2, 5);
+        assert_eq!(mp.len(), 5);
+        assert!(!mp.is_empty());
+        assert!(mp.values.iter().all(|d| d.is_infinite()));
+        assert!(mp.min_entry().is_none());
+        assert!(mp.max_entry().is_none());
+    }
+
+    #[test]
+    fn offer_keeps_the_minimum() {
+        let mut mp = MatrixProfile::unfilled(8, 2, 4);
+        mp.offer(1, 5.0, 3);
+        mp.offer(1, 7.0, 0); // worse: ignored
+        mp.offer(1, 2.0, 3); // better: kept
+        assert_eq!(mp.values[1], 2.0);
+        assert_eq!(mp.indices[1], Some(3));
+    }
+
+    #[test]
+    fn min_and_max_entries() {
+        let mut mp = MatrixProfile::unfilled(8, 1, 4);
+        mp.offer(0, 3.0, 2);
+        mp.offer(1, 1.0, 3);
+        mp.offer(2, 9.0, 0);
+        assert_eq!(mp.min_entry(), Some((1, 3, 1.0)));
+        assert_eq!(mp.max_entry(), Some((2, 0, 9.0)));
+    }
+
+    #[test]
+    fn length_normalized_divides_by_sqrt_window() {
+        let mut mp = MatrixProfile::unfilled(16, 4, 2);
+        mp.offer(0, 8.0, 1);
+        let normed = mp.length_normalized_values();
+        assert!((normed[0] - 2.0).abs() < 1e-12);
+        assert!(normed[1].is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "trivial match")]
+    fn invariant_check_catches_trivial_matches() {
+        let mut mp = MatrixProfile::unfilled(8, 2, 6);
+        mp.offer(3, 1.0, 4); // gap 1 <= exclusion 2
+        mp.check_invariants();
+    }
+}

@@ -1,0 +1,118 @@
+//! STAMP (Matrix Profile I): one MASS distance profile per subsequence.
+//!
+//! STAMP costs O(n² log n) — asymptotically worse than STOMP — but its rows
+//! are independent, which historically made it the *anytime* engine: rows
+//! can be evaluated in any order and the profile converges monotonically.
+//! We keep it as a correctness cross-check, as the second fixed-length
+//! baseline, and to power partial/anytime computations.
+
+use valmod_series::Result;
+
+use crate::mass::DistanceProfiler;
+use crate::profile::MatrixProfile;
+use crate::validate_window;
+
+/// Exact fixed-length Matrix Profile via STAMP.
+///
+/// # Errors
+///
+/// [`valmod_series::SeriesError::TooShort`] via [`validate_window`].
+pub fn stamp(series: &[f64], l: usize, exclusion: usize) -> Result<MatrixProfile> {
+    let order: Vec<usize> = (0..series.len().saturating_sub(l) + 1).collect();
+    stamp_ordered(series, l, exclusion, &order)
+}
+
+/// STAMP restricted to (or reordered over) a chosen set of rows — the
+/// anytime form. Rows not listed keep infinite profile entries, but listed
+/// rows still see *all* candidate neighbors, so their entries are exact.
+///
+/// # Errors
+///
+/// [`valmod_series::SeriesError::TooShort`] via [`validate_window`].
+pub fn stamp_ordered(
+    series: &[f64],
+    l: usize,
+    exclusion: usize,
+    rows: &[usize],
+) -> Result<MatrixProfile> {
+    validate_window(series.len(), l)?;
+    let profiler = DistanceProfiler::new(series)?;
+    let m = series.len() - l + 1;
+    let mut mp = MatrixProfile::unfilled(l, exclusion, m);
+    for &i in rows {
+        if i >= m {
+            continue;
+        }
+        let profile = profiler.self_profile(i, l)?;
+        for (j, &d) in profile.iter().enumerate() {
+            if i.abs_diff(j) > exclusion {
+                mp.offer(i, d, j);
+                // The self-join is symmetric: credit the neighbor too. This
+                // is what makes partial STAMP converge quickly.
+                mp.offer(j, d, i);
+            }
+        }
+    }
+    Ok(mp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_exclusion;
+    use crate::stomp::stomp;
+    use valmod_series::gen;
+
+    #[test]
+    fn stamp_matches_stomp() {
+        let series = gen::ecg(350, &gen::EcgConfig::default(), 8);
+        for &l in &[8usize, 24] {
+            let excl = default_exclusion(l);
+            let a = stamp(&series, l, excl).unwrap();
+            let b = stomp(&series, l, excl).unwrap();
+            assert_eq!(a.len(), b.len());
+            for i in 0..a.len() {
+                assert!(
+                    (a.values[i] - b.values[i]).abs() < 1e-6,
+                    "mismatch at {i}: {} vs {}",
+                    a.values[i],
+                    b.values[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_stamp_entries_are_exact_for_computed_rows() {
+        let series = gen::random_walk(260, 14);
+        let l = 20;
+        let excl = default_exclusion(l);
+        let full = stamp(&series, l, excl).unwrap();
+        let partial = stamp_ordered(&series, l, excl, &[0, 50, 100]).unwrap();
+        for &i in &[0usize, 50, 100] {
+            assert!((partial.values[i] - full.values[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn out_of_range_rows_are_ignored() {
+        let series = gen::random_walk(100, 3);
+        let mp = stamp_ordered(&series, 10, 2, &[0, 5000]).unwrap();
+        assert_eq!(mp.len(), 91);
+    }
+
+    #[test]
+    fn anytime_order_converges_to_full_profile() {
+        let series = gen::sine_mix(200, &[(25.0, 1.0)], 0.1, 6);
+        let l = 12;
+        let excl = default_exclusion(l);
+        let full = stamp(&series, l, excl).unwrap();
+        // A random-ish permutation covering all rows must give the same result.
+        let m = series.len() - l + 1;
+        let rows: Vec<usize> = (0..m).map(|i| (i * 97) % m).collect();
+        let permuted = stamp_ordered(&series, l, excl, &rows).unwrap();
+        for i in 0..m {
+            assert!((full.values[i] - permuted.values[i]).abs() < 1e-9);
+        }
+    }
+}

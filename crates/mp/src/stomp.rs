@@ -1,0 +1,423 @@
+//! STOMP (Matrix Profile II): the O(n²) exact matrix-profile engine.
+//!
+//! STOMP's insight is that the dot product between windows `(i, j)` follows
+//! from the one between `(i−1, j−1)` in O(1):
+//!
+//! ```text
+//! QT(i, j) = QT(i−1, j−1) − t[i−1]·t[j−1] + t[i+ℓ−1]·t[j+ℓ−1]
+//! ```
+//!
+//! so the whole distance matrix streams row by row with O(1) work per cell.
+//! [`StompEngine::for_each_row`] exposes exactly that stream — VALMOD's
+//! first stage consumes it to harvest its partial distance profiles — and
+//! [`stomp`] / [`stomp_parallel`] fold it into a [`MatrixProfile`].
+
+use valmod_fft::sliding_dot_product;
+use valmod_series::stats::FLAT_EPS;
+use valmod_series::znorm::{dist_from_pearson, zdist_from_dot};
+use valmod_series::{Result, RollingStats};
+
+use crate::profile::MatrixProfile;
+use crate::{shifted, validate_window};
+
+/// Streaming access to the rows of the QT (dot-product) matrix for one
+/// series and window length.
+#[derive(Debug)]
+pub struct StompEngine {
+    values: Vec<f64>,
+    l: usize,
+    /// Number of subsequences, `n − ℓ + 1`.
+    m: usize,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    /// `QT(0, j)` for all `j` — also the start of every diagonal.
+    first_row: Vec<f64>,
+}
+
+impl StompEngine {
+    /// Precomputes statistics and the first QT row. O(n log n).
+    ///
+    /// # Errors
+    ///
+    /// [`valmod_series::SeriesError::TooShort`] via [`validate_window`].
+    pub fn new(series: &[f64], l: usize) -> Result<Self> {
+        validate_window(series.len(), l)?;
+        let values = shifted(series);
+        let stats = RollingStats::new(&values);
+        let m = values.len() - l + 1;
+        let means = stats.means_for_length(l);
+        let stds = stats.stds_for_length(l);
+        let first_row = sliding_dot_product(&values[..l], &values);
+        debug_assert_eq!(first_row.len(), m);
+        Ok(Self { values, l, m, means, stds, first_row })
+    }
+
+    /// Window length.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.l
+    }
+
+    /// Number of subsequences (profile length).
+    #[must_use]
+    pub fn num_windows(&self) -> usize {
+        self.m
+    }
+
+    /// Per-window means (shifted units — differences and z-normalized
+    /// quantities are unaffected by the shift).
+    #[must_use]
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-window standard deviations.
+    #[must_use]
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// The mean-shifted series values the engine works on.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Whether any window of this length is flat (σ ≈ 0). Engines take a
+    /// slower per-entry path when true.
+    #[must_use]
+    pub fn has_flat_windows(&self) -> bool {
+        self.stds.iter().any(|&s| s < FLAT_EPS)
+    }
+
+    /// Streams every QT row in offset order. `on_row(i, qt)` receives the
+    /// full dot-product row for subsequence `i` (length `m`, no exclusion
+    /// applied).
+    pub fn for_each_row(&self, mut on_row: impl FnMut(usize, &[f64])) {
+        let (l, m) = (self.l, self.m);
+        let t = &self.values;
+        let mut qt = self.first_row.clone();
+        on_row(0, &qt);
+        for i in 1..m {
+            // Descending j keeps qt[j-1] from the previous row available.
+            for j in (1..m).rev() {
+                qt[j] = (t[i + l - 1]).mul_add(t[j + l - 1], qt[j - 1] - t[i - 1] * t[j - 1]);
+            }
+            qt[0] = self.first_row[i]; // symmetry of the self-join
+            on_row(i, &qt);
+        }
+    }
+
+    /// Converts one QT row into z-normalized distances (the *distance
+    /// profile* of subsequence `i`), honoring the flat-window convention.
+    #[must_use]
+    pub fn distances_for_row(&self, i: usize, qt: &[f64]) -> Vec<f64> {
+        qt.iter()
+            .enumerate()
+            .map(|(j, &dot)| {
+                zdist_from_dot(dot, self.l, self.means[i], self.stds[i], self.means[j], self.stds[j])
+            })
+            .collect()
+    }
+}
+
+/// Exact fixed-length Matrix Profile via serial STOMP.
+///
+/// `exclusion` is the trivial-match half-width: window `j` is admissible
+/// for window `i` iff `|i − j| > exclusion`.
+///
+/// # Errors
+///
+/// [`valmod_series::SeriesError::TooShort`] via [`validate_window`].
+pub fn stomp(series: &[f64], l: usize, exclusion: usize) -> Result<MatrixProfile> {
+    let engine = StompEngine::new(series, l)?;
+    let m = engine.num_windows();
+    let mut mp = MatrixProfile::unfilled(l, exclusion, m);
+
+    if engine.has_flat_windows() {
+        // Slow path: per-entry distances with the flat conventions.
+        engine.for_each_row(|i, qt| {
+            for (j, &dot) in qt.iter().enumerate() {
+                if i.abs_diff(j) > exclusion {
+                    let d = zdist_from_dot(
+                        dot,
+                        l,
+                        engine.means[i],
+                        engine.stds[i],
+                        engine.means[j],
+                        engine.stds[j],
+                    );
+                    mp.offer(i, d, j);
+                }
+            }
+        });
+        return Ok(mp);
+    }
+
+    // Fast path: maximize correlation in a branch-light inner loop.
+    let inv_stds: Vec<f64> = engine.stds.iter().map(|&s| 1.0 / s).collect();
+    let lf = l as f64;
+    engine.for_each_row(|i, qt| {
+        let a_i = lf * engine.means[i];
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best_j = usize::MAX;
+        let lo = i.saturating_sub(exclusion);
+        let hi = (i + exclusion).min(m - 1);
+        let mut scan = |range: std::ops::Range<usize>| {
+            for j in range {
+                // score ∝ ρ(i, j); the positive factors common to the row
+                // are applied once after the scan.
+                let score = (qt[j] - a_i * engine.means[j]) * inv_stds[j];
+                if score > best_score {
+                    best_score = score;
+                    best_j = j;
+                }
+            }
+        };
+        scan(0..lo);
+        scan(hi + 1..m);
+        if best_j != usize::MAX {
+            let rho = best_score * inv_stds[i] / lf;
+            mp.offer(i, dist_from_pearson(rho, l), best_j);
+        }
+    });
+    Ok(mp)
+}
+
+/// Exact fixed-length Matrix Profile via diagonal-parallel STOMP.
+///
+/// The self-join distance matrix is symmetric, so it suffices to walk the
+/// diagonals above the exclusion band; along a diagonal the dot product
+/// updates in O(1) *independently of other diagonals*, which makes the
+/// traversal embarrassingly parallel (this is also how SCRIMP orders its
+/// computation). Falls back to the serial engine when flat windows are
+/// present (the rho-space merge is undefined for them) or when
+/// `threads <= 1`.
+///
+/// # Errors
+///
+/// [`valmod_series::SeriesError::TooShort`] via [`validate_window`].
+pub fn stomp_parallel(
+    series: &[f64],
+    l: usize,
+    exclusion: usize,
+    threads: usize,
+) -> Result<MatrixProfile> {
+    let engine = StompEngine::new(series, l)?;
+    if threads <= 1 || engine.has_flat_windows() {
+        return stomp(series, l, exclusion);
+    }
+    let m = engine.num_windows();
+    let lf = l as f64;
+    let inv_stds: Vec<f64> = engine.stds.iter().map(|&s| 1.0 / s).collect();
+    let t = &engine.values;
+    let first_diag = exclusion + 1;
+    if first_diag >= m {
+        return Ok(MatrixProfile::unfilled(l, exclusion, m));
+    }
+
+    // Each worker walks an interleaved subset of diagonals and records the
+    // best correlation per row locally; merging picks the max.
+    let num_workers = threads.min(m - first_diag);
+    let mut results: Vec<(Vec<f64>, Vec<usize>)> = Vec::with_capacity(num_workers);
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_workers);
+        for w in 0..num_workers {
+            let engine = &engine;
+            let inv_stds = &inv_stds;
+            handles.push(scope.spawn(move |_| {
+                let mut best = vec![f64::NEG_INFINITY; m];
+                let mut best_idx = vec![usize::MAX; m];
+                let mut k = first_diag + w;
+                while k < m {
+                    let mut qt = engine.first_row[k];
+                    for i in 0..m - k {
+                        let j = i + k;
+                        if i > 0 {
+                            qt = t[i + l - 1].mul_add(t[j + l - 1], qt - t[i - 1] * t[j - 1]);
+                        }
+                        let rho = (qt - lf * engine.means[i] * engine.means[j])
+                            * inv_stds[i]
+                            * inv_stds[j]
+                            / lf;
+                        if rho > best[i] {
+                            best[i] = rho;
+                            best_idx[i] = j;
+                        }
+                        if rho > best[j] {
+                            best[j] = rho;
+                            best_idx[j] = i;
+                        }
+                    }
+                    k += num_workers;
+                }
+                (best, best_idx)
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("stomp worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut mp = MatrixProfile::unfilled(l, exclusion, m);
+    for i in 0..m {
+        let (rho, j) = results
+            .iter()
+            .map(|(best, idx)| (best[i], idx[i]))
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("rho is never NaN"))
+            .expect("at least one worker");
+        if j != usize::MAX {
+            mp.offer(i, dist_from_pearson(rho, l), j);
+        }
+    }
+    Ok(mp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_exclusion;
+    use crate::mass::distance_profile_brute;
+    use valmod_series::gen;
+
+    /// Brute-force reference matrix profile.
+    fn brute_mp(series: &[f64], l: usize, exclusion: usize) -> MatrixProfile {
+        let m = series.len() - l + 1;
+        let mut mp = MatrixProfile::unfilled(l, exclusion, m);
+        for i in 0..m {
+            let profile = distance_profile_brute(series, i, l).unwrap();
+            for (j, &d) in profile.iter().enumerate() {
+                if i.abs_diff(j) > exclusion {
+                    mp.offer(i, d, j);
+                }
+            }
+        }
+        mp
+    }
+
+    fn assert_profiles_match(a: &MatrixProfile, b: &MatrixProfile, tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert!(
+                (a.values[i] - b.values[i]).abs() < tol,
+                "distance mismatch at {i}: {} vs {}",
+                a.values[i],
+                b.values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn stomp_matches_brute_force_on_random_walk() {
+        let series = gen::random_walk(300, 17);
+        for &l in &[8usize, 16, 50] {
+            let excl = default_exclusion(l);
+            let fast = stomp(&series, l, excl).unwrap();
+            let slow = brute_mp(&series, l, excl);
+            assert_profiles_match(&fast, &slow, 1e-6);
+            fast.check_invariants();
+        }
+    }
+
+    #[test]
+    fn stomp_matches_brute_force_on_ecg() {
+        let series = gen::ecg(400, &gen::EcgConfig::default(), 5);
+        let l = 32;
+        let excl = default_exclusion(l);
+        let fast = stomp(&series, l, excl).unwrap();
+        let slow = brute_mp(&series, l, excl);
+        assert_profiles_match(&fast, &slow, 1e-6);
+    }
+
+    #[test]
+    fn stomp_handles_flat_regions() {
+        let mut series = gen::white_noise(200, 3, 1.0);
+        for v in &mut series[80..130] {
+            *v = 2.0; // plateau: flat windows
+        }
+        let l = 16;
+        let excl = default_exclusion(l);
+        let fast = stomp(&series, l, excl).unwrap();
+        let slow = brute_mp(&series, l, excl);
+        assert_profiles_match(&fast, &slow, 1e-6);
+        // Two distinct flat windows match each other at distance 0.
+        let inside = 90;
+        assert!(fast.values[inside] < 1e-9);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let series = gen::astro(500, &gen::AstroConfig::default(), 21);
+        for &l in &[16usize, 64] {
+            let excl = default_exclusion(l);
+            let serial = stomp(&series, l, excl).unwrap();
+            for threads in [2usize, 3, 8] {
+                let parallel = stomp_parallel(&series, l, excl, threads).unwrap();
+                assert_profiles_match(&serial, &parallel, 1e-7);
+                parallel.check_invariants();
+            }
+        }
+    }
+
+    #[test]
+    fn planted_motif_is_the_profile_minimum() {
+        let pattern: Vec<f64> =
+            (0..60).map(|i| (i as f64 / 60.0 * std::f64::consts::TAU * 3.0).sin()).collect();
+        let (series, truth) = gen::planted_pair(3000, &pattern, &[500, 2100], 0.01, 13);
+        let l = truth.length;
+        let mp = stomp(&series, l, default_exclusion(l)).unwrap();
+        let (i, j, d) = mp.min_entry().unwrap();
+        let (lo, hi) = (i.min(j), i.max(j));
+        assert!(lo.abs_diff(truth.offsets[0]) <= 2, "found {lo} expected ~{}", truth.offsets[0]);
+        assert!(hi.abs_diff(truth.offsets[1]) <= 2, "found {hi} expected ~{}", truth.offsets[1]);
+        assert!(d < 0.5);
+    }
+
+    #[test]
+    fn exclusion_zone_is_respected() {
+        let series = gen::sine_mix(400, &[(40.0, 1.0)], 0.0, 2);
+        let mp = stomp(&series, 16, 20).unwrap();
+        for (i, idx) in mp.indices.iter().enumerate() {
+            if let Some(j) = idx {
+                assert!(i.abs_diff(*j) > 20);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_exclusion_leaves_profile_unfilled() {
+        let series = gen::random_walk(60, 4);
+        let mp = stomp(&series, 8, 1000).unwrap();
+        assert!(mp.min_entry().is_none());
+        assert!(mp.values.iter().all(|d| d.is_infinite()));
+        let par = stomp_parallel(&series, 8, 1000, 4).unwrap();
+        assert!(par.min_entry().is_none());
+    }
+
+    #[test]
+    fn engine_rejects_invalid_windows() {
+        let series = gen::random_walk(50, 4);
+        assert!(StompEngine::new(&series, 3).is_err());
+        assert!(StompEngine::new(&series, 49).is_err()); // no room for exclusion
+        assert!(StompEngine::new(&series, 36).is_ok()); // 36 + 9 + 1 = 46 ≤ 50
+    }
+
+    #[test]
+    fn rows_stream_matches_direct_dot_products() {
+        let series = gen::random_walk(120, 8);
+        let l = 10;
+        let engine = StompEngine::new(&series, l).unwrap();
+        let values = engine.values().to_vec();
+        engine.for_each_row(|i, qt| {
+            for (j, &dot) in qt.iter().enumerate() {
+                let direct: f64 =
+                    (0..l).map(|k| values[i + k] * values[j + k]).sum();
+                assert!(
+                    (dot - direct).abs() < 1e-7,
+                    "QT mismatch at ({i},{j}): {dot} vs {direct}"
+                );
+            }
+        });
+    }
+}

@@ -1,0 +1,279 @@
+//! Incremental (streaming) matrix profile — STAMPI (Matrix Profile I, §5).
+//!
+//! Monitoring scenarios append points one at a time; recomputing the
+//! profile from scratch costs O(n²) per point. STAMPI maintains the exact
+//! profile incrementally: each appended point creates one new window, and
+//! the dot products between the new window and all others follow from the
+//! previous append in O(1) each, so an append costs O(n).
+//!
+//! One subtlety is faithfully inherited from the literature: appends never
+//! *decrease* existing entries (a new neighbor can only improve a match),
+//! so the structure is exact at every step with no rescans.
+//!
+//! A second subtlety is **not** inherited: classic STAMPI keeps the
+//! original series statistics; this implementation recomputes the window
+//! statistics exactly on every append (O(1) amortized via running sums),
+//! so its output matches a batch STOMP run bit-for-bit on the same data.
+
+use valmod_series::znorm::zdist_from_dot;
+use valmod_series::{Result, SeriesError};
+
+use crate::profile::MatrixProfile;
+use crate::validate_window;
+
+/// An exact matrix profile maintained under point appends.
+///
+/// # Example
+///
+/// ```
+/// use valmod_mp::streaming::StreamingProfile;
+/// use valmod_mp::stomp::stomp;
+/// use valmod_series::gen;
+///
+/// let series = gen::sine_mix(300, &[(40.0, 1.0)], 0.05, 3);
+/// let mut sp = StreamingProfile::new(&series[..100], 16, 4).unwrap();
+/// for &v in &series[100..] {
+///     sp.append(v);
+/// }
+/// let batch = stomp(&series, 16, 4).unwrap();
+/// for i in 0..batch.len() {
+///     assert!((sp.profile().values[i] - batch.values[i]).abs() < 1e-6);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingProfile {
+    values: Vec<f64>,
+    l: usize,
+    exclusion: usize,
+    mp: MatrixProfile,
+    /// Dot products of the *latest* window against every window
+    /// (including itself), maintained across appends.
+    last_qt: Vec<f64>,
+    /// Running sum and sum of squares of the last `l` points.
+    win_sum: f64,
+    win_sum_sq: f64,
+    /// Per-window means and stds, grown as windows appear.
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StreamingProfile {
+    /// Bootstraps from an initial batch (computed with quadratic STOMP
+    /// semantics; the batch must already host at least two non-trivially
+    /// matching windows).
+    ///
+    /// # Errors
+    ///
+    /// [`SeriesError::TooShort`] via [`validate_window`],
+    /// [`SeriesError::NonFinite`] for non-finite values.
+    pub fn new(initial: &[f64], l: usize, exclusion: usize) -> Result<Self> {
+        validate_window(initial.len(), l)?;
+        if let Some(index) = initial.iter().position(|v| !v.is_finite()) {
+            return Err(SeriesError::NonFinite { index });
+        }
+        // NOTE: unlike the batch engines, the streaming profile cannot
+        // center by the global mean (the future is unknown). Distances are
+        // shift-invariant regardless; extreme-magnitude inputs simply lose
+        // a little precision, like in the original STAMPI.
+        let values = initial.to_vec();
+        let m = values.len() - l + 1;
+        let mut this = Self {
+            l,
+            exclusion,
+            mp: MatrixProfile::unfilled(l, exclusion, m),
+            last_qt: Vec::new(),
+            win_sum: values[values.len() - l..].iter().sum(),
+            win_sum_sq: values[values.len() - l..].iter().map(|v| v * v).sum(),
+            means: Vec::with_capacity(m),
+            stds: Vec::with_capacity(m),
+            values,
+        };
+        // Window statistics.
+        let mut s: f64 = this.values[..l].iter().sum();
+        let mut sq: f64 = this.values[..l].iter().map(|v| v * v).sum();
+        for i in 0..m {
+            if i > 0 {
+                s += this.values[i + l - 1] - this.values[i - 1];
+                sq += this.values[i + l - 1] * this.values[i + l - 1]
+                    - this.values[i - 1] * this.values[i - 1];
+            }
+            let mean = s / l as f64;
+            this.means.push(mean);
+            this.stds.push((sq / l as f64 - mean * mean).max(0.0).sqrt());
+        }
+        // Dot products of the last window vs all windows.
+        let last = m - 1;
+        this.last_qt = (0..m)
+            .map(|j| {
+                (0..l)
+                    .map(|k| this.values[last + k] * this.values[j + k])
+                    .sum()
+            })
+            .collect();
+        // Seed the profile with all pairs of the initial batch (quadratic,
+        // once). Reuse the batch engine for clarity and exactness.
+        this.mp = crate::stomp::stomp(&this.values, l, exclusion)?;
+        Ok(this)
+    }
+
+    /// The current exact matrix profile.
+    #[must_use]
+    pub fn profile(&self) -> &MatrixProfile {
+        &self.mp
+    }
+
+    /// The points consumed so far.
+    #[must_use]
+    pub fn series(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Appends one point and updates the profile exactly. O(n).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite input (streaming callers should validate at
+    /// the sensor boundary).
+    pub fn append(&mut self, value: f64) {
+        assert!(value.is_finite(), "streaming point must be finite");
+        let l = self.l;
+        self.values.push(value);
+        let n = self.values.len();
+        let new_i = n - l; // offset of the window that just appeared
+        let dropped = self.values[new_i - 1];
+
+        // Window statistics of the new window via running sums.
+        self.win_sum += value - dropped;
+        self.win_sum_sq += value * value - dropped * dropped;
+        let mean = self.win_sum / l as f64;
+        let std = (self.win_sum_sq / l as f64 - mean * mean).max(0.0).sqrt();
+        self.means.push(mean);
+        self.stds.push(std);
+
+        // QT(new, j) = QT(prev, j-1) − dropped·t[j−1] + value·t[j+l−1]
+        // (the previous last window starts one earlier). Walk j from high
+        // to low so prev values are still in place, then fill j = 0.
+        self.last_qt.push(0.0);
+        let m = new_i + 1;
+        for j in (1..m).rev() {
+            self.last_qt[j] = value.mul_add(
+                self.values[j + l - 1],
+                self.last_qt[j - 1] - dropped * self.values[j - 1],
+            );
+        }
+        self.last_qt[0] =
+            (0..l).map(|k| self.values[new_i + k] * self.values[k]).sum();
+
+        // Offer the new window against everything (symmetric updates).
+        self.mp.values.push(f64::INFINITY);
+        self.mp.indices.push(None);
+        for j in 0..m {
+            if new_i.abs_diff(j) <= self.exclusion {
+                continue;
+            }
+            // zdist_from_dot applies the flat-window conventions itself.
+            let d = zdist_from_dot(self.last_qt[j], l, mean, std, self.means[j], self.stds[j]);
+            self.mp.offer(new_i, d, j);
+            self.mp.offer(j, d, new_i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::StreamingProfile;
+    use crate::default_exclusion;
+    use crate::stomp::stomp;
+    use valmod_series::gen;
+
+    fn assert_matches_batch(series: &[f64], l: usize, warmup: usize) {
+        let excl = default_exclusion(l);
+        let mut sp = StreamingProfile::new(&series[..warmup], l, excl).unwrap();
+        for &v in &series[warmup..] {
+            sp.append(v);
+        }
+        let batch = stomp(series, l, excl).unwrap();
+        assert_eq!(sp.profile().len(), batch.len());
+        for i in 0..batch.len() {
+            assert!(
+                (sp.profile().values[i] - batch.values[i]).abs() < 1e-5,
+                "entry {i}: streaming {} vs batch {}",
+                sp.profile().values[i],
+                batch.values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_equals_batch_on_ecg() {
+        let series = gen::ecg(400, &gen::EcgConfig::default(), 6);
+        assert_matches_batch(&series, 24, 60);
+    }
+
+    #[test]
+    fn streaming_equals_batch_on_random_walk() {
+        let series = gen::random_walk(300, 16);
+        assert_matches_batch(&series, 12, 40);
+    }
+
+    #[test]
+    fn streaming_equals_batch_point_by_point() {
+        // The profile must be exact after EVERY append, not just at the end.
+        let series = gen::sine_mix(160, &[(25.0, 1.0)], 0.1, 4);
+        let l = 10;
+        let excl = default_exclusion(l);
+        let warmup = 40;
+        let mut sp = StreamingProfile::new(&series[..warmup], l, excl).unwrap();
+        for end in warmup + 1..=series.len() {
+            sp.append(series[end - 1]);
+            let batch = stomp(&series[..end], l, excl).unwrap();
+            for i in 0..batch.len() {
+                assert!(
+                    (sp.profile().values[i] - batch.values[i]).abs() < 1e-5,
+                    "after {end} points, entry {i} differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_handles_flat_appends() {
+        let mut series = gen::white_noise(120, 8, 1.0);
+        series.extend(std::iter::repeat_n(2.5, 60)); // plateau arrives
+        assert_matches_batch(&series, 12, 100);
+    }
+
+    #[test]
+    fn motif_appears_when_second_instance_streams_in() {
+        let pattern: Vec<f64> =
+            (0..30).map(|i| (i as f64 / 30.0 * std::f64::consts::TAU).sin()).collect();
+        let (series, truth) = gen::planted_pair(600, &pattern, &[100, 450], 0.01, 2);
+        let l = 30;
+        let excl = default_exclusion(l);
+        // Bootstrap before the second instance exists.
+        let mut sp = StreamingProfile::new(&series[..350], l, excl).unwrap();
+        let before = sp.profile().min_entry().unwrap().2;
+        for &v in &series[350..] {
+            sp.append(v);
+        }
+        let (i, j, after) = sp.profile().min_entry().unwrap();
+        assert!(after < before, "motif should improve the minimum");
+        let (lo, hi) = (i.min(j), i.max(j));
+        assert!(lo.abs_diff(truth.offsets[0]) <= 2);
+        assert!(hi.abs_diff(truth.offsets[1]) <= 2);
+    }
+
+    #[test]
+    fn rejects_bad_bootstrap() {
+        assert!(StreamingProfile::new(&[1.0, 2.0], 4, 1).is_err());
+        assert!(StreamingProfile::new(&[1.0, f64::NAN, 0.0, 1.0, 2.0, 3.0, 4.0], 4, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite_append() {
+        let series = gen::random_walk(50, 3);
+        let mut sp = StreamingProfile::new(&series, 8, 2).unwrap();
+        sp.append(f64::NAN);
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-engine integration tests on the field-science workloads
+//! (seismic, EPG) — datasets with sharp transients and flat-ish rests that
+//! stress different code paths than the smooth ECG/ASTRO generators.
+
+use valmod_mp::abjoin::abjoin;
+use valmod_mp::scrimp::scrimp;
+use valmod_mp::stamp::stamp;
+use valmod_mp::stomp::{stomp, stomp_parallel};
+use valmod_mp::streaming::StreamingProfile;
+use valmod_mp::default_exclusion;
+use valmod_series::gen;
+
+fn seismic(n: usize) -> Vec<f64> {
+    gen::seismic(n, &gen::SeismicConfig::default(), 40)
+}
+
+fn epg(n: usize) -> Vec<f64> {
+    gen::epg(n, &gen::EpgConfig::default(), 41)
+}
+
+#[test]
+fn all_engines_agree_on_seismic_data() {
+    let series = seismic(600);
+    let l = 32;
+    let excl = default_exclusion(l);
+    let reference = stomp(&series, l, excl).unwrap();
+    let others = [
+        ("stamp", stamp(&series, l, excl).unwrap()),
+        ("stomp_par", stomp_parallel(&series, l, excl, 3).unwrap()),
+        ("scrimp_full", scrimp(&series, l, excl, 1.0, 0).unwrap()),
+    ];
+    for (name, mp) in &others {
+        for i in 0..reference.len() {
+            assert!(
+                (reference.values[i] - mp.values[i]).abs() < 1e-5,
+                "{name} differs at {i}: {} vs {}",
+                reference.values[i],
+                mp.values[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn all_engines_agree_on_epg_data() {
+    let series = epg(500);
+    let l = 24;
+    let excl = default_exclusion(l);
+    let reference = stomp(&series, l, excl).unwrap();
+    let anytime = scrimp(&series, l, excl, 1.0, 3).unwrap();
+    for i in 0..reference.len() {
+        assert!((reference.values[i] - anytime.values[i]).abs() < 1e-5, "at {i}");
+    }
+}
+
+#[test]
+fn scrimp_is_deterministic_per_seed() {
+    let series = seismic(400);
+    let a = scrimp(&series, 16, 4, 0.4, 11).unwrap();
+    let b = scrimp(&series, 16, 4, 0.4, 11).unwrap();
+    assert_eq!(a, b);
+    let c = scrimp(&series, 16, 4, 0.4, 12).unwrap();
+    assert_ne!(a, c, "different seeds should sample different diagonals");
+}
+
+#[test]
+fn streaming_tracks_batch_on_transient_data() {
+    let series = seismic(500);
+    let l = 20;
+    let excl = default_exclusion(l);
+    let mut sp = StreamingProfile::new(&series[..120], l, excl).unwrap();
+    for &v in &series[120..] {
+        sp.append(v);
+    }
+    let batch = stomp(&series, l, excl).unwrap();
+    for i in 0..batch.len() {
+        assert!(
+            (sp.profile().values[i] - batch.values[i]).abs() < 1e-5,
+            "streaming drifts at {i}"
+        );
+    }
+}
+
+#[test]
+fn abjoin_directions_are_consistent() {
+    // Each direction's minimum must point at the same globally closest
+    // cross pair (the join matrix is shared; only the argmin dimension
+    // differs).
+    let a = seismic(300);
+    let b = epg(260);
+    let l = 16;
+    let join = abjoin(&a, &b, l).unwrap();
+    let (ia, jb, d_ab) = join.a_to_b.min_entry().unwrap();
+    let (jb2, ia2, d_ba) = join.b_to_a.min_entry().unwrap();
+    assert!((d_ab - d_ba).abs() < 1e-9, "global minima must match");
+    assert_eq!((ia, jb), (ia2, jb2), "and point at the same pair");
+}
+
+#[test]
+fn abjoin_of_different_length_series() {
+    let a = seismic(300);
+    let b = seismic(150);
+    let l = 24;
+    let join = abjoin(&a, &b, l).unwrap();
+    assert_eq!(join.a_to_b.len(), 300 - l + 1);
+    assert_eq!(join.b_to_a.len(), 150 - l + 1);
+    // Same generator family: close matches must exist in both directions.
+    assert!(join.a_to_b.min_entry().is_some());
+    assert!(join.b_to_a.min_entry().is_some());
+}

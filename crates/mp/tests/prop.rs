@@ -1,0 +1,92 @@
+//! Property tests for the matrix-profile engines.
+
+use proptest::prelude::*;
+use valmod_mp::mass::{distance_profile_brute, DistanceProfiler};
+use valmod_mp::motif::top_k_pairs;
+use valmod_mp::stamp::stamp;
+use valmod_mp::stomp::{stomp, stomp_parallel};
+use valmod_mp::default_exclusion;
+
+/// Series long enough to host interesting windows, values bounded so the
+/// numerics stay comparable to the brute-force reference.
+fn series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, 40..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MASS distance profiles equal the brute-force definition.
+    #[test]
+    fn mass_equals_brute(values in series(140), seed in 0usize..10_000) {
+        let l = 4 + seed % 12;
+        if valmod_mp::validate_window(values.len(), l).is_err() {
+            return Ok(());
+        }
+        let offset = seed % (values.len() - l + 1);
+        let profiler = DistanceProfiler::new(&values).unwrap();
+        let fast = profiler.self_profile(offset, l).unwrap();
+        let slow = distance_profile_brute(&values, offset, l).unwrap();
+        for (i, (x, y)) in fast.iter().zip(&slow).enumerate() {
+            prop_assert!((x - y).abs() < 1e-5, "at {}: {} vs {}", i, x, y);
+        }
+    }
+
+    /// STOMP, parallel STOMP and STAMP agree everywhere.
+    #[test]
+    fn engines_agree(values in series(120), l_seed in 0usize..8) {
+        let l = 4 + l_seed * 2;
+        if valmod_mp::validate_window(values.len(), l).is_err() {
+            return Ok(());
+        }
+        let excl = default_exclusion(l);
+        let a = stomp(&values, l, excl).unwrap();
+        let b = stamp(&values, l, excl).unwrap();
+        let c = stomp_parallel(&values, l, excl, 3).unwrap();
+        for i in 0..a.len() {
+            prop_assert!((a.values[i] - b.values[i]).abs() < 1e-5,
+                "stamp differs at {}: {} vs {}", i, a.values[i], b.values[i]);
+            prop_assert!((a.values[i] - c.values[i]).abs() < 1e-6,
+                "parallel differs at {}: {} vs {}", i, a.values[i], c.values[i]);
+        }
+    }
+
+    /// Profile invariants: symmetric-by-construction minima, exclusion
+    /// respected, distances within the theoretical bound 2√ℓ.
+    #[test]
+    fn profile_invariants(values in series(100), l_seed in 0usize..6) {
+        let l = 4 + l_seed * 3;
+        if valmod_mp::validate_window(values.len(), l).is_err() {
+            return Ok(());
+        }
+        let excl = default_exclusion(l);
+        let mp = stomp(&values, l, excl).unwrap();
+        mp.check_invariants();
+        let cap = 2.0 * (l as f64).sqrt() + 1e-6;
+        for (i, &d) in mp.values.iter().enumerate() {
+            prop_assert!(d.is_finite(), "entry {} should have a neighbor", i);
+            prop_assert!(d <= cap, "distance {} exceeds 2*sqrt(l) at {}", d, i);
+        }
+    }
+
+    /// top-k extraction: ascending distances, no overlapping pairs, at
+    /// most k results.
+    #[test]
+    fn top_k_selection_is_sound(values in series(100), k in 1usize..6) {
+        let l = 8;
+        if valmod_mp::validate_window(values.len(), l).is_err() {
+            return Ok(());
+        }
+        let mp = stomp(&values, l, default_exclusion(l)).unwrap();
+        let pairs = top_k_pairs(&mp, k);
+        prop_assert!(pairs.len() <= k);
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance);
+            prop_assert!(!w[0].overlaps(&w[1], mp.exclusion));
+        }
+        for p in &pairs {
+            prop_assert!(p.a < p.b);
+            prop_assert!(p.b - p.a > mp.exclusion);
+        }
+    }
+}

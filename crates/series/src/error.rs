@@ -1,0 +1,120 @@
+//! Error types shared by the whole suite.
+
+use std::fmt;
+
+/// Errors produced while constructing or processing data series.
+#[derive(Debug)]
+pub enum SeriesError {
+    /// The series contains no points.
+    Empty,
+    /// A value is NaN or infinite.
+    NonFinite {
+        /// Index of the offending value.
+        index: usize,
+    },
+    /// The series is shorter than an operation requires.
+    TooShort {
+        /// Actual series length.
+        len: usize,
+        /// Minimum length the operation needs.
+        needed: usize,
+    },
+    /// A subsequence request falls outside the series.
+    InvalidSubsequence {
+        /// Requested start offset.
+        offset: usize,
+        /// Requested subsequence length.
+        length: usize,
+        /// Length of the series.
+        series_len: usize,
+    },
+    /// A motif length range is malformed (`l_min` must satisfy
+    /// `4 ≤ l_min ≤ l_max`).
+    InvalidRange {
+        /// Requested minimum subsequence length.
+        l_min: usize,
+        /// Requested maximum subsequence length.
+        l_max: usize,
+    },
+    /// An I/O failure while reading or writing a series file.
+    Io(std::io::Error),
+    /// A line of a series file could not be parsed as a number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl fmt::Display for SeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "series is empty"),
+            Self::NonFinite { index } => {
+                write!(f, "series value at index {index} is not finite")
+            }
+            Self::TooShort { len, needed } => {
+                write!(f, "series of length {len} is too short (need at least {needed})")
+            }
+            Self::InvalidSubsequence { offset, length, series_len } => write!(
+                f,
+                "subsequence (offset={offset}, length={length}) exceeds series of length {series_len}"
+            ),
+            Self::InvalidRange { l_min, l_max } => {
+                write!(f, "invalid subsequence length range [{l_min}, {l_max}]")
+            }
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::Parse { line, token } => {
+                write!(f, "cannot parse {token:?} as a number on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SeriesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SeriesError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SeriesError;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(SeriesError, &str)> = vec![
+            (SeriesError::Empty, "empty"),
+            (SeriesError::NonFinite { index: 3 }, "index 3"),
+            (SeriesError::TooShort { len: 5, needed: 10 }, "length 5"),
+            (
+                SeriesError::InvalidSubsequence { offset: 9, length: 4, series_len: 10 },
+                "offset=9",
+            ),
+            (SeriesError::InvalidRange { l_min: 10, l_max: 5 }, "[10, 5]"),
+            (SeriesError::Parse { line: 7, token: "abc".into() }, "line 7"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: SeriesError = io.into();
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Field-science generators for the demo's remaining scenarios:
+//! seismology and entomology (paper §4, "Need for Variable Length
+//! Motifs ... as well as datasets coming from the domains of Entomology
+//! and Seismology").
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::noise::gaussian;
+
+/// Parameters of the synthetic seismogram.
+#[derive(Debug, Clone)]
+pub struct SeismicConfig {
+    /// Expected events per 10 000 samples.
+    pub event_rate: f64,
+    /// Mean duration of an event's coda (exponentially decaying ringing).
+    pub event_len: usize,
+    /// Uniform jitter on the duration (fraction of `event_len`).
+    pub event_jitter: f64,
+    /// Microseismic background noise level.
+    pub noise_std: f64,
+}
+
+impl Default for SeismicConfig {
+    fn default() -> Self {
+        Self { event_rate: 6.0, event_len: 220, event_jitter: 0.35, noise_std: 0.05 }
+    }
+}
+
+/// Synthetic seismogram: quiet microseismic background with repeating
+/// earthquake-like events — a sharp P-arrival, a stronger S-arrival, and
+/// an exponentially decaying oscillatory coda. Events recur with similar
+/// waveforms (repeating earthquakes from the same fault patch) but their
+/// durations vary strongly, which is why seismology needs variable-length
+/// motif search.
+#[must_use]
+pub fn seismic(n: usize, config: &SeismicConfig, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5e15_0123_dead_bee5);
+    let mut out = vec![0.0f64; n];
+    for v in &mut out {
+        *v = gaussian(&mut rng) * config.noise_std;
+    }
+    let p_event = config.event_rate / 10_000.0;
+    let mut t = 0usize;
+    while t < n {
+        if rng.gen::<f64>() < p_event {
+            let jitter = 1.0 + config.event_jitter * (2.0 * rng.gen::<f64>() - 1.0);
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let len = ((config.event_len as f64 * jitter) as usize).max(24);
+            let s_arrival = len / 4;
+            let freq = 0.35 + 0.05 * (rng.gen::<f64>() - 0.5);
+            let phase = rng.gen::<f64>() * std::f64::consts::TAU;
+            for k in 0..len {
+                if t + k >= n {
+                    break;
+                }
+                let x = k as f64;
+                // P wave: weak, fast-decaying; S wave: strong, slower decay.
+                let p = 0.6 * (-x / (len as f64 * 0.08)).exp();
+                let s = if k >= s_arrival {
+                    let y = (k - s_arrival) as f64;
+                    1.8 * (-y / (len as f64 * 0.3)).exp()
+                } else {
+                    0.0
+                };
+                out[t + k] += (p + s) * (freq * x + phase).sin();
+            }
+            t += len; // refractory period: events do not overlap
+        } else {
+            t += 1;
+        }
+    }
+    out
+}
+
+/// Parameters of the synthetic insect EPG (electrical penetration graph).
+#[derive(Debug, Clone)]
+pub struct EpgConfig {
+    /// Mean duration of a probing bout.
+    pub bout_len: usize,
+    /// Jitter on the bout duration (fraction of `bout_len`).
+    pub bout_jitter: f64,
+    /// Fraction of time spent in the non-probing (resting) state.
+    pub rest_fraction: f64,
+    /// Sensor noise level.
+    pub noise_std: f64,
+}
+
+impl Default for EpgConfig {
+    fn default() -> Self {
+        Self { bout_len: 150, bout_jitter: 0.3, rest_fraction: 0.4, noise_std: 0.04 }
+    }
+}
+
+/// Synthetic insect feeding signal (EPG): alternating resting baselines
+/// and stereotyped probing bouts — a voltage drop followed by rhythmic
+/// stylet waves whose repetition count (hence bout duration) varies.
+/// This is the entomology use case of the demo: the *pattern* is fixed,
+/// its *length* is not.
+#[must_use]
+pub fn epg(n: usize, config: &EpgConfig, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xe9_6bf1_77aa_c0de);
+    let mut out = Vec::with_capacity(n);
+    let bout_len = config.bout_len.max(16);
+    while out.len() < n {
+        if rng.gen::<f64>() < config.rest_fraction {
+            // Resting: slowly drifting baseline.
+            let rest = bout_len / 2 + (rng.gen::<f64>() * bout_len as f64 * 0.5) as usize;
+            let level = 0.8 + 0.1 * gaussian(&mut rng);
+            for k in 0..rest {
+                if out.len() >= n {
+                    break;
+                }
+                let drift = 0.02 * (k as f64 / rest as f64);
+                out.push(level + drift + gaussian(&mut rng) * config.noise_std);
+            }
+        } else {
+            // Probing bout: drop, rhythmic waves, recovery.
+            let jitter = 1.0 + config.bout_jitter * (2.0 * rng.gen::<f64>() - 1.0);
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let len = ((bout_len as f64 * jitter) as usize).max(16);
+            let wave_period = 18.0 + 2.0 * (rng.gen::<f64>() - 0.5);
+            for k in 0..len {
+                if out.len() >= n {
+                    break;
+                }
+                let x = k as f64 / len as f64;
+                let envelope = (x * std::f64::consts::PI).sin();
+                let wave = 0.35 * (k as f64 / wave_period * std::f64::consts::TAU).sin();
+                out.push(0.2 - 0.6 * envelope + envelope * wave
+                    + gaussian(&mut rng) * config.noise_std);
+            }
+        }
+    }
+    out.truncate(n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seismic_has_quiet_background_and_loud_events() {
+        let cfg = SeismicConfig::default();
+        let s = seismic(30_000, &cfg, 5);
+        assert_eq!(s.len(), 30_000);
+        let max = s.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > 6.0 * cfg.noise_std, "no events visible: max {max}");
+        // The background (median magnitude) stays near the noise floor.
+        let mut mags: Vec<f64> = s.iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = mags[mags.len() / 2];
+        assert!(median < 3.0 * cfg.noise_std, "background too loud: {median}");
+    }
+
+    #[test]
+    fn seismic_is_deterministic_and_finite() {
+        let cfg = SeismicConfig::default();
+        assert_eq!(seismic(2000, &cfg, 1), seismic(2000, &cfg, 1));
+        assert!(seismic(2000, &cfg, 2).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn epg_alternates_rest_and_bouts() {
+        let cfg = EpgConfig::default();
+        let s = epg(20_000, &cfg, 9);
+        assert_eq!(s.len(), 20_000);
+        // Resting sits near +0.8; bouts dive below 0; both must occur.
+        let lows = s.iter().filter(|&&v| v < -0.1).count();
+        let highs = s.iter().filter(|&&v| v > 0.6).count();
+        assert!(lows > 500, "no probing bouts: {lows}");
+        assert!(highs > 500, "no resting baseline: {highs}");
+    }
+
+    #[test]
+    fn epg_zero_length_and_determinism() {
+        let cfg = EpgConfig::default();
+        assert!(epg(0, &cfg, 1).is_empty());
+        assert_eq!(epg(512, &cfg, 3), epg(512, &cfg, 3));
+    }
+}

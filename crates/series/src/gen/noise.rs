@@ -1,0 +1,105 @@
+//! Background-process generators: Gaussian noise, random walks, sine mixes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws one standard-normal sample using the Box-Muller transform.
+///
+/// `rand` (without `rand_distr`) only offers uniform samples, so the normal
+/// transform is implemented here.
+#[must_use]
+pub fn gaussian(rng: &mut SmallRng) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Gaussian white noise of length `n` with the given standard deviation.
+#[must_use]
+pub fn white_noise(n: usize, seed: u64, std: f64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    (0..n).map(|_| gaussian(&mut rng) * std).collect()
+}
+
+/// A standard Gaussian random walk of length `n` (the classic
+/// matrix-profile benchmark background).
+#[must_use]
+pub fn random_walk(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
+    let mut acc = 0.0;
+    (0..n)
+        .map(|_| {
+            acc += gaussian(&mut rng);
+            acc
+        })
+        .collect()
+}
+
+/// A sum of sinusoids plus Gaussian noise.
+///
+/// `components` is a list of `(period, amplitude)` pairs in sample units.
+#[must_use]
+pub fn sine_mix(n: usize, components: &[(f64, f64)], noise_std: f64, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1234_5678_9abc_def0);
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let signal: f64 = components
+                .iter()
+                .map(|&(period, amp)| amp * (2.0 * std::f64::consts::PI * t / period).sin())
+                .sum();
+            signal + gaussian(&mut rng) * noise_std
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn white_noise_scales_with_std() {
+        let a = white_noise(5000, 1, 1.0);
+        let b = white_noise(5000, 1, 3.0);
+        let va = a.iter().map(|x| x * x).sum::<f64>() / a.len() as f64;
+        let vb = b.iter().map(|x| x * x).sum::<f64>() / b.len() as f64;
+        assert!((vb / va - 9.0).abs() < 1.0, "ratio {}", vb / va);
+    }
+
+    #[test]
+    fn random_walk_is_cumulative() {
+        let w = random_walk(10, 5);
+        assert_eq!(w.len(), 10);
+        // Steps between consecutive points should be O(1), not O(position).
+        for pair in w.windows(2) {
+            assert!((pair[1] - pair[0]).abs() < 10.0);
+        }
+    }
+
+    #[test]
+    fn sine_mix_without_noise_is_periodic() {
+        let s = sine_mix(400, &[(100.0, 2.0)], 0.0, 0);
+        for i in 0..300 {
+            assert!((s[i] - s[i + 100]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_length_requests_yield_empty() {
+        assert!(white_noise(0, 1, 1.0).is_empty());
+        assert!(random_walk(0, 1).is_empty());
+        assert!(sine_mix(0, &[(10.0, 1.0)], 0.0, 1).is_empty());
+    }
+}

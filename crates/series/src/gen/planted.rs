@@ -1,0 +1,133 @@
+//! Ground-truth workloads: series with motifs planted at known offsets.
+//!
+//! Tests across the suite use these to assert that each motif-discovery
+//! algorithm recovers exactly the planted pair.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use super::noise::gaussian;
+
+/// Description of a planted motif instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedMotif {
+    /// Offsets at which the pattern was embedded.
+    pub offsets: Vec<usize>,
+    /// Length of the pattern.
+    pub length: usize,
+}
+
+/// Builds a random-walk background of length `n` and embeds `pattern`
+/// (scaled to have a large signal-to-noise ratio against the background)
+/// at each of the given offsets, perturbing each instance with Gaussian
+/// noise of standard deviation `instance_noise`.
+///
+/// Returns the series and the [`PlantedMotif`] ground truth.
+///
+/// # Panics
+///
+/// Panics if any instance would not fit in the series or if two instances
+/// overlap — the ground truth would be ambiguous otherwise.
+#[must_use]
+pub fn planted_pair(
+    n: usize,
+    pattern: &[f64],
+    offsets: &[usize],
+    instance_noise: f64,
+    seed: u64,
+) -> (Vec<f64>, PlantedMotif) {
+    let m = pattern.len();
+    assert!(m >= 2, "pattern must have at least 2 points");
+    let mut sorted = offsets.to_vec();
+    sorted.sort_unstable();
+    for pair in sorted.windows(2) {
+        assert!(pair[1] - pair[0] >= m, "planted instances must not overlap");
+    }
+    for &o in offsets {
+        assert!(o + m <= n, "instance at {o} (length {m}) exceeds series length {n}");
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x91ac_83fe_0246_8bdf);
+    // Smooth low-variance background so the planted pattern dominates.
+    let mut series = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for _ in 0..n {
+        acc += 0.08 * gaussian(&mut rng);
+        series.push(acc);
+    }
+
+    // Normalize the pattern to unit std so the SNR is controlled.
+    let mean = pattern.iter().sum::<f64>() / m as f64;
+    let std = (pattern.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / m as f64)
+        .sqrt()
+        .max(1e-9);
+    for &o in offsets {
+        let base = series[o];
+        for (k, &p) in pattern.iter().enumerate() {
+            let shaped = (p - mean) / std * 3.0;
+            series[o + k] = base + shaped + gaussian(&mut rng) * instance_noise;
+        }
+        // Stitch the background back to the end of the instance so later
+        // points continue from a sane level.
+        if o + m < n {
+            let jump = series[o + m - 1] - series[o + m];
+            for v in &mut series[o + m..] {
+                *v += jump;
+            }
+        }
+    }
+
+    (series, PlantedMotif { offsets: offsets.to_vec(), length: m })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::planted_pair;
+    use crate::znorm::zdist;
+
+    fn wave(len: usize) -> Vec<f64> {
+        (0..len).map(|i| (i as f64 / len as f64 * std::f64::consts::TAU * 2.0).sin()).collect()
+    }
+
+    #[test]
+    fn planted_instances_are_mutually_close() {
+        let pattern = wave(50);
+        let (series, truth) = planted_pair(2000, &pattern, &[300, 1200], 0.01, 9);
+        assert_eq!(series.len(), 2000);
+        let a = &series[300..350];
+        let b = &series[1200..1250];
+        let d_pair = zdist(a, b);
+        // The two instances must be far closer to each other than to an
+        // arbitrary background window.
+        let c = &series[700..750];
+        let d_background = zdist(a, c);
+        assert!(d_pair < 0.3 * d_background, "pair {d_pair} vs background {d_background}");
+        assert_eq!(truth.offsets, vec![300, 1200]);
+        assert_eq!(truth.length, 50);
+    }
+
+    #[test]
+    fn multiple_instances_supported() {
+        let pattern = wave(30);
+        let (series, truth) = planted_pair(1500, &pattern, &[100, 600, 1100], 0.0, 4);
+        assert_eq!(truth.offsets.len(), 3);
+        for w in truth.offsets.windows(2) {
+            let d = zdist(&series[w[0]..w[0] + 30], &series[w[1]..w[1] + 30]);
+            assert!(d < 0.5, "instances {w:?} differ by {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not overlap")]
+    fn overlapping_offsets_are_rejected() {
+        let pattern = wave(40);
+        let _ = planted_pair(500, &pattern, &[100, 120], 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds series length")]
+    fn out_of_bounds_offset_is_rejected() {
+        let pattern = wave(40);
+        let _ = planted_pair(100, &pattern, &[80], 0.0, 1);
+    }
+}

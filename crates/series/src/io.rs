@@ -1,0 +1,155 @@
+//! Plain-text series I/O.
+//!
+//! The format matches what the original VALMOD C implementation consumed:
+//! one value per line (comma- or whitespace-separated values on a line are
+//! also accepted), `#`-prefixed comment lines skipped.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::{DataSeries, Result, SeriesError};
+
+/// Reads a data series from a text file.
+///
+/// # Errors
+///
+/// I/O failures, unparsable tokens (with line numbers), or an empty /
+/// non-finite series are reported as [`SeriesError`]s.
+pub fn read_series(path: impl AsRef<Path>) -> Result<DataSeries> {
+    let file = File::open(path)?;
+    read_series_from(BufReader::new(file))
+}
+
+/// Reads a data series from any buffered reader (used directly by tests and
+/// by the CLI when reading stdin).
+///
+/// # Errors
+///
+/// Same conditions as [`read_series`].
+pub fn read_series_from(reader: impl BufRead) -> Result<DataSeries> {
+    let mut values = Vec::new();
+    for (line_idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        for token in trimmed.split(|c: char| c == ',' || c.is_whitespace()) {
+            if token.is_empty() {
+                continue;
+            }
+            let value: f64 = token.parse().map_err(|_| SeriesError::Parse {
+                line: line_idx + 1,
+                token: token.to_string(),
+            })?;
+            values.push(value);
+        }
+    }
+    DataSeries::new(values)
+}
+
+/// Writes a series to a text file, one value per line, full round-trip
+/// precision.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_series(path: impl AsRef<Path>, values: &[f64]) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for v in values {
+        // `{:?}` on f64 prints the shortest representation that round-trips.
+        writeln!(w, "{v:?}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_one_value_per_line() {
+        let s = read_series_from(Cursor::new("1.5\n-2\n3e2\n")).unwrap();
+        assert_eq!(s.values(), &[1.5, -2.0, 300.0]);
+    }
+
+    #[test]
+    fn parses_csv_and_whitespace_mixes() {
+        let s = read_series_from(Cursor::new("1, 2,3\n 4\t5 \n")).unwrap();
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let s = read_series_from(Cursor::new("# header\n\n1\n# trailing\n2\n")).unwrap();
+        assert_eq!(s.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        match read_series_from(Cursor::new("1\n2\nnot_a_number\n")) {
+            Err(SeriesError::Parse { line, token }) => {
+                assert_eq!(line, 3);
+                assert_eq!(token, "not_a_number");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(
+            read_series_from(Cursor::new("# only comments\n")),
+            Err(SeriesError::Empty)
+        ));
+    }
+
+
+    #[test]
+    fn handles_crlf_and_mixed_delimiters() {
+        let s = read_series_from(Cursor::new("1\r\n2, 3\r\n\t4 ,5\r\n")).unwrap();
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn parses_scientific_notation_and_signs() {
+        let s = read_series_from(Cursor::new("+1.5e3\n-2.25E-2\n0.0\n")).unwrap();
+        assert_eq!(s.values(), &[1500.0, -0.0225, 0.0]);
+    }
+
+    #[test]
+    fn rejects_textual_infinities_as_non_finite() {
+        // "inf" parses as f64::INFINITY, which the series constructor
+        // rejects: files cannot smuggle non-finite values in.
+        match read_series_from(Cursor::new("1\ninf\n2\n")) {
+            Err(SeriesError::NonFinite { index }) => assert_eq!(index, 1),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        assert!(matches!(
+            read_series_from(Cursor::new("NaN\n")),
+            Err(SeriesError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let dir = std::env::temp_dir().join("valmod_series_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.txt");
+        let values = vec![0.1, -2.5, 1e-12, 123_456.789, f64::MIN_POSITIVE];
+        write_series(&path, &values).unwrap();
+        let back = read_series(&path).unwrap();
+        assert_eq!(back.values(), values.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_series("/definitely/not/a/real/path.txt").unwrap_err();
+        assert!(matches!(err, SeriesError::Io(_)));
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Data-series substrate for the VALMOD suite.
+//!
+//! Everything in the suite — matrix profiles, VALMOD itself, the baselines —
+//! is built on four primitives provided here:
+//!
+//! * [`DataSeries`] — a validated, immutable series of finite `f64` values;
+//! * [`RollingStats`] — O(1) mean / standard deviation of any subsequence,
+//!   backed by prefix sums (the paper's "meta data computed once" step);
+//! * [`znorm`] — z-normalized Euclidean distance, in both the direct form
+//!   and the dot-product form `d² = 2ℓ(1 − ρ)` every engine uses;
+//! * [`gen`] — synthetic workload generators standing in for the paper's
+//!   ECG and ASTRO recordings (see DESIGN.md §4 for the substitution
+//!   rationale).
+//!
+//! # Example
+//!
+//! ```
+//! use valmod_series::{DataSeries, RollingStats, znorm};
+//!
+//! let series = DataSeries::new(vec![0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 1.0]).unwrap();
+//! let stats = RollingStats::new(series.values());
+//! // The two ramps are identical after z-normalization.
+//! let d = znorm::zdist(series.subsequence(0, 4).unwrap(),
+//!                      series.subsequence(4, 4).unwrap());
+//! assert!(d < 1e-9);
+//! assert!((stats.mean(0, 4) - 1.0).abs() < 1e-12);
+//! ```
+
+mod error;
+pub mod gen;
+pub mod io;
+mod series;
+pub mod stats;
+pub mod znorm;
+
+pub use error::SeriesError;
+pub use series::DataSeries;
+pub use stats::RollingStats;
+
+/// Convenience alias used across the suite.
+pub type Result<T> = std::result::Result<T, SeriesError>;

@@ -1,0 +1,178 @@
+//! The validated data-series container.
+
+use crate::{Result, SeriesError};
+
+/// An immutable data series of finite `f64` values.
+///
+/// Validation happens once at construction; every algorithm downstream can
+/// then assume finite values and index arithmetic that stays in bounds.
+///
+/// # Example
+///
+/// ```
+/// use valmod_series::DataSeries;
+///
+/// let s = DataSeries::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.num_subsequences(2), 3);
+/// assert_eq!(s.subsequence(1, 2).unwrap(), &[2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSeries {
+    values: Vec<f64>,
+}
+
+impl DataSeries {
+    /// Wraps a vector of values, validating that it is non-empty and fully
+    /// finite.
+    ///
+    /// # Errors
+    ///
+    /// [`SeriesError::Empty`] for an empty vector,
+    /// [`SeriesError::NonFinite`] if any value is NaN or infinite.
+    pub fn new(values: Vec<f64>) -> Result<Self> {
+        if values.is_empty() {
+            return Err(SeriesError::Empty);
+        }
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(SeriesError::NonFinite { index });
+        }
+        Ok(Self { values })
+    }
+
+    /// Builds a series by evaluating `f` at `0..n`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DataSeries::new`].
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> f64) -> Result<Self> {
+        Self::new((0..n).map(f).collect())
+    }
+
+    /// Number of points in the series.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series holds no points (never true for a constructed
+    /// series, but required by convention alongside `len`).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw values.
+    #[inline]
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of subsequences of length `l`, i.e. `len − l + 1`, or zero if
+    /// the series is shorter than `l`.
+    #[inline]
+    #[must_use]
+    pub fn num_subsequences(&self, l: usize) -> usize {
+        if l == 0 || l > self.values.len() {
+            0
+        } else {
+            self.values.len() - l + 1
+        }
+    }
+
+    /// Borrow the subsequence starting at `offset` with length `length`
+    /// (the paper's `D_{offset,length}` notation).
+    ///
+    /// # Errors
+    ///
+    /// [`SeriesError::InvalidSubsequence`] when the window does not fit.
+    pub fn subsequence(&self, offset: usize, length: usize) -> Result<&[f64]> {
+        if length == 0 || offset.checked_add(length).is_none_or(|end| end > self.values.len()) {
+            return Err(SeriesError::InvalidSubsequence {
+                offset,
+                length,
+                series_len: self.values.len(),
+            });
+        }
+        Ok(&self.values[offset..offset + length])
+    }
+
+    /// Consumes the series, returning the underlying vector.
+    #[must_use]
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+impl AsRef<[f64]> for DataSeries {
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl std::ops::Index<usize> for DataSeries {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.values[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DataSeries;
+    use crate::SeriesError;
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(DataSeries::new(vec![]), Err(SeriesError::Empty)));
+    }
+
+    #[test]
+    fn rejects_nan_and_infinity_with_index() {
+        match DataSeries::new(vec![1.0, f64::NAN, 2.0]) {
+            Err(SeriesError::NonFinite { index }) => assert_eq!(index, 1),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        match DataSeries::new(vec![1.0, 2.0, f64::INFINITY]) {
+            Err(SeriesError::NonFinite { index }) => assert_eq!(index, 2),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_fn_builds_expected_values() {
+        let s = DataSeries::from_fn(4, |i| i as f64 * 2.0).unwrap();
+        assert_eq!(s.values(), &[0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn num_subsequences_edge_cases() {
+        let s = DataSeries::new(vec![0.0; 10]).unwrap();
+        assert_eq!(s.num_subsequences(1), 10);
+        assert_eq!(s.num_subsequences(10), 1);
+        assert_eq!(s.num_subsequences(11), 0);
+        assert_eq!(s.num_subsequences(0), 0);
+    }
+
+    #[test]
+    fn subsequence_bounds_are_enforced() {
+        let s = DataSeries::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.subsequence(0, 3).unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.subsequence(2, 1).unwrap(), &[3.0]);
+        assert!(s.subsequence(2, 2).is_err());
+        assert!(s.subsequence(0, 0).is_err());
+        assert!(s.subsequence(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn indexing_and_as_ref() {
+        let s = DataSeries::new(vec![5.0, 6.0]).unwrap();
+        assert_eq!(s[1], 6.0);
+        assert_eq!(s.as_ref().len(), 2);
+        assert_eq!(s.clone().into_values(), vec![5.0, 6.0]);
+    }
+}

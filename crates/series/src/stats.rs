@@ -1,0 +1,313 @@
+//! O(1) rolling statistics from prefix sums.
+//!
+//! Every matrix-profile-family algorithm needs the mean and standard
+//! deviation of *every* subsequence at *every* length in the query range.
+//! Following the matrix-profile papers, we precompute prefix sums of the
+//! values and their squares once (O(n)), after which any `(offset, length)`
+//! window's mean and standard deviation cost O(1).
+//!
+//! To keep the `E[x²] − μ²` form numerically safe for long, drifting series
+//! (e.g. random walks), the series is shifted by its global mean before the
+//! prefix sums are built. The shift leaves z-normalized quantities unchanged
+//! (z-normalization is shift-invariant) but keeps the squared sums small.
+
+/// Standard deviations below this threshold are treated as zero: the window
+/// is *flat* and has no meaningful z-normalized shape.
+pub const FLAT_EPS: f64 = 1e-13;
+
+/// Fast-path variances below this threshold are recomputed exactly from the
+/// stored values: the `E[x²] − μ²` cancellation can leave ~1e-14 of noise,
+/// which would otherwise misclassify exactly-flat windows against
+/// [`FLAT_EPS`].
+const VAR_RECHECK: f64 = 1e-9;
+
+/// Prefix-sum engine giving O(1) mean/std of any subsequence.
+///
+/// # Example
+///
+/// ```
+/// use valmod_series::RollingStats;
+///
+/// let stats = RollingStats::new(&[1.0, 2.0, 3.0, 4.0]);
+/// assert!((stats.mean(0, 4) - 2.5).abs() < 1e-12);
+/// assert!((stats.mean(1, 2) - 2.5).abs() < 1e-12);
+/// // Population std of [1,2]: 0.5
+/// assert!((stats.std(0, 2) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RollingStats {
+    /// `prefix[i]` = Σ of the first `i` shifted values.
+    prefix: Vec<f64>,
+    /// `prefix_sq[i]` = Σ of the first `i` squared shifted values.
+    prefix_sq: Vec<f64>,
+    /// The shifted values, kept for the exact small-variance recheck.
+    shifted: Vec<f64>,
+    /// The global mean subtracted from every value before summing.
+    shift: f64,
+    len: usize,
+}
+
+impl RollingStats {
+    /// Builds the prefix sums in O(n).
+    #[must_use]
+    pub fn new(values: &[f64]) -> Self {
+        let len = values.len();
+        let shift = if len == 0 {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / len as f64
+        };
+        let mut prefix = Vec::with_capacity(len + 1);
+        let mut prefix_sq = Vec::with_capacity(len + 1);
+        prefix.push(0.0);
+        prefix_sq.push(0.0);
+        let mut shifted = Vec::with_capacity(len);
+        let (mut acc, mut acc_sq) = (0.0f64, 0.0f64);
+        for &v in values {
+            let x = v - shift;
+            acc += x;
+            acc_sq = x.mul_add(x, acc_sq);
+            prefix.push(acc);
+            prefix_sq.push(acc_sq);
+            shifted.push(x);
+        }
+        Self { prefix, prefix_sq, shifted, shift, len }
+    }
+
+    /// Number of points covered by this engine.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the engine covers an empty series.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sum of the window `[offset, offset+length)` in original units.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) if the window exceeds the series; all
+    /// callers inside the suite iterate over validated window ranges.
+    #[inline]
+    #[must_use]
+    pub fn sum(&self, offset: usize, length: usize) -> f64 {
+        self.shifted_sum(offset, length) + self.shift * length as f64
+    }
+
+    /// Mean of the window `[offset, offset+length)`.
+    #[inline]
+    #[must_use]
+    pub fn mean(&self, offset: usize, length: usize) -> f64 {
+        debug_assert!(length > 0);
+        self.shifted_sum(offset, length) / length as f64 + self.shift
+    }
+
+    /// Population variance of the window (never negative; tiny negative
+    /// rounding artifacts are clamped to zero).
+    #[inline]
+    #[must_use]
+    pub fn var(&self, offset: usize, length: usize) -> f64 {
+        debug_assert!(length > 0);
+        let l = length as f64;
+        let s = self.shifted_sum(offset, length);
+        let sq = self.prefix_sq[offset + length] - self.prefix_sq[offset];
+        let mean = s / l;
+        let fast = (sq / l - mean * mean).max(0.0);
+        if fast >= VAR_RECHECK {
+            return fast;
+        }
+        // Near-zero result: the prefix-sum cancellation noise can dominate,
+        // so recompute exactly from the stored values (rare, O(length)).
+        let window = &self.shifted[offset..offset + length];
+        let exact_mean = window.iter().sum::<f64>() / l;
+        window.iter().map(|x| (x - exact_mean) * (x - exact_mean)).sum::<f64>() / l
+    }
+
+    /// Population standard deviation of the window.
+    #[inline]
+    #[must_use]
+    pub fn std(&self, offset: usize, length: usize) -> f64 {
+        self.var(offset, length).sqrt()
+    }
+
+    /// Whether the window is flat (standard deviation below [`FLAT_EPS`]),
+    /// i.e. has no z-normalizable shape.
+    #[inline]
+    #[must_use]
+    pub fn is_flat(&self, offset: usize, length: usize) -> bool {
+        self.std(offset, length) < FLAT_EPS
+    }
+
+    /// Means of every subsequence of length `l`, as a vector of length
+    /// `n − l + 1` (empty if the series is shorter than `l`).
+    #[must_use]
+    pub fn means_for_length(&self, l: usize) -> Vec<f64> {
+        if l == 0 || l > self.len {
+            return Vec::new();
+        }
+        (0..=self.len - l).map(|i| self.mean(i, l)).collect()
+    }
+
+    /// Standard deviations of every subsequence of length `l`.
+    #[must_use]
+    pub fn stds_for_length(&self, l: usize) -> Vec<f64> {
+        if l == 0 || l > self.len {
+            return Vec::new();
+        }
+        (0..=self.len - l).map(|i| self.std(i, l)).collect()
+    }
+
+    /// Sum of the window after *global-mean centering* (`Σ (x − x̄)` where
+    /// `x̄` is the whole series' mean).
+    ///
+    /// Z-normalized quantities are invariant to the global shift, so
+    /// formulas mixing centered sums, centered means and standard
+    /// deviations (e.g. VALMOD's lower bound) give the same results as
+    /// with raw values — with far better conditioning.
+    #[inline]
+    #[must_use]
+    pub fn centered_sum(&self, offset: usize, length: usize) -> f64 {
+        self.shifted_sum(offset, length)
+    }
+
+    /// Sum of squares of the globally mean-centered window.
+    #[inline]
+    #[must_use]
+    pub fn centered_sum_sq(&self, offset: usize, length: usize) -> f64 {
+        self.prefix_sq[offset + length] - self.prefix_sq[offset]
+    }
+
+    /// Mean of the globally mean-centered window
+    /// (= [`RollingStats::mean`] minus the global mean).
+    #[inline]
+    #[must_use]
+    pub fn centered_mean(&self, offset: usize, length: usize) -> f64 {
+        debug_assert!(length > 0);
+        self.shifted_sum(offset, length) / length as f64
+    }
+
+    #[inline]
+    fn shifted_sum(&self, offset: usize, length: usize) -> f64 {
+        self.prefix[offset + length] - self.prefix[offset]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{RollingStats, FLAT_EPS};
+
+    fn brute_mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    fn brute_std(v: &[f64]) -> f64 {
+        let m = brute_mean(v);
+        (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn matches_brute_force_on_all_windows() {
+        let v: Vec<f64> = (0..50).map(|i| ((i * 13 % 7) as f64).mul_add(1.5, -3.0)).collect();
+        let stats = RollingStats::new(&v);
+        for l in 1..=v.len() {
+            for i in 0..=v.len() - l {
+                let w = &v[i..i + l];
+                assert!((stats.mean(i, l) - brute_mean(w)).abs() < 1e-10, "mean at ({i},{l})");
+                // The prefix-sum variance carries ~1e-14 absolute error and
+                // sqrt amplifies it near zero, hence the looser std bound.
+                let bs = brute_std(w);
+                assert!(
+                    (stats.var(i, l) - bs * bs).abs() < 1e-10,
+                    "var at ({i},{l}): {} vs {}",
+                    stats.var(i, l),
+                    bs * bs
+                );
+                assert!((stats.std(i, l) - bs).abs() < 1e-6, "std at ({i},{l})");
+                assert!((stats.sum(i, l) - w.iter().sum::<f64>()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_windows_are_detected() {
+        let v = [3.0, 3.0, 3.0, 1.0, 2.0];
+        let stats = RollingStats::new(&v);
+        assert!(stats.is_flat(0, 3));
+        assert!(!stats.is_flat(2, 3));
+        assert!(stats.var(0, 3) < FLAT_EPS);
+    }
+
+    #[test]
+    fn variance_never_negative_under_large_offsets() {
+        // A large constant offset makes E[x²] − μ² catastrophically cancel
+        // without the internal shift.
+        let v: Vec<f64> = (0..100).map(|i| 1.0e9 + (i as f64 * 0.37).sin()).collect();
+        let stats = RollingStats::new(&v);
+        for l in 2..30 {
+            for i in 0..=v.len() - l {
+                let var = stats.var(i, l);
+                assert!(var >= 0.0);
+                let brute = brute_std(&v[i..i + l]);
+                assert!(
+                    (stats.std(i, l) - brute).abs() < 1e-5,
+                    "large-offset std mismatch at ({i},{l}): {} vs {brute}",
+                    stats.std(i, l)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_length_vectors_have_expected_shape() {
+        let v: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let stats = RollingStats::new(&v);
+        assert_eq!(stats.means_for_length(4).len(), 7);
+        assert_eq!(stats.stds_for_length(10).len(), 1);
+        assert!(stats.means_for_length(11).is_empty());
+        assert!(stats.means_for_length(0).is_empty());
+        // Mean of a ramp window [i, i+3] is i + 1.5.
+        for (i, m) in stats.means_for_length(4).iter().enumerate() {
+            assert!((m - (i as f64 + 1.5)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn centered_sums_are_shift_consistent() {
+        let v: Vec<f64> = (0..40).map(|i| 100.0 + (i as f64 * 0.7).sin() * 3.0).collect();
+        let stats = RollingStats::new(&v);
+        let global_mean = v.iter().sum::<f64>() / v.len() as f64;
+        for &(o, l) in &[(0usize, 5usize), (10, 20), (35, 5)] {
+            let centered: f64 = v[o..o + l].iter().map(|x| x - global_mean).sum();
+            assert!((stats.centered_sum(o, l) - centered).abs() < 1e-9);
+            let centered_sq: f64 =
+                v[o..o + l].iter().map(|x| (x - global_mean) * (x - global_mean)).sum();
+            assert!((stats.centered_sum_sq(o, l) - centered_sq).abs() < 1e-8);
+            assert!(
+                (stats.centered_mean(o, l) - (stats.mean(o, l) - global_mean)).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        let stats = RollingStats::new(&[]);
+        assert!(stats.is_empty());
+        assert_eq!(stats.len(), 0);
+        assert!(stats.means_for_length(1).is_empty());
+    }
+
+    #[test]
+    fn single_point_window() {
+        let stats = RollingStats::new(&[42.0]);
+        assert_eq!(stats.len(), 1);
+        assert!((stats.mean(0, 1) - 42.0).abs() < 1e-12);
+        assert_eq!(stats.std(0, 1), 0.0);
+        assert!(stats.is_flat(0, 1));
+    }
+}

@@ -1,0 +1,230 @@
+//! Z-normalized Euclidean distance, in every form the suite needs.
+//!
+//! The matrix-profile family never materializes z-normalized subsequences;
+//! instead it uses the identity
+//!
+//! ```text
+//! d²(A, B) = 2ℓ · (1 − ρ),    ρ = (QT − ℓ·μ_A·μ_B) / (ℓ·σ_A·σ_B)
+//! ```
+//!
+//! where `QT` is the plain dot product of the two windows and `ρ` their
+//! Pearson correlation. This module provides the direct (reference) distance,
+//! the dot-product form, conversions between distance and correlation, and
+//! the paper's *length-normalized distance* `d/√ℓ` used to rank motifs of
+//! different lengths.
+//!
+//! **Flat windows.** A window with zero standard deviation has no
+//! z-normalizable shape. Following the convention used by mature matrix
+//! profile implementations, its z-normalized form is the zero vector, so the
+//! distance between two flat windows is `0` and between a flat and a
+//! non-flat window is `√ℓ`.
+
+use crate::stats::FLAT_EPS;
+
+/// Z-normalizes a window: subtracts its mean and divides by its population
+/// standard deviation. A flat window maps to the zero vector.
+#[must_use]
+pub fn znormalize(window: &[f64]) -> Vec<f64> {
+    let l = window.len();
+    if l == 0 {
+        return Vec::new();
+    }
+    let mean = window.iter().sum::<f64>() / l as f64;
+    let var = window.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / l as f64;
+    let std = var.sqrt();
+    if std < FLAT_EPS {
+        return vec![0.0; l];
+    }
+    window.iter().map(|x| (x - mean) / std).collect()
+}
+
+/// Reference z-normalized Euclidean distance between two equal-length
+/// windows, computed directly from the definition. O(ℓ); used by tests and
+/// brute-force baselines.
+///
+/// # Panics
+///
+/// Panics if the windows have different lengths.
+#[must_use]
+pub fn zdist(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "zdist requires equal-length windows");
+    let za = znormalize(a);
+    let zb = znormalize(b);
+    za.iter()
+        .zip(&zb)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Pearson correlation of two windows from their dot product and
+/// statistics. Returns `None` if either window is flat.
+#[inline]
+#[must_use]
+pub fn pearson_from_dot(
+    qt: f64,
+    l: usize,
+    mean_a: f64,
+    std_a: f64,
+    mean_b: f64,
+    std_b: f64,
+) -> Option<f64> {
+    if std_a < FLAT_EPS || std_b < FLAT_EPS {
+        return None;
+    }
+    let lf = l as f64;
+    let rho = (qt - lf * mean_a * mean_b) / (lf * std_a * std_b);
+    Some(rho.clamp(-1.0, 1.0))
+}
+
+/// Z-normalized Euclidean distance from the dot-product identity, with the
+/// flat-window convention described in the module docs.
+#[inline]
+#[must_use]
+pub fn zdist_from_dot(
+    qt: f64,
+    l: usize,
+    mean_a: f64,
+    std_a: f64,
+    mean_b: f64,
+    std_b: f64,
+) -> f64 {
+    match pearson_from_dot(qt, l, mean_a, std_a, mean_b, std_b) {
+        Some(rho) => dist_from_pearson(rho, l),
+        None => {
+            if std_a < FLAT_EPS && std_b < FLAT_EPS {
+                0.0
+            } else {
+                (l as f64).sqrt()
+            }
+        }
+    }
+}
+
+/// `d = √(2ℓ(1 − ρ))`, clamping rounding noise at `ρ ≈ 1`.
+#[inline]
+#[must_use]
+pub fn dist_from_pearson(rho: f64, l: usize) -> f64 {
+    (2.0 * l as f64 * (1.0 - rho.clamp(-1.0, 1.0))).max(0.0).sqrt()
+}
+
+/// Inverse of [`dist_from_pearson`]: `ρ = 1 − d²/(2ℓ)`.
+#[inline]
+#[must_use]
+pub fn pearson_from_dist(d: f64, l: usize) -> f64 {
+    (1.0 - d * d / (2.0 * l as f64)).clamp(-1.0, 1.0)
+}
+
+/// The paper's length-normalized distance `d·√(1/ℓ)`, which makes motif
+/// pairs of different lengths comparable (§"Rank Motif Pairs of Variable
+/// Lengths").
+#[inline]
+#[must_use]
+pub fn length_normalized(d: f64, l: usize) -> f64 {
+    debug_assert!(l > 0);
+    d / (l as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    fn mean_std(v: &[f64]) -> (f64, f64) {
+        let m = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64;
+        (m, var.sqrt())
+    }
+
+    #[test]
+    fn znormalize_has_zero_mean_unit_variance() {
+        let w = [1.0, 5.0, 2.0, 8.0, -1.0];
+        let z = znormalize(&w);
+        let (m, s) = mean_std(&z);
+        assert!(m.abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn znormalize_flat_gives_zero_vector() {
+        assert_eq!(znormalize(&[2.0, 2.0, 2.0]), vec![0.0, 0.0, 0.0]);
+        assert!(znormalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn zdist_is_shift_and_scale_invariant() {
+        let a = [0.0, 1.0, 0.0, -1.0];
+        let b: Vec<f64> = a.iter().map(|x| 100.0 + 7.0 * x).collect();
+        assert!(zdist(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn zdist_of_identical_windows_is_zero() {
+        let a = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert!(zdist(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn zdist_of_negated_window_is_maximal() {
+        let a = [1.0, -1.0, 1.0, -1.0];
+        let b: Vec<f64> = a.iter().map(|x| -x).collect();
+        // d = √(2ℓ(1−(−1))) = 2√ℓ
+        assert!((zdist(&a, &b) - 2.0 * (a.len() as f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_form_matches_direct_form() {
+        let a = [1.0, 3.0, -2.0, 0.5, 4.0, -1.0];
+        let b = [2.0, -1.0, 0.0, 3.5, 1.0, 2.0];
+        let (ma, sa) = mean_std(&a);
+        let (mb, sb) = mean_std(&b);
+        let d1 = zdist(&a, &b);
+        let d2 = zdist_from_dot(dot(&a, &b), a.len(), ma, sa, mb, sb);
+        assert!((d1 - d2).abs() < 1e-9, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn flat_window_conventions() {
+        let flat = [5.0; 4];
+        let wavy = [1.0, 2.0, 3.0, 0.0];
+        let (mf, sf) = mean_std(&flat);
+        let (mw, sw) = mean_std(&wavy);
+        assert_eq!(zdist_from_dot(dot(&flat, &flat), 4, mf, sf, mf, sf), 0.0);
+        let d = zdist_from_dot(dot(&flat, &wavy), 4, mf, sf, mw, sw);
+        assert!((d - 2.0).abs() < 1e-12); // √ℓ = 2
+        // Direct form follows the same convention.
+        assert!((zdist(&flat, &wavy) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_distance_roundtrip() {
+        for &rho in &[-1.0, -0.5, 0.0, 0.3, 0.99, 1.0] {
+            let d = dist_from_pearson(rho, 64);
+            let back = pearson_from_dist(d, 64);
+            assert!((rho - back).abs() < 1e-12, "rho {rho} -> {back}");
+        }
+    }
+
+    #[test]
+    fn pearson_is_clamped() {
+        // Rounding can push |ρ| slightly beyond 1; the helpers must clamp.
+        let rho = pearson_from_dot(1e9, 4, 0.0, 1.0, 0.0, 1.0).unwrap();
+        assert_eq!(rho, 1.0);
+        assert_eq!(dist_from_pearson(1.0 + 1e-9, 8), 0.0);
+    }
+
+    #[test]
+    fn length_normalized_scales_correctly() {
+        assert!((length_normalized(4.0, 16) - 1.0).abs() < 1e-12);
+        assert!((length_normalized(0.0, 100)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn zdist_rejects_mismatched_lengths() {
+        let _ = zdist(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the data-series substrate.
+
+use proptest::prelude::*;
+use valmod_series::znorm::{
+    dist_from_pearson, length_normalized, pearson_from_dist, zdist, zdist_from_dot, znormalize,
+};
+use valmod_series::{DataSeries, RollingStats};
+
+fn signal(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1000.0f64..1000.0, min_len..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rolling stats equal the definition on arbitrary windows.
+    #[test]
+    fn rolling_stats_match_definition(values in signal(2, 120), seed in 0usize..1000) {
+        let stats = RollingStats::new(&values);
+        let l = seed % values.len() + 1;
+        let i = seed % (values.len() - l + 1);
+        let w = &values[i..i + l];
+        let mean = w.iter().sum::<f64>() / l as f64;
+        let var = w.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / l as f64;
+        prop_assert!((stats.mean(i, l) - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((stats.var(i, l) - var).abs() < 1e-5 * (1.0 + var));
+    }
+
+    /// z-normalization always yields zero mean and unit (or zero) variance.
+    #[test]
+    fn znormalize_is_normalized(w in signal(1, 64)) {
+        let z = znormalize(&w);
+        let mean = z.iter().sum::<f64>() / z.len() as f64;
+        let var = z.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / z.len() as f64;
+        prop_assert!(mean.abs() < 1e-9);
+        prop_assert!(var.abs() < 1e-9 || (var - 1.0).abs() < 1e-9);
+    }
+
+    /// The z-normalized distance is a pseudometric: symmetric, zero on
+    /// identical inputs, triangle inequality.
+    #[test]
+    fn zdist_is_a_pseudometric(
+        a in signal(4, 32),
+        b in signal(4, 32),
+        c in signal(4, 32),
+    ) {
+        let l = a.len().min(b.len()).min(c.len());
+        let (a, b, c) = (&a[..l], &b[..l], &c[..l]);
+        prop_assert!(zdist(a, a) < 1e-9);
+        prop_assert!((zdist(a, b) - zdist(b, a)).abs() < 1e-9);
+        prop_assert!(zdist(a, c) <= zdist(a, b) + zdist(b, c) + 1e-9);
+    }
+
+    /// Shift/scale invariance: zdist(x, αx + β) = 0 for α > 0.
+    #[test]
+    fn zdist_shift_scale_invariant(a in signal(4, 64), alpha in 0.01f64..100.0, beta in -50.0f64..50.0) {
+        let b: Vec<f64> = a.iter().map(|x| alpha * x + beta).collect();
+        prop_assert!(zdist(&a, &b) < 1e-6);
+    }
+
+    /// The dot-product form agrees with the direct form.
+    #[test]
+    fn dot_form_matches_direct(a in signal(4, 48), b in signal(4, 48)) {
+        let l = a.len().min(b.len());
+        let (a, b) = (&a[..l], &b[..l]);
+        let qt: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let std = |v: &[f64]| {
+            let m = mean(v);
+            (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        let d1 = zdist(a, b);
+        let d2 = zdist_from_dot(qt, l, mean(a), std(a), mean(b), std(b));
+        // Both paths clamp differently near rho = ±1; allow generous slack.
+        prop_assert!((d1 - d2).abs() < 1e-4 * (1.0 + d1), "{} vs {}", d1, d2);
+    }
+
+    /// distance <-> correlation conversions are mutually inverse.
+    #[test]
+    fn pearson_distance_roundtrip(rho in -1.0f64..=1.0, l in 4usize..512) {
+        let d = dist_from_pearson(rho, l);
+        prop_assert!((pearson_from_dist(d, l) - rho).abs() < 1e-9);
+        prop_assert!(d >= 0.0 && d <= 2.0 * (l as f64).sqrt() + 1e-9);
+    }
+
+    /// Length normalization is monotone in d and inverse-monotone in ℓ.
+    #[test]
+    fn length_normalization_is_monotone(d in 0.0f64..100.0, l in 4usize..1000) {
+        prop_assert!(length_normalized(d, l) >= length_normalized(d, l + 1) - 1e-12);
+        prop_assert!(length_normalized(d + 1.0, l) > length_normalized(d, l));
+    }
+
+    /// DataSeries validation: construction succeeds iff all finite & non-empty.
+    #[test]
+    fn data_series_validation(values in prop::collection::vec(prop::num::f64::ANY, 0..32)) {
+        let ok = !values.is_empty() && values.iter().all(|v| v.is_finite());
+        prop_assert_eq!(DataSeries::new(values).is_ok(), ok);
+    }
+}

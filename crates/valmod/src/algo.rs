@@ -1,0 +1,531 @@
+//! The VALMOD algorithm.
+//!
+//! Stage 1 computes the full matrix profile at `ℓmin` with a STOMP row
+//! stream, harvesting for every row the `p` candidates with the largest
+//! correlation — the *partial distance profiles* (see [`crate::partial`]).
+//!
+//! Stage 2 walks the lengths `ℓmin+1 ..= ℓmax`. For each length it updates
+//! every stored dot product with one fused multiply-add, recomputes the
+//! stored candidates' true distances, and classifies each row:
+//!
+//! * **valid** — the smallest stored distance does not exceed `maxLB`, the
+//!   lower bound covering everything the row did *not* store; the stored
+//!   minimum is then provably the row's true minimum;
+//! * **non-valid** — the bound cannot certify the row; its true minimum is
+//!   only known to be `≥ maxLB`.
+//!
+//! The smallest `maxLB` over non-valid rows (`minLBAbs`) certifies results:
+//! every valid-row minimum below it is a true top motif distance. If the
+//! top-k cannot be certified from valid rows alone, the affected rows'
+//! distance profiles are recomputed exactly with MASS (and their partial
+//! profiles re-seeded at the current length), which restores exactness —
+//! this is the paper's fallback path.
+//!
+//! Degenerate (flat, σ ≈ 0) windows break correlation ranking; lengths at
+//! which they occur are computed with plain STOMP instead (exact, slower,
+//! and rare in practice). Everything stays exact either way.
+
+use valmod_mp::mass::DistanceProfiler;
+use valmod_mp::motif::top_k_pairs;
+use valmod_mp::stomp::{stomp, StompEngine};
+use valmod_mp::{MatrixProfile, MotifPair};
+use valmod_series::stats::FLAT_EPS;
+use valmod_series::znorm::{pearson_from_dist, zdist_from_dot};
+use valmod_series::{Result, RollingStats};
+
+use crate::config::ValmodConfig;
+use crate::lb::LbRowContext;
+use crate::partial::{PartialRow, TopRhoSelector};
+use crate::valmap::Valmap;
+
+/// Pruning statistics of one length step — the observability the paper's
+/// Figure 2 narrates (valid vs non-valid profiles, `minLBAbs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthStats {
+    /// Rows whose partial profile certified the row minimum.
+    pub valid_rows: usize,
+    /// Rows whose bound could not certify the minimum.
+    pub invalid_rows: usize,
+    /// Rows recomputed exactly via MASS at this length.
+    pub recomputed_rows: usize,
+    /// The certification threshold `minLBAbs` (∞ when every row is valid).
+    pub min_lb_abs: f64,
+    /// Whether this length fell back to a full STOMP run (degenerate
+    /// windows present).
+    pub stomp_fallback: bool,
+}
+
+/// The per-length output: the exact top-k motif pairs and pruning stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LengthResult {
+    /// Subsequence length.
+    pub length: usize,
+    /// Exact top-k motif pairs at this length, ascending distance.
+    pub pairs: Vec<MotifPair>,
+    /// Pruning statistics.
+    pub stats: LengthStats,
+}
+
+/// Everything a VALMOD run produces.
+#[derive(Debug, Clone)]
+pub struct ValmodOutput {
+    /// The configuration that produced this output.
+    pub config: ValmodConfig,
+    /// Exact per-length results for every length in `[ℓmin, ℓmax]`.
+    pub per_length: Vec<LengthResult>,
+    /// The VALMAP meta-data structure.
+    pub valmap: Valmap,
+    /// The full matrix profile at `ℓmin` (stage 1's by-product).
+    pub base_profile: MatrixProfile,
+}
+
+impl ValmodOutput {
+    /// The best motif pair of each length (first of each top-k), for
+    /// MOEN-style per-length reporting.
+    #[must_use]
+    pub fn best_per_length(&self) -> Vec<Option<MotifPair>> {
+        self.per_length.iter().map(|r| r.pairs.first().copied()).collect()
+    }
+
+    /// Global ranking of all discovered pairs by length-normalized
+    /// distance (see [`crate::rank`]).
+    #[must_use]
+    pub fn ranking(&self) -> Vec<crate::rank::RankedMotif> {
+        crate::rank::rank_pairs(self)
+    }
+}
+
+/// Runs VALMOD over `series` for the configured length range.
+///
+/// # Errors
+///
+/// Returns a [`valmod_series::SeriesError`] when the configuration is
+/// invalid for this series (range malformed or series too short).
+///
+/// # Example
+///
+/// ```
+/// use valmod_core::{run_valmod, ValmodConfig};
+/// use valmod_series::gen;
+///
+/// let series = gen::sine_mix(800, &[(60.0, 1.0)], 0.05, 1);
+/// let out = run_valmod(&series, &ValmodConfig::new(32, 40).with_k(3)).unwrap();
+/// assert_eq!(out.per_length.len(), 9);
+/// // A periodic series has close motifs at every length.
+/// assert!(out.per_length.iter().all(|r| !r.pairs.is_empty()));
+/// ```
+pub fn run_valmod(series: &[f64], config: &ValmodConfig) -> Result<ValmodOutput> {
+    config.validate(series.len())?;
+    let l0 = config.l_min;
+
+    let engine = StompEngine::new(series, l0)?;
+    // All downstream math uses the engine's globally centered values, so
+    // dot products, statistics and lower bounds share one unit system.
+    let values: Vec<f64> = engine.values().to_vec();
+    let stats = RollingStats::new(&values);
+    let profiler = DistanceProfiler::new(&values)?;
+
+    // ---- Stage 1: full matrix profile at l0 + partial profiles. ----
+    let (base_profile, mut rows) = stage_one(&engine, config);
+    let base_pairs = top_k_pairs(&base_profile, config.k);
+    let mut valmap = Valmap::from_base_profile(&base_profile);
+    let mut per_length = Vec::with_capacity(config.l_max - l0 + 1);
+    per_length.push(LengthResult {
+        length: l0,
+        pairs: base_pairs,
+        stats: LengthStats {
+            valid_rows: base_profile.len(),
+            invalid_rows: 0,
+            recomputed_rows: 0,
+            min_lb_abs: f64::INFINITY,
+            stomp_fallback: false,
+        },
+    });
+
+    // ---- Stage 2: lengths l0+1 ..= l_max. ----
+    for length in l0 + 1..=config.l_max {
+        let result = step_length(&values, &stats, &profiler, &mut rows, config, length)?;
+        valmap.apply_length(length, &result.pairs);
+        per_length.push(result);
+    }
+
+    Ok(ValmodOutput { config: config.clone(), per_length, valmap, base_profile })
+}
+
+/// Stage 1: stream STOMP rows at `ℓmin`, building the base matrix profile
+/// and the per-row partial profiles.
+fn stage_one(engine: &StompEngine, config: &ValmodConfig) -> (MatrixProfile, Vec<PartialRow>) {
+    let l0 = config.l_min;
+    let m = engine.num_windows();
+    let excl = config.exclusion(l0);
+    let means = engine.means();
+    let stds = engine.stds();
+    let lf = l0 as f64;
+    let mut mp = MatrixProfile::unfilled(l0, excl, m);
+    let mut rows: Vec<PartialRow> = Vec::with_capacity(m);
+
+    engine.for_each_row(|i, qt| {
+        let mut selector = TopRhoSelector::new(config.profile_size);
+        let flat_i = stds[i] < FLAT_EPS;
+        for (j, &dot) in qt.iter().enumerate() {
+            if i.abs_diff(j) <= excl {
+                continue;
+            }
+            if flat_i || stds[j] < FLAT_EPS {
+                // Degenerate candidate: contribute the conventional
+                // distance to the profile and enter the partial profile
+                // with the worst correlation. The lower bound evaluated at
+                // ρ = −1 (its plateau) remains admissible for flat
+                // candidates, so pruning stays exact.
+                let d = zdist_from_dot(dot, l0, means[i], stds[i], means[j], stds[j]);
+                mp.offer(i, d, j);
+                selector.offer(j, -1.0, dot);
+                continue;
+            }
+            let rho = ((dot - lf * means[i] * means[j]) / (lf * stds[i] * stds[j]))
+                .clamp(-1.0, 1.0);
+            let d = (2.0 * lf * (1.0 - rho)).max(0.0).sqrt();
+            mp.offer(i, d, j);
+            selector.offer(j, rho, dot);
+        }
+        rows.push(selector.into_row(l0));
+    });
+    (mp, rows)
+}
+
+/// One stage-2 length step. Mutates `rows` (incremental dot products and
+/// possible re-seeding) and returns the exact per-length result.
+fn step_length(
+    values: &[f64],
+    stats: &RollingStats,
+    profiler: &DistanceProfiler,
+    rows: &mut [PartialRow],
+    config: &ValmodConfig,
+    length: usize,
+) -> Result<LengthResult> {
+    let n = values.len();
+    debug_assert!(length <= n);
+    let m = n - length + 1;
+    let excl = config.exclusion(length);
+    let lf = length as f64;
+
+    // Advance every stored dot product by the one new point — this must
+    // happen for *all* rows/entries alive at this length, independent of
+    // any fallback, so the incremental state stays consistent.
+    for (i, row) in rows.iter_mut().enumerate().take(m) {
+        for e in &mut row.entries {
+            let j = e.j as usize;
+            if j < m {
+                e.qt = values[i + length - 1].mul_add(values[j + length - 1], e.qt);
+            }
+        }
+    }
+
+    let means: Vec<f64> = (0..m).map(|i| stats.centered_mean(i, length)).collect();
+    let stds: Vec<f64> = (0..m).map(|i| stats.std(i, length)).collect();
+
+    if stds.iter().any(|&s| s < FLAT_EPS) {
+        // Degenerate windows break the correlation-rank machinery: compute
+        // this length exactly with STOMP and re-seed nothing (stored
+        // profiles remain correct for later lengths).
+        let mp = stomp(values, length, excl)?;
+        let pairs = top_k_pairs(&mp, config.k);
+        return Ok(LengthResult {
+            length,
+            pairs,
+            stats: LengthStats {
+                valid_rows: m,
+                invalid_rows: 0,
+                recomputed_rows: m,
+                min_lb_abs: f64::INFINITY,
+                stomp_fallback: true,
+            },
+        });
+    }
+
+    // Classify rows.
+    struct RowOutcome {
+        min_dist: f64,
+        min_j: usize,
+        max_lb: f64,
+        valid: bool,
+    }
+    let mut outcomes: Vec<RowOutcome> = Vec::with_capacity(m);
+    for (i, row) in rows.iter().enumerate().take(m) {
+        let mut min_dist = f64::INFINITY;
+        let mut min_j = usize::MAX;
+        for e in &row.entries {
+            let j = e.j as usize;
+            if j >= m || i.abs_diff(j) <= excl {
+                continue;
+            }
+            let d = zdist_from_dot(e.qt, length, means[i], stds[i], means[j], stds[j]);
+            if d < min_dist {
+                min_dist = d;
+                min_j = j;
+            }
+        }
+        let max_lb = match row.worst_rho() {
+            Some(rho) => {
+                LbRowContext::new(stats, i, row.base_len, length).bound(rho)
+            }
+            // Untruncated profile: nothing was left unstored, the stored
+            // minimum is the row minimum by construction.
+            None => f64::INFINITY,
+        };
+        let valid = min_dist <= max_lb;
+        outcomes.push(RowOutcome { min_dist, min_j, max_lb, valid });
+    }
+
+    let min_lb_abs = outcomes
+        .iter()
+        .filter(|o| !o.valid)
+        .map(|o| o.max_lb)
+        .fold(f64::INFINITY, f64::min);
+    let valid_rows = outcomes.iter().filter(|o| o.valid).count();
+    let invalid_rows = m - valid_rows;
+
+    // Tentative top-k from certified rows.
+    let mut candidates: Vec<MotifPair> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.valid && o.min_dist.is_finite())
+        .map(|(i, o)| MotifPair::new(i, o.min_j, o.min_dist, length))
+        .collect();
+    let selection = select_top_k(&candidates, config.k, excl);
+
+    // Certification threshold: with k certified pairs, only rows whose
+    // bound undercuts the k-th distance could still contribute; with
+    // fewer, any non-valid row could.
+    let threshold = if selection.len() == config.k {
+        selection.last().map_or(f64::INFINITY, |p| p.distance)
+    } else {
+        f64::INFINITY
+    };
+
+    let mut recomputed_rows = 0;
+    if threshold >= min_lb_abs {
+        // Fallback: exact MASS recomputation of every row the bound could
+        // not certify below the threshold, then re-seed those partial
+        // profiles at the current length.
+        for i in 0..m {
+            if outcomes[i].valid || outcomes[i].max_lb >= threshold {
+                continue;
+            }
+            recomputed_rows += 1;
+            let profile = profiler.self_profile(i, length)?;
+            // A row that needed recomputation is a *competitive* row (its
+            // neighborhood keeps improving); give it a progressively larger
+            // partial profile so it stops defeating the bound. Capacity
+            // doubles per recomputation, capped to bound memory.
+            let capacity = (rows[i].entries.len() * 2)
+                .clamp(config.profile_size, config.profile_size.max(256));
+            let mut selector = TopRhoSelector::new(capacity);
+            let mut min_dist = f64::INFINITY;
+            let mut min_j = usize::MAX;
+            for (j, &d) in profile.iter().enumerate() {
+                if i.abs_diff(j) <= excl {
+                    continue;
+                }
+                if d < min_dist {
+                    min_dist = d;
+                    min_j = j;
+                }
+                let rho = pearson_from_dist(d, length);
+                // Recover the dot product so the incremental updates can
+                // continue from the new base length.
+                let qt = lf * (rho * stds[i] * stds[j] + means[i] * means[j]);
+                selector.offer(j, rho, qt);
+            }
+            rows[i] = selector.into_row(length);
+            outcomes[i] = RowOutcome { min_dist, min_j, max_lb: f64::INFINITY, valid: true };
+            if min_j != usize::MAX {
+                candidates.push(MotifPair::new(i, min_j, min_dist, length));
+            }
+        }
+    }
+
+    let pairs = if recomputed_rows > 0 {
+        select_top_k(&candidates, config.k, excl)
+    } else {
+        selection
+    };
+
+    Ok(LengthResult {
+        length,
+        pairs,
+        stats: LengthStats {
+            valid_rows,
+            invalid_rows,
+            recomputed_rows,
+            min_lb_abs,
+            stomp_fallback: false,
+        },
+    })
+}
+
+/// Greedy top-k selection with pair deduplication (same policy as
+/// `valmod_mp::motif::top_k_pairs`).
+fn select_top_k(candidates: &[MotifPair], k: usize, exclusion: usize) -> Vec<MotifPair> {
+    let mut sorted: Vec<MotifPair> = candidates.to_vec();
+    sorted.sort_by(|x, y| {
+        x.distance
+            .partial_cmp(&y.distance)
+            .expect("distances are never NaN")
+            .then(x.a.cmp(&y.a))
+            .then(x.b.cmp(&y.b))
+    });
+    let mut selected: Vec<MotifPair> = Vec::with_capacity(k);
+    for cand in sorted {
+        if selected.len() == k {
+            break;
+        }
+        if selected.iter().any(|s| cand.overlaps(s, exclusion)) {
+            continue;
+        }
+        selected.push(cand);
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_series::gen;
+
+    /// Exact reference: top-k pairs per length via plain STOMP.
+    fn brute_per_length(
+        series: &[f64],
+        config: &ValmodConfig,
+    ) -> Vec<(usize, Vec<MotifPair>)> {
+        (config.l_min..=config.l_max)
+            .map(|l| {
+                let mp = stomp(series, l, config.exclusion(l)).unwrap();
+                (l, top_k_pairs(&mp, config.k))
+            })
+            .collect()
+    }
+
+    fn assert_matches_brute(series: &[f64], config: &ValmodConfig) {
+        let out = run_valmod(series, config).unwrap();
+        let brute = brute_per_length(series, config);
+        assert_eq!(out.per_length.len(), brute.len());
+        for (res, (l, expect)) in out.per_length.iter().zip(&brute) {
+            assert_eq!(res.length, *l);
+            assert_eq!(
+                res.pairs.len(),
+                expect.len(),
+                "pair count differs at length {l}: {:?} vs {:?}",
+                res.pairs,
+                expect
+            );
+            for (got, want) in res.pairs.iter().zip(expect) {
+                // Offsets can differ between ties; distances must agree.
+                assert!(
+                    (got.distance - want.distance).abs() < 1e-6,
+                    "distance mismatch at length {l}: {got:?} vs {want:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_walk() {
+        let series = gen::random_walk(400, 42);
+        assert_matches_brute(&series, &ValmodConfig::new(16, 32).with_k(3));
+    }
+
+    #[test]
+    fn matches_brute_force_on_ecg() {
+        let series = gen::ecg(500, &gen::EcgConfig::default(), 11);
+        assert_matches_brute(&series, &ValmodConfig::new(24, 40).with_k(5));
+    }
+
+    #[test]
+    fn matches_brute_force_on_astro() {
+        let series = gen::astro(450, &gen::AstroConfig::default(), 23);
+        assert_matches_brute(&series, &ValmodConfig::new(12, 28).with_k(4));
+    }
+
+    #[test]
+    fn matches_brute_force_with_tiny_profile_size() {
+        // p = 1 maximizes pruning failures, stressing the MASS fallback.
+        let series = gen::random_walk(300, 77);
+        assert_matches_brute(
+            &series,
+            &ValmodConfig::new(10, 24).with_k(3).with_profile_size(1),
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_with_flat_regions() {
+        let mut series = gen::white_noise(300, 5, 1.0);
+        for v in &mut series[100..160] {
+            *v = 1.5; // forces the STOMP fallback at every length
+        }
+        let config = ValmodConfig::new(8, 16).with_k(2);
+        let out = run_valmod(&series, &config).unwrap();
+        assert!(out.per_length.iter().skip(1).all(|r| r.stats.stomp_fallback));
+        assert_matches_brute(&series, &config);
+    }
+
+    #[test]
+    fn planted_motif_dominates_valmap() {
+        let pattern: Vec<f64> = (0..48)
+            .map(|i| (i as f64 / 48.0 * std::f64::consts::TAU * 2.0).sin())
+            .collect();
+        let (series, truth) = gen::planted_pair(2500, &pattern, &[400, 1700], 0.01, 3);
+        let config = ValmodConfig::new(32, 56).with_k(3);
+        let out = run_valmod(&series, &config).unwrap();
+        let (i, j, l, _dn) = out.valmap.best_entry().unwrap();
+        let (lo, hi) = (i.min(j), i.max(j));
+        assert!(lo.abs_diff(truth.offsets[0]) <= l, "found offset {lo}");
+        assert!(hi.abs_diff(truth.offsets[1]) <= l, "found offset {hi}");
+    }
+
+    #[test]
+    fn valmap_checkpoints_cover_every_length() {
+        let series = gen::sine_mix(600, &[(45.0, 1.0)], 0.1, 9);
+        let config = ValmodConfig::new(16, 24);
+        let out = run_valmod(&series, &config).unwrap();
+        assert_eq!(out.valmap.checkpoints.len(), 24 - 16);
+        for (cp, l) in out.valmap.checkpoints.iter().zip(17..=24) {
+            assert_eq!(cp.length, l);
+        }
+    }
+
+    #[test]
+    fn pruning_actually_prunes_on_friendly_data() {
+        // On a strongly periodic series the base motifs stay motifs as the
+        // length grows, so most rows should be certified without
+        // recomputation at most lengths.
+        let series = gen::sine_mix(2000, &[(80.0, 1.0), (160.0, 0.5)], 0.02, 4);
+        let config = ValmodConfig::new(64, 96).with_k(1);
+        let out = run_valmod(&series, &config).unwrap();
+        let total_rows: usize = out.per_length.iter().skip(1).map(|r| r.stats.valid_rows + r.stats.invalid_rows).sum();
+        let recomputed: usize =
+            out.per_length.iter().skip(1).map(|r| r.stats.recomputed_rows).sum();
+        assert!(
+            recomputed * 4 < total_rows,
+            "expected <25% recomputation, got {recomputed}/{total_rows}"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_configurations() {
+        let series = gen::random_walk(100, 1);
+        assert!(run_valmod(&series, &ValmodConfig::new(64, 32)).is_err());
+        assert!(run_valmod(&series, &ValmodConfig::new(90, 99)).is_err());
+    }
+
+    #[test]
+    fn best_per_length_aligns_with_results() {
+        let series = gen::ecg(400, &gen::EcgConfig::default(), 2);
+        let out = run_valmod(&series, &ValmodConfig::new(16, 20)).unwrap();
+        let best = out.best_per_length();
+        assert_eq!(best.len(), 5);
+        for (b, r) in best.iter().zip(&out.per_length) {
+            assert_eq!(*b, r.pairs.first().copied());
+        }
+    }
+}

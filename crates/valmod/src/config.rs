@@ -1,0 +1,125 @@
+//! VALMOD configuration.
+
+use valmod_series::{Result, SeriesError};
+
+/// Parameters of a VALMOD run.
+///
+/// Defaults follow the paper: top-`k = 10` motif pairs per length and
+/// `p = 8` entries kept per partial distance profile; the trivial-match
+/// exclusion zone is `⌈ℓ/4⌉` as in the matrix-profile papers.
+///
+/// # Example
+///
+/// ```
+/// use valmod_core::ValmodConfig;
+///
+/// let config = ValmodConfig::new(64, 128).with_k(5).with_profile_size(16);
+/// assert_eq!(config.k, 5);
+/// assert_eq!(config.exclusion(64), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValmodConfig {
+    /// Smallest subsequence length `ℓmin`.
+    pub l_min: usize,
+    /// Largest subsequence length `ℓmax` (inclusive).
+    pub l_max: usize,
+    /// Number of motif pairs reported per length (top-k).
+    pub k: usize,
+    /// `p` — entries kept per partial distance profile. Larger values
+    /// prune better but cost more memory and per-length work.
+    pub profile_size: usize,
+    /// Exclusion-zone denominator: windows within `⌈ℓ/den⌉` offsets are
+    /// trivial matches.
+    pub exclusion_den: usize,
+}
+
+impl ValmodConfig {
+    /// A configuration with paper defaults for the given length range.
+    #[must_use]
+    pub fn new(l_min: usize, l_max: usize) -> Self {
+        Self { l_min, l_max, k: 10, profile_size: 8, exclusion_den: 4 }
+    }
+
+    /// Sets the number of motif pairs reported per length.
+    #[must_use]
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets `p`, the partial-distance-profile size.
+    #[must_use]
+    pub fn with_profile_size(mut self, p: usize) -> Self {
+        self.profile_size = p;
+        self
+    }
+
+    /// Sets the exclusion-zone denominator (`⌈ℓ/den⌉`).
+    #[must_use]
+    pub fn with_exclusion_den(mut self, den: usize) -> Self {
+        self.exclusion_den = den;
+        self
+    }
+
+    /// The trivial-match exclusion half-width at length `l`.
+    #[must_use]
+    pub fn exclusion(&self, l: usize) -> usize {
+        l.div_ceil(self.exclusion_den.max(1)).max(1)
+    }
+
+    /// Validates the configuration against a series of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// [`SeriesError::InvalidRange`] for a malformed length range,
+    /// [`SeriesError::TooShort`] when the series cannot host two
+    /// non-trivially-matching windows of `l_max`.
+    pub fn validate(&self, n: usize) -> Result<()> {
+        if self.l_min < valmod_mp::MIN_WINDOW || self.l_min > self.l_max {
+            return Err(SeriesError::InvalidRange { l_min: self.l_min, l_max: self.l_max });
+        }
+        if self.k == 0 || self.profile_size == 0 || self.exclusion_den == 0 {
+            return Err(SeriesError::InvalidRange { l_min: self.l_min, l_max: self.l_max });
+        }
+        let needed = self.l_max + self.exclusion(self.l_max) + 1;
+        if n < needed {
+            return Err(SeriesError::TooShort { len: n, needed });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ValmodConfig;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = ValmodConfig::new(50, 400);
+        assert_eq!(c.k, 10);
+        assert_eq!(c.profile_size, 8);
+        assert_eq!(c.exclusion(50), 13);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ValmodConfig::new(8, 16).with_k(3).with_profile_size(4).with_exclusion_den(2);
+        assert_eq!((c.k, c.profile_size, c.exclusion(8)), (3, 4, 4));
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        assert!(ValmodConfig::new(16, 8).validate(1000).is_err()); // inverted
+        assert!(ValmodConfig::new(2, 8).validate(1000).is_err()); // below MIN_WINDOW
+        assert!(ValmodConfig::new(8, 16).with_k(0).validate(1000).is_err());
+        assert!(ValmodConfig::new(8, 16).with_profile_size(0).validate(1000).is_err());
+        assert!(ValmodConfig::new(8, 16).validate(20).is_err()); // series too short
+        assert!(ValmodConfig::new(8, 16).validate(1000).is_ok());
+    }
+
+    #[test]
+    fn exclusion_never_zero() {
+        let c = ValmodConfig::new(4, 8);
+        assert!(c.exclusion(4) >= 1);
+    }
+}

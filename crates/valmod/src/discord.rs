@@ -1,0 +1,359 @@
+//! Variable-length discord discovery — the journal extension of VALMOD
+//! (Linardi et al., KAIS 2020 add anomaly search to the same framework).
+//!
+//! A *discord* is the subsequence farthest from its nearest neighbor: the
+//! `argmax` over rows of the row's NN distance. The partial-profile
+//! machinery adapts neatly:
+//!
+//! * the stored minimum of a row's partial profile is an **upper bound** on
+//!   its true NN distance (a minimum over a subset);
+//! * a *valid* row's stored minimum is its exact NN distance (the lower
+//!   bound certifies nothing unstored beats it).
+//!
+//! So for the top-k discords at a length, walk rows in descending
+//! upper-bound order, resolving non-valid rows exactly (MASS) on demand,
+//! and stop as soon as the k-th resolved NN distance is at least every
+//! remaining row's upper bound. Rows near motifs — the expensive ones for
+//! motif search — have tiny upper bounds and are never touched, which is
+//! why discord search prunes even better than motif search.
+
+use valmod_mp::mass::DistanceProfiler;
+use valmod_mp::stomp::StompEngine;
+use valmod_series::stats::FLAT_EPS;
+use valmod_series::znorm::{length_normalized, zdist_from_dot};
+use valmod_series::{Result, RollingStats};
+
+use crate::config::ValmodConfig;
+use crate::lb::LbRowContext;
+use crate::partial::{PartialRow, TopRhoSelector};
+
+/// A discord: a subsequence offset with its exact nearest-neighbor
+/// distance at a given length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Discord {
+    /// Subsequence offset.
+    pub offset: usize,
+    /// Exact distance to its nearest non-trivial neighbor.
+    pub nn_distance: f64,
+    /// Subsequence length.
+    pub length: usize,
+}
+
+impl Discord {
+    /// The length-normalized NN distance (for cross-length ranking; larger
+    /// means more anomalous).
+    #[must_use]
+    pub fn normalized(&self) -> f64 {
+        length_normalized(self.nn_distance, self.length)
+    }
+}
+
+/// Per-length discord results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LengthDiscords {
+    /// Subsequence length.
+    pub length: usize,
+    /// Exact top-k discords, descending NN distance.
+    pub discords: Vec<Discord>,
+    /// Rows resolved exactly (MASS calls) at this length.
+    pub resolved_rows: usize,
+}
+
+/// Exact top-k discords for every length in the configured range.
+///
+/// Uses `config.k` as the number of discords per length and
+/// `config.profile_size` for the partial profiles, mirroring
+/// [`crate::run_valmod`].
+///
+/// # Errors
+///
+/// Same validation as [`crate::run_valmod`].
+pub fn variable_length_discords(
+    series: &[f64],
+    config: &ValmodConfig,
+) -> Result<Vec<LengthDiscords>> {
+    config.validate(series.len())?;
+    let l0 = config.l_min;
+    let engine = StompEngine::new(series, l0)?;
+    let values: Vec<f64> = engine.values().to_vec();
+    let stats = RollingStats::new(&values);
+    let profiler = DistanceProfiler::new(&values)?;
+
+    // Stage 1: partial profiles at l0, plus the exact profile for l0's
+    // discords directly from the row stream.
+    let excl0 = config.exclusion(l0);
+    let m0 = engine.num_windows();
+    let mut rows: Vec<PartialRow> = Vec::with_capacity(m0);
+    let mut base_nn: Vec<(f64, usize)> = Vec::with_capacity(m0);
+    {
+        let means = engine.means();
+        let stds = engine.stds();
+        let lf = l0 as f64;
+        engine.for_each_row(|i, qt| {
+            let mut selector = TopRhoSelector::new(config.profile_size);
+            let flat_i = stds[i] < FLAT_EPS;
+            let mut min_d = f64::INFINITY;
+            let mut min_j = usize::MAX;
+            for (j, &dot) in qt.iter().enumerate() {
+                if i.abs_diff(j) <= excl0 {
+                    continue;
+                }
+                let (d, rho) = if flat_i || stds[j] < FLAT_EPS {
+                    (zdist_from_dot(dot, l0, means[i], stds[i], means[j], stds[j]), -1.0)
+                } else {
+                    let rho = ((dot - lf * means[i] * means[j]) / (lf * stds[i] * stds[j]))
+                        .clamp(-1.0, 1.0);
+                    ((2.0 * lf * (1.0 - rho)).max(0.0).sqrt(), rho)
+                };
+                if d < min_d {
+                    min_d = d;
+                    min_j = j;
+                }
+                selector.offer(j, rho, dot);
+            }
+            rows.push(selector.into_row(l0));
+            base_nn.push((min_d, min_j));
+        });
+    }
+
+    let mut results = Vec::with_capacity(config.l_max - l0 + 1);
+    results.push(LengthDiscords {
+        length: l0,
+        discords: top_k_from_exact(&base_nn, l0, excl0, config.k),
+        resolved_rows: m0,
+    });
+
+    // Stage 2.
+    for length in l0 + 1..=config.l_max {
+        results.push(step_discords(&values, &stats, &profiler, &mut rows, config, length)?);
+    }
+    Ok(results)
+}
+
+/// Greedy top-k by descending NN distance with an offset exclusion zone.
+fn top_k_from_exact(
+    nn: &[(f64, usize)],
+    length: usize,
+    excl: usize,
+    k: usize,
+) -> Vec<Discord> {
+    let mut order: Vec<(usize, f64)> = nn
+        .iter()
+        .enumerate()
+        .filter(|(_, (d, _))| d.is_finite())
+        .map(|(i, &(d, _))| (i, d))
+        .collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+    select_spread(&order, length, excl, k)
+}
+
+fn select_spread(order: &[(usize, f64)], length: usize, excl: usize, k: usize) -> Vec<Discord> {
+    let mut selected: Vec<Discord> = Vec::with_capacity(k);
+    for &(i, d) in order {
+        if selected.len() == k {
+            break;
+        }
+        if selected.iter().any(|s| s.offset.abs_diff(i) <= excl) {
+            continue;
+        }
+        selected.push(Discord { offset: i, nn_distance: d, length });
+    }
+    selected
+}
+
+fn step_discords(
+    values: &[f64],
+    stats: &RollingStats,
+    profiler: &DistanceProfiler,
+    rows: &mut [PartialRow],
+    config: &ValmodConfig,
+    length: usize,
+) -> Result<LengthDiscords> {
+    let n = values.len();
+    let m = n - length + 1;
+    let excl = config.exclusion(length);
+
+    // Advance the stored dot products (same recurrence as the motif path).
+    for (i, row) in rows.iter_mut().enumerate().take(m) {
+        for e in &mut row.entries {
+            let j = e.j as usize;
+            if j < m {
+                e.qt = values[i + length - 1].mul_add(values[j + length - 1], e.qt);
+            }
+        }
+    }
+
+    let means: Vec<f64> = (0..m).map(|i| stats.centered_mean(i, length)).collect();
+    let stds: Vec<f64> = (0..m).map(|i| stats.std(i, length)).collect();
+
+    if stds.iter().any(|&s| s < FLAT_EPS) {
+        // Degenerate windows: resolve the whole length exactly.
+        let mp = valmod_mp::stomp::stomp(values, length, excl)?;
+        let nn: Vec<(f64, usize)> = mp
+            .values
+            .iter()
+            .zip(&mp.indices)
+            .map(|(&d, &j)| (d, j.unwrap_or(usize::MAX)))
+            .collect();
+        return Ok(LengthDiscords {
+            length,
+            discords: top_k_from_exact(&nn, length, excl, config.k),
+            resolved_rows: m,
+        });
+    }
+
+    // Upper bound (stored minimum) and validity per row.
+    let mut upper: Vec<f64> = Vec::with_capacity(m);
+    let mut valid: Vec<bool> = Vec::with_capacity(m);
+    for (i, row) in rows.iter().enumerate().take(m) {
+        let mut min_d = f64::INFINITY;
+        for e in &row.entries {
+            let j = e.j as usize;
+            if j >= m || i.abs_diff(j) <= excl {
+                continue;
+            }
+            let d = zdist_from_dot(e.qt, length, means[i], stds[i], means[j], stds[j]);
+            min_d = min_d.min(d);
+        }
+        let max_lb = match row.worst_rho() {
+            Some(rho) => LbRowContext::new(stats, i, row.base_len, length).bound(rho),
+            None => f64::INFINITY,
+        };
+        upper.push(min_d);
+        valid.push(min_d <= max_lb);
+    }
+
+    // Resolve rows in descending upper-bound order until the k-th exact
+    // discord dominates every remaining upper bound.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        upper[b].partial_cmp(&upper[a]).expect("no NaN").then(a.cmp(&b))
+    });
+    let mut exact: Vec<(usize, f64)> = Vec::new();
+    let mut resolved_rows = 0;
+    // The k-th *spread-deduplicated* exact discord distance: once every
+    // remaining row's upper bound falls below it, no unresolved row can
+    // enter the final selection (greedy selection by descending distance
+    // never revisits earlier picks).
+    let mut kth_spread = f64::NEG_INFINITY;
+    for &i in &order {
+        if kth_spread >= upper[i] {
+            break;
+        }
+        let nn = if valid[i] {
+            upper[i]
+        } else {
+            resolved_rows += 1;
+            let profile = profiler.self_profile(i, length)?;
+            let mut min_d = f64::INFINITY;
+            for (j, &d) in profile.iter().enumerate() {
+                if i.abs_diff(j) > excl && d < min_d {
+                    min_d = d;
+                }
+            }
+            min_d
+        };
+        if nn.is_finite() {
+            exact.push((i, nn));
+            exact.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+            let spread = select_spread(&exact, length, excl, config.k);
+            if spread.len() == config.k {
+                kth_spread = spread.last().expect("k > 0").nn_distance;
+            }
+        }
+    }
+
+    exact.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+    Ok(LengthDiscords {
+        length,
+        discords: select_spread(&exact, length, excl, config.k),
+        resolved_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_mp::motif::top_k_discords;
+    use valmod_mp::stomp::stomp;
+    use valmod_series::gen;
+
+    fn assert_matches_stomp(series: &[f64], config: &ValmodConfig) {
+        let results = variable_length_discords(series, config).unwrap();
+        assert_eq!(results.len(), config.l_max - config.l_min + 1);
+        for r in &results {
+            let mp = stomp(series, r.length, config.exclusion(r.length)).unwrap();
+            let expect = top_k_discords(&mp, config.k);
+            assert_eq!(r.discords.len(), expect.len(), "count at length {}", r.length);
+            for (got, (_, want_d)) in r.discords.iter().zip(&expect) {
+                assert!(
+                    (got.nn_distance - want_d).abs() < 1e-6,
+                    "length {}: {} vs {}",
+                    r.length,
+                    got.nn_distance,
+                    want_d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_per_length_stomp_on_random_walk() {
+        let series = gen::random_walk(300, 70);
+        assert_matches_stomp(&series, &ValmodConfig::new(12, 24).with_k(3));
+    }
+
+    #[test]
+    fn matches_per_length_stomp_on_ecg() {
+        let series = gen::ecg(400, &gen::EcgConfig::default(), 71);
+        assert_matches_stomp(&series, &ValmodConfig::new(20, 32).with_k(2));
+    }
+
+    #[test]
+    fn anomaly_is_found_at_every_length() {
+        // A sine with one injected glitch: the discord must cover it.
+        let mut series = gen::sine_mix(1200, &[(60.0, 1.0)], 0.02, 12);
+        for (t, v) in series[600..640].iter_mut().enumerate() {
+            *v += (t as f64 / 40.0 * std::f64::consts::PI).sin() * 2.5;
+        }
+        let config = ValmodConfig::new(24, 48).with_k(1);
+        let results = variable_length_discords(&series, &config).unwrap();
+        for r in &results {
+            let d = r.discords.first().expect("discord exists");
+            assert!(
+                d.offset + r.length > 590 && d.offset < 650,
+                "discord at length {} misses the glitch: offset {}",
+                r.length,
+                d.offset
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_resolves_few_rows_on_periodic_data() {
+        let series = gen::sine_mix(3000, &[(80.0, 1.0)], 0.05, 3);
+        let config = ValmodConfig::new(32, 48).with_k(1);
+        let results = variable_length_discords(&series, &config).unwrap();
+        let resolved: usize = results.iter().skip(1).map(|r| r.resolved_rows).sum();
+        let total: usize = results.iter().skip(1).map(|_| series.len() - 32 + 1).sum();
+        assert!(
+            resolved * 10 < total,
+            "discord search should resolve <10% of rows: {resolved}/{total}"
+        );
+    }
+
+    #[test]
+    fn normalized_ranking_is_consistent() {
+        let d = Discord { offset: 5, nn_distance: 8.0, length: 16 };
+        assert!((d.normalized() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_plateau_falls_back_exactly() {
+        let mut series = gen::white_noise(250, 8, 1.0);
+        for v in &mut series[100..150] {
+            *v = 0.0;
+        }
+        assert_matches_stomp(&series, &ValmodConfig::new(8, 14).with_k(2));
+    }
+}

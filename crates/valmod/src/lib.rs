@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # VALMOD — Variable-Length Motif Discovery
+//!
+//! Exact discovery of the top-k motif pairs for **every** subsequence
+//! length in a range `[ℓmin, ℓmax]`, at a cost close to a single
+//! fixed-length matrix profile — the algorithm of Linardi, Zhu, Palpanas
+//! and Keogh (SIGMOD 2018).
+//!
+//! The crate provides:
+//!
+//! * [`run_valmod`] / [`ValmodConfig`] — the algorithm itself (module
+//!   [`algo`]), built on the lower bound of module [`lb`] and the partial
+//!   distance profiles of module [`partial`];
+//! * [`Valmap`] — the Variable-Length Matrix Profile meta-data structure
+//!   `⟨MPn, IP, LP⟩` with its checkpoint log (module [`valmap`]);
+//! * [`rank`] — the length-normalized ranking of motifs across lengths;
+//! * [`motif_set`] — expansion of a motif pair to all its occurrences;
+//! * [`render`] — text views of the above (the demo GUI's equivalent).
+//!
+//! # Example
+//!
+//! ```
+//! use valmod_core::{run_valmod, ValmodConfig};
+//! use valmod_series::gen;
+//!
+//! // Synthetic ECG: recurring heartbeats of varying duration.
+//! let series = gen::ecg(1500, &gen::EcgConfig::default(), 7);
+//! let output = run_valmod(&series, &ValmodConfig::new(32, 48).with_k(3)).unwrap();
+//!
+//! // Exact top-k pairs for every length in the range...
+//! assert_eq!(output.per_length.len(), 48 - 32 + 1);
+//! // ...and a global, length-invariant ranking.
+//! let ranking = output.ranking();
+//! assert!(!ranking.is_empty());
+//! ```
+
+pub mod algo;
+pub mod config;
+pub mod discord;
+pub mod lb;
+pub mod motif_set;
+pub mod partial;
+pub mod rank;
+pub mod render;
+pub mod valmap;
+
+pub use algo::{run_valmod, LengthResult, LengthStats, ValmodOutput};
+pub use config::ValmodConfig;
+pub use discord::{variable_length_discords, Discord, LengthDiscords};
+pub use lb::LbRowContext;
+pub use motif_set::{expand_motif_set, MotifSet, Occurrence};
+pub use rank::{rank_and_dedupe, rank_pairs, RankedMotif};
+pub use valmap::{Valmap, ValmapCheckpoint, ValmapUpdate};

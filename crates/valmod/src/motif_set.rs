@@ -1,0 +1,186 @@
+//! Motif-set expansion: from a motif *pair* to all of its occurrences.
+//!
+//! The demo lets the user "expand a selected motif pair to the relative
+//! Motif Set, containing all the similar subsequences of the pair in the
+//! data". Following the classical definition, the motif set of a pair
+//! `(a, b)` at radius `r` is the set of subsequence offsets whose distance
+//! to either member is at most `r`, with trivial matches collapsed to
+//! their local best representative.
+
+use valmod_mp::mass::DistanceProfiler;
+use valmod_mp::MotifPair;
+use valmod_series::Result;
+
+/// One occurrence in a motif set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occurrence {
+    /// Subsequence offset.
+    pub offset: usize,
+    /// Distance to the closest of the two pair members.
+    pub distance: f64,
+}
+
+/// A motif pair together with every subsequence within `radius` of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MotifSet {
+    /// The seed pair.
+    pub pair: MotifPair,
+    /// The radius used for the expansion.
+    pub radius: f64,
+    /// All occurrences (including the pair members themselves, at distance
+    /// 0), ascending by offset.
+    pub occurrences: Vec<Occurrence>,
+}
+
+impl MotifSet {
+    /// Number of occurrences.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.occurrences.len()
+    }
+
+    /// Whether the set is empty (never true for a well-formed expansion —
+    /// the members themselves always qualify).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.occurrences.is_empty()
+    }
+}
+
+/// Expands `pair` into its motif set within `radius`.
+///
+/// A `radius` of `None` uses the customary default `2 × pair.distance`
+/// (and `√ℓ/4` when the pair distance is ~0, so perfect planted pairs
+/// still attract their noisy siblings).
+///
+/// `exclusion` collapses trivial matches: among any run of overlapping
+/// qualifying offsets (closer than `exclusion` to each other), only the
+/// closest-to-the-pair representative is kept.
+///
+/// # Errors
+///
+/// Propagates [`valmod_series::SeriesError`] for windows that do not fit
+/// the series.
+pub fn expand_motif_set(
+    series: &[f64],
+    pair: &MotifPair,
+    radius: Option<f64>,
+    exclusion: usize,
+) -> Result<MotifSet> {
+    let l = pair.length;
+    let radius = radius.unwrap_or_else(|| {
+        let base = 2.0 * pair.distance;
+        if base > 1e-9 {
+            base
+        } else {
+            (l as f64).sqrt() / 4.0
+        }
+    });
+
+    let profiler = DistanceProfiler::new(series)?;
+    let pa = profiler.self_profile(pair.a, l)?;
+    let pb = profiler.self_profile(pair.b, l)?;
+
+    // Point-wise min of the two distance profiles.
+    let combined: Vec<f64> = pa.iter().zip(&pb).map(|(&x, &y)| x.min(y)).collect();
+
+    // Qualifying offsets, then collapse trivial-match runs to their local
+    // minimum.
+    let mut occurrences: Vec<Occurrence> = Vec::new();
+    let mut i = 0;
+    while i < combined.len() {
+        if combined[i] > radius {
+            i += 1;
+            continue;
+        }
+        // Walk the contiguous qualifying run (allowing gaps smaller than
+        // the exclusion zone) and keep its minimum.
+        let mut best = Occurrence { offset: i, distance: combined[i] };
+        let mut last_qualifying = i;
+        let mut j = i + 1;
+        while j < combined.len() && j - last_qualifying <= exclusion {
+            if combined[j] <= radius {
+                last_qualifying = j;
+                if combined[j] < best.distance {
+                    best = Occurrence { offset: j, distance: combined[j] };
+                }
+            }
+            j += 1;
+        }
+        occurrences.push(best);
+        i = last_qualifying + exclusion + 1;
+    }
+
+    Ok(MotifSet { pair: *pair, radius, occurrences })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_series::gen;
+
+    #[test]
+    fn expansion_finds_all_planted_instances() {
+        let pattern: Vec<f64> = (0..40)
+            .map(|i| (i as f64 / 40.0 * std::f64::consts::TAU * 2.0).sin())
+            .collect();
+        let (series, truth) =
+            gen::planted_pair(3000, &pattern, &[200, 1000, 1800, 2600], 0.02, 8);
+        // Seed with the first two instances as the pair.
+        let d = valmod_series::znorm::zdist(&series[200..240], &series[1000..1040]);
+        let pair = MotifPair::new(200, 1000, d, 40);
+        let set = expand_motif_set(&series, &pair, None, 10).unwrap();
+        assert!(set.len() >= truth.offsets.len(), "found only {} occurrences", set.len());
+        for &planted in &truth.offsets {
+            assert!(
+                set.occurrences.iter().any(|o| o.offset.abs_diff(planted) <= 5),
+                "planted instance at {planted} not found in {:?}",
+                set.occurrences
+            );
+        }
+    }
+
+    #[test]
+    fn members_are_always_in_their_own_set() {
+        let series = gen::random_walk(500, 3);
+        let d = valmod_series::znorm::zdist(&series[10..42], &series[300..332]);
+        let pair = MotifPair::new(10, 300, d, 32);
+        let set = expand_motif_set(&series, &pair, None, 8).unwrap();
+        assert!(set.occurrences.iter().any(|o| o.offset.abs_diff(10) <= 8));
+        assert!(set.occurrences.iter().any(|o| o.offset.abs_diff(300) <= 8));
+    }
+
+    #[test]
+    fn tiny_radius_keeps_only_exact_members() {
+        let series = gen::white_noise(400, 7, 1.0);
+        let d = valmod_series::znorm::zdist(&series[50..82], &series[200..232]);
+        let pair = MotifPair::new(50, 200, d, 32);
+        // 1e-3 is far below any genuine white-noise match but above the
+        // FFT numeric floor of the self-distances.
+        let set = expand_motif_set(&series, &pair, Some(1e-3), 8).unwrap();
+        // Only the two members themselves are within distance ~0.
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn trivial_runs_collapse_to_one_occurrence() {
+        // A pure sine: every offset one period apart qualifies; shifted
+        // copies within the exclusion zone must collapse.
+        let series = gen::sine_mix(600, &[(50.0, 1.0)], 0.0, 1);
+        let d = valmod_series::znorm::zdist(&series[0..32], &series[50..82]);
+        let pair = MotifPair::new(0, 50, d, 32);
+        let set = expand_motif_set(&series, &pair, Some(0.5), 12).unwrap();
+        // Occurrences must be spaced by more than the exclusion zone.
+        for w in set.occurrences.windows(2) {
+            assert!(w[1].offset - w[0].offset > 12);
+        }
+        assert!(set.len() >= 8, "a 600-point sine has ~11 periods, got {}", set.len());
+    }
+
+    #[test]
+    fn bad_pair_windows_error() {
+        let series = gen::random_walk(100, 2);
+        let pair = MotifPair::new(0, 95, 1.0, 32); // second member does not fit
+        assert!(expand_motif_set(&series, &pair, None, 4).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Partial distance profiles — VALMOD's per-row working state.
+//!
+//! After the base-length matrix profile is computed, VALMOD keeps, for each
+//! subsequence (row), only the `p` candidates with the *largest base
+//! correlation* — equivalently, by the rank-invariance of the lower bound
+//! (see [`crate::lb`]), the `p` candidates with the smallest lower-bounded
+//! distance at every extended length. Each kept entry carries its running
+//! dot product, which one fused multiply-add per length keeps current.
+
+/// One retained candidate of a partial distance profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialEntry {
+    /// Candidate subsequence offset.
+    pub j: u32,
+    /// Pearson correlation with the row subsequence at the row's base
+    /// length — the pruning key.
+    pub rho_base: f64,
+    /// Dot product between the two subsequences at the *current* length,
+    /// updated incrementally as the length grows.
+    pub qt: f64,
+}
+
+/// The partial distance profile of one subsequence.
+#[derive(Debug, Clone, Default)]
+pub struct PartialRow {
+    /// Length at which this profile was (re)built; lower bounds extend
+    /// from here.
+    pub base_len: usize,
+    /// Retained candidates, sorted by descending `rho_base`.
+    pub entries: Vec<PartialEntry>,
+    /// Whether the selection saw more admissible candidates than it could
+    /// keep. When `false`, the profile is *complete*: no unstored
+    /// candidate exists and the row is always valid.
+    pub truncated: bool,
+}
+
+impl PartialRow {
+    /// The smallest stored base correlation — the pruning threshold. Every
+    /// candidate *not* stored has `ρ ≤` this, hence a lower-bounded
+    /// distance `≥ bound(worst_rho)`.
+    ///
+    /// Returns `None` when the profile is not truncated (nothing was left
+    /// out, so there is nothing to bound).
+    #[must_use]
+    pub fn worst_rho(&self) -> Option<f64> {
+        if self.truncated {
+            self.entries.last().map(|e| e.rho_base)
+        } else {
+            None
+        }
+    }
+
+    /// Asserts the ordering invariant (descending `rho_base`).
+    pub fn check_invariants(&self) {
+        for w in self.entries.windows(2) {
+            assert!(
+                w[0].rho_base >= w[1].rho_base,
+                "partial profile must be sorted by descending rho"
+            );
+        }
+    }
+}
+
+/// Incremental top-`p` selector by correlation, used while streaming a
+/// distance-profile row. Keeps the `p` largest-`rho` candidates seen.
+#[derive(Debug)]
+pub struct TopRhoSelector {
+    capacity: usize,
+    /// Unordered store; the minimum is tracked by index.
+    slots: Vec<PartialEntry>,
+    min_slot: usize,
+    /// Count of admissible candidates offered (to detect truncation).
+    offered: usize,
+}
+
+impl TopRhoSelector {
+    /// A selector keeping at most `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), slots: Vec::new(), min_slot: 0, offered: 0 }
+    }
+
+    /// Offers a candidate. O(1) amortized; O(p) when the minimum must be
+    /// rescanned after a replacement.
+    pub fn offer(&mut self, j: usize, rho: f64, qt: f64) {
+        self.offered += 1;
+        #[allow(clippy::cast_possible_truncation)]
+        let entry = PartialEntry { j: j as u32, rho_base: rho, qt };
+        if self.slots.len() < self.capacity {
+            self.slots.push(entry);
+            if entry.rho_base < self.slots[self.min_slot].rho_base {
+                self.min_slot = self.slots.len() - 1;
+            }
+            return;
+        }
+        if rho <= self.slots[self.min_slot].rho_base {
+            return;
+        }
+        self.slots[self.min_slot] = entry;
+        // Rescan for the new minimum (p is small).
+        let mut min = 0;
+        for (idx, e) in self.slots.iter().enumerate() {
+            if e.rho_base < self.slots[min].rho_base {
+                min = idx;
+            }
+        }
+        self.min_slot = min;
+    }
+
+    /// Finalizes the selection into a [`PartialRow`] with the given base
+    /// length.
+    #[must_use]
+    pub fn into_row(self, base_len: usize) -> PartialRow {
+        let truncated = self.offered > self.slots.len();
+        let mut entries = self.slots;
+        entries.sort_by(|a, b| {
+            b.rho_base.partial_cmp(&a.rho_base).expect("rho is never NaN").then(a.j.cmp(&b.j))
+        });
+        PartialRow { base_len, entries, truncated }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_keeps_the_top_p() {
+        let mut sel = TopRhoSelector::new(3);
+        for (j, rho) in [(0usize, 0.1), (1, 0.9), (2, 0.5), (3, 0.7), (4, 0.2), (5, 0.95)] {
+            sel.offer(j, rho, rho * 10.0);
+        }
+        let row = sel.into_row(16);
+        row.check_invariants();
+        let js: Vec<u32> = row.entries.iter().map(|e| e.j).collect();
+        assert_eq!(js, vec![5, 1, 3]);
+        assert!(row.truncated);
+        assert_eq!(row.worst_rho(), Some(0.7));
+        assert_eq!(row.base_len, 16);
+    }
+
+    #[test]
+    fn untruncated_profile_has_no_pruning_threshold() {
+        let mut sel = TopRhoSelector::new(8);
+        sel.offer(3, 0.4, 1.0);
+        sel.offer(9, 0.6, 2.0);
+        let row = sel.into_row(8);
+        assert!(!row.truncated);
+        assert_eq!(row.worst_rho(), None);
+        assert_eq!(row.entries.len(), 2);
+    }
+
+    #[test]
+    fn empty_selector_yields_empty_row() {
+        let sel = TopRhoSelector::new(4);
+        let row = sel.into_row(8);
+        assert!(row.entries.is_empty());
+        assert!(!row.truncated);
+        assert_eq!(row.worst_rho(), None);
+    }
+
+    #[test]
+    fn capacity_one_tracks_the_maximum() {
+        let mut sel = TopRhoSelector::new(1);
+        for (j, rho) in [(0usize, 0.3), (1, 0.8), (2, 0.5)] {
+            sel.offer(j, rho, 0.0);
+        }
+        let row = sel.into_row(4);
+        assert_eq!(row.entries.len(), 1);
+        assert_eq!(row.entries[0].j, 1);
+    }
+
+    #[test]
+    fn ties_are_resolved_deterministically() {
+        let mut sel = TopRhoSelector::new(2);
+        sel.offer(7, 0.5, 0.0);
+        sel.offer(2, 0.5, 0.0);
+        sel.offer(4, 0.5, 0.0);
+        let row = sel.into_row(4);
+        // Ordering by (rho desc, j asc) is stable regardless of offer order.
+        assert!(row.entries.windows(2).all(|w| w[0].j < w[1].j));
+    }
+}

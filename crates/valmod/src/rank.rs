@@ -1,0 +1,117 @@
+//! Length-invariant ranking of variable-length motif pairs.
+//!
+//! Euclidean distances grow with `√ℓ`, so raw distances cannot compare a
+//! 50-point motif with a 400-point one. The paper factors the distance by
+//! `√(1/ℓ)` — the *length-normalized distance* — which deliberately favors
+//! longer patterns among equally similar ones.
+
+use valmod_mp::MotifPair;
+use valmod_series::znorm::length_normalized;
+
+use crate::algo::ValmodOutput;
+
+/// A motif pair annotated with its length-normalized distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedMotif {
+    /// The motif pair (offsets, raw distance, length).
+    pub pair: MotifPair,
+    /// `distance / √length` — the ranking key.
+    pub normalized_distance: f64,
+}
+
+/// Ranks every pair discovered by a VALMOD run across all lengths,
+/// ascending by normalized distance, deduplicating pairs that describe the
+/// same co-occurrence at nearby offsets (the longest / best-normalized
+/// representative wins).
+#[must_use]
+pub fn rank_pairs(output: &ValmodOutput) -> Vec<RankedMotif> {
+    let all: Vec<RankedMotif> = output
+        .per_length
+        .iter()
+        .flat_map(|r| r.pairs.iter())
+        .map(|&pair| RankedMotif {
+            pair,
+            normalized_distance: length_normalized(pair.distance, pair.length),
+        })
+        .collect();
+    rank_and_dedupe(all, |l| output.config.exclusion(l))
+}
+
+/// Core of [`rank_pairs`], usable with any candidate set and exclusion
+/// policy.
+#[must_use]
+pub fn rank_and_dedupe(
+    mut candidates: Vec<RankedMotif>,
+    exclusion: impl Fn(usize) -> usize,
+) -> Vec<RankedMotif> {
+    candidates.sort_by(|x, y| {
+        x.normalized_distance
+            .partial_cmp(&y.normalized_distance)
+            .expect("normalized distances are never NaN")
+            // Favor the longer pattern among equals, as the paper's
+            // ranking intends.
+            .then(y.pair.length.cmp(&x.pair.length))
+            .then(x.pair.a.cmp(&y.pair.a))
+            .then(x.pair.b.cmp(&y.pair.b))
+    });
+    let mut selected: Vec<RankedMotif> = Vec::new();
+    for cand in candidates {
+        let excl = exclusion(cand.pair.length.max(1));
+        if selected.iter().any(|s| {
+            cand.pair.overlaps(&s.pair, excl.max(exclusion(s.pair.length.max(1))))
+        }) {
+            continue;
+        }
+        selected.push(cand);
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rm(a: usize, b: usize, d: f64, l: usize) -> RankedMotif {
+        RankedMotif {
+            pair: MotifPair::new(a, b, d, l),
+            normalized_distance: length_normalized(d, l),
+        }
+    }
+
+    #[test]
+    fn normalization_compares_lengths_fairly() {
+        // Same shape quality at double length has distance * sqrt(2); the
+        // normalized distances tie, and the longer one must rank first.
+        let short = rm(0, 100, 1.0, 50);
+        let long = rm(300, 500, (2.0f64).sqrt(), 100);
+        let ranked = rank_and_dedupe(vec![short, long], |l| l / 4);
+        assert_eq!(ranked[0].pair.length, 100);
+        assert_eq!(ranked[1].pair.length, 50);
+    }
+
+    #[test]
+    fn duplicates_across_lengths_collapse_to_best() {
+        // The same co-occurrence seen at lengths 50 and 60, slightly
+        // shifted: keep only the better-normalized one.
+        let a = rm(100, 400, 5.0, 50);
+        let b = rm(102, 398, 5.0, 60);
+        let ranked = rank_and_dedupe(vec![a, b], |l| l / 4);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].pair.length, 60); // smaller normalized distance
+    }
+
+    #[test]
+    fn distinct_motifs_survive() {
+        let a = rm(0, 200, 1.0, 50);
+        let b = rm(500, 900, 2.0, 50);
+        let c = rm(1500, 2500, 0.5, 80);
+        let ranked = rank_and_dedupe(vec![a, b, c], |l| l / 4);
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].pair.a, 1500);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(rank_and_dedupe(Vec::new(), |l| l / 4).is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Text rendering of series, profiles and VALMAP — the suite's stand-in
+//! for the demo's Python GUI (paper Figures 4 and 5).
+//!
+//! Everything renders to plain strings so the CLI, the examples and the
+//! docs can show the same views the demo showed on screen: the data
+//! series, the (normalized) matrix profile with its valleys, the length
+//! profile, and the checkpoint log of VALMAP updates.
+
+use crate::valmap::Valmap;
+
+/// Characters used for vertical resolution, coarsest to finest.
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a numeric sequence as a unicode sparkline of at most `width`
+/// characters (the sequence is min/max bucketed when longer). Infinite
+/// values render as spaces.
+#[must_use]
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return " ".repeat(width.min(values.len()));
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+
+    let buckets = width.min(values.len());
+    let mut out = String::with_capacity(buckets * 3);
+    for b in 0..buckets {
+        let start = b * values.len() / buckets;
+        let end = ((b + 1) * values.len() / buckets).max(start + 1);
+        let bucket = &values[start..end];
+        // Represent each bucket by its mean of finite values.
+        let fin: Vec<f64> = bucket.iter().copied().filter(|v| v.is_finite()).collect();
+        if fin.is_empty() {
+            out.push(' ');
+            continue;
+        }
+        let mean = fin.iter().sum::<f64>() / fin.len() as f64;
+        let t = ((mean - lo) / span).clamp(0.0, 1.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let idx = ((t * (BARS.len() - 1) as f64).round() as usize).min(BARS.len() - 1);
+        out.push(BARS[idx]);
+    }
+    out
+}
+
+/// Renders VALMAP as the demo's analysis pane: the normalized matrix
+/// profile sparkline, the length-profile sparkline, the best entry, and
+/// the per-length update counts (the "checkpoints").
+#[must_use]
+pub fn render_valmap(valmap: &Valmap, width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "VALMAP ({} entries, l_min = {})\n",
+        valmap.len(),
+        valmap.l_min
+    ));
+    out.push_str("MPn  |");
+    let lp_float: Vec<f64> = valmap.lp.iter().map(|&l| l as f64).collect();
+    out.push_str(&sparkline(&valmap.mpn, width));
+    out.push_str("|\nLP   |");
+    out.push_str(&sparkline(&lp_float, width));
+    out.push_str("|\n");
+    if let Some((i, j, l, dn)) = valmap.best_entry() {
+        out.push_str(&format!(
+            "best motif: offsets ({i}, {j}), length {l}, normalized distance {dn:.4}\n"
+        ));
+    } else {
+        out.push_str("best motif: none (no admissible matches)\n");
+    }
+    out.push_str(&format!(
+        "checkpoints: {} lengths, {} total updates\n",
+        valmap.checkpoints.len(),
+        valmap.total_updates()
+    ));
+    for cp in &valmap.checkpoints {
+        if cp.updates.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("  length {:>5}: {:>6} updates\n", cp.length, cp.updates.len()));
+    }
+    out
+}
+
+/// Renders a labelled series snippet above its profile, mimicking the
+/// paper's Figure 1 layout (data on top, profile underneath, aligned).
+#[must_use]
+pub fn render_series_with_profile(
+    series_label: &str,
+    series: &[f64],
+    profile_label: &str,
+    profile: &[f64],
+    width: usize,
+) -> String {
+    format!(
+        "{series_label:<12}|{}|\n{profile_label:<12}|{}|\n",
+        sparkline(series, width),
+        sparkline(profile, width),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_mp::{MatrixProfile, MotifPair};
+
+    #[test]
+    fn sparkline_maps_extremes_to_extreme_bars() {
+        let s = sparkline(&[0.0, 1.0], 2);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+    }
+
+    #[test]
+    fn sparkline_handles_empty_flat_and_infinite() {
+        assert!(sparkline(&[], 10).is_empty());
+        assert!(sparkline(&[1.0, 2.0], 0).is_empty());
+        // Flat input: all same bar, no panic on zero span.
+        let flat = sparkline(&[5.0; 4], 4);
+        assert_eq!(flat.chars().count(), 4);
+        // All-infinite input renders blanks.
+        let inf = sparkline(&[f64::INFINITY; 3], 3);
+        assert_eq!(inf, "   ");
+    }
+
+    #[test]
+    fn sparkline_buckets_long_input() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s = sparkline(&values, 10);
+        assert_eq!(s.chars().count(), 10);
+        // Monotone input -> non-decreasing bars.
+        let levels: Vec<usize> = s
+            .chars()
+            .map(|c| BARS.iter().position(|&b| b == c).unwrap())
+            .collect();
+        assert!(levels.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn render_valmap_mentions_key_facts() {
+        let mut mp = MatrixProfile::unfilled(16, 4, 8);
+        for i in 0..8 {
+            mp.offer(i, 2.0 + i as f64, (i + 5) % 8);
+        }
+        let mut v = crate::valmap::Valmap::from_base_profile(&mp);
+        v.apply_length(20, &[MotifPair::new(0, 5, 0.4, 20)]);
+        let text = render_valmap(&v, 40);
+        assert!(text.contains("VALMAP (8 entries, l_min = 16)"));
+        assert!(text.contains("best motif"));
+        assert!(text.contains("length    20:"));
+    }
+
+    #[test]
+    fn render_series_with_profile_aligns_rows() {
+        let out = render_series_with_profile("ECG", &[0.0, 1.0, 0.0], "MP", &[1.0, 0.5, 1.0], 3);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].chars().count(), lines[1].chars().count());
+    }
+}

@@ -1,0 +1,286 @@
+//! VALMAP — the Variable-Length Matrix Profile.
+//!
+//! The paper defines VALMAP as a triple
+//! `⟨MPn ∈ ℝ^{|D|−ℓmin+1}, IP ∈ ℕ^{...}, LP ∈ ℕ^{...}⟩`:
+//! for each subsequence offset, the *length-normalized* distance to the
+//! best match found at **any** length processed so far, the offset of that
+//! match, and the length at which it was found. It starts as the
+//! length-normalized matrix profile at `ℓmin` (with a flat length profile)
+//! and is refined with the top-k motif pairs of every longer length: an
+//! entry is overwritten whenever a longer pattern achieves a smaller
+//! normalized distance — revealing either a new event or the same event
+//! lasting longer.
+//!
+//! Every update is recorded in a checkpoint log, which is what the demo's
+//! GUI visualizes (a slider over lengths replays the log).
+
+use serde::Serialize;
+use valmod_mp::{MatrixProfile, MotifPair};
+use valmod_series::znorm::length_normalized;
+
+/// One applied VALMAP entry update.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ValmapUpdate {
+    /// Entry (subsequence offset) that improved.
+    pub offset: usize,
+    /// Offset of the new best match.
+    pub match_offset: usize,
+    /// The new length-normalized distance.
+    pub normalized_distance: f64,
+}
+
+/// One length step's worth of VALMAP updates.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ValmapCheckpoint {
+    /// Subsequence length whose motif pairs caused these updates.
+    pub length: usize,
+    /// The updates applied at this length, in application order.
+    pub updates: Vec<ValmapUpdate>,
+}
+
+/// A reconstructed VALMAP state `(MPn, IP, LP)` as of some length — the
+/// return type of [`Valmap::as_of_length`].
+pub type ValmapSnapshot = (Vec<f64>, Vec<Option<usize>>, Vec<usize>);
+
+/// The Variable-Length Matrix Profile.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Valmap {
+    /// `ℓmin` — the length the structure was initialized from.
+    pub l_min: usize,
+    /// `MPn` — length-normalized distance to the best match over all
+    /// processed lengths.
+    pub mpn: Vec<f64>,
+    /// `IP` — offset of that best match (`None` where no admissible match
+    /// exists).
+    pub ip: Vec<Option<usize>>,
+    /// `LP` — length at which the best match was found.
+    pub lp: Vec<usize>,
+    /// The base (ℓmin) normalized profile, kept so the update log can be
+    /// replayed from scratch.
+    base_mpn: Vec<f64>,
+    base_ip: Vec<Option<usize>>,
+    /// Update log, one checkpoint per processed length (including empty
+    /// ones, so checkpoints align with the length range).
+    pub checkpoints: Vec<ValmapCheckpoint>,
+}
+
+impl Valmap {
+    /// Initializes VALMAP from the base-length matrix profile: normalized
+    /// distances, its index profile, and a flat length profile — exactly
+    /// the fixed-length special case described in the paper.
+    #[must_use]
+    pub fn from_base_profile(mp: &MatrixProfile) -> Self {
+        let mpn = mp.length_normalized_values();
+        Self {
+            l_min: mp.window,
+            base_mpn: mpn.clone(),
+            base_ip: mp.indices.clone(),
+            mpn,
+            ip: mp.indices.clone(),
+            lp: vec![mp.window; mp.len()],
+            checkpoints: Vec::new(),
+        }
+    }
+
+    /// Number of entries (`|D| − ℓmin + 1`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.mpn.len()
+    }
+
+    /// Whether the structure has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.mpn.is_empty()
+    }
+
+    /// Applies the top-k motif pairs of one length and records the
+    /// checkpoint. Each pair updates both of its members' entries when the
+    /// length-normalized distance improves on the stored one.
+    pub fn apply_length(&mut self, length: usize, pairs: &[MotifPair]) {
+        let mut updates = Vec::new();
+        for pair in pairs {
+            debug_assert_eq!(pair.length, length);
+            let dn = length_normalized(pair.distance, length);
+            for (me, other) in [(pair.a, pair.b), (pair.b, pair.a)] {
+                if me < self.mpn.len() && dn < self.mpn[me] {
+                    self.mpn[me] = dn;
+                    self.ip[me] = Some(other);
+                    self.lp[me] = length;
+                    updates.push(ValmapUpdate {
+                        offset: me,
+                        match_offset: other,
+                        normalized_distance: dn,
+                    });
+                }
+            }
+        }
+        self.checkpoints.push(ValmapCheckpoint { length, updates });
+    }
+
+    /// The entry with the smallest normalized distance:
+    /// `(offset, match offset, length, normalized distance)`.
+    #[must_use]
+    pub fn best_entry(&self) -> Option<(usize, usize, usize, f64)> {
+        let (i, &dn) = self
+            .mpn
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("MPn entries are never NaN"))?;
+        let j = self.ip[i]?;
+        dn.is_finite().then_some((i, j, self.lp[i], dn))
+    }
+
+    /// State of the structure as of a given length: replays the update log
+    /// up to and including `length` from the base profile — the demo GUI's
+    /// "slider" view. Returns `(MPn, IP, LP)`, or `None` when `length`
+    /// precedes `ℓmin`.
+    #[must_use]
+    pub fn as_of_length(&self, length: usize) -> Option<ValmapSnapshot> {
+        if length < self.l_min {
+            return None;
+        }
+        let mut mpn = self.base_mpn.clone();
+        let mut ip = self.base_ip.clone();
+        let mut lp = vec![self.l_min; self.len()];
+        for cp in self.checkpoints.iter().take_while(|cp| cp.length <= length) {
+            for u in &cp.updates {
+                mpn[u.offset] = u.normalized_distance;
+                ip[u.offset] = Some(u.match_offset);
+                lp[u.offset] = cp.length;
+            }
+        }
+        Some((mpn, ip, lp))
+    }
+
+    /// Total number of entry updates across all checkpoints.
+    #[must_use]
+    pub fn total_updates(&self) -> usize {
+        self.checkpoints.iter().map(|c| c.updates.len()).sum()
+    }
+
+    /// Serializes the triple as CSV (`offset,mpn,ip,lp`, header included) —
+    /// the hand-off format for external plotting front-ends (the demo's
+    /// Python GUI consumed exactly this information).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.len() * 24 + 16);
+        out.push_str("offset,mpn,ip,lp\n");
+        for i in 0..self.len() {
+            let mpn = if self.mpn[i].is_finite() {
+                format!("{:.6}", self.mpn[i])
+            } else {
+                String::new()
+            };
+            let ip = self.ip[i].map(|j| j.to_string()).unwrap_or_default();
+            out.push_str(&format!("{i},{mpn},{ip},{}\n", self.lp[i]));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_profile() -> MatrixProfile {
+        let mut mp = MatrixProfile::unfilled(16, 4, 6);
+        for i in 0..6 {
+            mp.offer(i, 4.0 + i as f64, (i + 5) % 6);
+        }
+        mp
+    }
+
+    #[test]
+    fn initialization_matches_fixed_length_case() {
+        let mp = base_profile();
+        let v = Valmap::from_base_profile(&mp);
+        assert_eq!(v.len(), 6);
+        assert!(!v.is_empty());
+        assert_eq!(v.l_min, 16);
+        assert!(v.lp.iter().all(|&l| l == 16));
+        // mpn = distance / sqrt(16)
+        assert!((v.mpn[0] - 1.0).abs() < 1e-12);
+        assert!(v.checkpoints.is_empty());
+    }
+
+    #[test]
+    fn updates_apply_only_on_improvement() {
+        let mp = base_profile();
+        let mut v = Valmap::from_base_profile(&mp);
+        // Offset 0 has mpn 1.0. A pair with normalized distance 0.5 at
+        // length 25 improves it.
+        let good = MotifPair::new(0, 3, 2.5, 25);
+        // Offset 1 has mpn 1.25; a worse pair must not overwrite.
+        let bad = MotifPair::new(1, 4, 10.0, 25);
+        v.apply_length(25, &[good, bad]);
+        assert!((v.mpn[0] - 0.5).abs() < 1e-12);
+        assert_eq!(v.ip[0], Some(3));
+        assert_eq!(v.lp[0], 25);
+        // Offset 3 (the partner) also improved: 0.5 < 7/4.
+        assert_eq!(v.lp[3], 25);
+        // Offset 1 untouched.
+        assert_eq!(v.lp[1], 16);
+        assert_eq!(v.checkpoints.len(), 1);
+        let touched: Vec<usize> = v.checkpoints[0].updates.iter().map(|u| u.offset).collect();
+        assert_eq!(touched, vec![0, 3]);
+    }
+
+    #[test]
+    fn best_entry_tracks_global_minimum() {
+        let mp = base_profile();
+        let mut v = Valmap::from_base_profile(&mp);
+        v.apply_length(20, &[MotifPair::new(2, 5, 0.9, 20)]);
+        let (i, j, l, dn) = v.best_entry().unwrap();
+        assert_eq!((i, j, l), (2, 5, 20));
+        assert!((dn - 0.9 / (20.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpoint_log_counts_updates() {
+        let mp = base_profile();
+        let mut v = Valmap::from_base_profile(&mp);
+        v.apply_length(17, &[]);
+        v.apply_length(18, &[MotifPair::new(0, 3, 0.1, 18)]);
+        assert_eq!(v.checkpoints.len(), 2);
+        assert!(v.checkpoints[0].updates.is_empty());
+        assert_eq!(v.total_updates(), 2); // both members of the pair
+    }
+
+    #[test]
+    fn csv_export_is_well_formed() {
+        let mp = base_profile();
+        let mut v = Valmap::from_base_profile(&mp);
+        v.apply_length(20, &[MotifPair::new(2, 5, 0.9, 20)]);
+        let csv = v.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "offset,mpn,ip,lp");
+        assert_eq!(lines.len(), 1 + v.len());
+        // The updated entry carries the new length.
+        assert!(lines[3].starts_with("2,") && lines[3].ends_with(",20"));
+        // Every row has exactly 3 commas.
+        for line in &lines[1..] {
+            assert_eq!(line.matches(',').count(), 3, "bad row {line:?}");
+        }
+    }
+
+    #[test]
+    fn as_of_length_replays_the_log() {
+        let mp = base_profile();
+        let mut v = Valmap::from_base_profile(&mp);
+        v.apply_length(18, &[MotifPair::new(0, 3, 0.1, 18)]);
+        v.apply_length(30, &[MotifPair::new(1, 4, 0.1, 30)]);
+        let (mpn, ip, lp) = v.as_of_length(20).unwrap();
+        assert_eq!(lp[0], 18); // applied at 18 ≤ 20
+        assert_eq!(lp[1], 16); // update at 30 not yet visible...
+        assert!((mpn[1] - 1.25).abs() < 1e-12); // ...so the base value shows
+        assert_eq!(ip[1], Some(0)); // base index profile value
+        assert!(mpn[0].is_finite());
+        assert!(v.as_of_length(10).is_none());
+        // Replaying everything equals the live state.
+        let (mpn_all, ip_all, lp_all) = v.as_of_length(usize::MAX).unwrap();
+        assert_eq!(mpn_all, v.mpn);
+        assert_eq!(ip_all, v.ip);
+        assert_eq!(lp_all, v.lp);
+    }
+}

@@ -1,0 +1,108 @@
+//! Exactness of VALMOD across a matrix of configurations: every
+//! combination of exclusion policy, k, and p must match the brute force —
+//! correctness must not depend on tuning.
+
+use valmod_core::discord::variable_length_discords;
+use valmod_core::{run_valmod, ValmodConfig};
+use valmod_mp::motif::{top_k_discords, top_k_pairs};
+use valmod_mp::stomp::stomp;
+use valmod_series::gen;
+
+fn check_motifs(series: &[f64], config: &ValmodConfig) {
+    let out = run_valmod(series, config).unwrap();
+    for r in &out.per_length {
+        let mp = stomp(series, r.length, config.exclusion(r.length)).unwrap();
+        let expect = top_k_pairs(&mp, config.k);
+        assert_eq!(
+            r.pairs.len(),
+            expect.len(),
+            "pair count at length {} for {config:?}",
+            r.length
+        );
+        for (got, want) in r.pairs.iter().zip(&expect) {
+            assert!(
+                (got.distance - want.distance).abs() < 1e-6,
+                "length {} for {config:?}: {got:?} vs {want:?}",
+                r.length
+            );
+        }
+    }
+}
+
+#[test]
+fn exclusion_policy_matrix() {
+    let series = gen::ecg(300, &gen::EcgConfig::default(), 91);
+    for den in [2usize, 4, 8] {
+        check_motifs(&series, &ValmodConfig::new(16, 24).with_k(2).with_exclusion_den(den));
+    }
+}
+
+#[test]
+fn k_and_p_matrix() {
+    let series = gen::astro(280, &gen::AstroConfig::default(), 92);
+    for k in [1usize, 5] {
+        for p in [1usize, 4, 16] {
+            check_motifs(
+                &series,
+                &ValmodConfig::new(12, 20).with_k(k).with_profile_size(p),
+            );
+        }
+    }
+}
+
+#[test]
+fn k_larger_than_available_pairs() {
+    // Ask for far more pairs than spread-out candidates exist; VALMOD and
+    // the reference must agree on the (short) result.
+    let series = gen::random_walk(120, 93);
+    check_motifs(&series, &ValmodConfig::new(10, 14).with_k(50));
+}
+
+#[test]
+fn wide_range_against_brute() {
+    // A range spanning 3x its l_min exercises long-extension bounds.
+    let series = gen::ecg(260, &gen::EcgConfig::default(), 94);
+    check_motifs(&series, &ValmodConfig::new(12, 36).with_k(2));
+}
+
+#[test]
+fn discords_across_exclusion_policies() {
+    let series = gen::seismic(260, &gen::SeismicConfig::default(), 95);
+    for den in [2usize, 4] {
+        let config = ValmodConfig::new(12, 18).with_k(2).with_exclusion_den(den);
+        let results = variable_length_discords(&series, &config).unwrap();
+        for r in &results {
+            let mp = stomp(&series, r.length, config.exclusion(r.length)).unwrap();
+            let expect = top_k_discords(&mp, config.k);
+            assert_eq!(r.discords.len(), expect.len(), "at length {}", r.length);
+            for (got, (_, want)) in r.discords.iter().zip(&expect) {
+                assert!(
+                    (got.nn_distance - want).abs() < 1e-6,
+                    "length {} den {den}: {} vs {want}",
+                    r.length,
+                    got.nn_distance
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn motifs_and_discords_share_one_run_semantics() {
+    // The same config drives both searches; their per-length windows must
+    // line up and their extreme entries must bracket every profile value.
+    let series = gen::epg(300, &gen::EpgConfig::default(), 96);
+    let config = ValmodConfig::new(16, 22).with_k(1);
+    let motifs = run_valmod(&series, &config).unwrap();
+    let discords = variable_length_discords(&series, &config).unwrap();
+    for (m, d) in motifs.per_length.iter().zip(&discords) {
+        assert_eq!(m.length, d.length);
+        if let (Some(pair), Some(disc)) = (m.pairs.first(), d.discords.first()) {
+            assert!(
+                pair.distance <= disc.nn_distance + 1e-9,
+                "motif distance must not exceed discord distance at length {}",
+                m.length
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for VALMOD's core invariants: lower-bound admissibility
+//! and rank invariance on arbitrary inputs, and end-to-end exactness
+//! against the brute force on random series.
+
+use proptest::prelude::*;
+use valmod_core::{run_valmod, LbRowContext, ValmodConfig};
+use valmod_series::znorm::{pearson_from_dist, zdist};
+use valmod_series::RollingStats;
+
+fn series(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, min_len..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Admissibility: LB(i, j, L) ≤ d(T_{i,L}, T_{j,L}) for arbitrary
+    /// series, rows, candidates, and extensions.
+    #[test]
+    fn lower_bound_is_admissible(values in series(40, 120), seed in 0usize..100_000) {
+        let n = values.len();
+        let base = 6 + seed % 10;
+        let target = base + (seed / 10) % 12;
+        if target >= n {
+            return Ok(());
+        }
+        let i = (seed / 120) % (n - target + 1);
+        let j = (seed / 7) % (n - target + 1);
+        let stats = RollingStats::new(&values);
+        let rho = pearson_from_dist(
+            zdist(&values[i..i + base], &values[j..j + base]),
+            base,
+        );
+        let ctx = LbRowContext::new(&stats, i, base, target);
+        let lb = ctx.bound(rho);
+        let true_d = zdist(&values[i..i + target], &values[j..j + target]);
+        prop_assert!(
+            lb <= true_d + 1e-5,
+            "LB {} > true {} (i={}, j={}, base={}, target={})",
+            lb, true_d, i, j, base, target
+        );
+    }
+
+    /// Rank invariance: the bound is non-increasing in the base
+    /// correlation for any row/extension.
+    #[test]
+    fn lower_bound_is_monotone(values in series(40, 100), seed in 0usize..10_000) {
+        let n = values.len();
+        let base = 6 + seed % 8;
+        let target = base + seed % 16;
+        if target >= n {
+            return Ok(());
+        }
+        let i = seed % (n - target + 1);
+        let stats = RollingStats::new(&values);
+        let ctx = LbRowContext::new(&stats, i, base, target);
+        let mut prev = f64::INFINITY;
+        for step in 0..=40 {
+            let rho = -1.0 + f64::from(step) * 0.05;
+            let lb = ctx.bound(rho);
+            prop_assert!(lb <= prev + 1e-12, "bound increased at rho {}", rho);
+            prev = lb;
+        }
+    }
+
+    /// End-to-end exactness on random series: VALMOD's best distance per
+    /// length equals the matrix-profile minimum computed independently.
+    #[test]
+    fn valmod_is_exact_on_random_series(values in series(80, 160), seed in 0usize..1000) {
+        let l_min = 6 + seed % 6;
+        let width = 1 + seed % 6;
+        let config = ValmodConfig::new(l_min, l_min + width).with_k(1).with_profile_size(2);
+        if config.validate(values.len()).is_err() {
+            return Ok(());
+        }
+        let out = run_valmod(&values, &config).unwrap();
+        for r in &out.per_length {
+            let mp = valmod_mp::stomp::stomp(&values, r.length, config.exclusion(r.length))
+                .unwrap();
+            match (r.pairs.first(), mp.min_entry()) {
+                (Some(got), Some((_, _, want))) => prop_assert!(
+                    (got.distance - want).abs() < 1e-6,
+                    "length {}: {} vs {}", r.length, got.distance, want
+                ),
+                (None, None) => {}
+                other => prop_assert!(false, "presence mismatch at {}: {:?}", r.length, other),
+            }
+        }
+    }
+
+    /// VALMAP structural invariants hold for arbitrary runs.
+    #[test]
+    fn valmap_structure_is_sound(values in series(80, 140), seed in 0usize..1000) {
+        let l_min = 6 + seed % 5;
+        let config = ValmodConfig::new(l_min, l_min + 4).with_k(2);
+        if config.validate(values.len()).is_err() {
+            return Ok(());
+        }
+        let out = run_valmod(&values, &config).unwrap();
+        let v = &out.valmap;
+        prop_assert_eq!(v.len(), values.len() - l_min + 1);
+        prop_assert_eq!(v.checkpoints.len(), 4);
+        for i in 0..v.len() {
+            prop_assert!(!v.mpn[i].is_nan());
+            prop_assert!(v.lp[i] >= l_min && v.lp[i] <= l_min + 4);
+            if v.lp[i] > l_min {
+                // An updated entry must appear in exactly the checkpoints
+                // that touched it, the last one at its recorded length.
+                let last = v
+                    .checkpoints
+                    .iter().rfind(|c| c.updates.iter().any(|u| u.offset == i));
+                prop_assert_eq!(last.map(|c| c.length), Some(v.lp[i]));
+            }
+        }
+        // Replaying the full log reproduces the live state.
+        let (mpn, ip, lp) = v.as_of_length(usize::MAX).unwrap();
+        prop_assert_eq!(&mpn, &v.mpn);
+        prop_assert_eq!(&ip, &v.ip);
+        prop_assert_eq!(&lp, &v.lp);
+    }
+}

@@ -1,0 +1,95 @@
+//! Variable-length anomaly detection with discords — the journal
+//! extension of VALMOD (KAIS 2020): the same partial-profile machinery
+//! that finds the closest pair at every length also finds, exactly, the
+//! subsequence *farthest from everything else* at every length.
+//!
+//! ```text
+//! cargo run --release --example anomaly_discords
+//! ```
+
+use valmod_suite::series::gen;
+use valmod_suite::valmod::discord::variable_length_discords;
+use valmod_suite::valmod::render::sparkline;
+use valmod_suite::valmod::ValmodConfig;
+
+fn main() {
+    // A clean periodic signal with one arrhythmic event injected.
+    // A tame recording (little wander/noise), so the injected event is the
+    // dominant anomaly rather than natural measurement artifacts.
+    let ecg_cfg = gen::EcgConfig {
+        beat_jitter: 0.02,
+        noise_std: 0.01,
+        wander_amp: 0.02,
+        ..gen::EcgConfig::default()
+    };
+    let mut series = gen::ecg(4000, &ecg_cfg, 13);
+    for (t, v) in series[2100..2180].iter_mut().enumerate() {
+        // Simulated ventricular ectopic: the normal beat is replaced by a
+        // wide, bizarre complex (inverted and slow), not just scaled.
+        let phase = t as f64 / 80.0;
+        *v = -1.1 * (std::f64::consts::PI * phase).sin()
+            + 0.6 * (3.0 * std::f64::consts::PI * phase).sin();
+    }
+    println!("ECG with injected ectopic beat near offset 2100:");
+    println!("data |{}|\n", sparkline(&series, 72));
+
+    let config = ValmodConfig::new(32, 96).with_k(1);
+    let started = std::time::Instant::now();
+    let results = variable_length_discords(&series, &config).expect("valid configuration");
+    println!(
+        "exact top discord for every length in [32, 96]: {:.2?}\n",
+        started.elapsed()
+    );
+
+    // The anomaly should dominate at (almost) every length; the normalized
+    // NN distance tells us at which length it is *most* anomalous.
+    let overlaps_event =
+        |offset: usize, length: usize| offset < 2180 && offset + length > 2100;
+    let mut best: Option<(usize, usize, f64)> = None;
+    println!("{:>8} {:>10} {:>12} {:>14}  covers event?", "length", "offset", "NN dist", "NN dist/sqrt(l)");
+    for r in results.iter().step_by(8) {
+        if let Some(d) = r.discords.first() {
+            println!(
+                "{:>8} {:>10} {:>12.4} {:>14.4}  {}",
+                r.length,
+                d.offset,
+                d.nn_distance,
+                d.normalized(),
+                if overlaps_event(d.offset, r.length) { "yes" } else { "-" }
+            );
+        }
+    }
+    let mut covered = 0usize;
+    for r in &results {
+        if let Some(d) = r.discords.first() {
+            if overlaps_event(d.offset, r.length) {
+                covered += 1;
+            }
+            if best.is_none_or(|(.., b)| d.normalized() > b) {
+                best = Some((r.length, d.offset, d.normalized()));
+            }
+        }
+    }
+    let (best_len, best_offset, best_score) = best.expect("discords exist");
+    println!(
+        "\n{covered} of {} lengths point their top discord at the injected event — \n\
+         shorter windows instead isolate natural artifacts, which is exactly why the\n\
+         anomaly *length* matters as much as the anomaly location.\n\
+         globally most anomalous: length {best_len}, offset {best_offset} \
+         (normalized NN distance {best_score:.4})",
+        results.len()
+    );
+
+    // Resolution statistics: the pruning story for discords.
+    let resolved: usize = results.iter().skip(1).map(|r| r.resolved_rows).sum();
+    let total: usize = results
+        .iter()
+        .skip(1)
+        .map(|r| series.len() - r.length + 1)
+        .sum();
+    println!(
+        "rows resolved exactly: {resolved} of {total} row-length steps \
+         ({:.2}%)",
+        100.0 * resolved as f64 / total as f64
+    );
+}

@@ -1,0 +1,62 @@
+//! Variable-length motifs in an astronomical light curve (the paper's
+//! ASTRO dataset scenario): pulsation patterns exist at several natural
+//! scales, and the right motif length is not knowable in advance.
+//!
+//! ```text
+//! cargo run --release --example astro_ranges
+//! ```
+
+use valmod_suite::prelude::*;
+use valmod_suite::series::gen;
+use valmod_suite::valmod::expand_motif_set;
+
+fn main() {
+    // Pulsations at periods ~190, ~67 and ~23 samples, drifting slowly.
+    let series = gen::astro(6000, &gen::AstroConfig::default(), 99);
+
+    let config = ValmodConfig::new(20, 120).with_k(3);
+    let started = std::time::Instant::now();
+    let output = run_valmod(&series, &config).expect("valid configuration");
+    println!(
+        "VALMOD over l in [20, 120] on {} ASTRO points: {:.2?}",
+        series.len(),
+        started.elapsed()
+    );
+
+    // Per-length best distances reveal the natural scales: lengths close
+    // to a pulsation period match far better than lengths between scales.
+    println!("\nbest length-normalized distance per length (every 10th):");
+    for r in output.per_length.iter().step_by(10) {
+        if let Some(p) = r.pairs.first() {
+            let dn = p.distance / (p.length as f64).sqrt();
+            let bar = "#".repeat((dn * 120.0) as usize);
+            println!("  l = {:>4}: {dn:.4} |{bar}", r.length);
+        }
+    }
+
+    println!("\ntop motifs across all lengths:");
+    for m in output.ranking().iter().take(4) {
+        println!(
+            "  offsets ({:>5}, {:>5})  length {:>4}  d/sqrt(l) = {:.4}",
+            m.pair.a, m.pair.b, m.pair.length, m.normalized_distance
+        );
+    }
+
+    // Expand the best motif into its full occurrence set — the demo's
+    // "Motif Pairs Expansion to Motif Sets" feature.
+    if let Some(best) = output.ranking().first() {
+        let set = expand_motif_set(
+            &series,
+            &best.pair,
+            None,
+            output.config.exclusion(best.pair.length),
+        )
+        .expect("pair fits the series");
+        println!(
+            "\nmotif set of the top pair (radius {:.3}): {} occurrences at offsets {:?}",
+            set.radius,
+            set.len(),
+            set.occurrences.iter().map(|o| o.offset).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! The demo's GUI pane (Figure 5) as text: VALMAP checkpoints explored
+//! with the "length slider", the top variable-length motifs, and a motif
+//! set expansion — the three interactions the paper demonstrates.
+//!
+//! ```text
+//! cargo run --release --example valmap_report
+//! ```
+
+use valmod_suite::prelude::*;
+use valmod_suite::series::gen;
+use valmod_suite::valmod::expand_motif_set;
+use valmod_suite::valmod::render::{render_valmap, sparkline};
+
+fn main() {
+    let series = gen::ecg(3000, &gen::EcgConfig::default(), 21);
+    let config = ValmodConfig::new(40, 160).with_k(5);
+    let output = run_valmod(&series, &config).expect("valid configuration");
+
+    // ---- Pane 1: the VALMAP overview. ----
+    println!("{}", render_valmap(&output.valmap, 72));
+
+    // ---- Pane 2: the length slider — replay checkpoints up to a length. ----
+    println!("checkpoint slider (state of MPn as of selected lengths):");
+    for slider in [40usize, 80, 120, 160] {
+        let (mpn, _, lp) = output.valmap.as_of_length(slider).expect("length in range");
+        let updated = lp.iter().filter(|&&l| l > config.l_min).count();
+        println!(
+            "  l <= {slider:>4} |{}| {updated:>5} entries improved past l_min",
+            sparkline(&mpn, 56)
+        );
+    }
+
+    // ---- Pane 3: top variable-length motifs. ----
+    println!("\ntop-k motifs of variable length reported by VALMAP:");
+    for (rank, m) in output.ranking().iter().take(5).enumerate() {
+        println!(
+            "  #{:<2} offsets ({:>5}, {:>5}) length {:>4} d/sqrt(l) = {:.4}",
+            rank + 1,
+            m.pair.a,
+            m.pair.b,
+            m.pair.length,
+            m.normalized_distance
+        );
+    }
+
+    // ---- Pane 4: expand the selected pair to its motif set. ----
+    if let Some(best) = output.ranking().first() {
+        let set = expand_motif_set(
+            &series,
+            &best.pair,
+            None,
+            output.config.exclusion(best.pair.length),
+        )
+        .expect("pair fits");
+        println!(
+            "\nexpanded motif set of #1 (radius {:.3}): {} occurrences",
+            set.radius,
+            set.len()
+        );
+        for o in &set.occurrences {
+            println!("    offset {:>5}  distance {:.3}", o.offset, o.distance);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # VALMOD Suite
+//!
+//! A from-scratch Rust reproduction of **VALMOD** (Linardi, Zhu, Palpanas,
+//! Keogh — SIGMOD 2018): exact discovery of *variable-length* motifs in
+//! data series, together with every substrate and baseline the paper's
+//! evaluation depends on.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! namespace so applications can depend on `valmod-suite` alone.
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`series`] | `valmod-series` | series container, rolling stats, z-normalization, generators, I/O |
+//! | [`fft`] | `valmod-fft` | FFT, convolution, sliding dot products |
+//! | [`mp`] | `valmod-mp` | MASS, STAMP, STOMP, motif/discord extraction |
+//! | [`baselines`] | `valmod-baselines` | brute force, MOEN, QUICKMOTIF |
+//! | [`valmod`] | `valmod-core` | the VALMOD algorithm, VALMAP, ranking, motif sets |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use valmod_suite::prelude::*;
+//!
+//! // A synthetic ECG: heartbeats recur, with naturally varying durations.
+//! let series = valmod_suite::series::gen::ecg(
+//!     2000,
+//!     &valmod_suite::series::gen::EcgConfig::default(),
+//!     42,
+//! );
+//!
+//! // Find the best motif pairs for every length in [32, 48].
+//! let config = ValmodConfig::new(32, 48);
+//! let output = run_valmod(&series, &config).unwrap();
+//!
+//! // The global ranking compares lengths via the length-normalized distance.
+//! let best = &output.ranking()[0];
+//! println!(
+//!     "best motif: offsets ({}, {}), length {}, normalized distance {:.3}",
+//!     best.pair.a, best.pair.b, best.pair.length, best.normalized_distance
+//! );
+//! ```
+
+pub use valmod_baselines as baselines;
+pub use valmod_core as valmod;
+pub use valmod_fft as fft;
+pub use valmod_mp as mp;
+pub use valmod_series as series;
+
+/// The most common imports for applications.
+pub mod prelude {
+    pub use valmod_core::{run_valmod, ValmodConfig, ValmodOutput};
+    pub use valmod_mp::{default_exclusion, MatrixProfile, MotifPair};
+    pub use valmod_series::{DataSeries, RollingStats, SeriesError};
+}

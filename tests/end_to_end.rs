@@ -1,0 +1,169 @@
+//! Cross-crate integration tests: the full pipeline from generated data
+//! through VALMOD to VALMAP, checked against the baselines.
+
+use valmod_suite::baselines::{brute_top_k, moen_range, quickmotif_best_pair, MoenConfig, QuickMotifConfig};
+use valmod_suite::mp::stomp::{stomp, stomp_parallel};
+use valmod_suite::prelude::*;
+use valmod_suite::series::{gen, znorm};
+use valmod_suite::valmod::expand_motif_set;
+
+/// The headline invariant of the whole suite: VALMOD's per-length output
+/// equals an independent brute force for every length in the range.
+#[test]
+fn valmod_equals_brute_force_end_to_end() {
+    let series = gen::ecg(350, &gen::EcgConfig::default(), 101);
+    let config = ValmodConfig::new(20, 36).with_k(3);
+    let out = run_valmod(&series, &config).unwrap();
+    for r in &out.per_length {
+        let expect = brute_top_k(&series, r.length, config.exclusion(r.length), 3).unwrap();
+        assert_eq!(r.pairs.len(), expect.len(), "at length {}", r.length);
+        for (got, want) in r.pairs.iter().zip(&expect) {
+            assert!(
+                (got.distance - want.distance).abs() < 1e-6,
+                "length {}: {got:?} vs {want:?}",
+                r.length
+            );
+        }
+    }
+}
+
+/// The planted-motif recovery story, through the full public API.
+#[test]
+fn planted_variable_length_motif_is_recovered_and_expandable() {
+    let pattern: Vec<f64> = (0..64)
+        .map(|i| {
+            let t = i as f64 / 64.0;
+            (t * std::f64::consts::TAU * 2.0).sin() + 0.5 * (t * std::f64::consts::TAU * 5.0).sin()
+        })
+        .collect();
+    let (series, truth) = gen::planted_pair(4000, &pattern, &[700, 2500], 0.02, 17);
+
+    let config = ValmodConfig::new(48, 80).with_k(3);
+    let out = run_valmod(&series, &config).unwrap();
+
+    // The global ranking's winner must be the planted pair.
+    let ranking = out.ranking();
+    let top = ranking.first().expect("motifs exist");
+    assert!(top.pair.a.abs_diff(truth.offsets[0]) <= top.pair.length);
+    assert!(top.pair.b.abs_diff(truth.offsets[1]) <= top.pair.length);
+
+    // Expanding it must find both instances.
+    let set = expand_motif_set(&series, &top.pair, None, config.exclusion(top.pair.length))
+        .unwrap();
+    for &planted in &truth.offsets {
+        assert!(
+            set.occurrences.iter().any(|o| o.offset.abs_diff(planted) <= 16),
+            "instance at {planted} missing from motif set {:?}",
+            set.occurrences
+        );
+    }
+}
+
+/// All engines and baselines agree on a fixed length.
+#[test]
+fn every_engine_agrees_on_fixed_length_motifs() {
+    let series = gen::astro(400, &gen::AstroConfig::default(), 7);
+    let l = 24;
+    let excl = valmod_suite::mp::default_exclusion(l);
+
+    let serial = stomp(&series, l, excl).unwrap();
+    let parallel = stomp_parallel(&series, l, excl, 4).unwrap();
+    let stamp = valmod_suite::mp::stamp::stamp(&series, l, excl).unwrap();
+    let (_, _, d_stomp) = serial.min_entry().unwrap();
+    let (_, _, d_par) = parallel.min_entry().unwrap();
+    let (_, _, d_stamp) = stamp.min_entry().unwrap();
+    assert!((d_stomp - d_par).abs() < 1e-7);
+    assert!((d_stomp - d_stamp).abs() < 1e-6);
+
+    let qm_cfg = QuickMotifConfig { exclusion_den: 4, ..QuickMotifConfig::default() };
+    let qm = quickmotif_best_pair(&series, l, &qm_cfg).unwrap().unwrap();
+    assert!((qm.distance - d_stomp).abs() < 1e-6);
+
+    let moen = moen_range(&series, l, l, &MoenConfig::default()).unwrap();
+    assert!((moen[0].unwrap().distance - d_stomp).abs() < 1e-6);
+}
+
+/// VALMAP semantics: MPn is everywhere ≤ the base normalized profile, and
+/// every LP entry lies within the configured range.
+#[test]
+fn valmap_invariants_hold_after_full_run() {
+    let series = gen::ecg(600, &gen::EcgConfig::default(), 33);
+    let config = ValmodConfig::new(24, 48);
+    let out = run_valmod(&series, &config).unwrap();
+    let base = out.base_profile.length_normalized_values();
+    assert_eq!(out.valmap.len(), base.len());
+    for i in 0..base.len() {
+        assert!(
+            out.valmap.mpn[i] <= base[i] + 1e-12,
+            "VALMAP must only improve on the base profile at {i}"
+        );
+        assert!(out.valmap.lp[i] >= 24 && out.valmap.lp[i] <= 48);
+        if let Some(j) = out.valmap.ip[i] {
+            // The recorded match must genuinely be at the recorded
+            // distance and length.
+            let l = out.valmap.lp[i];
+            if i + l <= series.len() && j + l <= series.len() {
+                let d = znorm::zdist(&series[i..i + l], &series[j..j + l]);
+                let dn = znorm::length_normalized(d, l);
+                assert!(
+                    (dn - out.valmap.mpn[i]).abs() < 1e-6,
+                    "stored normalized distance disagrees with recomputation at {i}"
+                );
+            }
+        }
+    }
+}
+
+/// Data written by the I/O module and re-read round-trips through the
+/// whole pipeline deterministically.
+#[test]
+fn file_roundtrip_preserves_motifs() {
+    let dir = std::env::temp_dir().join("valmod_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ecg.txt");
+
+    let series = gen::ecg(400, &gen::EcgConfig::default(), 55);
+    valmod_suite::series::io::write_series(&path, &series).unwrap();
+    let back = valmod_suite::series::io::read_series(&path).unwrap();
+    assert_eq!(back.values(), series.as_slice());
+
+    let config = ValmodConfig::new(16, 24).with_k(2);
+    let a = run_valmod(&series, &config).unwrap();
+    let b = run_valmod(back.values(), &config).unwrap();
+    for (ra, rb) in a.per_length.iter().zip(&b.per_length) {
+        assert_eq!(ra.pairs, rb.pairs);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Degenerate inputs fail with typed errors, never panics.
+#[test]
+fn error_paths_are_typed() {
+    let series = gen::random_walk(100, 1);
+    // Range larger than the series.
+    assert!(matches!(
+        run_valmod(&series, &ValmodConfig::new(64, 128)),
+        Err(SeriesError::TooShort { .. })
+    ));
+    // Inverted range.
+    assert!(matches!(
+        run_valmod(&series, &ValmodConfig::new(32, 16)),
+        Err(SeriesError::InvalidRange { .. })
+    ));
+    // Series constructor rejects NaN.
+    assert!(matches!(
+        DataSeries::new(vec![1.0, f64::NAN]),
+        Err(SeriesError::NonFinite { index: 1 })
+    ));
+}
+
+/// The facade's prelude suffices for the common workflow.
+#[test]
+fn prelude_covers_the_quickstart_surface() {
+    let series = gen::sine_mix(500, &[(40.0, 1.0)], 0.05, 2);
+    let output: ValmodOutput = run_valmod(&series, &ValmodConfig::new(16, 20)).unwrap();
+    let _mp: &MatrixProfile = &output.base_profile;
+    let _pair: Option<&MotifPair> = output.per_length[0].pairs.first();
+    assert!(default_exclusion(16) >= 1);
+    let _stats = RollingStats::new(&series);
+}
