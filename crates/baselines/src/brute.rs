@@ -37,12 +37,7 @@ pub fn brute_best_pair(series: &[f64], l: usize, exclusion: usize) -> Result<Opt
 /// # Errors
 ///
 /// [`valmod_series::SeriesError::TooShort`] via [`validate_window`].
-pub fn brute_top_k(
-    series: &[f64],
-    l: usize,
-    exclusion: usize,
-    k: usize,
-) -> Result<Vec<MotifPair>> {
+pub fn brute_top_k(series: &[f64], l: usize, exclusion: usize, k: usize) -> Result<Vec<MotifPair>> {
     validate_window(series.len(), l)?;
     let m = series.len() - l + 1;
 

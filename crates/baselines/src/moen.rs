@@ -121,9 +121,7 @@ fn best_pair_mk(
         let ref_offset = t * (m - 1) / r.max(1);
         let profile = profiler.self_profile(ref_offset, l)?;
         for (x, &d) in profile.iter().enumerate() {
-            if x.abs_diff(ref_offset) > excl
-                && best.as_ref().is_none_or(|b| d < b.distance)
-            {
+            if x.abs_diff(ref_offset) > excl && best.as_ref().is_none_or(|b| d < b.distance) {
                 best = Some(MotifPair::new(ref_offset, x, d, l));
             }
         }
@@ -156,11 +154,8 @@ fn best_pair_mk(
                     continue;
                 }
                 // Tighten with the remaining references before verifying.
-                let bound = ref_profiles
-                    .iter()
-                    .skip(1)
-                    .map(|p| (p[x] - p[y]).abs())
-                    .fold(bound0, f64::max);
+                let bound =
+                    ref_profiles.iter().skip(1).map(|p| (p[x] - p[y]).abs()).fold(bound0, f64::max);
                 if bound >= bsf {
                     continue;
                 }
@@ -209,10 +204,9 @@ mod tests {
             let l = l_min + offset;
             let expect = brute_best_pair(series, l, config.exclusion(l)).unwrap();
             match (got, expect) {
-                (Some(g), Some(e)) => assert!(
-                    (g.distance - e.distance).abs() < 1e-6,
-                    "length {l}: {g:?} vs {e:?}"
-                ),
+                (Some(g), Some(e)) => {
+                    assert!((g.distance - e.distance).abs() < 1e-6, "length {l}: {g:?} vs {e:?}")
+                }
                 (None, None) => {}
                 other => panic!("length {l}: presence mismatch {other:?}"),
             }

@@ -71,8 +71,7 @@ pub fn quickmotif_best_pair(
     // ---- PAA sketches of every z-normalized window. ----
     let w = config.paa_dims.clamp(1, l);
     // Segment boundaries (as even as possible).
-    let bounds: Vec<(usize, usize)> =
-        (0..w).map(|s| (s * l / w, (s + 1) * l / w)).collect();
+    let bounds: Vec<(usize, usize)> = (0..w).map(|s| (s * l / w, (s + 1) * l / w)).collect();
     let seg_lens: Vec<f64> = bounds.iter().map(|&(a, b)| (b - a) as f64).collect();
     // Prefix sums for O(1) segment sums.
     let mut prefix = Vec::with_capacity(series.len() + 1);
@@ -123,7 +122,8 @@ pub fn quickmotif_best_pair(
     };
 
     // ---- Best-first over group pairs. ----
-    let mut group_pairs: Vec<(f64, u32, u32)> = Vec::with_capacity(num_groups * (num_groups + 1) / 2);
+    let mut group_pairs: Vec<(f64, u32, u32)> =
+        Vec::with_capacity(num_groups * (num_groups + 1) / 2);
     for ga in 0..num_groups {
         for gb in ga..num_groups {
             // Groups entirely inside the exclusion band can be skipped.
@@ -137,8 +137,7 @@ pub fn quickmotif_best_pair(
             group_pairs.push((mbr_mindist_sq(ga, gb), ga as u32, gb as u32));
         }
     }
-    group_pairs
-        .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bounds are never NaN"));
+    group_pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bounds are never NaN"));
 
     let mut best: Option<MotifPair> = None;
     let mut bsf = f64::INFINITY;
@@ -166,9 +165,7 @@ pub fn quickmotif_best_pair(
                 if paa_pair_bound_sq(x, y) >= bsf * bsf {
                     continue;
                 }
-                if let Some(d) =
-                    early_abandon_zdist(series, &means, &stds, x, y, l, bsf)
-                {
+                if let Some(d) = early_abandon_zdist(series, &means, &stds, x, y, l, bsf) {
                     if d < bsf {
                         bsf = d;
                         best = Some(MotifPair::new(x, y, d, l));
@@ -207,10 +204,9 @@ mod tests {
         let got = quickmotif_best_pair(series, l, config).unwrap();
         let expect = brute_best_pair(series, l, config.exclusion(l)).unwrap();
         match (got, expect) {
-            (Some(g), Some(e)) => assert!(
-                (g.distance - e.distance).abs() < 1e-6,
-                "length {l}: {g:?} vs {e:?}"
-            ),
+            (Some(g), Some(e)) => {
+                assert!((g.distance - e.distance).abs() < 1e-6, "length {l}: {g:?} vs {e:?}")
+            }
             (None, None) => {}
             other => panic!("length {l}: presence mismatch {other:?}"),
         }
@@ -256,8 +252,7 @@ mod tests {
     #[test]
     fn range_adaptation_covers_every_length() {
         let series = gen::sine_mix(300, &[(40.0, 1.0)], 0.1, 2);
-        let results =
-            quickmotif_range(&series, 10, 14, &QuickMotifConfig::default()).unwrap();
+        let results = quickmotif_range(&series, 10, 14, &QuickMotifConfig::default()).unwrap();
         assert_eq!(results.len(), 5);
         for (offset, r) in results.iter().enumerate() {
             let pair = r.expect("periodic series always has motifs");

@@ -4,9 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use valmod_bench::Dataset;
+use valmod_mp::default_exclusion;
 use valmod_mp::stamp::stamp;
 use valmod_mp::stomp::{stomp, stomp_parallel};
-use valmod_mp::default_exclusion;
 
 fn bench_engines(c: &mut Criterion) {
     let l = 64;

@@ -34,14 +34,9 @@ fn report_pruning_power() {
     for p in [1usize, 2, 4, 8, 16, 32] {
         let config = ValmodConfig::new(l_min, l_max).with_k(1).with_profile_size(p);
         let out = run_valmod(&series, &config).unwrap();
-        let recomputed: usize =
-            out.per_length.iter().map(|r| r.stats.recomputed_rows).sum();
-        let total: usize = out
-            .per_length
-            .iter()
-            .skip(1)
-            .map(|r| r.stats.valid_rows + r.stats.invalid_rows)
-            .sum();
+        let recomputed: usize = out.per_length.iter().map(|r| r.stats.recomputed_rows).sum();
+        let total: usize =
+            out.per_length.iter().skip(1).map(|r| r.stats.valid_rows + r.stats.invalid_rows).sum();
         eprintln!("{p}, {recomputed}, {total}");
     }
 }

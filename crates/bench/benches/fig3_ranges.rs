@@ -22,11 +22,9 @@ fn bench_ranges(c: &mut Criterion) {
             if algo == Algorithm::Moen && width > 8 {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), width),
-                &width,
-                |b, _| b.iter(|| black_box(algo.run(black_box(&series), l_min, l_max))),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), width), &width, |b, _| {
+                b.iter(|| black_box(algo.run(black_box(&series), l_min, l_max)))
+            });
         }
     }
     group.finish();

@@ -77,7 +77,14 @@ impl Cell {
 }
 
 /// Runs one cell in a subprocess under `timeout`.
-fn measure(algo: Algorithm, dataset: Dataset, n: usize, l_min: usize, l_max: usize, timeout: Duration) -> Cell {
+fn measure(
+    algo: Algorithm,
+    dataset: Dataset,
+    n: usize,
+    l_min: usize,
+    l_max: usize,
+    timeout: Duration,
+) -> Cell {
     let exe = std::env::current_exe().expect("current_exe");
     let mut child = Command::new(exe)
         .args([

@@ -71,8 +71,7 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// All algorithms, in the order the paper lists them.
-    pub const ALL: [Self; 4] =
-        [Self::Valmod, Self::StompRange, Self::QuickMotifRange, Self::Moen];
+    pub const ALL: [Self; 4] = [Self::Valmod, Self::StompRange, Self::QuickMotifRange, Self::Moen];
 
     /// Parses an algorithm name.
     #[must_use]
@@ -125,8 +124,7 @@ impl Algorithm {
             }
             Self::QuickMotifRange => {
                 let config = QuickMotifConfig::default();
-                let out = quickmotif_range(series, l_min, l_max, &config)
-                    .expect("valid workload");
+                let out = quickmotif_range(series, l_min, l_max, &config).expect("valid workload");
                 checksum(out.into_iter().flatten())
             }
             Self::Moen => {

@@ -233,8 +233,7 @@ mod tests {
 
     #[test]
     fn run_with_defaults_and_overrides() {
-        let cmd =
-            parse(&["run", "--input", "x.txt", "--lmin", "50", "--lmax", "400"]).unwrap();
+        let cmd = parse(&["run", "--input", "x.txt", "--lmin", "50", "--lmax", "400"]).unwrap();
         match cmd {
             Command::Run(a) => {
                 assert_eq!(a.input, "x.txt");
@@ -244,8 +243,19 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let cmd = parse(&[
-            "run", "--input", "x", "--lmin", "8", "--lmax", "16", "--k", "3", "--p", "4",
-            "--valmap-out", "v.json",
+            "run",
+            "--input",
+            "x",
+            "--lmin",
+            "8",
+            "--lmax",
+            "16",
+            "--k",
+            "3",
+            "--p",
+            "4",
+            "--valmap-out",
+            "v.json",
         ])
         .unwrap();
         match cmd {
@@ -280,16 +290,23 @@ mod tests {
 
     #[test]
     fn motif_set_radius_is_optional() {
-        let cmd = parse(&[
-            "motif-set", "--input", "x", "--a", "3", "--b", "50", "--length", "8",
-        ])
-        .unwrap();
+        let cmd = parse(&["motif-set", "--input", "x", "--a", "3", "--b", "50", "--length", "8"])
+            .unwrap();
         match cmd {
             Command::MotifSet(a) => assert!(a.radius.is_none()),
             other => panic!("{other:?}"),
         }
         let cmd = parse(&[
-            "motif-set", "--input", "x", "--a", "3", "--b", "50", "--length", "8", "--radius",
+            "motif-set",
+            "--input",
+            "x",
+            "--a",
+            "3",
+            "--b",
+            "50",
+            "--length",
+            "8",
+            "--radius",
             "1.5",
         ])
         .unwrap();

@@ -168,8 +168,7 @@ fn cmd_motif_set(a: &MotifSetArgs) -> Result<(), Box<dyn std::error::Error>> {
         series.subsequence(a.b, a.length)?,
     );
     let pair = MotifPair::new(a.a, a.b, d, a.length);
-    let set =
-        expand_motif_set(series.values(), &pair, a.radius, default_exclusion(a.length))?;
+    let set = expand_motif_set(series.values(), &pair, a.radius, default_exclusion(a.length))?;
     println!(
         "motif set of pair ({}, {}) at length {} — radius {:.4}: {} occurrences",
         a.a,

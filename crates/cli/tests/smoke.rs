@@ -16,9 +16,7 @@ fn temp_path(name: &str) -> PathBuf {
 
 fn generate_ecg(path: &std::path::Path, n: usize) {
     let out = bin()
-        .args([
-            "generate", "--kind", "ecg", "--n", &n.to_string(), "--seed", "9", "--output",
-        ])
+        .args(["generate", "--kind", "ecg", "--n", &n.to_string(), "--seed", "9", "--output"])
         .arg(path)
         .output()
         .expect("run generate");
@@ -86,9 +84,7 @@ fn motif_set_expands_a_pair() {
     let series_path = temp_path("motifset_input.txt");
     generate_ecg(&series_path, 1500);
     let out = bin()
-        .args([
-            "motif-set", "--a", "100", "--b", "700", "--length", "40", "--input",
-        ])
+        .args(["motif-set", "--a", "100", "--b", "700", "--length", "40", "--input"])
         .arg(&series_path)
         .output()
         .unwrap();

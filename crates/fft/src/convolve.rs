@@ -65,7 +65,8 @@ pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
         let pk = packed[k];
         let pnk = packed[(size - k) % size].conj();
         let fa = (pk + pnk).scale(0.5);
-        let fb_times_i = (pk - pnk).scale(0.5); // i * F{b}
+        // i * F{b}
+        let fb_times_i = (pk - pnk).scale(0.5);
         // fa * fb = fa * (fb_times_i / i) = -i * fa * fb_times_i
         let prod = fa * fb_times_i;
         spec[k] = Complex64::new(prod.im, -prod.re);

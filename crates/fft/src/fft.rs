@@ -167,9 +167,7 @@ mod tests {
     }
 
     fn ramp(n: usize) -> Vec<Complex64> {
-        (0..n)
-            .map(|i| Complex64::new(i as f64 * 0.7 - 3.0, (i as f64).sin()))
-            .collect()
+        (0..n).map(|i| Complex64::new(i as f64 * 0.7 - 3.0, (i as f64).sin())).collect()
     }
 
     #[test]

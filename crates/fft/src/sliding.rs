@@ -176,11 +176,7 @@ mod tests {
         assert_eq!(plan.series_len(), 512);
         for &m in &[40usize, 41, 100] {
             let query: Vec<f64> = series[3..3 + m].to_vec();
-            assert_close(
-                &plan.dot(&query),
-                &sliding_dot_product_naive(&query, &series),
-                1e-6,
-            );
+            assert_close(&plan.dot(&query), &sliding_dot_product_naive(&query, &series), 1e-6);
         }
     }
 }

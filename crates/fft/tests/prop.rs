@@ -1,7 +1,9 @@
 //! Property tests for the FFT substrate.
 
 use proptest::prelude::*;
-use valmod_fft::{convolve, convolve_naive, sliding_dot_product, sliding_dot_product_naive, Complex64, Fft};
+use valmod_fft::{
+    convolve, convolve_naive, sliding_dot_product, sliding_dot_product_naive, Complex64, Fft,
+};
 
 fn bounded_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-100.0f64..100.0, 1..max_len)

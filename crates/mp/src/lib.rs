@@ -44,9 +44,9 @@ pub mod streaming;
 
 pub use abjoin::{abjoin, AbJoin};
 pub use mass::DistanceProfiler;
-pub use scrimp::scrimp;
 pub use motif::{top_k_pairs, MotifPair};
 pub use profile::MatrixProfile;
+pub use scrimp::scrimp;
 pub use streaming::StreamingProfile;
 
 /// Smallest supported subsequence length. Below this, z-normalized shapes

@@ -101,10 +101,7 @@ impl DistanceProfiler {
             return Err(valmod_series::SeriesError::TooShort { len: l, needed: crate::MIN_WINDOW });
         }
         if l > self.values.len() {
-            return Err(valmod_series::SeriesError::TooShort {
-                len: self.values.len(),
-                needed: l,
-            });
+            return Err(valmod_series::SeriesError::TooShort { len: self.values.len(), needed: l });
         }
         // The engine's series is mean-shifted; shifting the query by any
         // constant leaves z-normalized distances unchanged, so we can use
@@ -115,8 +112,7 @@ impl DistanceProfiler {
             self.plan.dot(query)
         };
         let mu_q = query.iter().sum::<f64>() / l as f64;
-        let var_q =
-            query.iter().map(|x| (x - mu_q) * (x - mu_q)).sum::<f64>() / l as f64;
+        let var_q = query.iter().map(|x| (x - mu_q) * (x - mu_q)).sum::<f64>() / l as f64;
         Ok(self.profile_from_dots(&qt, l, mu_q, var_q.sqrt()))
     }
 
@@ -224,7 +220,8 @@ mod tests {
         }
         let profiler = DistanceProfiler::new(&series).unwrap();
         let l = 16;
-        let p = profiler.self_profile(60, l).unwrap(); // flat query
+        // flat query
+        let p = profiler.self_profile(60, l).unwrap();
         // Flat query vs flat window -> 0; vs wavy window -> sqrt(l).
         assert!(p[70] < 1e-9);
         assert!((p[0] - (l as f64).sqrt()).abs() < 1e-9);

@@ -85,13 +85,8 @@ pub fn top_k_pairs(mp: &MatrixProfile, k: usize) -> Vec<MotifPair> {
 /// exclusion zone of an already selected discord.
 #[must_use]
 pub fn top_k_discords(mp: &MatrixProfile, k: usize) -> Vec<(usize, f64)> {
-    let mut order: Vec<(usize, f64)> = mp
-        .values
-        .iter()
-        .enumerate()
-        .filter(|(_, d)| d.is_finite())
-        .map(|(i, &d)| (i, d))
-        .collect();
+    let mut order: Vec<(usize, f64)> =
+        mp.values.iter().enumerate().filter(|(_, d)| d.is_finite()).map(|(i, &d)| (i, d)).collect();
     order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
     let mut selected: Vec<(usize, f64)> = Vec::with_capacity(k);
     for (i, d) in order {
@@ -143,11 +138,7 @@ mod tests {
     #[test]
     fn top_k_orders_by_distance_and_dedupes() {
         // Entries 0 and 1 describe the same pair (shifted by one).
-        let mp = profile_with(
-            &[(0, 1.0, 5), (1, 1.05, 6), (3, 2.0, 7), (7, 0.5, 3)],
-            8,
-            1,
-        );
+        let mp = profile_with(&[(0, 1.0, 5), (1, 1.05, 6), (3, 2.0, 7), (7, 0.5, 3)], 8, 1);
         let pairs = top_k_pairs(&mp, 3);
         // (3,7,0.5) first; then (0,5,1.0); (1,6,1.05) is a shifted duplicate
         // of (0,5); (3,7,2.0) duplicates the first.

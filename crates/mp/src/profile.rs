@@ -25,12 +25,7 @@ impl MatrixProfile {
     /// starting state of every engine.
     #[must_use]
     pub fn unfilled(window: usize, exclusion: usize, len: usize) -> Self {
-        Self {
-            window,
-            exclusion,
-            values: vec![f64::INFINITY; len],
-            indices: vec![None; len],
-        }
+        Self { window, exclusion, values: vec![f64::INFINITY; len], indices: vec![None; len] }
     }
 
     /// Number of profile entries (`series length − ℓ + 1`).

@@ -148,10 +148,7 @@ mod tests {
         };
         let coarse = err(0.05);
         let fine = err(0.5);
-        assert!(
-            fine <= coarse,
-            "error should shrink with more diagonals: {fine} vs {coarse}"
-        );
+        assert!(fine <= coarse, "error should shrink with more diagonals: {fine} vs {coarse}");
     }
 
     #[test]

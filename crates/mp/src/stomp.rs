@@ -115,7 +115,14 @@ impl StompEngine {
         qt.iter()
             .enumerate()
             .map(|(j, &dot)| {
-                zdist_from_dot(dot, self.l, self.means[i], self.stds[i], self.means[j], self.stds[j])
+                zdist_from_dot(
+                    dot,
+                    self.l,
+                    self.means[i],
+                    self.stds[i],
+                    self.means[j],
+                    self.stds[j],
+                )
             })
             .collect()
     }
@@ -220,12 +227,12 @@ pub fn stomp_parallel(
     // best correlation per row locally; merging picks the max.
     let num_workers = threads.min(m - first_diag);
     let mut results: Vec<(Vec<f64>, Vec<usize>)> = Vec::with_capacity(num_workers);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_workers);
         for w in 0..num_workers {
             let engine = &engine;
             let inv_stds = &inv_stds;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut best = vec![f64::NEG_INFINITY; m];
                 let mut best_idx = vec![usize::MAX; m];
                 let mut k = first_diag + w;
@@ -257,8 +264,7 @@ pub fn stomp_parallel(
         for h in handles {
             results.push(h.join().expect("stomp worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut mp = MatrixProfile::unfilled(l, exclusion, m);
     for i in 0..m {
@@ -411,12 +417,8 @@ mod tests {
         let values = engine.values().to_vec();
         engine.for_each_row(|i, qt| {
             for (j, &dot) in qt.iter().enumerate() {
-                let direct: f64 =
-                    (0..l).map(|k| values[i + k] * values[j + k]).sum();
-                assert!(
-                    (dot - direct).abs() < 1e-7,
-                    "QT mismatch at ({i},{j}): {dot} vs {direct}"
-                );
+                let direct: f64 = (0..l).map(|k| values[i + k] * values[j + k]).sum();
+                assert!((dot - direct).abs() < 1e-7, "QT mismatch at ({i},{j}): {dot} vs {direct}");
             }
         });
     }

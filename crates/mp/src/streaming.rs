@@ -104,11 +104,7 @@ impl StreamingProfile {
         // Dot products of the last window vs all windows.
         let last = m - 1;
         this.last_qt = (0..m)
-            .map(|j| {
-                (0..l)
-                    .map(|k| this.values[last + k] * this.values[j + k])
-                    .sum()
-            })
+            .map(|j| (0..l).map(|k| this.values[last + k] * this.values[j + k]).sum())
             .collect();
         // Seed the profile with all pairs of the initial batch (quadratic,
         // once). Reuse the batch engine for clarity and exactness.
@@ -161,8 +157,7 @@ impl StreamingProfile {
                 self.last_qt[j - 1] - dropped * self.values[j - 1],
             );
         }
-        self.last_qt[0] =
-            (0..l).map(|k| self.values[new_i + k] * self.values[k]).sum();
+        self.last_qt[0] = (0..l).map(|k| self.values[new_i + k] * self.values[k]).sum();
 
         // Offer the new window against everything (symmetric updates).
         self.mp.values.push(f64::INFINITY);

@@ -3,11 +3,11 @@
 //! stress different code paths than the smooth ECG/ASTRO generators.
 
 use valmod_mp::abjoin::abjoin;
+use valmod_mp::default_exclusion;
 use valmod_mp::scrimp::scrimp;
 use valmod_mp::stamp::stamp;
 use valmod_mp::stomp::{stomp, stomp_parallel};
 use valmod_mp::streaming::StreamingProfile;
-use valmod_mp::default_exclusion;
 use valmod_series::gen;
 
 fn seismic(n: usize) -> Vec<f64> {
@@ -74,10 +74,35 @@ fn streaming_tracks_batch_on_transient_data() {
     }
     let batch = stomp(&series, l, excl).unwrap();
     for i in 0..batch.len() {
-        assert!(
-            (sp.profile().values[i] - batch.values[i]).abs() < 1e-5,
-            "streaming drifts at {i}"
-        );
+        assert!((sp.profile().values[i] - batch.values[i]).abs() < 1e-5, "streaming drifts at {i}");
+    }
+}
+
+#[test]
+fn valmod_matches_brute_force_across_a_length_range() {
+    // The range search must agree with the per-length brute force on the
+    // same transient-heavy data the engine tests above use.
+    let series = seismic(400);
+    let (l_min, l_max) = (16, 24);
+    let config = valmod_core::ValmodConfig::new(l_min, l_max).with_k(1);
+    let out = valmod_core::run_valmod(&series, &config).unwrap();
+    assert_eq!(out.per_length.len(), l_max - l_min + 1);
+    for r in &out.per_length {
+        let want = valmod_baselines::brute_best_pair(&series, r.length, config.exclusion(r.length))
+            .unwrap();
+        match (r.pairs.first(), want) {
+            (Some(got), Some(want)) => {
+                assert!(
+                    (got.distance - want.distance).abs() < 1e-6,
+                    "length {}: valmod {:?} vs brute {:?}",
+                    r.length,
+                    got,
+                    want
+                );
+            }
+            (None, None) => {}
+            other => panic!("presence mismatch at length {}: {:?}", r.length, other),
+        }
     }
 }
 

@@ -1,11 +1,11 @@
 //! Property tests for the matrix-profile engines.
 
 use proptest::prelude::*;
+use valmod_mp::default_exclusion;
 use valmod_mp::mass::{distance_profile_brute, DistanceProfiler};
 use valmod_mp::motif::top_k_pairs;
 use valmod_mp::stamp::stamp;
 use valmod_mp::stomp::{stomp, stomp_parallel};
-use valmod_mp::default_exclusion;
 
 /// Series long enough to host interesting windows, values bounded so the
 /// numerics stay comparable to the brute-force reference.

@@ -97,10 +97,7 @@ mod tests {
             (SeriesError::Empty, "empty"),
             (SeriesError::NonFinite { index: 3 }, "index 3"),
             (SeriesError::TooShort { len: 5, needed: 10 }, "length 5"),
-            (
-                SeriesError::InvalidSubsequence { offset: 9, length: 4, series_len: 10 },
-                "offset=9",
-            ),
+            (SeriesError::InvalidSubsequence { offset: 9, length: 4, series_len: 10 }, "offset=9"),
             (SeriesError::InvalidRange { l_min: 10, l_max: 5 }, "[10, 5]"),
             (SeriesError::Parse { line: 7, token: "abc".into() }, "line 7"),
         ];

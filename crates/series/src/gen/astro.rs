@@ -46,15 +46,12 @@ pub fn astro(n: usize, config: &AstroConfig, seed: u64) -> Vec<f64> {
     const ASTRO_SEED_MIX: u64 = 0xa57_0bea_c0ff_ee11;
     let mut rng = SmallRng::seed_from_u64(seed ^ ASTRO_SEED_MIX);
 
-    let modes: Vec<(f64, f64)> = config
-        .periods
-        .iter()
-        .zip(&config.amplitudes)
-        .map(|(&p, &a)| (p.max(2.0), a))
-        .collect();
+    let modes: Vec<(f64, f64)> =
+        config.periods.iter().zip(&config.amplitudes).map(|(&p, &a)| (p.max(2.0), a)).collect();
     // Per-mode running phase, advanced by a slowly drifting instantaneous
     // frequency.
-    let mut phases: Vec<f64> = modes.iter().map(|_| rng.gen::<f64>() * std::f64::consts::TAU).collect();
+    let mut phases: Vec<f64> =
+        modes.iter().map(|_| rng.gen::<f64>() * std::f64::consts::TAU).collect();
     let mut drifts: Vec<f64> = modes.iter().map(|_| 0.0).collect();
 
     let mut out = Vec::with_capacity(n);

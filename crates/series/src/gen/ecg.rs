@@ -37,7 +37,7 @@ impl Default for EcgConfig {
 /// The PQRST wave template: (phase center in [0,1], width fraction,
 /// amplitude). Values chosen to mimic lead-II morphology.
 const WAVES: [(f64, f64, f64); 5] = [
-    (0.18, 0.060, 0.18),  // P wave (atrial contraction)
+    (0.18, 0.060, 0.18),   // P wave (atrial contraction)
     (0.345, 0.018, -0.12), // Q dip
     (0.375, 0.022, 1.25),  // R spike
     (0.405, 0.020, -0.28), // S dip
@@ -68,8 +68,7 @@ pub fn ecg(n: usize, config: &EcgConfig, seed: u64) -> Vec<f64> {
                 v += amp * amp_scale * (-0.5 * d * d).exp();
             }
             let t = out.len() as f64;
-            let wander =
-                config.wander_amp * (wander_phase + t / (beat_len as f64 * 4.3)).sin();
+            let wander = config.wander_amp * (wander_phase + t / (beat_len as f64 * 4.3)).sin();
             out.push(v + wander + gaussian(&mut rng) * config.noise_std);
         }
         wander_phase += 1e-3 * (rng.gen::<f64>() - 0.5);
@@ -95,11 +94,8 @@ mod tests {
         let mut peaks = Vec::new();
         for b in 0..9 {
             let w = &s[b * 100..(b + 1) * 100];
-            let (argmax, _) = w
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap();
+            let (argmax, _) =
+                w.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
             peaks.push(b * 100 + argmax);
         }
         for pair in peaks.windows(2) {

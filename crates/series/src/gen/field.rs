@@ -127,8 +127,9 @@ pub fn epg(n: usize, config: &EpgConfig, seed: u64) -> Vec<f64> {
                 let x = k as f64 / len as f64;
                 let envelope = (x * std::f64::consts::PI).sin();
                 let wave = 0.35 * (k as f64 / wave_period * std::f64::consts::TAU).sin();
-                out.push(0.2 - 0.6 * envelope + envelope * wave
-                    + gaussian(&mut rng) * config.noise_std);
+                out.push(
+                    0.2 - 0.6 * envelope + envelope * wave + gaussian(&mut rng) * config.noise_std,
+                );
             }
         }
     }

@@ -36,14 +36,8 @@ mod tests {
     fn generators_are_deterministic_per_seed() {
         assert_eq!(random_walk(200, 7), random_walk(200, 7));
         assert_ne!(random_walk(200, 7), random_walk(200, 8));
-        assert_eq!(
-            ecg(500, &EcgConfig::default(), 3),
-            ecg(500, &EcgConfig::default(), 3)
-        );
-        assert_eq!(
-            astro(500, &AstroConfig::default(), 3),
-            astro(500, &AstroConfig::default(), 3)
-        );
+        assert_eq!(ecg(500, &EcgConfig::default(), 3), ecg(500, &EcgConfig::default(), 3));
+        assert_eq!(astro(500, &AstroConfig::default(), 3), astro(500, &AstroConfig::default(), 3));
     }
 
     #[test]

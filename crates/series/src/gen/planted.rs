@@ -58,9 +58,8 @@ pub fn planted_pair(
 
     // Normalize the pattern to unit std so the SNR is controlled.
     let mean = pattern.iter().sum::<f64>() / m as f64;
-    let std = (pattern.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / m as f64)
-        .sqrt()
-        .max(1e-9);
+    let std =
+        (pattern.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / m as f64).sqrt().max(1e-9);
     for &o in offsets {
         let base = series[o];
         for (k, &p) in pattern.iter().enumerate() {

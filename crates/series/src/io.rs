@@ -39,10 +39,9 @@ pub fn read_series_from(reader: impl BufRead) -> Result<DataSeries> {
             if token.is_empty() {
                 continue;
             }
-            let value: f64 = token.parse().map_err(|_| SeriesError::Parse {
-                line: line_idx + 1,
-                token: token.to_string(),
-            })?;
+            let value: f64 = token
+                .parse()
+                .map_err(|_| SeriesError::Parse { line: line_idx + 1, token: token.to_string() })?;
             values.push(value);
         }
     }
@@ -107,7 +106,6 @@ mod tests {
             Err(SeriesError::Empty)
         ));
     }
-
 
     #[test]
     fn handles_crlf_and_mixed_delimiters() {

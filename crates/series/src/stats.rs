@@ -52,11 +52,7 @@ impl RollingStats {
     #[must_use]
     pub fn new(values: &[f64]) -> Self {
         let len = values.len();
-        let shift = if len == 0 {
-            0.0
-        } else {
-            values.iter().sum::<f64>() / len as f64
-        };
+        let shift = if len == 0 { 0.0 } else { values.iter().sum::<f64>() / len as f64 };
         let mut prefix = Vec::with_capacity(len + 1);
         let mut prefix_sq = Vec::with_capacity(len + 1);
         prefix.push(0.0);
@@ -288,9 +284,7 @@ mod tests {
             let centered_sq: f64 =
                 v[o..o + l].iter().map(|x| (x - global_mean) * (x - global_mean)).sum();
             assert!((stats.centered_sum_sq(o, l) - centered_sq).abs() < 1e-8);
-            assert!(
-                (stats.centered_mean(o, l) - (stats.mean(o, l) - global_mean)).abs() < 1e-9
-            );
+            assert!((stats.centered_mean(o, l) - (stats.mean(o, l) - global_mean)).abs() < 1e-9);
         }
     }
 

@@ -50,11 +50,7 @@ pub fn zdist(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "zdist requires equal-length windows");
     let za = znormalize(a);
     let zb = znormalize(b);
-    za.iter()
-        .zip(&zb)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    za.iter().zip(&zb).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
 }
 
 /// Pearson correlation of two windows from their dot product and
@@ -81,14 +77,7 @@ pub fn pearson_from_dot(
 /// flat-window convention described in the module docs.
 #[inline]
 #[must_use]
-pub fn zdist_from_dot(
-    qt: f64,
-    l: usize,
-    mean_a: f64,
-    std_a: f64,
-    mean_b: f64,
-    std_b: f64,
-) -> f64 {
+pub fn zdist_from_dot(qt: f64, l: usize, mean_a: f64, std_a: f64, mean_b: f64, std_b: f64) -> f64 {
     match pearson_from_dot(qt, l, mean_a, std_a, mean_b, std_b) {
         Some(rho) => dist_from_pearson(rho, l),
         None => {
@@ -194,7 +183,8 @@ mod tests {
         let (mw, sw) = mean_std(&wavy);
         assert_eq!(zdist_from_dot(dot(&flat, &flat), 4, mf, sf, mf, sf), 0.0);
         let d = zdist_from_dot(dot(&flat, &wavy), 4, mf, sf, mw, sw);
-        assert!((d - 2.0).abs() < 1e-12); // √ℓ = 2
+        // √ℓ = 2
+        assert!((d - 2.0).abs() < 1e-12);
         // Direct form follows the same convention.
         assert!((zdist(&flat, &wavy) - 2.0).abs() < 1e-12);
     }

@@ -182,8 +182,8 @@ fn stage_one(engine: &StompEngine, config: &ValmodConfig) -> (MatrixProfile, Vec
                 selector.offer(j, -1.0, dot);
                 continue;
             }
-            let rho = ((dot - lf * means[i] * means[j]) / (lf * stds[i] * stds[j]))
-                .clamp(-1.0, 1.0);
+            let rho =
+                ((dot - lf * means[i] * means[j]) / (lf * stds[i] * stds[j])).clamp(-1.0, 1.0);
             let d = (2.0 * lf * (1.0 - rho)).max(0.0).sqrt();
             mp.offer(i, d, j);
             selector.offer(j, rho, dot);
@@ -266,9 +266,7 @@ fn step_length(
             }
         }
         let max_lb = match row.worst_rho() {
-            Some(rho) => {
-                LbRowContext::new(stats, i, row.base_len, length).bound(rho)
-            }
+            Some(rho) => LbRowContext::new(stats, i, row.base_len, length).bound(rho),
             // Untruncated profile: nothing was left unstored, the stored
             // minimum is the row minimum by construction.
             None => f64::INFINITY,
@@ -277,11 +275,8 @@ fn step_length(
         outcomes.push(RowOutcome { min_dist, min_j, max_lb, valid });
     }
 
-    let min_lb_abs = outcomes
-        .iter()
-        .filter(|o| !o.valid)
-        .map(|o| o.max_lb)
-        .fold(f64::INFINITY, f64::min);
+    let min_lb_abs =
+        outcomes.iter().filter(|o| !o.valid).map(|o| o.max_lb).fold(f64::INFINITY, f64::min);
     let valid_rows = outcomes.iter().filter(|o| o.valid).count();
     let invalid_rows = m - valid_rows;
 
@@ -345,11 +340,8 @@ fn step_length(
         }
     }
 
-    let pairs = if recomputed_rows > 0 {
-        select_top_k(&candidates, config.k, excl)
-    } else {
-        selection
-    };
+    let pairs =
+        if recomputed_rows > 0 { select_top_k(&candidates, config.k, excl) } else { selection };
 
     Ok(LengthResult {
         length,
@@ -394,10 +386,7 @@ mod tests {
     use valmod_series::gen;
 
     /// Exact reference: top-k pairs per length via plain STOMP.
-    fn brute_per_length(
-        series: &[f64],
-        config: &ValmodConfig,
-    ) -> Vec<(usize, Vec<MotifPair>)> {
+    fn brute_per_length(series: &[f64], config: &ValmodConfig) -> Vec<(usize, Vec<MotifPair>)> {
         (config.l_min..=config.l_max)
             .map(|l| {
                 let mp = stomp(series, l, config.exclusion(l)).unwrap();
@@ -451,10 +440,7 @@ mod tests {
     fn matches_brute_force_with_tiny_profile_size() {
         // p = 1 maximizes pruning failures, stressing the MASS fallback.
         let series = gen::random_walk(300, 77);
-        assert_matches_brute(
-            &series,
-            &ValmodConfig::new(10, 24).with_k(3).with_profile_size(1),
-        );
+        assert_matches_brute(&series, &ValmodConfig::new(10, 24).with_k(3).with_profile_size(1));
     }
 
     #[test]
@@ -471,9 +457,8 @@ mod tests {
 
     #[test]
     fn planted_motif_dominates_valmap() {
-        let pattern: Vec<f64> = (0..48)
-            .map(|i| (i as f64 / 48.0 * std::f64::consts::TAU * 2.0).sin())
-            .collect();
+        let pattern: Vec<f64> =
+            (0..48).map(|i| (i as f64 / 48.0 * std::f64::consts::TAU * 2.0).sin()).collect();
         let (series, truth) = gen::planted_pair(2500, &pattern, &[400, 1700], 0.01, 3);
         let config = ValmodConfig::new(32, 56).with_k(3);
         let out = run_valmod(&series, &config).unwrap();
@@ -502,7 +487,8 @@ mod tests {
         let series = gen::sine_mix(2000, &[(80.0, 1.0), (160.0, 0.5)], 0.02, 4);
         let config = ValmodConfig::new(64, 96).with_k(1);
         let out = run_valmod(&series, &config).unwrap();
-        let total_rows: usize = out.per_length.iter().skip(1).map(|r| r.stats.valid_rows + r.stats.invalid_rows).sum();
+        let total_rows: usize =
+            out.per_length.iter().skip(1).map(|r| r.stats.valid_rows + r.stats.invalid_rows).sum();
         let recomputed: usize =
             out.per_length.iter().skip(1).map(|r| r.stats.recomputed_rows).sum();
         assert!(

@@ -131,12 +131,7 @@ pub fn variable_length_discords(
 }
 
 /// Greedy top-k by descending NN distance with an offset exclusion zone.
-fn top_k_from_exact(
-    nn: &[(f64, usize)],
-    length: usize,
-    excl: usize,
-    k: usize,
-) -> Vec<Discord> {
+fn top_k_from_exact(nn: &[(f64, usize)], length: usize, excl: usize, k: usize) -> Vec<Discord> {
     let mut order: Vec<(usize, f64)> = nn
         .iter()
         .enumerate()
@@ -226,9 +221,7 @@ fn step_discords(
     // Resolve rows in descending upper-bound order until the k-th exact
     // discord dominates every remaining upper bound.
     let mut order: Vec<usize> = (0..m).collect();
-    order.sort_by(|&a, &b| {
-        upper[b].partial_cmp(&upper[a]).expect("no NaN").then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| upper[b].partial_cmp(&upper[a]).expect("no NaN").then(a.cmp(&b)));
     let mut exact: Vec<(usize, f64)> = Vec::new();
     let mut resolved_rows = 0;
     // The k-th *spread-deduplicated* exact discord distance: once every

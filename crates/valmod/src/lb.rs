@@ -135,8 +135,7 @@ mod tests {
                 let ctx = LbRowContext::new(&stats, i, base_len, target);
                 for j in (0..=n - target).step_by(5) {
                     // Base correlation from the base-length distance.
-                    let d_base =
-                        zdist(&series[i..i + base_len], &series[j..j + base_len]);
+                    let d_base = zdist(&series[i..i + base_len], &series[j..j + base_len]);
                     let rho = pearson_from_dist(d_base, base_len);
                     let lb = ctx.bound(rho);
                     let true_d = zdist(&series[i..i + target], &series[j..j + target]);
@@ -179,10 +178,7 @@ mod tests {
         for &rho in &[0.0f64, 0.3, 0.7, 0.95, 1.0] {
             let lb = ctx.bound(rho);
             let expect = (l as f64 * (1.0 - rho * rho)).max(0.0).sqrt();
-            assert!(
-                (lb - expect).abs() < 1e-6,
-                "at rho {rho}: {lb} vs closed form {expect}"
-            );
+            assert!((lb - expect).abs() < 1e-6, "at rho {rho}: {lb} vs closed form {expect}");
         }
     }
 

@@ -84,32 +84,36 @@ pub fn expand_motif_set(
     // Point-wise min of the two distance profiles.
     let combined: Vec<f64> = pa.iter().zip(&pb).map(|(&x, &y)| x.min(y)).collect();
 
-    // Qualifying offsets, then collapse trivial-match runs to their local
-    // minimum.
+    // The members themselves are kept unconditionally (they define the
+    // set, even in the degenerate case where they sit inside each other's
+    // exclusion zone). Everything else goes through greedy non-maximum
+    // suppression, best candidate first: each kept occurrence silences the
+    // qualifying offsets within its exclusion zone, so every trivial-match
+    // cluster is represented by its own closest-to-the-pair offset, no
+    // matter how permissive the radius is.
+    let mut kept_offsets = std::collections::BTreeSet::new();
     let mut occurrences: Vec<Occurrence> = Vec::new();
-    let mut i = 0;
-    while i < combined.len() {
-        if combined[i] > radius {
-            i += 1;
-            continue;
+    for offset in [pair.a, pair.b] {
+        if kept_offsets.insert(offset) {
+            occurrences.push(Occurrence { offset, distance: combined[offset] });
         }
-        // Walk the contiguous qualifying run (allowing gaps smaller than
-        // the exclusion zone) and keep its minimum.
-        let mut best = Occurrence { offset: i, distance: combined[i] };
-        let mut last_qualifying = i;
-        let mut j = i + 1;
-        while j < combined.len() && j - last_qualifying <= exclusion {
-            if combined[j] <= radius {
-                last_qualifying = j;
-                if combined[j] < best.distance {
-                    best = Occurrence { offset: j, distance: combined[j] };
-                }
-            }
-            j += 1;
-        }
-        occurrences.push(best);
-        i = last_qualifying + exclusion + 1;
     }
+
+    let mut candidates: Vec<Occurrence> = combined
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d <= radius)
+        .map(|(offset, &distance)| Occurrence { offset, distance })
+        .collect();
+    candidates.sort_by(|x, y| x.distance.total_cmp(&y.distance).then(x.offset.cmp(&y.offset)));
+    for c in candidates {
+        let zone = c.offset.saturating_sub(exclusion)..=c.offset + exclusion;
+        if kept_offsets.range(zone).next().is_none() {
+            kept_offsets.insert(c.offset);
+            occurrences.push(c);
+        }
+    }
+    occurrences.sort_by_key(|o| o.offset);
 
     Ok(MotifSet { pair: *pair, radius, occurrences })
 }
@@ -121,11 +125,9 @@ mod tests {
 
     #[test]
     fn expansion_finds_all_planted_instances() {
-        let pattern: Vec<f64> = (0..40)
-            .map(|i| (i as f64 / 40.0 * std::f64::consts::TAU * 2.0).sin())
-            .collect();
-        let (series, truth) =
-            gen::planted_pair(3000, &pattern, &[200, 1000, 1800, 2600], 0.02, 8);
+        let pattern: Vec<f64> =
+            (0..40).map(|i| (i as f64 / 40.0 * std::f64::consts::TAU * 2.0).sin()).collect();
+        let (series, truth) = gen::planted_pair(3000, &pattern, &[200, 1000, 1800, 2600], 0.02, 8);
         // Seed with the first two instances as the pair.
         let d = valmod_series::znorm::zdist(&series[200..240], &series[1000..1040]);
         let pair = MotifPair::new(200, 1000, d, 40);

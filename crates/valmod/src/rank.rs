@@ -57,9 +57,10 @@ pub fn rank_and_dedupe(
     let mut selected: Vec<RankedMotif> = Vec::new();
     for cand in candidates {
         let excl = exclusion(cand.pair.length.max(1));
-        if selected.iter().any(|s| {
-            cand.pair.overlaps(&s.pair, excl.max(exclusion(s.pair.length.max(1))))
-        }) {
+        if selected
+            .iter()
+            .any(|s| cand.pair.overlaps(&s.pair, excl.max(exclusion(s.pair.length.max(1)))))
+        {
             continue;
         }
         selected.push(cand);

@@ -54,11 +54,7 @@ pub fn sparkline(values: &[f64], width: usize) -> String {
 #[must_use]
 pub fn render_valmap(valmap: &Valmap, width: usize) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "VALMAP ({} entries, l_min = {})\n",
-        valmap.len(),
-        valmap.l_min
-    ));
+    out.push_str(&format!("VALMAP ({} entries, l_min = {})\n", valmap.len(), valmap.l_min));
     out.push_str("MPn  |");
     let lp_float: Vec<f64> = valmap.lp.iter().map(|&l| l as f64).collect();
     out.push_str(&sparkline(&valmap.mpn, width));
@@ -135,10 +131,8 @@ mod tests {
         let s = sparkline(&values, 10);
         assert_eq!(s.chars().count(), 10);
         // Monotone input -> non-decreasing bars.
-        let levels: Vec<usize> = s
-            .chars()
-            .map(|c| BARS.iter().position(|&b| b == c).unwrap())
-            .collect();
+        let levels: Vec<usize> =
+            s.chars().map(|c| BARS.iter().position(|&b| b == c).unwrap()).collect();
         assert!(levels.windows(2).all(|w| w[0] <= w[1]));
     }
 

@@ -167,11 +167,8 @@ impl Valmap {
         let mut out = String::with_capacity(self.len() * 24 + 16);
         out.push_str("offset,mpn,ip,lp\n");
         for i in 0..self.len() {
-            let mpn = if self.mpn[i].is_finite() {
-                format!("{:.6}", self.mpn[i])
-            } else {
-                String::new()
-            };
+            let mpn =
+                if self.mpn[i].is_finite() { format!("{:.6}", self.mpn[i]) } else { String::new() };
             let ip = self.ip[i].map(|j| j.to_string()).unwrap_or_default();
             out.push_str(&format!("{i},{mpn},{ip},{}\n", self.lp[i]));
         }

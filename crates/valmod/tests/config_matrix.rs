@@ -13,12 +13,7 @@ fn check_motifs(series: &[f64], config: &ValmodConfig) {
     for r in &out.per_length {
         let mp = stomp(series, r.length, config.exclusion(r.length)).unwrap();
         let expect = top_k_pairs(&mp, config.k);
-        assert_eq!(
-            r.pairs.len(),
-            expect.len(),
-            "pair count at length {} for {config:?}",
-            r.length
-        );
+        assert_eq!(r.pairs.len(), expect.len(), "pair count at length {} for {config:?}", r.length);
         for (got, want) in r.pairs.iter().zip(&expect) {
             assert!(
                 (got.distance - want.distance).abs() < 1e-6,
@@ -42,10 +37,7 @@ fn k_and_p_matrix() {
     let series = gen::astro(280, &gen::AstroConfig::default(), 92);
     for k in [1usize, 5] {
         for p in [1usize, 4, 16] {
-            check_motifs(
-                &series,
-                &ValmodConfig::new(12, 20).with_k(k).with_profile_size(p),
-            );
+            check_motifs(&series, &ValmodConfig::new(12, 20).with_k(k).with_profile_size(p));
         }
     }
 }

@@ -36,17 +36,16 @@ fn main() {
     let config = ValmodConfig::new(32, 96).with_k(1);
     let started = std::time::Instant::now();
     let results = variable_length_discords(&series, &config).expect("valid configuration");
-    println!(
-        "exact top discord for every length in [32, 96]: {:.2?}\n",
-        started.elapsed()
-    );
+    println!("exact top discord for every length in [32, 96]: {:.2?}\n", started.elapsed());
 
     // The anomaly should dominate at (almost) every length; the normalized
     // NN distance tells us at which length it is *most* anomalous.
-    let overlaps_event =
-        |offset: usize, length: usize| offset < 2180 && offset + length > 2100;
+    let overlaps_event = |offset: usize, length: usize| offset < 2180 && offset + length > 2100;
     let mut best: Option<(usize, usize, f64)> = None;
-    println!("{:>8} {:>10} {:>12} {:>14}  covers event?", "length", "offset", "NN dist", "NN dist/sqrt(l)");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14}  covers event?",
+        "length", "offset", "NN dist", "NN dist/sqrt(l)"
+    );
     for r in results.iter().step_by(8) {
         if let Some(d) = r.discords.first() {
             println!(
@@ -82,11 +81,7 @@ fn main() {
 
     // Resolution statistics: the pruning story for discords.
     let resolved: usize = results.iter().skip(1).map(|r| r.resolved_rows).sum();
-    let total: usize = results
-        .iter()
-        .skip(1)
-        .map(|r| series.len() - r.length + 1)
-        .sum();
+    let total: usize = results.iter().skip(1).map(|r| series.len() - r.length + 1).sum();
     println!(
         "rows resolved exactly: {resolved} of {total} row-length steps \
          ({:.2}%)",

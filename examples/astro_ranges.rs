@@ -45,13 +45,9 @@ fn main() {
     // Expand the best motif into its full occurrence set — the demo's
     // "Motif Pairs Expansion to Motif Sets" feature.
     if let Some(best) = output.ranking().first() {
-        let set = expand_motif_set(
-            &series,
-            &best.pair,
-            None,
-            output.config.exclusion(best.pair.length),
-        )
-        .expect("pair fits the series");
+        let set =
+            expand_motif_set(&series, &best.pair, None, output.config.exclusion(best.pair.length))
+                .expect("pair fits the series");
         println!(
             "\nmotif set of the top pair (radius {:.3}): {} occurrences at offsets {:?}",
             set.radius,

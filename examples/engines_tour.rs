@@ -9,10 +9,10 @@
 use std::time::Instant;
 
 use valmod_suite::mp::abjoin::abjoin;
+use valmod_suite::mp::default_exclusion;
 use valmod_suite::mp::scrimp::scrimp;
 use valmod_suite::mp::stomp::stomp;
 use valmod_suite::mp::streaming::StreamingProfile;
-use valmod_suite::mp::default_exclusion;
 use valmod_suite::series::gen;
 
 fn main() {
@@ -30,12 +30,7 @@ fn main() {
     for fraction in [0.05, 0.25, 1.0] {
         let t = Instant::now();
         let approx = scrimp(&series, l, excl, fraction, 7).expect("valid window");
-        let err: f64 = approx
-            .values
-            .iter()
-            .zip(&exact.values)
-            .map(|(a, e)| a - e)
-            .sum::<f64>()
+        let err: f64 = approx.values.iter().zip(&exact.values).map(|(a, e)| a - e).sum::<f64>()
             / exact.len() as f64;
         println!(
             "SCRIMP  ({:>4.0}%):     mean overshoot {err:.4}              [{:.2?}]",
@@ -63,10 +58,7 @@ fn main() {
     let t = Instant::now();
     let join = abjoin(&series, &other, l).expect("valid join");
     let (a, b, dj) = join.closest_pair().expect("pair exists");
-    println!(
-        "AB-join (cross):     closest pair A[{a}] ~ B[{b}] d = {dj:.3} [{:.2?}]",
-        t.elapsed()
-    );
+    println!("AB-join (cross):     closest pair A[{a}] ~ B[{b}] d = {dj:.3} [{:.2?}]", t.elapsed());
     println!(
         "\nall engines agree on the data they share; SCRIMP trades accuracy for\n\
          time, the streaming profile is exact after every append, and the\n\

@@ -9,9 +9,9 @@
 //! cargo run --release --example fig1_fixed_length
 //! ```
 
+use valmod_suite::mp::default_exclusion;
 use valmod_suite::mp::motif::top_k_pairs;
 use valmod_suite::mp::stomp::stomp;
-use valmod_suite::mp::default_exclusion;
 use valmod_suite::series::gen;
 use valmod_suite::valmod::render::render_series_with_profile;
 
@@ -23,21 +23,12 @@ fn main() {
     let mp = stomp(&series, l, default_exclusion(l)).expect("valid window");
 
     println!("ECG snippet with matrix profile, l = {l} (paper Figure 1a-b):\n");
-    print!(
-        "{}",
-        render_series_with_profile("ECG data", &series, "MP l=50", &mp.values, 72)
-    );
+    print!("{}", render_series_with_profile("ECG data", &series, "MP l=50", &mp.values, 72));
 
     // Index profile (Figure 1c): offset of each subsequence's best match.
-    let ip: Vec<f64> = mp
-        .indices
-        .iter()
-        .map(|idx| idx.map_or(f64::INFINITY, |j| j as f64))
-        .collect();
-    print!(
-        "{}",
-        render_series_with_profile("(index)", &ip, "", &[0.0; 0], 72)
-    );
+    let ip: Vec<f64> =
+        mp.indices.iter().map(|idx| idx.map_or(f64::INFINITY, |j| j as f64)).collect();
+    print!("{}", render_series_with_profile("(index)", &ip, "", &[0.0; 0], 72));
 
     println!("\ntop motif pairs at fixed length {l}:");
     for p in top_k_pairs(&mp, 4) {

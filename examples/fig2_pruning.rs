@@ -43,11 +43,7 @@ fn main() {
     // ---- The valid / non-valid classification across a real run. ----
     let config = ValmodConfig::new(l0, l0 + 40).with_k(1).with_profile_size(8);
     let output = run_valmod(&series, &config).expect("valid configuration");
-    println!(
-        "per-length pruning report (p = {}, ECG n = {}):",
-        config.profile_size,
-        series.len()
-    );
+    println!("per-length pruning report (p = {}, ECG n = {}):", config.profile_size, series.len());
     println!(
         "{:>8} {:>12} {:>12} {:>12} {:>12}",
         "length", "valid", "non-valid", "recomputed", "minLBAbs"
@@ -63,12 +59,8 @@ fn main() {
         );
     }
     let recomputed: usize = output.per_length.iter().map(|r| r.stats.recomputed_rows).sum();
-    let steps: usize = output
-        .per_length
-        .iter()
-        .skip(1)
-        .map(|r| r.stats.valid_rows + r.stats.invalid_rows)
-        .sum();
+    let steps: usize =
+        output.per_length.iter().skip(1).map(|r| r.stats.valid_rows + r.stats.invalid_rows).sum();
     println!(
         "\ntotal distance profiles recomputed from scratch: {recomputed} of {steps} \
          row-length steps\n(everything else was answered from p = {} stored entries per row)",

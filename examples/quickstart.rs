@@ -39,11 +39,7 @@ fn main() {
 
     // 5. Pruning statistics: how much work the lower bound saved.
     let recomputed: usize = output.per_length.iter().map(|r| r.stats.recomputed_rows).sum();
-    let total: usize = output
-        .per_length
-        .iter()
-        .skip(1)
-        .map(|r| r.stats.valid_rows + r.stats.invalid_rows)
-        .sum();
+    let total: usize =
+        output.per_length.iter().skip(1).map(|r| r.stats.valid_rows + r.stats.invalid_rows).sum();
     println!("rows recomputed: {recomputed} of {total} row-length steps");
 }

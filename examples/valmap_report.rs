@@ -45,13 +45,9 @@ fn main() {
 
     // ---- Pane 4: expand the selected pair to its motif set. ----
     if let Some(best) = output.ranking().first() {
-        let set = expand_motif_set(
-            &series,
-            &best.pair,
-            None,
-            output.config.exclusion(best.pair.length),
-        )
-        .expect("pair fits");
+        let set =
+            expand_motif_set(&series, &best.pair, None, output.config.exclusion(best.pair.length))
+                .expect("pair fits");
         println!(
             "\nexpanded motif set of #1 (radius {:.3}): {} occurrences",
             set.radius,

@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: the full pipeline from generated data
 //! through VALMOD to VALMAP, checked against the baselines.
 
-use valmod_suite::baselines::{brute_top_k, moen_range, quickmotif_best_pair, MoenConfig, QuickMotifConfig};
+use valmod_suite::baselines::{
+    brute_top_k, moen_range, quickmotif_best_pair, MoenConfig, QuickMotifConfig,
+};
 use valmod_suite::mp::stomp::{stomp, stomp_parallel};
 use valmod_suite::prelude::*;
 use valmod_suite::series::{gen, znorm};
@@ -48,8 +50,8 @@ fn planted_variable_length_motif_is_recovered_and_expandable() {
     assert!(top.pair.b.abs_diff(truth.offsets[1]) <= top.pair.length);
 
     // Expanding it must find both instances.
-    let set = expand_motif_set(&series, &top.pair, None, config.exclusion(top.pair.length))
-        .unwrap();
+    let set =
+        expand_motif_set(&series, &top.pair, None, config.exclusion(top.pair.length)).unwrap();
     for &planted in &truth.offsets {
         assert!(
             set.occurrences.iter().any(|o| o.offset.abs_diff(planted) <= 16),

@@ -1,0 +1,205 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no access to a cargo registry, so this
+//! vendored crate implements the API shape the VALMOD benches use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros, [`black_box`]) as a
+//! plain wall-clock harness: each bench runs a short warm-up followed by
+//! `sample_size` timed iterations and prints min/mean/max. No statistics,
+//! plots, or baselines — sufficient for `cargo bench --no-run` CI gating
+//! and for coarse local comparisons.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The bench harness entry point (stand-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: self.default_sample_size }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&format!("{id}"), self.default_sample_size, |b| f(b));
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API compatibility;
+    /// this harness times a fixed number of iterations instead).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up time (accepted for API compatibility).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op; reports are printed as benches run).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier made of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id labeled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { text: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id labeled by the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { text: format!("{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Drives the iterations of one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `sample_size` calls of `routine` (after one warm-up call).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    let started = Instant::now();
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<40} completed in {:>12.2?} (no iter() samples)", started.elapsed());
+        return;
+    }
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    println!(
+        "{label:<40} [{min:>10.2?} {mean:>10.2?} {max:>10.2?}] ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Bundles bench functions into a named group runner (stand-in for
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups (stand-in for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 1), &2u32, |b, &two| {
+            b.iter(|| {
+                calls += two;
+            })
+        });
+        group.finish();
+        // One warm-up + three timed iterations, each adding 2.
+        assert_eq!(calls, 8);
+    }
+
+    #[test]
+    fn ids_render_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("algo", 16).to_string(), "algo/16");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,499 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to a cargo registry, so this
+//! vendored crate implements the API surface the VALMOD suite's property
+//! tests use: the [`proptest!`] macro, [`prop_assert!`] /
+//! [`prop_assert_eq!`] / [`prop_assert_ne!`], the [`Strategy`] trait with
+//! range and collection strategies, [`ProptestConfig::with_cases`], and
+//! `prop::num::f64::ANY`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports its case index, the test's
+//!   derived seed, and the assertion message, but is not minimized.
+//! - **Deterministic seeds.** Each test function derives its RNG seed from
+//!   its own name (FNV-1a), so runs are reproducible without a persistence
+//!   file. Set `PROPTEST_SEED_OFFSET` to explore different streams.
+//! - **Case counts** honor `ProptestConfig::with_cases` and can be
+//!   globally capped with the `PROPTEST_CASES` environment variable.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Configuration for a `proptest!` block (subset of
+/// `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The effective case count: `cases`, capped by the `PROPTEST_CASES`
+    /// environment variable when set (used to keep CI time bounded).
+    #[must_use]
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()) {
+            Some(cap) => self.cases.min(cap),
+            None => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case, carrying the rendered assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds an error from any message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The result type a generated test body produces.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic RNG driving value generation (xoshiro256++ seeded by
+/// SplitMix64, like `rand::rngs::SmallRng`).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// A generator seeded from an arbitrary state.
+    #[must_use]
+    pub fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        TestRng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+
+    /// A generator whose seed is a pure function of the test name (plus
+    /// the optional `PROPTEST_SEED_OFFSET` environment variable), so every
+    /// run of the suite generates the same cases.
+    #[must_use]
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let offset = std::env::var("PROPTEST_SEED_OFFSET")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        Self::seed_from_u64(h ^ offset)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform on `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform on `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot sample below 0");
+        let span = bound as u64;
+        let zone = u64::MAX - u64::MAX % span;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % span) as usize;
+            }
+        }
+    }
+}
+
+/// A generator of random values of one type (subset of
+/// `proptest::strategy::Strategy`; no shrinking).
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        // Widen by one ULP-scale step so the inclusive end is reachable.
+        let v = lo + rng.next_f64() * (hi - lo) * (1.0 + 1e-15);
+        v.clamp(lo, hi)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as usize;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi - lo) as usize + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, i64, i32);
+
+/// A strategy producing one fixed value (like `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// An inclusive-exclusive size specification for collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// A strategy generating `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo;
+            let len = self.size.lo + rng.below(span.max(1));
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Numeric strategies.
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+
+        /// Generates arbitrary `f64` values, including non-finite ones
+        /// (NaN and the infinities appear with probability 1/8 each draw,
+        /// so small collections still exercise the non-finite paths).
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The canonical instance of [`Any`].
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+            fn new_value(&self, rng: &mut TestRng) -> f64 {
+                match rng.next_u64() % 8 {
+                    0 => match rng.next_u64() % 3 {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        _ => f64::NEG_INFINITY,
+                    },
+                    1 => 0.0,
+                    // Wide magnitude spread: sign * 10^[-30, 30).
+                    _ => {
+                        let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+                        let exp = rng.next_f64() * 60.0 - 30.0;
+                        sign * 10f64.powf(exp) * (0.5 + rng.next_f64())
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The macro surface and common names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Fails the current test case unless `cond` holds.
+///
+/// Unlike `assert!`, this returns a [`TestCaseError`] so the runner can
+/// report the failing case index and seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} — {}",
+                stringify!($cond),
+                format_args!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}) — {}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b,
+                format_args!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fails the current test case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+/// Declares property tests (subset of `proptest::proptest!`).
+///
+/// Each function runs `cases` times with values drawn from its strategies;
+/// the body may `return Ok(())` to skip a case and uses the `prop_assert*`
+/// macros to fail one. Failures panic with the case index and the test's
+/// deterministic seed.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::proptest!(@run $config, $name, ($($pat in $strat),+) $body);
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($pat in $strat),+) $body)*
+        }
+    };
+    (@run $config:expr, $name:ident, ($($pat:pat in $strat:expr),+) $body:block) => {{
+        let config: $crate::ProptestConfig = $config;
+        let cases = config.effective_cases();
+        let mut rng = $crate::TestRng::deterministic(stringify!($name));
+        for case in 0..cases {
+            $(let $pat = $crate::Strategy::new_value(&($strat), &mut rng);)+
+            let result: $crate::TestCaseResult =
+                (|| -> $crate::TestCaseResult { $body ::core::result::Result::Ok(()) })();
+            if let ::core::result::Result::Err(e) = result {
+                panic!(
+                    "proptest {}: case {}/{} failed (seed derives from the test name; \
+                     set PROPTEST_SEED_OFFSET to vary): {}",
+                    stringify!($name),
+                    case + 1,
+                    cases,
+                    e
+                );
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges_stay_in_bounds");
+        for _ in 0..2000 {
+            let x = (3usize..17).new_value(&mut rng);
+            assert!((3..17).contains(&x));
+            let y = (-2.0f64..2.0).new_value(&mut rng);
+            assert!((-2.0..2.0).contains(&y));
+            let z = (-1.0f64..=1.0).new_value(&mut rng);
+            assert!((-1.0..=1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_honors_size_range() {
+        let mut rng = crate::TestRng::deterministic("vec_strategy_honors_size_range");
+        let strat = crate::collection::vec(0.0f64..1.0, 2..9);
+        for _ in 0..500 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn f64_any_produces_non_finite_values() {
+        let mut rng = crate::TestRng::deterministic("f64_any_produces_non_finite_values");
+        let mut finite = 0;
+        let mut non_finite = 0;
+        for _ in 0..1000 {
+            let x = crate::num::f64::ANY.new_value(&mut rng);
+            if x.is_finite() {
+                finite += 1;
+            } else {
+                non_finite += 1;
+            }
+        }
+        assert!(finite > 100, "finite {finite}");
+        assert!(non_finite > 20, "non_finite {non_finite}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro body sees its bindings, can early-return, and the
+        /// assert macros pass on truths.
+        #[test]
+        fn macro_plumbing_works(a in 1usize..50, xs in prop::collection::vec(0.0f64..10.0, 1..20)) {
+            if a == 1 {
+                return Ok(());
+            }
+            prop_assert!(a > 1, "a = {}", a);
+            prop_assert_eq!(xs.len(), xs.len());
+            prop_assert_ne!(a, 0);
+        }
+    }
+}

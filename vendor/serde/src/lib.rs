@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace derives `Serialize` on a few public types as a forward
+//! declaration of intent, but all wire formats in the suite are
+//! hand-rolled (JSON in the CLI, CSV in VALMAP). This crate provides the
+//! trait names and re-exports the no-op derives so those annotations
+//! compile without a registry. Swapping in the real `serde` is a
+//! one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; the derives expand
+/// to nothing and nothing in the workspace bounds on this trait).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
