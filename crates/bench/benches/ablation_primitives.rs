@@ -1,10 +1,14 @@
 //! Ablation: the substrate primitives — FFT vs naive sliding dot products
-//! (the MASS crossover), and the rolling-statistics engine.
+//! (the MASS crossover, including the short-series regime the cost model
+//! dispatches on), the real-input FFT plan against the legacy complex
+//! path, and the rolling-statistics engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use valmod_bench::Dataset;
-use valmod_fft::{sliding_dot_product_naive, SlidingDotPlan};
+use valmod_fft::{
+    next_pow2, sliding_dot_product, sliding_dot_product_naive, Complex64, Fft, SlidingDotPlan,
+};
 use valmod_series::RollingStats;
 
 fn bench_sliding_dots(c: &mut Criterion) {
@@ -19,6 +23,113 @@ fn bench_sliding_dots(c: &mut Criterion) {
         let plan = SlidingDotPlan::new(&series);
         group.bench_with_input(BenchmarkId::new("fft_planned", m), &m, |b, _| {
             b.iter(|| black_box(plan.dot(black_box(&query))));
+        });
+        let mut scratch = plan.scratch();
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::new("fft_planned_scratch", m), &m, |b, _| {
+            b.iter(|| {
+                plan.dot_into(black_box(&query), &mut scratch, &mut out);
+                black_box(out.last().copied())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The cost-model crossover: a mid-size query over a *short* series, where
+/// the old `m·n` threshold picked the (padded, hence oversized) FFT and
+/// naive actually wins, bracketed by nearby shapes on both sides.
+fn bench_dispatch_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sliding_dot_crossover");
+    group.sample_size(30);
+    for (m, n) in [(40usize, 500usize), (40, 4_000), (512, 4_000)] {
+        let series = Dataset::Ecg.generate(n);
+        let query: Vec<f64> = series[0..m].to_vec();
+        let id = format!("m{m}_n{n}");
+        group.bench_with_input(BenchmarkId::new("naive", &id), &m, |b, _| {
+            b.iter(|| black_box(sliding_dot_product_naive(black_box(&query), &series)));
+        });
+        group.bench_with_input(BenchmarkId::new("fft_oneshot", &id), &m, |b, _| {
+            b.iter(|| black_box(SlidingDotPlan::new(&series).dot(black_box(&query))));
+        });
+        group.bench_with_input(BenchmarkId::new("dispatched", &id), &m, |b, _| {
+            b.iter(|| black_box(sliding_dot_product(black_box(&query), &series)));
+        });
+    }
+    group.finish();
+}
+
+/// The legacy complex-input sliding-dot path (full-size complex forward
+/// per query, as `SlidingDotPlan` worked before the real-input FFT), kept
+/// here as the ablation baseline.
+struct ComplexPlan {
+    fft: Fft,
+    series_spectrum: Vec<Complex64>,
+    series_len: usize,
+}
+
+impl ComplexPlan {
+    fn new(series: &[f64]) -> Self {
+        let n = series.len();
+        let size = next_pow2((2 * n).max(1));
+        let fft = Fft::new(size);
+        let mut buf = vec![Complex64::ZERO; size];
+        for (b, &x) in buf.iter_mut().zip(series) {
+            b.re = x;
+        }
+        fft.forward(&mut buf);
+        Self { fft, series_spectrum: buf, series_len: n }
+    }
+
+    fn dot(&self, query: &[f64]) -> Vec<f64> {
+        let m = query.len();
+        let n = self.series_len;
+        let size = self.fft.size();
+        let mut buf = vec![Complex64::ZERO; size];
+        for (b, &q) in buf.iter_mut().zip(query.iter().rev()) {
+            b.re = q;
+        }
+        self.fft.forward(&mut buf);
+        for (b, s) in buf.iter_mut().zip(&self.series_spectrum) {
+            *b *= *s;
+        }
+        self.fft.inverse(&mut buf);
+        (m - 1..n).map(|i| buf[i].re).collect()
+    }
+}
+
+/// Real-input plan vs the legacy complex path: same series, same queries;
+/// the real path should win on both plan construction and per-query dots.
+fn bench_real_vs_complex_plan(c: &mut Criterion) {
+    let series = Dataset::Ecg.generate(16_384);
+    let mut group = c.benchmark_group("fft_plan_real_vs_complex");
+    group.sample_size(20);
+    group.bench_function("build/complex", |b| {
+        b.iter(|| black_box(ComplexPlan::new(black_box(&series))));
+    });
+    group.bench_function("build/real", |b| {
+        b.iter(|| black_box(SlidingDotPlan::new(black_box(&series))));
+    });
+    let complex = ComplexPlan::new(&series);
+    let real = SlidingDotPlan::new(&series);
+    let mut scratch = real.scratch();
+    let mut out = Vec::new();
+    for m in [256usize, 2048] {
+        let query: Vec<f64> = series[100..100 + m].to_vec();
+        // Sanity: both paths compute the same dots.
+        let (a, b) = (complex.dot(&query), real.dot(&query));
+        assert!(a.iter().zip(&b).all(|(x, y)| (x - y).abs() < 1e-5));
+        group.bench_with_input(BenchmarkId::new("dot/complex", m), &m, |b, _| {
+            b.iter(|| black_box(complex.dot(black_box(&query))));
+        });
+        group.bench_with_input(BenchmarkId::new("dot/real", m), &m, |b, _| {
+            b.iter(|| black_box(real.dot(black_box(&query))));
+        });
+        group.bench_with_input(BenchmarkId::new("dot/real_scratch", m), &m, |b, _| {
+            b.iter(|| {
+                real.dot_into(black_box(&query), &mut scratch, &mut out);
+                black_box(out.last().copied())
+            });
         });
     }
     group.finish();
@@ -41,5 +152,11 @@ fn bench_rolling_stats(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(ablation, bench_sliding_dots, bench_rolling_stats);
+criterion_group!(
+    ablation,
+    bench_sliding_dots,
+    bench_dispatch_crossover,
+    bench_real_vs_complex_plan,
+    bench_rolling_stats
+);
 criterion_main!(ablation);

@@ -1,0 +1,193 @@
+//! Perf snapshot: times VALMOD's stage 1, stage 2, and end-to-end wall
+//! clock on the Figure-3 workloads at 1 thread and at full hardware
+//! parallelism, and writes the measurements to a JSON file — the
+//! reproducible baseline every future perf PR is measured against.
+//!
+//! Usage:
+//!
+//! ```text
+//! perfsnap [--smoke] [--n N] [--threads N] [--out FILE]
+//! ```
+//!
+//! `--smoke` shrinks the workloads for CI (seconds, not minutes);
+//! `--threads` overrides the parallel thread count (default: hardware);
+//! `--out` sets the JSON path (default `BENCH_valmod.json`).
+
+use std::time::Instant;
+
+use valmod_bench::Dataset;
+use valmod_core::{run_valmod, ValmodConfig};
+
+/// One measured configuration.
+struct Run {
+    dataset: &'static str,
+    n: usize,
+    l_min: usize,
+    l_max: usize,
+    threads: usize,
+    stage1_secs: f64,
+    stage2_secs: f64,
+    total_secs: f64,
+    checksum: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let mut smoke = false;
+    let mut n_override: Option<usize> = None;
+    let mut threads_override: Option<usize> = None;
+    let mut out_path = String::from("BENCH_valmod.json");
+    let mut it = refs.iter().copied();
+    while let Some(flag) = it.next() {
+        match flag {
+            "--smoke" => smoke = true,
+            "--n" => n_override = Some(expect_num(&mut it, "--n")),
+            "--threads" => threads_override = Some(expect_num(&mut it, "--threads")),
+            "--out" => {
+                out_path = it.next().unwrap_or_else(|| usage("--out requires a value")).into();
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let max_threads = threads_override.unwrap_or(hardware).max(1);
+    // Figure-3 shape: ECG at paper scale (the headline workload), ASTRO at
+    // a lighter size so the snapshot stays affordable; both use the
+    // Fig. 3 `l_min` = 64 and a 16-wide range.
+    let l_min = if smoke { 32 } else { 64 };
+    let width = if smoke { 4 } else { 16 };
+    let workloads: Vec<(Dataset, usize)> = if smoke {
+        vec![(Dataset::Ecg, n_override.unwrap_or(4_000))]
+    } else {
+        vec![
+            (Dataset::Ecg, n_override.unwrap_or(100_000)),
+            (Dataset::Astro, n_override.unwrap_or(40_000)),
+        ]
+    };
+    let thread_counts: Vec<usize> = if max_threads == 1 { vec![1] } else { vec![1, max_threads] };
+
+    let mut runs: Vec<Run> = Vec::new();
+    for &(dataset, n) in &workloads {
+        let series = dataset.generate(n);
+        for &threads in &thread_counts {
+            let config = ValmodConfig::new(l_min, l_min + width).with_k(1).with_threads(threads);
+            let started = Instant::now();
+            let out = run_valmod(&series, &config).expect("valid workload");
+            let total = started.elapsed().as_secs_f64();
+            let checksum = out.best_per_length().into_iter().flatten().fold(
+                0xcbf2_9ce4_8422_2325u64,
+                |acc, p| {
+                    [p.a as u64, p.b as u64, p.length as u64]
+                        .into_iter()
+                        .fold(acc, |a, v| (a ^ v).wrapping_mul(0x1000_0000_01b3))
+                },
+            );
+            eprintln!(
+                "{} n={n} l=[{l_min},{}] threads={threads}: stage1 {:.3}s stage2 {:.3}s \
+                 total {total:.3}s",
+                dataset.name(),
+                l_min + width,
+                out.timings.stage1.as_secs_f64(),
+                out.timings.stage2.as_secs_f64(),
+            );
+            runs.push(Run {
+                dataset: dataset.name(),
+                n,
+                l_min,
+                l_max: l_min + width,
+                threads,
+                stage1_secs: out.timings.stage1.as_secs_f64(),
+                stage2_secs: out.timings.stage2.as_secs_f64(),
+                total_secs: total,
+                checksum,
+            });
+        }
+    }
+
+    // Parallel speedup per workload (serial total / parallel total), and a
+    // cross-thread result check: identical checksums are the engine's
+    // bit-identity promise showing up end to end.
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for &(dataset, n) in &workloads {
+        let of = |threads: usize| {
+            runs.iter().find(|r| r.dataset == dataset.name() && r.n == n && r.threads == threads)
+        };
+        if let (Some(serial), Some(parallel)) =
+            (of(1), of(*thread_counts.last().expect("non-empty")))
+        {
+            assert_eq!(
+                serial.checksum,
+                parallel.checksum,
+                "thread counts disagree on {} motifs",
+                dataset.name()
+            );
+            if parallel.threads > 1 {
+                speedups
+                    .push((dataset.name().to_string(), serial.total_secs / parallel.total_secs));
+            }
+        }
+    }
+
+    let json = render_json(hardware, max_threads, smoke, &runs, &speedups);
+    std::fs::write(&out_path, json).expect("write snapshot");
+    eprintln!("snapshot written to {out_path}");
+    for (name, s) in &speedups {
+        eprintln!("{name} end-to-end speedup at {max_threads} threads: {s:.2}x");
+    }
+}
+
+fn expect_num<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> usize {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} requires a numeric value")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\nusage: perfsnap [--smoke] [--n N] [--threads N] [--out FILE]");
+    std::process::exit(2);
+}
+
+/// Hand-rolled JSON (the workspace carries no JSON dependency).
+fn render_json(
+    hardware: usize,
+    max_threads: usize,
+    smoke: bool,
+    runs: &[Run],
+    speedups: &[(String, f64)],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
+    out.push_str(&format!("  \"max_threads\": {max_threads},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"runs\": [\n");
+    for (idx, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"n\": {}, \"l_min\": {}, \"l_max\": {}, \
+             \"threads\": {}, \"stage1_secs\": {:.6}, \"stage2_secs\": {:.6}, \
+             \"total_secs\": {:.6}, \"checksum\": \"{:#018x}\"}}{}\n",
+            r.dataset,
+            r.n,
+            r.l_min,
+            r.l_max,
+            r.threads,
+            r.stage1_secs,
+            r.stage2_secs,
+            r.total_secs,
+            r.checksum,
+            if idx + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedup_end_to_end\": {");
+    for (idx, (name, s)) in speedups.iter().enumerate() {
+        out.push_str(&format!(
+            "\"{name}\": {s:.3}{}",
+            if idx + 1 < speedups.len() { ", " } else { "" }
+        ));
+    }
+    out.push_str("}\n}\n");
+    out
+}

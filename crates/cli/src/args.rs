@@ -31,6 +31,8 @@ pub struct RunArgs {
     pub k: usize,
     /// Partial-profile size `p`.
     pub p: usize,
+    /// Worker threads (defaults to the hardware parallelism).
+    pub threads: Option<usize>,
     /// Optional path for a VALMAP JSON dump.
     pub valmap_out: Option<String>,
 }
@@ -44,6 +46,8 @@ pub struct ProfileArgs {
     pub length: usize,
     /// Motif pairs to report.
     pub k: usize,
+    /// Worker threads (defaults to the hardware parallelism).
+    pub threads: Option<usize>,
 }
 
 /// Arguments of `valmod generate`.
@@ -91,8 +95,8 @@ pub const USAGE: &str = "\
 valmod — variable-length motif discovery (VALMOD, SIGMOD 2018)
 
 USAGE:
-  valmod run --input FILE --lmin N --lmax N [--k N] [--p N] [--valmap-out FILE]
-  valmod profile --input FILE --length N [--k N]
+  valmod run --input FILE --lmin N --lmax N [--k N] [--p N] [--threads N] [--valmap-out FILE]
+  valmod profile --input FILE --length N [--k N] [--threads N]
   valmod generate --kind ecg|astro|walk|noise|seismic|epg --n N [--seed N] --output FILE
   valmod motif-set --input FILE --a N --b N --length N [--radius X]
   valmod help
@@ -131,7 +135,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
 
 fn parse_run(rest: &[&str]) -> Result<Command, ParseError> {
     let (mut input, mut l_min, mut l_max) = (None, None, None);
-    let (mut k, mut p, mut valmap_out) = (10usize, 8usize, None);
+    let (mut k, mut p, mut threads, mut valmap_out) = (10usize, 8usize, None, None);
     let mut it = rest.iter().copied();
     while let Some(flag) = it.next() {
         match flag {
@@ -140,6 +144,7 @@ fn parse_run(rest: &[&str]) -> Result<Command, ParseError> {
             "--lmax" => l_max = Some(parse_num(flag, take_value(flag, &mut it)?)?),
             "--k" => k = parse_num(flag, take_value(flag, &mut it)?)?,
             "--p" => p = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--threads" => threads = Some(parse_num(flag, take_value(flag, &mut it)?)?),
             "--valmap-out" => valmap_out = Some(take_value(flag, &mut it)?.to_string()),
             other => return Err(ParseError(format!("unknown flag {other:?} for run"))),
         }
@@ -150,18 +155,20 @@ fn parse_run(rest: &[&str]) -> Result<Command, ParseError> {
         l_max: l_max.ok_or_else(|| ParseError("run requires --lmax".into()))?,
         k,
         p,
+        threads,
         valmap_out,
     }))
 }
 
 fn parse_profile(rest: &[&str]) -> Result<Command, ParseError> {
-    let (mut input, mut length, mut k) = (None, None, 5usize);
+    let (mut input, mut length, mut k, mut threads) = (None, None, 5usize, None);
     let mut it = rest.iter().copied();
     while let Some(flag) = it.next() {
         match flag {
             "--input" => input = Some(take_value(flag, &mut it)?.to_string()),
             "--length" => length = Some(parse_num(flag, take_value(flag, &mut it)?)?),
             "--k" => k = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--threads" => threads = Some(parse_num(flag, take_value(flag, &mut it)?)?),
             other => return Err(ParseError(format!("unknown flag {other:?} for profile"))),
         }
     }
@@ -169,6 +176,7 @@ fn parse_profile(rest: &[&str]) -> Result<Command, ParseError> {
         input: input.ok_or_else(|| ParseError("profile requires --input".into()))?,
         length: length.ok_or_else(|| ParseError("profile requires --length".into()))?,
         k,
+        threads,
     }))
 }
 
@@ -239,6 +247,7 @@ mod tests {
                 assert_eq!(a.input, "x.txt");
                 assert_eq!((a.l_min, a.l_max, a.k, a.p), (50, 400, 10, 8));
                 assert!(a.valmap_out.is_none());
+                assert!(a.threads.is_none());
             }
             other => panic!("{other:?}"),
         }
@@ -265,6 +274,23 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn threads_flag_parses_on_run_and_profile() {
+        let cmd = parse(&["run", "--input", "x", "--lmin", "8", "--lmax", "16", "--threads", "4"])
+            .unwrap();
+        match cmd {
+            Command::Run(a) => assert_eq!(a.threads, Some(4)),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&["profile", "--input", "x", "--length", "32", "--threads", "2"]).unwrap();
+        match cmd {
+            Command::Profile(a) => assert_eq!(a.threads, Some(2)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["run", "--input", "x", "--lmin", "8", "--lmax", "16", "--threads", "x"])
+            .is_err());
     }
 
     #[test]

@@ -66,7 +66,10 @@ fn print_pairs_table(pairs: &[MotifPair]) {
 
 fn cmd_run(a: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
     let series = io::read_series(&a.input)?;
-    let config = ValmodConfig::new(a.l_min, a.l_max).with_k(a.k).with_profile_size(a.p);
+    let mut config = ValmodConfig::new(a.l_min, a.l_max).with_k(a.k).with_profile_size(a.p);
+    if let Some(threads) = a.threads {
+        config = config.with_threads(threads);
+    }
     let started = std::time::Instant::now();
     let output = run_valmod(series.values(), &config)?;
     let elapsed = started.elapsed();
@@ -81,7 +84,11 @@ fn cmd_run(a: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
     print_pairs_table(&pairs);
 
     let recomputed: usize = output.per_length.iter().map(|r| r.stats.recomputed_rows).sum();
-    println!("\ncompleted in {elapsed:.2?} ({recomputed} rows recomputed across all lengths)");
+    println!(
+        "\ncompleted in {elapsed:.2?} on {} thread(s) — stage 1 {:.2?}, stage 2 {:.2?} \
+         ({recomputed} rows recomputed across all lengths)",
+        config.threads, output.timings.stage1, output.timings.stage2
+    );
 
     if let Some(path) = &a.valmap_out {
         let json = valmap_to_json(&output.valmap);
@@ -132,7 +139,10 @@ fn valmap_to_json(valmap: &valmod_core::Valmap) -> String {
 
 fn cmd_profile(a: &ProfileArgs) -> Result<(), Box<dyn std::error::Error>> {
     let series = io::read_series(&a.input)?;
-    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let threads = a.threads.map_or_else(
+        || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        |t| t.max(1),
+    );
     let mp = stomp_parallel(series.values(), a.length, default_exclusion(a.length), threads)?;
     println!("series: {} ({} points), window {}", a.input, series.len(), a.length);
     println!("data |{}|", sparkline(series.values(), 72));

@@ -9,6 +9,7 @@
 //!
 //! * [`Complex64`] — minimal complex arithmetic,
 //! * [`Fft`] — a planned, iterative radix-2 FFT (forward and inverse),
+//! * [`RealFft`] — real-input transforms at half-size complex cost,
 //! * [`convolve`] / [`convolve_naive`] — real linear convolution,
 //! * [`sliding_dot_product`] — the MASS primitive: all dot products of a
 //!   query with every window of a series.
@@ -29,12 +30,17 @@
 mod complex;
 mod convolve;
 mod fft;
+mod real;
 mod sliding;
 
 pub use complex::Complex64;
 pub use convolve::{convolve, convolve_naive};
 pub use fft::Fft;
-pub use sliding::{sliding_dot_product, sliding_dot_product_naive, SlidingDotPlan};
+pub use real::RealFft;
+pub use sliding::{
+    naive_is_faster, sliding_dot_product, sliding_dot_product_naive,
+    sliding_dot_product_naive_into, SlidingDotPlan, SlidingDotScratch,
+};
 
 /// Smallest power of two greater than or equal to `n`.
 ///

@@ -1,0 +1,256 @@
+//! Real-input FFT: a length-`N` transform of real data at the cost of one
+//! length-`N/2` complex transform.
+//!
+//! The classic packing trick: interleave the even- and odd-indexed samples
+//! into a half-size complex signal `z[k] = x[2k] + i·x[2k+1]`, transform it
+//! once, and *untangle* the result into the spectrum of `x` using the
+//! Hermitian symmetry of real-input DFTs. Since `X[N−k] = conj(X[k])`, the
+//! full spectrum is represented by its first `N/2 + 1` bins.
+//!
+//! The inverse runs the same algebra backwards: re-tangle the half
+//! spectrum, one half-size inverse transform, de-interleave. Both
+//! directions write into caller-provided buffers, so repeated transforms
+//! (the sliding-dot-product hot path) allocate nothing.
+
+use crate::{Complex64, Fft};
+
+/// A reusable plan for forward/inverse DFTs of real signals of a fixed
+/// power-of-two length.
+///
+/// # Example
+///
+/// ```
+/// use valmod_fft::RealFft;
+///
+/// let rfft = RealFft::new(8);
+/// let input = [1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0];
+/// let mut packed = rfft.packed_buffer();
+/// let mut spectrum = rfft.spectrum_buffer();
+/// rfft.forward(&input, &mut packed, &mut spectrum);
+/// // Bin 0 is the plain sum of the signal.
+/// assert!((spectrum[0].re - 10.0).abs() < 1e-12);
+/// let mut back = [0.0f64; 8];
+/// rfft.inverse(&spectrum, &mut packed, &mut back);
+/// for (a, b) in back.iter().zip(&input) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealFft {
+    size: usize,
+    /// Complex plan of size `N/2` operating on the packed signal.
+    half: Fft,
+    /// `e^{-2πik/N}` for `k in 0..=N/2` — the untangling twiddles.
+    twiddles: Vec<Complex64>,
+}
+
+impl RealFft {
+    /// Builds a plan for real transforms of length `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two or is smaller than 2.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        assert!(size.is_power_of_two() && size >= 2, "RealFft size must be a power of two >= 2");
+        let half = Fft::new(size / 2);
+        let step = -2.0 * std::f64::consts::PI / size as f64;
+        let twiddles = (0..=size / 2).map(|k| Complex64::cis(step * k as f64)).collect();
+        Self { size, half, twiddles }
+    }
+
+    /// The real transform length `N` this plan was built for.
+    #[inline]
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of spectrum bins, `N/2 + 1` (the rest follow by Hermitian
+    /// symmetry).
+    #[inline]
+    #[must_use]
+    pub fn spectrum_len(&self) -> usize {
+        self.size / 2 + 1
+    }
+
+    /// A correctly sized scratch buffer for the packed half-size signal.
+    #[must_use]
+    pub fn packed_buffer(&self) -> Vec<Complex64> {
+        vec![Complex64::ZERO; self.size / 2]
+    }
+
+    /// A correctly sized spectrum buffer.
+    #[must_use]
+    pub fn spectrum_buffer(&self) -> Vec<Complex64> {
+        vec![Complex64::ZERO; self.spectrum_len()]
+    }
+
+    /// Forward DFT of `input` (zero-padded to `N` when shorter) into
+    /// `spectrum[0..=N/2]`, using `packed` as scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input` is longer than the plan, or the buffers have
+    /// the wrong size (`packed`: `N/2`, `spectrum`: `N/2 + 1`).
+    pub fn forward(&self, input: &[f64], packed: &mut [Complex64], spectrum: &mut [Complex64]) {
+        let n = self.size;
+        let h = n / 2;
+        assert!(input.len() <= n, "input length {} exceeds plan size {n}", input.len());
+        assert_eq!(packed.len(), h, "packed buffer must have length N/2");
+        assert_eq!(spectrum.len(), h + 1, "spectrum buffer must have length N/2 + 1");
+
+        // Pack: z[k] = x[2k] + i·x[2k+1], zero-padded.
+        for (p, pair) in packed.iter_mut().zip(input.chunks(2)) {
+            *p = Complex64::new(pair[0], pair.get(1).copied().unwrap_or(0.0));
+        }
+        for p in packed.iter_mut().skip(input.len().div_ceil(2)) {
+            *p = Complex64::ZERO;
+        }
+        self.half.forward(packed);
+
+        // Untangle: X[k] = (Z[k] + conj(Z[H−k]))/2 − (i/2)·W^k·(Z[k] − conj(Z[H−k])).
+        for (k, (out, &w)) in spectrum.iter_mut().zip(&self.twiddles).enumerate() {
+            let zk = packed[k % h];
+            let zmk = packed[(h - k) % h].conj();
+            let a = (zk + zmk).scale(0.5);
+            let b = (zk - zmk) * Complex64::new(0.0, -0.5);
+            *out = a + w * b;
+        }
+    }
+
+    /// Inverse DFT of a Hermitian half `spectrum` into the real `output`
+    /// (length `N`), using `packed` as scratch.
+    ///
+    /// Includes the `1/N` scaling, so `inverse(forward(x)) == x` up to
+    /// floating-point error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on wrongly sized buffers (`spectrum`: `N/2 + 1`, `packed`:
+    /// `N/2`, `output`: `N`).
+    pub fn inverse(&self, spectrum: &[Complex64], packed: &mut [Complex64], output: &mut [f64]) {
+        let n = self.size;
+        let h = n / 2;
+        assert_eq!(spectrum.len(), h + 1, "spectrum buffer must have length N/2 + 1");
+        assert_eq!(packed.len(), h, "packed buffer must have length N/2");
+        assert_eq!(output.len(), n, "output buffer must have length N");
+
+        // Re-tangle: Z[k] = (X[k] + conj(X[H−k]))/2 + (i/2)·conj(W^k)·(X[k] − conj(X[H−k])).
+        for (k, p) in packed.iter_mut().enumerate() {
+            let xk = spectrum[k];
+            let xmk = spectrum[h - k].conj();
+            let a = (xk + xmk).scale(0.5);
+            let d = (xk - xmk).scale(0.5);
+            *p = a + Complex64::new(0.0, 1.0) * self.twiddles[k].conj() * d;
+        }
+        self.half.inverse(packed);
+
+        // Unpack: x[2k] = Re z[k], x[2k+1] = Im z[k].
+        for (pair, z) in output.chunks_mut(2).zip(packed.iter()) {
+            pair[0] = z.re;
+            pair[1] = z.im;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RealFft;
+    use crate::{Complex64, Fft};
+
+    fn pseudo(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 2654435761) % 997) as f64 / 99.0 - 5.0).collect()
+    }
+
+    /// Reference: full complex FFT of the real input.
+    fn complex_spectrum(input: &[f64], size: usize) -> Vec<Complex64> {
+        let mut buf = vec![Complex64::ZERO; size];
+        for (b, &x) in buf.iter_mut().zip(input) {
+            b.re = x;
+        }
+        Fft::new(size).forward(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn forward_matches_complex_fft() {
+        for &n in &[2usize, 4, 8, 64, 256, 1024] {
+            let input = pseudo(n);
+            let rfft = RealFft::new(n);
+            let mut packed = rfft.packed_buffer();
+            let mut spectrum = rfft.spectrum_buffer();
+            rfft.forward(&input, &mut packed, &mut spectrum);
+            let reference = complex_spectrum(&input, n);
+            for (k, (got, want)) in spectrum.iter().zip(&reference).enumerate() {
+                assert!(
+                    (got.re - want.re).abs() < 1e-8 && (got.im - want.im).abs() < 1e-8,
+                    "size {n} bin {k}: {got:?} vs {want:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_zero_pads_short_input() {
+        let n = 32;
+        let short = pseudo(13); // odd length: exercises the half-filled pair
+        let mut padded = short.clone();
+        padded.resize(n, 0.0);
+        let rfft = RealFft::new(n);
+        let mut packed = rfft.packed_buffer();
+        let mut a = rfft.spectrum_buffer();
+        rfft.forward(&short, &mut packed, &mut a);
+        let mut b = rfft.spectrum_buffer();
+        rfft.forward(&padded, &mut packed, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.re - y.re).abs() < 1e-12 && (x.im - y.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_input() {
+        for &n in &[2usize, 8, 128, 4096] {
+            let input = pseudo(n);
+            let rfft = RealFft::new(n);
+            let mut packed = rfft.packed_buffer();
+            let mut spectrum = rfft.spectrum_buffer();
+            rfft.forward(&input, &mut packed, &mut spectrum);
+            let mut back = vec![0.0; n];
+            rfft.inverse(&spectrum, &mut packed, &mut back);
+            for (i, (a, b)) in back.iter().zip(&input).enumerate() {
+                assert!((a - b).abs() < 1e-9, "size {n} sample {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_bins_are_real() {
+        // X[0] and X[N/2] of a real signal are real-valued.
+        let n = 64;
+        let input = pseudo(n);
+        let rfft = RealFft::new(n);
+        let mut packed = rfft.packed_buffer();
+        let mut spectrum = rfft.spectrum_buffer();
+        rfft.forward(&input, &mut packed, &mut spectrum);
+        assert!(spectrum[0].im.abs() < 1e-9);
+        assert!(spectrum[n / 2].im.abs() < 1e-9);
+        let sum: f64 = input.iter().sum();
+        assert!((spectrum[0].re - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = RealFft::new(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds plan size")]
+    fn rejects_oversized_input() {
+        let rfft = RealFft::new(4);
+        let mut packed = rfft.packed_buffer();
+        let mut spectrum = rfft.spectrum_buffer();
+        rfft.forward(&[0.0; 5], &mut packed, &mut spectrum);
+    }
+}

@@ -3,9 +3,11 @@
 //! Given a query `q` of length `m` and a series `t` of length `n ≥ m`, the
 //! sliding dot product is the vector `QT` with
 //! `QT[i] = Σ_{k<m} q[k]·t[i+k]` for `i in 0..=n-m`. Computing it as a
-//! convolution with the reversed query costs O(n log n) instead of O(n·m).
+//! cross-correlation in the frequency domain costs O(n log n) instead of
+//! O(n·m); both inputs are real, so the transforms run on the half-size
+//! real-input path ([`crate::RealFft`]).
 
-use crate::{next_pow2, Complex64, Fft};
+use crate::{next_pow2, Complex64, RealFft};
 
 /// Direct O(n·m) sliding dot product, used as a reference and for short
 /// queries where it beats the FFT path.
@@ -13,12 +15,21 @@ use crate::{next_pow2, Complex64, Fft};
 /// Returns an empty vector when the query is empty or longer than the series.
 #[must_use]
 pub fn sliding_dot_product_naive(query: &[f64], series: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    sliding_dot_product_naive_into(query, series, &mut out);
+    out
+}
+
+/// [`sliding_dot_product_naive`] writing into a caller-provided vector
+/// (cleared first), so hot loops can reuse the allocation.
+pub fn sliding_dot_product_naive_into(query: &[f64], series: &[f64], out: &mut Vec<f64>) {
+    out.clear();
     let m = query.len();
     let n = series.len();
     if m == 0 || m > n {
-        return Vec::new();
+        return;
     }
-    let mut out = Vec::with_capacity(n - m + 1);
+    out.reserve(n - m + 1);
     for i in 0..=n - m {
         let window = &series[i..i + m];
         let mut acc = 0.0;
@@ -27,14 +38,33 @@ pub fn sliding_dot_product_naive(query: &[f64], series: &[f64]) -> Vec<f64> {
         }
         out.push(acc);
     }
-    out
+}
+
+/// Cost-model dispatch between the naive and FFT sliding-dot paths.
+///
+/// `transforms` is how many size-`S` transforms the FFT path pays: 3 for a
+/// one-shot product (series forward, query forward, one inverse) and 2 when
+/// a prebuilt [`SlidingDotPlan`] amortizes the series transform. The naive
+/// path costs one fused multiply-add per `(query, window)` pair; the FFT
+/// path costs ~`S·log2(S)` butterfly-equivalents per transform with
+/// `S = next_pow2(2n)`. Short queries always go naive: their inner loop
+/// vectorizes and has no setup cost.
+#[must_use]
+pub fn naive_is_faster(m: usize, n: usize, transforms: u32) -> bool {
+    if m == 0 || m > n || m <= 32 {
+        return true;
+    }
+    let size = next_pow2((2 * n).max(2)) as u64;
+    let naive_cost = (m as u64).saturating_mul((n - m + 1) as u64);
+    let fft_cost = u64::from(transforms).saturating_mul(size * u64::from(size.trailing_zeros()));
+    naive_cost <= fft_cost
 }
 
 /// Sliding dot product of `query` against every window of `series`.
 ///
-/// Picks the naive or the FFT algorithm based on input sizes. For repeated
-/// queries against the same series, prefer [`SlidingDotPlan`], which reuses
-/// the series spectrum.
+/// Picks the naive or the FFT algorithm based on [`naive_is_faster`] with
+/// the one-shot cost (3 transforms). For repeated queries against the same
+/// series, prefer [`SlidingDotPlan`], which reuses the series spectrum.
 #[must_use]
 pub fn sliding_dot_product(query: &[f64], series: &[f64]) -> Vec<f64> {
     let m = query.len();
@@ -42,22 +72,34 @@ pub fn sliding_dot_product(query: &[f64], series: &[f64]) -> Vec<f64> {
     if m == 0 || m > n {
         return Vec::new();
     }
-    // Rough cost model: naive is m ops per output; FFT path ~ 3 log2(2n).
-    if (m as u64).saturating_mul(n as u64) <= 1 << 14 || m <= 32 {
+    if naive_is_faster(m, n, 3) {
         return sliding_dot_product_naive(query, series);
     }
     SlidingDotPlan::new(series).dot(query)
 }
 
-/// A reusable plan holding the FFT of a series, so that many queries (as in
-/// STAMP, or VALMOD's per-row recomputation) each cost one forward and one
-/// inverse transform instead of two forward ones.
+/// A reusable plan holding the real-input FFT of a series, so that many
+/// queries (as in STAMP, or VALMOD's per-row recomputation) each cost one
+/// forward and one inverse half-size transform instead of two full complex
+/// forward ones.
 #[derive(Debug, Clone)]
 pub struct SlidingDotPlan {
-    fft: Fft,
-    /// Forward spectrum of the (zero-padded) series.
+    rfft: RealFft,
+    /// Forward half-spectrum of the (zero-padded) series.
     series_spectrum: Vec<Complex64>,
     series_len: usize,
+}
+
+/// Reusable buffers for [`SlidingDotPlan::dot_into`]. One instance per
+/// thread; create with [`SlidingDotPlan::scratch`].
+#[derive(Debug, Clone)]
+pub struct SlidingDotScratch {
+    /// Packed half-size signal (FFT working buffer).
+    packed: Vec<Complex64>,
+    /// Query spectrum, overwritten by the product spectrum.
+    spectrum: Vec<Complex64>,
+    /// Full-length correlation in the time domain.
+    time: Vec<f64>,
 }
 
 impl SlidingDotPlan {
@@ -68,14 +110,11 @@ impl SlidingDotPlan {
     #[must_use]
     pub fn new(series: &[f64]) -> Self {
         let n = series.len();
-        let size = next_pow2((2 * n).max(1));
-        let fft = Fft::new(size);
-        let mut buf = vec![Complex64::ZERO; size];
-        for (b, &x) in buf.iter_mut().zip(series) {
-            b.re = x;
-        }
-        fft.forward(&mut buf);
-        Self { fft, series_spectrum: buf, series_len: n }
+        let rfft = RealFft::new(next_pow2((2 * n).max(2)));
+        let mut packed = rfft.packed_buffer();
+        let mut spectrum = rfft.spectrum_buffer();
+        rfft.forward(series, &mut packed, &mut spectrum);
+        Self { rfft, series_spectrum: spectrum, series_len: n }
     }
 
     /// Length of the series this plan was built for.
@@ -85,35 +124,58 @@ impl SlidingDotPlan {
         self.series_len
     }
 
+    /// Allocates scratch buffers sized for this plan.
+    #[must_use]
+    pub fn scratch(&self) -> SlidingDotScratch {
+        SlidingDotScratch {
+            packed: self.rfft.packed_buffer(),
+            spectrum: self.rfft.spectrum_buffer(),
+            time: vec![0.0; self.rfft.size()],
+        }
+    }
+
     /// Sliding dot product of `query` against the planned series.
     ///
     /// Returns an empty vector when the query is empty or longer than the
-    /// series.
+    /// series. Allocates fresh buffers per call — use [`Self::dot_into`]
+    /// with a reused [`SlidingDotScratch`] on hot paths.
     #[must_use]
     pub fn dot(&self, query: &[f64]) -> Vec<f64> {
+        let mut scratch = self.scratch();
+        let mut out = Vec::new();
+        self.dot_into(query, &mut scratch, &mut out);
+        out
+    }
+
+    /// Sliding dot product written into `out` (cleared first), reusing
+    /// `scratch` — the allocation-free variant for per-row recomputation
+    /// loops.
+    ///
+    /// The dot products are computed as a cross-correlation,
+    /// `IFFT(conj(Q)·T)`, which needs no reversed-query copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was built for a different plan size.
+    pub fn dot_into(&self, query: &[f64], scratch: &mut SlidingDotScratch, out: &mut Vec<f64>) {
+        out.clear();
         let m = query.len();
         let n = self.series_len;
         if m == 0 || m > n {
-            return Vec::new();
+            return;
         }
-        let size = self.fft.size();
-        let mut buf = vec![Complex64::ZERO; size];
-        // Reversed query, so the convolution aligns dot products at i+m-1.
-        for (b, &q) in buf.iter_mut().zip(query.iter().rev()) {
-            b.re = q;
+        self.rfft.forward(query, &mut scratch.packed, &mut scratch.spectrum);
+        for (q, s) in scratch.spectrum.iter_mut().zip(&self.series_spectrum) {
+            *q = q.conj() * *s;
         }
-        self.fft.forward(&mut buf);
-        for (b, s) in buf.iter_mut().zip(&self.series_spectrum) {
-            *b *= *s;
-        }
-        self.fft.inverse(&mut buf);
-        (m - 1..n).map(|i| buf[i].re).collect()
+        self.rfft.inverse(&scratch.spectrum, &mut scratch.packed, &mut scratch.time);
+        out.extend_from_slice(&scratch.time[..=n - m]);
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{sliding_dot_product, sliding_dot_product_naive, SlidingDotPlan};
+    use super::{naive_is_faster, sliding_dot_product, sliding_dot_product_naive, SlidingDotPlan};
 
     fn assert_close(a: &[f64], b: &[f64], tol: f64) {
         assert_eq!(a.len(), b.len());
@@ -131,6 +193,7 @@ mod tests {
         assert!(sliding_dot_product(&[], &[1.0, 2.0]).is_empty());
         assert!(sliding_dot_product(&[1.0, 2.0, 3.0], &[1.0, 2.0]).is_empty());
         assert!(sliding_dot_product_naive(&[], &[]).is_empty());
+        assert!(SlidingDotPlan::new(&[1.0, 2.0]).dot(&[1.0, 2.0, 3.0]).is_empty());
     }
 
     #[test]
@@ -178,5 +241,38 @@ mod tests {
             let query: Vec<f64> = series[3..3 + m].to_vec();
             assert_close(&plan.dot(&query), &sliding_dot_product_naive(&query, &series), 1e-6);
         }
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_dot() {
+        let series = pseudo_series(900);
+        let plan = SlidingDotPlan::new(&series);
+        let mut scratch = plan.scratch();
+        let mut out = Vec::new();
+        for &m in &[50usize, 51, 300, 900] {
+            let query: Vec<f64> = series[0..m].to_vec();
+            plan.dot_into(&query, &mut scratch, &mut out);
+            assert_eq!(out, plan.dot(&query), "scratch path diverged at m={m}");
+            assert_close(&out, &sliding_dot_product_naive(&query, &series), 1e-5);
+        }
+        // Oversized query clears the output instead of leaving stale data.
+        plan.dot_into(&vec![0.0; 901], &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cost_model_prefers_naive_for_short_series() {
+        // The regression the model fixes: a mid-size query over a short
+        // series (m·n above the old 2^14 area threshold) where the padded
+        // FFT clearly loses to m·(n−m+1) fused multiply-adds.
+        assert!(naive_is_faster(40, 500, 3));
+        // Tiny queries are always naive.
+        assert!(naive_is_faster(8, 1_000_000, 3));
+        // Long queries over long series belong to the FFT.
+        assert!(!naive_is_faster(1024, 16_384, 3));
+        assert!(!naive_is_faster(4096, 100_000, 2));
+        // Degenerate shapes fall back to naive (which returns empty).
+        assert!(naive_is_faster(0, 10, 3));
+        assert!(naive_is_faster(20, 10, 3));
     }
 }

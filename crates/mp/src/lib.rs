@@ -43,7 +43,7 @@ pub mod stomp;
 pub mod streaming;
 
 pub use abjoin::{abjoin, AbJoin};
-pub use mass::DistanceProfiler;
+pub use mass::{DistanceProfiler, ProfileScratch};
 pub use motif::{top_k_pairs, MotifPair};
 pub use profile::MatrixProfile;
 pub use scrimp::scrimp;

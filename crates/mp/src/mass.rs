@@ -6,11 +6,27 @@
 //! for O(n log n) total — the primitive behind STAMP and behind VALMOD's
 //! recomputation fallback.
 
-use valmod_fft::{sliding_dot_product_naive, SlidingDotPlan};
+use valmod_fft::{
+    naive_is_faster, sliding_dot_product_naive, sliding_dot_product_naive_into, SlidingDotPlan,
+    SlidingDotScratch,
+};
 use valmod_series::znorm::zdist_from_dot;
 use valmod_series::{Result, RollingStats};
 
 use crate::{shifted, validate_window};
+
+/// Reusable buffers for [`DistanceProfiler::self_profile_into`] — one per
+/// thread. Holds the FFT working set plus the dot-product and profile
+/// vectors, so repeated profile computations (VALMOD's recomputation
+/// fallback, STAMP's row loop) allocate nothing per row.
+#[derive(Debug)]
+pub struct ProfileScratch {
+    /// FFT working set, built on first use — profiles dispatched to the
+    /// naive kernel (short windows) never pay for it.
+    dots: Option<SlidingDotScratch>,
+    qt: Vec<f64>,
+    profile: Vec<f64>,
+}
 
 /// Reusable distance-profile engine for one series.
 ///
@@ -62,11 +78,22 @@ impl DistanceProfiler {
         &self.stats
     }
 
+    /// Allocates scratch buffers sized for this profiler, for use with
+    /// [`Self::self_profile_into`]. One instance per thread.
+    #[must_use]
+    pub fn scratch(&self) -> ProfileScratch {
+        ProfileScratch { dots: None, qt: Vec::new(), profile: Vec::new() }
+    }
+
     /// Distance profile of the series' own subsequence `(offset, l)`
     /// against every window of length `l`.
     ///
     /// Trivial matches are **not** excluded here — entry `offset` is 0 —
     /// because different callers need different exclusion policies.
+    ///
+    /// Allocates per call; hot loops should hold a [`ProfileScratch`] and
+    /// use [`Self::self_profile_into`], which computes exactly the same
+    /// values.
     ///
     /// # Errors
     ///
@@ -74,6 +101,24 @@ impl DistanceProfiler {
     /// window does not fit, [`valmod_series::SeriesError::TooShort`] for
     /// windows below the minimum.
     pub fn self_profile(&self, offset: usize, l: usize) -> Result<Vec<f64>> {
+        let mut scratch = self.scratch();
+        self.self_profile_into(offset, l, &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.profile))
+    }
+
+    /// [`Self::self_profile`] into reusable buffers: the allocation-free
+    /// variant for per-row loops. The profile is returned as a borrow of
+    /// `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::self_profile`].
+    pub fn self_profile_into<'a>(
+        &self,
+        offset: usize,
+        l: usize,
+        scratch: &'a mut ProfileScratch,
+    ) -> Result<&'a [f64]> {
         validate_window(self.values.len(), l)?;
         if offset + l > self.values.len() {
             return Err(valmod_series::SeriesError::InvalidSubsequence {
@@ -82,10 +127,17 @@ impl DistanceProfiler {
                 series_len: self.values.len(),
             });
         }
-        let qt = self.sliding_dots(offset, l);
+        let query = &self.values[offset..offset + l];
+        if naive_is_faster(l, self.values.len(), 2) {
+            sliding_dot_product_naive_into(query, &self.values, &mut scratch.qt);
+        } else {
+            let dots = scratch.dots.get_or_insert_with(|| self.plan.scratch());
+            self.plan.dot_into(query, dots, &mut scratch.qt);
+        }
         let mu_q = self.stats.mean(offset, l);
         let sig_q = self.stats.std(offset, l);
-        Ok(self.profile_from_dots(&qt, l, mu_q, sig_q))
+        self.profile_from_dots_into(&scratch.qt, l, mu_q, sig_q, &mut scratch.profile);
+        Ok(&scratch.profile)
     }
 
     /// Distance profile of an *external* query against every window of the
@@ -106,7 +158,7 @@ impl DistanceProfiler {
         // The engine's series is mean-shifted; shifting the query by any
         // constant leaves z-normalized distances unchanged, so we can use
         // the query as-is.
-        let qt = if l * self.values.len() <= 1 << 14 {
+        let qt = if naive_is_faster(l, self.values.len(), 2) {
             sliding_dot_product_naive(query, &self.values)
         } else {
             self.plan.dot(query)
@@ -116,22 +168,25 @@ impl DistanceProfiler {
         Ok(self.profile_from_dots(&qt, l, mu_q, var_q.sqrt()))
     }
 
-    fn sliding_dots(&self, offset: usize, l: usize) -> Vec<f64> {
-        let query = &self.values[offset..offset + l];
-        if l * self.values.len() <= 1 << 14 {
-            sliding_dot_product_naive(query, &self.values)
-        } else {
-            self.plan.dot(query)
-        }
+    fn profile_from_dots(&self, qt: &[f64], l: usize, mu_q: f64, sig_q: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.profile_from_dots_into(qt, l, mu_q, sig_q, &mut out);
+        out
     }
 
-    fn profile_from_dots(&self, qt: &[f64], l: usize, mu_q: f64, sig_q: f64) -> Vec<f64> {
-        qt.iter()
-            .enumerate()
-            .map(|(j, &dot)| {
-                zdist_from_dot(dot, l, mu_q, sig_q, self.stats.mean(j, l), self.stats.std(j, l))
-            })
-            .collect()
+    fn profile_from_dots_into(
+        &self,
+        qt: &[f64],
+        l: usize,
+        mu_q: f64,
+        sig_q: f64,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(qt.len());
+        out.extend(qt.iter().enumerate().map(|(j, &dot)| {
+            zdist_from_dot(dot, l, mu_q, sig_q, self.stats.mean(j, l), self.stats.std(j, l))
+        }));
     }
 }
 
@@ -225,6 +280,22 @@ mod tests {
         // Flat query vs flat window -> 0; vs wavy window -> sqrt(l).
         assert!(p[70] < 1e-9);
         assert!((p[0] - (l as f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_profile() {
+        let series = gen::random_walk(600, 21);
+        let profiler = DistanceProfiler::new(&series).unwrap();
+        let mut scratch = profiler.scratch();
+        for &(offset, l) in &[(0usize, 16usize), (123, 64), (250, 300), (0, 450)] {
+            let fast = profiler.self_profile_into(offset, l, &mut scratch).unwrap().to_vec();
+            let slow = profiler.self_profile(offset, l).unwrap();
+            assert_eq!(fast.len(), slow.len());
+            for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "scratch path diverged at ({offset},{l}),{i}");
+            }
+        }
+        assert!(profiler.self_profile_into(595, 16, &mut scratch).is_err());
     }
 
     #[test]

@@ -90,6 +90,50 @@ impl StompEngine {
         self.stds.iter().any(|&s| s < FLAT_EPS)
     }
 
+    /// `QT(0, j)` for all `j` — the first dot-product row, which is also
+    /// the starting value of every diagonal.
+    #[must_use]
+    pub fn first_row(&self) -> &[f64] {
+        &self.first_row
+    }
+
+    /// Walks the upper-triangle diagonals `start, start + step, …` of the
+    /// QT matrix, calling `on_cell(i, j, qt)` for every cell `(i, j = i +
+    /// k)` of each visited diagonal `k`, in cell order along the diagonal.
+    ///
+    /// Along a diagonal the dot product updates in O(1) independently of
+    /// every other diagonal, so disjoint interleaved subsets (`start = w`,
+    /// `step = num_workers`) partition the triangle into embarrassingly
+    /// parallel chunks — the traversal behind [`stomp_parallel`] and
+    /// VALMOD's parallel stage 1. The per-cell arithmetic is identical for
+    /// every partitioning, so results never depend on the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `start ≥ 1` (diagonal 0 is the self-match diagonal)
+    /// and `step ≥ 1`.
+    pub fn walk_diagonals(
+        &self,
+        start: usize,
+        step: usize,
+        mut on_cell: impl FnMut(usize, usize, f64),
+    ) {
+        debug_assert!(start >= 1 && step >= 1);
+        let (l, m) = (self.l, self.m);
+        let t = &self.values;
+        let mut k = start;
+        while k < m {
+            let mut qt = self.first_row[k];
+            on_cell(0, k, qt);
+            for i in 1..m - k {
+                let j = i + k;
+                qt = t[i + l - 1].mul_add(t[j + l - 1], qt - t[i - 1] * t[j - 1]);
+                on_cell(i, j, qt);
+            }
+            k += step;
+        }
+    }
+
     /// Streams every QT row in offset order. `on_row(i, qt)` receives the
     /// full dot-product row for subsequence `i` (length `m`, no exclusion
     /// applied).
@@ -197,9 +241,14 @@ pub fn stomp(series: &[f64], l: usize, exclusion: usize) -> Result<MatrixProfile
 /// diagonals above the exclusion band; along a diagonal the dot product
 /// updates in O(1) *independently of other diagonals*, which makes the
 /// traversal embarrassingly parallel (this is also how SCRIMP orders its
-/// computation). Falls back to the serial engine when flat windows are
-/// present (the rho-space merge is undefined for them) or when
-/// `threads <= 1`.
+/// computation — see [`StompEngine::walk_diagonals`]).
+///
+/// Worker-local bests are kept under the total order "(score, then smaller
+/// neighbor offset)", and the same order merges them, so the result is
+/// **identical for every `threads` value** — including `threads == 1`,
+/// which runs the same walk inline without spawning. Flat (σ ≈ 0) windows
+/// take a distance-space walk with the flat-window conventions instead of
+/// the correlation-space fast path.
 ///
 /// # Errors
 ///
@@ -211,73 +260,118 @@ pub fn stomp_parallel(
     threads: usize,
 ) -> Result<MatrixProfile> {
     let engine = StompEngine::new(series, l)?;
-    if threads <= 1 || engine.has_flat_windows() {
-        return stomp(series, l, exclusion);
-    }
     let m = engine.num_windows();
-    let lf = l as f64;
-    let inv_stds: Vec<f64> = engine.stds.iter().map(|&s| 1.0 / s).collect();
-    let t = &engine.values;
+    let mut mp = MatrixProfile::unfilled(l, exclusion, m);
     let first_diag = exclusion + 1;
     if first_diag >= m {
-        return Ok(MatrixProfile::unfilled(l, exclusion, m));
+        return Ok(mp);
+    }
+    let num_workers = threads.max(1).min(m - first_diag);
+
+    if engine.has_flat_windows() {
+        // Distance-space walk: per-cell flat conventions, minimize (d, j).
+        let worker = |w: usize| {
+            let mut best = vec![f64::INFINITY; m];
+            let mut best_idx = vec![usize::MAX; m];
+            engine.walk_diagonals(first_diag + w, num_workers, |i, j, qt| {
+                let d = zdist_from_dot(
+                    qt,
+                    l,
+                    engine.means[i],
+                    engine.stds[i],
+                    engine.means[j],
+                    engine.stds[j],
+                );
+                if d < best[i] || (d == best[i] && j < best_idx[i]) {
+                    best[i] = d;
+                    best_idx[i] = j;
+                }
+                if d < best[j] || (d == best[j] && i < best_idx[j]) {
+                    best[j] = d;
+                    best_idx[j] = i;
+                }
+            });
+            (best, best_idx)
+        };
+        let results = run_workers(num_workers, worker);
+        for i in 0..m {
+            let (d, j) = results
+                .iter()
+                .map(|(best, idx)| (best[i], idx[i]))
+                .reduce(|acc, cand| {
+                    if cand.0 < acc.0 || (cand.0 == acc.0 && cand.1 < acc.1) {
+                        cand
+                    } else {
+                        acc
+                    }
+                })
+                .expect("at least one worker");
+            if j != usize::MAX {
+                mp.offer(i, d, j);
+            }
+        }
+        return Ok(mp);
     }
 
-    // Each worker walks an interleaved subset of diagonals and records the
-    // best correlation per row locally; merging picks the max.
-    let num_workers = threads.min(m - first_diag);
-    let mut results: Vec<(Vec<f64>, Vec<usize>)> = Vec::with_capacity(num_workers);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(num_workers);
-        for w in 0..num_workers {
-            let engine = &engine;
-            let inv_stds = &inv_stds;
-            handles.push(scope.spawn(move || {
-                let mut best = vec![f64::NEG_INFINITY; m];
-                let mut best_idx = vec![usize::MAX; m];
-                let mut k = first_diag + w;
-                while k < m {
-                    let mut qt = engine.first_row[k];
-                    for i in 0..m - k {
-                        let j = i + k;
-                        if i > 0 {
-                            qt = t[i + l - 1].mul_add(t[j + l - 1], qt - t[i - 1] * t[j - 1]);
-                        }
-                        let rho = (qt - lf * engine.means[i] * engine.means[j])
-                            * inv_stds[i]
-                            * inv_stds[j]
-                            / lf;
-                        if rho > best[i] {
-                            best[i] = rho;
-                            best_idx[i] = j;
-                        }
-                        if rho > best[j] {
-                            best[j] = rho;
-                            best_idx[j] = i;
-                        }
-                    }
-                    k += num_workers;
-                }
-                (best, best_idx)
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("stomp worker panicked"));
-        }
-    });
-
-    let mut mp = MatrixProfile::unfilled(l, exclusion, m);
+    // Correlation-space fast path: maximize (rho, then smaller j), convert
+    // to distances once per row after the merge.
+    let lf = l as f64;
+    let inv_stds: Vec<f64> = engine.stds.iter().map(|&s| 1.0 / s).collect();
+    let worker = |w: usize| {
+        let mut best = vec![f64::NEG_INFINITY; m];
+        let mut best_idx = vec![usize::MAX; m];
+        engine.walk_diagonals(first_diag + w, num_workers, |i, j, qt| {
+            let rho =
+                (qt - lf * engine.means[i] * engine.means[j]) * inv_stds[i] * inv_stds[j] / lf;
+            if rho > best[i] || (rho == best[i] && j < best_idx[i]) {
+                best[i] = rho;
+                best_idx[i] = j;
+            }
+            if rho > best[j] || (rho == best[j] && i < best_idx[j]) {
+                best[j] = rho;
+                best_idx[j] = i;
+            }
+        });
+        (best, best_idx)
+    };
+    let results = run_workers(num_workers, worker);
     for i in 0..m {
-        let (rho, j) = results
-            .iter()
-            .map(|(best, idx)| (best[i], idx[i]))
-            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("rho is never NaN"))
-            .expect("at least one worker");
+        let (rho, j) =
+            results
+                .iter()
+                .map(|(best, idx)| (best[i], idx[i]))
+                .reduce(|acc, cand| {
+                    if cand.0 > acc.0 || (cand.0 == acc.0 && cand.1 < acc.1) {
+                        cand
+                    } else {
+                        acc
+                    }
+                })
+                .expect("at least one worker");
         if j != usize::MAX {
             mp.offer(i, dist_from_pearson(rho, l), j);
         }
     }
     Ok(mp)
+}
+
+/// Runs `worker(0)..worker(num_workers − 1)`, inline when there is a
+/// single worker (no spawn cost on the serial path) and on scoped threads
+/// otherwise, returning results in worker order. The building block of the
+/// diagonal-parallel engines here and in VALMOD's stage 1.
+pub fn run_workers<R: Send>(num_workers: usize, worker: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    if num_workers <= 1 {
+        return vec![worker(0)];
+    }
+    let worker = &worker;
+    let mut results = Vec::with_capacity(num_workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..num_workers).map(|w| scope.spawn(move || worker(w))).collect();
+        for h in handles {
+            results.push(h.join().expect("stomp worker panicked"));
+        }
+    });
+    results
 }
 
 #[cfg(test)]
@@ -362,6 +456,52 @@ mod tests {
                 let parallel = stomp_parallel(&series, l, excl, threads).unwrap();
                 assert_profiles_match(&serial, &parallel, 1e-7);
                 parallel.check_invariants();
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_flat_regions() {
+        // A plateau creates flat (sigma = 0) windows; the parallel engine
+        // must take its distance-space path and agree with serial STOMP.
+        let mut series = gen::white_noise(260, 9, 1.0);
+        for v in &mut series[100..150] {
+            *v = 2.0;
+        }
+        let l = 16;
+        let excl = default_exclusion(l);
+        let serial = stomp(&series, l, excl).unwrap();
+        for threads in [1usize, 2, 4] {
+            let parallel = stomp_parallel(&series, l, excl, threads).unwrap();
+            assert_profiles_match(&serial, &parallel, 1e-9);
+            parallel.check_invariants();
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_across_thread_counts() {
+        // The diagonal walk and its merges are partition-independent, so
+        // any two thread counts must produce *exactly* the same profile.
+        for series in [gen::random_walk(400, 31), {
+            let mut s = gen::white_noise(400, 7, 1.0);
+            for v in &mut s[200..260] {
+                *v = 1.0; // flat plateau: distance-space path
+            }
+            s
+        }] {
+            let l = 24;
+            let excl = default_exclusion(l);
+            let one = stomp_parallel(&series, l, excl, 1).unwrap();
+            for threads in [2usize, 3, 8] {
+                let other = stomp_parallel(&series, l, excl, threads).unwrap();
+                for i in 0..one.len() {
+                    assert_eq!(
+                        one.values[i].to_bits(),
+                        other.values[i].to_bits(),
+                        "distance differs at {i} with {threads} threads"
+                    );
+                    assert_eq!(one.indices[i], other.indices[i], "index differs at {i}");
+                }
             }
         }
     }

@@ -22,12 +22,31 @@
 //! this is the paper's fallback path.
 //!
 //! Degenerate (flat, σ ≈ 0) windows break correlation ranking; lengths at
-//! which they occur are computed with plain STOMP instead (exact, slower,
-//! and rare in practice). Everything stays exact either way.
+//! which they occur are computed with diagonal-parallel STOMP instead
+//! (exact, slower, and rare in practice). Everything stays exact either
+//! way.
+//!
+//! # Parallelism
+//!
+//! Both stages scale across [`ValmodConfig::threads`] worker threads and
+//! produce **bit-identical results for every thread count**:
+//!
+//! * Stage 1 partitions the QT matrix's diagonals across workers (the
+//!   [`StompEngine::walk_diagonals`] traversal — per-cell arithmetic is
+//!   independent of the partitioning). Each worker keeps a per-row
+//!   [`TopRhoSelector`] and per-row best; selectors merge row-wise with
+//!   [`TopRhoSelector::absorb`], which is exact because the global top-p
+//!   is contained in the union of per-partition top-p sets, so `worst_rho`
+//!   and `maxLB` come out the same as a single pass.
+//! * Stage 2 chunks the independent per-row work (dot-product advance,
+//!   statistics, classification, MASS recomputation) across scoped
+//!   threads; each row's math never depends on the chunking, and the MASS
+//!   fallback reuses one [`ProfileScratch`] per worker so the hot loop
+//!   allocates nothing per row.
 
-use valmod_mp::mass::DistanceProfiler;
+use valmod_mp::mass::{DistanceProfiler, ProfileScratch};
 use valmod_mp::motif::top_k_pairs;
-use valmod_mp::stomp::{stomp, StompEngine};
+use valmod_mp::stomp::{run_workers, stomp_parallel, StompEngine};
 use valmod_mp::{MatrixProfile, MotifPair};
 use valmod_series::stats::FLAT_EPS;
 use valmod_series::znorm::{pearson_from_dist, zdist_from_dot};
@@ -37,6 +56,21 @@ use crate::config::ValmodConfig;
 use crate::lb::LbRowContext;
 use crate::partial::{PartialRow, TopRhoSelector};
 use crate::valmap::Valmap;
+
+/// Minimum rows per worker before stage 2 spawns another thread — below
+/// this, O(p)-per-row loops are cheaper than the spawn.
+const MIN_ROWS_PER_WORKER: usize = 4096;
+
+/// Minimum QT cells per stage-1 worker: below this, the per-worker state
+/// (m selectors + m bests) and the row-wise merge cost rival the walk
+/// itself, so extra threads stop paying off.
+const STAGE1_MIN_CELLS_PER_WORKER: usize = 1 << 17;
+
+/// Budget for transient stage-1 worker state (each worker holds
+/// `m · p` selector slots plus an `m`-sized best vector). Caps the worker
+/// count on huge series so memory stays bounded at a few GiB even at
+/// paper scale (m ≈ 10⁶) with many hardware threads.
+const STAGE1_STATE_BYTES_BUDGET: usize = 2 << 30;
 
 /// Pruning statistics of one length step — the observability the paper's
 /// Figure 2 narrates (valid vs non-valid profiles, `minLBAbs`).
@@ -66,6 +100,15 @@ pub struct LengthResult {
     pub stats: LengthStats,
 }
 
+/// Wall-clock timings of the two stages, for perf snapshots and benches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Stage 1: base matrix profile + partial profiles at `ℓmin`.
+    pub stage1: std::time::Duration,
+    /// Stage 2: all length steps `ℓmin+1 ..= ℓmax`.
+    pub stage2: std::time::Duration,
+}
+
 /// Everything a VALMOD run produces.
 #[derive(Debug, Clone)]
 pub struct ValmodOutput {
@@ -77,6 +120,8 @@ pub struct ValmodOutput {
     pub valmap: Valmap,
     /// The full matrix profile at `ℓmin` (stage 1's by-product).
     pub base_profile: MatrixProfile,
+    /// Stage wall-clock timings of this run.
+    pub timings: StageTimings,
 }
 
 impl ValmodOutput {
@@ -126,7 +171,9 @@ pub fn run_valmod(series: &[f64], config: &ValmodConfig) -> Result<ValmodOutput>
     let profiler = DistanceProfiler::new(&values)?;
 
     // ---- Stage 1: full matrix profile at l0 + partial profiles. ----
+    let stage1_started = std::time::Instant::now();
     let (base_profile, mut rows) = stage_one(&engine, config);
+    let stage1 = stage1_started.elapsed();
     let base_pairs = top_k_pairs(&base_profile, config.k);
     let mut valmap = Valmap::from_base_profile(&base_profile);
     let mut per_length = Vec::with_capacity(config.l_max - l0 + 1);
@@ -143,17 +190,64 @@ pub fn run_valmod(series: &[f64], config: &ValmodConfig) -> Result<ValmodOutput>
     });
 
     // ---- Stage 2: lengths l0+1 ..= l_max. ----
+    let stage2_started = std::time::Instant::now();
+    let mut scratch = StepScratch::default();
     for length in l0 + 1..=config.l_max {
-        let result = step_length(&values, &stats, &profiler, &mut rows, config, length)?;
+        let result =
+            step_length(&values, &stats, &profiler, &mut rows, config, length, &mut scratch)?;
         valmap.apply_length(length, &result.pairs);
         per_length.push(result);
     }
+    let stage2 = stage2_started.elapsed();
 
-    Ok(ValmodOutput { config: config.clone(), per_length, valmap, base_profile })
+    Ok(ValmodOutput {
+        config: config.clone(),
+        per_length,
+        valmap,
+        base_profile,
+        timings: StageTimings { stage1, stage2 },
+    })
 }
 
-/// Stage 1: stream STOMP rows at `ℓmin`, building the base matrix profile
-/// and the per-row partial profiles.
+/// Picks a worker count for `items` units of parallel work, requiring at
+/// least `min_per_worker` units each before another thread pays off.
+fn worker_count(threads: usize, items: usize, min_per_worker: usize) -> usize {
+    if threads <= 1 || items == 0 {
+        return 1;
+    }
+    threads.min(items.div_ceil(min_per_worker.max(1)))
+}
+
+/// Fills `out[i]` with `f(i, &mut out[i])` on `workers` scoped threads
+/// (inline for a single worker). The chunking is invisible to results:
+/// every element's update depends only on its own index.
+fn par_fill<T: Send>(out: &mut [T], workers: usize, f: impl Fn(usize, &mut T) + Sync) {
+    if workers <= 1 {
+        for (i, v) in out.iter_mut().enumerate() {
+            f(i, v);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (ci, chunk_data) in out.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (off, v) in chunk_data.iter_mut().enumerate() {
+                    f(ci * chunk + off, v);
+                }
+            });
+        }
+    });
+}
+
+/// Stage 1: walk the QT matrix's diagonals at `ℓmin` across workers,
+/// building the base matrix profile and the per-row partial profiles.
+///
+/// Each unordered pair `(i, j)` is visited exactly once (the self-join
+/// matrix is symmetric); the cell contributes candidate `j` to row `i`
+/// and candidate `i` to row `j`. Worker-local selectors and bests merge
+/// under total orders, so the output never depends on the worker count.
 fn stage_one(engine: &StompEngine, config: &ValmodConfig) -> (MatrixProfile, Vec<PartialRow>) {
     let l0 = config.l_min;
     let m = engine.num_windows();
@@ -162,39 +256,113 @@ fn stage_one(engine: &StompEngine, config: &ValmodConfig) -> (MatrixProfile, Vec
     let stds = engine.stds();
     let lf = l0 as f64;
     let mut mp = MatrixProfile::unfilled(l0, excl, m);
-    let mut rows: Vec<PartialRow> = Vec::with_capacity(m);
+    let first_diag = excl + 1;
+    if first_diag >= m {
+        // No admissible pair at all: empty partial profiles, unfilled MP.
+        let rows = (0..m).map(|_| TopRhoSelector::new(config.profile_size).into_row(l0)).collect();
+        return (mp, rows);
+    }
 
-    engine.for_each_row(|i, qt| {
-        let mut selector = TopRhoSelector::new(config.profile_size);
-        let flat_i = stds[i] < FLAT_EPS;
-        for (j, &dot) in qt.iter().enumerate() {
-            if i.abs_diff(j) <= excl {
-                continue;
+    struct Stage1Part {
+        selectors: Vec<TopRhoSelector>,
+        /// Per-row best under "(distance asc, neighbor offset asc)".
+        best: Vec<(f64, usize)>,
+    }
+    // Scale the worker count to the actual cell work and keep the
+    // per-worker state within the memory budget; any count produces
+    // identical results, so both caps are pure performance knobs.
+    let cells = (m - first_diag).saturating_mul(m - first_diag) / 2;
+    let per_worker_bytes = m
+        * (config.profile_size * std::mem::size_of::<crate::partial::PartialEntry>()
+            + std::mem::size_of::<(f64, usize)>());
+    let state_cap = (STAGE1_STATE_BYTES_BUDGET / per_worker_bytes.max(1)).max(1);
+    let num_workers = worker_count(config.threads, cells, STAGE1_MIN_CELLS_PER_WORKER)
+        .min(state_cap)
+        .min(m - first_diag);
+    let mut parts = run_workers(num_workers, |w| {
+        let mut selectors: Vec<TopRhoSelector> =
+            (0..m).map(|_| TopRhoSelector::new(config.profile_size)).collect();
+        let mut best: Vec<(f64, usize)> = vec![(f64::INFINITY, usize::MAX); m];
+        engine.walk_diagonals(first_diag + w, num_workers, |i, j, qt| {
+            let (d, rho) = if stds[i] < FLAT_EPS || stds[j] < FLAT_EPS {
+                // Degenerate pair: contribute the conventional distance to
+                // the profile and enter the partial profile with the worst
+                // correlation. The lower bound evaluated at ρ = −1 (its
+                // plateau) remains admissible for flat candidates, so
+                // pruning stays exact.
+                (zdist_from_dot(qt, l0, means[i], stds[i], means[j], stds[j]), -1.0)
+            } else {
+                let rho =
+                    ((qt - lf * means[i] * means[j]) / (lf * stds[i] * stds[j])).clamp(-1.0, 1.0);
+                ((2.0 * lf * (1.0 - rho)).max(0.0).sqrt(), rho)
+            };
+            selectors[i].offer(j, rho, qt);
+            selectors[j].offer(i, rho, qt);
+            if d < best[i].0 || (d == best[i].0 && j < best[i].1) {
+                best[i] = (d, j);
             }
-            if flat_i || stds[j] < FLAT_EPS {
-                // Degenerate candidate: contribute the conventional
-                // distance to the profile and enter the partial profile
-                // with the worst correlation. The lower bound evaluated at
-                // ρ = −1 (its plateau) remains admissible for flat
-                // candidates, so pruning stays exact.
-                let d = zdist_from_dot(dot, l0, means[i], stds[i], means[j], stds[j]);
-                mp.offer(i, d, j);
-                selector.offer(j, -1.0, dot);
-                continue;
+            if d < best[j].0 || (d == best[j].0 && i < best[j].1) {
+                best[j] = (d, i);
             }
-            let rho =
-                ((dot - lf * means[i] * means[j]) / (lf * stds[i] * stds[j])).clamp(-1.0, 1.0);
-            let d = (2.0 * lf * (1.0 - rho)).max(0.0).sqrt();
-            mp.offer(i, d, j);
-            selector.offer(j, rho, dot);
+        });
+        Stage1Part { selectors, best }
+    });
+
+    // Row-wise merge of the worker partitions.
+    let rest = parts.split_off(1);
+    let first = parts.pop().expect("at least one worker");
+    let mut rows: Vec<PartialRow> = Vec::with_capacity(m);
+    for (i, (mut selector, mut best)) in first.selectors.into_iter().zip(first.best).enumerate() {
+        for part in &rest {
+            selector.absorb(&part.selectors[i]);
+            let cand = part.best[i];
+            if cand.0 < best.0 || (cand.0 == best.0 && cand.1 < best.1) {
+                best = cand;
+            }
+        }
+        if best.1 != usize::MAX {
+            mp.offer(i, best.0, best.1);
         }
         rows.push(selector.into_row(l0));
-    });
+    }
     (mp, rows)
+}
+
+/// Classification outcome of one row at one length.
+#[derive(Debug, Clone, Copy)]
+struct RowOutcome {
+    min_dist: f64,
+    min_j: usize,
+    max_lb: f64,
+    valid: bool,
+}
+
+impl RowOutcome {
+    const EMPTY: Self =
+        Self { min_dist: f64::INFINITY, min_j: usize::MAX, max_lb: f64::INFINITY, valid: true };
+}
+
+/// Stage-2 buffers allocated once per run and recycled across length
+/// steps; `mass` holds one MASS scratch per recomputation worker.
+#[derive(Default)]
+struct StepScratch {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    outcomes: Vec<RowOutcome>,
+    mass: Vec<ProfileScratch>,
+}
+
+/// One row re-seeded by the MASS fallback, produced by a worker and
+/// applied serially in row order.
+struct RecomputedRow {
+    i: usize,
+    row: PartialRow,
+    outcome: RowOutcome,
 }
 
 /// One stage-2 length step. Mutates `rows` (incremental dot products and
 /// possible re-seeding) and returns the exact per-length result.
+#[allow(clippy::too_many_lines)]
 fn step_length(
     values: &[f64],
     stats: &RollingStats,
@@ -202,33 +370,41 @@ fn step_length(
     rows: &mut [PartialRow],
     config: &ValmodConfig,
     length: usize,
+    scratch: &mut StepScratch,
 ) -> Result<LengthResult> {
     let n = values.len();
     debug_assert!(length <= n);
     let m = n - length + 1;
     let excl = config.exclusion(length);
     let lf = length as f64;
+    let threads = config.threads;
+    let row_workers = worker_count(threads, m, MIN_ROWS_PER_WORKER);
+    let StepScratch { means, stds, outcomes, mass } = scratch;
 
     // Advance every stored dot product by the one new point — this must
     // happen for *all* rows/entries alive at this length, independent of
-    // any fallback, so the incremental state stays consistent.
-    for (i, row) in rows.iter_mut().enumerate().take(m) {
+    // any fallback, so the incremental state stays consistent. Rows are
+    // independent, so the advance chunks freely across workers.
+    par_fill(&mut rows[..m], row_workers, |i, row| {
         for e in &mut row.entries {
             let j = e.j as usize;
             if j < m {
                 e.qt = values[i + length - 1].mul_add(values[j + length - 1], e.qt);
             }
         }
-    }
+    });
 
-    let means: Vec<f64> = (0..m).map(|i| stats.centered_mean(i, length)).collect();
-    let stds: Vec<f64> = (0..m).map(|i| stats.std(i, length)).collect();
+    means.resize(m, 0.0);
+    stds.resize(m, 0.0);
+    par_fill(means, row_workers, |i, v| *v = stats.centered_mean(i, length));
+    par_fill(stds, row_workers, |i, v| *v = stats.std(i, length));
+    let (means, stds) = (&means[..], &stds[..]);
 
     if stds.iter().any(|&s| s < FLAT_EPS) {
         // Degenerate windows break the correlation-rank machinery: compute
-        // this length exactly with STOMP and re-seed nothing (stored
-        // profiles remain correct for later lengths).
-        let mp = stomp(values, length, excl)?;
+        // this length exactly with (diagonal-parallel) STOMP and re-seed
+        // nothing (stored profiles remain correct for later lengths).
+        let mp = stomp_parallel(values, length, excl, threads)?;
         let pairs = top_k_pairs(&mp, config.k);
         return Ok(LengthResult {
             length,
@@ -243,15 +419,11 @@ fn step_length(
         });
     }
 
-    // Classify rows.
-    struct RowOutcome {
-        min_dist: f64,
-        min_j: usize,
-        max_lb: f64,
-        valid: bool,
-    }
-    let mut outcomes: Vec<RowOutcome> = Vec::with_capacity(m);
-    for (i, row) in rows.iter().enumerate().take(m) {
+    // Classify rows — pure per-row reads, chunked across workers.
+    let rows_ref: &[PartialRow] = rows;
+    outcomes.resize(m, RowOutcome::EMPTY);
+    par_fill(outcomes, row_workers, |i, out| {
+        let row = &rows_ref[i];
         let mut min_dist = f64::INFINITY;
         let mut min_j = usize::MAX;
         for e in &row.entries {
@@ -272,8 +444,8 @@ fn step_length(
             None => f64::INFINITY,
         };
         let valid = min_dist <= max_lb;
-        outcomes.push(RowOutcome { min_dist, min_j, max_lb, valid });
-    }
+        *out = RowOutcome { min_dist, min_j, max_lb, valid };
+    });
 
     let min_lb_abs =
         outcomes.iter().filter(|o| !o.valid).map(|o| o.max_lb).fold(f64::INFINITY, f64::min);
@@ -302,40 +474,92 @@ fn step_length(
     if threshold >= min_lb_abs {
         // Fallback: exact MASS recomputation of every row the bound could
         // not certify below the threshold, then re-seed those partial
-        // profiles at the current length.
-        for i in 0..m {
-            if outcomes[i].valid || outcomes[i].max_lb >= threshold {
-                continue;
+        // profiles at the current length. Each row costs a full distance
+        // profile (O(n log n)), so rows are worth a thread each; results
+        // are applied serially in row order for determinism.
+        let todo: Vec<usize> =
+            (0..m).filter(|&i| !outcomes[i].valid && outcomes[i].max_lb < threshold).collect();
+        recomputed_rows = todo.len();
+        if !todo.is_empty() {
+            let workers = worker_count(threads, todo.len(), 1);
+            while mass.len() < workers {
+                mass.push(profiler.scratch());
             }
-            recomputed_rows += 1;
-            let profile = profiler.self_profile(i, length)?;
-            // A row that needed recomputation is a *competitive* row (its
-            // neighborhood keeps improving); give it a progressively larger
-            // partial profile so it stops defeating the bound. Capacity
-            // doubles per recomputation, capped to bound memory.
-            let capacity = (rows[i].entries.len() * 2)
-                .clamp(config.profile_size, config.profile_size.max(256));
-            let mut selector = TopRhoSelector::new(capacity);
-            let mut min_dist = f64::INFINITY;
-            let mut min_j = usize::MAX;
-            for (j, &d) in profile.iter().enumerate() {
-                if i.abs_diff(j) <= excl {
-                    continue;
+            let chunk_len = todo.len().div_ceil(workers);
+            let recompute_chunk = |chunk: &[usize], ms: &mut ProfileScratch| {
+                chunk
+                    .iter()
+                    .map(|&i| {
+                        let profile = profiler.self_profile_into(i, length, ms)?;
+                        // A row that needed recomputation is a *competitive*
+                        // row (its neighborhood keeps improving); give it a
+                        // progressively larger partial profile so it stops
+                        // defeating the bound. Capacity doubles per
+                        // recomputation, capped to bound memory.
+                        let capacity = (rows_ref[i].entries.len() * 2)
+                            .clamp(config.profile_size, config.profile_size.max(256));
+                        let mut selector = TopRhoSelector::new(capacity);
+                        let mut min_dist = f64::INFINITY;
+                        let mut min_j = usize::MAX;
+                        for (j, &d) in profile.iter().enumerate() {
+                            if i.abs_diff(j) <= excl {
+                                continue;
+                            }
+                            if d < min_dist {
+                                min_dist = d;
+                                min_j = j;
+                            }
+                            let rho = pearson_from_dist(d, length);
+                            // Recover the dot product so the incremental
+                            // updates can continue from the new base length.
+                            let qt = lf * (rho * stds[i] * stds[j] + means[i] * means[j]);
+                            selector.offer(j, rho, qt);
+                        }
+                        Ok(RecomputedRow {
+                            i,
+                            row: selector.into_row(length),
+                            outcome: RowOutcome {
+                                min_dist,
+                                min_j,
+                                max_lb: f64::INFINITY,
+                                valid: true,
+                            },
+                        })
+                    })
+                    .collect::<Result<Vec<RecomputedRow>>>()
+            };
+            let results: Vec<Result<Vec<RecomputedRow>>> = if workers <= 1 {
+                vec![recompute_chunk(&todo, &mut mass[0])]
+            } else {
+                let recompute_chunk = &recompute_chunk;
+                let mut results = Vec::with_capacity(workers);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = todo
+                        .chunks(chunk_len)
+                        .zip(mass.iter_mut())
+                        .map(|(c, ms)| scope.spawn(move || recompute_chunk(c, ms)))
+                        .collect();
+                    for h in handles {
+                        results.push(h.join().expect("recompute worker panicked"));
+                    }
+                });
+                results
+            };
+            // Contiguous chunks of an ascending `todo` concatenate back in
+            // ascending row order — the same order the serial loop used.
+            for chunk in results {
+                for r in chunk? {
+                    rows[r.i] = r.row;
+                    outcomes[r.i] = r.outcome;
+                    if r.outcome.min_j != usize::MAX {
+                        candidates.push(MotifPair::new(
+                            r.i,
+                            r.outcome.min_j,
+                            r.outcome.min_dist,
+                            length,
+                        ));
+                    }
                 }
-                if d < min_dist {
-                    min_dist = d;
-                    min_j = j;
-                }
-                let rho = pearson_from_dist(d, length);
-                // Recover the dot product so the incremental updates can
-                // continue from the new base length.
-                let qt = lf * (rho * stds[i] * stds[j] + means[i] * means[j]);
-                selector.offer(j, rho, qt);
-            }
-            rows[i] = selector.into_row(length);
-            outcomes[i] = RowOutcome { min_dist, min_j, max_lb: f64::INFINITY, valid: true };
-            if min_j != usize::MAX {
-                candidates.push(MotifPair::new(i, min_j, min_dist, length));
             }
         }
     }
@@ -383,6 +607,7 @@ fn select_top_k(candidates: &[MotifPair], k: usize, exclusion: usize) -> Vec<Mot
 #[cfg(test)]
 mod tests {
     use super::*;
+    use valmod_mp::stomp::stomp;
     use valmod_series::gen;
 
     /// Exact reference: top-k pairs per length via plain STOMP.

@@ -31,13 +31,20 @@ pub struct ValmodConfig {
     /// Exclusion-zone denominator: windows within `⌈ℓ/den⌉` offsets are
     /// trivial matches.
     pub exclusion_den: usize,
+    /// Worker threads for the parallel stage-1/stage-2 paths. Defaults to
+    /// the hardware parallelism. Results are **identical for every
+    /// value** — the engine's merges are partition-independent — so this
+    /// is purely a performance knob.
+    pub threads: usize,
 }
 
 impl ValmodConfig {
-    /// A configuration with paper defaults for the given length range.
+    /// A configuration with paper defaults for the given length range and
+    /// all available hardware threads.
     #[must_use]
     pub fn new(l_min: usize, l_max: usize) -> Self {
-        Self { l_min, l_max, k: 10, profile_size: 8, exclusion_den: 4 }
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self { l_min, l_max, k: 10, profile_size: 8, exclusion_den: 4, threads }
     }
 
     /// Sets the number of motif pairs reported per length.
@@ -61,6 +68,14 @@ impl ValmodConfig {
         self
     }
 
+    /// Sets the worker-thread count (clamped to at least 1). `1` forces
+    /// the fully serial path.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// The trivial-match exclusion half-width at length `l`.
     #[must_use]
     pub fn exclusion(&self, l: usize) -> usize {
@@ -78,7 +93,7 @@ impl ValmodConfig {
         if self.l_min < valmod_mp::MIN_WINDOW || self.l_min > self.l_max {
             return Err(SeriesError::InvalidRange { l_min: self.l_min, l_max: self.l_max });
         }
-        if self.k == 0 || self.profile_size == 0 || self.exclusion_den == 0 {
+        if self.k == 0 || self.profile_size == 0 || self.exclusion_den == 0 || self.threads == 0 {
             return Err(SeriesError::InvalidRange { l_min: self.l_min, l_max: self.l_max });
         }
         let needed = self.l_max + self.exclusion(self.l_max) + 1;
@@ -103,8 +118,14 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = ValmodConfig::new(8, 16).with_k(3).with_profile_size(4).with_exclusion_den(2);
-        assert_eq!((c.k, c.profile_size, c.exclusion(8)), (3, 4, 4));
+        let c = ValmodConfig::new(8, 16)
+            .with_k(3)
+            .with_profile_size(4)
+            .with_exclusion_den(2)
+            .with_threads(6);
+        assert_eq!((c.k, c.profile_size, c.exclusion(8), c.threads), (3, 4, 4, 6));
+        // Zero threads clamps to the serial path rather than erroring.
+        assert_eq!(ValmodConfig::new(8, 16).with_threads(0).threads, 1);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod rank;
 pub mod render;
 pub mod valmap;
 
-pub use algo::{run_valmod, LengthResult, LengthStats, ValmodOutput};
+pub use algo::{run_valmod, LengthResult, LengthStats, StageTimings, ValmodOutput};
 pub use config::ValmodConfig;
 pub use discord::{variable_length_discords, Discord, LengthDiscords};
 pub use lb::LbRowContext;

@@ -62,15 +62,28 @@ impl PartialRow {
 }
 
 /// Incremental top-`p` selector by correlation, used while streaming a
-/// distance-profile row. Keeps the `p` largest-`rho` candidates seen.
+/// distance-profile row. Keeps the `p` best candidates under the total
+/// order "(larger `rho`, then smaller `j`)".
+///
+/// Because the order is total, the kept *set* is a pure function of the
+/// offered set — independent of offer order. That is what makes the
+/// selector mergeable: partition a row's candidates across workers, keep
+/// a top-`p` selector per partition, [`TopRhoSelector::absorb`] them, and
+/// the result is exactly the selector a single pass would have built.
 #[derive(Debug)]
 pub struct TopRhoSelector {
     capacity: usize,
-    /// Unordered store; the minimum is tracked by index.
+    /// Unordered store; the worst entry is tracked by index.
     slots: Vec<PartialEntry>,
     min_slot: usize,
     /// Count of admissible candidates offered (to detect truncation).
     offered: usize,
+}
+
+/// `a` ranks strictly worse than `b` under "(rho desc, j asc)".
+#[inline]
+fn ranks_worse(a: &PartialEntry, b: &PartialEntry) -> bool {
+    a.rho_base < b.rho_base || (a.rho_base == b.rho_base && a.j > b.j)
 }
 
 impl TopRhoSelector {
@@ -80,31 +93,46 @@ impl TopRhoSelector {
         Self { capacity: capacity.max(1), slots: Vec::new(), min_slot: 0, offered: 0 }
     }
 
-    /// Offers a candidate. O(1) amortized; O(p) when the minimum must be
-    /// rescanned after a replacement.
+    /// Offers a candidate. O(1) amortized; O(p) when the worst entry must
+    /// be rescanned after a replacement.
     pub fn offer(&mut self, j: usize, rho: f64, qt: f64) {
         self.offered += 1;
         #[allow(clippy::cast_possible_truncation)]
         let entry = PartialEntry { j: j as u32, rho_base: rho, qt };
         if self.slots.len() < self.capacity {
             self.slots.push(entry);
-            if entry.rho_base < self.slots[self.min_slot].rho_base {
+            if ranks_worse(&entry, &self.slots[self.min_slot]) {
                 self.min_slot = self.slots.len() - 1;
             }
             return;
         }
-        if rho <= self.slots[self.min_slot].rho_base {
+        if !ranks_worse(&self.slots[self.min_slot], &entry) {
             return;
         }
         self.slots[self.min_slot] = entry;
-        // Rescan for the new minimum (p is small).
+        // Rescan for the new worst entry (p is small).
         let mut min = 0;
         for (idx, e) in self.slots.iter().enumerate() {
-            if e.rho_base < self.slots[min].rho_base {
+            if ranks_worse(e, &self.slots[min]) {
                 min = idx;
             }
         }
         self.min_slot = min;
+    }
+
+    /// Merges another selector built from a *disjoint* partition of this
+    /// row's candidates, as if all of the other partition's candidates had
+    /// been offered here. Exact: under a total order, the global top-`p`
+    /// is contained in the union of per-partition top-`p` sets, and the
+    /// offered counts add up, so `worst_rho` and the truncation flag come
+    /// out identical to a single-pass selector's.
+    pub fn absorb(&mut self, other: &Self) {
+        for e in &other.slots {
+            self.offer(e.j as usize, e.rho_base, e.qt);
+        }
+        // `offer` counted the retained entries; add the candidates the
+        // other partition saw but did not keep.
+        self.offered += other.offered - other.slots.len();
     }
 
     /// Finalizes the selection into a [`PartialRow`] with the given base
@@ -177,7 +205,55 @@ mod tests {
         sel.offer(2, 0.5, 0.0);
         sel.offer(4, 0.5, 0.0);
         let row = sel.into_row(4);
-        // Ordering by (rho desc, j asc) is stable regardless of offer order.
-        assert!(row.entries.windows(2).all(|w| w[0].j < w[1].j));
+        // The kept set is the top-2 under (rho desc, j asc): {2, 4}.
+        let js: Vec<u32> = row.entries.iter().map(|e| e.j).collect();
+        assert_eq!(js, vec![2, 4]);
+    }
+
+    /// Deterministic candidate pool with deliberate rho collisions.
+    fn pool(n: usize) -> Vec<(usize, f64, f64)> {
+        (0..n).map(|j| (j, ((j * 7919) % 23) as f64 / 23.0, j as f64)).collect()
+    }
+
+    #[test]
+    fn kept_set_is_independent_of_offer_order() {
+        let candidates = pool(64);
+        let mut forward = TopRhoSelector::new(5);
+        for &(j, rho, qt) in &candidates {
+            forward.offer(j, rho, qt);
+        }
+        let mut backward = TopRhoSelector::new(5);
+        for &(j, rho, qt) in candidates.iter().rev() {
+            backward.offer(j, rho, qt);
+        }
+        let (a, b) = (forward.into_row(8), backward.into_row(8));
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.worst_rho(), b.worst_rho());
+        assert_eq!(a.truncated, b.truncated);
+    }
+
+    #[test]
+    fn absorb_equals_single_pass() {
+        let candidates = pool(97);
+        for workers in [2usize, 3, 8] {
+            let mut serial = TopRhoSelector::new(6);
+            for &(j, rho, qt) in &candidates {
+                serial.offer(j, rho, qt);
+            }
+            // Interleaved partitions, as the diagonal walk produces.
+            let mut parts: Vec<TopRhoSelector> =
+                (0..workers).map(|_| TopRhoSelector::new(6)).collect();
+            for (idx, &(j, rho, qt)) in candidates.iter().enumerate() {
+                parts[idx % workers].offer(j, rho, qt);
+            }
+            let mut merged = parts.remove(0);
+            for p in &parts {
+                merged.absorb(p);
+            }
+            let (a, b) = (serial.into_row(16), merged.into_row(16));
+            assert_eq!(a.entries, b.entries, "kept set differs at {workers} workers");
+            assert_eq!(a.worst_rho(), b.worst_rho());
+            assert_eq!(a.truncated, b.truncated);
+        }
     }
 }

@@ -1,0 +1,138 @@
+//! Cross-engine checks of the parallel machinery: merged stage-1
+//! selectors against a single-pass selector, and the degenerate-length
+//! STOMP fallback across thread counts.
+
+use valmod_core::partial::TopRhoSelector;
+use valmod_core::{run_valmod, ValmodConfig};
+use valmod_mp::stomp::{stomp, StompEngine};
+use valmod_series::gen;
+use valmod_series::stats::FLAT_EPS;
+
+/// The merged selector's pruning threshold (`worst_rho`) must equal the
+/// serial selector's on real engine data — this is what keeps `maxLB`
+/// exact after the parallel stage-1 merge.
+#[test]
+fn merged_selector_worst_rho_equals_serial() {
+    let series = gen::ecg(500, &gen::EcgConfig::default(), 17);
+    let l = 24;
+    let engine = StompEngine::new(&series, l).unwrap();
+    let m = engine.num_windows();
+    let (means, stds) = (engine.means().to_vec(), engine.stds().to_vec());
+    let lf = l as f64;
+    let excl = 7;
+    let row = m / 2; // a representative row with candidates on both sides
+
+    // All admissible (j, rho, qt) candidates of that row, via one serial
+    // row stream.
+    let mut candidates: Vec<(usize, f64, f64)> = Vec::new();
+    engine.for_each_row(|i, qt| {
+        if i != row {
+            return;
+        }
+        for (j, &dot) in qt.iter().enumerate() {
+            if i.abs_diff(j) <= excl {
+                continue;
+            }
+            assert!(stds[i] >= FLAT_EPS && stds[j] >= FLAT_EPS, "ECG data has no flat windows");
+            let rho =
+                ((dot - lf * means[i] * means[j]) / (lf * stds[i] * stds[j])).clamp(-1.0, 1.0);
+            candidates.push((j, rho, dot));
+        }
+    });
+    assert!(candidates.len() > 32);
+
+    for p in [1usize, 4, 8] {
+        for workers in [2usize, 3, 8] {
+            // Interleaved partitions, as the diagonal walk produces them.
+            let mut parts: Vec<TopRhoSelector> =
+                (0..workers).map(|_| TopRhoSelector::new(p)).collect();
+            for (idx, &(j, rho, qt)) in candidates.iter().enumerate() {
+                parts[idx % workers].offer(j, rho, qt);
+            }
+            let mut merged = parts.remove(0);
+            for part in &parts {
+                merged.absorb(part);
+            }
+            let serial_row = {
+                let mut s = TopRhoSelector::new(p);
+                for &(j, rho, qt) in &candidates {
+                    s.offer(j, rho, qt);
+                }
+                s.into_row(l)
+            };
+            let merged_row = merged.into_row(l);
+            assert_eq!(merged_row.worst_rho(), serial_row.worst_rho(), "p={p} w={workers}");
+            assert_eq!(merged_row.entries, serial_row.entries, "p={p} w={workers}");
+            assert_eq!(merged_row.truncated, serial_row.truncated);
+        }
+    }
+}
+
+/// A flat plateau forces the degenerate-length fallback at every extended
+/// length; it now routes through diagonal-parallel STOMP, which must stay
+/// byte-identical across thread counts and agree with serial STOMP.
+#[test]
+fn flat_plateau_fallback_is_thread_invariant() {
+    let mut series = gen::white_noise(400, 5, 1.0);
+    for v in &mut series[150..220] {
+        *v = 1.5;
+    }
+    let config = ValmodConfig::new(8, 14).with_k(2).with_threads(1);
+    let base = run_valmod(&series, &config).unwrap();
+    assert!(
+        base.per_length.iter().skip(1).all(|r| r.stats.stomp_fallback),
+        "plateau must force the STOMP fallback at every extended length"
+    );
+    for threads in [2usize, 4, 8] {
+        let out = run_valmod(&series, &config.clone().with_threads(threads)).unwrap();
+        for (a, b) in out.per_length.iter().zip(&base.per_length) {
+            assert_eq!(a.pairs.len(), b.pairs.len(), "length {}", a.length);
+            for (pa, pb) in a.pairs.iter().zip(&b.pairs) {
+                assert_eq!(
+                    (pa.a, pa.b, pa.distance.to_bits()),
+                    (pb.a, pb.b, pb.distance.to_bits()),
+                    "fallback differs at length {} with {threads} threads",
+                    a.length
+                );
+            }
+        }
+    }
+    // And the fallback agrees with the serial reference engine.
+    for r in base.per_length.iter().skip(1) {
+        let mp = stomp(&series, r.length, config.exclusion(r.length)).unwrap();
+        let reference = valmod_mp::motif::top_k_pairs(&mp, config.k);
+        assert_eq!(r.pairs.len(), reference.len());
+        for (got, want) in r.pairs.iter().zip(&reference) {
+            assert!(
+                (got.distance - want.distance).abs() < 1e-9,
+                "length {}: {got:?} vs {want:?}",
+                r.length
+            );
+        }
+    }
+}
+
+/// End-to-end thread invariance on a workload that exercises the MASS
+/// recomputation fallback hard (tiny profile size).
+#[test]
+fn recomputation_fallback_is_thread_invariant() {
+    let series = gen::random_walk(600, 99);
+    let config = ValmodConfig::new(12, 28).with_k(3).with_profile_size(1).with_threads(1);
+    let base = run_valmod(&series, &config).unwrap();
+    let recomputed: usize = base.per_length.iter().map(|r| r.stats.recomputed_rows).sum();
+    assert!(recomputed > 0, "p=1 must trigger recomputation on a random walk");
+    for threads in [2usize, 3, 8] {
+        let out = run_valmod(&series, &config.clone().with_threads(threads)).unwrap();
+        for (a, b) in out.per_length.iter().zip(&base.per_length) {
+            assert_eq!(a.stats.recomputed_rows, b.stats.recomputed_rows, "length {}", a.length);
+            for (pa, pb) in a.pairs.iter().zip(&b.pairs) {
+                assert_eq!(
+                    (pa.a, pa.b, pa.distance.to_bits()),
+                    (pb.a, pb.b, pb.distance.to_bits()),
+                    "length {} with {threads} threads",
+                    a.length
+                );
+            }
+        }
+    }
+}

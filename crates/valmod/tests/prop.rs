@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use valmod_core::{run_valmod, LbRowContext, ValmodConfig};
 use valmod_series::znorm::{pearson_from_dist, zdist};
-use valmod_series::RollingStats;
+use valmod_series::{gen, RollingStats};
 
 fn series(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-50.0f64..50.0, min_len..max_len)
@@ -85,6 +85,50 @@ proptest! {
                 (None, None) => {}
                 other => prop_assert!(false, "presence mismatch at {}: {:?}", r.length, other),
             }
+        }
+    }
+
+    /// Thread-count invariance: the parallel engine's merges are
+    /// partition-independent, so every thread count must produce
+    /// *byte-identical* per-length distances, pair offsets, and VALMAP
+    /// entries — not merely close ones.
+    #[test]
+    fn thread_count_never_changes_results(seed in 0u64..100_000, kind in 0usize..3) {
+        let series = match kind {
+            0 => gen::random_walk(700, seed),
+            1 => gen::ecg(700, &gen::EcgConfig::default(), seed),
+            _ => {
+                let pattern: Vec<f64> = (0..32)
+                    .map(|i| (i as f64 / 32.0 * std::f64::consts::TAU * 2.0).sin())
+                    .collect();
+                gen::planted_pair(700, &pattern, &[100, 460], 0.02, seed).0
+            }
+        };
+        let config = ValmodConfig::new(20, 30).with_k(3).with_profile_size(4).with_threads(1);
+        let base = run_valmod(&series, &config).unwrap();
+        for threads in [2usize, 3, 8] {
+            let out = run_valmod(&series, &config.clone().with_threads(threads)).unwrap();
+            prop_assert_eq!(out.per_length.len(), base.per_length.len());
+            for (a, b) in out.per_length.iter().zip(&base.per_length) {
+                prop_assert_eq!(a.length, b.length);
+                prop_assert_eq!(
+                    a.pairs.len(), b.pairs.len(),
+                    "pair count at length {} with {} threads", a.length, threads
+                );
+                for (pa, pb) in a.pairs.iter().zip(&b.pairs) {
+                    prop_assert_eq!(
+                        (pa.a, pa.b, pa.distance.to_bits()),
+                        (pb.a, pb.b, pb.distance.to_bits()),
+                        "pair differs at length {} with {} threads", a.length, threads
+                    );
+                }
+            }
+            // VALMAP entries must also match bit for bit.
+            prop_assert_eq!(out.valmap.ip, base.valmap.ip.clone());
+            prop_assert_eq!(out.valmap.lp, base.valmap.lp.clone());
+            let mpn_bits: Vec<u64> = out.valmap.mpn.iter().map(|v| v.to_bits()).collect();
+            let base_bits: Vec<u64> = base.valmap.mpn.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(mpn_bits, base_bits, "VALMAP mpn differs with {} threads", threads);
         }
     }
 
