@@ -1,0 +1,59 @@
+//! The streaming acceptance bench: per-append cost of the incremental
+//! engine against re-running the batch engine per append, at the
+//! roadmap's reference workload n = 4096, R = 20 lengths.
+//!
+//! `batch_rerun_per_append` times ONE full batch run — exactly what a
+//! non-incremental deployment pays for every appended point.
+//! `stream_append` times one incremental append (O(n·R));
+//! `stream_extend_chunk64` times a 64-point batched append (divide by 64
+//! for the amortized per-point cost). The engine's acceptance criterion
+//! is a ≥10× gap between the batch re-run and a streaming append.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use valmod_bench::Dataset;
+use valmod_core::{run_valmod, ValmodConfig};
+use valmod_stream::StreamingValmod;
+
+fn bench_streaming_vs_batch(c: &mut Criterion) {
+    let n = 4096usize;
+    let (l_min, l_max) = (64usize, 83); // R = 20 lengths
+    let config = ValmodConfig::new(l_min, l_max).with_k(1).with_threads(1);
+    // Extra points past n feed the append benches (the engine keeps
+    // growing slightly while sampling; the O(n·R) cost drifts by <20%).
+    let series = Dataset::Ecg.generate(n + 1024);
+
+    let mut group = c.benchmark_group("streaming_vs_batch");
+
+    group.sample_size(10);
+    let batch_input = &series[..n];
+    group.bench_function("batch_rerun_per_append", |b| {
+        b.iter(|| black_box(run_valmod(black_box(batch_input), &config).unwrap()));
+    });
+
+    group.sample_size(50);
+    let mut engine = StreamingValmod::new(&series[..n], config.clone()).unwrap();
+    let tail: Vec<f64> = series[n..].to_vec();
+    let mut at = 0usize;
+    group.bench_function("stream_append", |b| {
+        b.iter(|| {
+            engine.append(black_box(tail[at % tail.len()]));
+            at += 1;
+        });
+    });
+
+    group.sample_size(10);
+    let mut chunk_engine = StreamingValmod::new(&series[..n], config).unwrap();
+    let mut chunk_at = 0usize;
+    group.bench_function("stream_extend_chunk64", |b| {
+        b.iter(|| {
+            let chunk: Vec<f64> = (0..64).map(|k| tail[(chunk_at + k) % tail.len()]).collect();
+            chunk_engine.extend(black_box(&chunk));
+            chunk_at += 64;
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(streaming, bench_streaming_vs_batch);
+criterion_main!(streaming);

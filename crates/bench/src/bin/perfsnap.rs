@@ -1,6 +1,7 @@
 //! Perf snapshot: times VALMOD's stage 1, stage 2, and end-to-end wall
 //! clock on the Figure-3 workloads at 1 thread and at full hardware
-//! parallelism, and writes the measurements to a JSON file — the
+//! parallelism, plus the streaming engine's per-append cost against a
+//! batch re-run, and writes the measurements to a JSON file — the
 //! reproducible baseline every future perf PR is measured against.
 //!
 //! Usage:
@@ -13,10 +14,12 @@
 //! `--threads` overrides the parallel thread count (default: hardware);
 //! `--out` sets the JSON path (default `BENCH_valmod.json`).
 
+use std::hint::black_box;
 use std::time::Instant;
 
 use valmod_bench::Dataset;
 use valmod_core::{run_valmod, ValmodConfig};
+use valmod_stream::StreamingValmod;
 
 /// One measured configuration.
 struct Run {
@@ -29,6 +32,70 @@ struct Run {
     stage2_secs: f64,
     total_secs: f64,
     checksum: u64,
+}
+
+/// The streaming row: incremental appends vs a batch re-run per append.
+struct StreamingRow {
+    dataset: &'static str,
+    n: usize,
+    l_min: usize,
+    l_max: usize,
+    appends: usize,
+    per_append_secs: f64,
+    batch_secs: f64,
+    speedup_per_append: f64,
+}
+
+/// Measures the streaming engine at the acceptance workload (n = 4096,
+/// R = 20 lengths; scaled down under `--smoke`): bootstrap on the
+/// prefix, time `appends` single-point appends, and compare the mean
+/// per-append cost with one full batch run — what a non-incremental
+/// deployment would pay per appended point.
+fn measure_streaming(smoke: bool, threads: usize) -> StreamingRow {
+    let n = if smoke { 2_048 } else { 4_096 };
+    let appends = if smoke { 64 } else { 256 };
+    let l_min = if smoke { 32 } else { 64 };
+    let l_max = l_min + 19; // R = 20
+    let dataset = Dataset::Ecg;
+    let series = dataset.generate(n);
+    let config = ValmodConfig::new(l_min, l_max).with_k(1).with_threads(threads);
+
+    let mut engine =
+        StreamingValmod::new(&series[..n - appends], config.clone()).expect("valid workload");
+    let started = Instant::now();
+    for &v in &series[n - appends..] {
+        engine.append(v);
+    }
+    let per_append_secs = started.elapsed().as_secs_f64() / appends as f64;
+
+    let started = Instant::now();
+    let out = run_valmod(&series, &config).expect("valid workload");
+    let batch_secs = started.elapsed().as_secs_f64();
+    black_box(&out);
+    // Appends must have reassembled the exact series (snapshot()'s
+    // bit-identity to batch follows, since it runs the batch pipeline
+    // over this buffer; the full property is tested in valmod-stream).
+    assert_eq!(engine.series(), &series[..], "streaming buffer diverged from the input");
+
+    let row = StreamingRow {
+        dataset: dataset.name(),
+        n,
+        l_min,
+        l_max,
+        appends,
+        per_append_secs,
+        batch_secs,
+        speedup_per_append: batch_secs / per_append_secs,
+    };
+    eprintln!(
+        "{} n={n} l=[{l_min},{l_max}] threads={threads} streaming: {:.1} µs/append vs \
+         {:.3}s batch re-run ({:.0}x)",
+        row.dataset,
+        row.per_append_secs * 1e6,
+        row.batch_secs,
+        row.speedup_per_append,
+    );
+    row
 }
 
 fn main() {
@@ -130,7 +197,9 @@ fn main() {
         }
     }
 
-    let json = render_json(hardware, max_threads, smoke, &runs, &speedups);
+    let streaming = measure_streaming(smoke, max_threads);
+
+    let json = render_json(hardware, max_threads, smoke, &runs, &streaming, &speedups);
     std::fs::write(&out_path, json).expect("write snapshot");
     eprintln!("snapshot written to {out_path}");
     for (name, s) in &speedups {
@@ -155,6 +224,7 @@ fn render_json(
     max_threads: usize,
     smoke: bool,
     runs: &[Run],
+    streaming: &StreamingRow,
     speedups: &[(String, f64)],
 ) -> String {
     let mut out = String::from("{\n");
@@ -181,6 +251,19 @@ fn render_json(
         ));
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"streaming\": {{\"dataset\": \"{}\", \"n\": {}, \"l_min\": {}, \"l_max\": {}, \
+         \"appends\": {}, \"per_append_secs\": {:.9}, \"batch_secs\": {:.6}, \
+         \"speedup_per_append\": {:.1}}},\n",
+        streaming.dataset,
+        streaming.n,
+        streaming.l_min,
+        streaming.l_max,
+        streaming.appends,
+        streaming.per_append_secs,
+        streaming.batch_secs,
+        streaming.speedup_per_append,
+    ));
     out.push_str("  \"speedup_end_to_end\": {");
     for (idx, (name, s)) in speedups.iter().enumerate() {
         out.push_str(&format!(

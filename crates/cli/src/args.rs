@@ -14,6 +14,8 @@ pub enum Command {
     Generate(GenerateArgs),
     /// Expand a motif pair into its motif set.
     MotifSet(MotifSetArgs),
+    /// Tail a file or stdin and emit VALMAP deltas as NDJSON.
+    Stream(StreamArgs),
     /// Print usage.
     Help,
 }
@@ -78,6 +80,30 @@ pub struct MotifSetArgs {
     pub radius: Option<f64>,
 }
 
+/// Arguments of `valmod stream`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamArgs {
+    /// Input series file, or `-` for stdin.
+    pub input: String,
+    /// Minimum subsequence length.
+    pub l_min: usize,
+    /// Maximum subsequence length.
+    pub l_max: usize,
+    /// Motif pairs per length.
+    pub k: usize,
+    /// Partial-profile size `p` (used by the batch-grade snapshot).
+    pub p: usize,
+    /// Worker threads (defaults to the hardware parallelism).
+    pub threads: Option<usize>,
+    /// Points consumed before the engine bootstraps (defaults to the
+    /// minimum the length range requires).
+    pub warmup: Option<usize>,
+    /// Emit deltas every N appended points.
+    pub every: usize,
+    /// Fixed storage capacity in points (unbounded when absent).
+    pub capacity: Option<usize>,
+}
+
 /// A parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError(pub String);
@@ -99,7 +125,13 @@ USAGE:
   valmod profile --input FILE --length N [--k N] [--threads N]
   valmod generate --kind ecg|astro|walk|noise|seismic|epg --n N [--seed N] --output FILE
   valmod motif-set --input FILE --a N --b N --length N [--radius X]
+  valmod stream --input FILE|- --lmin N --lmax N [--k N] [--p N] [--threads N]
+                [--warmup N] [--every N] [--capacity N]
   valmod help
+
+`stream` tails the input (use `-` for stdin), bootstraps on the first
+points, then appends each subsequent point incrementally and emits the
+VALMAP entries that changed as NDJSON, one JSON object per line.
 ";
 
 fn take_value<'a>(
@@ -129,6 +161,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
         "profile" => parse_profile(rest),
         "generate" => parse_generate(rest),
         "motif-set" => parse_motif_set(rest),
+        "stream" => parse_stream(rest),
         other => Err(ParseError(format!("unknown command {other:?}"))),
     }
 }
@@ -228,6 +261,41 @@ fn parse_motif_set(rest: &[&str]) -> Result<Command, ParseError> {
     }))
 }
 
+fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
+    let (mut input, mut l_min, mut l_max) = (None, None, None);
+    let (mut k, mut p, mut threads) = (10usize, 8usize, None);
+    let (mut warmup, mut every, mut capacity) = (None, 1usize, None);
+    let mut it = rest.iter().copied();
+    while let Some(flag) = it.next() {
+        match flag {
+            "--input" => input = Some(take_value(flag, &mut it)?.to_string()),
+            "--lmin" => l_min = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--lmax" => l_max = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--k" => k = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--p" => p = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--threads" => threads = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--warmup" => warmup = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--every" => every = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--capacity" => capacity = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            other => return Err(ParseError(format!("unknown flag {other:?} for stream"))),
+        }
+    }
+    if every == 0 {
+        return Err(ParseError("--every must be at least 1".into()));
+    }
+    Ok(Command::Stream(StreamArgs {
+        input: input.ok_or_else(|| ParseError("stream requires --input".into()))?,
+        l_min: l_min.ok_or_else(|| ParseError("stream requires --lmin".into()))?,
+        l_max: l_max.ok_or_else(|| ParseError("stream requires --lmax".into()))?,
+        k,
+        p,
+        threads,
+        warmup,
+        every,
+        capacity,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +380,50 @@ mod tests {
         assert!(parse(&["run", "--input", "x", "--lmin", "abc", "--lmax", "5"]).is_err());
         assert!(parse(&["motif-set", "--input", "x", "--a", "-3", "--b", "5", "--length", "8"])
             .is_err());
+    }
+
+    #[test]
+    fn stream_defaults_and_overrides() {
+        let cmd = parse(&["stream", "--input", "-", "--lmin", "16", "--lmax", "24"]).unwrap();
+        match cmd {
+            Command::Stream(a) => {
+                assert_eq!(a.input, "-");
+                assert_eq!((a.l_min, a.l_max, a.k, a.p, a.every), (16, 24, 10, 8, 1));
+                assert!(a.warmup.is_none() && a.capacity.is_none() && a.threads.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "stream",
+            "--input",
+            "x.txt",
+            "--lmin",
+            "8",
+            "--lmax",
+            "12",
+            "--k",
+            "2",
+            "--warmup",
+            "100",
+            "--every",
+            "16",
+            "--capacity",
+            "4096",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Stream(a) => {
+                assert_eq!((a.k, a.warmup, a.every), (2, Some(100), 16));
+                assert_eq!((a.capacity, a.threads), (Some(4096), Some(2)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["stream", "--input", "x", "--lmin", "8"]).is_err());
+        assert!(parse(&["stream", "--input", "x", "--lmin", "8", "--lmax", "12", "--every", "0"])
+            .is_err());
+        assert!(parse(&["stream", "--bogus", "1"]).is_err());
     }
 
     #[test]

@@ -7,9 +7,10 @@
 
 mod args;
 
+use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
 
-use args::{Command, GenerateArgs, MotifSetArgs, ProfileArgs, RunArgs};
+use args::{Command, GenerateArgs, MotifSetArgs, ProfileArgs, RunArgs, StreamArgs};
 use valmod_core::render::{render_valmap, sparkline};
 use valmod_core::{expand_motif_set, run_valmod, ValmodConfig};
 use valmod_mp::motif::{top_k_discords, top_k_pairs};
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         Command::Profile(a) => cmd_profile(&a),
         Command::Generate(a) => cmd_generate(&a),
         Command::MotifSet(a) => cmd_motif_set(&a),
+        Command::Stream(a) => cmd_stream(&a),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -168,6 +170,142 @@ fn cmd_generate(a: &GenerateArgs) -> Result<(), Box<dyn std::error::Error>> {
     };
     io::write_series(&a.output, &values)?;
     println!("wrote {} points of {} (seed {}) to {}", values.len(), a.kind, a.seed, a.output);
+    Ok(())
+}
+
+/// `valmod stream`: tail a file or stdin, bootstrap the incremental
+/// engine on the first points, then append each subsequent point and
+/// emit the VALMAP entries that changed as NDJSON on stdout.
+///
+/// Non-finite points from the feed are reported on stderr and skipped —
+/// the engine's `try_append` contract means a bad sample can never kill
+/// the stream or corrupt the profiles.
+fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ValmodConfig::new(a.l_min, a.l_max).with_k(a.k).with_profile_size(a.p);
+    if let Some(threads) = a.threads {
+        config = config.with_threads(threads);
+    }
+    // The engine needs room for two non-trivially-matching windows of
+    // every length before it can bootstrap (ValmodConfig::validate's
+    // formula).
+    let needed = a.l_max + config.exclusion(a.l_max) + 1;
+    let warmup = a.warmup.unwrap_or(0).max(needed);
+    if let Some(cap) = a.capacity {
+        if cap < warmup {
+            return Err(format!(
+                "--capacity {cap} cannot hold the {warmup}-point bootstrap \
+                 (lengths up to {} need at least {needed} points)",
+                a.l_max
+            )
+            .into());
+        }
+    }
+
+    let reader: Box<dyn BufRead> = if a.input == "-" {
+        Box::new(BufReader::new(std::io::stdin()))
+    } else {
+        Box::new(BufReader::new(std::fs::File::open(&a.input)?))
+    };
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+
+    let mut bootstrap: Vec<f64> = Vec::with_capacity(warmup);
+    let mut engine: Option<valmod_stream::StreamingValmod> = None;
+    let mut since_poll = 0usize;
+    let mut line_values: Vec<f64> = Vec::new();
+    for (line_idx, line) in reader.lines().enumerate() {
+        line_values.clear();
+        // The same tokenizer `run`/`profile` read files with, so every
+        // subcommand accepts the exact same format.
+        valmod_series::io::parse_series_line(&line?, line_idx + 1, &mut line_values)?;
+        for &value in &line_values {
+            match &mut engine {
+                None => {
+                    if !value.is_finite() {
+                        eprintln!("skipping non-finite point on line {}", line_idx + 1);
+                        continue;
+                    }
+                    bootstrap.push(value);
+                    if bootstrap.len() >= warmup {
+                        let built = match a.capacity {
+                            Some(cap) => valmod_stream::StreamingValmod::with_capacity(
+                                &bootstrap,
+                                config.clone(),
+                                cap,
+                            )?,
+                            None => {
+                                valmod_stream::StreamingValmod::new(&bootstrap, config.clone())?
+                            }
+                        };
+                        writeln!(
+                            out,
+                            "{}",
+                            valmod_stream::bootstrap_line(
+                                built.len(),
+                                a.l_min,
+                                a.l_max,
+                                built.len() - a.l_min + 1
+                            )
+                        )?;
+                        engine = Some(built);
+                    }
+                }
+                Some(engine) => {
+                    match engine.try_append(value) {
+                        Ok(()) => {}
+                        Err(e @ valmod_series::SeriesError::NonFinite { .. }) => {
+                            // A bad sample is skippable; the feed goes on.
+                            eprintln!("skipping point on line {}: {e}", line_idx + 1);
+                            continue;
+                        }
+                        Err(e) => {
+                            // A full bounded buffer is back-pressure, not a
+                            // skippable sample: emit what we know, then fail
+                            // loudly instead of silently dropping the rest
+                            // of the feed.
+                            let n = engine.len();
+                            for delta in engine.poll_deltas() {
+                                writeln!(out, "{}", valmod_stream::update_line(n, &delta))?;
+                            }
+                            writeln!(
+                                out,
+                                "{}",
+                                valmod_stream::summary_line(n, engine.valmap().best_entry())
+                            )?;
+                            out.flush()?;
+                            return Err(format!(
+                                "stream stopped at line {} after {n} points: {e}",
+                                line_idx + 1
+                            )
+                            .into());
+                        }
+                    }
+                    since_poll += 1;
+                    if since_poll >= a.every {
+                        since_poll = 0;
+                        let n = engine.len();
+                        for delta in engine.poll_deltas() {
+                            writeln!(out, "{}", valmod_stream::update_line(n, &delta))?;
+                        }
+                        out.flush()?;
+                    }
+                }
+            }
+        }
+    }
+    let Some(mut engine) = engine else {
+        return Err(format!(
+            "stream ended after {} points, before the {warmup}-point bootstrap",
+            bootstrap.len()
+        )
+        .into());
+    };
+    let n = engine.len();
+    for delta in engine.poll_deltas() {
+        writeln!(out, "{}", valmod_stream::update_line(n, &delta))?;
+    }
+    writeln!(out, "{}", valmod_stream::summary_line(n, engine.valmap().best_entry()))?;
+    out.flush()?;
     Ok(())
 }
 

@@ -95,6 +95,117 @@ fn motif_set_expands_a_pair() {
 }
 
 #[test]
+fn stream_emits_ndjson_deltas_and_summary() {
+    let series_path = temp_path("stream_input.txt");
+    generate_ecg(&series_path, 700);
+    let out = bin()
+        .args(["stream", "--lmin", "24", "--lmax", "28", "--k", "2", "--warmup", "200", "--input"])
+        .arg(&series_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines[0].contains("\"event\":\"bootstrap\"") && lines[0].contains("\"points\":200"));
+    assert!(lines.last().unwrap().contains("\"event\":\"summary\""));
+    let updates = lines.iter().filter(|l| l.contains("\"event\":\"update\"")).count();
+    assert!(updates > 0, "500 appended ECG points must improve some VALMAP entry:\n{text}");
+    // Every line is a single JSON object — NDJSON, parseable line by line.
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "bad NDJSON line {line:?}");
+    }
+}
+
+#[test]
+fn stream_reads_stdin_and_survives_bad_points() {
+    use std::io::Write;
+    let mut values = String::new();
+    // 120 noisy points, one corrupted sample mid-stream, then more points.
+    for i in 0..220 {
+        if i == 150 {
+            values.push_str("NaN\n");
+        }
+        let x = f64::from(i) * 0.7;
+        values.push_str(&format!("{}\n", x.sin() + 0.1 * (x * 3.3).cos()));
+    }
+    let mut child = bin()
+        .args(["stream", "--input", "-", "--lmin", "8", "--lmax", "12", "--every", "10"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(values.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"event\":\"bootstrap\""));
+    assert!(text.contains("\"event\":\"summary\""));
+    // The corrupted sample was skipped, not fatal.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("skipping"));
+    assert!(text.lines().last().unwrap().contains("\"points\":220"));
+}
+
+#[test]
+fn stream_terminates_loudly_when_the_bounded_buffer_fills() {
+    // Back-pressure is not a skippable sample: once the bounded buffer
+    // fills, the stream must emit its summary and exit nonzero rather
+    // than silently discarding the rest of the feed.
+    let series_path = temp_path("stream_capacity_input.txt");
+    generate_ecg(&series_path, 400);
+    let out = bin()
+        .args([
+            "stream",
+            "--lmin",
+            "16",
+            "--lmax",
+            "20",
+            "--warmup",
+            "100",
+            "--capacity",
+            "150",
+            "--input",
+        ])
+        .arg(&series_path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"event\":\"summary\"") && text.contains("\"points\":150"));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("150 points") && err.contains("capacity"), "stderr: {err}");
+}
+
+#[test]
+fn stream_rejects_capacity_below_the_bootstrap_up_front() {
+    // A capacity that cannot even hold the bootstrap must fail before
+    // any input is consumed (a live feed would otherwise hang forever).
+    let out = bin()
+        .args(["stream", "--input", "-", "--lmin", "8", "--lmax", "16", "--capacity", "10"])
+        .stdin(std::process::Stdio::null())
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--capacity 10"));
+}
+
+#[test]
+fn stream_fails_cleanly_when_input_is_too_short_to_bootstrap() {
+    use std::io::Write;
+    let mut child = bin()
+        .args(["stream", "--input", "-", "--lmin", "8", "--lmax", "16"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(b"1.0\n2.0\n3.0\n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bootstrap"));
+}
+
+#[test]
 fn run_on_missing_file_fails_cleanly() {
     let out = bin()
         .args(["run", "--input", "/no/such/file.txt", "--lmin", "8", "--lmax", "16"])

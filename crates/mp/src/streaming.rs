@@ -126,12 +126,31 @@ impl StreamingProfile {
 
     /// Appends one point and updates the profile exactly. O(n).
     ///
+    /// Thin wrapper over [`StreamingProfile::try_append`] for callers that
+    /// validate at the sensor boundary.
+    ///
     /// # Panics
     ///
-    /// Panics on non-finite input (streaming callers should validate at
-    /// the sensor boundary).
+    /// Panics on non-finite input.
     pub fn append(&mut self, value: f64) {
-        assert!(value.is_finite(), "streaming point must be finite");
+        self.try_append(value).expect("streaming point must be finite");
+    }
+
+    /// Appends one point and updates the profile exactly. O(n).
+    ///
+    /// A live feed can deliver NaN/∞ (sensor glitches, parse bugs); this
+    /// variant rejects the point *before* touching any state, so a
+    /// long-running service keeps its exact profile and simply drops or
+    /// logs the sample.
+    ///
+    /// # Errors
+    ///
+    /// [`SeriesError::NonFinite`] with the would-be index of the rejected
+    /// point; the profile and all internal state are left untouched.
+    pub fn try_append(&mut self, value: f64) -> Result<()> {
+        if !value.is_finite() {
+            return Err(SeriesError::NonFinite { index: self.values.len() });
+        }
         let l = self.l;
         self.values.push(value);
         let n = self.values.len();
@@ -171,6 +190,7 @@ impl StreamingProfile {
             self.mp.offer(new_i, d, j);
             self.mp.offer(j, d, new_i);
         }
+        Ok(())
     }
 }
 
@@ -270,5 +290,27 @@ mod tests {
         let series = gen::random_walk(50, 3);
         let mut sp = StreamingProfile::new(&series, 8, 2).unwrap();
         sp.append(f64::NAN);
+    }
+
+    #[test]
+    fn try_append_rejects_bad_points_without_corrupting_state() {
+        let series = gen::random_walk(80, 5);
+        let mut sp = StreamingProfile::new(&series[..60], 8, 2).unwrap();
+        sp.append(series[60]);
+        let before_profile = sp.profile().clone();
+        let before_len = sp.series().len();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match sp.try_append(bad) {
+                Err(valmod_series::SeriesError::NonFinite { index }) => {
+                    assert_eq!(index, before_len);
+                }
+                other => panic!("expected NonFinite error, got {other:?}"),
+            }
+            assert_eq!(sp.series().len(), before_len, "state must be untouched");
+            assert_eq!(sp.profile(), &before_profile);
+        }
+        // The stream keeps working after rejected points.
+        assert!(sp.try_append(series[61]).is_ok());
+        assert_eq!(sp.series().len(), before_len + 1);
     }
 }

@@ -36,6 +36,13 @@ pub enum SeriesError {
         /// Requested maximum subsequence length.
         l_max: usize,
     },
+    /// An append would exceed a bounded buffer's fixed capacity (the
+    /// streaming engine's eviction-free storage never silently drops
+    /// points).
+    CapacityExceeded {
+        /// The buffer's fixed capacity, in points.
+        capacity: usize,
+    },
     /// An I/O failure while reading or writing a series file.
     Io(std::io::Error),
     /// A line of a series file could not be parsed as a number.
@@ -63,6 +70,9 @@ impl fmt::Display for SeriesError {
             ),
             Self::InvalidRange { l_min, l_max } => {
                 write!(f, "invalid subsequence length range [{l_min}, {l_max}]")
+            }
+            Self::CapacityExceeded { capacity } => {
+                write!(f, "append exceeds the buffer's fixed capacity of {capacity} points")
             }
             Self::Io(e) => write!(f, "I/O error: {e}"),
             Self::Parse { line, token } => {
@@ -99,6 +109,7 @@ mod tests {
             (SeriesError::TooShort { len: 5, needed: 10 }, "length 5"),
             (SeriesError::InvalidSubsequence { offset: 9, length: 4, series_len: 10 }, "offset=9"),
             (SeriesError::InvalidRange { l_min: 10, l_max: 5 }, "[10, 5]"),
+            (SeriesError::CapacityExceeded { capacity: 1024 }, "capacity of 1024"),
             (SeriesError::Parse { line: 7, token: "abc".into() }, "line 7"),
         ];
         for (err, needle) in cases {

@@ -30,22 +30,35 @@ pub fn read_series(path: impl AsRef<Path>) -> Result<DataSeries> {
 pub fn read_series_from(reader: impl BufRead) -> Result<DataSeries> {
     let mut values = Vec::new();
     for (line_idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        for token in trimmed.split(|c: char| c == ',' || c.is_whitespace()) {
-            if token.is_empty() {
-                continue;
-            }
-            let value: f64 = token
-                .parse()
-                .map_err(|_| SeriesError::Parse { line: line_idx + 1, token: token.to_string() })?;
-            values.push(value);
-        }
+        parse_series_line(&line?, line_idx + 1, &mut values)?;
     }
     DataSeries::new(values)
+}
+
+/// Parses one line of the series text format (comment lines skipped,
+/// comma- or whitespace-separated values) and appends the values to
+/// `out`. The single tokenizer behind [`read_series_from`] and the CLI's
+/// line-at-a-time streaming reader, so every consumer accepts the exact
+/// same format.
+///
+/// # Errors
+///
+/// [`SeriesError::Parse`] with `line_no` and the offending token.
+pub fn parse_series_line(line: &str, line_no: usize, out: &mut Vec<f64>) -> Result<()> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(());
+    }
+    for token in trimmed.split(|c: char| c == ',' || c.is_whitespace()) {
+        if token.is_empty() {
+            continue;
+        }
+        let value: f64 = token
+            .parse()
+            .map_err(|_| SeriesError::Parse { line: line_no, token: token.to_string() })?;
+        out.push(value);
+    }
+    Ok(())
 }
 
 /// Writes a series to a text file, one value per line, full round-trip

@@ -1,0 +1,143 @@
+//! VALMAP delta events and their NDJSON wire format.
+//!
+//! A monitoring consumer does not want the whole VALMAP after every
+//! append — it wants the entries that *changed*. The engine's
+//! [`crate::StreamingValmod::poll_deltas`] produces [`ValmapDelta`]
+//! records; this module renders them as NDJSON (one JSON object per
+//! line), the format the `valmod stream` CLI subcommand emits:
+//!
+//! ```text
+//! {"event":"bootstrap","points":256,"l_min":16,"l_max":24,"entries":241}
+//! {"event":"update","n":257,"offset":12,"match_offset":180,"length":20,"mpn":0.4121932}
+//! {"event":"summary","points":512,"offset":12,"match_offset":180,"length":20,"mpn":0.2218}
+//! ```
+//!
+//! `mpn` is the paper's length-normalized distance `d/√ℓ` (the value
+//! stored in VALMAP's `MPn` vector), `match_offset` mirrors `IP`, and
+//! `length` mirrors `LP`. Numbers are emitted with shortest round-trip
+//! precision, so piping the stream back in reproduces the exact floats.
+
+/// One changed VALMAP entry: offset `offset` now has its best match at
+/// `match_offset`, found at subsequence length `length`, with
+/// length-normalized distance `normalized_distance`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValmapDelta {
+    /// Entry (subsequence offset) that changed.
+    pub offset: usize,
+    /// Offset of the new best match (`None` when no admissible match
+    /// exists yet).
+    pub match_offset: Option<usize>,
+    /// Length at which the best match was found (VALMAP's `LP`).
+    pub length: usize,
+    /// The new length-normalized distance (VALMAP's `MPn`).
+    pub normalized_distance: f64,
+}
+
+/// Renders a finite float with shortest round-trip precision, or `null`
+/// for the non-finite placeholders JSON cannot carry.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_opt(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".into(), |j| j.to_string())
+}
+
+/// The NDJSON line announcing a completed bootstrap.
+#[must_use]
+pub fn bootstrap_line(points: usize, l_min: usize, l_max: usize, entries: usize) -> String {
+    format!(
+        "{{\"event\":\"bootstrap\",\"points\":{points},\"l_min\":{l_min},\"l_max\":{l_max},\
+         \"entries\":{entries}}}"
+    )
+}
+
+/// The NDJSON line for one VALMAP update, where `n` is the number of
+/// points consumed when the update was observed.
+#[must_use]
+pub fn update_line(n: usize, delta: &ValmapDelta) -> String {
+    format!(
+        "{{\"event\":\"update\",\"n\":{n},\"offset\":{},\"match_offset\":{},\"length\":{},\
+         \"mpn\":{}}}",
+        delta.offset,
+        json_opt(delta.match_offset),
+        delta.length,
+        json_f64(delta.normalized_distance),
+    )
+}
+
+/// The final NDJSON line: the best VALMAP entry after `points` points
+/// (`best` as returned by [`valmod_core::Valmap::best_entry`]).
+#[must_use]
+pub fn summary_line(points: usize, best: Option<(usize, usize, usize, f64)>) -> String {
+    match best {
+        Some((offset, match_offset, length, mpn)) => format!(
+            "{{\"event\":\"summary\",\"points\":{points},\"offset\":{offset},\
+             \"match_offset\":{match_offset},\"length\":{length},\"mpn\":{}}}",
+            json_f64(mpn),
+        ),
+        None => format!(
+            "{{\"event\":\"summary\",\"points\":{points},\"offset\":null,\
+             \"match_offset\":null,\"length\":null,\"mpn\":null}}"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_line_is_valid_ndjson() {
+        let d = ValmapDelta {
+            offset: 12,
+            match_offset: Some(180),
+            length: 20,
+            normalized_distance: 0.5,
+        };
+        let line = update_line(257, &d);
+        assert_eq!(
+            line,
+            "{\"event\":\"update\",\"n\":257,\"offset\":12,\"match_offset\":180,\
+             \"length\":20,\"mpn\":0.5}"
+        );
+        assert!(!line.contains('\n'), "NDJSON lines must be single-line");
+    }
+
+    #[test]
+    fn missing_match_and_infinite_distance_render_as_null() {
+        let d = ValmapDelta {
+            offset: 3,
+            match_offset: None,
+            length: 16,
+            normalized_distance: f64::INFINITY,
+        };
+        let line = update_line(10, &d);
+        assert!(line.contains("\"match_offset\":null"));
+        assert!(line.contains("\"mpn\":null"));
+    }
+
+    #[test]
+    fn floats_round_trip_through_the_wire_format() {
+        let v = 0.123_456_789_012_345_6_f64.sin();
+        let d = ValmapDelta { offset: 0, match_offset: Some(1), length: 8, normalized_distance: v };
+        let line = update_line(1, &d);
+        let rendered = line.split("\"mpn\":").nth(1).unwrap().trim_end_matches('}');
+        assert_eq!(rendered.parse::<f64>().unwrap().to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn bootstrap_and_summary_lines_are_well_formed() {
+        let b = bootstrap_line(256, 16, 24, 241);
+        assert!(b.starts_with("{\"event\":\"bootstrap\"") && b.ends_with('}'));
+        assert!(b.contains("\"points\":256") && b.contains("\"entries\":241"));
+        let s = summary_line(512, Some((12, 180, 20, 0.25)));
+        assert!(s.contains("\"event\":\"summary\"") && s.contains("\"mpn\":0.25"));
+        let empty = summary_line(5, None);
+        assert!(empty.contains("\"offset\":null"));
+    }
+}

@@ -1,0 +1,829 @@
+//! The incremental multi-length engine.
+//!
+//! # How an append works
+//!
+//! Appending one point to a series of length `n` creates exactly one new
+//! window per length `ℓ ∈ [ℓmin, ℓmax]` (the window ending at the new
+//! point). For each length, the dot products of that window against every
+//! older window follow from the previous append's in O(1) each — the
+//! STAMPI recurrence of [`valmod_mp::streaming`], here generalized to all
+//! `R = ℓmax − ℓmin + 1` lengths at once:
+//!
+//! ```text
+//! QT_ℓ(new, j) = QT_ℓ(prev, j−1) − t[n−1−ℓ]·t[j−1] + v·t[j+ℓ−1]
+//! ```
+//!
+//! Two pieces of per-append work are *shared* across lengths instead of
+//! being recomputed `R` times:
+//!
+//! * the product row `c[x] = v·t[x]` (the `v·t[j+ℓ−1]` term of every
+//!   length's recurrence is a lookup into it) — the streaming analogue of
+//!   the MASS row a batch engine would compute per query;
+//! * the running prefix sums of the centered values and their squares,
+//!   from which any window's mean and standard deviation at any length
+//!   costs O(1) (one push per append serves all lengths).
+//!
+//! Total per-append cost: O(n·R) — against O(n²·R/p) for re-running the
+//! batch engine, the gap the `streaming_vs_batch` bench measures.
+//!
+//! # Batched appends
+//!
+//! [`StreamingValmod::extend`] processes a chunk per length (all of a
+//! length's recurrence steps back to back, while its state is hot in
+//! cache) and computes the chunk's first-column dot products
+//! `QT_ℓ(new, 0)` — O(ℓ) each when done directly — with a single FFT
+//! cross-correlation per length once the chunk is large enough for the
+//! transform to win ([`valmod_fft::naive_is_faster`] decides).
+//!
+//! # Exactness and bit-identity
+//!
+//! The per-length profiles maintained here are *exact* in real
+//! arithmetic — every pair of windows has been compared, as in STAMPI.
+//! In floating point they can differ from a batch run in the last bits,
+//! because the two orders the same mathematical sums differently (batch
+//! centers by the final global mean and streams dot products along
+//! diagonals from an FFT first row; streaming centers by the bootstrap
+//! mean and chains the append recurrence). That is why
+//! [`StreamingValmod::snapshot`] — the canonical, bit-identical-to-batch
+//! answer — executes the batch pipeline over the buffered series rather
+//! than re-ordering incremental state, exactly like an LSM tree serves
+//! reads from memtables but compacts to the canonical on-disk form. The
+//! live views answer monitoring queries from incremental state in O(n·R)
+//! with no batch re-run.
+
+use valmod_core::discord::{Discord, LengthDiscords};
+use valmod_core::{run_valmod, Valmap, ValmodConfig, ValmodOutput};
+use valmod_fft::sliding_dot_product;
+use valmod_mp::motif::{top_k_discords, top_k_pairs};
+use valmod_mp::stomp::stomp_parallel;
+use valmod_mp::{MatrixProfile, MotifPair};
+use valmod_series::znorm::zdist_from_dot;
+use valmod_series::{Result, SeriesError};
+
+use crate::delta::ValmapDelta;
+use crate::ring::RingBuffer;
+
+/// Fast-path variances below this threshold are recomputed exactly from
+/// the stored values — same guard, for the same reason, as
+/// [`valmod_series::RollingStats`]: the `E[x²] − μ²` cancellation can
+/// leave ~1e-14 of noise, which must not misclassify exactly-flat
+/// windows.
+const VAR_RECHECK: f64 = 1e-9;
+
+/// Minimum recurrence cells (windows × lengths) per worker before an
+/// append spawns another thread; below this the scoped-spawn overhead
+/// rivals the O(n) walks themselves.
+const MIN_CELLS_PER_WORKER: usize = 1 << 16;
+
+/// Append-friendly prefix-sum statistics over the centered series:
+/// one O(1) push per appended point serves every length's window
+/// statistics (the streaming counterpart of [`valmod_series::RollingStats`],
+/// which is build-once).
+#[derive(Debug, Clone)]
+struct StreamStats {
+    /// The fixed centering offset (bootstrap mean — the future is
+    /// unknown, so the *final* global mean the batch engine uses is
+    /// unavailable; any fixed shift keeps the sums conditioned and
+    /// z-normalized quantities are shift-invariant).
+    center: f64,
+    centered: Vec<f64>,
+    /// `prefix[i]` = Σ of the first `i` centered values.
+    prefix: Vec<f64>,
+    /// `prefix_sq[i]` = Σ of the first `i` squared centered values.
+    prefix_sq: Vec<f64>,
+}
+
+impl StreamStats {
+    fn new(initial: &[f64], reserve: usize) -> Self {
+        let center = initial.iter().sum::<f64>() / initial.len() as f64;
+        let mut this = Self {
+            center,
+            centered: Vec::with_capacity(reserve),
+            prefix: Vec::with_capacity(reserve + 1),
+            prefix_sq: Vec::with_capacity(reserve + 1),
+        };
+        this.prefix.push(0.0);
+        this.prefix_sq.push(0.0);
+        for &v in initial {
+            this.push(v);
+        }
+        this
+    }
+
+    #[inline]
+    fn push(&mut self, value: f64) {
+        let x = value - self.center;
+        self.centered.push(x);
+        self.prefix.push(self.prefix.last().expect("seeded") + x);
+        self.prefix_sq.push(x.mul_add(x, *self.prefix_sq.last().expect("seeded")));
+    }
+
+    #[inline]
+    fn values(&self) -> &[f64] {
+        &self.centered
+    }
+
+    /// Centered mean of the window `[offset, offset+length)`.
+    #[inline]
+    fn mean(&self, offset: usize, length: usize) -> f64 {
+        (self.prefix[offset + length] - self.prefix[offset]) / length as f64
+    }
+
+    /// Population standard deviation of the window, with the exact
+    /// recheck for near-zero variances.
+    fn std(&self, offset: usize, length: usize) -> f64 {
+        let l = length as f64;
+        let mean = self.mean(offset, length);
+        let sq = self.prefix_sq[offset + length] - self.prefix_sq[offset];
+        let fast = (sq / l - mean * mean).max(0.0);
+        if fast >= VAR_RECHECK {
+            return fast.sqrt();
+        }
+        let window = &self.centered[offset..offset + length];
+        let exact_mean = window.iter().sum::<f64>() / l;
+        (window.iter().map(|x| (x - exact_mean) * (x - exact_mean)).sum::<f64>() / l).sqrt()
+    }
+}
+
+/// Incremental state of one subsequence length.
+#[derive(Debug, Clone)]
+struct LengthState {
+    length: usize,
+    exclusion: usize,
+    /// Exact matrix profile at this length (STAMPI semantics: appends
+    /// only ever improve entries).
+    profile: MatrixProfile,
+    /// Dot products of the newest window against every window.
+    last_qt: Vec<f64>,
+    /// Per-window statistics at this length (windows are immutable, so
+    /// these are memoized once per window from the shared prefix sums).
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl LengthState {
+    /// Offers the new window `new_i` against every admissible older
+    /// window (symmetric updates — the shared tail of both append paths).
+    fn offer_new_window(&mut self, new_i: usize, mean: f64, std: f64) {
+        let m = new_i + 1;
+        self.profile.values.push(f64::INFINITY);
+        self.profile.indices.push(None);
+        for j in 0..m {
+            if new_i.abs_diff(j) <= self.exclusion {
+                continue;
+            }
+            let d = zdist_from_dot(
+                self.last_qt[j],
+                self.length,
+                mean,
+                std,
+                self.means[j],
+                self.stds[j],
+            );
+            self.profile.offer(new_i, d, j);
+            self.profile.offer(j, d, new_i);
+        }
+    }
+
+    /// One append at this length, reading the shared product row
+    /// (`cross[x] = v·t[x]`). `n` is the series length *including* the
+    /// new point.
+    fn advance(&mut self, stats: &StreamStats, cross: &[f64], n: usize) {
+        let l = self.length;
+        let t = stats.values();
+        let new_i = n - l;
+        let m = new_i + 1;
+        let dropped = t[new_i - 1];
+        let mean = stats.mean(new_i, l);
+        let std = stats.std(new_i, l);
+        self.means.push(mean);
+        self.stds.push(std);
+        self.last_qt.push(0.0);
+        for j in (1..m).rev() {
+            self.last_qt[j] = cross[j + l - 1] + (self.last_qt[j - 1] - dropped * t[j - 1]);
+        }
+        self.last_qt[0] = (0..l).map(|k| t[new_i + k] * t[k]).sum();
+        self.offer_new_window(new_i, mean, std);
+    }
+
+    /// A whole chunk of `count` appends at this length, back to back.
+    /// `base_n` is the series length *before* the chunk (the points are
+    /// already in `stats`). The chunk's first-column dots
+    /// (`QT_ℓ(new, 0)`, O(ℓ) each when done one by one) are computed
+    /// up front as one sliding dot product of the base window against
+    /// the chunk's tail — which amortizes into a single FFT
+    /// cross-correlation once the chunk is large enough for the
+    /// transform to beat `count` direct dots
+    /// ([`valmod_fft::sliding_dot_product`]'s cost model decides).
+    fn extend(&mut self, stats: &StreamStats, base_n: usize, count: usize) {
+        let l = self.length;
+        let t = stats.values();
+        let first_new = base_n - l + 1;
+        let qt0s = sliding_dot_product(&t[..l], &t[first_new..]);
+        debug_assert_eq!(qt0s.len(), count);
+        for (step, &qt0) in qt0s.iter().enumerate() {
+            let n = base_n + step + 1;
+            let new_i = n - l;
+            let m = new_i + 1;
+            let v = t[n - 1];
+            let dropped = t[new_i - 1];
+            let mean = stats.mean(new_i, l);
+            let std = stats.std(new_i, l);
+            self.means.push(mean);
+            self.stds.push(std);
+            self.last_qt.push(0.0);
+            for j in (1..m).rev() {
+                self.last_qt[j] = v.mul_add(t[j + l - 1], self.last_qt[j - 1] - dropped * t[j - 1]);
+            }
+            self.last_qt[0] = qt0;
+            self.offer_new_window(new_i, mean, std);
+        }
+    }
+}
+
+/// The top-k motif pairs of one length, as maintained live.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LengthMotifs {
+    /// Subsequence length.
+    pub length: usize,
+    /// Top-k pairs under the batch engine's total order (distance asc,
+    /// then offsets asc, with overlap deduplication).
+    pub pairs: Vec<MotifPair>,
+}
+
+/// The derived live views, rebuilt lazily when the engine has advanced.
+#[derive(Debug, Clone)]
+struct LiveViews {
+    version: u64,
+    valmap: Valmap,
+    motifs: Vec<LengthMotifs>,
+    discords: Vec<LengthDiscords>,
+}
+
+/// Previously-reported VALMAP state, diffed by [`StreamingValmod::poll_deltas`].
+#[derive(Debug, Clone)]
+struct EmittedValmap {
+    mpn: Vec<f64>,
+    ip: Vec<Option<usize>>,
+    lp: Vec<usize>,
+}
+
+/// An incrementally maintained variable-length motif/discord engine.
+///
+/// Holds one exact matrix profile per length in `[ℓmin, ℓmax]`, advanced
+/// under [`StreamingValmod::append`] / [`StreamingValmod::extend`] in
+/// O(n·R) per point with per-append work shared across lengths (see the
+/// module docs), plus live VALMAP, motif and discord views with the same
+/// tie-break total orders as the batch engine.
+///
+/// # Example
+///
+/// ```
+/// use valmod_core::ValmodConfig;
+/// use valmod_series::gen;
+/// use valmod_stream::StreamingValmod;
+///
+/// let series = gen::sine_mix(400, &[(40.0, 1.0)], 0.05, 3);
+/// let config = ValmodConfig::new(16, 20).with_k(2);
+/// let mut engine = StreamingValmod::new(&series[..200], config.clone()).unwrap();
+/// for &v in &series[200..] {
+///     engine.append(v);
+/// }
+/// // The live VALMAP answers without a batch re-run...
+/// assert_eq!(engine.valmap().len(), series.len() - 16 + 1);
+/// // ...and the canonical snapshot is bit-identical to a batch run.
+/// let batch = valmod_core::run_valmod(&series, &config).unwrap();
+/// assert_eq!(engine.snapshot().unwrap().valmap, batch.valmap);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingValmod {
+    config: ValmodConfig,
+    buffer: RingBuffer,
+    stats: StreamStats,
+    lengths: Vec<LengthState>,
+    /// Shared per-append scratch: the product row `v·t[·]`.
+    cross: Vec<f64>,
+    /// Monotone state counter; bumps once per append/extend.
+    version: u64,
+    live: Option<LiveViews>,
+    emitted: EmittedValmap,
+}
+
+impl StreamingValmod {
+    /// Bootstraps from an initial batch with unbounded storage.
+    ///
+    /// The bootstrap computes each length's profile with the batch STOMP
+    /// engine once (O(n²·R)); every subsequent append is O(n·R).
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors as in [`valmod_core::run_valmod`]
+    /// ([`ValmodConfig::validate`]), or [`SeriesError::NonFinite`] for a
+    /// bad bootstrap point.
+    pub fn new(initial: &[f64], config: ValmodConfig) -> Result<Self> {
+        Self::bootstrap(initial, config, None)
+    }
+
+    /// Bootstraps with storage bounded to `capacity` points, allocated up
+    /// front — the long-running-service mode: no reallocation after
+    /// construction, and appends past capacity fail loudly instead of
+    /// evicting history (see [`RingBuffer`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamingValmod::new`], plus
+    /// [`SeriesError::CapacityExceeded`] when `initial` exceeds
+    /// `capacity`.
+    pub fn with_capacity(initial: &[f64], config: ValmodConfig, capacity: usize) -> Result<Self> {
+        Self::bootstrap(initial, config, Some(capacity))
+    }
+
+    fn bootstrap(initial: &[f64], config: ValmodConfig, capacity: Option<usize>) -> Result<Self> {
+        config.validate(initial.len())?;
+        if let Some(index) = initial.iter().position(|v| !v.is_finite()) {
+            return Err(SeriesError::NonFinite { index });
+        }
+        let buffer = match capacity {
+            Some(cap) => RingBuffer::bounded(initial, cap)?,
+            None => RingBuffer::unbounded(initial),
+        };
+        let n = initial.len();
+        let reserve = capacity.unwrap_or(n);
+        let stats = StreamStats::new(initial, reserve);
+        let t = stats.values();
+        let mut lengths = Vec::with_capacity(config.l_max - config.l_min + 1);
+        for length in config.l_min..=config.l_max {
+            let m = n - length + 1;
+            let per_len_reserve = reserve - length + 1;
+            let mut profile =
+                stomp_parallel(initial, length, config.exclusion(length), config.threads)?;
+            reserve_extra(&mut profile.values, per_len_reserve);
+            reserve_extra(&mut profile.indices, per_len_reserve);
+            let mut last_qt = sliding_dot_product(&t[n - length..], t);
+            debug_assert_eq!(last_qt.len(), m);
+            reserve_extra(&mut last_qt, per_len_reserve);
+            let mut means = Vec::with_capacity(per_len_reserve);
+            let mut stds = Vec::with_capacity(per_len_reserve);
+            for i in 0..m {
+                means.push(stats.mean(i, length));
+                stds.push(stats.std(i, length));
+            }
+            lengths.push(LengthState {
+                length,
+                exclusion: config.exclusion(length),
+                profile,
+                last_qt,
+                means,
+                stds,
+            });
+        }
+        let mut this = Self {
+            config,
+            buffer,
+            stats,
+            lengths,
+            cross: Vec::with_capacity(reserve),
+            version: 0,
+            live: None,
+            emitted: EmittedValmap { mpn: Vec::new(), ip: Vec::new(), lp: Vec::new() },
+        };
+        // Deltas report changes *since bootstrap*: seed the emitted state
+        // with the initial VALMAP so the first poll is not a full dump.
+        let live = this.refresh_live();
+        this.emitted = EmittedValmap {
+            mpn: live.valmap.mpn.clone(),
+            ip: live.valmap.ip.clone(),
+            lp: live.valmap.lp.clone(),
+        };
+        Ok(this)
+    }
+
+    /// The configuration the engine runs under.
+    #[must_use]
+    pub fn config(&self) -> &ValmodConfig {
+        &self.config
+    }
+
+    /// The points consumed so far (the exact concatenated series).
+    #[must_use]
+    pub fn series(&self) -> &[f64] {
+        self.buffer.as_slice()
+    }
+
+    /// Number of points consumed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether the engine holds no points (never true: the bootstrap
+    /// requires a valid batch).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// The underlying storage (capacity introspection for back-pressure).
+    #[must_use]
+    pub fn buffer(&self) -> &RingBuffer {
+        &self.buffer
+    }
+
+    /// Monotone state counter; bumps once per successful append/extend.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The live exact matrix profile at `length`, or `None` outside
+    /// `[ℓmin, ℓmax]`.
+    #[must_use]
+    pub fn profile(&self, length: usize) -> Option<&MatrixProfile> {
+        length
+            .checked_sub(self.config.l_min)
+            .and_then(|idx| self.lengths.get(idx))
+            .map(|s| &s.profile)
+    }
+
+    /// Appends one point. O(n·R).
+    ///
+    /// Thin wrapper over [`StreamingValmod::try_append`] for callers that
+    /// validate at the sensor boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite input or on a full bounded buffer.
+    pub fn append(&mut self, value: f64) {
+        self.try_append(value).expect("streaming point must be finite and fit the buffer");
+    }
+
+    /// Appends one point and advances every length's profile exactly.
+    /// O(n·R): one shared product row + one O(n) recurrence per length.
+    ///
+    /// # Errors
+    ///
+    /// [`SeriesError::NonFinite`] for a bad point or
+    /// [`SeriesError::CapacityExceeded`] on a full bounded buffer; the
+    /// engine state is untouched either way.
+    pub fn try_append(&mut self, value: f64) -> Result<()> {
+        if !value.is_finite() {
+            return Err(SeriesError::NonFinite { index: self.buffer.len() });
+        }
+        self.buffer.try_push(value)?;
+        self.stats.push(value);
+        let n = self.buffer.len();
+        let t = self.stats.values();
+        // The shared product row: every length's recurrence reads its
+        // `v·t[j+ℓ−1]` term from here instead of multiplying again.
+        let v = t[n - 1];
+        self.cross.clear();
+        self.cross.extend(t.iter().map(|&x| v * x));
+        let (stats, cross) = (&self.stats, &self.cross[..]);
+        for_each_state(&mut self.lengths, self.config.threads, n, |state| {
+            state.advance(stats, cross, n);
+        });
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Appends a batch of points. O(B·n·R), with per-length work chunked
+    /// (cache-friendly) and first-column dots amortized into one FFT per
+    /// length for large chunks.
+    ///
+    /// Thin wrapper over [`StreamingValmod::try_extend`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite input or on a full bounded buffer.
+    pub fn extend(&mut self, points: &[f64]) {
+        self.try_extend(points).expect("streaming points must be finite and fit the buffer");
+    }
+
+    /// Appends a batch of points atomically: the input is validated and
+    /// reserved before any state changes, so a bad point or a full buffer
+    /// leaves the engine untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`SeriesError::NonFinite`] (with the offending point's would-be
+    /// index) or [`SeriesError::CapacityExceeded`].
+    pub fn try_extend(&mut self, points: &[f64]) -> Result<()> {
+        if points.is_empty() {
+            return Ok(());
+        }
+        if let Some(offset) = points.iter().position(|v| !v.is_finite()) {
+            return Err(SeriesError::NonFinite { index: self.buffer.len() + offset });
+        }
+        let base_n = self.buffer.len();
+        self.buffer.try_extend(points)?;
+        for &v in points {
+            self.stats.push(v);
+        }
+        let count = points.len();
+        let stats = &self.stats;
+        for_each_state(&mut self.lengths, self.config.threads, base_n + count, |state| {
+            state.extend(stats, base_n, count);
+        });
+        self.version += 1;
+        Ok(())
+    }
+
+    /// The live VALMAP `⟨MPn, IP, LP⟩`, maintained under appends with the
+    /// batch engine's semantics (base profile at `ℓmin`, refined by the
+    /// top-k pairs of every longer length under the same tie-break total
+    /// orders). Rebuilt lazily in O(n·R·log n) after state advances;
+    /// cached between appends.
+    pub fn valmap(&mut self) -> &Valmap {
+        &self.refresh_live().valmap
+    }
+
+    /// The live top-k motif pairs of every length, ascending length.
+    pub fn motifs(&mut self) -> &[LengthMotifs] {
+        &self.refresh_live().motifs
+    }
+
+    /// The live top-k discords of every length, ascending length.
+    /// `resolved_rows` is 0 on every entry: the streaming engine holds
+    /// full profiles, so no on-demand MASS resolution ever happens.
+    pub fn discords(&mut self) -> &[LengthDiscords] {
+        &self.refresh_live().discords
+    }
+
+    /// VALMAP entries that changed since the last poll (or since
+    /// bootstrap for the first call), in ascending offset order — the
+    /// feed behind the CLI's NDJSON delta stream.
+    pub fn poll_deltas(&mut self) -> Vec<ValmapDelta> {
+        self.refresh_live();
+        let live = self.live.as_ref().expect("just refreshed");
+        let valmap = &live.valmap;
+        let mut deltas = Vec::new();
+        for i in 0..valmap.len() {
+            let known = i < self.emitted.mpn.len();
+            let changed = !known
+                || valmap.mpn[i].to_bits() != self.emitted.mpn[i].to_bits()
+                || valmap.ip[i] != self.emitted.ip[i]
+                || valmap.lp[i] != self.emitted.lp[i];
+            // A brand-new entry with no admissible match yet carries no
+            // information; skip it until it becomes finite.
+            if changed && (known || valmap.mpn[i].is_finite()) {
+                deltas.push(ValmapDelta {
+                    offset: i,
+                    match_offset: valmap.ip[i],
+                    length: valmap.lp[i],
+                    normalized_distance: valmap.mpn[i],
+                });
+            }
+        }
+        self.emitted.mpn.clear();
+        self.emitted.mpn.extend_from_slice(&valmap.mpn);
+        self.emitted.ip.clear();
+        self.emitted.ip.extend_from_slice(&valmap.ip);
+        self.emitted.lp.clear();
+        self.emitted.lp.extend_from_slice(&valmap.lp);
+        deltas
+    }
+
+    /// The canonical batch-grade answer: runs the full VALMOD pipeline
+    /// over the buffered series, **bit-identical** to calling
+    /// [`valmod_core::run_valmod`] on the concatenated series — see the
+    /// module docs for why bit-identity demands re-executing the batch
+    /// arithmetic rather than re-ordering incremental state. O(n²·R/p);
+    /// call it at reconciliation points, not per append.
+    ///
+    /// # Errors
+    ///
+    /// As [`valmod_core::run_valmod`] (cannot fail for a buffer the
+    /// bootstrap accepted, since the series only grows).
+    pub fn snapshot(&self) -> Result<ValmodOutput> {
+        run_valmod(self.buffer.as_slice(), &self.config)
+    }
+
+    /// Batch-grade discord answer over the buffered series,
+    /// bit-identical to [`valmod_core::variable_length_discords`].
+    ///
+    /// # Errors
+    ///
+    /// As [`valmod_core::variable_length_discords`].
+    pub fn snapshot_discords(&self) -> Result<Vec<LengthDiscords>> {
+        valmod_core::variable_length_discords(self.buffer.as_slice(), &self.config)
+    }
+
+    /// Rebuilds the derived views if the engine advanced since the last
+    /// rebuild.
+    fn refresh_live(&mut self) -> &LiveViews {
+        if self.live.as_ref().is_none_or(|l| l.version != self.version) {
+            let k = self.config.k;
+            let mut valmap = Valmap::from_base_profile(&self.lengths[0].profile);
+            let mut motifs = Vec::with_capacity(self.lengths.len());
+            let mut discords = Vec::with_capacity(self.lengths.len());
+            for state in &self.lengths {
+                let pairs = top_k_pairs(&state.profile, k);
+                if state.length > self.config.l_min {
+                    valmap.apply_length(state.length, &pairs);
+                }
+                motifs.push(LengthMotifs { length: state.length, pairs });
+                discords.push(LengthDiscords {
+                    length: state.length,
+                    discords: top_k_discords(&state.profile, k)
+                        .into_iter()
+                        .map(|(offset, nn_distance)| Discord {
+                            offset,
+                            nn_distance,
+                            length: state.length,
+                        })
+                        .collect(),
+                    resolved_rows: 0,
+                });
+            }
+            self.live = Some(LiveViews { version: self.version, valmap, motifs, discords });
+        }
+        self.live.as_ref().expect("just rebuilt")
+    }
+}
+
+/// Grows a vector's capacity toward the bounded-storage target without
+/// touching its contents (no-op when already large enough).
+fn reserve_extra<T>(v: &mut Vec<T>, target: usize) {
+    if v.capacity() < target {
+        v.reserve_exact(target - v.len());
+    }
+}
+
+/// Runs `f` over every length state — inline, or chunked across scoped
+/// threads when the total recurrence work justifies spawning. States are
+/// fully independent, so results are identical for every worker count.
+fn for_each_state(
+    states: &mut [LengthState],
+    threads: usize,
+    n: usize,
+    f: impl Fn(&mut LengthState) + Sync,
+) {
+    let cells = n.saturating_mul(states.len());
+    let workers = threads.min(states.len()).min(cells / MIN_CELLS_PER_WORKER).max(1);
+    if workers <= 1 {
+        for state in states {
+            f(state);
+        }
+        return;
+    }
+    let chunk = states.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for chunk_states in states.chunks_mut(chunk) {
+            scope.spawn(move || {
+                for state in chunk_states {
+                    f(state);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_series::gen;
+
+    #[test]
+    fn append_and_extend_agree_with_per_length_stamp_semantics() {
+        // The per-length profiles must match per-length batch STOMP after
+        // any mix of appends — the generalization of the single-length
+        // StreamingProfile guarantee.
+        let series = gen::ecg(360, &gen::EcgConfig::default(), 4);
+        let config = ValmodConfig::new(16, 22).with_k(2).with_threads(1);
+        let mut engine = StreamingValmod::new(&series[..200], config.clone()).unwrap();
+        let mut at = 200;
+        for chunk in [1usize, 7, 1, 40, 3, 109] {
+            let end = (at + chunk).min(series.len());
+            engine.extend(&series[at..end]);
+            at = end;
+        }
+        assert_eq!(engine.len(), series.len());
+        for length in 16..=22 {
+            let batch = valmod_mp::stomp::stomp(&series, length, config.exclusion(length)).unwrap();
+            let live = engine.profile(length).unwrap();
+            assert_eq!(live.len(), batch.len());
+            for i in 0..batch.len() {
+                assert!(
+                    (live.values[i] - batch.values[i]).abs() < 1e-5,
+                    "length {length} entry {i}: live {} vs batch {}",
+                    live.values[i],
+                    batch.values[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_append_results() {
+        // n·R here crosses 2× MIN_CELLS_PER_WORKER, so the threads=8
+        // engine really fans appends out across workers; per-length
+        // states are independent, so results must be byte-identical.
+        let series = gen::random_walk(6_800, 17);
+        let make = |threads: usize| {
+            let config = ValmodConfig::new(64, 83).with_k(1).with_threads(threads);
+            let mut engine = StreamingValmod::new(&series[..6_700], config).unwrap();
+            for &v in &series[6_700..6_750] {
+                engine.append(v);
+            }
+            engine.extend(&series[6_750..]);
+            engine
+        };
+        let mut serial = make(1);
+        let mut parallel = make(8);
+        for length in 64..=83 {
+            let a = serial.profile(length).unwrap();
+            let b = parallel.profile(length).unwrap();
+            assert_eq!(a.indices, b.indices, "indices differ at length {length}");
+            for i in 0..a.len() {
+                assert_eq!(
+                    a.values[i].to_bits(),
+                    b.values[i].to_bits(),
+                    "distance differs at length {length} entry {i}"
+                );
+            }
+        }
+        assert_eq!(serial.valmap().mpn, parallel.valmap().mpn);
+    }
+
+    #[test]
+    fn rejected_points_leave_the_engine_untouched() {
+        let series = gen::random_walk(200, 3);
+        let config = ValmodConfig::new(8, 12).with_threads(1);
+        let mut engine = StreamingValmod::new(&series[..150], config).unwrap();
+        let before = engine.clone();
+        for bad in [f64::NAN, f64::INFINITY] {
+            match engine.try_append(bad) {
+                Err(SeriesError::NonFinite { index }) => assert_eq!(index, 150),
+                other => panic!("expected NonFinite, got {other:?}"),
+            }
+            // A bad point mid-batch must not half-apply the batch.
+            match engine.try_extend(&[series[150], bad, series[151]]) {
+                Err(SeriesError::NonFinite { index }) => assert_eq!(index, 151),
+                other => panic!("expected NonFinite, got {other:?}"),
+            }
+        }
+        assert_eq!(engine.len(), before.len());
+        assert_eq!(engine.version(), before.version());
+        for length in 8..=12 {
+            assert_eq!(engine.profile(length), before.profile(length));
+        }
+        engine.append(series[150]);
+        assert_eq!(engine.len(), 151);
+    }
+
+    #[test]
+    fn bounded_storage_applies_back_pressure() {
+        let series = gen::random_walk(120, 9);
+        let config = ValmodConfig::new(8, 10).with_threads(1);
+        let mut engine = StreamingValmod::with_capacity(&series[..100], config, 110).unwrap();
+        assert_eq!(engine.buffer().remaining(), Some(10));
+        engine.extend(&series[100..110]);
+        assert!(engine.buffer().is_full());
+        assert!(matches!(
+            engine.try_append(series[110]),
+            Err(SeriesError::CapacityExceeded { capacity: 110 })
+        ));
+        // The engine stays fully queryable at capacity.
+        assert!(engine.valmap().best_entry().is_some());
+        assert_eq!(engine.snapshot().unwrap().valmap.len(), 110 - 8 + 1);
+    }
+
+    #[test]
+    fn deltas_report_changes_since_the_last_poll() {
+        let pattern: Vec<f64> =
+            (0..24).map(|i| (i as f64 / 24.0 * std::f64::consts::TAU).sin()).collect();
+        let (series, _) = gen::planted_pair(420, &pattern, &[60, 330], 0.01, 8);
+        let config = ValmodConfig::new(24, 28).with_k(2).with_threads(1);
+        // Bootstrap before the second motif instance exists.
+        let mut engine = StreamingValmod::new(&series[..240], config).unwrap();
+        assert!(engine.poll_deltas().is_empty(), "nothing changed since bootstrap");
+        engine.extend(&series[240..]);
+        let deltas = engine.poll_deltas();
+        assert!(!deltas.is_empty(), "the second motif instance must surface");
+        assert!(deltas.iter().any(|d| d.offset.abs_diff(60) <= 28));
+        for d in &deltas {
+            assert!(d.normalized_distance.is_finite());
+            assert!((24..=28).contains(&d.length));
+        }
+        // Polling again without an append reports nothing.
+        assert!(engine.poll_deltas().is_empty());
+    }
+
+    #[test]
+    fn version_tracks_advances_and_views_are_cached() {
+        let series = gen::sine_mix(300, &[(30.0, 1.0)], 0.05, 2);
+        let config = ValmodConfig::new(12, 14).with_threads(1);
+        let mut engine = StreamingValmod::new(&series[..260], config).unwrap();
+        assert_eq!(engine.version(), 0);
+        engine.append(series[260]);
+        engine.extend(&series[261..280]);
+        assert_eq!(engine.version(), 2);
+        let best_before = engine.valmap().best_entry();
+        assert_eq!(engine.valmap().best_entry(), best_before, "cached view is stable");
+        assert_eq!(engine.motifs().len(), 3);
+        assert_eq!(engine.discords().len(), 3);
+        assert!(engine.profile(11).is_none());
+        assert!(engine.profile(15).is_none());
+    }
+}

@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+
+//! # `valmod-stream` — VALMOD under appends
+//!
+//! The batch engine ([`valmod_core::run_valmod`]) answers the paper's
+//! question — exact top-k motifs for every length in `[ℓmin, ℓmax]` —
+//! over a series that is already complete. A monitoring deployment is
+//! never complete: points arrive continuously, and re-running the batch
+//! job per append wastes O(n²·R) work on data that barely changed. This
+//! crate maintains the same answers *incrementally*: pay O(n·R) once at
+//! ingest, answer live queries without a batch re-run.
+//!
+//! | Symbol | Paper concept |
+//! |--------|---------------|
+//! | [`StreamingValmod`] | the VALMOD problem (top-k motif pairs per length in `[ℓmin, ℓmax]`), maintained under appends |
+//! | [`StreamingValmod::valmap`] | VALMAP `⟨MPn, IP, LP⟩`, the variable-length matrix profile meta-structure |
+//! | [`StreamingValmod::motifs`] | per-length top-k motif pairs (the `VALMP` output), batch tie-break orders |
+//! | [`StreamingValmod::discords`] | per-length top-k discords (the journal extension's anomaly search) |
+//! | [`ValmapDelta`] | one VALMAP entry update — the unit of the checkpoint log, streamed as NDJSON |
+//! | [`StreamingValmod::snapshot`] | the batch algorithm's full output, bit-identical to `run_valmod` |
+//! | [`RingBuffer`] | eviction-free storage: exactness forbids dropping history |
+//!
+//! The per-length profiles generalize the single-length STAMPI engine
+//! ([`valmod_mp::StreamingProfile`]): one append advances every length's
+//! dot products with the same O(1)-per-window recurrence, while the
+//! product row and the running window statistics are computed **once and
+//! shared across lengths** instead of `R` times — see
+//! [`engine`](crate::engine)'s module docs for the exact accounting, and
+//! for why the bit-identical guarantee lives on [`StreamingValmod::snapshot`]
+//! rather than on the (exact-in-real-arithmetic) live views.
+//!
+//! # Complexity per operation
+//!
+//! | Operation | Cost |
+//! |-----------|------|
+//! | [`StreamingValmod::new`] (bootstrap) | O(n²·R) once |
+//! | [`StreamingValmod::append`] | O(n·R) |
+//! | [`StreamingValmod::extend`] of B points | O(B·n·R), FFT-amortized first columns |
+//! | [`StreamingValmod::valmap`] / [`StreamingValmod::motifs`] / [`StreamingValmod::discords`] | O(n·R·log n) after an advance, cached between |
+//! | [`StreamingValmod::poll_deltas`] | one view refresh + O(n) diff |
+//! | [`StreamingValmod::snapshot`] | a full batch run (bit-identical by construction) |
+//!
+//! # Example
+//!
+//! ```
+//! use valmod_core::ValmodConfig;
+//! use valmod_series::gen;
+//! use valmod_stream::StreamingValmod;
+//!
+//! let series = gen::ecg(600, &gen::EcgConfig::default(), 7);
+//! let mut engine =
+//!     StreamingValmod::new(&series[..300], ValmodConfig::new(24, 32).with_k(2)).unwrap();
+//! // Points arrive one at a time or in batches; both stay exact.
+//! for chunk in series[300..].chunks(37) {
+//!     engine.extend(chunk);
+//!     for delta in engine.poll_deltas() {
+//!         // e.g. push to a dashboard: offset improved at some length
+//!         assert!(delta.normalized_distance.is_finite());
+//!     }
+//! }
+//! assert_eq!(engine.len(), 600);
+//! ```
+
+pub mod delta;
+pub mod engine;
+pub mod ring;
+
+pub use delta::{bootstrap_line, summary_line, update_line, ValmapDelta};
+pub use engine::{LengthMotifs, StreamingValmod};
+pub use ring::RingBuffer;

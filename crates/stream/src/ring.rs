@@ -1,0 +1,172 @@
+//! Eviction-free point storage for long-running streaming processes.
+//!
+//! Exactness is the whole contract of [`crate::StreamingValmod`]: its
+//! snapshot must equal a batch run over the *entire* concatenated series,
+//! so the storage may never drop a point — a classic wrap-around ring
+//! would silently violate the contract the moment it overwrote history.
+//! [`RingBuffer`] therefore keeps the ring discipline a long-running
+//! service wants (a capacity fixed up front, one allocation for the life
+//! of the process, no reallocation/copy spikes while serving traffic,
+//! explicit back-pressure when full) but is *eviction-free*: an append
+//! past capacity is an error, never a silent overwrite.
+//!
+//! For exploratory use an unbounded mode grows by amortized doubling
+//! instead; production deployments should size the buffer explicitly.
+
+use valmod_series::{Result, SeriesError};
+
+/// Append-only, optionally capacity-bounded storage of the raw series.
+///
+/// The points are kept contiguous (the incremental dot-product
+/// recurrences and the batch snapshot both want plain slices), in
+/// original units — the streaming engine centers its *working* copy
+/// separately so the snapshot sees the exact bytes that were appended.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    data: Vec<f64>,
+    capacity: Option<usize>,
+}
+
+impl RingBuffer {
+    /// An unbounded buffer seeded with `initial` (grows by doubling).
+    #[must_use]
+    pub fn unbounded(initial: &[f64]) -> Self {
+        Self { data: initial.to_vec(), capacity: None }
+    }
+
+    /// A bounded buffer seeded with `initial`: allocates exactly
+    /// `capacity` points up front and never reallocates afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`SeriesError::CapacityExceeded`] when `initial` alone exceeds
+    /// `capacity`.
+    pub fn bounded(initial: &[f64], capacity: usize) -> Result<Self> {
+        if initial.len() > capacity {
+            return Err(SeriesError::CapacityExceeded { capacity });
+        }
+        let mut data = Vec::with_capacity(capacity);
+        data.extend_from_slice(initial);
+        Ok(Self { data, capacity: Some(capacity) })
+    }
+
+    /// Appends one point.
+    ///
+    /// # Errors
+    ///
+    /// [`SeriesError::CapacityExceeded`] when the buffer is bounded and
+    /// full; the buffer is left untouched.
+    pub fn try_push(&mut self, value: f64) -> Result<()> {
+        if let Some(cap) = self.capacity {
+            if self.data.len() == cap {
+                return Err(SeriesError::CapacityExceeded { capacity: cap });
+            }
+        }
+        self.data.push(value);
+        Ok(())
+    }
+
+    /// Appends a batch of points atomically: either all fit or none are
+    /// stored.
+    ///
+    /// # Errors
+    ///
+    /// [`SeriesError::CapacityExceeded`] when the batch would not fit in
+    /// a bounded buffer; the buffer is left untouched.
+    pub fn try_extend(&mut self, points: &[f64]) -> Result<()> {
+        if let Some(cap) = self.capacity {
+            if self.data.len() + points.len() > cap {
+                return Err(SeriesError::CapacityExceeded { capacity: cap });
+            }
+        }
+        self.data.extend_from_slice(points);
+        Ok(())
+    }
+
+    /// The stored points, oldest first — the exact concatenated series.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Number of stored points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The fixed capacity, or `None` for an unbounded buffer.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Points that can still be appended (`None` = unlimited).
+    #[must_use]
+    pub fn remaining(&self) -> Option<usize> {
+        self.capacity.map(|c| c - self.data.len())
+    }
+
+    /// Whether a bounded buffer is full (an unbounded one never is).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.remaining() == Some(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RingBuffer;
+    use valmod_series::SeriesError;
+
+    #[test]
+    fn unbounded_grows_freely() {
+        let mut b = RingBuffer::unbounded(&[1.0, 2.0]);
+        for i in 0..1000 {
+            b.try_push(i as f64).unwrap();
+        }
+        assert_eq!(b.len(), 1002);
+        assert_eq!(b.capacity(), None);
+        assert_eq!(b.remaining(), None);
+        assert!(!b.is_full());
+        assert_eq!(b.as_slice()[..2], [1.0, 2.0]);
+    }
+
+    #[test]
+    fn bounded_never_reallocates_and_errors_when_full() {
+        let mut b = RingBuffer::bounded(&[1.0, 2.0, 3.0], 5).unwrap();
+        let base = b.as_slice().as_ptr();
+        b.try_push(4.0).unwrap();
+        b.try_push(5.0).unwrap();
+        assert!(b.is_full());
+        assert_eq!(b.remaining(), Some(0));
+        // The allocation is stable for the life of the buffer.
+        assert_eq!(b.as_slice().as_ptr(), base);
+        match b.try_push(6.0) {
+            Err(SeriesError::CapacityExceeded { capacity: 5 }) => {}
+            other => panic!("expected CapacityExceeded, got {other:?}"),
+        }
+        assert_eq!(b.as_slice(), [1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn batch_extend_is_atomic() {
+        let mut b = RingBuffer::bounded(&[0.0; 3], 6).unwrap();
+        assert!(b.try_extend(&[1.0, 2.0, 3.0, 4.0]).is_err());
+        assert_eq!(b.len(), 3, "failed extend must store nothing");
+        b.try_extend(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn oversized_seed_is_rejected() {
+        assert!(RingBuffer::bounded(&[0.0; 10], 5).is_err());
+        assert!(RingBuffer::bounded(&[0.0; 5], 5).unwrap().is_full());
+    }
+}

@@ -1,0 +1,184 @@
+//! The streaming engine's acceptance property: after *any* sequence of
+//! single appends and batched extends, `snapshot()` is **byte-identical**
+//! to running the batch engine over the concatenated series — VALMAP
+//! (including the checkpoint log), per-length motif pairs, base profile,
+//! and the discord sets. The live views, which never re-run the batch
+//! engine, must agree with batch within floating-point reassociation
+//! noise on the same inputs.
+
+use proptest::prelude::*;
+use valmod_core::{run_valmod, variable_length_discords, ValmodConfig};
+use valmod_series::gen;
+use valmod_stream::StreamingValmod;
+
+/// Splits `series[warmup..]` into an interleaved schedule of single
+/// appends and batched extends, driven deterministically by `seed`.
+fn feed_interleaved(engine: &mut StreamingValmod, series: &[f64], warmup: usize, seed: u64) {
+    let mut state = seed | 1;
+    let mut at = warmup;
+    while at < series.len() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        if state.is_multiple_of(3) {
+            engine.append(series[at]);
+            at += 1;
+        } else {
+            let chunk = 2 + (state >> 33) as usize % 15;
+            let end = (at + chunk).min(series.len());
+            engine.extend(&series[at..end]);
+            at = end;
+        }
+    }
+}
+
+fn series_for(kind: usize, n: usize, seed: u64) -> Vec<f64> {
+    match kind {
+        0 => gen::random_walk(n, seed),
+        1 => gen::ecg(n, &gen::EcgConfig::default(), seed),
+        _ => {
+            let pattern: Vec<f64> =
+                (0..20).map(|i| (i as f64 / 20.0 * std::f64::consts::TAU * 2.0).sin()).collect();
+            gen::planted_pair(n, &pattern, &[n / 6, 2 * n / 3], 0.02, seed).0
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The acceptance property, over random-walk / ECG / planted-motif
+    /// inputs with interleaved single appends and batched extends.
+    #[test]
+    fn streaming_valmod_equals_batch(seed in 0u64..100_000, kind in 0usize..3) {
+        let n = 260 + (seed % 80) as usize;
+        let series = series_for(kind, n, seed);
+        let l_min = 8 + (seed % 5) as usize;
+        let width = 3 + (seed % 4) as usize;
+        let config = ValmodConfig::new(l_min, l_min + width)
+            .with_k(2 + (seed % 3) as usize)
+            .with_profile_size(2 + (seed % 4) as usize)
+            .with_threads(1 + (seed % 3) as usize);
+        let warmup = n / 2;
+
+        let mut engine = StreamingValmod::new(&series[..warmup], config.clone()).unwrap();
+        feed_interleaved(&mut engine, &series, warmup, seed);
+        prop_assert_eq!(engine.len(), series.len());
+        prop_assert_eq!(engine.series(), &series[..]);
+
+        // --- Byte-equality of the canonical snapshot against batch. ---
+        let batch = run_valmod(&series, &config).unwrap();
+        let snap = engine.snapshot().unwrap();
+        prop_assert_eq!(&snap.valmap, &batch.valmap, "VALMAP differs from batch");
+        prop_assert_eq!(&snap.base_profile, &batch.base_profile);
+        prop_assert_eq!(snap.per_length.len(), batch.per_length.len());
+        for (a, b) in snap.per_length.iter().zip(&batch.per_length) {
+            prop_assert_eq!(a.length, b.length);
+            prop_assert_eq!(&a.pairs, &b.pairs, "pairs differ at length {}", a.length);
+        }
+        let snap_discords = engine.snapshot_discords().unwrap();
+        let batch_discords = variable_length_discords(&series, &config).unwrap();
+        prop_assert_eq!(&snap_discords, &batch_discords, "discord sets differ from batch");
+
+        // --- The live views agree with batch within FP reassociation. ---
+        let live_valmap = engine.valmap().clone();
+        prop_assert_eq!(live_valmap.len(), batch.valmap.len());
+        for i in 0..live_valmap.len() {
+            let (a, b) = (live_valmap.mpn[i], batch.valmap.mpn[i]);
+            prop_assert_eq!(a.is_finite(), b.is_finite(), "finiteness differs at {}", i);
+            if a.is_finite() {
+                prop_assert!((a - b).abs() < 1e-5, "live mpn[{}] {} vs batch {}", i, a, b);
+            }
+        }
+        for (lm, b) in engine.motifs().to_vec().iter().zip(&batch.per_length) {
+            prop_assert_eq!(lm.length, b.length);
+            match (lm.pairs.first(), b.pairs.first()) {
+                (Some(x), Some(y)) => prop_assert!(
+                    (x.distance - y.distance).abs() < 1e-5,
+                    "top pair at length {}: live {} vs batch {}", b.length, x.distance, y.distance
+                ),
+                (None, None) => {}
+                other => prop_assert!(false, "presence mismatch at {}: {:?}", b.length, other),
+            }
+        }
+        for (ld, b) in engine.discords().to_vec().iter().zip(&batch_discords) {
+            prop_assert_eq!(ld.length, b.length);
+            match (ld.discords.first(), b.discords.first()) {
+                (Some(x), Some(y)) => prop_assert!(
+                    (x.nn_distance - y.nn_distance).abs() < 1e-5,
+                    "top discord at length {}: live {} vs batch {}",
+                    b.length, x.nn_distance, y.nn_distance
+                ),
+                (None, None) => {}
+                other => prop_assert!(false, "presence mismatch at {}: {:?}", b.length, other),
+            }
+        }
+    }
+
+    /// Appending through a snapshot boundary keeps both guarantees: the
+    /// engine is not consumed by snapshotting, and later appends remain
+    /// exact.
+    #[test]
+    fn snapshot_is_repeatable_mid_stream(seed in 0u64..10_000) {
+        let series = gen::random_walk(300, seed);
+        let config = ValmodConfig::new(10, 14).with_k(2).with_threads(1);
+        let mut engine = StreamingValmod::new(&series[..200], config.clone()).unwrap();
+        engine.extend(&series[200..250]);
+        let mid = engine.snapshot().unwrap();
+        let mid_batch = run_valmod(&series[..250], &config).unwrap();
+        prop_assert_eq!(&mid.valmap, &mid_batch.valmap);
+        engine.extend(&series[250..]);
+        let fin = engine.snapshot().unwrap();
+        let fin_batch = run_valmod(&series, &config).unwrap();
+        prop_assert_eq!(&fin.valmap, &fin_batch.valmap);
+    }
+}
+
+/// Regression: a flat plateau arriving over the live feed (σ ≈ 0 windows
+/// at every length) must neither poison the incremental state nor break
+/// the snapshot guarantee. Flat windows take the zdist conventions
+/// (flat–flat = 0, flat–shaped = √ℓ) on both engines.
+#[test]
+fn flat_region_appends_stay_exact() {
+    let mut series = gen::white_noise(160, 8, 1.0);
+    series.extend(std::iter::repeat_n(2.5, 60)); // plateau arrives mid-stream
+    series.extend(gen::white_noise(60, 9, 1.0)); // and ends
+    let config = ValmodConfig::new(8, 12).with_k(2).with_threads(1);
+    let mut engine = StreamingValmod::new(&series[..150], config.clone()).unwrap();
+    for (i, &v) in series[150..].iter().enumerate() {
+        if i % 3 == 0 {
+            engine.append(v);
+        } else if i % 3 == 1 {
+            engine.extend(&[v]);
+        } else {
+            engine.append(v);
+        }
+    }
+
+    // Live per-length profiles stay exact against batch STOMP...
+    for length in 8..=12 {
+        let batch = valmod_mp::stomp::stomp(&series, length, config.exclusion(length)).unwrap();
+        let live = engine.profile(length).unwrap();
+        for i in 0..batch.len() {
+            assert!(
+                (live.values[i] - batch.values[i]).abs() < 1e-5,
+                "length {length} entry {i}: live {} vs batch {}",
+                live.values[i],
+                batch.values[i]
+            );
+        }
+        // Two distinct flat windows match each other at exactly 0.
+        let inside = 170;
+        assert!(live.values[inside] < 1e-9);
+    }
+
+    // ...and the snapshot is byte-identical to batch (which routes these
+    // lengths through its degenerate-window STOMP fallback).
+    let batch = run_valmod(&series, &config).unwrap();
+    assert!(batch.per_length.iter().skip(1).all(|r| r.stats.stomp_fallback));
+    let snap = engine.snapshot().unwrap();
+    assert_eq!(snap.valmap, batch.valmap);
+    assert_eq!(snap.base_profile, batch.base_profile);
+    assert_eq!(
+        engine.snapshot_discords().unwrap(),
+        variable_length_discords(&series, &config).unwrap()
+    );
+}

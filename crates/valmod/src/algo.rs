@@ -59,7 +59,7 @@ use crate::valmap::Valmap;
 
 /// Minimum rows per worker before stage 2 spawns another thread — below
 /// this, O(p)-per-row loops are cheaper than the spawn.
-const MIN_ROWS_PER_WORKER: usize = 4096;
+pub(crate) const MIN_ROWS_PER_WORKER: usize = 4096;
 
 /// Minimum QT cells per stage-1 worker: below this, the per-worker state
 /// (m selectors + m bests) and the row-wise merge cost rival the walk
@@ -211,7 +211,7 @@ pub fn run_valmod(series: &[f64], config: &ValmodConfig) -> Result<ValmodOutput>
 
 /// Picks a worker count for `items` units of parallel work, requiring at
 /// least `min_per_worker` units each before another thread pays off.
-fn worker_count(threads: usize, items: usize, min_per_worker: usize) -> usize {
+pub(crate) fn worker_count(threads: usize, items: usize, min_per_worker: usize) -> usize {
     if threads <= 1 || items == 0 {
         return 1;
     }
@@ -221,7 +221,7 @@ fn worker_count(threads: usize, items: usize, min_per_worker: usize) -> usize {
 /// Fills `out[i]` with `f(i, &mut out[i])` on `workers` scoped threads
 /// (inline for a single worker). The chunking is invisible to results:
 /// every element's update depends only on its own index.
-fn par_fill<T: Send>(out: &mut [T], workers: usize, f: impl Fn(usize, &mut T) + Sync) {
+pub(crate) fn par_fill<T: Send>(out: &mut [T], workers: usize, f: impl Fn(usize, &mut T) + Sync) {
     if workers <= 1 {
         for (i, v) in out.iter_mut().enumerate() {
             f(i, v);
@@ -248,7 +248,11 @@ fn par_fill<T: Send>(out: &mut [T], workers: usize, f: impl Fn(usize, &mut T) + 
 /// matrix is symmetric); the cell contributes candidate `j` to row `i`
 /// and candidate `i` to row `j`. Worker-local selectors and bests merge
 /// under total orders, so the output never depends on the worker count.
-fn stage_one(engine: &StompEngine, config: &ValmodConfig) -> (MatrixProfile, Vec<PartialRow>) {
+/// Shared with the discord search, whose stage 1 is the same computation.
+pub(crate) fn stage_one(
+    engine: &StompEngine,
+    config: &ValmodConfig,
+) -> (MatrixProfile, Vec<PartialRow>) {
     let l0 = config.l_min;
     let m = engine.num_windows();
     let excl = config.exclusion(l0);

@@ -16,6 +16,17 @@
 //! remaining row's upper bound. Rows near motifs — the expensive ones for
 //! motif search — have tiny upper bounds and are never touched, which is
 //! why discord search prunes even better than motif search.
+//!
+//! # Parallelism
+//!
+//! Stage 1 is *identical* to the motif engine's (base profile + partial
+//! profiles at `ℓmin`), so it reuses [`crate::algo`]'s diagonal-parallel
+//! walk verbatim; the per-length dot-product advance and bound
+//! classification chunk across the same scoped workers. Both are
+//! partition-independent, so — like the motif engine — results are
+//! **bit-identical for every thread count**. Only the adaptive resolve
+//! loop stays serial: it is an early-exit scan whose whole point is to
+//! touch as few rows as possible.
 
 use valmod_mp::mass::DistanceProfiler;
 use valmod_mp::stomp::StompEngine;
@@ -23,9 +34,10 @@ use valmod_series::stats::FLAT_EPS;
 use valmod_series::znorm::{length_normalized, zdist_from_dot};
 use valmod_series::{Result, RollingStats};
 
+use crate::algo::{par_fill, stage_one, worker_count, MIN_ROWS_PER_WORKER};
 use crate::config::ValmodConfig;
 use crate::lb::LbRowContext;
-use crate::partial::{PartialRow, TopRhoSelector};
+use crate::partial::PartialRow;
 
 /// A discord: a subsequence offset with its exact nearest-neighbor
 /// distance at a given length.
@@ -80,41 +92,18 @@ pub fn variable_length_discords(
     let profiler = DistanceProfiler::new(&values)?;
 
     // Stage 1: partial profiles at l0, plus the exact profile for l0's
-    // discords directly from the row stream.
+    // discords — the same diagonal-parallel walk as the motif engine
+    // (its per-row best under "(distance asc, offset asc)" is exactly the
+    // NN distance the discord ranking needs).
     let excl0 = config.exclusion(l0);
     let m0 = engine.num_windows();
-    let mut rows: Vec<PartialRow> = Vec::with_capacity(m0);
-    let mut base_nn: Vec<(f64, usize)> = Vec::with_capacity(m0);
-    {
-        let means = engine.means();
-        let stds = engine.stds();
-        let lf = l0 as f64;
-        engine.for_each_row(|i, qt| {
-            let mut selector = TopRhoSelector::new(config.profile_size);
-            let flat_i = stds[i] < FLAT_EPS;
-            let mut min_d = f64::INFINITY;
-            let mut min_j = usize::MAX;
-            for (j, &dot) in qt.iter().enumerate() {
-                if i.abs_diff(j) <= excl0 {
-                    continue;
-                }
-                let (d, rho) = if flat_i || stds[j] < FLAT_EPS {
-                    (zdist_from_dot(dot, l0, means[i], stds[i], means[j], stds[j]), -1.0)
-                } else {
-                    let rho = ((dot - lf * means[i] * means[j]) / (lf * stds[i] * stds[j]))
-                        .clamp(-1.0, 1.0);
-                    ((2.0 * lf * (1.0 - rho)).max(0.0).sqrt(), rho)
-                };
-                if d < min_d {
-                    min_d = d;
-                    min_j = j;
-                }
-                selector.offer(j, rho, dot);
-            }
-            rows.push(selector.into_row(l0));
-            base_nn.push((min_d, min_j));
-        });
-    }
+    let (base_mp, mut rows) = stage_one(&engine, config);
+    let base_nn: Vec<(f64, usize)> = base_mp
+        .values
+        .iter()
+        .zip(&base_mp.indices)
+        .map(|(&d, &j)| (d, j.unwrap_or(usize::MAX)))
+        .collect();
 
     let mut results = Vec::with_capacity(config.l_max - l0 + 1);
     results.push(LengthDiscords {
@@ -167,21 +156,27 @@ fn step_discords(
     let n = values.len();
     let m = n - length + 1;
     let excl = config.exclusion(length);
+    let row_workers = worker_count(config.threads, m, MIN_ROWS_PER_WORKER);
 
-    // Advance the stored dot products (same recurrence as the motif path).
-    for (i, row) in rows.iter_mut().enumerate().take(m) {
+    // Advance the stored dot products (same recurrence as the motif path);
+    // rows are independent, so the advance chunks freely across workers.
+    par_fill(&mut rows[..m], row_workers, |i, row| {
         for e in &mut row.entries {
             let j = e.j as usize;
             if j < m {
                 e.qt = values[i + length - 1].mul_add(values[j + length - 1], e.qt);
             }
         }
-    }
+    });
 
-    let means: Vec<f64> = (0..m).map(|i| stats.centered_mean(i, length)).collect();
-    let stds: Vec<f64> = (0..m).map(|i| stats.std(i, length)).collect();
+    // One fused pass for both window moments (each extra thread scope
+    // costs a spawn; see algo.rs's stage-2 notes).
+    let mut moments = vec![(0.0, 0.0); m];
+    par_fill(&mut moments, row_workers, |i, v| {
+        *v = (stats.centered_mean(i, length), stats.std(i, length));
+    });
 
-    if stds.iter().any(|&s| s < FLAT_EPS) {
+    if moments.iter().any(|&(_, std)| std < FLAT_EPS) {
         // Degenerate windows: resolve the whole length exactly.
         let mp = valmod_mp::stomp::stomp(values, length, excl)?;
         let nn: Vec<(f64, usize)> = mp
@@ -197,31 +192,36 @@ fn step_discords(
         });
     }
 
-    // Upper bound (stored minimum) and validity per row.
-    let mut upper: Vec<f64> = Vec::with_capacity(m);
-    let mut valid: Vec<bool> = Vec::with_capacity(m);
-    for (i, row) in rows.iter().enumerate().take(m) {
+    // Upper bound (stored minimum) and validity per row — pure per-row
+    // reads, chunked across the same workers.
+    let rows_ref: &[PartialRow] = rows;
+    let moments = &moments[..];
+    let mut bounds = vec![(f64::INFINITY, true); m];
+    par_fill(&mut bounds, row_workers, |i, out| {
+        let row = &rows_ref[i];
+        let (mean_i, std_i) = moments[i];
         let mut min_d = f64::INFINITY;
         for e in &row.entries {
             let j = e.j as usize;
             if j >= m || i.abs_diff(j) <= excl {
                 continue;
             }
-            let d = zdist_from_dot(e.qt, length, means[i], stds[i], means[j], stds[j]);
+            let d = zdist_from_dot(e.qt, length, mean_i, std_i, moments[j].0, moments[j].1);
             min_d = min_d.min(d);
         }
         let max_lb = match row.worst_rho() {
             Some(rho) => LbRowContext::new(stats, i, row.base_len, length).bound(rho),
             None => f64::INFINITY,
         };
-        upper.push(min_d);
-        valid.push(min_d <= max_lb);
-    }
+        *out = (min_d, min_d <= max_lb);
+    });
+    let upper = |i: usize| bounds[i].0;
+    let valid = |i: usize| bounds[i].1;
 
     // Resolve rows in descending upper-bound order until the k-th exact
     // discord dominates every remaining upper bound.
     let mut order: Vec<usize> = (0..m).collect();
-    order.sort_by(|&a, &b| upper[b].partial_cmp(&upper[a]).expect("no NaN").then(a.cmp(&b)));
+    order.sort_by(|&a, &b| upper(b).partial_cmp(&upper(a)).expect("no NaN").then(a.cmp(&b)));
     let mut exact: Vec<(usize, f64)> = Vec::new();
     let mut resolved_rows = 0;
     // The k-th *spread-deduplicated* exact discord distance: once every
@@ -230,11 +230,11 @@ fn step_discords(
     // never revisits earlier picks).
     let mut kth_spread = f64::NEG_INFINITY;
     for &i in &order {
-        if kth_spread >= upper[i] {
+        if kth_spread >= upper(i) {
             break;
         }
-        let nn = if valid[i] {
-            upper[i]
+        let nn = if valid(i) {
+            upper(i)
         } else {
             resolved_rows += 1;
             let profile = profiler.self_profile(i, length)?;

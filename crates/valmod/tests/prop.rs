@@ -132,6 +132,50 @@ proptest! {
         }
     }
 
+    /// Discord thread-count invariance: stage 1 reuses the diagonal walk
+    /// and the per-length loops chunk over rows, so every thread count
+    /// must produce *byte-identical* discord offsets, distances, and
+    /// resolve counts.
+    #[test]
+    fn discord_thread_count_never_changes_results(seed in 0u64..100_000, kind in 0usize..3) {
+        let series = match kind {
+            0 => gen::random_walk(500, seed),
+            1 => gen::ecg(500, &gen::EcgConfig::default(), seed),
+            _ => {
+                let mut s = gen::white_noise(500, seed, 1.0);
+                for v in &mut s[200..260] {
+                    *v = 1.0; // plateau: exercise the flat fallback
+                }
+                s
+            }
+        };
+        let config = ValmodConfig::new(16, 26).with_k(3).with_profile_size(4).with_threads(1);
+        let base = valmod_core::variable_length_discords(&series, &config).unwrap();
+        for threads in [2usize, 3, 8] {
+            let out = valmod_core::variable_length_discords(
+                &series,
+                &config.clone().with_threads(threads),
+            )
+            .unwrap();
+            prop_assert_eq!(out.len(), base.len());
+            for (a, b) in out.iter().zip(&base) {
+                prop_assert_eq!(a.length, b.length);
+                prop_assert_eq!(
+                    a.resolved_rows, b.resolved_rows,
+                    "resolve count at length {} with {} threads", a.length, threads
+                );
+                prop_assert_eq!(a.discords.len(), b.discords.len());
+                for (da, db) in a.discords.iter().zip(&b.discords) {
+                    prop_assert_eq!(
+                        (da.offset, da.nn_distance.to_bits()),
+                        (db.offset, db.nn_distance.to_bits()),
+                        "discord differs at length {} with {} threads", a.length, threads
+                    );
+                }
+            }
+        }
+    }
+
     /// VALMAP structural invariants hold for arbitrary runs.
     #[test]
     fn valmap_structure_is_sound(values in series(80, 140), seed in 0usize..1000) {

@@ -1,0 +1,67 @@
+//! Streaming: maintain variable-length motifs over a live feed.
+//!
+//! ```text
+//! cargo run --release --example streaming_monitor
+//! ```
+//!
+//! A monitoring deployment never sees the whole series at once. This
+//! example bootstraps the incremental engine on the first half of a
+//! synthetic ECG, then feeds the rest point by point (with an occasional
+//! batched chunk, as a buffered transport would deliver), watching the
+//! VALMAP improve live — and finishes with the batch-grade snapshot,
+//! bit-identical to running `run_valmod` on everything at once.
+
+use valmod_suite::prelude::*;
+use valmod_suite::series::gen;
+use valmod_suite::stream::update_line;
+
+fn main() {
+    let series = gen::ecg(3000, &gen::EcgConfig::default(), 42);
+    let config = ValmodConfig::new(40, 60).with_k(2);
+
+    // 1. Bootstrap on the history we already have.
+    let mut engine =
+        StreamingValmod::new(&series[..1500], config.clone()).expect("valid configuration");
+    println!("bootstrapped on {} points, lengths [40, 60]", engine.len());
+
+    // 2. Live traffic: single points and batched chunks, interleaved.
+    //    Appends cost O(n·R); nothing re-runs the batch engine.
+    let mut updates = 0usize;
+    for (i, chunk) in series[1500..].chunks(250).enumerate() {
+        if i % 2 == 0 {
+            for &v in chunk {
+                engine.append(v);
+            }
+        } else {
+            engine.extend(chunk);
+        }
+        // Poll the VALMAP entries that changed since the last poll —
+        // the same NDJSON records `valmod stream` emits.
+        let deltas = engine.poll_deltas();
+        updates += deltas.len();
+        if let Some(best) = deltas.iter().min_by(|a, b| {
+            a.normalized_distance.partial_cmp(&b.normalized_distance).expect("finite")
+        }) {
+            println!(
+                "after {:>5} points: {:>3} entries improved, best {}",
+                engine.len(),
+                deltas.len(),
+                update_line(engine.len(), best)
+            );
+        }
+    }
+    println!("total VALMAP updates observed live: {updates}");
+
+    // 3. The live views answer queries without a batch run...
+    let (offset, match_offset, length, mpn) = engine.valmap().best_entry().expect("motifs exist");
+    println!(
+        "live best motif: offsets ({offset}, {match_offset}), length {length}, d/sqrt(l)={mpn:.4}"
+    );
+
+    // 4. ...and the canonical snapshot is bit-identical to the batch
+    //    engine over the concatenated series.
+    let snapshot = engine.snapshot().expect("valid series");
+    let batch = run_valmod(&series, &config).expect("valid series");
+    assert_eq!(snapshot.valmap, batch.valmap, "snapshot must equal batch bit for bit");
+    println!("snapshot == run_valmod(all {} points): verified", series.len());
+}

@@ -17,6 +17,7 @@
 //! | [`mp`] | `valmod-mp` | MASS, STAMP, STOMP, motif/discord extraction |
 //! | [`baselines`] | `valmod-baselines` | brute force, MOEN, QUICKMOTIF |
 //! | [`valmod`] | `valmod-core` | the VALMOD algorithm, VALMAP, ranking, motif sets |
+//! | [`stream`] | `valmod-stream` | incremental VALMOD: live VALMAP/motifs/discords under appends |
 //!
 //! # Quickstart
 //!
@@ -47,10 +48,15 @@ pub use valmod_core as valmod;
 pub use valmod_fft as fft;
 pub use valmod_mp as mp;
 pub use valmod_series as series;
+// `valmod-stream` sits *above* `valmod-core` in the dependency graph (its
+// snapshot executes the batch pipeline), so the streaming engine is
+// re-exported here at the facade rather than from `valmod-core` itself.
+pub use valmod_stream as stream;
 
 /// The most common imports for applications.
 pub mod prelude {
     pub use valmod_core::{run_valmod, ValmodConfig, ValmodOutput};
     pub use valmod_mp::{default_exclusion, MatrixProfile, MotifPair};
     pub use valmod_series::{DataSeries, RollingStats, SeriesError};
+    pub use valmod_stream::StreamingValmod;
 }
