@@ -1,0 +1,53 @@
+//! Micro-bench of the stage-1 diagonal kernel (the SIMD + prefilter walk
+//! behind `valmod_core::run_valmod`'s first stage).
+//!
+//! A run with `l_min == l_max` is *pure* stage 1 — the stage-2 length loop
+//! is empty — so timing it isolates the kernel: per admissible pair one
+//! fused multiply-add, one ρ/d conversion, two best compares and two
+//! prefiltered selector offers. The printed per-iteration time divides by
+//! the cell count below to give cells/sec, the number `perfsnap` records
+//! as `stage1_cells_per_sec`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use valmod_bench::{stage1_cells, Dataset};
+use valmod_core::{run_valmod, ValmodConfig};
+
+fn bench_stage1_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage1_kernel");
+    group.sample_size(10);
+    let l = 64usize;
+    for n in [4_096usize, 16_384] {
+        for (name, series) in
+            [("ecg", Dataset::Ecg.generate(n)), ("astro", Dataset::Astro.generate(n))]
+        {
+            let id = format!("{name}_n{n}_cells{}", stage1_cells(n, l));
+            // Single thread: the kernel's raw per-core throughput, the
+            // number the 1.5× acceptance bar is measured on.
+            let config = ValmodConfig::new(l, l).with_k(1).with_threads(1);
+            group.bench_with_input(BenchmarkId::new("threads1", &id), &n, |b, _| {
+                b.iter(|| black_box(run_valmod(black_box(&series), &config).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The same walk with `p` at the paper default, to expose the selector
+/// offer cost the prefilter removes (larger `p` = more offers surviving).
+fn bench_stage1_profile_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage1_kernel_profile_size");
+    group.sample_size(10);
+    let (n, l) = (8_192usize, 64usize);
+    let series = Dataset::Ecg.generate(n);
+    for p in [1usize, 8, 32] {
+        let config = ValmodConfig::new(l, l).with_k(1).with_threads(1).with_profile_size(p);
+        group.bench_with_input(BenchmarkId::new("p", p), &p, |b, _| {
+            b.iter(|| black_box(run_valmod(black_box(&series), &config).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage1_kernel, bench_stage1_profile_sizes);
+criterion_main!(benches);

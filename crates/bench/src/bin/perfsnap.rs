@@ -17,7 +17,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use valmod_bench::Dataset;
+use valmod_bench::{stage1_cells, Dataset};
 use valmod_core::{run_valmod, ValmodConfig};
 use valmod_stream::StreamingValmod;
 
@@ -31,6 +31,11 @@ struct Run {
     stage1_secs: f64,
     stage2_secs: f64,
     total_secs: f64,
+    /// Stage-1 QT-cell throughput — the kernel's headline number: the
+    /// walk visits one cell per admissible (i, j) pair at `l_min`, so
+    /// cells/sec isolates the diagonal kernel from workload size
+    /// (counted by [`valmod_bench::stage1_cells`]).
+    stage1_cells_per_sec: f64,
     checksum: u64,
 }
 
@@ -152,30 +157,37 @@ fn main() {
                 },
             );
             eprintln!(
-                "{} n={n} l=[{l_min},{}] threads={threads}: stage1 {:.3}s stage2 {:.3}s \
-                 total {total:.3}s",
+                "{} n={n} l=[{l_min},{}] threads={threads}: stage1 {:.3}s \
+                 ({:.1}M cells/s) stage2 {:.3}s total {total:.3}s",
                 dataset.name(),
                 l_min + width,
                 out.timings.stage1.as_secs_f64(),
+                stage1_cells(n, l_min) as f64 / out.timings.stage1.as_secs_f64().max(1e-12) / 1e6,
                 out.timings.stage2.as_secs_f64(),
             );
+            let stage1_secs = out.timings.stage1.as_secs_f64();
             runs.push(Run {
                 dataset: dataset.name(),
                 n,
                 l_min,
                 l_max: l_min + width,
                 threads,
-                stage1_secs: out.timings.stage1.as_secs_f64(),
+                stage1_secs,
                 stage2_secs: out.timings.stage2.as_secs_f64(),
                 total_secs: total,
+                stage1_cells_per_sec: stage1_cells(n, l_min) as f64 / stage1_secs.max(1e-12),
                 checksum,
             });
         }
     }
 
-    // Parallel speedup per workload (serial total / parallel total), and a
-    // cross-thread result check: identical checksums are the engine's
-    // bit-identity promise showing up end to end.
+    // End-to-end speedup per workload against the 1-thread baseline of the
+    // same snapshot (fastest run / serial run; exactly 1.0 on single-CPU
+    // hardware, where the serial run is the only run), plus a cross-thread
+    // result check: identical checksums are the engine's bit-identity
+    // promise showing up end to end. Always populated — schema 2 replaced
+    // the schema-1 field that silently stayed `{}` whenever the snapshot
+    // machine had one CPU.
     let mut speedups: Vec<(String, f64)> = Vec::new();
     for &(dataset, n) in &workloads {
         let of = |threads: usize| {
@@ -190,10 +202,7 @@ fn main() {
                 "thread counts disagree on {} motifs",
                 dataset.name()
             );
-            if parallel.threads > 1 {
-                speedups
-                    .push((dataset.name().to_string(), serial.total_secs / parallel.total_secs));
-            }
+            speedups.push((dataset.name().to_string(), serial.total_secs / parallel.total_secs));
         }
     }
 
@@ -228,7 +237,7 @@ fn render_json(
     speedups: &[(String, f64)],
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"schema\": 2,\n");
     out.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
     out.push_str(&format!("  \"max_threads\": {max_threads},\n"));
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
@@ -237,7 +246,8 @@ fn render_json(
         out.push_str(&format!(
             "    {{\"dataset\": \"{}\", \"n\": {}, \"l_min\": {}, \"l_max\": {}, \
              \"threads\": {}, \"stage1_secs\": {:.6}, \"stage2_secs\": {:.6}, \
-             \"total_secs\": {:.6}, \"checksum\": \"{:#018x}\"}}{}\n",
+             \"total_secs\": {:.6}, \"stage1_cells_per_sec\": {:.0}, \
+             \"checksum\": \"{:#018x}\"}}{}\n",
             r.dataset,
             r.n,
             r.l_min,
@@ -246,6 +256,7 @@ fn render_json(
             r.stage1_secs,
             r.stage2_secs,
             r.total_secs,
+            r.stage1_cells_per_sec,
             r.checksum,
             if idx + 1 < runs.len() { "," } else { "" }
         ));

@@ -136,6 +136,23 @@ impl Algorithm {
     }
 }
 
+/// Admissible QT cells of VALMOD's stage 1 at the default exclusion
+/// zone: diagonals `excl+1 .. m` of the `m × m` self-join triangle at
+/// the base length. Shared by `perfsnap` (the `stage1_cells_per_sec`
+/// field) and the `stage1_kernel` bench so both divide by the exact
+/// cells the engine walks — `first_diag` comes from
+/// [`ValmodConfig::exclusion`], not a re-derived formula.
+#[must_use]
+pub fn stage1_cells(n: usize, l_min: usize) -> u64 {
+    let m = (n - l_min + 1) as u64;
+    let first_diag = (ValmodConfig::new(l_min, l_min).exclusion(l_min) + 1) as u64;
+    if first_diag >= m {
+        return 0;
+    }
+    let d = m - first_diag;
+    d * (d + 1) / 2
+}
+
 /// Order-sensitive checksum over pair offsets and lengths.
 fn checksum(pairs: impl Iterator<Item = valmod_mp::MotifPair>) -> u64 {
     let mut acc = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis

@@ -102,6 +102,11 @@ pub struct StreamArgs {
     pub every: usize,
     /// Fixed storage capacity in points (unbounded when absent).
     pub capacity: Option<usize>,
+    /// Keep waiting for more input at end-of-file (`tail -f` semantics)
+    /// instead of finishing — a paused live feed no longer ends the run.
+    pub follow: bool,
+    /// Sleep between end-of-file re-reads under `--follow`, milliseconds.
+    pub poll_ms: u64,
 }
 
 /// A parse failure with a user-facing message.
@@ -126,12 +131,15 @@ USAGE:
   valmod generate --kind ecg|astro|walk|noise|seismic|epg --n N [--seed N] --output FILE
   valmod motif-set --input FILE --a N --b N --length N [--radius X]
   valmod stream --input FILE|- --lmin N --lmax N [--k N] [--p N] [--threads N]
-                [--warmup N] [--every N] [--capacity N]
+                [--warmup N] [--every N] [--capacity N] [--follow] [--poll-ms N]
   valmod help
 
 `stream` tails the input (use `-` for stdin), bootstraps on the first
 points, then appends each subsequent point incrementally and emits the
-VALMAP entries that changed as NDJSON, one JSON object per line.
+VALMAP entries that changed as NDJSON, one JSON object per line. With
+`--follow` it keeps waiting at end-of-file (sleep-retry, `--poll-ms`
+between attempts) so a paused live feed does not end the run; without it,
+end-of-file finishes the stream as before.
 ";
 
 fn take_value<'a>(
@@ -265,6 +273,7 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
     let (mut input, mut l_min, mut l_max) = (None, None, None);
     let (mut k, mut p, mut threads) = (10usize, 8usize, None);
     let (mut warmup, mut every, mut capacity) = (None, 1usize, None);
+    let (mut follow, mut poll_ms) = (false, 200u64);
     let mut it = rest.iter().copied();
     while let Some(flag) = it.next() {
         match flag {
@@ -277,11 +286,16 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
             "--warmup" => warmup = Some(parse_num(flag, take_value(flag, &mut it)?)?),
             "--every" => every = parse_num(flag, take_value(flag, &mut it)?)?,
             "--capacity" => capacity = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--follow" => follow = true,
+            "--poll-ms" => poll_ms = parse_num(flag, take_value(flag, &mut it)?)?,
             other => return Err(ParseError(format!("unknown flag {other:?} for stream"))),
         }
     }
     if every == 0 {
         return Err(ParseError("--every must be at least 1".into()));
+    }
+    if poll_ms == 0 {
+        return Err(ParseError("--poll-ms must be at least 1".into()));
     }
     Ok(Command::Stream(StreamArgs {
         input: input.ok_or_else(|| ParseError("stream requires --input".into()))?,
@@ -293,6 +307,8 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
         warmup,
         every,
         capacity,
+        follow,
+        poll_ms,
     }))
 }
 
@@ -390,6 +406,8 @@ mod tests {
                 assert_eq!(a.input, "-");
                 assert_eq!((a.l_min, a.l_max, a.k, a.p, a.every), (16, 24, 10, 8, 1));
                 assert!(a.warmup.is_none() && a.capacity.is_none() && a.threads.is_none());
+                assert!(!a.follow);
+                assert_eq!(a.poll_ms, 200);
             }
             other => panic!("{other:?}"),
         }
@@ -424,6 +442,47 @@ mod tests {
         assert!(parse(&["stream", "--input", "x", "--lmin", "8", "--lmax", "12", "--every", "0"])
             .is_err());
         assert!(parse(&["stream", "--bogus", "1"]).is_err());
+    }
+
+    #[test]
+    fn stream_follow_flag_and_poll_interval() {
+        let cmd = parse(&[
+            "stream",
+            "--input",
+            "x",
+            "--lmin",
+            "8",
+            "--lmax",
+            "12",
+            "--follow",
+            "--poll-ms",
+            "50",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Stream(a) => {
+                assert!(a.follow);
+                assert_eq!(a.poll_ms, 50);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --follow takes no value: the next token parses as its own flag.
+        assert!(parse(&[
+            "stream", "--input", "x", "--lmin", "8", "--lmax", "12", "--follow", "yes"
+        ])
+        .is_err());
+        assert!(parse(&[
+            "stream",
+            "--input",
+            "x",
+            "--lmin",
+            "8",
+            "--lmax",
+            "12",
+            "--poll-ms",
+            "0"
+        ])
+        .is_err());
     }
 
     #[test]

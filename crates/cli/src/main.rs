@@ -9,13 +9,14 @@ mod args;
 
 use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use args::{Command, GenerateArgs, MotifSetArgs, ProfileArgs, RunArgs, StreamArgs};
 use valmod_core::render::{render_valmap, sparkline};
 use valmod_core::{expand_motif_set, run_valmod, ValmodConfig};
 use valmod_mp::motif::{top_k_discords, top_k_pairs};
-use valmod_mp::stomp::stomp_parallel;
-use valmod_mp::{default_exclusion, MotifPair};
+use valmod_mp::stomp::stomp_parallel_in;
+use valmod_mp::{default_exclusion, MotifPair, WorkerPool};
 use valmod_series::{gen, io};
 
 fn main() -> ExitCode {
@@ -68,7 +69,12 @@ fn print_pairs_table(pairs: &[MotifPair]) {
 
 fn cmd_run(a: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
     let series = io::read_series(&a.input)?;
-    let mut config = ValmodConfig::new(a.l_min, a.l_max).with_k(a.k).with_profile_size(a.p);
+    // The command owns one persistent pool for its whole run: threads are
+    // spawned once, parked between phases, joined when the command ends.
+    let mut config = ValmodConfig::new(a.l_min, a.l_max)
+        .with_k(a.k)
+        .with_profile_size(a.p)
+        .with_pool(Arc::new(WorkerPool::new()));
     if let Some(threads) = a.threads {
         config = config.with_threads(threads);
     }
@@ -145,7 +151,9 @@ fn cmd_profile(a: &ProfileArgs) -> Result<(), Box<dyn std::error::Error>> {
         || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         |t| t.max(1),
     );
-    let mp = stomp_parallel(series.values(), a.length, default_exclusion(a.length), threads)?;
+    let pool = WorkerPool::new();
+    let mp =
+        stomp_parallel_in(series.values(), a.length, default_exclusion(a.length), threads, &pool)?;
     println!("series: {} ({} points), window {}", a.input, series.len(), a.length);
     println!("data |{}|", sparkline(series.values(), 72));
     println!("MP   |{}|\n", sparkline(&mp.values, 72));
@@ -173,15 +181,179 @@ fn cmd_generate(a: &GenerateArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Mutable state of one `valmod stream` session: the bootstrap buffer
+/// until enough points arrived, then the incremental engine.
+struct StreamSession {
+    config: ValmodConfig,
+    capacity: Option<usize>,
+    warmup: usize,
+    l_min: usize,
+    l_max: usize,
+    every: usize,
+    bootstrap: Vec<f64>,
+    engine: Option<valmod_stream::StreamingValmod>,
+    since_poll: usize,
+    line_values: Vec<f64>,
+}
+
+impl StreamSession {
+    /// Feeds one complete input line: tokenize, bootstrap or append each
+    /// value, emit due NDJSON events.
+    fn feed_line(
+        &mut self,
+        line: &str,
+        line_no: usize,
+        out: &mut impl Write,
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        self.line_values.clear();
+        // The same tokenizer `run`/`profile` read files with, so every
+        // subcommand accepts the exact same format.
+        let mut line_values = std::mem::take(&mut self.line_values);
+        valmod_series::io::parse_series_line(line, line_no, &mut line_values)?;
+        for &value in &line_values {
+            self.feed_value(value, line_no, out)?;
+        }
+        self.line_values = line_values;
+        Ok(())
+    }
+
+    fn feed_value(
+        &mut self,
+        value: f64,
+        line_no: usize,
+        out: &mut impl Write,
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        match &mut self.engine {
+            None => {
+                if !value.is_finite() {
+                    eprintln!("skipping non-finite point on line {line_no}");
+                    return Ok(());
+                }
+                self.bootstrap.push(value);
+                if self.bootstrap.len() >= self.warmup {
+                    let built = match self.capacity {
+                        Some(cap) => valmod_stream::StreamingValmod::with_capacity(
+                            &self.bootstrap,
+                            self.config.clone(),
+                            cap,
+                        )?,
+                        None => valmod_stream::StreamingValmod::new(
+                            &self.bootstrap,
+                            self.config.clone(),
+                        )?,
+                    };
+                    writeln!(
+                        out,
+                        "{}",
+                        valmod_stream::bootstrap_line(
+                            built.len(),
+                            self.l_min,
+                            self.l_max,
+                            built.len() - self.l_min + 1
+                        )
+                    )?;
+                    out.flush()?;
+                    self.engine = Some(built);
+                }
+            }
+            Some(engine) => {
+                match engine.try_append(value) {
+                    Ok(()) => {}
+                    Err(e @ valmod_series::SeriesError::NonFinite { .. }) => {
+                        // A bad sample is skippable; the feed goes on.
+                        eprintln!("skipping point on line {line_no}: {e}");
+                        return Ok(());
+                    }
+                    Err(e) => {
+                        // A full bounded buffer is back-pressure, not a
+                        // skippable sample: emit what we know, then fail
+                        // loudly instead of silently dropping the rest of
+                        // the feed.
+                        let n = engine.len();
+                        for delta in engine.poll_deltas() {
+                            writeln!(out, "{}", valmod_stream::update_line(n, &delta))?;
+                        }
+                        writeln!(
+                            out,
+                            "{}",
+                            valmod_stream::summary_line(n, engine.valmap().best_entry())
+                        )?;
+                        out.flush()?;
+                        return Err(format!(
+                            "stream stopped at line {line_no} after {n} points: {e}"
+                        )
+                        .into());
+                    }
+                }
+                self.since_poll += 1;
+                if self.since_poll >= self.every {
+                    self.since_poll = 0;
+                    let n = engine.len();
+                    for delta in engine.poll_deltas() {
+                        writeln!(out, "{}", valmod_stream::update_line(n, &delta))?;
+                    }
+                    out.flush()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits the pending deltas plus the closing summary line.
+    fn finish(&mut self, out: &mut impl Write) -> Result<(), Box<dyn std::error::Error>> {
+        let Some(engine) = &mut self.engine else {
+            return Err(format!(
+                "stream ended after {} points, before the {}-point bootstrap",
+                self.bootstrap.len(),
+                self.warmup
+            )
+            .into());
+        };
+        let n = engine.len();
+        for delta in engine.poll_deltas() {
+            writeln!(out, "{}", valmod_stream::update_line(n, &delta))?;
+        }
+        writeln!(out, "{}", valmod_stream::summary_line(n, engine.valmap().best_entry()))?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// The summary line for an interrupted stream (closed output).
+    fn summary_text(&mut self) -> Option<String> {
+        self.engine.as_mut().map(|e| valmod_stream::summary_line(e.len(), e.valmap().best_entry()))
+    }
+}
+
+/// Whether an error chain bottoms out in a broken pipe (the NDJSON
+/// consumer closed our stdout).
+fn is_broken_pipe(err: &(dyn std::error::Error + 'static)) -> bool {
+    let mut cur = Some(err);
+    while let Some(e) = cur {
+        if let Some(io_err) = e.downcast_ref::<std::io::Error>() {
+            if io_err.kind() == std::io::ErrorKind::BrokenPipe {
+                return true;
+            }
+        }
+        cur = e.source();
+    }
+    false
+}
+
 /// `valmod stream`: tail a file or stdin, bootstrap the incremental
 /// engine on the first points, then append each subsequent point and
 /// emit the VALMAP entries that changed as NDJSON on stdout.
 ///
 /// Non-finite points from the feed are reported on stderr and skipped —
 /// the engine's `try_append` contract means a bad sample can never kill
-/// the stream or corrupt the profiles.
+/// the stream or corrupt the profiles. With `--follow`, end-of-file
+/// parks the reader (sleep-retry) instead of finishing, so a live feed
+/// that pauses keeps the service alive; a closed output (SIGPIPE /
+/// broken pipe) ends the run cleanly with the summary on stderr.
 fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
-    let mut config = ValmodConfig::new(a.l_min, a.l_max).with_k(a.k).with_profile_size(a.p);
+    let mut config = ValmodConfig::new(a.l_min, a.l_max)
+        .with_k(a.k)
+        .with_profile_size(a.p)
+        .with_pool(Arc::new(WorkerPool::new()));
     if let Some(threads) = a.threads {
         config = config.with_threads(threads);
     }
@@ -201,7 +373,8 @@ fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let reader: Box<dyn BufRead> = if a.input == "-" {
+    let from_stdin = a.input == "-";
+    let mut reader: Box<dyn BufRead> = if from_stdin {
         Box::new(BufReader::new(std::io::stdin()))
     } else {
         Box::new(BufReader::new(std::fs::File::open(&a.input)?))
@@ -209,104 +382,76 @@ fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
 
-    let mut bootstrap: Vec<f64> = Vec::with_capacity(warmup);
-    let mut engine: Option<valmod_stream::StreamingValmod> = None;
-    let mut since_poll = 0usize;
-    let mut line_values: Vec<f64> = Vec::new();
-    for (line_idx, line) in reader.lines().enumerate() {
-        line_values.clear();
-        // The same tokenizer `run`/`profile` read files with, so every
-        // subcommand accepts the exact same format.
-        valmod_series::io::parse_series_line(&line?, line_idx + 1, &mut line_values)?;
-        for &value in &line_values {
-            match &mut engine {
-                None => {
-                    if !value.is_finite() {
-                        eprintln!("skipping non-finite point on line {}", line_idx + 1);
-                        continue;
-                    }
-                    bootstrap.push(value);
-                    if bootstrap.len() >= warmup {
-                        let built = match a.capacity {
-                            Some(cap) => valmod_stream::StreamingValmod::with_capacity(
-                                &bootstrap,
-                                config.clone(),
-                                cap,
-                            )?,
-                            None => {
-                                valmod_stream::StreamingValmod::new(&bootstrap, config.clone())?
-                            }
-                        };
-                        writeln!(
-                            out,
-                            "{}",
-                            valmod_stream::bootstrap_line(
-                                built.len(),
-                                a.l_min,
-                                a.l_max,
-                                built.len() - a.l_min + 1
-                            )
-                        )?;
-                        engine = Some(built);
-                    }
-                }
-                Some(engine) => {
-                    match engine.try_append(value) {
-                        Ok(()) => {}
-                        Err(e @ valmod_series::SeriesError::NonFinite { .. }) => {
-                            // A bad sample is skippable; the feed goes on.
-                            eprintln!("skipping point on line {}: {e}", line_idx + 1);
-                            continue;
-                        }
-                        Err(e) => {
-                            // A full bounded buffer is back-pressure, not a
-                            // skippable sample: emit what we know, then fail
-                            // loudly instead of silently dropping the rest
-                            // of the feed.
-                            let n = engine.len();
-                            for delta in engine.poll_deltas() {
-                                writeln!(out, "{}", valmod_stream::update_line(n, &delta))?;
-                            }
-                            writeln!(
-                                out,
-                                "{}",
-                                valmod_stream::summary_line(n, engine.valmap().best_entry())
-                            )?;
-                            out.flush()?;
-                            return Err(format!(
-                                "stream stopped at line {} after {n} points: {e}",
-                                line_idx + 1
-                            )
-                            .into());
-                        }
-                    }
-                    since_poll += 1;
-                    if since_poll >= a.every {
-                        since_poll = 0;
-                        let n = engine.len();
-                        for delta in engine.poll_deltas() {
-                            writeln!(out, "{}", valmod_stream::update_line(n, &delta))?;
-                        }
-                        out.flush()?;
-                    }
-                }
-            }
-        }
-    }
-    let Some(mut engine) = engine else {
-        return Err(format!(
-            "stream ended after {} points, before the {warmup}-point bootstrap",
-            bootstrap.len()
-        )
-        .into());
+    let mut session = StreamSession {
+        config,
+        capacity: a.capacity,
+        warmup,
+        l_min: a.l_min,
+        l_max: a.l_max,
+        every: a.every,
+        bootstrap: Vec::with_capacity(warmup),
+        engine: None,
+        since_poll: 0,
+        line_values: Vec::new(),
     };
-    let n = engine.len();
-    for delta in engine.poll_deltas() {
-        writeln!(out, "{}", valmod_stream::update_line(n, &delta))?;
+    let result = stream_loop(a, &mut session, &mut reader, &mut out);
+    match result {
+        Err(e) if is_broken_pipe(&*e) => {
+            // The consumer closed our stdout mid-stream. That is a normal
+            // way for a pipeline to end: report the closing summary on
+            // stderr (stdout is gone) and exit cleanly.
+            if let Some(summary) = session.summary_text() {
+                eprintln!("{summary}");
+            }
+            Ok(())
+        }
+        other => other,
     }
-    writeln!(out, "{}", valmod_stream::summary_line(n, engine.valmap().best_entry()))?;
-    out.flush()?;
-    Ok(())
+}
+
+/// The read loop behind [`cmd_stream`]: line-at-a-time with explicit
+/// end-of-file handling.
+///
+/// * Without `--follow`, end-of-file finishes the stream — including a
+///   final line missing its trailing newline, whose samples are fed
+///   before the summary (nothing is silently dropped).
+/// * With `--follow`, end-of-file on a *file* parks for `--poll-ms` and
+///   retries (`tail -f` semantics); a partial trailing line stays
+///   buffered until its newline arrives, so a sample split across writes
+///   is never parsed in halves. End-of-file on stdin is final even under
+///   `--follow` — a closed pipe can never produce more data.
+fn stream_loop(
+    a: &StreamArgs,
+    session: &mut StreamSession,
+    reader: &mut dyn BufRead,
+    out: &mut impl Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let follow_retries = a.follow && a.input != "-";
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        let n = reader.read_line(&mut buf)?;
+        if n == 0 {
+            if follow_retries {
+                std::thread::sleep(std::time::Duration::from_millis(a.poll_ms));
+                continue;
+            }
+            // Final EOF: a trailing line without '\n' still counts.
+            if !buf.is_empty() {
+                line_no += 1;
+                session.feed_line(&buf, line_no, out)?;
+            }
+            break;
+        }
+        if buf.ends_with('\n') {
+            line_no += 1;
+            session.feed_line(&buf, line_no, out)?;
+            buf.clear();
+        }
+        // No newline yet: mid-line EOF. The next read_line call appends
+        // the rest of the line to `buf`.
+    }
+    session.finish(out)
 }
 
 fn cmd_motif_set(a: &MotifSetArgs) -> Result<(), Box<dyn std::error::Error>> {

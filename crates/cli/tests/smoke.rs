@@ -206,6 +206,166 @@ fn stream_fails_cleanly_when_input_is_too_short_to_bootstrap() {
 }
 
 #[test]
+fn stream_final_line_without_newline_is_not_dropped() {
+    use std::io::Write;
+    // 230 points; the last line has NO trailing newline. The tokenizer
+    // must still feed it (the summary counts all 230 points).
+    let mut values = String::new();
+    for i in 0..230 {
+        let x = f64::from(i) * 0.41;
+        values.push_str(&format!("{}\n", x.sin()));
+    }
+    let values = values.trim_end().to_string();
+    assert!(!values.ends_with('\n'));
+    let mut child = bin()
+        .args(["stream", "--input", "-", "--lmin", "8", "--lmax", "12", "--every", "16"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(values.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.lines().last().unwrap().contains("\"points\":230"),
+        "last sample dropped:\n{text}"
+    );
+}
+
+#[test]
+fn stream_follow_tails_a_growing_file() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    let path = temp_path("follow_input.txt");
+    let point = |i: usize| {
+        let x = i as f64 * 0.37;
+        format!("{}\n", x.sin() + 0.2 * (x * 2.1).cos())
+    };
+    {
+        let mut f = std::fs::File::create(&path).unwrap();
+        for i in 0..250 {
+            f.write_all(point(i).as_bytes()).unwrap();
+        }
+    }
+
+    let mut child = bin()
+        .args([
+            "stream",
+            "--lmin",
+            "8",
+            "--lmax",
+            "12",
+            "--warmup",
+            "200",
+            "--every",
+            "1",
+            "--follow",
+            "--poll-ms",
+            "25",
+            "--input",
+        ])
+        .arg(&path)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let (tx, rx) = mpsc::channel::<String>();
+    let reader = std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
+    // Phase 1: the initial 250 points bootstrap the engine and stream
+    // updates; the child then parks at EOF instead of exiting.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut lines: Vec<String> = Vec::new();
+    while !lines.iter().any(|l| l.contains("\"event\":\"bootstrap\"")) {
+        assert!(Instant::now() < deadline, "no bootstrap line; got {lines:?}");
+        if let Ok(line) = rx.recv_timeout(Duration::from_millis(100)) {
+            lines.push(line);
+        }
+    }
+
+    // Phase 2: grow the file while the child is parked. --follow must
+    // pick the new points up (updates with n > 250 appear).
+    {
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        for i in 250..330 {
+            f.write_all(point(i).as_bytes()).unwrap();
+        }
+    }
+    let saw_tailed_update = |l: &String| {
+        l.contains("\"event\":\"update\"")
+            && l.split("\"n\":")
+                .nth(1)
+                .and_then(|rest| rest.split(',').next())
+                .and_then(|n| n.parse::<usize>().ok())
+                .is_some_and(|n| n > 250)
+    };
+    while !lines.iter().any(saw_tailed_update) {
+        assert!(
+            Instant::now() < deadline,
+            "no update beyond the initial file under --follow; got {lines:?}"
+        );
+        if let Ok(line) = rx.recv_timeout(Duration::from_millis(100)) {
+            lines.push(line);
+        }
+    }
+
+    // A followed stream never ends on its own; stop the service.
+    child.kill().unwrap();
+    child.wait().unwrap();
+    reader.join().unwrap();
+}
+
+#[test]
+fn stream_closed_output_ends_cleanly_with_summary_on_stderr() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut child = bin()
+        .args(["stream", "--input", "-", "--lmin", "8", "--lmax", "12", "--every", "1"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+
+    // Bootstrap, confirm the engine is live, then close the read end of
+    // the child's stdout — the NDJSON consumer going away.
+    let feed: String = (0..220).map(|i| format!("{}\n", (f64::from(i) * 0.53).sin())).collect();
+    stdin.write_all(feed.as_bytes()).unwrap();
+    let mut first = String::new();
+    stdout.read_line(&mut first).unwrap();
+    assert!(first.contains("\"event\":\"bootstrap\""), "got {first:?}");
+    drop(stdout);
+
+    // Keep feeding; the child's next flush hits a broken pipe. That must
+    // end the run *cleanly*: exit 0, summary on stderr.
+    for i in 220..600 {
+        if stdin.write_all(format!("{}\n", (f64::from(i) * 0.53).sin()).as_bytes()).is_err() {
+            break; // child already exited; its stdin pipe closed
+        }
+    }
+    drop(stdin);
+    let status = child.wait().unwrap();
+    let mut err = String::new();
+    child.stderr.take().unwrap().read_to_string(&mut err).unwrap();
+    assert!(status.success(), "closed output must not be an error; stderr: {err}");
+    assert!(err.contains("\"event\":\"summary\""), "summary missing on stderr: {err}");
+}
+
+#[test]
 fn run_on_missing_file_fails_cleanly() {
     let out = bin()
         .args(["run", "--input", "/no/such/file.txt", "--lmin", "8", "--lmax", "16"])

@@ -36,6 +36,7 @@
 pub mod abjoin;
 pub mod mass;
 pub mod motif;
+pub mod pool;
 pub mod profile;
 pub mod scrimp;
 pub mod stamp;
@@ -45,6 +46,7 @@ pub mod streaming;
 pub use abjoin::{abjoin, AbJoin};
 pub use mass::{DistanceProfiler, ProfileScratch};
 pub use motif::{top_k_pairs, MotifPair};
+pub use pool::WorkerPool;
 pub use profile::MatrixProfile;
 pub use scrimp::scrimp;
 pub use streaming::StreamingProfile;

@@ -17,6 +17,7 @@ use valmod_series::stats::FLAT_EPS;
 use valmod_series::znorm::{dist_from_pearson, zdist_from_dot};
 use valmod_series::{Result, RollingStats};
 
+use crate::pool::WorkerPool;
 use crate::profile::MatrixProfile;
 use crate::{shifted, validate_window};
 
@@ -259,6 +260,24 @@ pub fn stomp_parallel(
     exclusion: usize,
     threads: usize,
 ) -> Result<MatrixProfile> {
+    stomp_parallel_in(series, l, exclusion, threads, WorkerPool::global())
+}
+
+/// [`stomp_parallel`] running its workers on a caller-supplied
+/// [`WorkerPool`] instead of the process-wide one. Results are identical
+/// for every pool (and every thread count) — the pool only carries the
+/// threads, never the math.
+///
+/// # Errors
+///
+/// As [`stomp_parallel`].
+pub fn stomp_parallel_in(
+    series: &[f64],
+    l: usize,
+    exclusion: usize,
+    threads: usize,
+    pool: &WorkerPool,
+) -> Result<MatrixProfile> {
     let engine = StompEngine::new(series, l)?;
     let m = engine.num_windows();
     let mut mp = MatrixProfile::unfilled(l, exclusion, m);
@@ -293,7 +312,7 @@ pub fn stomp_parallel(
             });
             (best, best_idx)
         };
-        let results = run_workers(num_workers, worker);
+        let results = pool.run(num_workers, worker);
         for i in 0..m {
             let (d, j) = results
                 .iter()
@@ -334,7 +353,7 @@ pub fn stomp_parallel(
         });
         (best, best_idx)
     };
-    let results = run_workers(num_workers, worker);
+    let results = pool.run(num_workers, worker);
     for i in 0..m {
         let (rho, j) =
             results
@@ -356,22 +375,13 @@ pub fn stomp_parallel(
 }
 
 /// Runs `worker(0)..worker(num_workers − 1)`, inline when there is a
-/// single worker (no spawn cost on the serial path) and on scoped threads
-/// otherwise, returning results in worker order. The building block of the
-/// diagonal-parallel engines here and in VALMOD's stage 1.
+/// single worker (no dispatch cost on the serial path) and on the
+/// process-wide persistent [`WorkerPool`] otherwise, returning results in
+/// worker order. The building block of the diagonal-parallel engines here
+/// and in VALMOD's stage 1; callers holding a dedicated pool use
+/// [`WorkerPool::run`] directly.
 pub fn run_workers<R: Send>(num_workers: usize, worker: impl Fn(usize) -> R + Sync) -> Vec<R> {
-    if num_workers <= 1 {
-        return vec![worker(0)];
-    }
-    let worker = &worker;
-    let mut results = Vec::with_capacity(num_workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..num_workers).map(|w| scope.spawn(move || worker(w))).collect();
-        for h in handles {
-            results.push(h.join().expect("stomp worker panicked"));
-        }
-    });
-    results
+    WorkerPool::global().run(num_workers, worker)
 }
 
 #[cfg(test)]

@@ -90,6 +90,35 @@ mod tests {
     }
 
     #[test]
+    fn final_line_without_trailing_newline_is_kept() {
+        // Audit result for the "last line has no trailing newline" case:
+        // `BufRead::lines` yields the final partial line, so neither the
+        // file path (`read_series`) nor the stdin path (`read_series_from`)
+        // ever dropped the last sample. These tests pin that behavior —
+        // and the CLI's follow-capable reader has its own equivalent
+        // smoke test (`stream_final_line_without_newline_is_not_dropped`).
+        let s = read_series_from(Cursor::new("1.5\n-2\n3e2")).unwrap();
+        assert_eq!(s.values(), &[1.5, -2.0, 300.0]);
+        // Same for CSV rows and CRLF endings.
+        let s = read_series_from(Cursor::new("1, 2\r\n3,4")).unwrap();
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0, 4.0]);
+        // And for a single unterminated line.
+        let s = read_series_from(Cursor::new("42.5")).unwrap();
+        assert_eq!(s.values(), &[42.5]);
+    }
+
+    #[test]
+    fn final_line_without_trailing_newline_roundtrips_from_disk() {
+        let dir = std::env::temp_dir().join("valmod_series_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("no_trailing_newline.txt");
+        std::fs::write(&path, "0.25\n-1\n7.5").unwrap();
+        let s = read_series(&path).unwrap();
+        assert_eq!(s.values(), &[0.25, -1.0, 7.5]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn parses_csv_and_whitespace_mixes() {
         let s = read_series_from(Cursor::new("1, 2,3\n 4\t5 \n")).unwrap();
         assert_eq!(s.values(), &[1.0, 2.0, 3.0, 4.0, 5.0]);

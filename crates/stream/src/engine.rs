@@ -55,7 +55,7 @@ use valmod_core::discord::{Discord, LengthDiscords};
 use valmod_core::{run_valmod, Valmap, ValmodConfig, ValmodOutput};
 use valmod_fft::sliding_dot_product;
 use valmod_mp::motif::{top_k_discords, top_k_pairs};
-use valmod_mp::stomp::stomp_parallel;
+use valmod_mp::stomp::stomp_parallel_in;
 use valmod_mp::{MatrixProfile, MotifPair};
 use valmod_series::znorm::zdist_from_dot;
 use valmod_series::{Result, SeriesError};
@@ -355,8 +355,13 @@ impl StreamingValmod {
         for length in config.l_min..=config.l_max {
             let m = n - length + 1;
             let per_len_reserve = reserve - length + 1;
-            let mut profile =
-                stomp_parallel(initial, length, config.exclusion(length), config.threads)?;
+            let mut profile = stomp_parallel_in(
+                initial,
+                length,
+                config.exclusion(length),
+                config.threads,
+                config.pool(),
+            )?;
             reserve_extra(&mut profile.values, per_len_reserve);
             reserve_extra(&mut profile.indices, per_len_reserve);
             let mut last_qt = sliding_dot_product(&t[n - length..], t);
@@ -479,7 +484,7 @@ impl StreamingValmod {
         self.cross.clear();
         self.cross.extend(t.iter().map(|&x| v * x));
         let (stats, cross) = (&self.stats, &self.cross[..]);
-        for_each_state(&mut self.lengths, self.config.threads, n, |state| {
+        for_each_state(&mut self.lengths, &self.config, n, |state| {
             state.advance(stats, cross, n);
         });
         self.version += 1;
@@ -521,7 +526,7 @@ impl StreamingValmod {
         }
         let count = points.len();
         let stats = &self.stats;
-        for_each_state(&mut self.lengths, self.config.threads, base_n + count, |state| {
+        for_each_state(&mut self.lengths, &self.config, base_n + count, |state| {
             state.extend(stats, base_n, count);
         });
         self.version += 1;
@@ -649,34 +654,19 @@ fn reserve_extra<T>(v: &mut Vec<T>, target: usize) {
     }
 }
 
-/// Runs `f` over every length state — inline, or chunked across scoped
-/// threads when the total recurrence work justifies spawning. States are
-/// fully independent, so results are identical for every worker count.
+/// Runs `f` over every length state — inline, or chunked across the
+/// configuration's persistent [`WorkerPool`] when the total recurrence
+/// work justifies fanning out. States are fully independent, so results
+/// are identical for every worker count and every pool.
 fn for_each_state(
     states: &mut [LengthState],
-    threads: usize,
+    config: &ValmodConfig,
     n: usize,
     f: impl Fn(&mut LengthState) + Sync,
 ) {
     let cells = n.saturating_mul(states.len());
-    let workers = threads.min(states.len()).min(cells / MIN_CELLS_PER_WORKER).max(1);
-    if workers <= 1 {
-        for state in states {
-            f(state);
-        }
-        return;
-    }
-    let chunk = states.len().div_ceil(workers);
-    let f = &f;
-    std::thread::scope(|scope| {
-        for chunk_states in states.chunks_mut(chunk) {
-            scope.spawn(move || {
-                for state in chunk_states {
-                    f(state);
-                }
-            });
-        }
-    });
+    let workers = config.threads.min(states.len()).min(cells / MIN_CELLS_PER_WORKER).max(1);
+    config.pool().for_each_mut(states, workers, |_, state| f(state));
 }
 
 #[cfg(test)]

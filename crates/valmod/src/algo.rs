@@ -28,31 +28,38 @@
 //!
 //! # Parallelism
 //!
-//! Both stages scale across [`ValmodConfig::threads`] worker threads and
-//! produce **bit-identical results for every thread count**:
+//! Both stages scale across [`ValmodConfig::threads`] workers — parked
+//! threads of the configuration's persistent [`valmod_mp::WorkerPool`]
+//! ([`ValmodConfig::pool`]), dispatched per phase instead of spawned —
+//! and produce **bit-identical results for every thread count and every
+//! pool**:
 //!
-//! * Stage 1 partitions the QT matrix's diagonals across workers (the
-//!   [`StompEngine::walk_diagonals`] traversal — per-cell arithmetic is
-//!   independent of the partitioning). Each worker keeps a per-row
-//!   [`TopRhoSelector`] and per-row best; selectors merge row-wise with
-//!   [`TopRhoSelector::absorb`], which is exact because the global top-p
-//!   is contained in the union of per-partition top-p sets, so `worst_rho`
-//!   and `maxLB` come out the same as a single pass.
+//! * Stage 1 partitions the QT matrix's diagonals across workers (blocks
+//!   of four adjacent diagonals, walked by the SIMD kernel of
+//!   `crate::kernel`; series with flat windows take the scalar
+//!   [`StompEngine::walk_diagonals`] distance-space walk instead —
+//!   per-cell arithmetic is independent of the partitioning either way).
+//!   Each worker keeps a per-row [`TopRhoSelector`] and per-row best;
+//!   selectors merge row-wise with [`TopRhoSelector::absorb`], which is
+//!   exact because the global top-p is contained in the union of
+//!   per-partition top-p sets, so `worst_rho` and `maxLB` come out the
+//!   same as a single pass.
 //! * Stage 2 chunks the independent per-row work (dot-product advance,
-//!   statistics, classification, MASS recomputation) across scoped
-//!   threads; each row's math never depends on the chunking, and the MASS
+//!   statistics, classification, MASS recomputation) across the same
+//!   pool; each row's math never depends on the chunking, and the MASS
 //!   fallback reuses one [`ProfileScratch`] per worker so the hot loop
 //!   allocates nothing per row.
 
 use valmod_mp::mass::{DistanceProfiler, ProfileScratch};
 use valmod_mp::motif::top_k_pairs;
-use valmod_mp::stomp::{run_workers, stomp_parallel, StompEngine};
+use valmod_mp::stomp::{stomp_parallel_in, StompEngine};
 use valmod_mp::{MatrixProfile, MotifPair};
 use valmod_series::stats::FLAT_EPS;
 use valmod_series::znorm::{pearson_from_dist, zdist_from_dot};
 use valmod_series::{Result, RollingStats};
 
 use crate::config::ValmodConfig;
+use crate::kernel::{self, Stage1Part};
 use crate::lb::LbRowContext;
 use crate::partial::{PartialRow, TopRhoSelector};
 use crate::valmap::Valmap;
@@ -218,29 +225,6 @@ pub(crate) fn worker_count(threads: usize, items: usize, min_per_worker: usize) 
     threads.min(items.div_ceil(min_per_worker.max(1)))
 }
 
-/// Fills `out[i]` with `f(i, &mut out[i])` on `workers` scoped threads
-/// (inline for a single worker). The chunking is invisible to results:
-/// every element's update depends only on its own index.
-pub(crate) fn par_fill<T: Send>(out: &mut [T], workers: usize, f: impl Fn(usize, &mut T) + Sync) {
-    if workers <= 1 {
-        for (i, v) in out.iter_mut().enumerate() {
-            f(i, v);
-        }
-        return;
-    }
-    let chunk = out.len().div_ceil(workers);
-    let f = &f;
-    std::thread::scope(|scope| {
-        for (ci, chunk_data) in out.chunks_mut(chunk).enumerate() {
-            scope.spawn(move || {
-                for (off, v) in chunk_data.iter_mut().enumerate() {
-                    f(ci * chunk + off, v);
-                }
-            });
-        }
-    });
-}
-
 /// Stage 1: walk the QT matrix's diagonals at `ℓmin` across workers,
 /// building the base matrix profile and the per-row partial profiles.
 ///
@@ -256,9 +240,6 @@ pub(crate) fn stage_one(
     let l0 = config.l_min;
     let m = engine.num_windows();
     let excl = config.exclusion(l0);
-    let means = engine.means();
-    let stds = engine.stds();
-    let lf = l0 as f64;
     let mut mp = MatrixProfile::unfilled(l0, excl, m);
     let first_diag = excl + 1;
     if first_diag >= m {
@@ -267,11 +248,6 @@ pub(crate) fn stage_one(
         return (mp, rows);
     }
 
-    struct Stage1Part {
-        selectors: Vec<TopRhoSelector>,
-        /// Per-row best under "(distance asc, neighbor offset asc)".
-        best: Vec<(f64, usize)>,
-    }
     // Scale the worker count to the actual cell work and keep the
     // per-worker state within the memory budget; any count produces
     // identical results, so both caps are pure performance knobs.
@@ -283,53 +259,85 @@ pub(crate) fn stage_one(
     let num_workers = worker_count(config.threads, cells, STAGE1_MIN_CELLS_PER_WORKER)
         .min(state_cap)
         .min(m - first_diag);
-    let mut parts = run_workers(num_workers, |w| {
-        let mut selectors: Vec<TopRhoSelector> =
-            (0..m).map(|_| TopRhoSelector::new(config.profile_size)).collect();
-        let mut best: Vec<(f64, usize)> = vec![(f64::INFINITY, usize::MAX); m];
-        engine.walk_diagonals(first_diag + w, num_workers, |i, j, qt| {
-            let (d, rho) = if stds[i] < FLAT_EPS || stds[j] < FLAT_EPS {
-                // Degenerate pair: contribute the conventional distance to
-                // the profile and enter the partial profile with the worst
-                // correlation. The lower bound evaluated at ρ = −1 (its
-                // plateau) remains admissible for flat candidates, so
-                // pruning stays exact.
-                (zdist_from_dot(qt, l0, means[i], stds[i], means[j], stds[j]), -1.0)
-            } else {
-                let rho =
-                    ((qt - lf * means[i] * means[j]) / (lf * stds[i] * stds[j])).clamp(-1.0, 1.0);
-                ((2.0 * lf * (1.0 - rho)).max(0.0).sqrt(), rho)
-            };
-            selectors[i].offer(j, rho, qt);
-            selectors[j].offer(i, rho, qt);
-            if d < best[i].0 || (d == best[i].0 && j < best[i].1) {
-                best[i] = (d, j);
-            }
-            if d < best[j].0 || (d == best[j].0 && i < best[j].1) {
-                best[j] = (d, i);
-            }
-        });
-        Stage1Part { selectors, best }
+    // The hot path is the SIMD kernel (crate::kernel); series with flat
+    // windows at ℓmin take the scalar distance-space walk instead, whose
+    // per-cell conventions the kernel does not model. Both produce the
+    // same SoA worker state and merge identically.
+    let has_flat = engine.has_flat_windows();
+    let mut parts = config.pool().run(num_workers, |w| {
+        if has_flat {
+            stage_one_flat_worker(engine, config, first_diag, w, num_workers)
+        } else {
+            kernel::stage1_walk(engine, first_diag, w, num_workers, config.profile_size)
+        }
     });
 
     // Row-wise merge of the worker partitions.
     let rest = parts.split_off(1);
     let first = parts.pop().expect("at least one worker");
     let mut rows: Vec<PartialRow> = Vec::with_capacity(m);
-    for (i, (mut selector, mut best)) in first.selectors.into_iter().zip(first.best).enumerate() {
+    for (i, (mut selector, (mut best_d, mut best_j))) in
+        first.selectors.into_iter().zip(first.best_d.into_iter().zip(first.best_j)).enumerate()
+    {
         for part in &rest {
             selector.absorb(&part.selectors[i]);
-            let cand = part.best[i];
-            if cand.0 < best.0 || (cand.0 == best.0 && cand.1 < best.1) {
-                best = cand;
+            let (cand_d, cand_j) = (part.best_d[i], part.best_j[i]);
+            if cand_d < best_d || (cand_d == best_d && cand_j < best_j) {
+                best_d = cand_d;
+                best_j = cand_j;
             }
         }
-        if best.1 != usize::MAX {
-            mp.offer(i, best.0, best.1);
+        if best_j != u32::MAX {
+            mp.offer(i, best_d, best_j as usize);
         }
         rows.push(selector.into_row(l0));
     }
     (mp, rows)
+}
+
+/// The scalar stage-1 worker for series with flat (σ ≈ 0) windows at the
+/// base length: per-cell distance conventions, interleaved-diagonal
+/// partitioning — the pre-kernel walk, verbatim, writing into the same
+/// SoA worker state as the kernel.
+fn stage_one_flat_worker(
+    engine: &StompEngine,
+    config: &ValmodConfig,
+    first_diag: usize,
+    w: usize,
+    num_workers: usize,
+) -> Stage1Part {
+    let l0 = config.l_min;
+    let m = engine.num_windows();
+    let means = engine.means();
+    let stds = engine.stds();
+    let lf = l0 as f64;
+    let mut part = Stage1Part::new(m, config.profile_size);
+    engine.walk_diagonals(first_diag + w, num_workers, |i, j, qt| {
+        let (d, rho) = if stds[i] < FLAT_EPS || stds[j] < FLAT_EPS {
+            // Degenerate pair: contribute the conventional distance to
+            // the profile and enter the partial profile with the worst
+            // correlation. The lower bound evaluated at ρ = −1 (its
+            // plateau) remains admissible for flat candidates, so
+            // pruning stays exact.
+            (zdist_from_dot(qt, l0, means[i], stds[i], means[j], stds[j]), -1.0)
+        } else {
+            let rho = ((qt - lf * means[i] * means[j]) / (lf * stds[i] * stds[j])).clamp(-1.0, 1.0);
+            ((2.0 * lf * (1.0 - rho)).max(0.0).sqrt(), rho)
+        };
+        part.selectors[i].offer(j, rho, qt);
+        part.selectors[j].offer(i, rho, qt);
+        let ju = kernel::idx32(j);
+        if d < part.best_d[i] || (d == part.best_d[i] && ju < part.best_j[i]) {
+            part.best_d[i] = d;
+            part.best_j[i] = ju;
+        }
+        let iu = kernel::idx32(i);
+        if d < part.best_d[j] || (d == part.best_d[j] && iu < part.best_j[j]) {
+            part.best_d[j] = d;
+            part.best_j[j] = iu;
+        }
+    });
+    part
 }
 
 /// Classification outcome of one row at one length.
@@ -382,6 +390,7 @@ fn step_length(
     let excl = config.exclusion(length);
     let lf = length as f64;
     let threads = config.threads;
+    let pool = config.pool();
     let row_workers = worker_count(threads, m, MIN_ROWS_PER_WORKER);
     let StepScratch { means, stds, outcomes, mass } = scratch;
 
@@ -389,7 +398,7 @@ fn step_length(
     // happen for *all* rows/entries alive at this length, independent of
     // any fallback, so the incremental state stays consistent. Rows are
     // independent, so the advance chunks freely across workers.
-    par_fill(&mut rows[..m], row_workers, |i, row| {
+    pool.for_each_mut(&mut rows[..m], row_workers, |i, row| {
         for e in &mut row.entries {
             let j = e.j as usize;
             if j < m {
@@ -400,15 +409,15 @@ fn step_length(
 
     means.resize(m, 0.0);
     stds.resize(m, 0.0);
-    par_fill(means, row_workers, |i, v| *v = stats.centered_mean(i, length));
-    par_fill(stds, row_workers, |i, v| *v = stats.std(i, length));
+    pool.for_each_mut(means, row_workers, |i, v| *v = stats.centered_mean(i, length));
+    pool.for_each_mut(stds, row_workers, |i, v| *v = stats.std(i, length));
     let (means, stds) = (&means[..], &stds[..]);
 
     if stds.iter().any(|&s| s < FLAT_EPS) {
         // Degenerate windows break the correlation-rank machinery: compute
         // this length exactly with (diagonal-parallel) STOMP and re-seed
         // nothing (stored profiles remain correct for later lengths).
-        let mp = stomp_parallel(values, length, excl, threads)?;
+        let mp = stomp_parallel_in(values, length, excl, threads, pool)?;
         let pairs = top_k_pairs(&mp, config.k);
         return Ok(LengthResult {
             length,
@@ -426,7 +435,7 @@ fn step_length(
     // Classify rows — pure per-row reads, chunked across workers.
     let rows_ref: &[PartialRow] = rows;
     outcomes.resize(m, RowOutcome::EMPTY);
-    par_fill(outcomes, row_workers, |i, out| {
+    pool.for_each_mut(outcomes, row_workers, |i, out| {
         let row = &rows_ref[i];
         let mut min_dist = f64::INFINITY;
         let mut min_j = usize::MAX;
@@ -535,19 +544,15 @@ fn step_length(
             let results: Vec<Result<Vec<RecomputedRow>>> = if workers <= 1 {
                 vec![recompute_chunk(&todo, &mut mass[0])]
             } else {
-                let recompute_chunk = &recompute_chunk;
-                let mut results = Vec::with_capacity(workers);
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = todo
-                        .chunks(chunk_len)
-                        .zip(mass.iter_mut())
-                        .map(|(c, ms)| scope.spawn(move || recompute_chunk(c, ms)))
-                        .collect();
-                    for h in handles {
-                        results.push(h.join().expect("recompute worker panicked"));
-                    }
-                });
-                results
+                // Pool workers take their chunk's scratch through a Mutex
+                // (one uncontended acquisition per chunk per length step).
+                let chunks: Vec<&[usize]> = todo.chunks(chunk_len).collect();
+                let scratches: Vec<std::sync::Mutex<&mut ProfileScratch>> =
+                    mass.iter_mut().take(chunks.len()).map(std::sync::Mutex::new).collect();
+                pool.run(chunks.len(), |w| {
+                    let mut ms = scratches[w].lock().expect("scratch lock poisoned");
+                    recompute_chunk(chunks[w], &mut ms)
+                })
             };
             // Contiguous chunks of an ascending `todo` concatenate back in
             // ascending row order — the same order the serial loop used.

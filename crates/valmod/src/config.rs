@@ -1,5 +1,8 @@
 //! VALMOD configuration.
 
+use std::sync::Arc;
+
+use valmod_mp::WorkerPool;
 use valmod_series::{Result, SeriesError};
 
 /// Parameters of a VALMOD run.
@@ -17,7 +20,7 @@ use valmod_series::{Result, SeriesError};
 /// assert_eq!(config.k, 5);
 /// assert_eq!(config.exclusion(64), 16);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ValmodConfig {
     /// Smallest subsequence length `ℓmin`.
     pub l_min: usize,
@@ -36,7 +39,34 @@ pub struct ValmodConfig {
     /// value** — the engine's merges are partition-independent — so this
     /// is purely a performance knob.
     pub threads: usize,
+    /// The persistent [`WorkerPool`] every parallel phase of this run
+    /// dispatches to; `None` uses the process-wide [`WorkerPool::global`].
+    /// Purely a performance/ownership knob (results never depend on which
+    /// pool carried the threads), so it is ignored by equality.
+    pool: Option<Arc<WorkerPool>>,
 }
+
+/// Equality compares the algorithmic parameters only; the worker pool is a
+/// transport detail that never influences results (see
+/// [`ValmodConfig::with_pool`]).
+impl PartialEq for ValmodConfig {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructuring: adding a field to the struct fails to
+        // compile here until equality explicitly includes or excludes it.
+        let Self { l_min, l_max, k, profile_size, exclusion_den, threads, pool: _ } = self;
+        (*l_min, *l_max, *k, *profile_size, *exclusion_den, *threads)
+            == (
+                other.l_min,
+                other.l_max,
+                other.k,
+                other.profile_size,
+                other.exclusion_den,
+                other.threads,
+            )
+    }
+}
+
+impl Eq for ValmodConfig {}
 
 impl ValmodConfig {
     /// A configuration with paper defaults for the given length range and
@@ -44,7 +74,7 @@ impl ValmodConfig {
     #[must_use]
     pub fn new(l_min: usize, l_max: usize) -> Self {
         let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        Self { l_min, l_max, k: 10, profile_size: 8, exclusion_den: 4, threads }
+        Self { l_min, l_max, k: 10, profile_size: 8, exclusion_den: 4, threads, pool: None }
     }
 
     /// Sets the number of motif pairs reported per length.
@@ -74,6 +104,28 @@ impl ValmodConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Dispatches every parallel phase of runs under this configuration to
+    /// `pool` instead of the process-wide [`WorkerPool::global`] — one
+    /// persistent set of parked threads created once and reused across
+    /// stage 1, stage 2, discord search, and streaming appends. Results
+    /// are **identical for every pool**: the pool only carries the
+    /// threads, never the math.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The pool runs under this configuration dispatch to: the one set
+    /// via [`ValmodConfig::with_pool`], or the process-wide global pool.
+    #[must_use]
+    pub fn pool(&self) -> &WorkerPool {
+        match &self.pool {
+            Some(pool) => pool,
+            None => WorkerPool::global(),
+        }
     }
 
     /// The trivial-match exclusion half-width at length `l`.

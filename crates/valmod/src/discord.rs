@@ -22,7 +22,7 @@
 //! Stage 1 is *identical* to the motif engine's (base profile + partial
 //! profiles at `ℓmin`), so it reuses [`crate::algo`]'s diagonal-parallel
 //! walk verbatim; the per-length dot-product advance and bound
-//! classification chunk across the same scoped workers. Both are
+//! classification chunk across the same persistent worker pool. Both are
 //! partition-independent, so — like the motif engine — results are
 //! **bit-identical for every thread count**. Only the adaptive resolve
 //! loop stays serial: it is an early-exit scan whose whole point is to
@@ -34,7 +34,7 @@ use valmod_series::stats::FLAT_EPS;
 use valmod_series::znorm::{length_normalized, zdist_from_dot};
 use valmod_series::{Result, RollingStats};
 
-use crate::algo::{par_fill, stage_one, worker_count, MIN_ROWS_PER_WORKER};
+use crate::algo::{stage_one, worker_count, MIN_ROWS_PER_WORKER};
 use crate::config::ValmodConfig;
 use crate::lb::LbRowContext;
 use crate::partial::PartialRow;
@@ -156,11 +156,12 @@ fn step_discords(
     let n = values.len();
     let m = n - length + 1;
     let excl = config.exclusion(length);
+    let pool = config.pool();
     let row_workers = worker_count(config.threads, m, MIN_ROWS_PER_WORKER);
 
     // Advance the stored dot products (same recurrence as the motif path);
     // rows are independent, so the advance chunks freely across workers.
-    par_fill(&mut rows[..m], row_workers, |i, row| {
+    pool.for_each_mut(&mut rows[..m], row_workers, |i, row| {
         for e in &mut row.entries {
             let j = e.j as usize;
             if j < m {
@@ -172,7 +173,7 @@ fn step_discords(
     // One fused pass for both window moments (each extra thread scope
     // costs a spawn; see algo.rs's stage-2 notes).
     let mut moments = vec![(0.0, 0.0); m];
-    par_fill(&mut moments, row_workers, |i, v| {
+    pool.for_each_mut(&mut moments, row_workers, |i, v| {
         *v = (stats.centered_mean(i, length), stats.std(i, length));
     });
 
@@ -197,7 +198,7 @@ fn step_discords(
     let rows_ref: &[PartialRow] = rows;
     let moments = &moments[..];
     let mut bounds = vec![(f64::INFINITY, true); m];
-    par_fill(&mut bounds, row_workers, |i, out| {
+    pool.for_each_mut(&mut bounds, row_workers, |i, out| {
         let row = &rows_ref[i];
         let (mean_i, std_i) = moments[i];
         let mut min_d = f64::INFINITY;

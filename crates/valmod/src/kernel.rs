@@ -1,0 +1,656 @@
+//! The stage-1 diagonal kernel: a 4-wide, FMA-based rewrite of VALMOD's
+//! hottest loop.
+//!
+//! Stage 1 walks every diagonal of the QT matrix at `ℓmin`, and per cell
+//! does one fused multiply-add (the dot-product recurrence), one
+//! correlation/distance conversion, two best-so-far compares and two
+//! top-`p` selector offers. On the paper's workloads this is ~90% of
+//! end-to-end time, so this module rewrites the walk to process **four
+//! adjacent diagonals per iteration**:
+//!
+//! * the four dot products update with one (vectorizable) fused
+//!   multiply-add each — four independent recurrence chains, which is
+//!   exactly the shape out-of-order FMA units want;
+//! * all candidate loads (`t[j−1]`, `t[j+ℓ−1]`, `means[j]`, `stds[j]`,
+//!   the per-row bests of rows `j..j+4`) become contiguous 4-lane loads,
+//!   because the four diagonals are *adjacent* (`j = i + k0 + c`);
+//! * the correlation, distance, and compare/select steps run branchless
+//!   across the four lanes;
+//! * the two [`TopRhoSelector`] offers per cell are prefiltered against
+//!   the selector's current rejection threshold
+//!   ([`TopRhoSelector::threshold`]) — after warm-up almost every
+//!   candidate fails the threshold and costs one compare plus one
+//!   counter add instead of a full offer.
+//!
+//! # Bit-identity
+//!
+//! The kernel produces **byte-identical** results to the scalar
+//! cell-at-a-time walk (and hence to the engine as it existed before this
+//! module), for every thread count and batch width, because
+//!
+//! 1. every cell's arithmetic is the *same expression tree* as the scalar
+//!    path (the per-row hoists `ℓμᵢ`, `ℓσᵢ`, `2ℓ` keep the original
+//!    association order), evaluated in IEEE-754 double precision either
+//!    way — vector lanes round exactly like scalars, and `mul_add` is a
+//!    fused multiply-add on both paths;
+//! 2. grouping cells into 4-lane rows only changes the *order* in which
+//!    candidates reach the per-row reductions, and both reductions are
+//!    order-independent: the per-row best uses the total order
+//!    "(distance asc, neighbor offset asc)" and the selector's kept set
+//!    is a pure function of the offered set under "(ρ desc, offset asc)"
+//!    (see [`crate::partial`]);
+//! 3. the prefilter only skips offers the selector is guaranteed to
+//!    reject, while keeping the offered count exact
+//!    ([`TopRhoSelector::count_rejected`]);
+//! 4. the runtime-dispatched AVX2+FMA instantiation compiles the *same
+//!    Rust code* as the portable fallback — dispatch selects an
+//!    instruction encoding, never an algorithm.
+//!
+//! The existing byte-equality proptests
+//! (`thread_count_never_changes_results`,
+//! `discord_thread_count_never_changes_results`,
+//! `streaming_valmod_equals_batch`) double as the kernel's correctness
+//! harness, and `tests/cross_engine.rs` pins the kernel against the
+//! closure-based scalar walk directly.
+//!
+//! # Vectorization notes
+//!
+//! The two pure-math steps (dot-product recurrence, ρ/d conversion) have
+//! an explicit 256-bit `core::arch` implementation ([`packed`]) selected
+//! by the `PACKED` const parameter under the `walk_avx2` instantiation;
+//! the branchy steps (bests, offers) stay shared portable code. The
+//! portable `[f64; 4]` fallback compiles to four *scalar* fused ops per
+//! step (LLVM unrolls but does not SLP-pack the divide/sqrt chain under
+//! generic tuning — verified with `objdump -d` on the release binary,
+//! which shows `vfmadd231sd` ×4 on the fallback and `vfmadd132pd` /
+//! `vdivpd` / `vsqrtpd` / `vmaxpd` / `vminpd` on ymm registers inside
+//! `walk_avx2`); that is why the packed path is explicit rather than
+//! autovectorized. Scalar `mul_add` on non-FMA hardware lowers to a libm
+//! `fma` call — slower, but bit-identical, and no slower than the
+//! pre-kernel engine, which used `mul_add` per cell already.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use valmod_mp::stomp::StompEngine;
+
+use crate::partial::TopRhoSelector;
+
+/// Diagonals processed per block iteration. Four f64 lanes fill one
+/// 256-bit vector register — the sweet spot for AVX2/FMA; AVX-512
+/// machines still win from the contiguous loads and halved loop overhead.
+pub(crate) const LANES: usize = 4;
+
+/// One stage-1 worker's partition result: per-row top-`p` selectors and
+/// per-row bests in structure-of-arrays form (`u32::MAX` = no best yet),
+/// merged row-wise by `algo::stage_one` under the usual total orders.
+pub(crate) struct Stage1Part {
+    /// Per-row top-`p` candidate selectors.
+    pub selectors: Vec<TopRhoSelector>,
+    /// Per-row best distance (`INFINITY` = none seen).
+    pub best_d: Vec<f64>,
+    /// Per-row best neighbor offset (`u32::MAX` = none seen).
+    pub best_j: Vec<u32>,
+}
+
+impl Stage1Part {
+    /// Empty worker state for `m` rows with top-`p` capacity.
+    pub(crate) fn new(m: usize, profile_size: usize) -> Self {
+        Self {
+            selectors: (0..m).map(|_| TopRhoSelector::new(profile_size)).collect(),
+            best_d: vec![f64::INFINITY; m],
+            best_j: vec![u32::MAX; m],
+        }
+    }
+}
+
+/// Narrows a subsequence offset to the `u32` the SoA state stores.
+/// Profiles beyond `u32::MAX` windows are out of scope (the partial
+/// profile entries store `u32` offsets already).
+#[inline]
+#[allow(clippy::cast_possible_truncation)]
+pub(crate) fn idx32(j: usize) -> u32 {
+    debug_assert!(j < u32::MAX as usize);
+    j as u32
+}
+
+/// Read-only inputs of one worker's walk.
+struct Ctx<'a> {
+    /// Mean-shifted series values.
+    t: &'a [f64],
+    /// `QT(0, k)` — the start of every diagonal.
+    first_row: &'a [f64],
+    means: &'a [f64],
+    stds: &'a [f64],
+    l: usize,
+    m: usize,
+    /// `ℓ` as f64.
+    lf: f64,
+    /// `2ℓ` as f64 (hoisted with the original association `2.0 * lf`).
+    two_lf: f64,
+}
+
+/// Mutable per-worker state: the output part plus the selector rejection
+/// thresholds mirrored as a flat array the prefilter can load cheaply.
+struct WalkState {
+    part: Stage1Part,
+    thresh: Vec<f64>,
+}
+
+/// Walks this worker's share of the upper-triangle diagonals at the base
+/// length, four adjacent diagonals per iteration, producing the worker's
+/// selectors and bests. Blocks of [`LANES`] consecutive diagonals are
+/// dealt round-robin: worker `w` of `num_workers` takes blocks `w, w +
+/// num_workers, …` starting at `first_diag`. Any partitioning yields the
+/// same merged result (see the module docs), so the blocking is purely a
+/// locality/SIMD choice.
+///
+/// Caller contract: no flat (σ ≈ 0) window exists at this length —
+/// `algo::stage_one` routes those series to the scalar distance-space
+/// walk instead.
+pub(crate) fn stage1_walk(
+    engine: &StompEngine,
+    first_diag: usize,
+    w: usize,
+    num_workers: usize,
+    profile_size: usize,
+) -> Stage1Part {
+    let m = engine.num_windows();
+    let l = engine.window();
+    let lf = l as f64;
+    let ctx = Ctx {
+        t: engine.values(),
+        first_row: engine.first_row(),
+        means: engine.means(),
+        stds: engine.stds(),
+        l,
+        m,
+        lf,
+        two_lf: 2.0 * lf,
+    };
+    let mut state =
+        WalkState { part: Stage1Part::new(m, profile_size), thresh: vec![f64::NEG_INFINITY; m] };
+    walk(&ctx, first_diag, w, num_workers, &mut state);
+    state.part
+}
+
+/// Runtime dispatch: one feature check per worker walk, then the whole
+/// diagonal share runs inside the widest available instantiation.
+fn walk(ctx: &Ctx<'_>, first_diag: usize, w: usize, num_workers: usize, state: &mut WalkState) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+            // SAFETY: the required CPU features were verified at runtime
+            // on the line above.
+            return unsafe { walk_avx2(ctx, first_diag, w, num_workers, state) };
+        }
+    }
+    walk_impl::<false>(ctx, first_diag, w, num_workers, state);
+}
+
+/// The AVX2+FMA instantiation of [`walk_impl`]: the 4-lane math steps go
+/// through the explicit `core::arch` intrinsics of [`packed`]; everything
+/// else (bests, offers, tails) is the same shared code as the portable
+/// path.
+///
+/// # Safety
+///
+/// The caller must have verified that the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn walk_avx2(
+    ctx: &Ctx<'_>,
+    first_diag: usize,
+    w: usize,
+    num_workers: usize,
+    state: &mut WalkState,
+) {
+    walk_impl::<true>(ctx, first_diag, w, num_workers, state);
+}
+
+/// Body shared by every instantiation; `PACKED` selects the explicit
+/// 256-bit math steps (only ever `true` under [`walk_avx2`]).
+#[inline(always)]
+fn walk_impl<const PACKED: bool>(
+    ctx: &Ctx<'_>,
+    first_diag: usize,
+    w: usize,
+    num_workers: usize,
+    state: &mut WalkState,
+) {
+    let m = ctx.m;
+    let stride = num_workers * LANES;
+    let mut k0 = first_diag + w * LANES;
+    while k0 < m {
+        if k0 + LANES <= m {
+            process_block::<PACKED>(ctx, k0, state);
+        } else {
+            // Ragged last block: fewer than LANES diagonals remain.
+            for k in k0..m {
+                let qt0 = ctx.first_row[k];
+                process_cell(ctx, 0, k, qt0, state);
+                tail_scalar(ctx, k, 1, qt0, state);
+            }
+        }
+        k0 += stride;
+    }
+}
+
+/// Advances the four dot products by one row: per lane,
+/// `qt = t_head·t[j+ℓ−1] + (qt − t_drop·t[j−1])` with the multiply-add
+/// fused and the drop product rounded separately — exactly the scalar
+/// recurrence's rounding.
+#[inline(always)]
+fn advance_qt<const PACKED: bool>(
+    t_head: f64,
+    t_drop: f64,
+    tj_head: &[f64],
+    tj_drop: &[f64],
+    qt: &mut [f64; LANES],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if PACKED {
+        // SAFETY: `PACKED` is only instantiated `true` by `walk_avx2`,
+        // which runs only after runtime AVX2+FMA detection.
+        unsafe { packed::advance_qt(t_head, t_drop, tj_head, tj_drop, qt) };
+        return;
+    }
+    for c in 0..LANES {
+        qt[c] = t_head.mul_add(tj_head[c], qt[c] - t_drop * tj_drop[c]);
+    }
+}
+
+/// Converts the four dot products of one row into correlations and
+/// distances: `ρ = clamp((qt − ℓμᵢ·μⱼ) / (ℓσᵢ·σⱼ))`,
+/// `d = sqrt(max(2ℓ·(1 − ρ), 0))` — the scalar expression tree per lane.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn rho_d<const PACKED: bool>(
+    a_i: f64,
+    s_i: f64,
+    two_lf: f64,
+    means_j: &[f64],
+    stds_j: &[f64],
+    qt: &[f64; LANES],
+    rho: &mut [f64; LANES],
+    d: &mut [f64; LANES],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if PACKED {
+        // SAFETY: as in `advance_qt` — `true` only under `walk_avx2`.
+        unsafe { packed::rho_d(a_i, s_i, two_lf, means_j, stds_j, qt, rho, d) };
+        return;
+    }
+    for c in 0..LANES {
+        rho[c] = ((qt[c] - a_i * means_j[c]) / (s_i * stds_j[c])).clamp(-1.0, 1.0);
+        d[c] = (two_lf * (1.0 - rho[c])).max(0.0).sqrt();
+    }
+}
+
+/// One full block: diagonals `k0 .. k0 + LANES`, all four lanes live for
+/// rows `0 .. m − k0 − LANES + 1`, then per-lane scalar tails.
+#[inline(always)]
+fn process_block<const PACKED: bool>(ctx: &Ctx<'_>, k0: usize, state: &mut WalkState) {
+    let (t, l, m) = (ctx.t, ctx.l, ctx.m);
+    let mut qt = [0.0f64; LANES];
+    qt.copy_from_slice(&ctx.first_row[k0..k0 + LANES]);
+    process_row::<PACKED>(ctx, 0, k0, &qt, state);
+
+    // Rows where all four diagonals are still inside the triangle: lane c
+    // ends at row m − (k0 + c), so the shortest lane (c = LANES − 1)
+    // bounds the vector region.
+    let full_rows = m - (k0 + LANES - 1);
+    for i in 1..full_rows {
+        let j0 = i + k0;
+        advance_qt::<PACKED>(
+            t[i + l - 1],
+            t[i - 1],
+            &t[j0 + l - 1..j0 + l - 1 + LANES],
+            &t[j0 - 1..j0 - 1 + LANES],
+            &mut qt,
+        );
+        process_row::<PACKED>(ctx, i, j0, &qt, state);
+    }
+
+    // Lane tails: lanes 0..LANES−1 outlive the vector region by
+    // LANES−1−c rows each; finish them with the scalar cell.
+    for (c, &qt_c) in qt.iter().enumerate().take(LANES - 1) {
+        tail_scalar(ctx, k0 + c, full_rows, qt_c, state);
+    }
+}
+
+/// Continues diagonal `k` from row `start_i` (with `qt` holding the value
+/// at `start_i − 1`, or `QT(0, k)` when `start_i` is 1) to its end.
+#[inline(always)]
+fn tail_scalar(ctx: &Ctx<'_>, k: usize, start_i: usize, mut qt: f64, state: &mut WalkState) {
+    let (t, l) = (ctx.t, ctx.l);
+    for i in start_i..ctx.m - k {
+        let j = i + k;
+        qt = t[i + l - 1].mul_add(t[j + l - 1], qt - t[i - 1] * t[j - 1]);
+        process_cell(ctx, i, j, qt, state);
+    }
+}
+
+/// Four cells of one row: `(i, j0 .. j0 + LANES)`. The ρ/d conversion and
+/// both best updates run branchless across the lanes; selector offers are
+/// prefiltered per lane.
+#[inline(always)]
+fn process_row<const PACKED: bool>(
+    ctx: &Ctx<'_>,
+    i: usize,
+    j0: usize,
+    qt: &[f64; LANES],
+    state: &mut WalkState,
+) {
+    // Hoists preserve the scalar association order:
+    // ℓμᵢμⱼ = (ℓμᵢ)·μⱼ and ℓσᵢσⱼ = (ℓσᵢ)·σⱼ.
+    let a_i = ctx.lf * ctx.means[i];
+    let s_i = ctx.lf * ctx.stds[i];
+    let mut rho = [0.0f64; LANES];
+    let mut d = [0.0f64; LANES];
+    rho_d::<PACKED>(
+        a_i,
+        s_i,
+        ctx.two_lf,
+        &ctx.means[j0..j0 + LANES],
+        &ctx.stds[j0..j0 + LANES],
+        qt,
+        &mut rho,
+        &mut d,
+    );
+
+    let part = &mut state.part;
+    // Per-row best for row i: reduce the four lanes under
+    // "(d asc, j asc)" — strict < keeps the earliest (smallest-j) lane on
+    // ties — then fold into the running best under the same order.
+    let (mut bd, mut bc) = (d[0], 0usize);
+    for (c, &dc) in d.iter().enumerate().skip(1) {
+        if dc < bd {
+            bd = dc;
+            bc = c;
+        }
+    }
+    let bj = idx32(j0 + bc);
+    if bd < part.best_d[i] || (bd == part.best_d[i] && bj < part.best_j[i]) {
+        part.best_d[i] = bd;
+        part.best_j[i] = bj;
+    }
+
+    // Per-row bests for rows j0..j0+LANES (candidate i), as branchless
+    // selects over contiguous lanes.
+    let iu = idx32(i);
+    for (c, &dc) in d.iter().enumerate() {
+        let j = j0 + c;
+        let take = dc < part.best_d[j] || (dc == part.best_d[j] && iu < part.best_j[j]);
+        part.best_d[j] = if take { dc } else { part.best_d[j] };
+        part.best_j[j] = if take { iu } else { part.best_j[j] };
+    }
+
+    // Row-side offers: candidates j0..j0+LANES into row i's selector. One
+    // vectorizable max prefilters the common all-rejected case.
+    let mut t_i = state.thresh[i];
+    let max_rho = rho.iter().fold(f64::NEG_INFINITY, |a, &r| if r > a { r } else { a });
+    if max_rho < t_i {
+        part.selectors[i].count_rejected(LANES);
+    } else {
+        for c in 0..LANES {
+            if rho[c] < t_i {
+                part.selectors[i].count_rejected(1);
+            } else {
+                part.selectors[i].offer(j0 + c, rho[c], qt[c]);
+                t_i = part.selectors[i].threshold();
+            }
+        }
+        state.thresh[i] = t_i;
+    }
+
+    // Column-side offers: candidate i into each of rows j0..j0+LANES.
+    for c in 0..LANES {
+        let j = j0 + c;
+        if rho[c] < state.thresh[j] {
+            part.selectors[j].count_rejected(1);
+        } else {
+            part.selectors[j].offer(i, rho[c], qt[c]);
+            state.thresh[j] = part.selectors[j].threshold();
+        }
+    }
+}
+
+/// One scalar cell `(i, j)` — the remainder path. Bit-identical to a lane
+/// of [`process_row`]: same expression tree, same total orders, same
+/// prefilter contract.
+#[inline(always)]
+fn process_cell(ctx: &Ctx<'_>, i: usize, j: usize, qt: f64, state: &mut WalkState) {
+    let rho = ((qt - ctx.lf * ctx.means[i] * ctx.means[j]) / (ctx.lf * ctx.stds[i] * ctx.stds[j]))
+        .clamp(-1.0, 1.0);
+    let d = (ctx.two_lf * (1.0 - rho)).max(0.0).sqrt();
+
+    let part = &mut state.part;
+    let ju = idx32(j);
+    if d < part.best_d[i] || (d == part.best_d[i] && ju < part.best_j[i]) {
+        part.best_d[i] = d;
+        part.best_j[i] = ju;
+    }
+    let iu = idx32(i);
+    if d < part.best_d[j] || (d == part.best_d[j] && iu < part.best_j[j]) {
+        part.best_d[j] = d;
+        part.best_j[j] = iu;
+    }
+
+    if rho < state.thresh[i] {
+        part.selectors[i].count_rejected(1);
+    } else {
+        part.selectors[i].offer(j, rho, qt);
+        state.thresh[i] = part.selectors[i].threshold();
+    }
+    if rho < state.thresh[j] {
+        part.selectors[j].count_rejected(1);
+    } else {
+        part.selectors[j].offer(i, rho, qt);
+        state.thresh[j] = part.selectors[j].threshold();
+    }
+}
+
+/// The explicit 256-bit math steps of the AVX2+FMA instantiation.
+///
+/// Each function is the *same expression tree* as its portable
+/// counterpart, op for op: `vmulpd`/`vsubpd` where the scalar rounds a
+/// product before subtracting, `vfmadd` only where the scalar uses
+/// `mul_add`, `vminpd(vmaxpd(·))` for `clamp` (NaN-free by the no-flat
+/// contract, so the x86 min/max tie conventions cannot diverge from
+/// `f64::clamp`), and `vmaxpd(·, 0)` for `.max(0.0)` (the operand is
+/// never −0.0: `1 − ρ ≥ +0.0` after clamping, and a positive times +0.0
+/// stays +0.0). Every op is exactly rounded IEEE-754, so lanes equal the
+/// scalar path bit for bit.
+#[cfg(target_arch = "x86_64")]
+mod packed {
+    use super::LANES;
+    use core::arch::x86_64::{
+        _mm256_div_pd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_max_pd, _mm256_min_pd,
+        _mm256_mul_pd, _mm256_set1_pd, _mm256_sqrt_pd, _mm256_storeu_pd, _mm256_sub_pd,
+    };
+
+    /// Packed lane step of [`super::advance_qt`].
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    pub(super) fn advance_qt(
+        t_head: f64,
+        t_drop: f64,
+        tj_head: &[f64],
+        tj_drop: &[f64],
+        qt: &mut [f64; LANES],
+    ) {
+        let heads = &tj_head[..LANES];
+        let drops = &tj_drop[..LANES];
+        // SAFETY: every pointer spans exactly LANES f64s (asserted by the
+        // reslices above); loadu/storeu carry no alignment requirement.
+        unsafe {
+            let q = _mm256_loadu_pd(qt.as_ptr());
+            let dropped = _mm256_mul_pd(_mm256_set1_pd(t_drop), _mm256_loadu_pd(drops.as_ptr()));
+            let acc = _mm256_sub_pd(q, dropped);
+            let next =
+                _mm256_fmadd_pd(_mm256_set1_pd(t_head), _mm256_loadu_pd(heads.as_ptr()), acc);
+            _mm256_storeu_pd(qt.as_mut_ptr(), next);
+        }
+    }
+
+    /// Packed lane step of [`super::rho_d`].
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn rho_d(
+        a_i: f64,
+        s_i: f64,
+        two_lf: f64,
+        means_j: &[f64],
+        stds_j: &[f64],
+        qt: &[f64; LANES],
+        rho: &mut [f64; LANES],
+        d: &mut [f64; LANES],
+    ) {
+        let means_j = &means_j[..LANES];
+        let stds_j = &stds_j[..LANES];
+        // SAFETY: as in `advance_qt` — exact-length slices, unaligned ops.
+        unsafe {
+            let q = _mm256_loadu_pd(qt.as_ptr());
+            let num = _mm256_sub_pd(
+                q,
+                _mm256_mul_pd(_mm256_set1_pd(a_i), _mm256_loadu_pd(means_j.as_ptr())),
+            );
+            let den = _mm256_mul_pd(_mm256_set1_pd(s_i), _mm256_loadu_pd(stds_j.as_ptr()));
+            let raw = _mm256_div_pd(num, den);
+            let clamped =
+                _mm256_min_pd(_mm256_max_pd(raw, _mm256_set1_pd(-1.0)), _mm256_set1_pd(1.0));
+            let scaled =
+                _mm256_mul_pd(_mm256_set1_pd(two_lf), _mm256_sub_pd(_mm256_set1_pd(1.0), clamped));
+            let dist = _mm256_sqrt_pd(_mm256_max_pd(scaled, _mm256_set1_pd(0.0)));
+            _mm256_storeu_pd(rho.as_mut_ptr(), clamped);
+            _mm256_storeu_pd(d.as_mut_ptr(), dist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_series::gen;
+
+    /// The pre-kernel scalar reference: the closure-based diagonal walk
+    /// with per-cell offers and no prefilter, exactly as `stage_one`
+    /// computed it before this module existed.
+    fn reference_walk(
+        engine: &StompEngine,
+        first_diag: usize,
+        w: usize,
+        num_workers: usize,
+        profile_size: usize,
+    ) -> Stage1Part {
+        let m = engine.num_windows();
+        let (means, stds) = (engine.means(), engine.stds());
+        let lf = engine.window() as f64;
+        let mut part = Stage1Part::new(m, profile_size);
+        engine.walk_diagonals(first_diag + w, num_workers, |i, j, qt| {
+            let rho = ((qt - lf * means[i] * means[j]) / (lf * stds[i] * stds[j])).clamp(-1.0, 1.0);
+            let d = (2.0 * lf * (1.0 - rho)).max(0.0).sqrt();
+            part.selectors[i].offer(j, rho, qt);
+            part.selectors[j].offer(i, rho, qt);
+            let ju = idx32(j);
+            if d < part.best_d[i] || (d == part.best_d[i] && ju < part.best_j[i]) {
+                part.best_d[i] = d;
+                part.best_j[i] = ju;
+            }
+            let iu = idx32(i);
+            if d < part.best_d[j] || (d == part.best_d[j] && iu < part.best_j[j]) {
+                part.best_d[j] = d;
+                part.best_j[j] = iu;
+            }
+        });
+        part
+    }
+
+    /// Comparable per-row state: best (distance bits, offset) plus the
+    /// selector's kept entries as (offset, rho bits).
+    type MergedRow = (u64, u32, Vec<(u32, u64)>);
+
+    /// Merges worker parts row-wise under the engine's total orders,
+    /// returning comparable per-row state.
+    fn merged(mut parts: Vec<Stage1Part>, base_len: usize) -> Vec<MergedRow> {
+        let rest = parts.split_off(1);
+        let first = parts.pop().unwrap();
+        let m = first.best_d.len();
+        let mut out = Vec::with_capacity(m);
+        for (i, (mut selector, (mut bd, mut bj))) in
+            first.selectors.into_iter().zip(first.best_d.into_iter().zip(first.best_j)).enumerate()
+        {
+            for part in &rest {
+                selector.absorb(&part.selectors[i]);
+                let (cd, cj) = (part.best_d[i], part.best_j[i]);
+                if cd < bd || (cd == bd && cj < bj) {
+                    bd = cd;
+                    bj = cj;
+                }
+            }
+            let row = selector.into_row(base_len);
+            let entries: Vec<(u32, u64)> =
+                row.entries.iter().map(|e| (e.j, e.rho_base.to_bits())).collect();
+            out.push((bd.to_bits(), bj, entries));
+        }
+        out
+    }
+
+    /// The kernel against the pre-kernel scalar walk: byte-identical
+    /// selectors and bests for several worker counts, despite the blocked
+    /// partitioning, lane grouping, and offer prefilter.
+    #[test]
+    fn kernel_is_byte_identical_to_the_scalar_reference() {
+        for (series, l) in [
+            (gen::random_walk(400, 11), 16usize),
+            (gen::ecg(500, &gen::EcgConfig::default(), 5), 32),
+            (gen::sine_mix(300, &[(30.0, 1.0)], 0.05, 9), 12),
+        ] {
+            let engine = StompEngine::new(&series, l).unwrap();
+            assert!(!engine.has_flat_windows(), "kernel contract");
+            let first_diag = l.div_ceil(4) + 1;
+            for workers in [1usize, 2, 3, 8] {
+                let kernel: Vec<Stage1Part> =
+                    (0..workers).map(|w| stage1_walk(&engine, first_diag, w, workers, 4)).collect();
+                let reference: Vec<Stage1Part> = (0..workers)
+                    .map(|w| reference_walk(&engine, first_diag, w, workers, 4))
+                    .collect();
+                assert_eq!(
+                    merged(kernel, l),
+                    merged(reference, l),
+                    "kernel diverged at l={l}, workers={workers}"
+                );
+            }
+        }
+    }
+
+    /// Tiny triangles: every ragged shape (fewer diagonals than lanes,
+    /// one-cell diagonals) goes through the remainder paths.
+    #[test]
+    fn ragged_edges_match_the_reference() {
+        let series = gen::random_walk(40, 3);
+        for l in [4usize, 6, 8] {
+            let engine = StompEngine::new(&series, l).unwrap();
+            let m = engine.num_windows();
+            for first_diag in [1usize, 2, m.saturating_sub(3).max(1), m.saturating_sub(1).max(1)] {
+                if first_diag >= m {
+                    continue;
+                }
+                for workers in [1usize, 2, 5] {
+                    let kernel: Vec<Stage1Part> = (0..workers)
+                        .map(|w| stage1_walk(&engine, first_diag, w, workers, 2))
+                        .collect();
+                    let reference: Vec<Stage1Part> = (0..workers)
+                        .map(|w| reference_walk(&engine, first_diag, w, workers, 2))
+                        .collect();
+                    assert_eq!(
+                        merged(kernel, l),
+                        merged(reference, l),
+                        "diverged at l={l}, first_diag={first_diag}, workers={workers}"
+                    );
+                }
+            }
+        }
+    }
+}

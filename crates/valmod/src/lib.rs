@@ -38,6 +38,7 @@
 pub mod algo;
 pub mod config;
 pub mod discord;
+mod kernel;
 pub mod lb;
 pub mod motif_set;
 pub mod partial;

@@ -120,6 +120,33 @@ impl TopRhoSelector {
         self.min_slot = min;
     }
 
+    /// The rejection threshold the stage-1 kernel prefilters against:
+    /// every candidate with `rho` strictly below this is guaranteed to be
+    /// rejected by [`TopRhoSelector::offer`] (it ranks worse than the
+    /// current worst kept entry of a full selector), so the kernel may
+    /// skip the offer and account it via
+    /// [`TopRhoSelector::count_rejected`] instead. `NEG_INFINITY` while
+    /// the selector still has free slots — nothing may be skipped then.
+    #[inline]
+    #[must_use]
+    pub(crate) fn threshold(&self) -> f64 {
+        if self.slots.len() < self.capacity {
+            f64::NEG_INFINITY
+        } else {
+            self.slots[self.min_slot].rho_base
+        }
+    }
+
+    /// Accounts `n` candidates that were prefiltered away without an
+    /// [`TopRhoSelector::offer`] call. Exactness contract: each skipped
+    /// candidate's `rho` was strictly below [`TopRhoSelector::threshold`]
+    /// at skip time, so `offer` would have rejected it while still
+    /// incrementing the offered count — which is all this does.
+    #[inline]
+    pub(crate) fn count_rejected(&mut self, n: usize) {
+        self.offered += n;
+    }
+
     /// Merges another selector built from a *disjoint* partition of this
     /// row's candidates, as if all of the other partition's candidates had
     /// been offered here. Exact: under a total order, the global top-`p`
@@ -230,6 +257,28 @@ mod tests {
         assert_eq!(a.entries, b.entries);
         assert_eq!(a.worst_rho(), b.worst_rho());
         assert_eq!(a.truncated, b.truncated);
+    }
+
+    #[test]
+    fn prefilter_threshold_matches_offer_semantics() {
+        // The SIMD kernel skips offers whose rho falls strictly below
+        // `threshold()`, accounting them with `count_rejected`. That must
+        // leave the selector in exactly the state full offering builds.
+        let candidates = pool(200);
+        let mut full = TopRhoSelector::new(5);
+        let mut filtered = TopRhoSelector::new(5);
+        for &(j, rho, qt) in &candidates {
+            full.offer(j, rho, qt);
+            if rho < filtered.threshold() {
+                filtered.count_rejected(1);
+            } else {
+                filtered.offer(j, rho, qt);
+            }
+        }
+        let (a, b) = (full.into_row(8), filtered.into_row(8));
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.truncated, b.truncated);
+        assert_eq!(a.worst_rho(), b.worst_rho());
     }
 
     #[test]
