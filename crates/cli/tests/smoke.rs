@@ -234,6 +234,18 @@ fn stream_final_line_without_newline_is_not_dropped() {
     );
 }
 
+/// Kills (and reaps) the child when dropped, so a failing assert in the
+/// follow test below cannot leak a `--follow` process that polls its
+/// temp file forever.
+struct KillOnDrop(std::process::Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
 #[test]
 fn stream_follow_tails_a_growing_file() {
     use std::io::{BufRead, BufReader, Write};
@@ -272,8 +284,9 @@ fn stream_follow_tails_a_growing_file() {
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::piped())
         .spawn()
+        .map(KillOnDrop)
         .unwrap();
-    let stdout = child.stdout.take().unwrap();
+    let stdout = child.0.stdout.take().unwrap();
     let (tx, rx) = mpsc::channel::<String>();
     let reader = std::thread::spawn(move || {
         for line in BufReader::new(stdout).lines() {
@@ -322,8 +335,8 @@ fn stream_follow_tails_a_growing_file() {
     }
 
     // A followed stream never ends on its own; stop the service.
-    child.kill().unwrap();
-    child.wait().unwrap();
+    child.0.kill().unwrap();
+    child.0.wait().unwrap();
     reader.join().unwrap();
 }
 

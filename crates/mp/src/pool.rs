@@ -15,14 +15,17 @@
 //! # Execution model
 //!
 //! A batch submitted via [`WorkerPool::run`] pushes its jobs onto a shared
-//! queue and then the *submitting thread helps drain the queue* until the
-//! batch completes. Two consequences:
+//! queue and then the *submitting thread helps drain the queue* until its
+//! own batch completes (it may execute jobs of concurrent batches while
+//! its own jobs are in flight, but stops helping once its batch is done).
+//! Two consequences:
 //!
 //! * the pool can never deadlock, even when a batch asks for more workers
 //!   than there are pool threads (the caller executes the surplus), and
 //!   even if jobs from several concurrent batches interleave;
 //! * a single-worker batch runs entirely inline — the serial path pays no
-//!   synchronization at all, preserving the old `run_workers` guarantee.
+//!   synchronization at all, as the pre-pool scoped-spawn helper
+//!   guaranteed.
 //!
 //! # Determinism
 //!
@@ -41,15 +44,23 @@
 //! threads, which is sound because [`WorkerPool::run`] does not return
 //! until every job of its batch has finished (a latch counts them down,
 //! and panics count too) — the same argument `std::thread::scope` makes.
-//! All `unsafe` here is confined to that lifetime erasure and to writing
-//! disjoint result slots.
+//! Completion is published *under the latch mutex* ([`Latch::count_down`]
+//! decrements and notifies while holding the guard), so every access a
+//! worker makes to the stack-borrowed batch state happens-before the
+//! submitter can observe `remaining == 0` and destroy it. The latch
+//! itself lives in an [`Arc`] owned by each job — not on the submitter's
+//! stack — so the finishing worker's final mutex unlock and condvar wake
+//! touch memory that outlives the `run` frame (the same reason
+//! `std::thread::scope` arc-allocates its `ScopeData`). All `unsafe` here
+//! is confined to the lifetime erasure and to writing disjoint result
+//! slots.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+use std::any::Any;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Upper bound on OS threads a pool will ever spawn. Batches may request
@@ -57,60 +68,125 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// pool threads and the helping caller, so results never depend on it.
 const MAX_POOL_THREADS: usize = 256;
 
-/// One queued unit of work: worker index `index` of the batch at `batch`.
+/// The completion latch of one batch, heap-allocated behind an [`Arc`] so
+/// the memory the finishing worker's last unlock/wake touches outlives the
+/// submitting `run` frame. Every queued [`Job`] owns a clone; the
+/// submitter owns one too.
+struct Latch {
+    inner: Mutex<LatchInner>,
+    /// Wakes the submitter when `remaining` hits zero.
+    done: Condvar,
+}
+
+struct LatchInner {
+    /// Jobs not yet finished (including inline and helped ones).
+    remaining: usize,
+    /// First worker panic payload; the submitter re-raises it after join.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn new(jobs: usize) -> Arc<Self> {
+        Arc::new(Self {
+            inner: Mutex::new(LatchInner { remaining: jobs, panic: None }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Counts one job done, keeping the first panic payload, and wakes the
+    /// submitter when the count hits zero. Decrementing and notifying
+    /// under the mutex is what makes destroying the batch state sound: the
+    /// submitter can only observe `remaining == 0` through this same
+    /// mutex, so every prior access the worker made to the stack-borrowed
+    /// batch happens-before that observation.
+    fn count_down(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut inner = self.inner.lock().expect("batch latch poisoned");
+        if inner.panic.is_none() {
+            inner.panic = panic;
+        }
+        inner.remaining -= 1;
+        if inner.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Whether every job of the batch has finished (non-blocking).
+    fn is_done(&self) -> bool {
+        self.inner.lock().expect("batch latch poisoned").remaining == 0
+    }
+
+    /// Blocks until every job of the batch has finished; returns the first
+    /// panic payload, if any worker panicked.
+    fn join(&self) -> Option<Box<dyn Any + Send>> {
+        let mut inner = self.inner.lock().expect("batch latch poisoned");
+        while inner.remaining > 0 {
+            inner = self.done.wait(inner).expect("batch latch poisoned");
+        }
+        inner.panic.take()
+    }
+}
+
+/// One queued unit of work: worker index `index` of the batch at `batch`,
+/// plus an owned handle on that batch's completion latch.
 ///
 /// The raw pointer is lifetime-erased; see the module docs for why the
-/// batch (and everything it borrows) outlives the job.
+/// batch (and everything it borrows) outlives the job. The latch is
+/// `Arc`-owned precisely because it must *not* rely on that argument: it
+/// is the thing the worker touches last, after which the batch may die.
 struct Job {
     batch: *const BatchState,
+    latch: Arc<Latch>,
     index: usize,
 }
 
-// SAFETY: a `Job` is only ever dereferenced while the submitting
-// `WorkerPool::run` frame is blocked waiting for the batch latch, which
-// keeps the pointed-to `BatchState` (and the closure/slots it references)
-// alive; the shared state it reaches is `Sync` (atomics, `&(dyn Fn +
-// Sync)`, and disjoint-by-index result slots).
+// SAFETY: a `Job`'s `batch` pointer is only ever dereferenced before its
+// latch is counted down, while the submitting `WorkerPool::run` frame is
+// blocked waiting on that latch, which keeps the pointed-to `BatchState`
+// (and the closure/slots it references) alive; the shared state it
+// reaches is `Sync` (`&(dyn Fn + Sync)` and disjoint-by-index result
+// slots), and `Arc<Latch>` is `Send` on its own.
 unsafe impl Send for Job {}
 
-/// Per-batch shared state: the type-erased worker call and the completion
-/// latch. Lives on the submitting thread's stack for the batch duration.
+impl Job {
+    /// Runs the job's worker and counts the latch down, recording panics.
+    /// After this returns, the job's batch may no longer exist.
+    ///
+    /// # Safety
+    ///
+    /// `self.batch` must still point at the batch's live state —
+    /// guaranteed while the submitting `run` frame waits on the latch.
+    unsafe fn execute(self) {
+        // SAFETY: forwarded precondition; the latch has not been counted
+        // down yet, so the batch is alive.
+        let panic = unsafe { (*self.batch).run_worker(self.index) };
+        // Last access: heap memory owned by `self.latch`, not the batch.
+        self.latch.count_down(panic);
+    }
+}
+
+/// Per-batch shared state: the type-erased worker call. Lives on the
+/// submitting thread's stack for the batch duration.
 struct BatchState {
     /// Runs worker `index`; type-erased so the queue holds one job type.
     /// The `*const ()` is the batch's typed context (closure + slots).
     call: unsafe fn(*const (), usize),
     ctx: *const (),
-    /// Jobs not yet finished (including inline and helped ones).
-    remaining: AtomicUsize,
-    /// Set when any worker panicked; the submitter re-panics after join.
-    panicked: AtomicBool,
-    /// Wakes the submitter when `remaining` hits zero.
-    done_lock: Mutex<()>,
-    done: Condvar,
 }
 
 impl BatchState {
-    /// Runs worker `index`, recording panics, and counts the job done.
+    /// Runs worker `index`, returning the panic payload if it panicked.
     ///
     /// # Safety
     ///
     /// `self.ctx` must still point at the batch's live typed context —
     /// guaranteed while the submitting `run` frame waits on the latch.
-    unsafe fn execute(&self, index: usize) {
-        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+    unsafe fn run_worker(&self, index: usize) -> Option<Box<dyn Any + Send>> {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
             // SAFETY: forwarded precondition — ctx is the live context
             // `call` was instantiated for.
             unsafe { (self.call)(self.ctx, index) }
-        }));
-        if result.is_err() {
-            self.panicked.store(true, Ordering::Release);
-        }
-        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            // Last job: wake the submitter. Taking the lock orders this
-            // notify after the submitter's condition re-check.
-            drop(self.done_lock.lock().expect("batch latch poisoned"));
-            self.done.notify_all();
-        }
+        }))
+        .err()
     }
 }
 
@@ -203,8 +279,9 @@ impl WorkerPool {
     ///
     /// # Panics
     ///
-    /// Re-panics on the submitting thread if any worker panicked (the pool
-    /// threads themselves survive).
+    /// Re-raises the first worker panic's original payload on the
+    /// submitting thread if any worker panicked (the pool threads
+    /// themselves survive).
     pub fn run<R: Send, F: Fn(usize) -> R + Sync>(&self, num_workers: usize, worker: F) -> Vec<R> {
         if num_workers <= 1 {
             return vec![worker(0)];
@@ -239,29 +316,30 @@ impl WorkerPool {
 
         let slots = Slots((0..num_workers).map(|_| UnsafeCell::new(None)).collect());
         let ctx = Ctx { worker: &worker, slots: &slots };
-        let batch = BatchState {
-            call: trampoline::<R, F>,
-            ctx: std::ptr::addr_of!(ctx).cast(),
-            remaining: AtomicUsize::new(num_workers),
-            panicked: AtomicBool::new(false),
-            done_lock: Mutex::new(()),
-            done: Condvar::new(),
-        };
+        let latch = Latch::new(num_workers);
+        let batch = BatchState { call: trampoline::<R, F>, ctx: std::ptr::addr_of!(ctx).cast() };
 
         // Enqueue workers 1..n, wake the pool, run worker 0 here.
         {
             let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
             for index in 1..num_workers {
-                queue.jobs.push_back(Job { batch: &batch, index });
+                queue.jobs.push_back(Job { batch: &batch, latch: Arc::clone(&latch), index });
             }
         }
         self.shared.work_ready.notify_all();
-        // SAFETY: `batch` is alive (it is on this stack frame) and we do
-        // not return before the latch reaches zero below.
-        unsafe { batch.execute(0) };
+        let panic0 = unsafe {
+            // SAFETY: `batch` is alive (it is on this stack frame) and we
+            // do not return before the latch reaches zero below.
+            batch.run_worker(0)
+        };
+        latch.count_down(panic0);
 
-        // Help drain the queue (our jobs or anyone's), then wait.
-        loop {
+        // Help drain the queue (our jobs, or concurrent batches' while
+        // ours is in flight) until our batch completes, then join. Our own
+        // queued jobs can only leave the queue by being executed, so an
+        // empty queue means they are all running or done — waiting is
+        // then deadlock-free.
+        while !latch.is_done() {
             let job = {
                 let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
                 queue.jobs.pop_front()
@@ -269,18 +347,14 @@ impl WorkerPool {
             match job {
                 // SAFETY: every queued job's batch is kept alive by its
                 // own submitter blocking exactly as we do here.
-                Some(job) => unsafe { (*job.batch).execute(job.index) },
+                Some(job) => unsafe { job.execute() },
                 None => break,
             }
         }
-        {
-            let mut guard = batch.done_lock.lock().expect("batch latch poisoned");
-            while batch.remaining.load(Ordering::Acquire) > 0 {
-                guard = batch.done.wait(guard).expect("batch latch poisoned");
-            }
+        if let Some(payload) = latch.join() {
+            std::panic::resume_unwind(payload);
         }
 
-        assert!(!batch.panicked.load(Ordering::Acquire), "pool worker panicked");
         slots
             .0
             .into_iter()
@@ -358,7 +432,7 @@ fn pool_thread(shared: &Shared) {
         // SAFETY: the job's submitting `run` frame is blocked on the batch
         // latch until this (and every) job of the batch completes, keeping
         // the batch state and its borrows alive.
-        unsafe { (*job.batch).execute(job.index) };
+        unsafe { job.execute() };
     }
 }
 
@@ -430,7 +504,15 @@ mod tests {
                 w
             })
         }));
-        assert!(outcome.is_err(), "panic must propagate to the submitter");
+        // The original payload (not a generic wrapper) reaches the
+        // submitter, so assertion messages from deep in a kernel survive.
+        let payload = outcome.expect_err("panic must propagate to the submitter");
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string payload>");
+        assert!(msg.contains("worker 2 exploding"), "payload was: {msg}");
         // The pool threads survived and serve the next batch normally.
         assert_eq!(pool.run(4, |w| w + 1), vec![1, 2, 3, 4]);
     }

@@ -374,16 +374,6 @@ pub fn stomp_parallel_in(
     Ok(mp)
 }
 
-/// Runs `worker(0)..worker(num_workers − 1)`, inline when there is a
-/// single worker (no dispatch cost on the serial path) and on the
-/// process-wide persistent [`WorkerPool`] otherwise, returning results in
-/// worker order. The building block of the diagonal-parallel engines here
-/// and in VALMOD's stage 1; callers holding a dedicated pool use
-/// [`WorkerPool::run`] directly.
-pub fn run_workers<R: Send>(num_workers: usize, worker: impl Fn(usize) -> R + Sync) -> Vec<R> {
-    WorkerPool::global().run(num_workers, worker)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -105,12 +105,36 @@ impl Stage1Part {
 
 /// Narrows a subsequence offset to the `u32` the SoA state stores.
 /// Profiles beyond `u32::MAX` windows are out of scope (the partial
-/// profile entries store `u32` offsets already).
+/// profile entries store `u32` offsets already), so this is a hard assert
+/// rather than a debug one: a ≥ 2^32-window series must fail loudly, not
+/// silently wrap offsets in release builds. The check is one predictable
+/// compare per row batch / remainder cell — noise next to the sqrt and
+/// divides it sits behind.
 #[inline]
 #[allow(clippy::cast_possible_truncation)]
 pub(crate) fn idx32(j: usize) -> u32 {
-    debug_assert!(j < u32::MAX as usize);
+    assert!(j < u32::MAX as usize, "subsequence offset {j} exceeds the u32 profile index space");
     j as u32
+}
+
+/// `clamp(raw, −1, 1)` with the exact select semantics of the packed
+/// `vmaxpd`/`vminpd` pair: `max(a, b) = if a > b { a } else { b }`, then
+/// `min` likewise. For every non-NaN input this is `f64::clamp`; for a
+/// NaN input — reachable when huge (~1e170) but finite samples overflow
+/// the dot products to `inf` and the numerator becomes `inf − inf` — it
+/// lands on `−1.0`, matching what the x86 min/max convention produces in
+/// the AVX2 lanes. One shared definition across the scalar remainder,
+/// the portable lanes, and (by construction) the packed lanes is what
+/// keeps the dispatch bit-identical in the NaN corner too, where
+/// `f64::clamp` (NaN-propagating) would diverge.
+#[inline(always)]
+fn clamp_rho(raw: f64) -> f64 {
+    let lo = if raw > -1.0 { raw } else { -1.0 };
+    if lo < 1.0 {
+        lo
+    } else {
+        1.0
+    }
 }
 
 /// Read-only inputs of one worker's walk.
@@ -281,7 +305,7 @@ fn rho_d<const PACKED: bool>(
         return;
     }
     for c in 0..LANES {
-        rho[c] = ((qt[c] - a_i * means_j[c]) / (s_i * stds_j[c])).clamp(-1.0, 1.0);
+        rho[c] = clamp_rho((qt[c] - a_i * means_j[c]) / (s_i * stds_j[c]));
         d[c] = (two_lf * (1.0 - rho[c])).max(0.0).sqrt();
     }
 }
@@ -420,8 +444,9 @@ fn process_row<const PACKED: bool>(
 /// prefilter contract.
 #[inline(always)]
 fn process_cell(ctx: &Ctx<'_>, i: usize, j: usize, qt: f64, state: &mut WalkState) {
-    let rho = ((qt - ctx.lf * ctx.means[i] * ctx.means[j]) / (ctx.lf * ctx.stds[i] * ctx.stds[j]))
-        .clamp(-1.0, 1.0);
+    let rho = clamp_rho(
+        (qt - ctx.lf * ctx.means[i] * ctx.means[j]) / (ctx.lf * ctx.stds[i] * ctx.stds[j]),
+    );
     let d = (ctx.two_lf * (1.0 - rho)).max(0.0).sqrt();
 
     let part = &mut state.part;
@@ -455,9 +480,10 @@ fn process_cell(ctx: &Ctx<'_>, i: usize, j: usize, qt: f64, state: &mut WalkStat
 /// Each function is the *same expression tree* as its portable
 /// counterpart, op for op: `vmulpd`/`vsubpd` where the scalar rounds a
 /// product before subtracting, `vfmadd` only where the scalar uses
-/// `mul_add`, `vminpd(vmaxpd(·))` for `clamp` (NaN-free by the no-flat
-/// contract, so the x86 min/max tie conventions cannot diverge from
-/// `f64::clamp`), and `vmaxpd(·, 0)` for `.max(0.0)` (the operand is
+/// `mul_add`, `vminpd(vmaxpd(·))` for [`super::clamp_rho`] (which is
+/// *defined* as the scalar transcription of this select pair, so even a
+/// NaN correlation — overflowing dot products, see its docs — clamps to
+/// `−1.0` on every path), and `vmaxpd(·, 0)` for `.max(0.0)` (the operand is
 /// never −0.0: `1 − ρ ≥ +0.0` after clamping, and a positive times +0.0
 /// stays +0.0). Every op is exactly rounded IEEE-754, so lanes equal the
 /// scalar path bit for bit.
