@@ -1,0 +1,68 @@
+//! Micro-bench of the pipelined stage 2 (the overlapped dot-advance +
+//! classification loop behind `valmod_core::run_valmod`'s second stage).
+//!
+//! A wide length range over a small base length maximizes the number of
+//! stage-2 steps relative to stage-1 work, so the pipeline's scheduling
+//! (advance of `ℓ+1` overlapping classification of `ℓ` on the worker
+//! pool) dominates the measured time. Three axes:
+//!
+//! * `pipeline_on` vs `pipeline_off` at the same thread count — the
+//!   overlap win itself (expected ≈ 1× on one hardware thread, growing
+//!   with cores since the two phases then truly run concurrently);
+//! * `recompute_heavy` — a tiny partial-profile size forces the MASS
+//!   fallback (the drain-and-sync path) at most lengths, measuring the
+//!   pipeline's worst case plus the vectorized naive sliding dot the
+//!   fallback dispatches to;
+//! * results are byte-identical across all of it (pinned by the equality
+//!   proptests), so every variant does the same math — only the schedule
+//!   and the instruction encodings differ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use valmod_bench::Dataset;
+use valmod_core::{run_valmod, ValmodConfig};
+
+fn bench_stage2_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage2_pipeline");
+    group.sample_size(10);
+    let n = 8_192usize;
+    let series = Dataset::Ecg.generate(n);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    for (name, pipelined) in [("pipeline_on", true), ("pipeline_off", false)] {
+        // l ∈ [64, 96]: 32 stage-2 steps per run, paper-default p = 8.
+        let config = ValmodConfig::new(64, 96)
+            .with_k(1)
+            .with_threads(threads)
+            .with_stage2_pipeline(pipelined);
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+            b.iter(|| black_box(run_valmod(black_box(&series), &config).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+/// The drain-heavy case: `p = 1` starves the lower bounds, so most
+/// lengths recompute rows via MASS — every such step drains the
+/// in-flight advance. Compares the same schedule axes under maximal
+/// drain pressure.
+fn bench_stage2_recompute_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage2_pipeline_recompute_heavy");
+    group.sample_size(10);
+    let n = 8_192usize;
+    let series = Dataset::Ecg.generate(n);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    for (name, pipelined) in [("pipeline_on", true), ("pipeline_off", false)] {
+        let config = ValmodConfig::new(64, 80)
+            .with_k(1)
+            .with_profile_size(1)
+            .with_threads(threads)
+            .with_stage2_pipeline(pipelined);
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+            b.iter(|| black_box(run_valmod(black_box(&series), &config).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage2_pipeline, bench_stage2_recompute_heavy);
+criterion_main!(benches);

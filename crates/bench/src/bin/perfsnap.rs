@@ -8,11 +8,21 @@
 //!
 //! ```text
 //! perfsnap [--smoke] [--n N] [--threads N] [--out FILE]
+//!          [--assert-speedup X] [--assert-stage1-cells N]
 //! ```
 //!
 //! `--smoke` shrinks the workloads for CI (seconds, not minutes);
 //! `--threads` overrides the parallel thread count (default: hardware);
 //! `--out` sets the JSON path (default `BENCH_valmod.json`).
+//!
+//! The `--assert-*` flags turn the snapshot into a CI gate: the process
+//! exits non-zero when the measured end-to-end multi-thread speedup of
+//! any workload falls below `X` (requires a multi-core run — the serial
+//! and parallel configurations are both measured in one invocation), or
+//! when the best stage-1 kernel throughput falls below `N` QT cells per
+//! second. Thresholds are meant to be *generous* (catching an
+//! order-of-magnitude regression or a dead dispatch path, not run-to-run
+//! noise); the uploaded snapshot artifact carries the precise numbers.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -30,6 +40,15 @@ struct Run {
     threads: usize,
     stage1_secs: f64,
     stage2_secs: f64,
+    /// Stage-2 phase split (schema 3): the incremental dot-advance, the
+    /// classification work (stats + per-row classify + top-k selection),
+    /// and the MASS/STOMP recomputation fallback. The advance and
+    /// classification phases are the two the pipelined stage 2 overlaps,
+    /// so their sum against `stage2_secs` is what makes the overlap win
+    /// (or any regression) visible per snapshot.
+    stage2_advance_secs: f64,
+    stage2_classify_secs: f64,
+    stage2_recompute_secs: f64,
     total_secs: f64,
     /// Stage-1 QT-cell throughput — the kernel's headline number: the
     /// walk visits one cell per admissible (i, j) pair at `l_min`, so
@@ -110,6 +129,8 @@ fn main() {
     let mut n_override: Option<usize> = None;
     let mut threads_override: Option<usize> = None;
     let mut out_path = String::from("BENCH_valmod.json");
+    let mut assert_speedup: Option<f64> = None;
+    let mut assert_stage1_cells: Option<f64> = None;
     let mut it = refs.iter().copied();
     while let Some(flag) = it.next() {
         match flag {
@@ -118,6 +139,10 @@ fn main() {
             "--threads" => threads_override = Some(expect_num(&mut it, "--threads")),
             "--out" => {
                 out_path = it.next().unwrap_or_else(|| usage("--out requires a value")).into();
+            }
+            "--assert-speedup" => assert_speedup = Some(expect_float(&mut it, "--assert-speedup")),
+            "--assert-stage1-cells" => {
+                assert_stage1_cells = Some(expect_float(&mut it, "--assert-stage1-cells"));
             }
             other => usage(&format!("unknown flag {other:?}")),
         }
@@ -158,12 +183,16 @@ fn main() {
             );
             eprintln!(
                 "{} n={n} l=[{l_min},{}] threads={threads}: stage1 {:.3}s \
-                 ({:.1}M cells/s) stage2 {:.3}s total {total:.3}s",
+                 ({:.1}M cells/s) stage2 {:.3}s (advance {:.3}s classify {:.3}s \
+                 recompute {:.3}s) total {total:.3}s",
                 dataset.name(),
                 l_min + width,
                 out.timings.stage1.as_secs_f64(),
                 stage1_cells(n, l_min) as f64 / out.timings.stage1.as_secs_f64().max(1e-12) / 1e6,
                 out.timings.stage2.as_secs_f64(),
+                out.timings.stage2_advance.as_secs_f64(),
+                out.timings.stage2_classify.as_secs_f64(),
+                out.timings.stage2_recompute.as_secs_f64(),
             );
             let stage1_secs = out.timings.stage1.as_secs_f64();
             runs.push(Run {
@@ -174,6 +203,9 @@ fn main() {
                 threads,
                 stage1_secs,
                 stage2_secs: out.timings.stage2.as_secs_f64(),
+                stage2_advance_secs: out.timings.stage2_advance.as_secs_f64(),
+                stage2_classify_secs: out.timings.stage2_classify.as_secs_f64(),
+                stage2_recompute_secs: out.timings.stage2_recompute.as_secs_f64(),
                 total_secs: total,
                 stage1_cells_per_sec: stage1_cells(n, l_min) as f64 / stage1_secs.max(1e-12),
                 checksum,
@@ -214,6 +246,36 @@ fn main() {
     for (name, s) in &speedups {
         eprintln!("{name} end-to-end speedup at {max_threads} threads: {s:.2}x");
     }
+
+    // CI gates (see the module docs): fail loudly, after the snapshot was
+    // written, so the artifact survives for diagnosis.
+    let mut gate_failed = false;
+    if let Some(min) = assert_speedup {
+        if speedups.is_empty() {
+            eprintln!("GATE: --assert-speedup needs a multi-thread run (got max_threads=1)");
+            gate_failed = true;
+        }
+        for (name, s) in &speedups {
+            if *s < min {
+                eprintln!("GATE: {name} end-to-end speedup {s:.2}x below the {min:.2}x floor");
+                gate_failed = true;
+            }
+        }
+    }
+    if let Some(min) = assert_stage1_cells {
+        let best = runs.iter().map(|r| r.stage1_cells_per_sec).fold(0.0f64, f64::max);
+        if best < min {
+            eprintln!(
+                "GATE: best stage-1 throughput {:.1}M cells/s below the {:.1}M floor",
+                best / 1e6,
+                min / 1e6
+            );
+            gate_failed = true;
+        }
+    }
+    if gate_failed {
+        std::process::exit(1);
+    }
 }
 
 fn expect_num<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> usize {
@@ -222,8 +284,17 @@ fn expect_num<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> usize {
         .unwrap_or_else(|| usage(&format!("{flag} requires a numeric value")))
 }
 
+fn expect_float<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> f64 {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} requires a numeric value")))
+}
+
 fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}\nusage: perfsnap [--smoke] [--n N] [--threads N] [--out FILE]");
+    eprintln!(
+        "error: {msg}\nusage: perfsnap [--smoke] [--n N] [--threads N] [--out FILE] \
+         [--assert-speedup X] [--assert-stage1-cells N]"
+    );
     std::process::exit(2);
 }
 
@@ -237,7 +308,7 @@ fn render_json(
     speedups: &[(String, f64)],
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 2,\n");
+    out.push_str("  \"schema\": 3,\n");
     out.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
     out.push_str(&format!("  \"max_threads\": {max_threads},\n"));
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
@@ -246,6 +317,8 @@ fn render_json(
         out.push_str(&format!(
             "    {{\"dataset\": \"{}\", \"n\": {}, \"l_min\": {}, \"l_max\": {}, \
              \"threads\": {}, \"stage1_secs\": {:.6}, \"stage2_secs\": {:.6}, \
+             \"stage2_advance_secs\": {:.6}, \"stage2_classify_secs\": {:.6}, \
+             \"stage2_recompute_secs\": {:.6}, \
              \"total_secs\": {:.6}, \"stage1_cells_per_sec\": {:.0}, \
              \"checksum\": \"{:#018x}\"}}{}\n",
             r.dataset,
@@ -255,6 +328,9 @@ fn render_json(
             r.threads,
             r.stage1_secs,
             r.stage2_secs,
+            r.stage2_advance_secs,
+            r.stage2_classify_secs,
+            r.stage2_recompute_secs,
             r.total_secs,
             r.stage1_cells_per_sec,
             r.checksum,

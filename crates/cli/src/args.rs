@@ -35,6 +35,9 @@ pub struct RunArgs {
     pub p: usize,
     /// Worker threads (defaults to the hardware parallelism).
     pub threads: Option<usize>,
+    /// Disable the stage-2 software pipeline (results are identical; this
+    /// is a measurement/debugging knob).
+    pub no_pipeline: bool,
     /// Optional path for a VALMAP JSON dump.
     pub valmap_out: Option<String>,
 }
@@ -126,7 +129,8 @@ pub const USAGE: &str = "\
 valmod — variable-length motif discovery (VALMOD, SIGMOD 2018)
 
 USAGE:
-  valmod run --input FILE --lmin N --lmax N [--k N] [--p N] [--threads N] [--valmap-out FILE]
+  valmod run --input FILE --lmin N --lmax N [--k N] [--p N] [--threads N] [--no-pipeline]
+             [--valmap-out FILE]
   valmod profile --input FILE --length N [--k N] [--threads N]
   valmod generate --kind ecg|astro|walk|noise|seismic|epg --n N [--seed N] --output FILE
   valmod motif-set --input FILE --a N --b N --length N [--radius X]
@@ -177,6 +181,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
 fn parse_run(rest: &[&str]) -> Result<Command, ParseError> {
     let (mut input, mut l_min, mut l_max) = (None, None, None);
     let (mut k, mut p, mut threads, mut valmap_out) = (10usize, 8usize, None, None);
+    let mut no_pipeline = false;
     let mut it = rest.iter().copied();
     while let Some(flag) = it.next() {
         match flag {
@@ -186,6 +191,7 @@ fn parse_run(rest: &[&str]) -> Result<Command, ParseError> {
             "--k" => k = parse_num(flag, take_value(flag, &mut it)?)?,
             "--p" => p = parse_num(flag, take_value(flag, &mut it)?)?,
             "--threads" => threads = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--no-pipeline" => no_pipeline = true,
             "--valmap-out" => valmap_out = Some(take_value(flag, &mut it)?.to_string()),
             other => return Err(ParseError(format!("unknown flag {other:?} for run"))),
         }
@@ -197,6 +203,7 @@ fn parse_run(rest: &[&str]) -> Result<Command, ParseError> {
         k,
         p,
         threads,
+        no_pipeline,
         valmap_out,
     }))
 }
@@ -332,7 +339,14 @@ mod tests {
                 assert_eq!((a.l_min, a.l_max, a.k, a.p), (50, 400, 10, 8));
                 assert!(a.valmap_out.is_none());
                 assert!(a.threads.is_none());
+                assert!(!a.no_pipeline, "the pipeline defaults to on");
             }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&["run", "--input", "x", "--lmin", "8", "--lmax", "16", "--no-pipeline"])
+            .unwrap();
+        match cmd {
+            Command::Run(a) => assert!(a.no_pipeline),
             other => panic!("{other:?}"),
         }
         let cmd = parse(&[

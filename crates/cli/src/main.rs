@@ -74,6 +74,7 @@ fn cmd_run(a: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
     let mut config = ValmodConfig::new(a.l_min, a.l_max)
         .with_k(a.k)
         .with_profile_size(a.p)
+        .with_stage2_pipeline(!a.no_pipeline)
         .with_pool(Arc::new(WorkerPool::new()));
     if let Some(threads) = a.threads {
         config = config.with_threads(threads);

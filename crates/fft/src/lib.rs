@@ -33,6 +33,8 @@ mod fft;
 mod real;
 mod sliding;
 
+use std::sync::OnceLock;
+
 pub use complex::Complex64;
 pub use convolve::{convolve, convolve_naive};
 pub use fft::Fft;
@@ -41,6 +43,30 @@ pub use sliding::{
     naive_is_faster, sliding_dot_product, sliding_dot_product_naive,
     sliding_dot_product_naive_into, SlidingDotPlan, SlidingDotScratch,
 };
+
+/// Whether the `VALMOD_FORCE_PORTABLE` environment knob demands the
+/// portable (non-`core::arch`) code paths everywhere.
+///
+/// Every SIMD dispatch site in the suite — the stage-1 diagonal kernel and
+/// stage-2 dot-advance in `valmod-core`, and the vectorized naive sliding
+/// dot here — consults this before its CPU-feature check, so CI can
+/// exercise the portable lanes on AVX2 runners (`VALMOD_FORCE_PORTABLE=1`)
+/// instead of shipping them untested. The portable paths are byte-identical
+/// to the packed ones by construction, so forcing them must never change
+/// results — which is exactly what the forced rerun of the equality suites
+/// pins.
+///
+/// The environment is read **once per process** (first dispatch) and
+/// cached; flipping the variable afterwards has no effect, keeping the
+/// dispatch branch-predictable and the chosen path consistent for the
+/// whole run.
+#[must_use]
+pub fn force_portable() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("VALMOD_FORCE_PORTABLE").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    })
+}
 
 /// Smallest power of two greater than or equal to `n`.
 ///

@@ -22,6 +22,21 @@ pub fn sliding_dot_product_naive(query: &[f64], series: &[f64]) -> Vec<f64> {
 
 /// [`sliding_dot_product_naive`] writing into a caller-provided vector
 /// (cleared first), so hot loops can reuse the allocation.
+///
+/// # Performance
+///
+/// Each output is a fused multiply-add *chain* over the query — a serial
+/// dependency, so a scalar loop is FMA-latency-bound (~4–5 cycles per
+/// element, which at paper scale made a single VALMOD recomputation row
+/// cost tens of milliseconds). The hot path therefore computes **eight
+/// outputs at once** (two 256-bit accumulators under AVX2+FMA): eight
+/// independent chains hide the latency, and every `series` load serves
+/// four adjacent outputs. Lane `i` still accumulates `q[0]·t[i]`,
+/// `q[1]·t[i+1]`, … in exactly the scalar order, one fused operation per
+/// term, so the vectorized outputs are **byte-identical** to the scalar
+/// loop's — the dispatch (AVX2+FMA detected and
+/// [`crate::force_portable`] unset) selects an instruction encoding,
+/// never a summation order.
 pub fn sliding_dot_product_naive_into(query: &[f64], series: &[f64], out: &mut Vec<f64>) {
     out.clear();
     let m = query.len();
@@ -30,7 +45,76 @@ pub fn sliding_dot_product_naive_into(query: &[f64], series: &[f64], out: &mut V
         return;
     }
     out.reserve(n - m + 1);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if !crate::force_portable()
+            && std::is_x86_feature_detected!("avx2")
+            && std::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: the required CPU features were verified at runtime on
+            // the line above.
+            unsafe { naive_into_avx2(query, series, out) };
+            return;
+        }
+    }
+    naive_into_scalar(query, series, out);
+}
+
+/// The portable naive kernel: one chained fused multiply-add per term.
+fn naive_into_scalar(query: &[f64], series: &[f64], out: &mut Vec<f64>) {
+    let m = query.len();
+    let n = series.len();
     for i in 0..=n - m {
+        let window = &series[i..i + m];
+        let mut acc = 0.0;
+        for (q, w) in query.iter().zip(window) {
+            acc = q.mul_add(*w, acc);
+        }
+        out.push(acc);
+    }
+}
+
+/// The AVX2+FMA naive kernel: eight output positions per iteration, each
+/// lane running the scalar accumulation chain verbatim (see
+/// [`sliding_dot_product_naive_into`] for the bit-identity argument).
+///
+/// # Safety
+///
+/// The caller must have verified that the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn naive_into_avx2(query: &[f64], series: &[f64], out: &mut Vec<f64>) {
+    use core::arch::x86_64::{
+        _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_set1_pd, _mm256_setzero_pd, _mm256_storeu_pd,
+    };
+    const BLOCK: usize = 8;
+    let m = query.len();
+    let n = series.len();
+    let outputs = n - m + 1;
+    let mut buf = [0.0f64; BLOCK];
+    let mut i = 0;
+    while i + BLOCK <= outputs {
+        // SAFETY: term `k` loads `series[i + k .. i + k + 8]`; the highest
+        // index touched is `i + (m − 1) + 7`, in bounds because
+        // `i + BLOCK <= outputs = n − m + 1` ⟺ `i + m + 6 <= n − 1`.
+        // `loadu` carries no alignment requirement.
+        unsafe {
+            let mut acc_lo = _mm256_setzero_pd();
+            let mut acc_hi = _mm256_setzero_pd();
+            for (k, &q) in query.iter().enumerate() {
+                let qv = _mm256_set1_pd(q);
+                let t = series.as_ptr().add(i + k);
+                acc_lo = _mm256_fmadd_pd(qv, _mm256_loadu_pd(t), acc_lo);
+                acc_hi = _mm256_fmadd_pd(qv, _mm256_loadu_pd(t.add(4)), acc_hi);
+            }
+            _mm256_storeu_pd(buf.as_mut_ptr(), acc_lo);
+            _mm256_storeu_pd(buf.as_mut_ptr().add(4), acc_hi);
+        }
+        out.extend_from_slice(&buf);
+        i += BLOCK;
+    }
+    // Remainder outputs: the scalar chain (identical arithmetic).
+    for i in i..outputs {
         let window = &series[i..i + m];
         let mut acc = 0.0;
         for (q, w) in query.iter().zip(window) {
@@ -258,6 +342,35 @@ mod tests {
         // Oversized query clears the output instead of leaving stale data.
         plan.dot_into(&vec![0.0; 901], &mut scratch, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn vectorized_naive_is_byte_identical_to_scalar() {
+        // The AVX2 lanes each run the scalar accumulation chain verbatim,
+        // so every output must match the portable kernel bit for bit —
+        // including ragged tails (outputs % 8 ≠ 0) and queries spanning
+        // the whole series. On non-AVX2 hardware both calls take the
+        // scalar path and the test degenerates to a self-check.
+        for n in [9usize, 64, 257, 1000] {
+            let series = pseudo_series(n);
+            for m in [1usize, 2, 7, 33, 80, n] {
+                if m > n {
+                    continue;
+                }
+                let query: Vec<f64> = series[(n - m) / 2..(n - m) / 2 + m].to_vec();
+                let mut scalar = Vec::new();
+                super::naive_into_scalar(&query, &series, &mut scalar);
+                let dispatched = super::sliding_dot_product_naive(&query, &series);
+                assert_eq!(scalar.len(), dispatched.len());
+                for (i, (a, b)) in scalar.iter().zip(&dispatched).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "lane output diverged at n={n} m={m} i={i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@
 //! with no batch re-run.
 
 use valmod_core::discord::{Discord, LengthDiscords};
+use valmod_core::kernel;
 use valmod_core::{run_valmod, Valmap, ValmodConfig, ValmodOutput};
 use valmod_fft::sliding_dot_product;
 use valmod_mp::motif::{top_k_discords, top_k_pairs};
@@ -188,20 +189,22 @@ impl LengthState {
     /// One append at this length, reading the shared product row
     /// (`cross[x] = v·t[x]`). `n` is the series length *including* the
     /// new point.
+    ///
+    /// The in-place shift `QT(new, j) ← cross[j+ℓ−1] + (QT(prev, j−1) −
+    /// t_drop·t[j−1])` runs through the shared SIMD advance lanes of
+    /// [`valmod_core::kernel::advance_dots_append`] — byte-identical to
+    /// the scalar reverse loop it replaces.
     fn advance(&mut self, stats: &StreamStats, cross: &[f64], n: usize) {
         let l = self.length;
         let t = stats.values();
         let new_i = n - l;
-        let m = new_i + 1;
         let dropped = t[new_i - 1];
         let mean = stats.mean(new_i, l);
         let std = stats.std(new_i, l);
         self.means.push(mean);
         self.stds.push(std);
         self.last_qt.push(0.0);
-        for j in (1..m).rev() {
-            self.last_qt[j] = cross[j + l - 1] + (self.last_qt[j - 1] - dropped * t[j - 1]);
-        }
+        kernel::advance_dots_append(cross, dropped, t, l, &mut self.last_qt);
         self.last_qt[0] = (0..l).map(|k| t[new_i + k] * t[k]).sum();
         self.offer_new_window(new_i, mean, std);
     }
@@ -224,7 +227,6 @@ impl LengthState {
         for (step, &qt0) in qt0s.iter().enumerate() {
             let n = base_n + step + 1;
             let new_i = n - l;
-            let m = new_i + 1;
             let v = t[n - 1];
             let dropped = t[new_i - 1];
             let mean = stats.mean(new_i, l);
@@ -232,9 +234,10 @@ impl LengthState {
             self.means.push(mean);
             self.stds.push(std);
             self.last_qt.push(0.0);
-            for j in (1..m).rev() {
-                self.last_qt[j] = v.mul_add(t[j + l - 1], self.last_qt[j - 1] - dropped * t[j - 1]);
-            }
+            // The fused-multiply-add shift form, on the same shared SIMD
+            // advance lanes (`QT(new, j) ← v·t[j+ℓ−1] + (QT(prev, j−1) −
+            // t_drop·t[j−1])`, one fused head product per element).
+            kernel::advance_dots_extend(v, dropped, t, l, &mut self.last_qt);
             self.last_qt[0] = qt0;
             self.offer_new_window(new_i, mean, std);
         }

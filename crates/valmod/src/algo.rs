@@ -48,7 +48,16 @@
 //!   statistics, classification, MASS recomputation) across the same
 //!   pool; each row's math never depends on the chunking, and the MASS
 //!   fallback reuses one [`ProfileScratch`] per worker so the hot loop
-//!   allocates nothing per row.
+//!   allocates nothing per row. On top of the chunking, stage 2 runs as a
+//!   **two-stage software pipeline** ([`ValmodConfig::stage2_pipeline`]):
+//!   the dots of length `ℓ+1` are advanced — by the SIMD lanes of
+//!   [`crate::kernel::advance_entry_dots`], into the shadow half of a
+//!   double-buffered [`crate::scratch::DotTable`] — in a non-blockingly
+//!   submitted pool batch that overlaps the classification of length `ℓ`,
+//!   whose state it never touches; the MASS fallback's re-seeding is the
+//!   one dependency between the two, handled by a drain-and-sync. The
+//!   overlapped batch computes exactly what the start-of-step advance
+//!   would, so results stay byte-identical with the pipeline on or off.
 
 use valmod_mp::mass::{DistanceProfiler, ProfileScratch};
 use valmod_mp::motif::top_k_pairs;
@@ -62,6 +71,7 @@ use crate::config::ValmodConfig;
 use crate::kernel::{self, Stage1Part};
 use crate::lb::LbRowContext;
 use crate::partial::{PartialRow, TopRhoSelector};
+use crate::scratch::{write_back_dots, RowOutcome, StepScratch};
 use crate::valmap::Valmap;
 
 /// Minimum rows per worker before stage 2 spawns another thread — below
@@ -114,6 +124,15 @@ pub struct StageTimings {
     pub stage1: std::time::Duration,
     /// Stage 2: all length steps `ℓmin+1 ..= ℓmax`.
     pub stage2: std::time::Duration,
+    /// Stage-2 phase: advancing the stored dot products by one point per
+    /// length (the incremental recurrence the pipeline overlaps).
+    pub stage2_advance: std::time::Duration,
+    /// Stage-2 phase: window statistics, per-row classification and
+    /// top-k selection.
+    pub stage2_classify: std::time::Duration,
+    /// Stage-2 phase: exact MASS recomputation of uncertified rows (the
+    /// fallback that forces a pipeline drain).
+    pub stage2_recompute: std::time::Duration,
 }
 
 /// Everything a VALMOD run produces.
@@ -198,22 +217,25 @@ pub fn run_valmod(series: &[f64], config: &ValmodConfig) -> Result<ValmodOutput>
 
     // ---- Stage 2: lengths l0+1 ..= l_max. ----
     let stage2_started = std::time::Instant::now();
+    let mut timings = StageTimings { stage1, ..StageTimings::default() };
     let mut scratch = StepScratch::default();
     for length in l0 + 1..=config.l_max {
-        let result =
-            step_length(&values, &stats, &profiler, &mut rows, config, length, &mut scratch)?;
+        let result = step_length(
+            &values,
+            &stats,
+            &profiler,
+            &mut rows,
+            config,
+            length,
+            &mut scratch,
+            &mut timings,
+        )?;
         valmap.apply_length(length, &result.pairs);
         per_length.push(result);
     }
-    let stage2 = stage2_started.elapsed();
+    timings.stage2 = stage2_started.elapsed();
 
-    Ok(ValmodOutput {
-        config: config.clone(),
-        per_length,
-        valmap,
-        base_profile,
-        timings: StageTimings { stage1, stage2 },
-    })
+    Ok(ValmodOutput { config: config.clone(), per_length, valmap, base_profile, timings })
 }
 
 /// Picks a worker count for `items` units of parallel work, requiring at
@@ -340,30 +362,6 @@ fn stage_one_flat_worker(
     part
 }
 
-/// Classification outcome of one row at one length.
-#[derive(Debug, Clone, Copy)]
-struct RowOutcome {
-    min_dist: f64,
-    min_j: usize,
-    max_lb: f64,
-    valid: bool,
-}
-
-impl RowOutcome {
-    const EMPTY: Self =
-        Self { min_dist: f64::INFINITY, min_j: usize::MAX, max_lb: f64::INFINITY, valid: true };
-}
-
-/// Stage-2 buffers allocated once per run and recycled across length
-/// steps; `mass` holds one MASS scratch per recomputation worker.
-#[derive(Default)]
-struct StepScratch {
-    means: Vec<f64>,
-    stds: Vec<f64>,
-    outcomes: Vec<RowOutcome>,
-    mass: Vec<ProfileScratch>,
-}
-
 /// One row re-seeded by the MASS fallback, produced by a worker and
 /// applied serially in row order.
 struct RecomputedRow {
@@ -372,9 +370,107 @@ struct RecomputedRow {
     outcome: RowOutcome,
 }
 
+/// Splits the dot table's rows `0..row_count` into `workers` contiguous
+/// chunks balanced by entry count, pairing each with its exclusive slice
+/// of `dst`. Any chunking yields identical results (entries are advanced
+/// independently), so the split is purely a load-balancing choice.
+fn split_dot_chunks<'a>(
+    offsets: &[usize],
+    mut dst: &'a mut [f64],
+    row_count: usize,
+    workers: usize,
+) -> Vec<std::sync::Mutex<(std::ops::Range<usize>, &'a mut [f64])>> {
+    let total = offsets[row_count];
+    let per_worker = total.div_ceil(workers.max(1)).max(1);
+    let mut chunks = Vec::with_capacity(workers);
+    let mut row = 0;
+    let mut taken = 0;
+    while row < row_count {
+        let target = taken + per_worker;
+        let mut end_row = row + 1;
+        if target >= total {
+            // Last chunk absorbs the remainder (including trailing
+            // entry-less rows), so the chunk count never exceeds `workers`.
+            end_row = row_count;
+        } else {
+            while end_row < row_count && offsets[end_row] < target {
+                end_row += 1;
+            }
+        }
+        let len = offsets[end_row] - offsets[row];
+        let (head, tail) = dst.split_at_mut(len);
+        dst = tail;
+        chunks.push(std::sync::Mutex::new((row..end_row, head)));
+        taken = offsets[end_row];
+        row = end_row;
+    }
+    chunks
+}
+
+/// Advances one contiguous chunk of table rows to `target_len`: rows still
+/// alive at that length go through the SIMD entry advance
+/// ([`kernel::advance_entry_dots`]); rows whose window no longer exists
+/// carry their dots forward verbatim, exactly as the per-entry guard left
+/// them in the pre-table code.
+fn advance_dot_chunk(
+    offsets: &[usize],
+    j_flat: &[u32],
+    qt: &[f64],
+    values: &[f64],
+    target_len: usize,
+    rows: std::ops::Range<usize>,
+    dst: &mut [f64],
+) {
+    let n = values.len();
+    let target_m = n - target_len + 1;
+    let limit = u32::try_from(target_m).expect("window count exceeds the u32 profile index space");
+    let t_next = &values[target_len - 1..];
+    let base = offsets[rows.start];
+    for i in rows {
+        let (s, e) = (offsets[i], offsets[i + 1]);
+        let dst_seg = &mut dst[s - base..e - base];
+        if i < target_m {
+            kernel::advance_entry_dots(
+                values[i + target_len - 1],
+                t_next,
+                &j_flat[s..e],
+                limit,
+                &qt[s..e],
+                dst_seg,
+            );
+        } else {
+            dst_seg.copy_from_slice(&qt[s..e]);
+        }
+    }
+}
+
+/// Minimum table entries per advance worker; below this the dispatch
+/// overhead rivals the fused multiply-adds themselves.
+const MIN_ENTRIES_PER_ADVANCE_WORKER: usize = 1 << 15;
+
 /// One stage-2 length step. Mutates `rows` (incremental dot products and
 /// possible re-seeding) and returns the exact per-length result.
-#[allow(clippy::too_many_lines)]
+///
+/// # The software pipeline
+///
+/// The step runs as a two-stage pipeline on the configuration's worker
+/// pool (when [`ValmodConfig::stage2_pipeline`] is on and more than one
+/// thread is configured): right after the dots of `length` become
+/// current, a batch advancing them to `length + 1` is *submitted without
+/// blocking* ([`valmod_mp::pool::PoolScope::submit`]) into the shadow
+/// buffer of the double-buffered [`crate::scratch::DotTable`], and the
+/// classification work of `length` (statistics, per-row classification,
+/// top-k selection) proceeds concurrently — the advance reads only the
+/// current buffer, classification never writes it, so the two batches
+/// share no mutable state. The next step then just swaps buffers.
+///
+/// The MASS fallback is the one event whose re-seeding invalidates the
+/// shadow: it drains the in-flight batch, recomputes, writes the current
+/// dots back into the rows and rebuilds the table. Results are therefore
+/// **byte-identical with the pipeline on or off** — the overlapped batch
+/// computes exactly the values the start-of-step advance would have, and
+/// it is discarded whenever re-seeding makes them stale.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn step_length(
     values: &[f64],
     stats: &RollingStats,
@@ -383,6 +479,7 @@ fn step_length(
     config: &ValmodConfig,
     length: usize,
     scratch: &mut StepScratch,
+    timings: &mut StageTimings,
 ) -> Result<LengthResult> {
     let n = values.len();
     debug_assert!(length <= n);
@@ -392,201 +489,301 @@ fn step_length(
     let threads = config.threads;
     let pool = config.pool();
     let row_workers = worker_count(threads, m, MIN_ROWS_PER_WORKER);
-    let StepScratch { means, stds, outcomes, mass } = scratch;
+    let StepScratch { means, stds, outcomes, mass, dots } = scratch;
 
-    // Advance every stored dot product by the one new point — this must
-    // happen for *all* rows/entries alive at this length, independent of
-    // any fallback, so the incremental state stays consistent. Rows are
-    // independent, so the advance chunks freely across workers.
-    pool.for_each_mut(&mut rows[..m], row_workers, |i, row| {
-        for e in &mut row.entries {
-            let j = e.j as usize;
-            if j < m {
-                e.qt = values[i + length - 1].mul_add(values[j + length - 1], e.qt);
-            }
-        }
-    });
-
-    means.resize(m, 0.0);
-    stds.resize(m, 0.0);
-    pool.for_each_mut(means, row_workers, |i, v| *v = stats.centered_mean(i, length));
-    pool.for_each_mut(stds, row_workers, |i, v| *v = stats.std(i, length));
-    let (means, stds) = (&means[..], &stds[..]);
-
-    if stds.iter().any(|&s| s < FLAT_EPS) {
-        // Degenerate windows break the correlation-rank machinery: compute
-        // this length exactly with (diagonal-parallel) STOMP and re-seed
-        // nothing (stored profiles remain correct for later lengths).
-        let mp = stomp_parallel_in(values, length, excl, threads, pool)?;
-        let pairs = top_k_pairs(&mp, config.k);
-        return Ok(LengthResult {
-            length,
-            pairs,
-            stats: LengthStats {
-                valid_rows: m,
-                invalid_rows: 0,
-                recomputed_rows: m,
-                min_lb_abs: f64::INFINITY,
-                stomp_fallback: true,
-            },
+    // ---- Bring the dots of `length` current. ----
+    // Either the previous step's overlapped batch already advanced them
+    // (promote the shadow), or advance synchronously now — same values
+    // either way, by the same kernel.
+    let phase_started = std::time::Instant::now();
+    if !dots.built {
+        dots.build(rows);
+    }
+    let row_count = rows.len();
+    let adv_workers = worker_count(threads, dots.j.len(), MIN_ENTRIES_PER_ADVANCE_WORKER);
+    if !dots.next_ready {
+        let chunks = split_dot_chunks(&dots.offsets, &mut dots.qt_next, row_count, adv_workers);
+        let (offsets, j_flat, qt) = (&dots.offsets, &dots.j, &dots.qt);
+        pool.run(chunks.len(), |w| {
+            let mut guard = chunks[w].lock().expect("advance chunk lock poisoned");
+            let (rows_range, dst) = &mut *guard;
+            advance_dot_chunk(offsets, j_flat, qt, values, length, rows_range.clone(), dst);
         });
     }
+    dots.promote_next();
+    timings.stage2_advance += phase_started.elapsed();
 
-    // Classify rows — pure per-row reads, chunked across workers.
-    let rows_ref: &[PartialRow] = rows;
-    outcomes.resize(m, RowOutcome::EMPTY);
-    pool.for_each_mut(outcomes, row_workers, |i, out| {
-        let row = &rows_ref[i];
-        let mut min_dist = f64::INFINITY;
-        let mut min_j = usize::MAX;
-        for e in &row.entries {
-            let j = e.j as usize;
-            if j >= m || i.abs_diff(j) <= excl {
-                continue;
-            }
-            let d = zdist_from_dot(e.qt, length, means[i], stds[i], means[j], stds[j]);
-            if d < min_dist {
-                min_dist = d;
-                min_j = j;
-            }
-        }
-        let max_lb = match row.worst_rho() {
-            Some(rho) => LbRowContext::new(stats, i, row.base_len, length).bound(rho),
-            // Untruncated profile: nothing was left unstored, the stored
-            // minimum is the row minimum by construction.
-            None => f64::INFINITY,
+    // ---- The pipelined step body. ----
+    let pipelined = config.stage2_pipeline && threads > 1 && length < config.l_max;
+    let (result, needs_rebuild) = {
+        let offsets = &dots.offsets[..];
+        let j_flat = &dots.j[..];
+        let qt = &dots.qt[..];
+        let next_ready = &mut dots.next_ready;
+        let adv_chunks = if pipelined {
+            split_dot_chunks(offsets, &mut dots.qt_next, row_count, adv_workers)
+        } else {
+            Vec::new()
         };
-        let valid = min_dist <= max_lb;
-        *out = RowOutcome { min_dist, min_j, max_lb, valid };
-    });
-
-    let min_lb_abs =
-        outcomes.iter().filter(|o| !o.valid).map(|o| o.max_lb).fold(f64::INFINITY, f64::min);
-    let valid_rows = outcomes.iter().filter(|o| o.valid).count();
-    let invalid_rows = m - valid_rows;
-
-    // Tentative top-k from certified rows.
-    let mut candidates: Vec<MotifPair> = outcomes
-        .iter()
-        .enumerate()
-        .filter(|(_, o)| o.valid && o.min_dist.is_finite())
-        .map(|(i, o)| MotifPair::new(i, o.min_j, o.min_dist, length))
-        .collect();
-    let selection = select_top_k(&candidates, config.k, excl);
-
-    // Certification threshold: with k certified pairs, only rows whose
-    // bound undercuts the k-th distance could still contribute; with
-    // fewer, any non-valid row could.
-    let threshold = if selection.len() == config.k {
-        selection.last().map_or(f64::INFINITY, |p| p.distance)
-    } else {
-        f64::INFINITY
-    };
-
-    let mut recomputed_rows = 0;
-    if threshold >= min_lb_abs {
-        // Fallback: exact MASS recomputation of every row the bound could
-        // not certify below the threshold, then re-seed those partial
-        // profiles at the current length. Each row costs a full distance
-        // profile (O(n log n)), so rows are worth a thread each; results
-        // are applied serially in row order for determinism.
-        let todo: Vec<usize> =
-            (0..m).filter(|&i| !outcomes[i].valid && outcomes[i].max_lb < threshold).collect();
-        recomputed_rows = todo.len();
-        if !todo.is_empty() {
-            let workers = worker_count(threads, todo.len(), 1);
-            while mass.len() < workers {
-                mass.push(profiler.scratch());
-            }
-            let chunk_len = todo.len().div_ceil(workers);
-            let recompute_chunk = |chunk: &[usize], ms: &mut ProfileScratch| {
-                chunk
-                    .iter()
-                    .map(|&i| {
-                        let profile = profiler.self_profile_into(i, length, ms)?;
-                        // A row that needed recomputation is a *competitive*
-                        // row (its neighborhood keeps improving); give it a
-                        // progressively larger partial profile so it stops
-                        // defeating the bound. Capacity doubles per
-                        // recomputation, capped to bound memory.
-                        let capacity = (rows_ref[i].entries.len() * 2)
-                            .clamp(config.profile_size, config.profile_size.max(256));
-                        let mut selector = TopRhoSelector::new(capacity);
-                        let mut min_dist = f64::INFINITY;
-                        let mut min_j = usize::MAX;
-                        for (j, &d) in profile.iter().enumerate() {
-                            if i.abs_diff(j) <= excl {
-                                continue;
-                            }
-                            if d < min_dist {
-                                min_dist = d;
-                                min_j = j;
-                            }
-                            let rho = pearson_from_dist(d, length);
-                            // Recover the dot product so the incremental
-                            // updates can continue from the new base length.
-                            let qt = lf * (rho * stds[i] * stds[j] + means[i] * means[j]);
-                            selector.offer(j, rho, qt);
-                        }
-                        Ok(RecomputedRow {
-                            i,
-                            row: selector.into_row(length),
-                            outcome: RowOutcome {
-                                min_dist,
-                                min_j,
-                                max_lb: f64::INFINITY,
-                                valid: true,
-                            },
-                        })
-                    })
-                    .collect::<Result<Vec<RecomputedRow>>>()
-            };
-            let results: Vec<Result<Vec<RecomputedRow>>> = if workers <= 1 {
-                vec![recompute_chunk(&todo, &mut mass[0])]
-            } else {
-                // Pool workers take their chunk's scratch through a Mutex
-                // (one uncontended acquisition per chunk per length step).
-                let chunks: Vec<&[usize]> = todo.chunks(chunk_len).collect();
-                let scratches: Vec<std::sync::Mutex<&mut ProfileScratch>> =
-                    mass.iter_mut().take(chunks.len()).map(std::sync::Mutex::new).collect();
-                pool.run(chunks.len(), |w| {
-                    let mut ms = scratches[w].lock().expect("scratch lock poisoned");
-                    recompute_chunk(chunks[w], &mut ms)
+        pool.scope(|scope| -> Result<(LengthResult, bool)> {
+            // Submit the advance to `length + 1` into the shadow buffer;
+            // it overlaps everything below until waited.
+            let mut advance = pipelined.then(|| {
+                scope.submit(adv_chunks.len(), |w| {
+                    let mut guard = adv_chunks[w].lock().expect("advance chunk lock poisoned");
+                    let (rows_range, dst) = &mut *guard;
+                    advance_dot_chunk(
+                        offsets,
+                        j_flat,
+                        qt,
+                        values,
+                        length + 1,
+                        rows_range.clone(),
+                        dst,
+                    );
                 })
+            });
+            let classify_started = std::time::Instant::now();
+            means.resize(m, 0.0);
+            stds.resize(m, 0.0);
+            pool.for_each_mut(means, row_workers, |i, v| *v = stats.centered_mean(i, length));
+            pool.for_each_mut(stds, row_workers, |i, v| *v = stats.std(i, length));
+            let (means, stds) = (&means[..], &stds[..]);
+
+            if stds.iter().any(|&s| s < FLAT_EPS) {
+                // Degenerate windows break the correlation-rank machinery:
+                // compute this length exactly with (diagonal-parallel)
+                // STOMP and re-seed nothing (stored profiles remain
+                // correct for later lengths). The overlapped advance stays
+                // valid — it never depended on this length's statistics.
+                timings.stage2_classify += classify_started.elapsed();
+                let drain_started = std::time::Instant::now();
+                if let Some(handle) = advance.take() {
+                    handle.wait();
+                    *next_ready = true;
+                }
+                timings.stage2_advance += drain_started.elapsed();
+                let recompute_started = std::time::Instant::now();
+                let mp = stomp_parallel_in(values, length, excl, threads, pool)?;
+                let pairs = top_k_pairs(&mp, config.k);
+                timings.stage2_recompute += recompute_started.elapsed();
+                return Ok((
+                    LengthResult {
+                        length,
+                        pairs,
+                        stats: LengthStats {
+                            valid_rows: m,
+                            invalid_rows: 0,
+                            recomputed_rows: m,
+                            min_lb_abs: f64::INFINITY,
+                            stomp_fallback: true,
+                        },
+                    },
+                    false,
+                ));
+            }
+
+            // Classify rows — pure per-row reads of the current dot
+            // buffer, chunked across workers (concurrently with the
+            // in-flight advance batch, which only writes the shadow).
+            let classify_started = std::time::Instant::now();
+            let rows_ref: &[PartialRow] = rows;
+            outcomes.resize(m, RowOutcome::EMPTY);
+            pool.for_each_mut(outcomes, row_workers, |i, out| {
+                let mut min_dist = f64::INFINITY;
+                let mut min_j = usize::MAX;
+                for e in offsets[i]..offsets[i + 1] {
+                    let j = j_flat[e] as usize;
+                    if j >= m || i.abs_diff(j) <= excl {
+                        continue;
+                    }
+                    let d = zdist_from_dot(qt[e], length, means[i], stds[i], means[j], stds[j]);
+                    if d < min_dist {
+                        min_dist = d;
+                        min_j = j;
+                    }
+                }
+                let row = &rows_ref[i];
+                let max_lb = match row.worst_rho() {
+                    Some(rho) => LbRowContext::new(stats, i, row.base_len, length).bound(rho),
+                    // Untruncated profile: nothing was left unstored, the
+                    // stored minimum is the row minimum by construction.
+                    None => f64::INFINITY,
+                };
+                let valid = min_dist <= max_lb;
+                *out = RowOutcome { min_dist, min_j, max_lb, valid };
+            });
+
+            let min_lb_abs = outcomes
+                .iter()
+                .filter(|o| !o.valid)
+                .map(|o| o.max_lb)
+                .fold(f64::INFINITY, f64::min);
+            let valid_rows = outcomes.iter().filter(|o| o.valid).count();
+            let invalid_rows = m - valid_rows;
+
+            // Tentative top-k from certified rows.
+            let mut candidates: Vec<MotifPair> = outcomes
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.valid && o.min_dist.is_finite())
+                .map(|(i, o)| MotifPair::new(i, o.min_j, o.min_dist, length))
+                .collect();
+            let selection = select_top_k(&candidates, config.k, excl);
+
+            // Certification threshold: with k certified pairs, only rows
+            // whose bound undercuts the k-th distance could still
+            // contribute; with fewer, any non-valid row could.
+            let threshold = if selection.len() == config.k {
+                selection.last().map_or(f64::INFINITY, |p| p.distance)
+            } else {
+                f64::INFINITY
             };
-            // Contiguous chunks of an ascending `todo` concatenate back in
-            // ascending row order — the same order the serial loop used.
-            for chunk in results {
-                for r in chunk? {
-                    rows[r.i] = r.row;
-                    outcomes[r.i] = r.outcome;
-                    if r.outcome.min_j != usize::MAX {
-                        candidates.push(MotifPair::new(
-                            r.i,
-                            r.outcome.min_j,
-                            r.outcome.min_dist,
-                            length,
-                        ));
+            timings.stage2_classify += classify_started.elapsed();
+
+            let recompute_started = std::time::Instant::now();
+            let mut recomputed_rows = 0;
+            let mut needs_rebuild = false;
+            if threshold >= min_lb_abs {
+                // Fallback: exact MASS recomputation of every row the
+                // bound could not certify below the threshold, then
+                // re-seed those partial profiles at the current length.
+                // Re-seeding changes row shapes, so this is the pipeline's
+                // drain-and-sync point: the in-flight advance is joined
+                // and its shadow discarded (stale for re-seeded rows).
+                let todo: Vec<usize> = (0..m)
+                    .filter(|&i| !outcomes[i].valid && outcomes[i].max_lb < threshold)
+                    .collect();
+                recomputed_rows = todo.len();
+                if !todo.is_empty() {
+                    // Drain-and-sync: the shadow stays stale (`next_ready`
+                    // remains false) and is rebuilt after re-seeding.
+                    if let Some(handle) = advance.take() {
+                        handle.wait();
+                    }
+                    let workers = worker_count(threads, todo.len(), 1);
+                    while mass.len() < workers {
+                        mass.push(profiler.scratch());
+                    }
+                    let chunk_len = todo.len().div_ceil(workers);
+                    let recompute_chunk = |chunk: &[usize], ms: &mut ProfileScratch| {
+                        chunk
+                            .iter()
+                            .map(|&i| {
+                                let profile = profiler.self_profile_into(i, length, ms)?;
+                                // A row that needed recomputation is a
+                                // *competitive* row (its neighborhood keeps
+                                // improving); give it a progressively larger
+                                // partial profile so it stops defeating the
+                                // bound. Capacity doubles per recomputation,
+                                // capped to bound memory.
+                                let capacity = (rows_ref[i].entries.len() * 2)
+                                    .clamp(config.profile_size, config.profile_size.max(256));
+                                let mut selector = TopRhoSelector::new(capacity);
+                                let mut min_dist = f64::INFINITY;
+                                let mut min_j = usize::MAX;
+                                for (j, &d) in profile.iter().enumerate() {
+                                    if i.abs_diff(j) <= excl {
+                                        continue;
+                                    }
+                                    if d < min_dist {
+                                        min_dist = d;
+                                        min_j = j;
+                                    }
+                                    let rho = pearson_from_dist(d, length);
+                                    // Recover the dot product so the
+                                    // incremental updates can continue from
+                                    // the new base length.
+                                    let qt = lf * (rho * stds[i] * stds[j] + means[i] * means[j]);
+                                    selector.offer(j, rho, qt);
+                                }
+                                Ok(RecomputedRow {
+                                    i,
+                                    row: selector.into_row(length),
+                                    outcome: RowOutcome {
+                                        min_dist,
+                                        min_j,
+                                        max_lb: f64::INFINITY,
+                                        valid: true,
+                                    },
+                                })
+                            })
+                            .collect::<Result<Vec<RecomputedRow>>>()
+                    };
+                    let results: Vec<Result<Vec<RecomputedRow>>> = if workers <= 1 {
+                        vec![recompute_chunk(&todo, &mut mass[0])]
+                    } else {
+                        // Pool workers take their chunk's scratch through a
+                        // Mutex (one uncontended acquisition per chunk per
+                        // length step).
+                        let chunks: Vec<&[usize]> = todo.chunks(chunk_len).collect();
+                        let scratches: Vec<std::sync::Mutex<&mut ProfileScratch>> =
+                            mass.iter_mut().take(chunks.len()).map(std::sync::Mutex::new).collect();
+                        pool.run(chunks.len(), |w| {
+                            let mut ms = scratches[w].lock().expect("scratch lock poisoned");
+                            recompute_chunk(chunks[w], &mut ms)
+                        })
+                    };
+                    // The untouched rows' entries must carry the current
+                    // dots before the table is rebuilt from the rows.
+                    write_back_dots(offsets, qt, rows);
+                    needs_rebuild = true;
+                    // Contiguous chunks of an ascending `todo` concatenate
+                    // back in ascending row order — the same order the
+                    // serial loop used.
+                    for chunk in results {
+                        for r in chunk? {
+                            rows[r.i] = r.row;
+                            outcomes[r.i] = r.outcome;
+                            if r.outcome.min_j != usize::MAX {
+                                candidates.push(MotifPair::new(
+                                    r.i,
+                                    r.outcome.min_j,
+                                    r.outcome.min_dist,
+                                    length,
+                                ));
+                            }
+                        }
                     }
                 }
             }
-        }
+
+            let pairs = if recomputed_rows > 0 {
+                select_top_k(&candidates, config.k, excl)
+            } else {
+                selection
+            };
+            timings.stage2_recompute += recompute_started.elapsed();
+
+            // No re-seed happened: the overlapped advance (if any) is
+            // valid — join it and promote at the next step.
+            let drain_started = std::time::Instant::now();
+            if let Some(handle) = advance.take() {
+                handle.wait();
+                *next_ready = !needs_rebuild;
+            }
+            timings.stage2_advance += drain_started.elapsed();
+
+            Ok((
+                LengthResult {
+                    length,
+                    pairs,
+                    stats: LengthStats {
+                        valid_rows,
+                        invalid_rows,
+                        recomputed_rows,
+                        min_lb_abs,
+                        stomp_fallback: false,
+                    },
+                },
+                needs_rebuild,
+            ))
+        })?
+    };
+    if needs_rebuild {
+        dots.build(rows);
     }
-
-    let pairs =
-        if recomputed_rows > 0 { select_top_k(&candidates, config.k, excl) } else { selection };
-
-    Ok(LengthResult {
-        length,
-        pairs,
-        stats: LengthStats {
-            valid_rows,
-            invalid_rows,
-            recomputed_rows,
-            min_lb_abs,
-            stomp_fallback: false,
-        },
-    })
+    Ok(result)
 }
 
 /// Greedy top-k selection with pair deduplication (same policy as

@@ -39,6 +39,16 @@ pub struct ValmodConfig {
     /// value** — the engine's merges are partition-independent — so this
     /// is purely a performance knob.
     pub threads: usize,
+    /// Whether stage 2 overlaps each length's dot-product advance with the
+    /// previous length's classification on the worker pool (see
+    /// `algo::step_length`). On by default; engages only with more than
+    /// one thread (a 1-thread configuration stays fully serial). Results
+    /// are **byte-identical on or off** — the overlapped batch computes
+    /// exactly what the start-of-step advance would, and is discarded
+    /// whenever a MASS re-seed makes it stale — so this is purely a
+    /// performance knob (and a CI dimension: the equality suites run both
+    /// ways).
+    pub stage2_pipeline: bool,
     /// The persistent [`WorkerPool`] every parallel phase of this run
     /// dispatches to; `None` uses the process-wide [`WorkerPool::global`].
     /// Purely a performance/ownership knob (results never depend on which
@@ -53,8 +63,17 @@ impl PartialEq for ValmodConfig {
     fn eq(&self, other: &Self) -> bool {
         // Exhaustive destructuring: adding a field to the struct fails to
         // compile here until equality explicitly includes or excludes it.
-        let Self { l_min, l_max, k, profile_size, exclusion_den, threads, pool: _ } = self;
-        (*l_min, *l_max, *k, *profile_size, *exclusion_den, *threads)
+        let Self {
+            l_min,
+            l_max,
+            k,
+            profile_size,
+            exclusion_den,
+            threads,
+            stage2_pipeline,
+            pool: _,
+        } = self;
+        (*l_min, *l_max, *k, *profile_size, *exclusion_den, *threads, *stage2_pipeline)
             == (
                 other.l_min,
                 other.l_max,
@@ -62,6 +81,7 @@ impl PartialEq for ValmodConfig {
                 other.profile_size,
                 other.exclusion_den,
                 other.threads,
+                other.stage2_pipeline,
             )
     }
 }
@@ -74,7 +94,16 @@ impl ValmodConfig {
     #[must_use]
     pub fn new(l_min: usize, l_max: usize) -> Self {
         let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        Self { l_min, l_max, k: 10, profile_size: 8, exclusion_den: 4, threads, pool: None }
+        Self {
+            l_min,
+            l_max,
+            k: 10,
+            profile_size: 8,
+            exclusion_den: 4,
+            threads,
+            stage2_pipeline: true,
+            pool: None,
+        }
     }
 
     /// Sets the number of motif pairs reported per length.
@@ -103,6 +132,15 @@ impl ValmodConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables the stage-2 software pipeline (see the
+    /// [`ValmodConfig::stage2_pipeline`] field docs; results are identical
+    /// either way).
+    #[must_use]
+    pub fn with_stage2_pipeline(mut self, pipelined: bool) -> Self {
+        self.stage2_pipeline = pipelined;
         self
     }
 

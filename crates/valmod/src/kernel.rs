@@ -1,5 +1,12 @@
-//! The stage-1 diagonal kernel: a 4-wide, FMA-based rewrite of VALMOD's
-//! hottest loop.
+//! The SIMD kernels of the suite: the stage-1 diagonal walk (a 4-wide,
+//! FMA-based rewrite of VALMOD's hottest loop) plus the shared dot-product
+//! *advance* lanes — [`advance_entry_dots`] for the pipelined stage-2
+//! length steps, and [`advance_dots_extend`] / [`advance_dots_append`],
+//! the same 256-bit recurrence machinery reused by the streaming engine's
+//! per-append shifts. All dispatches honor the `VALMOD_FORCE_PORTABLE`
+//! knob ([`valmod_fft::force_portable`]), and every packed path is
+//! byte-identical to its portable fallback by the mul-then-sub discipline
+//! described below.
 //!
 //! Stage 1 walks every diagonal of the QT matrix at `ℓmin`, and per cell
 //! does one fused multiply-add (the dot-product recurrence), one
@@ -197,14 +204,16 @@ pub(crate) fn stage1_walk(
     state.part
 }
 
-/// Runtime dispatch: one feature check per worker walk, then the whole
-/// diagonal share runs inside the widest available instantiation.
+/// Runtime dispatch: one feature check per worker walk (with the
+/// `VALMOD_FORCE_PORTABLE` override, see [`valmod_fft::force_portable`]),
+/// then the whole diagonal share runs inside the widest available
+/// instantiation.
 fn walk(ctx: &Ctx<'_>, first_diag: usize, w: usize, num_workers: usize, state: &mut WalkState) {
     #[cfg(target_arch = "x86_64")]
     {
-        if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+        if packed_available() {
             // SAFETY: the required CPU features were verified at runtime
-            // on the line above.
+            // by `packed_available`.
             return unsafe { walk_avx2(ctx, first_diag, w, num_workers, state) };
         }
     }
@@ -273,8 +282,9 @@ fn advance_qt<const PACKED: bool>(
 ) {
     #[cfg(target_arch = "x86_64")]
     if PACKED {
-        // SAFETY: `PACKED` is only instantiated `true` by `walk_avx2`,
-        // which runs only after runtime AVX2+FMA detection.
+        // SAFETY: `PACKED` is only instantiated `true` by `walk_avx2` and
+        // by `advance_dots_extend`, both of which run only after runtime
+        // AVX2+FMA detection.
         unsafe { packed::advance_qt(t_head, t_drop, tj_head, tj_drop, qt) };
         return;
     }
@@ -475,6 +485,172 @@ fn process_cell(ctx: &Ctx<'_>, i: usize, j: usize, qt: f64, state: &mut WalkStat
     }
 }
 
+/// Whether packed (`core::arch`) paths may be used: AVX2+FMA present and
+/// the `VALMOD_FORCE_PORTABLE` knob unset. One cached check per dispatch
+/// site (see [`valmod_fft::force_portable`]).
+#[inline]
+fn packed_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        !valmod_fft::force_portable()
+            && std::is_x86_feature_detected!("avx2")
+            && std::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Advances the stored partial-profile dot products of one row from length
+/// `ℓ` to `ℓ+1`: for each entry `e`,
+///
+/// ```text
+/// dst[e] = if j[e] < limit { head.mul_add(t_next[j[e]], src[e]) } else { src[e] }
+/// ```
+///
+/// where `head = t[i + ℓ]`, `t_next = &t[ℓ..]` (so `t_next[j] = t[j + ℓ]`)
+/// and `limit` is the window count at `ℓ+1` (entries whose candidate no
+/// longer fits keep their last dot, exactly as the scalar per-entry loop
+/// left them). `src` and `dst` may be the same buffer contents-wise but
+/// must be distinct slices (the double-buffered stage-2 scratch always
+/// passes the shadow as `dst`).
+///
+/// The packed path runs four entries per iteration: the `j` guard becomes
+/// an unsigned lane compare, `t_next[j]` a masked gather (masked-off lanes
+/// perform no memory access), the advance a single `vfmadd`, and the
+/// keep-else branch a `blendv` that copies `src`'s bits verbatim — so the
+/// result is byte-identical to the scalar loop, `−0.0` and overflowed
+/// (±∞) dots included. Falls back to the scalar loop on non-AVX2 CPUs,
+/// under `VALMOD_FORCE_PORTABLE`, and for `limit` beyond the gather's
+/// signed-index space.
+///
+/// # Panics
+///
+/// Panics when `j`/`src`/`dst` lengths differ, or when `limit` exceeds
+/// `t_next.len()` — every in-range lane must have a head product to
+/// gather (the scalar path would hit the same indexing panic lane by
+/// lane; asserting it up front keeps the packed gather in bounds from
+/// safe code).
+pub fn advance_entry_dots(
+    head: f64,
+    t_next: &[f64],
+    j: &[u32],
+    limit: u32,
+    src: &[f64],
+    dst: &mut [f64],
+) {
+    assert_eq!(j.len(), src.len());
+    assert_eq!(j.len(), dst.len());
+    assert!(
+        limit as usize <= t_next.len(),
+        "limit {limit} exceeds the {} head products available",
+        t_next.len()
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if packed_available() && i32::try_from(limit).is_ok() {
+            // SAFETY: AVX2+FMA verified by `packed_available`; `limit`
+            // fits the gather's signed 32-bit index space, and every
+            // gathered lane has `j < limit <= t_next.len()` (asserted
+            // above), so the gather stays in bounds.
+            unsafe { packed::advance_entry_dots(head, t_next, j, limit, src, dst) };
+            return;
+        }
+    }
+    for e in 0..j.len() {
+        dst[e] = if j[e] < limit { head.mul_add(t_next[j[e] as usize], src[e]) } else { src[e] };
+    }
+}
+
+/// The streaming engine's in-place per-append dot-product shift
+/// (fused-multiply-add form, used for batched appends):
+///
+/// ```text
+/// qt[j] = v.mul_add(t[j + l − 1], qt[j − 1] − dropped · t[j − 1])   for j in (1..qt.len()).rev()
+/// ```
+///
+/// This is the stage-1 kernel's diagonal recurrence ([`advance_qt`])
+/// applied to a shifted, contiguous row, so the packed path literally
+/// reuses those lanes: blocks of four are staged through a register copy
+/// (read `qt[j−1..j+3]`, advance, write `qt[j..j+4]`), processed from the
+/// high end down exactly like the scalar reverse loop, hence
+/// byte-identical to it.
+///
+/// # Panics
+///
+/// Panics if `t` is shorter than `qt.len() + l − 1` (the highest head
+/// index read).
+pub fn advance_dots_extend(v: f64, dropped: f64, t: &[f64], l: usize, qt: &mut [f64]) {
+    let m = qt.len();
+    if m <= 1 {
+        return;
+    }
+    assert!(t.len() >= m + l - 1, "series too short for the append recurrence");
+    let mut hi = m;
+    if packed_available() {
+        while hi > LANES {
+            let j0 = hi - LANES;
+            let mut lane = [0.0f64; LANES];
+            lane.copy_from_slice(&qt[j0 - 1..j0 - 1 + LANES]);
+            advance_qt::<true>(v, dropped, &t[j0 + l - 1..], &t[j0 - 1..], &mut lane);
+            qt[j0..j0 + LANES].copy_from_slice(&lane);
+            hi = j0;
+        }
+    }
+    for j in (1..hi).rev() {
+        qt[j] = v.mul_add(t[j + l - 1], qt[j - 1] - dropped * t[j - 1]);
+    }
+}
+
+/// The streaming engine's in-place per-append dot-product shift (add
+/// form, used for single appends, where the head products come from the
+/// shared cross row `cross[x] = v·t[x]`):
+///
+/// ```text
+/// qt[j] = cross[j + l − 1] + (qt[j − 1] − dropped · t[j − 1])   for j in (1..qt.len()).rev()
+/// ```
+///
+/// Same blocked-backward in-place scheme as [`advance_dots_extend`]; the
+/// packed lanes evaluate the identical `add(cross, sub(q, mul(dropped,
+/// t)))` expression tree, so the result is byte-identical to the scalar
+/// reverse loop. (The add form rounds the head product separately — that
+/// is the *existing* single-append semantics, kept as-is; this function
+/// only vectorizes it.)
+///
+/// # Panics
+///
+/// Panics if `t` or `cross` is shorter than `qt.len() + l − 1`.
+pub fn advance_dots_append(cross: &[f64], dropped: f64, t: &[f64], l: usize, qt: &mut [f64]) {
+    let m = qt.len();
+    if m <= 1 {
+        return;
+    }
+    assert!(t.len() >= m + l - 1, "series too short for the append recurrence");
+    assert!(cross.len() >= m + l - 1, "cross row too short for the append recurrence");
+    let mut hi = m;
+    #[cfg(target_arch = "x86_64")]
+    {
+        if packed_available() {
+            while hi > LANES {
+                let j0 = hi - LANES;
+                let mut lane = [0.0f64; LANES];
+                lane.copy_from_slice(&qt[j0 - 1..j0 - 1 + LANES]);
+                // SAFETY: AVX2 verified by `packed_available`; all slices
+                // span at least LANES elements by the asserts above.
+                unsafe {
+                    packed::advance_add(&cross[j0 + l - 1..], dropped, &t[j0 - 1..], &mut lane);
+                }
+                qt[j0..j0 + LANES].copy_from_slice(&lane);
+                hi = j0;
+            }
+        }
+    }
+    for j in (1..hi).rev() {
+        qt[j] = cross[j + l - 1] + (qt[j - 1] - dropped * t[j - 1]);
+    }
+}
+
 /// The explicit 256-bit math steps of the AVX2+FMA instantiation.
 ///
 /// Each function is the *same expression tree* as its portable
@@ -491,8 +667,11 @@ fn process_cell(ctx: &Ctx<'_>, i: usize, j: usize, qt: f64, state: &mut WalkStat
 mod packed {
     use super::LANES;
     use core::arch::x86_64::{
-        _mm256_div_pd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_max_pd, _mm256_min_pd,
-        _mm256_mul_pd, _mm256_set1_pd, _mm256_sqrt_pd, _mm256_storeu_pd, _mm256_sub_pd,
+        __m128i, _mm256_add_pd, _mm256_blendv_pd, _mm256_castsi256_pd, _mm256_cvtepi32_epi64,
+        _mm256_div_pd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_mask_i32gather_pd, _mm256_max_pd,
+        _mm256_min_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd, _mm256_sqrt_pd,
+        _mm256_storeu_pd, _mm256_sub_pd, _mm_cmplt_epi32, _mm_loadu_si128, _mm_set1_epi32,
+        _mm_xor_si128,
     };
 
     /// Packed lane step of [`super::advance_qt`].
@@ -516,6 +695,76 @@ mod packed {
             let next =
                 _mm256_fmadd_pd(_mm256_set1_pd(t_head), _mm256_loadu_pd(heads.as_ptr()), acc);
             _mm256_storeu_pd(qt.as_mut_ptr(), next);
+        }
+    }
+
+    /// Packed lane step of [`super::advance_dots_append`]:
+    /// `qt[c] = cross[c] + (qt[c] − dropped·t_drop[c])` — add, sub, mul,
+    /// each exactly rounded, in the scalar expression's association.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    pub(super) fn advance_add(cross: &[f64], dropped: f64, t_drop: &[f64], qt: &mut [f64; LANES]) {
+        let cross = &cross[..LANES];
+        let drops = &t_drop[..LANES];
+        // SAFETY: every pointer spans exactly LANES f64s (asserted by the
+        // reslices above); loadu/storeu carry no alignment requirement.
+        unsafe {
+            let q = _mm256_loadu_pd(qt.as_ptr());
+            let dropped = _mm256_mul_pd(_mm256_set1_pd(dropped), _mm256_loadu_pd(drops.as_ptr()));
+            let acc = _mm256_sub_pd(q, dropped);
+            let next = _mm256_add_pd(_mm256_loadu_pd(cross.as_ptr()), acc);
+            _mm256_storeu_pd(qt.as_mut_ptr(), next);
+        }
+    }
+
+    /// Packed body of [`super::advance_entry_dots`]: four entries per
+    /// iteration — unsigned lane compare for the `j < limit` guard, masked
+    /// gather for `t_next[j]` (masked-off lanes touch no memory), one
+    /// `vfmadd`, and a `blendv` that keeps `src`'s exact bits on
+    /// out-of-range lanes. Scalar remainder for the ragged tail.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA, and `limit <= i32::MAX` so
+    /// every gathered (in-range) lane's index is non-negative after the
+    /// gather's sign extension.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn advance_entry_dots(
+        head: f64,
+        t_next: &[f64],
+        j: &[u32],
+        limit: u32,
+        src: &[f64],
+        dst: &mut [f64],
+    ) {
+        let len = j.len();
+        let head_v = _mm256_set1_pd(head);
+        let bias = _mm_set1_epi32(i32::MIN);
+        #[allow(clippy::cast_possible_wrap)]
+        let limit_biased = _mm_set1_epi32((limit as i32).wrapping_add(i32::MIN));
+        let mut e = 0;
+        while e + LANES <= len {
+            // SAFETY: `j[e..e+4]`/`src[e..e+4]`/`dst[e..e+4]` are in
+            // bounds (`e + LANES <= len` and the wrapper asserts equal
+            // lengths); the gather reads `t_next[j[c]]` only on lanes with
+            // `j[c] < limit`, and the wrapper's caller passes `limit` no
+            // larger than the valid window count, i.e. `t_next.len()`.
+            unsafe {
+                let jv = _mm_loadu_si128(j.as_ptr().add(e).cast::<__m128i>());
+                // Unsigned `j < limit` via sign-bias + signed compare.
+                let in_range = _mm_cmplt_epi32(_mm_xor_si128(jv, bias), limit_biased);
+                let mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(in_range));
+                let heads =
+                    _mm256_mask_i32gather_pd::<8>(_mm256_setzero_pd(), t_next.as_ptr(), jv, mask);
+                let src_v = _mm256_loadu_pd(src.as_ptr().add(e));
+                let advanced = _mm256_fmadd_pd(head_v, heads, src_v);
+                _mm256_storeu_pd(dst.as_mut_ptr().add(e), _mm256_blendv_pd(src_v, advanced, mask));
+            }
+            e += LANES;
+        }
+        for e in e..len {
+            dst[e] =
+                if j[e] < limit { head.mul_add(t_next[j[e] as usize], src[e]) } else { src[e] };
         }
     }
 
@@ -648,6 +897,100 @@ mod tests {
                     "kernel diverged at l={l}, workers={workers}"
                 );
             }
+        }
+    }
+
+    /// Deterministic pseudo-random values with sign variety and a few
+    /// planted corner cases (`−0.0`, huge magnitudes).
+    fn pseudo_values(n: usize, seed: u64) -> Vec<f64> {
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed);
+                (h % 2000) as f64 / 100.0 - 10.0
+            })
+            .collect();
+        if n > 8 {
+            v[3] = -0.0;
+            v[7] = 1e150;
+        }
+        v
+    }
+
+    /// [`advance_entry_dots`] against the scalar per-entry loop:
+    /// byte-identical on every lane, including out-of-range candidates
+    /// (`j >= limit` must keep `src`'s exact bits — `−0.0` included) and
+    /// ragged tails.
+    #[test]
+    fn entry_dot_advance_matches_the_scalar_loop() {
+        let t_next = pseudo_values(500, 17);
+        for len in [1usize, 3, 4, 7, 64, 129] {
+            let j: Vec<u32> = (0..len)
+                .map(|e| {
+                    let h = (e as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
+                    (h % 600) as u32 // some beyond limit
+                })
+                .collect();
+            let mut src = pseudo_values(len, 23);
+            if len > 2 {
+                src[1] = -0.0;
+                src[2] = f64::INFINITY; // overflowed dot, must survive verbatim
+            }
+            for limit in [0u32, 1, 250, 500] {
+                let head = 1.75f64;
+                let mut expect = vec![0.0f64; len];
+                for e in 0..len {
+                    expect[e] = if j[e] < limit {
+                        head.mul_add(t_next[j[e] as usize], src[e])
+                    } else {
+                        src[e]
+                    };
+                }
+                let mut dst = vec![0.0f64; len];
+                advance_entry_dots(head, &t_next, &j, limit, &src, &mut dst);
+                for (e, (a, b)) in dst.iter().zip(&expect).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "entry {e} diverged at len={len} limit={limit}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The streaming shift kernels against the scalar reverse loops they
+    /// replace: byte-identical in-place results for both the fused
+    /// (extend) and the add (append) form, across ragged lengths.
+    #[test]
+    fn streaming_shift_kernels_match_the_scalar_reverse_loops() {
+        let l = 9usize;
+        for m in [1usize, 2, 4, 5, 8, 31, 130] {
+            let t = pseudo_values(m + l - 1 + 4, 5);
+            let cross: Vec<f64> = t.iter().map(|&x| 0.37 * x).collect();
+            let (v, dropped) = (t[m + l - 2], t[m - 1]);
+
+            let base = pseudo_values(m, 99);
+            let mut expect = base.clone();
+            for j in (1..m).rev() {
+                expect[j] = v.mul_add(t[j + l - 1], expect[j - 1] - dropped * t[j - 1]);
+            }
+            let mut got = base.clone();
+            advance_dots_extend(v, dropped, &t, l, &mut got);
+            assert!(
+                got.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "extend shift diverged at m={m}: {got:?} vs {expect:?}"
+            );
+
+            let mut expect = base.clone();
+            for j in (1..m).rev() {
+                expect[j] = cross[j + l - 1] + (expect[j - 1] - dropped * t[j - 1]);
+            }
+            let mut got = base;
+            advance_dots_append(&cross, dropped, &t, l, &mut got);
+            assert!(
+                got.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "append shift diverged at m={m}: {got:?} vs {expect:?}"
+            );
         }
     }
 

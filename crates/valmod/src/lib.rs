@@ -38,12 +38,13 @@
 pub mod algo;
 pub mod config;
 pub mod discord;
-mod kernel;
+pub mod kernel;
 pub mod lb;
 pub mod motif_set;
 pub mod partial;
 pub mod rank;
 pub mod render;
+mod scratch;
 pub mod valmap;
 
 pub use algo::{run_valmod, LengthResult, LengthStats, StageTimings, ValmodOutput};

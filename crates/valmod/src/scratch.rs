@@ -1,0 +1,175 @@
+//! Stage-2 working state: per-run buffers recycled across length steps,
+//! including the double-buffered flattened dot-product table that makes
+//! the two-stage software pipeline possible.
+//!
+//! # Why a flattened table
+//!
+//! Stage 2 stores one running dot product per partial-profile entry. The
+//! entries live row-by-row inside [`PartialRow`]s — convenient for
+//! ownership, terrible for the advance loop, which touches every entry of
+//! every row once per length. [`DotTable`] keeps the same data in
+//! structure-of-arrays form (`offsets`/`j`/`qt`), so the advance is one
+//! contiguous sweep the SIMD kernel
+//! ([`crate::kernel::advance_entry_dots`]) can chew through, and — the
+//! pipelining point — **double-buffered**: while classification of length
+//! `ℓ` reads `qt`, a concurrently submitted batch writes the dots of
+//! `ℓ+1` into `qt_next`. The two stages share no mutable state, so they
+//! overlap on the worker pool without locks; a MASS re-seed (which
+//! replaces whole rows) is the one event that invalidates the shadow and
+//! forces the drain-and-rebuild below.
+//!
+//! The table is authoritative for dot values during stage 2; the `qt`
+//! fields inside the rows' entries are only synchronized back
+//! ([`DotTable::write_back`]) at re-seed boundaries, where row shapes
+//! change anyway.
+
+use valmod_mp::mass::ProfileScratch;
+
+use crate::partial::PartialRow;
+
+/// Classification outcome of one row at one length.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RowOutcome {
+    pub min_dist: f64,
+    pub min_j: usize,
+    pub max_lb: f64,
+    pub valid: bool,
+}
+
+impl RowOutcome {
+    pub(crate) const EMPTY: Self =
+        Self { min_dist: f64::INFINITY, min_j: usize::MAX, max_lb: f64::INFINITY, valid: true };
+}
+
+/// The flattened, double-buffered dot-product store (see module docs).
+#[derive(Debug, Default)]
+pub(crate) struct DotTable {
+    /// Row `i`'s entries occupy `offsets[i]..offsets[i + 1]`.
+    pub offsets: Vec<usize>,
+    /// Candidate offsets, flattened in row-entry order.
+    pub j: Vec<u32>,
+    /// Current dot products (valid for the length last advanced to).
+    pub qt: Vec<f64>,
+    /// Shadow buffer the next length's dots are advanced into.
+    pub qt_next: Vec<f64>,
+    /// Whether `qt_next` already holds the dots of the *next* length
+    /// (set when a pipelined advance batch was drained successfully).
+    pub next_ready: bool,
+    /// Whether the table has been built from the rows at all.
+    pub built: bool,
+}
+
+impl DotTable {
+    /// (Re)builds the table from the rows' entries — at stage-2 entry and
+    /// after a MASS re-seed changed row shapes. Invalidates the shadow.
+    pub(crate) fn build(&mut self, rows: &[PartialRow]) {
+        let total: usize = rows.iter().map(|r| r.entries.len()).sum();
+        self.offsets.clear();
+        self.offsets.reserve(rows.len() + 1);
+        self.j.clear();
+        self.j.reserve(total);
+        self.qt.clear();
+        self.qt.reserve(total);
+        self.offsets.push(0);
+        for row in rows {
+            for e in &row.entries {
+                self.j.push(e.j);
+                self.qt.push(e.qt);
+            }
+            self.offsets.push(self.j.len());
+        }
+        self.qt_next.clear();
+        self.qt_next.resize(total, 0.0);
+        self.next_ready = false;
+        self.built = true;
+    }
+
+    /// Promotes the shadow buffer to current (the cheap half of a
+    /// pipelined length step).
+    pub(crate) fn promote_next(&mut self) {
+        std::mem::swap(&mut self.qt, &mut self.qt_next);
+        self.next_ready = false;
+    }
+}
+
+/// Writes the table's current dot products back into the rows' entries,
+/// so a rebuild after re-seeding sees every untouched row's dots exactly
+/// where the pre-table code kept them. Free-standing (rather than a
+/// `DotTable` method) because it runs while the table's buffers are
+/// split-borrowed by an in-flight advance batch — only `offsets` and `qt`
+/// are needed, both shared.
+pub(crate) fn write_back_dots(offsets: &[usize], qt: &[f64], rows: &mut [PartialRow]) {
+    for (i, row) in rows.iter_mut().enumerate() {
+        let segment = &qt[offsets[i]..offsets[i + 1]];
+        for (e, &dot) in row.entries.iter_mut().zip(segment) {
+            e.qt = dot;
+        }
+    }
+}
+
+/// Stage-2 buffers allocated once per run and recycled across length
+/// steps; `mass` holds one MASS scratch per recomputation worker.
+#[derive(Default)]
+pub(crate) struct StepScratch {
+    pub means: Vec<f64>,
+    pub stds: Vec<f64>,
+    pub outcomes: Vec<RowOutcome>,
+    pub mass: Vec<ProfileScratch>,
+    pub dots: DotTable,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partial::TopRhoSelector;
+
+    fn row(base_len: usize, entries: &[(usize, f64, f64)]) -> PartialRow {
+        let mut sel = TopRhoSelector::new(entries.len().max(1));
+        for &(j, rho, qt) in entries {
+            sel.offer(j, rho, qt);
+        }
+        sel.into_row(base_len)
+    }
+
+    #[test]
+    fn build_flattens_rows_in_entry_order() {
+        let rows =
+            vec![row(8, &[(3, 0.9, 1.0), (5, 0.5, 2.0)]), row(8, &[]), row(8, &[(0, 0.1, 3.0)])];
+        let mut table = DotTable::default();
+        table.build(&rows);
+        assert_eq!(table.offsets, vec![0, 2, 2, 3]);
+        assert_eq!(table.j, vec![3, 5, 0]);
+        assert_eq!(table.qt, vec![1.0, 2.0, 3.0]);
+        assert_eq!(table.qt_next.len(), 3);
+        assert!(table.built);
+        assert!(!table.next_ready);
+    }
+
+    #[test]
+    fn write_back_round_trips_through_build() {
+        let mut rows = vec![row(8, &[(3, 0.9, 1.0), (5, 0.5, 2.0)]), row(8, &[(1, 0.2, 4.0)])];
+        let mut table = DotTable::default();
+        table.build(&rows);
+        table.qt.copy_from_slice(&[10.0, 20.0, 40.0]);
+        write_back_dots(&table.offsets, &table.qt, &mut rows);
+        assert_eq!(rows[0].entries[0].qt, 10.0);
+        assert_eq!(rows[0].entries[1].qt, 20.0);
+        assert_eq!(rows[1].entries[0].qt, 40.0);
+        let mut rebuilt = DotTable::default();
+        rebuilt.build(&rows);
+        assert_eq!(rebuilt.qt, table.qt);
+        assert_eq!(rebuilt.j, table.j);
+    }
+
+    #[test]
+    fn promote_swaps_the_shadow_in() {
+        let rows = vec![row(8, &[(3, 0.9, 1.0)])];
+        let mut table = DotTable::default();
+        table.build(&rows);
+        table.qt_next[0] = 7.5;
+        table.next_ready = true;
+        table.promote_next();
+        assert_eq!(table.qt, vec![7.5]);
+        assert!(!table.next_ready);
+    }
+}

@@ -132,6 +132,73 @@ proptest! {
         }
     }
 
+    /// Pipeline invariance: the stage-2 software pipeline (overlapped
+    /// dot-advance on the worker pool) must be a pure scheduling change —
+    /// pipeline on and off produce *byte-identical* pairs and VALMAP for
+    /// every thread count. `profile_size` is drawn small so the MASS
+    /// fallback (the pipeline's drain-and-sync path) fires in most cases,
+    /// not just the happy path.
+    #[test]
+    fn stage2_pipeline_never_changes_results(
+        seed in 0u64..100_000,
+        kind in 0usize..3,
+        p in 1usize..5,
+    ) {
+        let series = match kind {
+            0 => gen::random_walk(700, seed),
+            1 => gen::ecg(700, &gen::EcgConfig::default(), seed),
+            _ => {
+                let mut s = gen::white_noise(700, seed, 1.0);
+                for v in &mut s[250..330] {
+                    *v = 1.0; // plateau: the STOMP-fallback path drains too
+                }
+                s
+            }
+        };
+        let config = ValmodConfig::new(18, 30).with_k(3).with_profile_size(p);
+        let base = run_valmod(
+            &series,
+            &config.clone().with_threads(1).with_stage2_pipeline(false),
+        )
+        .unwrap();
+        for threads in [1usize, 2, 8] {
+            for pipelined in [false, true] {
+                let out = run_valmod(
+                    &series,
+                    &config.clone().with_threads(threads).with_stage2_pipeline(pipelined),
+                )
+                .unwrap();
+                for (a, b) in out.per_length.iter().zip(&base.per_length) {
+                    prop_assert_eq!(
+                        a.pairs.len(), b.pairs.len(),
+                        "pair count at length {} (threads={}, pipeline={})",
+                        a.length, threads, pipelined
+                    );
+                    for (pa, pb) in a.pairs.iter().zip(&b.pairs) {
+                        prop_assert_eq!(
+                            (pa.a, pa.b, pa.distance.to_bits()),
+                            (pb.a, pb.b, pb.distance.to_bits()),
+                            "pair differs at length {} (threads={}, pipeline={})",
+                            a.length, threads, pipelined
+                        );
+                    }
+                    prop_assert_eq!(
+                        (a.stats.valid_rows, a.stats.recomputed_rows, a.stats.stomp_fallback),
+                        (b.stats.valid_rows, b.stats.recomputed_rows, b.stats.stomp_fallback),
+                        "pruning stats differ at length {} (threads={}, pipeline={})",
+                        a.length, threads, pipelined
+                    );
+                }
+                let mpn_bits: Vec<u64> = out.valmap.mpn.iter().map(|v| v.to_bits()).collect();
+                let base_bits: Vec<u64> = base.valmap.mpn.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(
+                    mpn_bits, base_bits,
+                    "VALMAP differs (threads={}, pipeline={})", threads, pipelined
+                );
+            }
+        }
+    }
+
     /// Discord thread-count invariance: stage 1 reuses the diagonal walk
     /// and the per-length loops chunk over rows, so every thread count
     /// must produce *byte-identical* discord offsets, distances, and
