@@ -31,9 +31,8 @@ mod complex;
 mod convolve;
 mod fft;
 mod real;
+pub mod simd;
 mod sliding;
-
-use std::sync::OnceLock;
 
 pub use complex::Complex64;
 pub use convolve::{convolve, convolve_naive};
@@ -44,28 +43,23 @@ pub use sliding::{
     sliding_dot_product_naive_into, SlidingDotPlan, SlidingDotScratch,
 };
 
-/// Whether the `VALMOD_FORCE_PORTABLE` environment knob demands the
-/// portable (non-`core::arch`) code paths everywhere.
+/// Whether the portable (non-`core::arch`) code paths are currently
+/// forced — by the `VALMOD_FORCE_PORTABLE` environment knob (read once
+/// per process and cached; see [`simd::env_force_portable`]) or by an
+/// in-process [`simd::override_simd`] guard.
 ///
-/// Every SIMD dispatch site in the suite — the stage-1 diagonal kernel and
-/// stage-2 dot-advance in `valmod-core`, and the vectorized naive sliding
-/// dot here — consults this before its CPU-feature check, so CI can
-/// exercise the portable lanes on AVX2 runners (`VALMOD_FORCE_PORTABLE=1`)
-/// instead of shipping them untested. The portable paths are byte-identical
-/// to the packed ones by construction, so forcing them must never change
-/// results — which is exactly what the forced rerun of the equality suites
-/// pins.
-///
-/// The environment is read **once per process** (first dispatch) and
-/// cached; flipping the variable afterwards has no effect, keeping the
-/// dispatch branch-predictable and the chosen path consistent for the
-/// whole run.
+/// Every SIMD dispatch site in the suite — the stage-1 diagonal kernel
+/// and stage-2 dot-advance in `valmod-core`, and the vectorized naive
+/// sliding dot here — routes through [`simd::simd_level`], which folds
+/// this in before its CPU-feature check, so CI can exercise the portable
+/// lanes on AVX2/AVX-512 runners (`VALMOD_FORCE_PORTABLE=1`) instead of
+/// shipping them untested. The portable paths are byte-identical to the
+/// packed ones by construction, so forcing them must never change
+/// results — which is exactly what the forced rerun of the equality
+/// suites pins.
 #[must_use]
 pub fn force_portable() -> bool {
-    static FORCED: OnceLock<bool> = OnceLock::new();
-    *FORCED.get_or_init(|| {
-        std::env::var("VALMOD_FORCE_PORTABLE").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
-    })
+    simd::portable_forced()
 }
 
 /// Smallest power of two greater than or equal to `n`.

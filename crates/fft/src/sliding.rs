@@ -28,15 +28,17 @@ pub fn sliding_dot_product_naive(query: &[f64], series: &[f64]) -> Vec<f64> {
 /// Each output is a fused multiply-add *chain* over the query — a serial
 /// dependency, so a scalar loop is FMA-latency-bound (~4–5 cycles per
 /// element, which at paper scale made a single VALMOD recomputation row
-/// cost tens of milliseconds). The hot path therefore computes **eight
-/// outputs at once** (two 256-bit accumulators under AVX2+FMA): eight
-/// independent chains hide the latency, and every `series` load serves
-/// four adjacent outputs. Lane `i` still accumulates `q[0]·t[i]`,
-/// `q[1]·t[i+1]`, … in exactly the scalar order, one fused operation per
-/// term, so the vectorized outputs are **byte-identical** to the scalar
-/// loop's — the dispatch (AVX2+FMA detected and
-/// [`crate::force_portable`] unset) selects an instruction encoding,
-/// never a summation order.
+/// cost tens of milliseconds). The hot path therefore computes **2·W
+/// outputs at once** (two width-`W` accumulators, written once against
+/// [`crate::simd::F64Lanes`] and instantiated at W=4 under AVX2+FMA and
+/// W=8 under AVX-512): the independent chains hide the latency, and every
+/// `series` load serves `W` adjacent outputs. Lane `i` still accumulates
+/// `q[0]·t[i]`, `q[1]·t[i+1]`, … in exactly the scalar order, one fused
+/// operation per term, so the vectorized outputs are **byte-identical**
+/// to the scalar loop's at every width — the dispatch
+/// ([`crate::simd::simd_level`]) selects an instruction encoding, never a
+/// summation order. The portable levels take the scalar chain directly:
+/// at width 1 the "lanes" degenerate to it anyway.
 pub fn sliding_dot_product_naive_into(query: &[f64], series: &[f64], out: &mut Vec<f64>) {
     out.clear();
     let m = query.len();
@@ -45,19 +47,21 @@ pub fn sliding_dot_product_naive_into(query: &[f64], series: &[f64], out: &mut V
         return;
     }
     out.reserve(n - m + 1);
-    #[cfg(target_arch = "x86_64")]
-    {
-        if !crate::force_portable()
-            && std::is_x86_feature_detected!("avx2")
-            && std::is_x86_feature_detected!("fma")
-        {
-            // SAFETY: the required CPU features were verified at runtime on
-            // the line above.
-            unsafe { naive_into_avx2(query, series, out) };
-            return;
+    match crate::simd::simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        crate::simd::SimdLevel::Avx512 => {
+            let b = crate::simd::Avx512::new().expect("dispatch verified AVX-512");
+            // SAFETY: the `Avx512` token proves the target features.
+            unsafe { naive_into_avx512(b, query, series, out) }
         }
+        #[cfg(target_arch = "x86_64")]
+        crate::simd::SimdLevel::Avx2 => {
+            let b = crate::simd::Avx2::new().expect("dispatch verified AVX2+FMA");
+            // SAFETY: the `Avx2` token proves the target features.
+            unsafe { naive_into_avx2(b, query, series, out) }
+        }
+        _ => naive_into_scalar(query, series, out),
     }
-    naive_into_scalar(query, series, out);
 }
 
 /// The portable naive kernel: one chained fused multiply-add per term.
@@ -74,44 +78,43 @@ fn naive_into_scalar(query: &[f64], series: &[f64], out: &mut Vec<f64>) {
     }
 }
 
-/// The AVX2+FMA naive kernel: eight output positions per iteration, each
-/// lane running the scalar accumulation chain verbatim (see
+/// The lane-generic naive kernel body: `2·W` output positions per
+/// iteration (two accumulators to hide FMA latency), each lane running
+/// the scalar accumulation chain verbatim (see
 /// [`sliding_dot_product_naive_into`] for the bit-identity argument).
-///
-/// # Safety
-///
-/// The caller must have verified that the CPU supports AVX2 and FMA.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2,fma")]
-unsafe fn naive_into_avx2(query: &[f64], series: &[f64], out: &mut Vec<f64>) {
-    use core::arch::x86_64::{
-        _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_set1_pd, _mm256_setzero_pd, _mm256_storeu_pd,
-    };
-    const BLOCK: usize = 8;
+/// Instantiated inside a `#[target_feature]` wrapper per packed backend
+/// so the `#[inline(always)]` lane ops compile to bare vector
+/// instructions.
+#[inline(always)]
+fn naive_into_lanes<const W: usize, B: crate::simd::F64Lanes<W>>(
+    b: B,
+    query: &[f64],
+    series: &[f64],
+    out: &mut Vec<f64>,
+) {
     let m = query.len();
     let n = series.len();
     let outputs = n - m + 1;
-    let mut buf = [0.0f64; BLOCK];
+    let block = 2 * W;
+    let mut buf_lo = [0.0f64; W];
+    let mut buf_hi = [0.0f64; W];
     let mut i = 0;
-    while i + BLOCK <= outputs {
-        // SAFETY: term `k` loads `series[i + k .. i + k + 8]`; the highest
-        // index touched is `i + (m − 1) + 7`, in bounds because
-        // `i + BLOCK <= outputs = n − m + 1` ⟺ `i + m + 6 <= n − 1`.
-        // `loadu` carries no alignment requirement.
-        unsafe {
-            let mut acc_lo = _mm256_setzero_pd();
-            let mut acc_hi = _mm256_setzero_pd();
-            for (k, &q) in query.iter().enumerate() {
-                let qv = _mm256_set1_pd(q);
-                let t = series.as_ptr().add(i + k);
-                acc_lo = _mm256_fmadd_pd(qv, _mm256_loadu_pd(t), acc_lo);
-                acc_hi = _mm256_fmadd_pd(qv, _mm256_loadu_pd(t.add(4)), acc_hi);
-            }
-            _mm256_storeu_pd(buf.as_mut_ptr(), acc_lo);
-            _mm256_storeu_pd(buf.as_mut_ptr().add(4), acc_hi);
+    while i + block <= outputs {
+        let mut acc_lo = b.splat(0.0);
+        let mut acc_hi = b.splat(0.0);
+        // Term `k` loads `series[i + k .. i + k + 2W]`; the highest index
+        // touched is `i + (m − 1) + 2W − 1 ≤ (outputs − 2W) + m + 2W − 2 =
+        // n − 1`, so the slice-checked lane loads never panic.
+        for (k, &q) in query.iter().enumerate() {
+            let qv = b.splat(q);
+            acc_lo = b.mul_add(qv, b.load(&series[i + k..]), acc_lo);
+            acc_hi = b.mul_add(qv, b.load(&series[i + k + W..]), acc_hi);
         }
-        out.extend_from_slice(&buf);
-        i += BLOCK;
+        b.store(acc_lo, &mut buf_lo);
+        b.store(acc_hi, &mut buf_hi);
+        out.extend_from_slice(&buf_lo);
+        out.extend_from_slice(&buf_hi);
+        i += block;
     }
     // Remainder outputs: the scalar chain (identical arithmetic).
     for i in i..outputs {
@@ -122,6 +125,33 @@ unsafe fn naive_into_avx2(query: &[f64], series: &[f64], out: &mut Vec<f64>) {
         }
         out.push(acc);
     }
+}
+
+/// [`naive_into_lanes`] at W=4 under AVX2+FMA (8 outputs per iteration).
+///
+/// # Safety
+///
+/// The `Avx2` token proves the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn naive_into_avx2(b: crate::simd::Avx2, query: &[f64], series: &[f64], out: &mut Vec<f64>) {
+    naive_into_lanes::<4, _>(b, query, series, out);
+}
+
+/// [`naive_into_lanes`] at W=8 under AVX-512 (16 outputs per iteration).
+///
+/// # Safety
+///
+/// The `Avx512` token proves the CPU supports AVX-512 F/DQ/VL (+AVX2+FMA).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx2,fma")]
+unsafe fn naive_into_avx512(
+    b: crate::simd::Avx512,
+    query: &[f64],
+    series: &[f64],
+    out: &mut Vec<f64>,
+) {
+    naive_into_lanes::<8, _>(b, query, series, out);
 }
 
 /// Cost-model dispatch between the naive and FFT sliding-dot paths.
@@ -346,28 +376,39 @@ mod tests {
 
     #[test]
     fn vectorized_naive_is_byte_identical_to_scalar() {
-        // The AVX2 lanes each run the scalar accumulation chain verbatim,
-        // so every output must match the portable kernel bit for bit —
-        // including ragged tails (outputs % 8 ≠ 0) and queries spanning
-        // the whole series. On non-AVX2 hardware both calls take the
-        // scalar path and the test degenerates to a self-check.
-        for n in [9usize, 64, 257, 1000] {
-            let series = pseudo_series(n);
-            for m in [1usize, 2, 7, 33, 80, n] {
-                if m > n {
-                    continue;
-                }
-                let query: Vec<f64> = series[(n - m) / 2..(n - m) / 2 + m].to_vec();
-                let mut scalar = Vec::new();
-                super::naive_into_scalar(&query, &series, &mut scalar);
-                let dispatched = super::sliding_dot_product_naive(&query, &series);
-                assert_eq!(scalar.len(), dispatched.len());
-                for (i, (a, b)) in scalar.iter().zip(&dispatched).enumerate() {
-                    assert_eq!(
-                        a.to_bits(),
-                        b.to_bits(),
-                        "lane output diverged at n={n} m={m} i={i}: {a} vs {b}"
-                    );
+        // Every packed width's lanes each run the scalar accumulation
+        // chain verbatim, so every output must match the portable kernel
+        // bit for bit — including ragged tails (outputs % 2W ≠ 0) and
+        // queries spanning the whole series. The override sweeps the
+        // dispatch levels in-process; levels the CPU cannot encode fall
+        // back to the portable stand-in and the case degenerates to a
+        // self-check.
+        use crate::simd::{override_simd, LaneWidth, SimdOverride};
+        let overrides = [
+            SimdOverride { portable: true, width: None },
+            SimdOverride { portable: false, width: Some(LaneWidth::W4) },
+            SimdOverride { portable: false, width: Some(LaneWidth::W8) },
+        ];
+        for forced in overrides {
+            let _g = override_simd(forced);
+            for n in [9usize, 64, 257, 1000] {
+                let series = pseudo_series(n);
+                for m in [1usize, 2, 7, 33, 80, n] {
+                    if m > n {
+                        continue;
+                    }
+                    let query: Vec<f64> = series[(n - m) / 2..(n - m) / 2 + m].to_vec();
+                    let mut scalar = Vec::new();
+                    super::naive_into_scalar(&query, &series, &mut scalar);
+                    let dispatched = super::sliding_dot_product_naive(&query, &series);
+                    assert_eq!(scalar.len(), dispatched.len());
+                    for (i, (a, b)) in scalar.iter().zip(&dispatched).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "lane output diverged at {forced:?} n={n} m={m} i={i}: {a} vs {b}"
+                        );
+                    }
                 }
             }
         }

@@ -1,0 +1,79 @@
+//! Stream-layer leg of the cross-kernel differential harness: the
+//! streaming engine's canonical snapshot must be byte-identical across
+//! every lane variant the process can dispatch. This differences the
+//! streaming-specific kernels (`advance_dots_extend` / `advance_dots_append`
+//! blocked-backward shifts, plus the stage-1 re-walks they feed) that the
+//! batch-only `kernel_differential` suite cannot reach through `run_valmod`.
+
+use valmod_core::testkit::{force_level, test_levels};
+use valmod_core::ValmodConfig;
+use valmod_series::gen;
+use valmod_stream::StreamingValmod;
+
+/// Runs one warmup + interleaved append/extend schedule under a forced
+/// lane level and returns the canonical snapshot, reduced to bit patterns.
+#[allow(clippy::type_complexity)]
+fn snapshot_bits(
+    series: &[f64],
+    config: &ValmodConfig,
+    level: valmod_fft::simd::SimdLevel,
+) -> (Vec<u64>, Vec<(usize, Vec<(u32, u32, u64)>)>) {
+    let _g = force_level(level);
+    let warmup = series.len() / 2;
+    let mut engine = StreamingValmod::new(&series[..warmup], config.clone()).unwrap();
+    let mut at = warmup;
+    let mut state = 0x9e3779b97f4a7c15u64;
+    while at < series.len() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        if state.is_multiple_of(3) {
+            engine.append(series[at]);
+            at += 1;
+        } else {
+            let end = (at + 2 + (state >> 33) as usize % 11).min(series.len());
+            engine.extend(&series[at..end]);
+            at = end;
+        }
+    }
+    let snap = engine.snapshot().unwrap();
+    let profile = snap
+        .base_profile
+        .values
+        .iter()
+        .map(|d| d.to_bits())
+        .chain(snap.base_profile.indices.iter().map(|i| i.map_or(u64::MAX, |j| j as u64)))
+        .collect();
+    let lengths = snap
+        .per_length
+        .iter()
+        .map(|lm| {
+            (
+                lm.length,
+                lm.pairs.iter().map(|p| (p.a as u32, p.b as u32, p.distance.to_bits())).collect(),
+            )
+        })
+        .collect();
+    (profile, lengths)
+}
+
+#[test]
+fn streaming_snapshot_is_lane_invariant() {
+    for (kind, seed) in [(0usize, 11u64), (1, 23), (2, 57)] {
+        let n = 300 + (seed as usize % 60);
+        let series = match kind {
+            0 => gen::random_walk(n, seed),
+            1 => gen::ecg(n, &gen::EcgConfig::default(), seed),
+            _ => gen::sine_mix(n, &[(n as f64 / 6.0, 1.0), (n as f64 / 2.5, 0.3)], 0.05, seed),
+        };
+        let config = ValmodConfig::new(10, 14).with_k(3).with_profile_size(4).with_threads(2);
+
+        let levels = test_levels();
+        let reference = snapshot_bits(&series, &config, levels[0]);
+        for level in &levels[1..] {
+            let got = snapshot_bits(&series, &config, *level);
+            assert_eq!(
+                got, reference,
+                "streaming snapshot diverged at level {level:?} (kind {kind}, seed {seed})"
+            );
+        }
+    }
+}

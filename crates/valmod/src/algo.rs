@@ -35,8 +35,9 @@
 //! pool**:
 //!
 //! * Stage 1 partitions the QT matrix's diagonals across workers (blocks
-//!   of four adjacent diagonals, walked by the SIMD kernel of
-//!   `crate::kernel`; series with flat windows take the scalar
+//!   of lane-width-many adjacent diagonals, walked by the register-tiled
+//!   SIMD kernel of `crate::kernel` at the lane width the dispatch
+//!   resolves once per stage; series with flat windows take the scalar
 //!   [`StompEngine::walk_diagonals`] distance-space walk instead —
 //!   per-cell arithmetic is independent of the partitioning either way).
 //!   Each worker keeps a per-row [`TopRhoSelector`] and per-row best;
@@ -286,11 +287,16 @@ pub(crate) fn stage_one(
     // per-cell conventions the kernel does not model. Both produce the
     // same SoA worker state and merge identically.
     let has_flat = engine.has_flat_windows();
+    // Resolve the SIMD dispatch once for the whole stage and hand the
+    // decision to every worker: the blocked partitioning depends on the
+    // lane width, so a mid-stage env/override flip must never leave
+    // workers disagreeing on the blocking.
+    let level = valmod_fft::simd::simd_level();
     let mut parts = config.pool().run(num_workers, |w| {
         if has_flat {
             stage_one_flat_worker(engine, config, first_diag, w, num_workers)
         } else {
-            kernel::stage1_walk(engine, first_diag, w, num_workers, config.profile_size)
+            kernel::stage1_walk(engine, first_diag, w, num_workers, config.profile_size, level)
         }
     });
 
@@ -485,7 +491,6 @@ fn step_length(
     debug_assert!(length <= n);
     let m = n - length + 1;
     let excl = config.exclusion(length);
-    let lf = length as f64;
     let threads = config.threads;
     let pool = config.pool();
     let row_workers = worker_count(threads, m, MIN_ROWS_PER_WORKER);
@@ -679,27 +684,12 @@ fn step_length(
                                 // capped to bound memory.
                                 let capacity = (rows_ref[i].entries.len() * 2)
                                     .clamp(config.profile_size, config.profile_size.max(256));
-                                let mut selector = TopRhoSelector::new(capacity);
-                                let mut min_dist = f64::INFINITY;
-                                let mut min_j = usize::MAX;
-                                for (j, &d) in profile.iter().enumerate() {
-                                    if i.abs_diff(j) <= excl {
-                                        continue;
-                                    }
-                                    if d < min_dist {
-                                        min_dist = d;
-                                        min_j = j;
-                                    }
-                                    let rho = pearson_from_dist(d, length);
-                                    // Recover the dot product so the
-                                    // incremental updates can continue from
-                                    // the new base length.
-                                    let qt = lf * (rho * stds[i] * stds[j] + means[i] * means[j]);
-                                    selector.offer(j, rho, qt);
-                                }
+                                let (row, min_dist, min_j) = reseed_row_from_profile(
+                                    i, excl, length, profile, means, stds, capacity,
+                                );
                                 Ok(RecomputedRow {
                                     i,
-                                    row: selector.into_row(length),
+                                    row,
                                     outcome: RowOutcome {
                                         min_dist,
                                         min_j,
@@ -784,6 +774,57 @@ fn step_length(
         dots.build(rows);
     }
     Ok(result)
+}
+
+/// Re-seeds one recomputed row's partial profile from its exact MASS
+/// distance profile at `length`: every admissible candidate is offered to
+/// a fresh selector of `capacity`, prefiltered by the selector's running
+/// rejection threshold exactly like the stage-1 kernel — a candidate with
+/// `ρ < threshold` is provably rejected, so its dot-product recovery and
+/// offer are skipped and the selector is credited instead
+/// ([`TopRhoSelector::count_rejected`]), keeping the offered count (and
+/// hence the row's truncation flag) exact. Returns the re-seeded row plus
+/// the profile minimum `(min_dist, min_j)`.
+///
+/// The kept set is a pure function of the offered multiset under
+/// "(ρ desc, offset asc)" (see [`crate::partial`]), so the prefiltered
+/// row is byte-identical to offering every candidate — pinned by
+/// `reseed_prefilter_is_byte_identical_to_offering_all` below.
+pub(crate) fn reseed_row_from_profile(
+    i: usize,
+    excl: usize,
+    length: usize,
+    profile: &[f64],
+    means: &[f64],
+    stds: &[f64],
+    capacity: usize,
+) -> (PartialRow, f64, usize) {
+    let lf = length as f64;
+    let mut selector = TopRhoSelector::new(capacity);
+    let mut thresh = f64::NEG_INFINITY;
+    let mut min_dist = f64::INFINITY;
+    let mut min_j = usize::MAX;
+    for (j, &d) in profile.iter().enumerate() {
+        if i.abs_diff(j) <= excl {
+            continue;
+        }
+        if d < min_dist {
+            min_dist = d;
+            min_j = j;
+        }
+        let rho = pearson_from_dist(d, length);
+        if rho < thresh {
+            selector.count_rejected(1);
+        } else {
+            // Recover the dot product so the incremental updates can
+            // continue from the new base length — only for candidates
+            // that actually reach the selector.
+            let qt = lf * (rho * stds[i] * stds[j] + means[i] * means[j]);
+            selector.offer(j, rho, qt);
+            thresh = selector.threshold();
+        }
+    }
+    (selector.into_row(length), min_dist, min_j)
 }
 
 /// Greedy top-k selection with pair deduplication (same policy as
@@ -943,6 +984,58 @@ mod tests {
         assert_eq!(best.len(), 5);
         for (b, r) in best.iter().zip(&out.per_length) {
             assert_eq!(*b, r.pairs.first().copied());
+        }
+    }
+
+    /// The stage-2 re-seed prefilter against offering every candidate:
+    /// byte-identical rows (entries, qt dots, truncation flag — the flag
+    /// is a function of the exact offered count, so this also pins the
+    /// `count_rejected` bookkeeping) and identical profile minima, across
+    /// capacities small enough to reject most of the profile.
+    #[test]
+    fn reseed_prefilter_is_byte_identical_to_offering_all() {
+        let length = 16usize;
+        let lf = length as f64;
+        let m = 300usize;
+        let hash = |x: usize, s: u64| {
+            (((x as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(s)) % 1000) as f64
+        };
+        // Distances in the valid z-normalized range [0, 2√ℓ], with ties.
+        let profile: Vec<f64> = (0..m).map(|j| 2.0 * lf.sqrt() * hash(j, 7) / 1000.0).collect();
+        let means: Vec<f64> = (0..m).map(|j| hash(j, 13) / 100.0 - 5.0).collect();
+        let stds: Vec<f64> = (0..m).map(|j| hash(j, 29) / 1000.0 + 0.05).collect();
+        for (i, excl, capacity) in [(0usize, 4usize, 2usize), (150, 8, 4), (299, 4, 64), (17, 0, 1)]
+        {
+            let (row, min_dist, min_j) =
+                reseed_row_from_profile(i, excl, length, &profile, &means, &stds, capacity);
+
+            // Reference: offer everything, no prefilter.
+            let mut selector = TopRhoSelector::new(capacity);
+            let mut want_min = f64::INFINITY;
+            let mut want_j = usize::MAX;
+            for (j, &d) in profile.iter().enumerate() {
+                if i.abs_diff(j) <= excl {
+                    continue;
+                }
+                if d < want_min {
+                    want_min = d;
+                    want_j = j;
+                }
+                let rho = pearson_from_dist(d, length);
+                let qt = lf * (rho * stds[i] * stds[j] + means[i] * means[j]);
+                selector.offer(j, rho, qt);
+            }
+            let want = selector.into_row(length);
+
+            assert_eq!(min_dist.to_bits(), want_min.to_bits(), "min at i={i}");
+            assert_eq!(min_j, want_j, "min_j at i={i}");
+            assert_eq!(row.truncated, want.truncated, "truncation flag at i={i}");
+            assert_eq!(row.entries.len(), want.entries.len(), "kept count at i={i}");
+            for (a, b) in row.entries.iter().zip(&want.entries) {
+                assert_eq!(a.j, b.j, "entry offset at i={i}");
+                assert_eq!(a.rho_base.to_bits(), b.rho_base.to_bits(), "entry rho at i={i}");
+                assert_eq!(a.qt.to_bits(), b.qt.to_bits(), "entry qt at i={i}");
+            }
         }
     }
 }

@@ -1,91 +1,118 @@
-//! The SIMD kernels of the suite: the stage-1 diagonal walk (a 4-wide,
-//! FMA-based rewrite of VALMOD's hottest loop) plus the shared dot-product
-//! *advance* lanes — [`advance_entry_dots`] for the pipelined stage-2
-//! length steps, and [`advance_dots_extend`] / [`advance_dots_append`],
-//! the same 256-bit recurrence machinery reused by the streaming engine's
-//! per-append shifts. All dispatches honor the `VALMOD_FORCE_PORTABLE`
-//! knob ([`valmod_fft::force_portable`]), and every packed path is
-//! byte-identical to its portable fallback by the mul-then-sub discipline
-//! described below.
+//! The SIMD kernels of the suite: the register-tiled stage-1 diagonal
+//! walk (a width-generic, FMA-based rewrite of VALMOD's hottest loop)
+//! plus the shared dot-product *advance* lanes — [`advance_entry_dots`]
+//! for the pipelined stage-2 length steps, and [`advance_dots_extend`] /
+//! [`advance_dots_append`], the same recurrence machinery reused by the
+//! streaming engine's per-append shifts. Every kernel body is written
+//! **once** against [`valmod_fft::simd::F64Lanes`] and instantiated at
+//! the lane width the dispatch picks:
+//!
+//! | [`SimdLevel`] | stage-1 walk | entry-dot advance | streaming shifts |
+//! |---|---|---|---|
+//! | `Avx512` (8 lanes) | tiled walk, `zmm` | 8-entry masked gather | 8-wide blocks |
+//! | `Avx2` (4 lanes) | tiled walk, `ymm` | 4-entry masked gather | 4-wide blocks |
+//! | `Portable8` | tiled walk, scalar lanes | scalar loop | scalar reverse loop |
+//! | `Portable4` | tiled walk, scalar lanes | scalar loop | scalar reverse loop |
+//! | (ragged remainders) | scalar cells | scalar loop | scalar reverse loop |
+//!
+//! The level is resolved **once** per stage ([`valmod_fft::simd::simd_level`]:
+//! `VALMOD_FORCE_PORTABLE` / `VALMOD_FORCE_WIDTH`, then the in-process
+//! test override, then CPU capability) and passed down explicitly, so a
+//! mid-run override flip can never tear a multi-worker partitioning.
+//!
+//! # The register tiling
 //!
 //! Stage 1 walks every diagonal of the QT matrix at `ℓmin`, and per cell
 //! does one fused multiply-add (the dot-product recurrence), one
 //! correlation/distance conversion, two best-so-far compares and two
 //! top-`p` selector offers. On the paper's workloads this is ~90% of
-//! end-to-end time, so this module rewrites the walk to process **four
-//! adjacent diagonals per iteration**:
+//! end-to-end time. The walk processes `2W` **adjacent** diagonals per
+//! block (`j = i + k0 + c`, a pair of lane vectors — two vectors per row
+//! halve the fixed per-row costs per cell), and the block's column-side
+//! working state lives in *registers* that slide along with the rows
+//! instead of round-tripping through the structure-of-arrays each
+//! iteration:
 //!
-//! * the four dot products update with one (vectorizable) fused
-//!   multiply-add each — four independent recurrence chains, which is
-//!   exactly the shape out-of-order FMA units want;
-//! * all candidate loads (`t[j−1]`, `t[j+ℓ−1]`, `means[j]`, `stds[j]`,
-//!   the per-row bests of rows `j..j+4`) become contiguous 4-lane loads,
-//!   because the four diagonals are *adjacent* (`j = i + k0 + c`);
-//! * the correlation, distance, and compare/select steps run branchless
-//!   across the four lanes;
-//! * the two [`TopRhoSelector`] offers per cell are prefiltered against
-//!   the selector's current rejection threshold
-//!   ([`TopRhoSelector::threshold`]) — after warm-up almost every
-//!   candidate fails the threshold and costs one compare plus one
-//!   counter add instead of a full offer.
+//! * `col_d` / `col_j` — the running best (distance, candidate) of each
+//!   live column, folded under "(d asc, candidate asc)";
+//! * `col_thresh` — each live column's [`TopRhoSelector`] rejection
+//!   threshold, reloaded only on the rare offer that changes it;
+//! * `col_rej` — each live column's prefiltered-offer count (exact
+//!   integers in f64 lanes), credited in bulk at retirement.
+//!
+//! Advancing from row `i` to `i+1` slides the column window by one: lane
+//! 0 of the low vector (column `j0`) is *retired* — its best is folded
+//! into the SoA state, its threshold stored back, its rejected count
+//! credited to a deferred per-row array — the register pairs shift down
+//! one lane ([`F64Lanes::shift_concat`] across the pair,
+//! [`F64Lanes::shift_in_high`] at the top), and the entering column
+//! `j0+2W` is initialized from memory. Per row that leaves: two fused
+//! multiply-add vectors, two ρ/d conversions, a handful of compare/select
+//! folds, and a couple of scalar stores — no per-lane selector or SoA
+//! read-modify-writes, which at width 8 is what lifts the walk toward
+//! its div+sqrt throughput ceiling. Rejected-count credits are deferred into a flat per-row
+//! array and flushed through [`TopRhoSelector::count_rejected`] once per
+//! walk — exact, because the count only feeds the final truncation flag,
+//! never the threshold.
 //!
 //! # Bit-identity
 //!
-//! The kernel produces **byte-identical** results to the scalar
-//! cell-at-a-time walk (and hence to the engine as it existed before this
-//! module), for every thread count and batch width, because
+//! The kernel produces **byte-identical** merged results to the scalar
+//! cell-at-a-time walk (and hence to the engine as it existed before
+//! this module), for every lane width, thread count, and batch width,
+//! because
 //!
-//! 1. every cell's arithmetic is the *same expression tree* as the scalar
-//!    path (the per-row hoists `ℓμᵢ`, `ℓσᵢ`, `2ℓ` keep the original
-//!    association order), evaluated in IEEE-754 double precision either
-//!    way — vector lanes round exactly like scalars, and `mul_add` is a
-//!    fused multiply-add on both paths;
-//! 2. grouping cells into 4-lane rows only changes the *order* in which
-//!    candidates reach the per-row reductions, and both reductions are
-//!    order-independent: the per-row best uses the total order
-//!    "(distance asc, neighbor offset asc)" and the selector's kept set
-//!    is a pure function of the offered set under "(ρ desc, offset asc)"
-//!    (see [`crate::partial`]);
+//! 1. every cell's arithmetic is the *same expression tree* as the
+//!    scalar path (the per-row hoists `ℓμᵢ`, `ℓσᵢ`, `2ℓ` keep the
+//!    original association order), evaluated in IEEE-754 double
+//!    precision either way — vector lanes round exactly like scalars,
+//!    and `mul_add` is a fused multiply-add on every path. In
+//!    particular, the recurrence's `qt − t_drop·t_drop_j` stays a
+//!    **mul-then-sub** (two roundings) everywhere: fusing it into an
+//!    `fnmadd` (one rounding) would be faster but would diverge from the
+//!    scalar tail cells, so it is deliberately split on all paths;
+//! 2. grouping cells into `W`-lane rows only changes the *order* in
+//!    which candidates reach the per-row reductions, and both reductions
+//!    are order-independent: the per-row best uses the total order
+//!    "(distance asc, neighbor offset asc)" — so folding it first in a
+//!    register and later into memory is the same lexicographic min — and
+//!    the selector's kept set is a pure function of the offered set
+//!    under "(ρ desc, offset asc)" (see [`crate::partial`]);
 //! 3. the prefilter only skips offers the selector is guaranteed to
 //!    reject, while keeping the offered count exact
-//!    ([`TopRhoSelector::count_rejected`]);
-//! 4. the runtime-dispatched AVX2+FMA instantiation compiles the *same
-//!    Rust code* as the portable fallback — dispatch selects an
-//!    instruction encoding, never an algorithm.
+//!    ([`TopRhoSelector::count_rejected`]); a register-cached threshold
+//!    is never stale because, while a column is live in the window,
+//!    nothing else can touch its selector (live columns satisfy
+//!    `j ≥ i + first_diag > i`, and blocks run sequentially per worker);
+//! 4. the runtime-dispatched packed instantiations compile the *same
+//!    lane-generic Rust code* as the portable fallback — dispatch
+//!    selects an instruction encoding and a width, never an algorithm.
 //!
-//! The existing byte-equality proptests
-//! (`thread_count_never_changes_results`,
-//! `discord_thread_count_never_changes_results`,
-//! `streaming_valmod_equals_batch`) double as the kernel's correctness
-//! harness, and `tests/cross_engine.rs` pins the kernel against the
-//! closure-based scalar walk directly.
+//! The `kernel_differential` harness (`tests/kernel_differential.rs`)
+//! pins exactly this: every variant × thread count over adversarial
+//! proptest series, byte-equal merged selector state, bests, and
+//! end-to-end checksums; the in-module tests pin the kernel against the
+//! pre-kernel closure-based scalar walk.
 //!
 //! # Vectorization notes
 //!
-//! The two pure-math steps (dot-product recurrence, ρ/d conversion) have
-//! an explicit 256-bit `core::arch` implementation ([`packed`]) selected
-//! by the `PACKED` const parameter under the `walk_avx2` instantiation;
-//! the branchy steps (bests, offers) stay shared portable code. The
-//! portable `[f64; 4]` fallback compiles to four *scalar* fused ops per
-//! step (LLVM unrolls but does not SLP-pack the divide/sqrt chain under
-//! generic tuning — verified with `objdump -d` on the release binary,
-//! which shows `vfmadd231sd` ×4 on the fallback and `vfmadd132pd` /
-//! `vdivpd` / `vsqrtpd` / `vmaxpd` / `vminpd` on ymm registers inside
-//! `walk_avx2`); that is why the packed path is explicit rather than
-//! autovectorized. Scalar `mul_add` on non-FMA hardware lowers to a libm
-//! `fma` call — slower, but bit-identical, and no slower than the
-//! pre-kernel engine, which used `mul_add` per cell already.
+//! The pure-math steps go through [`F64Lanes`]' `#[inline(always)]`
+//! intrinsic wrappers inside a `#[target_feature]` outer instantiation
+//! per backend, so they compile to bare `vfmadd132pd` / `vdivpd` /
+//! `vsqrtpd` / `vmaxpd` / `vminpd` on ymm/zmm registers (verified with
+//! `objdump -d`; LLVM does not SLP-pack the divide/sqrt chain on its
+//! own under generic tuning, which is why the lanes are explicit). The
+//! branchy steps (row-side offers, retirement, tails) stay shared scalar
+//! code. Scalar `mul_add` on non-FMA hardware lowers to a libm `fma`
+//! call — slower, but bit-identical, and no slower than the pre-kernel
+//! engine, which used `mul_add` per cell already.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+use valmod_fft::simd::{self, F64Lanes, SimdLevel};
 use valmod_mp::stomp::StompEngine;
 
 use crate::partial::TopRhoSelector;
-
-/// Diagonals processed per block iteration. Four f64 lanes fill one
-/// 256-bit vector register — the sweet spot for AVX2/FMA; AVX-512
-/// machines still win from the contiguous loads and halved loop overhead.
-pub(crate) const LANES: usize = 4;
 
 /// One stage-1 worker's partition result: per-row top-`p` selectors and
 /// per-row bests in structure-of-arrays form (`u32::MAX` = no best yet),
@@ -124,16 +151,23 @@ pub(crate) fn idx32(j: usize) -> u32 {
     j as u32
 }
 
+/// The `best_j` sentinel as an f64 lane value (`u32::MAX`, exactly
+/// representable). Register column bests store candidate offsets as
+/// doubles — integers below 2^53 are exact, and `m < u32::MAX` by the
+/// [`idx32`] contract.
+const NO_BEST: f64 = u32::MAX as f64;
+
 /// `clamp(raw, −1, 1)` with the exact select semantics of the packed
 /// `vmaxpd`/`vminpd` pair: `max(a, b) = if a > b { a } else { b }`, then
 /// `min` likewise. For every non-NaN input this is `f64::clamp`; for a
 /// NaN input — reachable when huge (~1e170) but finite samples overflow
 /// the dot products to `inf` and the numerator becomes `inf − inf` — it
 /// lands on `−1.0`, matching what the x86 min/max convention produces in
-/// the AVX2 lanes. One shared definition across the scalar remainder,
-/// the portable lanes, and (by construction) the packed lanes is what
-/// keeps the dispatch bit-identical in the NaN corner too, where
-/// `f64::clamp` (NaN-propagating) would diverge.
+/// the packed lanes (and what [`F64Lanes::max`]/[`F64Lanes::min`] define
+/// for the portable ones). One shared definition across the scalar
+/// remainder and all lane widths is what keeps the dispatch bit-identical
+/// in the NaN corner too, where `f64::clamp` (NaN-propagating) would
+/// diverge.
 #[inline(always)]
 fn clamp_rho(raw: f64) -> f64 {
     let lo = if raw > -1.0 { raw } else { -1.0 };
@@ -160,20 +194,28 @@ struct Ctx<'a> {
     two_lf: f64,
 }
 
-/// Mutable per-worker state: the output part plus the selector rejection
-/// thresholds mirrored as a flat array the prefilter can load cheaply.
+/// Mutable per-worker state: the output part, the selector rejection
+/// thresholds mirrored as a flat array the prefilter can load cheaply,
+/// and the deferred rejected-offer credits (flushed into the selectors
+/// once per walk — the count only feeds the truncation flag, so timing
+/// is irrelevant).
 struct WalkState {
     part: Stage1Part,
     thresh: Vec<f64>,
+    rej: Vec<u64>,
 }
 
 /// Walks this worker's share of the upper-triangle diagonals at the base
-/// length, four adjacent diagonals per iteration, producing the worker's
-/// selectors and bests. Blocks of [`LANES`] consecutive diagonals are
+/// length, `2W` adjacent diagonals per register-pair tile, producing the
+/// worker's selectors and bests. Blocks of `2W` consecutive diagonals are
 /// dealt round-robin: worker `w` of `num_workers` takes blocks `w, w +
-/// num_workers, …` starting at `first_diag`. Any partitioning yields the
-/// same merged result (see the module docs), so the blocking is purely a
-/// locality/SIMD choice.
+/// num_workers, …` starting at `first_diag`. Any partitioning (including
+/// the width-dependent blocking) yields the same merged result (see the
+/// module docs), so the blocking is purely a locality/SIMD choice.
+///
+/// `level` is the dispatch decision resolved once by the caller; passing
+/// it explicitly keeps every worker of a stage on the same instantiation
+/// and lets the differential harness drive each variant directly.
 ///
 /// Caller contract: no flat (σ ≈ 0) window exists at this length —
 /// `algo::stage_one` routes those series to the scalar distance-space
@@ -184,6 +226,7 @@ pub(crate) fn stage1_walk(
     w: usize,
     num_workers: usize,
     profile_size: usize,
+    level: SimdLevel,
 ) -> Stage1Part {
     let m = engine.num_windows();
     let l = engine.window();
@@ -198,52 +241,85 @@ pub(crate) fn stage1_walk(
         lf,
         two_lf: 2.0 * lf,
     };
-    let mut state =
-        WalkState { part: Stage1Part::new(m, profile_size), thresh: vec![f64::NEG_INFINITY; m] };
-    walk(&ctx, first_diag, w, num_workers, &mut state);
+    let mut state = WalkState {
+        part: Stage1Part::new(m, profile_size),
+        thresh: vec![f64::NEG_INFINITY; m],
+        rej: vec![0; m],
+    };
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => {
+            let b = simd::Avx512::new().expect("dispatch resolved AVX-512 without CPU support");
+            // SAFETY: the `Avx512` token proves the target features.
+            unsafe { walk_avx512(b, &ctx, first_diag, w, num_workers, &mut state) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            let b = simd::Avx2::new().expect("dispatch resolved AVX2 without CPU support");
+            // SAFETY: the `Avx2` token proves the target features.
+            unsafe { walk_avx2(b, &ctx, first_diag, w, num_workers, &mut state) }
+        }
+        SimdLevel::Portable8 => {
+            walk_lanes::<8, _>(simd::Portable, &ctx, first_diag, w, num_workers, &mut state);
+        }
+        // Portable4, plus (on non-x86 targets, where `simd_level` never
+        // resolves a packed level) the unreachable packed arms.
+        _ => walk_lanes::<4, _>(simd::Portable, &ctx, first_diag, w, num_workers, &mut state),
+    }
+    // Flush the deferred prefilter credits.
+    for (selector, &r) in state.part.selectors.iter_mut().zip(&state.rej) {
+        if r > 0 {
+            #[allow(clippy::cast_possible_truncation)]
+            selector.count_rejected(r as usize);
+        }
+    }
     state.part
 }
 
-/// Runtime dispatch: one feature check per worker walk (with the
-/// `VALMOD_FORCE_PORTABLE` override, see [`valmod_fft::force_portable`]),
-/// then the whole diagonal share runs inside the widest available
-/// instantiation.
-fn walk(ctx: &Ctx<'_>, first_diag: usize, w: usize, num_workers: usize, state: &mut WalkState) {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if packed_available() {
-            // SAFETY: the required CPU features were verified at runtime
-            // by `packed_available`.
-            return unsafe { walk_avx2(ctx, first_diag, w, num_workers, state) };
-        }
-    }
-    walk_impl::<false>(ctx, first_diag, w, num_workers, state);
-}
-
-/// The AVX2+FMA instantiation of [`walk_impl`]: the 4-lane math steps go
-/// through the explicit `core::arch` intrinsics of [`packed`]; everything
-/// else (bests, offers, tails) is the same shared code as the portable
-/// path.
+/// The AVX2+FMA instantiation of [`walk_lanes`] at W=4: the
+/// `#[inline(always)]` lane ops compile to bare 256-bit instructions
+/// under this function's target features.
 ///
 /// # Safety
 ///
-/// The caller must have verified that the CPU supports AVX2 and FMA.
+/// The `Avx2` token proves the CPU supports AVX2 and FMA.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn walk_avx2(
+    b: simd::Avx2,
     ctx: &Ctx<'_>,
     first_diag: usize,
     w: usize,
     num_workers: usize,
     state: &mut WalkState,
 ) {
-    walk_impl::<true>(ctx, first_diag, w, num_workers, state);
+    walk_lanes::<4, _>(b, ctx, first_diag, w, num_workers, state);
 }
 
-/// Body shared by every instantiation; `PACKED` selects the explicit
-/// 256-bit math steps (only ever `true` under [`walk_avx2`]).
+/// The AVX-512 instantiation of [`walk_lanes`] at W=8.
+///
+/// # Safety
+///
+/// The `Avx512` token proves the CPU supports AVX-512 F/DQ/VL (+AVX2+FMA).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx2,fma")]
+unsafe fn walk_avx512(
+    b: simd::Avx512,
+    ctx: &Ctx<'_>,
+    first_diag: usize,
+    w: usize,
+    num_workers: usize,
+    state: &mut WalkState,
+) {
+    walk_lanes::<8, _>(b, ctx, first_diag, w, num_workers, state);
+}
+
+/// Body shared by every instantiation: blocks of `2W` adjacent diagonals
+/// (a register-pair tile) through the tiled walk, ragged final blocks
+/// through the scalar cells.
 #[inline(always)]
-fn walk_impl<const PACKED: bool>(
+fn walk_lanes<const W: usize, B: F64Lanes<W>>(
+    b: B,
     ctx: &Ctx<'_>,
     first_diag: usize,
     w: usize,
@@ -251,13 +327,14 @@ fn walk_impl<const PACKED: bool>(
     state: &mut WalkState,
 ) {
     let m = ctx.m;
-    let stride = num_workers * LANES;
-    let mut k0 = first_diag + w * LANES;
+    let tile = 2 * W;
+    let stride = num_workers * tile;
+    let mut k0 = first_diag + w * tile;
     while k0 < m {
-        if k0 + LANES <= m {
-            process_block::<PACKED>(ctx, k0, state);
+        if k0 + tile <= m {
+            process_block(b, ctx, k0, state);
         } else {
-            // Ragged last block: fewer than LANES diagonals remain.
+            // Ragged last block: fewer than 2W diagonals remain.
             for k in k0..m {
                 let qt0 = ctx.first_row[k];
                 process_cell(ctx, 0, k, qt0, state);
@@ -268,87 +345,261 @@ fn walk_impl<const PACKED: bool>(
     }
 }
 
-/// Advances the four dot products by one row: per lane,
-/// `qt = t_head·t[j+ℓ−1] + (qt − t_drop·t[j−1])` with the multiply-add
-/// fused and the drop product rounded separately — exactly the scalar
-/// recurrence's rounding.
+/// One full register-pair tile: diagonals `k0 .. k0 + 2W` in two lane
+/// vectors (lo = `k0..k0+W`, hi = `k0+W..k0+2W`), all lanes live for rows
+/// `0 .. m − k0 − 2W + 1`, then per-lane scalar tails. Two vectors per
+/// row halve the once-per-row costs (retire, slide, best/offer mask
+/// checks, scalar stores) per cell relative to a single-vector tile,
+/// while the per-cell math is width-independent.
+///
+/// The column-side working state (`col_*` register pairs) slides with the
+/// rows — see the module docs for the retirement discipline and the
+/// exactness argument.
 #[inline(always)]
-fn advance_qt<const PACKED: bool>(
-    t_head: f64,
-    t_drop: f64,
-    tj_head: &[f64],
-    tj_drop: &[f64],
-    qt: &mut [f64; LANES],
+#[allow(clippy::too_many_lines)]
+fn process_block<const W: usize, B: F64Lanes<W>>(
+    b: B,
+    ctx: &Ctx<'_>,
+    k0: usize,
+    state: &mut WalkState,
 ) {
-    #[cfg(target_arch = "x86_64")]
-    if PACKED {
-        // SAFETY: `PACKED` is only instantiated `true` by `walk_avx2` and
-        // by `advance_dots_extend`, both of which run only after runtime
-        // AVX2+FMA detection.
-        unsafe { packed::advance_qt(t_head, t_drop, tj_head, tj_drop, qt) };
-        return;
+    let (t, l, m) = (ctx.t, ctx.l, ctx.m);
+    let tile = 2 * W;
+    let lane_mask: u32 = (1u32 << W) - 1;
+    let one = b.splat(1.0);
+    let zero = b.splat(0.0);
+    let neg_one = b.splat(-1.0);
+    let two_lf = b.splat(ctx.two_lf);
+    let km = k0 + W;
+
+    let mut qt_lo = b.load(&ctx.first_row[k0..]);
+    let mut qt_hi = b.load(&ctx.first_row[km..]);
+    // Column-side register pairs for the live columns `j0 .. j0 + 2W`.
+    let mut cd_lo = b.splat(f64::INFINITY);
+    let mut cd_hi = b.splat(f64::INFINITY);
+    let mut cj_lo = b.splat(NO_BEST);
+    let mut cj_hi = b.splat(NO_BEST);
+    let mut ct_lo = b.load(&state.thresh[k0..]);
+    let mut ct_hi = b.load(&state.thresh[km..]);
+    let mut cr_lo = zero;
+    let mut cr_hi = zero;
+
+    // Rows where all 2W diagonals are still inside the triangle: lane c
+    // ends at row m − (k0 + c), so the shortest lane (c = 2W − 1) bounds
+    // the vector region.
+    let full_rows = m - (k0 + tile - 1);
+    for i in 0..full_rows {
+        let j0 = i + k0;
+        let jm = j0 + W;
+        if i > 0 {
+            // Per lane: `qt = t_head·t[j+ℓ−1] + (qt − t_drop·t[j−1])`,
+            // multiply-add fused, drop product rounded separately —
+            // exactly the scalar recurrence's rounding (mul-then-sub
+            // deliberately split, see the module docs).
+            let head = b.splat(t[i + l - 1]);
+            let drop = b.splat(t[i - 1]);
+            let dropped_lo = b.mul(drop, b.load(&t[j0 - 1..]));
+            qt_lo = b.mul_add(head, b.load(&t[j0 + l - 1..]), b.sub(qt_lo, dropped_lo));
+            let dropped_hi = b.mul(drop, b.load(&t[jm - 1..]));
+            qt_hi = b.mul_add(head, b.load(&t[jm + l - 1..]), b.sub(qt_hi, dropped_hi));
+        }
+
+        // ρ = clamp((qt − ℓμᵢ·μⱼ) / (ℓσᵢ·σⱼ)), d = sqrt(max(2ℓ·(1−ρ), 0))
+        // — the scalar expression tree per lane; hoists preserve the
+        // association ℓμᵢμⱼ = (ℓμᵢ)·μⱼ and ℓσᵢσⱼ = (ℓσᵢ)·σⱼ.
+        let av = b.splat(ctx.lf * ctx.means[i]);
+        let sv = b.splat(ctx.lf * ctx.stds[i]);
+        let num_lo = b.sub(qt_lo, b.mul(av, b.load(&ctx.means[j0..])));
+        let den_lo = b.mul(sv, b.load(&ctx.stds[j0..]));
+        let rho_lo = b.min(b.max(b.div(num_lo, den_lo), neg_one), one);
+        let d_lo = b.sqrt(b.max(b.mul(two_lf, b.sub(one, rho_lo)), zero));
+        let num_hi = b.sub(qt_hi, b.mul(av, b.load(&ctx.means[jm..])));
+        let den_hi = b.mul(sv, b.load(&ctx.stds[jm..]));
+        let rho_hi = b.min(b.max(b.div(num_hi, den_hi), neg_one), one);
+        let d_hi = b.sqrt(b.max(b.mul(two_lf, b.sub(one, rho_hi)), zero));
+
+        let part = &mut state.part;
+        // Per-row best for row i. Fast path: unless some lane is ≤ the
+        // running best, the fold cannot change anything and the whole
+        // reduction is skipped (the common case once the best warms up).
+        // Slow path: horizontal min under "(d asc, j asc)" — the first
+        // lane attaining the min across the concatenated pair is the
+        // smallest j — folded into the running best under the same order.
+        // `d` is never NaN (ρ is clamped first), so the quiet ≤ is exact.
+        let cur_bd = part.best_d[i];
+        let curv = b.splat(cur_bd);
+        if (b.mask_bits(b.ge(curv, d_lo)) | b.mask_bits(b.ge(curv, d_hi))) != 0 {
+            let bd = b.hmin(b.min(d_lo, d_hi));
+            let bdv = b.splat(bd);
+            let eq_bits = b.mask_bits(b.eq(d_lo, bdv)) | (b.mask_bits(b.eq(d_hi, bdv)) << W);
+            let bc = eq_bits.trailing_zeros() as usize;
+            let bj = idx32(j0 + bc);
+            if bd < cur_bd || (bd == cur_bd && bj < part.best_j[i]) {
+                part.best_d[i] = bd;
+                part.best_j[i] = bj;
+            }
+        }
+
+        // Column bests (candidate i into columns j0..j0+2W): lexicographic
+        // min fold in registers under "(d asc, candidate asc)".
+        let iv = b.splat(i as f64);
+        let take_lo = b.mask_or(b.lt(d_lo, cd_lo), b.mask_and(b.eq(d_lo, cd_lo), b.lt(iv, cj_lo)));
+        cd_lo = b.select(take_lo, d_lo, cd_lo);
+        cj_lo = b.select(take_lo, iv, cj_lo);
+        let take_hi = b.mask_or(b.lt(d_hi, cd_hi), b.mask_and(b.eq(d_hi, cd_hi), b.lt(iv, cj_hi)));
+        cd_hi = b.select(take_hi, d_hi, cd_hi);
+        cj_hi = b.select(take_hi, iv, cj_hi);
+
+        // Row-side offers: candidates j0..j0+2W into row i's selector.
+        // One lane compare per half against the row threshold prefilters
+        // the common all-rejected case into a single deferred credit; a
+        // lane below the threshold now stays below it on the sequential
+        // path too (offers only raise thresholds), so pre-rejecting by
+        // mask sees exactly the per-lane-in-order outcomes.
+        let mut t_i = state.thresh[i];
+        let tv = b.splat(t_i);
+        if (b.mask_bits(b.lt(rho_lo, tv)) & b.mask_bits(b.lt(rho_hi, tv))) == lane_mask {
+            state.rej[i] += tile as u64;
+        } else {
+            for (h, (rho, qt)) in [(rho_lo, qt_lo), (rho_hi, qt_hi)].into_iter().enumerate() {
+                let rho_a = b.to_array(rho);
+                let qt_a = b.to_array(qt);
+                for c in 0..W {
+                    if rho_a[c] < t_i {
+                        state.rej[i] += 1;
+                    } else {
+                        part.selectors[i].offer(j0 + h * W + c, rho_a[c], qt_a[c]);
+                        t_i = part.selectors[i].threshold();
+                    }
+                }
+            }
+            state.thresh[i] = t_i;
+        }
+
+        // Column-side offers (candidate i into rows j0..j0+2W): rejected
+        // lanes bump the register counters; the rare surviving lanes take
+        // the scalar offer path and refresh their cached thresholds.
+        (ct_lo, cr_lo) =
+            col_side_offers(b, rho_lo, qt_lo, ct_lo, cr_lo, one, lane_mask, i, j0, state);
+        (ct_hi, cr_hi) =
+            col_side_offers(b, rho_hi, qt_hi, ct_hi, cr_hi, one, lane_mask, i, jm, state);
+
+        if i + 1 < full_rows {
+            // Slide the column window: retire lane 0 (column j0 gets no
+            // further updates from this tile), shift the pair one lane,
+            // admit column j0+2W at the top.
+            retire_lane0(b, cd_lo, cj_lo, ct_lo, cr_lo, j0, state);
+            cd_lo = b.shift_concat(cd_lo, cd_hi);
+            cd_hi = b.shift_in_high(cd_hi, f64::INFINITY);
+            cj_lo = b.shift_concat(cj_lo, cj_hi);
+            cj_hi = b.shift_in_high(cj_hi, NO_BEST);
+            ct_lo = b.shift_concat(ct_lo, ct_hi);
+            ct_hi = b.shift_in_high(ct_hi, state.thresh[j0 + tile]);
+            cr_lo = b.shift_concat(cr_lo, cr_hi);
+            cr_hi = b.shift_in_high(cr_hi, 0.0);
+        } else {
+            // Last full row: retire every live column before the scalar
+            // tails touch the shared state.
+            for (h, (cd, cj, th, cr)) in
+                [(cd_lo, cj_lo, ct_lo, cr_lo), (cd_hi, cj_hi, ct_hi, cr_hi)].into_iter().enumerate()
+            {
+                let (cd, cj) = (b.to_array(cd), b.to_array(cj));
+                let (th, cr) = (b.to_array(th), b.to_array(cr));
+                for c in 0..W {
+                    retire_column(j0 + h * W + c, cd[c], cj[c], th[c], cr[c], state);
+                }
+            }
+        }
     }
-    for c in 0..LANES {
-        qt[c] = t_head.mul_add(tj_head[c], qt[c] - t_drop * tj_drop[c]);
+
+    // Lane tails: lanes 0..2W−1 outlive the vector region by 2W−1−c rows
+    // each; finish them with the scalar cell.
+    let qt_a_lo = b.to_array(qt_lo);
+    let qt_a_hi = b.to_array(qt_hi);
+    for c in 0..tile - 1 {
+        let qt_c = if c < W { qt_a_lo[c] } else { qt_a_hi[c - W] };
+        tail_scalar(ctx, k0 + c, full_rows, qt_c, state);
     }
 }
 
-/// Converts the four dot products of one row into correlations and
-/// distances: `ρ = clamp((qt − ℓμᵢ·μⱼ) / (ℓσᵢ·σⱼ))`,
-/// `d = sqrt(max(2ℓ·(1 − ρ), 0))` — the scalar expression tree per lane.
+/// One vector half's column-side offer step: rejected lanes bump the
+/// register counter, surviving lanes take the scalar offer path and
+/// refresh their cached thresholds. Returns the updated
+/// `(col_thresh, col_rej)` pair.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn rho_d<const PACKED: bool>(
-    a_i: f64,
-    s_i: f64,
-    two_lf: f64,
-    means_j: &[f64],
-    stds_j: &[f64],
-    qt: &[f64; LANES],
-    rho: &mut [f64; LANES],
-    d: &mut [f64; LANES],
-) {
-    #[cfg(target_arch = "x86_64")]
-    if PACKED {
-        // SAFETY: as in `advance_qt` — `true` only under `walk_avx2`.
-        unsafe { packed::rho_d(a_i, s_i, two_lf, means_j, stds_j, qt, rho, d) };
-        return;
+fn col_side_offers<const W: usize, B: F64Lanes<W>>(
+    b: B,
+    rho: B::V,
+    qt: B::V,
+    col_thresh: B::V,
+    col_rej: B::V,
+    one: B::V,
+    lane_mask: u32,
+    i: usize,
+    j0: usize,
+    state: &mut WalkState,
+) -> (B::V, B::V) {
+    let rejm = b.lt(rho, col_thresh);
+    let col_rej = b.select(rejm, b.add(col_rej, one), col_rej);
+    let offer_bits = !b.mask_bits(rejm) & lane_mask;
+    let mut col_thresh = col_thresh;
+    if offer_bits != 0 {
+        let rho_a = b.to_array(rho);
+        let qt_a = b.to_array(qt);
+        let mut th_a = b.to_array(col_thresh);
+        let mut bits = offer_bits;
+        while bits != 0 {
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let j = j0 + c;
+            state.part.selectors[j].offer(i, rho_a[c], qt_a[c]);
+            th_a[c] = state.part.selectors[j].threshold();
+        }
+        col_thresh = b.pack(th_a);
     }
-    for c in 0..LANES {
-        rho[c] = clamp_rho((qt[c] - a_i * means_j[c]) / (s_i * stds_j[c]));
-        d[c] = (two_lf * (1.0 - rho[c])).max(0.0).sqrt();
-    }
+    (col_thresh, col_rej)
 }
 
-/// One full block: diagonals `k0 .. k0 + LANES`, all four lanes live for
-/// rows `0 .. m − k0 − LANES + 1`, then per-lane scalar tails.
+/// Retires register lane 0 of the sliding column window into the SoA
+/// state for column `j0`.
 #[inline(always)]
-fn process_block<const PACKED: bool>(ctx: &Ctx<'_>, k0: usize, state: &mut WalkState) {
-    let (t, l, m) = (ctx.t, ctx.l, ctx.m);
-    let mut qt = [0.0f64; LANES];
-    qt.copy_from_slice(&ctx.first_row[k0..k0 + LANES]);
-    process_row::<PACKED>(ctx, 0, k0, &qt, state);
+fn retire_lane0<const W: usize, B: F64Lanes<W>>(
+    b: B,
+    col_d: B::V,
+    col_j: B::V,
+    col_thresh: B::V,
+    col_rej: B::V,
+    j0: usize,
+    state: &mut WalkState,
+) {
+    retire_column(
+        j0,
+        b.extract0(col_d),
+        b.extract0(col_j),
+        b.extract0(col_thresh),
+        b.extract0(col_rej),
+        state,
+    );
+}
 
-    // Rows where all four diagonals are still inside the triangle: lane c
-    // ends at row m − (k0 + c), so the shortest lane (c = LANES − 1)
-    // bounds the vector region.
-    let full_rows = m - (k0 + LANES - 1);
-    for i in 1..full_rows {
-        let j0 = i + k0;
-        advance_qt::<PACKED>(
-            t[i + l - 1],
-            t[i - 1],
-            &t[j0 + l - 1..j0 + l - 1 + LANES],
-            &t[j0 - 1..j0 - 1 + LANES],
-            &mut qt,
-        );
-        process_row::<PACKED>(ctx, i, j0, &qt, state);
+/// Folds one retired column's register state into the SoA state: best
+/// under "(d asc, candidate asc)" (the sentinel `(∞, u32::MAX)` never
+/// wins), threshold written back verbatim, rejected count credited to
+/// the deferred array.
+#[inline(always)]
+fn retire_column(j: usize, cd: f64, cj: f64, th: f64, cr: f64, state: &mut WalkState) {
+    let part = &mut state.part;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let cju = cj as u32;
+    if cd < part.best_d[j] || (cd == part.best_d[j] && cju < part.best_j[j]) {
+        part.best_d[j] = cd;
+        part.best_j[j] = cju;
     }
-
-    // Lane tails: lanes 0..LANES−1 outlive the vector region by
-    // LANES−1−c rows each; finish them with the scalar cell.
-    for (c, &qt_c) in qt.iter().enumerate().take(LANES - 1) {
-        tail_scalar(ctx, k0 + c, full_rows, qt_c, state);
+    state.thresh[j] = th;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        state.rej[j] += cr as u64;
     }
 }
 
@@ -364,94 +615,9 @@ fn tail_scalar(ctx: &Ctx<'_>, k: usize, start_i: usize, mut qt: f64, state: &mut
     }
 }
 
-/// Four cells of one row: `(i, j0 .. j0 + LANES)`. The ρ/d conversion and
-/// both best updates run branchless across the lanes; selector offers are
-/// prefiltered per lane.
-#[inline(always)]
-fn process_row<const PACKED: bool>(
-    ctx: &Ctx<'_>,
-    i: usize,
-    j0: usize,
-    qt: &[f64; LANES],
-    state: &mut WalkState,
-) {
-    // Hoists preserve the scalar association order:
-    // ℓμᵢμⱼ = (ℓμᵢ)·μⱼ and ℓσᵢσⱼ = (ℓσᵢ)·σⱼ.
-    let a_i = ctx.lf * ctx.means[i];
-    let s_i = ctx.lf * ctx.stds[i];
-    let mut rho = [0.0f64; LANES];
-    let mut d = [0.0f64; LANES];
-    rho_d::<PACKED>(
-        a_i,
-        s_i,
-        ctx.two_lf,
-        &ctx.means[j0..j0 + LANES],
-        &ctx.stds[j0..j0 + LANES],
-        qt,
-        &mut rho,
-        &mut d,
-    );
-
-    let part = &mut state.part;
-    // Per-row best for row i: reduce the four lanes under
-    // "(d asc, j asc)" — strict < keeps the earliest (smallest-j) lane on
-    // ties — then fold into the running best under the same order.
-    let (mut bd, mut bc) = (d[0], 0usize);
-    for (c, &dc) in d.iter().enumerate().skip(1) {
-        if dc < bd {
-            bd = dc;
-            bc = c;
-        }
-    }
-    let bj = idx32(j0 + bc);
-    if bd < part.best_d[i] || (bd == part.best_d[i] && bj < part.best_j[i]) {
-        part.best_d[i] = bd;
-        part.best_j[i] = bj;
-    }
-
-    // Per-row bests for rows j0..j0+LANES (candidate i), as branchless
-    // selects over contiguous lanes.
-    let iu = idx32(i);
-    for (c, &dc) in d.iter().enumerate() {
-        let j = j0 + c;
-        let take = dc < part.best_d[j] || (dc == part.best_d[j] && iu < part.best_j[j]);
-        part.best_d[j] = if take { dc } else { part.best_d[j] };
-        part.best_j[j] = if take { iu } else { part.best_j[j] };
-    }
-
-    // Row-side offers: candidates j0..j0+LANES into row i's selector. One
-    // vectorizable max prefilters the common all-rejected case.
-    let mut t_i = state.thresh[i];
-    let max_rho = rho.iter().fold(f64::NEG_INFINITY, |a, &r| if r > a { r } else { a });
-    if max_rho < t_i {
-        part.selectors[i].count_rejected(LANES);
-    } else {
-        for c in 0..LANES {
-            if rho[c] < t_i {
-                part.selectors[i].count_rejected(1);
-            } else {
-                part.selectors[i].offer(j0 + c, rho[c], qt[c]);
-                t_i = part.selectors[i].threshold();
-            }
-        }
-        state.thresh[i] = t_i;
-    }
-
-    // Column-side offers: candidate i into each of rows j0..j0+LANES.
-    for c in 0..LANES {
-        let j = j0 + c;
-        if rho[c] < state.thresh[j] {
-            part.selectors[j].count_rejected(1);
-        } else {
-            part.selectors[j].offer(i, rho[c], qt[c]);
-            state.thresh[j] = part.selectors[j].threshold();
-        }
-    }
-}
-
 /// One scalar cell `(i, j)` — the remainder path. Bit-identical to a lane
-/// of [`process_row`]: same expression tree, same total orders, same
-/// prefilter contract.
+/// of the tiled rows: same expression tree, same total orders, same
+/// prefilter contract (credits go to the same deferred array).
 #[inline(always)]
 fn process_cell(ctx: &Ctx<'_>, i: usize, j: usize, qt: f64, state: &mut WalkState) {
     let rho = clamp_rho(
@@ -472,33 +638,16 @@ fn process_cell(ctx: &Ctx<'_>, i: usize, j: usize, qt: f64, state: &mut WalkStat
     }
 
     if rho < state.thresh[i] {
-        part.selectors[i].count_rejected(1);
+        state.rej[i] += 1;
     } else {
         part.selectors[i].offer(j, rho, qt);
         state.thresh[i] = part.selectors[i].threshold();
     }
     if rho < state.thresh[j] {
-        part.selectors[j].count_rejected(1);
+        state.rej[j] += 1;
     } else {
         part.selectors[j].offer(i, rho, qt);
         state.thresh[j] = part.selectors[j].threshold();
-    }
-}
-
-/// Whether packed (`core::arch`) paths may be used: AVX2+FMA present and
-/// the `VALMOD_FORCE_PORTABLE` knob unset. One cached check per dispatch
-/// site (see [`valmod_fft::force_portable`]).
-#[inline]
-fn packed_available() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        !valmod_fft::force_portable()
-            && std::is_x86_feature_detected!("avx2")
-            && std::is_x86_feature_detected!("fma")
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
     }
 }
 
@@ -516,22 +665,21 @@ fn packed_available() -> bool {
 /// must be distinct slices (the double-buffered stage-2 scratch always
 /// passes the shadow as `dst`).
 ///
-/// The packed path runs four entries per iteration: the `j` guard becomes
-/// an unsigned lane compare, `t_next[j]` a masked gather (masked-off lanes
-/// perform no memory access), the advance a single `vfmadd`, and the
-/// keep-else branch a `blendv` that copies `src`'s bits verbatim — so the
-/// result is byte-identical to the scalar loop, `−0.0` and overflowed
-/// (±∞) dots included. Falls back to the scalar loop on non-AVX2 CPUs,
-/// under `VALMOD_FORCE_PORTABLE`, and for `limit` beyond the gather's
-/// signed-index space.
+/// The packed paths run `W` entries per iteration (W=4 under AVX2, W=8
+/// under AVX-512, one shared driver): the `j` guard becomes an unsigned
+/// lane compare, `t_next[j]` a masked gather (masked-off lanes perform no
+/// memory access), the advance a single `vfmadd`, and the keep-else
+/// branch a blend that copies `src`'s bits verbatim — so the result is
+/// byte-identical to the scalar loop, `−0.0` and overflowed (±∞) dots
+/// included. Falls back to the scalar loop on portable levels and for
+/// `limit` beyond the gathers' signed-index space.
 ///
 /// # Panics
 ///
 /// Panics when `j`/`src`/`dst` lengths differ, or when `limit` exceeds
 /// `t_next.len()` — every in-range lane must have a head product to
 /// gather (the scalar path would hit the same indexing panic lane by
-/// lane; asserting it up front keeps the packed gather in bounds from
-/// safe code).
+/// lane; asserting it up front keeps the packed gathers in bounds).
 pub fn advance_entry_dots(
     head: f64,
     t_next: &[f64],
@@ -549,18 +697,203 @@ pub fn advance_entry_dots(
     );
     #[cfg(target_arch = "x86_64")]
     {
-        if packed_available() && i32::try_from(limit).is_ok() {
-            // SAFETY: AVX2+FMA verified by `packed_available`; `limit`
-            // fits the gather's signed 32-bit index space, and every
-            // gathered lane has `j < limit <= t_next.len()` (asserted
-            // above), so the gather stays in bounds.
-            unsafe { packed::advance_entry_dots(head, t_next, j, limit, src, dst) };
-            return;
+        if i32::try_from(limit).is_ok() {
+            match simd::simd_level() {
+                SimdLevel::Avx512 => {
+                    let b = simd::Avx512::new().expect("dispatch resolved AVX-512");
+                    // SAFETY: token proves the features; `limit` fits i32
+                    // and is bounded by `t_next.len()` (asserted above),
+                    // so every gathered lane stays in bounds.
+                    unsafe { entry_dots_avx512(b, head, t_next, j, limit, src, dst) };
+                    return;
+                }
+                SimdLevel::Avx2 => {
+                    let b = simd::Avx2::new().expect("dispatch resolved AVX2");
+                    // SAFETY: as above.
+                    unsafe { entry_dots_avx2(b, head, t_next, j, limit, src, dst) };
+                    return;
+                }
+                _ => {}
+            }
         }
     }
-    for e in 0..j.len() {
+    entry_dots_scalar(head, t_next, j, limit, src, dst, 0);
+}
+
+/// The scalar entry-dot advance from entry `start` on.
+#[inline(always)]
+fn entry_dots_scalar(
+    head: f64,
+    t_next: &[f64],
+    j: &[u32],
+    limit: u32,
+    src: &[f64],
+    dst: &mut [f64],
+    start: usize,
+) {
+    for e in start..j.len() {
         dst[e] = if j[e] < limit { head.mul_add(t_next[j[e] as usize], src[e]) } else { src[e] };
     }
+}
+
+/// A width's masked-gather step for [`advance_entry_dots`]: exactly `W`
+/// entries starting at `e`. Implemented per packed backend (the gather
+/// and the index compare are the only genuinely ISA-specific ops in this
+/// module); [`entry_dots_lanes`] is the single shared driver.
+#[cfg(target_arch = "x86_64")]
+trait EntryGather<const W: usize>: F64Lanes<W> {
+    /// # Contract
+    ///
+    /// `j[e..e+W]`, `src[e..e+W]`, `dst[e..e+W]` in bounds; every lane
+    /// with `j < limit` has `t_next[j]` in bounds; lanes with `j ≥ limit`
+    /// copy `src`'s exact bits and touch no memory.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_advance(
+        self,
+        head: Self::V,
+        t_next: &[f64],
+        j: &[u32],
+        limit: u32,
+        src: &[f64],
+        dst: &mut [f64],
+        e: usize,
+    );
+}
+
+#[cfg(target_arch = "x86_64")]
+impl EntryGather<4> for simd::Avx2 {
+    #[inline(always)]
+    fn gather_advance(
+        self,
+        head: Self::V,
+        t_next: &[f64],
+        j: &[u32],
+        limit: u32,
+        src: &[f64],
+        dst: &mut [f64],
+        e: usize,
+    ) {
+        use core::arch::x86_64::{
+            __m128i, _mm256_blendv_pd, _mm256_castsi256_pd, _mm256_cvtepi32_epi64, _mm256_fmadd_pd,
+            _mm256_loadu_pd, _mm256_mask_i32gather_pd, _mm256_setzero_pd, _mm256_storeu_pd,
+            _mm_cmplt_epi32, _mm_loadu_si128, _mm_set1_epi32, _mm_xor_si128,
+        };
+        // SAFETY: the `Avx2` token proves AVX2+FMA; the caller contract
+        // bounds every access (see the trait docs). Unsigned `j < limit`
+        // via sign-bias + signed compare; masked-off gather lanes read no
+        // memory and the blend keeps `src`'s bits verbatim.
+        unsafe {
+            let bias = _mm_set1_epi32(i32::MIN);
+            #[allow(clippy::cast_possible_wrap)]
+            let limit_biased = _mm_set1_epi32((limit as i32).wrapping_add(i32::MIN));
+            let jv = _mm_loadu_si128(j.as_ptr().add(e).cast::<__m128i>());
+            let in_range = _mm_cmplt_epi32(_mm_xor_si128(jv, bias), limit_biased);
+            let mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(in_range));
+            let heads =
+                _mm256_mask_i32gather_pd::<8>(_mm256_setzero_pd(), t_next.as_ptr(), jv, mask);
+            let src_v = _mm256_loadu_pd(src.as_ptr().add(e));
+            let advanced = _mm256_fmadd_pd(head, heads, src_v);
+            _mm256_storeu_pd(dst.as_mut_ptr().add(e), _mm256_blendv_pd(src_v, advanced, mask));
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl EntryGather<8> for simd::Avx512 {
+    #[inline(always)]
+    fn gather_advance(
+        self,
+        head: Self::V,
+        t_next: &[f64],
+        j: &[u32],
+        limit: u32,
+        src: &[f64],
+        dst: &mut [f64],
+        e: usize,
+    ) {
+        use core::arch::x86_64::{
+            __m256i, _mm256_cmplt_epu32_mask, _mm256_loadu_si256, _mm256_set1_epi32,
+            _mm512_fmadd_pd, _mm512_loadu_pd, _mm512_mask_blend_pd, _mm512_mask_i32gather_pd,
+            _mm512_setzero_pd, _mm512_storeu_pd,
+        };
+        // SAFETY: the `Avx512` token proves AVX-512 F/DQ/VL; the caller
+        // contract bounds every access. AVX-512VL gives the unsigned
+        // 32-bit compare directly; masked-off gather lanes read no memory
+        // and the mask blend keeps `src`'s bits verbatim.
+        unsafe {
+            #[allow(clippy::cast_possible_wrap)]
+            let limit_v = _mm256_set1_epi32(limit as i32);
+            let jv = _mm256_loadu_si256(j.as_ptr().add(e).cast::<__m256i>());
+            let mask = _mm256_cmplt_epu32_mask(jv, limit_v);
+            let heads =
+                _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), mask, jv, t_next.as_ptr());
+            let src_v = _mm512_loadu_pd(src.as_ptr().add(e));
+            let advanced = _mm512_fmadd_pd(head, heads, src_v);
+            _mm512_storeu_pd(dst.as_mut_ptr().add(e), _mm512_mask_blend_pd(mask, src_v, advanced));
+        }
+    }
+}
+
+/// The shared packed driver of [`advance_entry_dots`]: whole `W`-blocks
+/// through [`EntryGather::gather_advance`], ragged tail through the
+/// scalar loop.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn entry_dots_lanes<const W: usize, B: EntryGather<W>>(
+    b: B,
+    head: f64,
+    t_next: &[f64],
+    j: &[u32],
+    limit: u32,
+    src: &[f64],
+    dst: &mut [f64],
+) {
+    let head_v = b.splat(head);
+    let len = j.len();
+    let mut e = 0;
+    while e + W <= len {
+        b.gather_advance(head_v, t_next, j, limit, src, dst, e);
+        e += W;
+    }
+    entry_dots_scalar(head, t_next, j, limit, src, dst, e);
+}
+
+/// [`entry_dots_lanes`] under AVX2+FMA.
+///
+/// # Safety
+///
+/// The `Avx2` token proves the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn entry_dots_avx2(
+    b: simd::Avx2,
+    head: f64,
+    t_next: &[f64],
+    j: &[u32],
+    limit: u32,
+    src: &[f64],
+    dst: &mut [f64],
+) {
+    entry_dots_lanes::<4, _>(b, head, t_next, j, limit, src, dst);
+}
+
+/// [`entry_dots_lanes`] under AVX-512.
+///
+/// # Safety
+///
+/// The `Avx512` token proves the CPU supports AVX-512 F/DQ/VL (+AVX2+FMA).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx2,fma")]
+unsafe fn entry_dots_avx512(
+    b: simd::Avx512,
+    head: f64,
+    t_next: &[f64],
+    j: &[u32],
+    limit: u32,
+    src: &[f64],
+    dst: &mut [f64],
+) {
+    entry_dots_lanes::<8, _>(b, head, t_next, j, limit, src, dst);
 }
 
 /// The streaming engine's in-place per-append dot-product shift
@@ -570,12 +903,13 @@ pub fn advance_entry_dots(
 /// qt[j] = v.mul_add(t[j + l − 1], qt[j − 1] − dropped · t[j − 1])   for j in (1..qt.len()).rev()
 /// ```
 ///
-/// This is the stage-1 kernel's diagonal recurrence ([`advance_qt`])
-/// applied to a shifted, contiguous row, so the packed path literally
-/// reuses those lanes: blocks of four are staged through a register copy
-/// (read `qt[j−1..j+3]`, advance, write `qt[j..j+4]`), processed from the
-/// high end down exactly like the scalar reverse loop, hence
-/// byte-identical to it.
+/// This is the stage-1 kernel's diagonal recurrence applied to a shifted,
+/// contiguous row, so the packed paths literally reuse those lanes:
+/// blocks of `W` are staged through a register copy (read `qt[j−1..j−1+W]`,
+/// advance, write `qt[j..j+W]`), processed from the high end down exactly
+/// like the scalar reverse loop, hence byte-identical to it. One shared
+/// lane-generic body serves W=4 (AVX2) and W=8 (AVX-512); portable levels
+/// take the scalar reverse loop, which is the same expression tree.
 ///
 /// # Panics
 ///
@@ -587,20 +921,92 @@ pub fn advance_dots_extend(v: f64, dropped: f64, t: &[f64], l: usize, qt: &mut [
         return;
     }
     assert!(t.len() >= m + l - 1, "series too short for the append recurrence");
+    #[allow(unused_mut)]
     let mut hi = m;
-    if packed_available() {
-        while hi > LANES {
-            let j0 = hi - LANES;
-            let mut lane = [0.0f64; LANES];
-            lane.copy_from_slice(&qt[j0 - 1..j0 - 1 + LANES]);
-            advance_qt::<true>(v, dropped, &t[j0 + l - 1..], &t[j0 - 1..], &mut lane);
-            qt[j0..j0 + LANES].copy_from_slice(&lane);
-            hi = j0;
+    #[cfg(target_arch = "x86_64")]
+    {
+        match simd::simd_level() {
+            SimdLevel::Avx512 => {
+                let b = simd::Avx512::new().expect("dispatch resolved AVX-512");
+                // SAFETY: the token proves the target features.
+                hi = unsafe { dots_extend_avx512(b, v, dropped, t, l, qt) };
+            }
+            SimdLevel::Avx2 => {
+                let b = simd::Avx2::new().expect("dispatch resolved AVX2");
+                // SAFETY: the token proves the target features.
+                hi = unsafe { dots_extend_avx2(b, v, dropped, t, l, qt) };
+            }
+            _ => {}
         }
     }
     for j in (1..hi).rev() {
         qt[j] = v.mul_add(t[j + l - 1], qt[j - 1] - dropped * t[j - 1]);
     }
+}
+
+/// The lane-generic blocked-backward body of [`advance_dots_extend`]:
+/// processes whole `W`-blocks from the high end down, returns the
+/// exclusive upper bound the scalar remainder should continue from.
+#[inline(always)]
+fn dots_extend_lanes<const W: usize, B: F64Lanes<W>>(
+    b: B,
+    v: f64,
+    dropped: f64,
+    t: &[f64],
+    l: usize,
+    qt: &mut [f64],
+) -> usize {
+    let vv = b.splat(v);
+    let dv = b.splat(dropped);
+    let mut hi = qt.len();
+    while hi > W {
+        let j0 = hi - W;
+        // Read qt[j0−1..j0−1+W] fully into the register before writing
+        // qt[j0..j0+W] — the overlap is safe because the store happens
+        // after the load.
+        let prev = b.load(&qt[j0 - 1..]);
+        let dropv = b.mul(dv, b.load(&t[j0 - 1..]));
+        let next = b.mul_add(vv, b.load(&t[j0 + l - 1..]), b.sub(prev, dropv));
+        b.store(next, &mut qt[j0..]);
+        hi = j0;
+    }
+    hi
+}
+
+/// [`dots_extend_lanes`] under AVX2+FMA.
+///
+/// # Safety
+///
+/// The `Avx2` token proves the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dots_extend_avx2(
+    b: simd::Avx2,
+    v: f64,
+    dropped: f64,
+    t: &[f64],
+    l: usize,
+    qt: &mut [f64],
+) -> usize {
+    dots_extend_lanes::<4, _>(b, v, dropped, t, l, qt)
+}
+
+/// [`dots_extend_lanes`] under AVX-512.
+///
+/// # Safety
+///
+/// The `Avx512` token proves the CPU supports AVX-512 F/DQ/VL (+AVX2+FMA).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx2,fma")]
+unsafe fn dots_extend_avx512(
+    b: simd::Avx512,
+    v: f64,
+    dropped: f64,
+    t: &[f64],
+    l: usize,
+    qt: &mut [f64],
+) -> usize {
+    dots_extend_lanes::<8, _>(b, v, dropped, t, l, qt)
 }
 
 /// The streaming engine's in-place per-append dot-product shift (add
@@ -628,22 +1034,22 @@ pub fn advance_dots_append(cross: &[f64], dropped: f64, t: &[f64], l: usize, qt:
     }
     assert!(t.len() >= m + l - 1, "series too short for the append recurrence");
     assert!(cross.len() >= m + l - 1, "cross row too short for the append recurrence");
+    #[allow(unused_mut)]
     let mut hi = m;
     #[cfg(target_arch = "x86_64")]
     {
-        if packed_available() {
-            while hi > LANES {
-                let j0 = hi - LANES;
-                let mut lane = [0.0f64; LANES];
-                lane.copy_from_slice(&qt[j0 - 1..j0 - 1 + LANES]);
-                // SAFETY: AVX2 verified by `packed_available`; all slices
-                // span at least LANES elements by the asserts above.
-                unsafe {
-                    packed::advance_add(&cross[j0 + l - 1..], dropped, &t[j0 - 1..], &mut lane);
-                }
-                qt[j0..j0 + LANES].copy_from_slice(&lane);
-                hi = j0;
+        match simd::simd_level() {
+            SimdLevel::Avx512 => {
+                let b = simd::Avx512::new().expect("dispatch resolved AVX-512");
+                // SAFETY: the token proves the target features.
+                hi = unsafe { dots_append_avx512(b, cross, dropped, t, l, qt) };
             }
+            SimdLevel::Avx2 => {
+                let b = simd::Avx2::new().expect("dispatch resolved AVX2");
+                // SAFETY: the token proves the target features.
+                hi = unsafe { dots_append_avx2(b, cross, dropped, t, l, qt) };
+            }
+            _ => {}
         }
     }
     for j in (1..hi).rev() {
@@ -651,162 +1057,69 @@ pub fn advance_dots_append(cross: &[f64], dropped: f64, t: &[f64], l: usize, qt:
     }
 }
 
-/// The explicit 256-bit math steps of the AVX2+FMA instantiation.
+/// The lane-generic blocked-backward body of [`advance_dots_append`].
+#[inline(always)]
+fn dots_append_lanes<const W: usize, B: F64Lanes<W>>(
+    b: B,
+    cross: &[f64],
+    dropped: f64,
+    t: &[f64],
+    l: usize,
+    qt: &mut [f64],
+) -> usize {
+    let dv = b.splat(dropped);
+    let mut hi = qt.len();
+    while hi > W {
+        let j0 = hi - W;
+        let prev = b.load(&qt[j0 - 1..]);
+        let dropv = b.mul(dv, b.load(&t[j0 - 1..]));
+        let next = b.add(b.load(&cross[j0 + l - 1..]), b.sub(prev, dropv));
+        b.store(next, &mut qt[j0..]);
+        hi = j0;
+    }
+    hi
+}
+
+/// [`dots_append_lanes`] under AVX2+FMA.
 ///
-/// Each function is the *same expression tree* as its portable
-/// counterpart, op for op: `vmulpd`/`vsubpd` where the scalar rounds a
-/// product before subtracting, `vfmadd` only where the scalar uses
-/// `mul_add`, `vminpd(vmaxpd(·))` for [`super::clamp_rho`] (which is
-/// *defined* as the scalar transcription of this select pair, so even a
-/// NaN correlation — overflowing dot products, see its docs — clamps to
-/// `−1.0` on every path), and `vmaxpd(·, 0)` for `.max(0.0)` (the operand is
-/// never −0.0: `1 − ρ ≥ +0.0` after clamping, and a positive times +0.0
-/// stays +0.0). Every op is exactly rounded IEEE-754, so lanes equal the
-/// scalar path bit for bit.
+/// # Safety
+///
+/// The `Avx2` token proves the CPU supports AVX2 and FMA.
 #[cfg(target_arch = "x86_64")]
-mod packed {
-    use super::LANES;
-    use core::arch::x86_64::{
-        __m128i, _mm256_add_pd, _mm256_blendv_pd, _mm256_castsi256_pd, _mm256_cvtepi32_epi64,
-        _mm256_div_pd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_mask_i32gather_pd, _mm256_max_pd,
-        _mm256_min_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd, _mm256_sqrt_pd,
-        _mm256_storeu_pd, _mm256_sub_pd, _mm_cmplt_epi32, _mm_loadu_si128, _mm_set1_epi32,
-        _mm_xor_si128,
-    };
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dots_append_avx2(
+    b: simd::Avx2,
+    cross: &[f64],
+    dropped: f64,
+    t: &[f64],
+    l: usize,
+    qt: &mut [f64],
+) -> usize {
+    dots_append_lanes::<4, _>(b, cross, dropped, t, l, qt)
+}
 
-    /// Packed lane step of [`super::advance_qt`].
-    #[target_feature(enable = "avx2,fma")]
-    #[inline]
-    pub(super) fn advance_qt(
-        t_head: f64,
-        t_drop: f64,
-        tj_head: &[f64],
-        tj_drop: &[f64],
-        qt: &mut [f64; LANES],
-    ) {
-        let heads = &tj_head[..LANES];
-        let drops = &tj_drop[..LANES];
-        // SAFETY: every pointer spans exactly LANES f64s (asserted by the
-        // reslices above); loadu/storeu carry no alignment requirement.
-        unsafe {
-            let q = _mm256_loadu_pd(qt.as_ptr());
-            let dropped = _mm256_mul_pd(_mm256_set1_pd(t_drop), _mm256_loadu_pd(drops.as_ptr()));
-            let acc = _mm256_sub_pd(q, dropped);
-            let next =
-                _mm256_fmadd_pd(_mm256_set1_pd(t_head), _mm256_loadu_pd(heads.as_ptr()), acc);
-            _mm256_storeu_pd(qt.as_mut_ptr(), next);
-        }
-    }
-
-    /// Packed lane step of [`super::advance_dots_append`]:
-    /// `qt[c] = cross[c] + (qt[c] − dropped·t_drop[c])` — add, sub, mul,
-    /// each exactly rounded, in the scalar expression's association.
-    #[target_feature(enable = "avx2,fma")]
-    #[inline]
-    pub(super) fn advance_add(cross: &[f64], dropped: f64, t_drop: &[f64], qt: &mut [f64; LANES]) {
-        let cross = &cross[..LANES];
-        let drops = &t_drop[..LANES];
-        // SAFETY: every pointer spans exactly LANES f64s (asserted by the
-        // reslices above); loadu/storeu carry no alignment requirement.
-        unsafe {
-            let q = _mm256_loadu_pd(qt.as_ptr());
-            let dropped = _mm256_mul_pd(_mm256_set1_pd(dropped), _mm256_loadu_pd(drops.as_ptr()));
-            let acc = _mm256_sub_pd(q, dropped);
-            let next = _mm256_add_pd(_mm256_loadu_pd(cross.as_ptr()), acc);
-            _mm256_storeu_pd(qt.as_mut_ptr(), next);
-        }
-    }
-
-    /// Packed body of [`super::advance_entry_dots`]: four entries per
-    /// iteration — unsigned lane compare for the `j < limit` guard, masked
-    /// gather for `t_next[j]` (masked-off lanes touch no memory), one
-    /// `vfmadd`, and a `blendv` that keeps `src`'s exact bits on
-    /// out-of-range lanes. Scalar remainder for the ragged tail.
-    ///
-    /// # Safety
-    ///
-    /// Caller must have verified AVX2+FMA, and `limit <= i32::MAX` so
-    /// every gathered (in-range) lane's index is non-negative after the
-    /// gather's sign extension.
-    #[target_feature(enable = "avx2,fma")]
-    pub(super) fn advance_entry_dots(
-        head: f64,
-        t_next: &[f64],
-        j: &[u32],
-        limit: u32,
-        src: &[f64],
-        dst: &mut [f64],
-    ) {
-        let len = j.len();
-        let head_v = _mm256_set1_pd(head);
-        let bias = _mm_set1_epi32(i32::MIN);
-        #[allow(clippy::cast_possible_wrap)]
-        let limit_biased = _mm_set1_epi32((limit as i32).wrapping_add(i32::MIN));
-        let mut e = 0;
-        while e + LANES <= len {
-            // SAFETY: `j[e..e+4]`/`src[e..e+4]`/`dst[e..e+4]` are in
-            // bounds (`e + LANES <= len` and the wrapper asserts equal
-            // lengths); the gather reads `t_next[j[c]]` only on lanes with
-            // `j[c] < limit`, and the wrapper's caller passes `limit` no
-            // larger than the valid window count, i.e. `t_next.len()`.
-            unsafe {
-                let jv = _mm_loadu_si128(j.as_ptr().add(e).cast::<__m128i>());
-                // Unsigned `j < limit` via sign-bias + signed compare.
-                let in_range = _mm_cmplt_epi32(_mm_xor_si128(jv, bias), limit_biased);
-                let mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(in_range));
-                let heads =
-                    _mm256_mask_i32gather_pd::<8>(_mm256_setzero_pd(), t_next.as_ptr(), jv, mask);
-                let src_v = _mm256_loadu_pd(src.as_ptr().add(e));
-                let advanced = _mm256_fmadd_pd(head_v, heads, src_v);
-                _mm256_storeu_pd(dst.as_mut_ptr().add(e), _mm256_blendv_pd(src_v, advanced, mask));
-            }
-            e += LANES;
-        }
-        for e in e..len {
-            dst[e] =
-                if j[e] < limit { head.mul_add(t_next[j[e] as usize], src[e]) } else { src[e] };
-        }
-    }
-
-    /// Packed lane step of [`super::rho_d`].
-    #[target_feature(enable = "avx2,fma")]
-    #[inline]
-    #[allow(clippy::too_many_arguments)]
-    pub(super) fn rho_d(
-        a_i: f64,
-        s_i: f64,
-        two_lf: f64,
-        means_j: &[f64],
-        stds_j: &[f64],
-        qt: &[f64; LANES],
-        rho: &mut [f64; LANES],
-        d: &mut [f64; LANES],
-    ) {
-        let means_j = &means_j[..LANES];
-        let stds_j = &stds_j[..LANES];
-        // SAFETY: as in `advance_qt` — exact-length slices, unaligned ops.
-        unsafe {
-            let q = _mm256_loadu_pd(qt.as_ptr());
-            let num = _mm256_sub_pd(
-                q,
-                _mm256_mul_pd(_mm256_set1_pd(a_i), _mm256_loadu_pd(means_j.as_ptr())),
-            );
-            let den = _mm256_mul_pd(_mm256_set1_pd(s_i), _mm256_loadu_pd(stds_j.as_ptr()));
-            let raw = _mm256_div_pd(num, den);
-            let clamped =
-                _mm256_min_pd(_mm256_max_pd(raw, _mm256_set1_pd(-1.0)), _mm256_set1_pd(1.0));
-            let scaled =
-                _mm256_mul_pd(_mm256_set1_pd(two_lf), _mm256_sub_pd(_mm256_set1_pd(1.0), clamped));
-            let dist = _mm256_sqrt_pd(_mm256_max_pd(scaled, _mm256_set1_pd(0.0)));
-            _mm256_storeu_pd(rho.as_mut_ptr(), clamped);
-            _mm256_storeu_pd(d.as_mut_ptr(), dist);
-        }
-    }
+/// [`dots_append_lanes`] under AVX-512.
+///
+/// # Safety
+///
+/// The `Avx512` token proves the CPU supports AVX-512 F/DQ/VL (+AVX2+FMA).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx2,fma")]
+unsafe fn dots_append_avx512(
+    b: simd::Avx512,
+    cross: &[f64],
+    dropped: f64,
+    t: &[f64],
+    l: usize,
+    qt: &mut [f64],
+) -> usize {
+    dots_append_lanes::<8, _>(b, cross, dropped, t, l, qt)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testkit::test_levels;
     use valmod_series::gen;
 
     /// The pre-kernel scalar reference: the closure-based diagonal walk
@@ -873,8 +1186,9 @@ mod tests {
     }
 
     /// The kernel against the pre-kernel scalar walk: byte-identical
-    /// selectors and bests for several worker counts, despite the blocked
-    /// partitioning, lane grouping, and offer prefilter.
+    /// selectors and bests for every available lane level and several
+    /// worker counts, despite the blocked partitioning, register tiling,
+    /// and offer prefilter.
     #[test]
     fn kernel_is_byte_identical_to_the_scalar_reference() {
         for (series, l) in [
@@ -886,16 +1200,48 @@ mod tests {
             assert!(!engine.has_flat_windows(), "kernel contract");
             let first_diag = l.div_ceil(4) + 1;
             for workers in [1usize, 2, 3, 8] {
-                let kernel: Vec<Stage1Part> =
-                    (0..workers).map(|w| stage1_walk(&engine, first_diag, w, workers, 4)).collect();
                 let reference: Vec<Stage1Part> = (0..workers)
                     .map(|w| reference_walk(&engine, first_diag, w, workers, 4))
                     .collect();
-                assert_eq!(
-                    merged(kernel, l),
-                    merged(reference, l),
-                    "kernel diverged at l={l}, workers={workers}"
-                );
+                let want = merged(reference, l);
+                for level in test_levels() {
+                    let kernel: Vec<Stage1Part> = (0..workers)
+                        .map(|w| stage1_walk(&engine, first_diag, w, workers, 4, level))
+                        .collect();
+                    assert_eq!(
+                        merged(kernel, l),
+                        want,
+                        "kernel diverged at l={l}, workers={workers}, level={level:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Tile-boundary shapes: every remainder count of diagonals per tile
+    /// (1..=2W−1 for the widest tile, i.e. 1..=15 at width 8) and window
+    /// sizes straddling tile columns. `first_diag` is swept so the
+    /// worker's share leaves exactly `r` ragged diagonals.
+    #[test]
+    fn tile_remainders_match_the_reference() {
+        let series = gen::random_walk(120, 7);
+        for l in [8usize, 12] {
+            let engine = StompEngine::new(&series, l).unwrap();
+            let m = engine.num_windows();
+            // Sweep first_diag so m − first_diag mod 2W hits 0..=15 for
+            // both widths.
+            for first_diag in 1..=(l + 9).min(m - 1) {
+                let reference = merged(vec![reference_walk(&engine, first_diag, 0, 1, 3)], l);
+                for level in test_levels() {
+                    let part = stage1_walk(&engine, first_diag, 0, 1, 3, level);
+                    assert_eq!(
+                        merged(vec![part], l),
+                        reference,
+                        "diverged at l={l}, first_diag={first_diag}, level={level:?} \
+                         (remainder {})",
+                        (m - first_diag) % (2 * level.width())
+                    );
+                }
             }
         }
     }
@@ -917,13 +1263,13 @@ mod tests {
     }
 
     /// [`advance_entry_dots`] against the scalar per-entry loop:
-    /// byte-identical on every lane, including out-of-range candidates
-    /// (`j >= limit` must keep `src`'s exact bits — `−0.0` included) and
-    /// ragged tails.
+    /// byte-identical on every lane level, including out-of-range
+    /// candidates (`j >= limit` must keep `src`'s exact bits — `−0.0`
+    /// included) and ragged tails.
     #[test]
     fn entry_dot_advance_matches_the_scalar_loop() {
         let t_next = pseudo_values(500, 17);
-        for len in [1usize, 3, 4, 7, 64, 129] {
+        for len in [1usize, 3, 4, 7, 8, 11, 64, 129] {
             let j: Vec<u32> = (0..len)
                 .map(|e| {
                     let h = (e as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
@@ -945,14 +1291,17 @@ mod tests {
                         src[e]
                     };
                 }
-                let mut dst = vec![0.0f64; len];
-                advance_entry_dots(head, &t_next, &j, limit, &src, &mut dst);
-                for (e, (a, b)) in dst.iter().zip(&expect).enumerate() {
-                    assert_eq!(
-                        a.to_bits(),
-                        b.to_bits(),
-                        "entry {e} diverged at len={len} limit={limit}: {a} vs {b}"
-                    );
+                for level in test_levels() {
+                    let _g = crate::testkit::force_level(level);
+                    let mut dst = vec![0.0f64; len];
+                    advance_entry_dots(head, &t_next, &j, limit, &src, &mut dst);
+                    for (e, (a, b)) in dst.iter().zip(&expect).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "entry {e} diverged at len={len} limit={limit} {level:?}: {a} vs {b}"
+                        );
+                    }
                 }
             }
         }
@@ -960,37 +1309,42 @@ mod tests {
 
     /// The streaming shift kernels against the scalar reverse loops they
     /// replace: byte-identical in-place results for both the fused
-    /// (extend) and the add (append) form, across ragged lengths.
+    /// (extend) and the add (append) form, across ragged lengths and
+    /// every lane level.
     #[test]
     fn streaming_shift_kernels_match_the_scalar_reverse_loops() {
         let l = 9usize;
-        for m in [1usize, 2, 4, 5, 8, 31, 130] {
-            let t = pseudo_values(m + l - 1 + 4, 5);
+        for m in [1usize, 2, 4, 5, 8, 9, 17, 31, 130] {
+            let t = pseudo_values(m + l - 1 + 8, 5);
             let cross: Vec<f64> = t.iter().map(|&x| 0.37 * x).collect();
             let (v, dropped) = (t[m + l - 2], t[m - 1]);
 
             let base = pseudo_values(m, 99);
-            let mut expect = base.clone();
+            let mut expect_ext = base.clone();
             for j in (1..m).rev() {
-                expect[j] = v.mul_add(t[j + l - 1], expect[j - 1] - dropped * t[j - 1]);
+                expect_ext[j] = v.mul_add(t[j + l - 1], expect_ext[j - 1] - dropped * t[j - 1]);
             }
-            let mut got = base.clone();
-            advance_dots_extend(v, dropped, &t, l, &mut got);
-            assert!(
-                got.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits()),
-                "extend shift diverged at m={m}: {got:?} vs {expect:?}"
-            );
+            let mut expect_app = base.clone();
+            for j in (1..m).rev() {
+                expect_app[j] = cross[j + l - 1] + (expect_app[j - 1] - dropped * t[j - 1]);
+            }
 
-            let mut expect = base.clone();
-            for j in (1..m).rev() {
-                expect[j] = cross[j + l - 1] + (expect[j - 1] - dropped * t[j - 1]);
+            for level in test_levels() {
+                let _g = crate::testkit::force_level(level);
+                let mut got = base.clone();
+                advance_dots_extend(v, dropped, &t, l, &mut got);
+                assert!(
+                    got.iter().zip(&expect_ext).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "extend shift diverged at m={m} {level:?}: {got:?} vs {expect_ext:?}"
+                );
+
+                let mut got = base.clone();
+                advance_dots_append(&cross, dropped, &t, l, &mut got);
+                assert!(
+                    got.iter().zip(&expect_app).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "append shift diverged at m={m} {level:?}: {got:?} vs {expect_app:?}"
+                );
             }
-            let mut got = base;
-            advance_dots_append(&cross, dropped, &t, l, &mut got);
-            assert!(
-                got.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits()),
-                "append shift diverged at m={m}: {got:?} vs {expect:?}"
-            );
         }
     }
 
@@ -1007,19 +1361,35 @@ mod tests {
                     continue;
                 }
                 for workers in [1usize, 2, 5] {
-                    let kernel: Vec<Stage1Part> = (0..workers)
-                        .map(|w| stage1_walk(&engine, first_diag, w, workers, 2))
-                        .collect();
                     let reference: Vec<Stage1Part> = (0..workers)
                         .map(|w| reference_walk(&engine, first_diag, w, workers, 2))
                         .collect();
-                    assert_eq!(
-                        merged(kernel, l),
-                        merged(reference, l),
-                        "diverged at l={l}, first_diag={first_diag}, workers={workers}"
-                    );
+                    let want = merged(reference, l);
+                    for level in test_levels() {
+                        let kernel: Vec<Stage1Part> = (0..workers)
+                            .map(|w| stage1_walk(&engine, first_diag, w, workers, 2, level))
+                            .collect();
+                        assert_eq!(
+                            merged(kernel, l),
+                            want,
+                            "diverged at l={l}, first_diag={first_diag}, workers={workers}, \
+                             {level:?}"
+                        );
+                    }
                 }
             }
         }
+    }
+
+    /// The `idx32` hard-assert: a mocked dimension at the u32 boundary
+    /// must panic loudly instead of wrapping — in release builds too.
+    #[test]
+    fn idx32_asserts_instead_of_wrapping() {
+        assert_eq!(idx32(0), 0);
+        assert_eq!(idx32(u32::MAX as usize - 1), u32::MAX - 1);
+        let err = std::panic::catch_unwind(|| idx32(u32::MAX as usize)).unwrap_err();
+        let msg = err.downcast_ref::<String>().map(String::as_str).unwrap_or_default();
+        assert!(msg.contains("exceeds the u32 profile index space"), "unexpected panic: {msg}");
+        assert!(std::panic::catch_unwind(|| idx32(usize::MAX)).is_err());
     }
 }

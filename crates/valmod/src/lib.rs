@@ -45,6 +45,8 @@ pub mod partial;
 pub mod rank;
 pub mod render;
 mod scratch;
+#[doc(hidden)]
+pub mod testkit;
 pub mod valmap;
 
 pub use algo::{run_valmod, LengthResult, LengthStats, StageTimings, ValmodOutput};
