@@ -43,7 +43,7 @@ fn bench_streaming_vs_batch(c: &mut Criterion) {
     });
 
     group.sample_size(10);
-    let mut chunk_engine = StreamingValmod::new(&series[..n], config).unwrap();
+    let mut chunk_engine = StreamingValmod::new(&series[..n], config.clone()).unwrap();
     let mut chunk_at = 0usize;
     group.bench_function("stream_extend_chunk64", |b| {
         b.iter(|| {
@@ -52,7 +52,69 @@ fn bench_streaming_vs_batch(c: &mut Criterion) {
             chunk_at += 64;
         });
     });
+
+    // The durable session's append path: every 64th append also
+    // serializes a full checkpoint image (into memory — fsync policy is
+    // the store's business, the bench isolates the serialization tax).
+    group.sample_size(50);
+    let mut ck_engine = StreamingValmod::new(&series[..n], config.clone()).unwrap();
+    let mut ck_at = 0usize;
+    let mut sink: Vec<u8> = Vec::new();
+    group.bench_function("stream_append_checkpoint_every64", |b| {
+        b.iter(|| {
+            ck_engine.append(black_box(tail[ck_at % tail.len()]));
+            ck_at += 1;
+            if ck_at.is_multiple_of(64) {
+                sink.clear();
+                ck_engine.checkpoint_to(&mut sink).unwrap();
+                black_box(sink.len());
+            }
+        });
+    });
     group.finish();
+
+    // Acceptance gate: checkpointing every 64 appends must cost under
+    // 10% of plain append throughput at the reference workload.
+    let mut plain = StreamingValmod::new(&series[..n], config.clone()).unwrap();
+    let mut durable = StreamingValmod::new(&series[..n], config).unwrap();
+    let rounds = 768usize;
+    let plain_secs = time_appends(&mut plain, &series[n..], rounds, None);
+    let durable_secs = time_appends(&mut durable, &series[n..], rounds, Some(64));
+    let overhead = durable_secs / plain_secs - 1.0;
+    eprintln!(
+        "checkpoint-every-64 overhead: {:.1}% ({:.1} vs {:.1} µs/append)",
+        overhead * 100.0,
+        durable_secs / rounds as f64 * 1e6,
+        plain_secs / rounds as f64 * 1e6,
+    );
+    assert!(
+        overhead < 0.10,
+        "checkpoint-every-64 costs {:.1}% of append throughput (budget: 10%)",
+        overhead * 100.0
+    );
+}
+
+/// Wall-clock for `rounds` appends, optionally serializing a checkpoint
+/// image every `ckpt_every` appends.
+fn time_appends(
+    engine: &mut StreamingValmod,
+    tail: &[f64],
+    rounds: usize,
+    ckpt_every: Option<usize>,
+) -> f64 {
+    let mut sink: Vec<u8> = Vec::new();
+    let started = std::time::Instant::now();
+    for i in 0..rounds {
+        engine.append(black_box(tail[i % tail.len()]));
+        if let Some(every) = ckpt_every {
+            if (i + 1).is_multiple_of(every) {
+                sink.clear();
+                engine.checkpoint_to(&mut sink).unwrap();
+                black_box(sink.len());
+            }
+        }
+    }
+    started.elapsed().as_secs_f64()
 }
 
 criterion_group!(streaming, bench_streaming_vs_batch);

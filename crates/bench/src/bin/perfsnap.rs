@@ -70,6 +70,59 @@ struct StreamingRow {
     speedup_per_append: f64,
 }
 
+/// The durability row: serializing and restoring one checkpoint image of
+/// the streaming engine at the acceptance workload.
+struct CheckpointRow {
+    n: usize,
+    image_bytes: usize,
+    write_secs: f64,
+    restore_secs: f64,
+}
+
+/// Times [`StreamingValmod::checkpoint_to`] (into memory — fsync policy
+/// is the store's, the snapshot isolates serialization) and
+/// [`StreamingValmod::restore_from_bytes`], and asserts the round trip
+/// is bit-identical: the restored engine must re-serialize to the exact
+/// same image.
+fn measure_checkpoint(smoke: bool, threads: usize) -> CheckpointRow {
+    let n = if smoke { 2_048 } else { 4_096 };
+    let l_min = if smoke { 32 } else { 64 };
+    let l_max = l_min + 19; // R = 20
+    let series = Dataset::Ecg.generate(n);
+    let config = ValmodConfig::new(l_min, l_max).with_k(1).with_threads(threads);
+    let engine = StreamingValmod::new(&series, config.clone()).expect("valid workload");
+
+    let reps = 8usize;
+    let mut image: Vec<u8> = Vec::new();
+    let started = Instant::now();
+    for _ in 0..reps {
+        image.clear();
+        engine.checkpoint_to(&mut image).expect("in-memory sink");
+    }
+    let write_secs = started.elapsed().as_secs_f64() / reps as f64;
+
+    let started = Instant::now();
+    let mut restored = None;
+    for _ in 0..reps {
+        restored =
+            Some(StreamingValmod::restore_from_bytes(&image, &config).expect("own image restores"));
+    }
+    let restore_secs = started.elapsed().as_secs_f64() / reps as f64;
+
+    let mut reimage: Vec<u8> = Vec::new();
+    restored.expect("reps > 0").checkpoint_to(&mut reimage).expect("in-memory sink");
+    assert_eq!(image, reimage, "checkpoint round trip is not bit-identical");
+
+    let row = CheckpointRow { n, image_bytes: image.len(), write_secs, restore_secs };
+    eprintln!(
+        "checkpoint n={n} l=[{l_min},{l_max}]: {:.0} KiB image, write {:.2} ms, restore {:.2} ms",
+        row.image_bytes as f64 / 1024.0,
+        row.write_secs * 1e3,
+        row.restore_secs * 1e3,
+    );
+    row
+}
+
 /// Measures the streaming engine at the acceptance workload (n = 4096,
 /// R = 20 lengths; scaled down under `--smoke`): bootstrap on the
 /// prefix, time `appends` single-point appends, and compare the mean
@@ -239,8 +292,9 @@ fn main() {
     }
 
     let streaming = measure_streaming(smoke, max_threads);
+    let checkpoint = measure_checkpoint(smoke, max_threads);
 
-    let json = render_json(hardware, max_threads, smoke, &runs, &streaming, &speedups);
+    let json = render_json(hardware, max_threads, smoke, &runs, &streaming, &checkpoint, &speedups);
     std::fs::write(&out_path, json).expect("write snapshot");
     eprintln!("snapshot written to {out_path}");
     for (name, s) in &speedups {
@@ -305,10 +359,11 @@ fn render_json(
     smoke: bool,
     runs: &[Run],
     streaming: &StreamingRow,
+    checkpoint: &CheckpointRow,
     speedups: &[(String, f64)],
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 3,\n");
+    out.push_str("  \"schema\": 4,\n");
     out.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
     out.push_str(&format!("  \"max_threads\": {max_threads},\n"));
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
@@ -350,6 +405,11 @@ fn render_json(
         streaming.per_append_secs,
         streaming.batch_secs,
         streaming.speedup_per_append,
+    ));
+    out.push_str(&format!(
+        "  \"checkpoint\": {{\"n\": {}, \"image_bytes\": {}, \"write_secs\": {:.6}, \
+         \"restore_secs\": {:.6}}},\n",
+        checkpoint.n, checkpoint.image_bytes, checkpoint.write_secs, checkpoint.restore_secs,
     ));
     out.push_str("  \"speedup_end_to_end\": {");
     for (idx, (name, s)) in speedups.iter().enumerate() {

@@ -110,6 +110,14 @@ pub struct StreamArgs {
     pub follow: bool,
     /// Sleep between end-of-file re-reads under `--follow`, milliseconds.
     pub poll_ms: u64,
+    /// Directory for crash-safe checkpoints + sample journal (durability
+    /// off when absent).
+    pub checkpoint_dir: Option<String>,
+    /// Appended samples between checkpoint generations.
+    pub checkpoint_every: usize,
+    /// Recover from the newest valid checkpoint (+ journal replay) in
+    /// `--checkpoint-dir` before consuming input.
+    pub resume: bool,
 }
 
 /// A parse failure with a user-facing message.
@@ -136,6 +144,7 @@ USAGE:
   valmod motif-set --input FILE --a N --b N --length N [--radius X]
   valmod stream --input FILE|- --lmin N --lmax N [--k N] [--p N] [--threads N]
                 [--warmup N] [--every N] [--capacity N] [--follow] [--poll-ms N]
+                [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
   valmod help
 
 `stream` tails the input (use `-` for stdin), bootstraps on the first
@@ -143,7 +152,10 @@ points, then appends each subsequent point incrementally and emits the
 VALMAP entries that changed as NDJSON, one JSON object per line. With
 `--follow` it keeps waiting at end-of-file (sleep-retry, `--poll-ms`
 between attempts) so a paused live feed does not end the run; without it,
-end-of-file finishes the stream as before.
+end-of-file finishes the stream as before. With `--checkpoint-dir` the
+session is crash-safe: atomic checkpoints every `--checkpoint-every`
+samples plus a per-sample journal, and `--resume` recovers the newest
+valid generation (journal replayed, bit-identical state) after a crash.
 ";
 
 fn take_value<'a>(
@@ -281,6 +293,7 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
     let (mut k, mut p, mut threads) = (10usize, 8usize, None);
     let (mut warmup, mut every, mut capacity) = (None, 1usize, None);
     let (mut follow, mut poll_ms) = (false, 200u64);
+    let (mut checkpoint_dir, mut checkpoint_every, mut resume) = (None, 256usize, false);
     let mut it = rest.iter().copied();
     while let Some(flag) = it.next() {
         match flag {
@@ -295,6 +308,9 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
             "--capacity" => capacity = Some(parse_num(flag, take_value(flag, &mut it)?)?),
             "--follow" => follow = true,
             "--poll-ms" => poll_ms = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--checkpoint-dir" => checkpoint_dir = Some(take_value(flag, &mut it)?.to_string()),
+            "--checkpoint-every" => checkpoint_every = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--resume" => resume = true,
             other => return Err(ParseError(format!("unknown flag {other:?} for stream"))),
         }
     }
@@ -303,6 +319,12 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
     }
     if poll_ms == 0 {
         return Err(ParseError("--poll-ms must be at least 1".into()));
+    }
+    if checkpoint_every == 0 {
+        return Err(ParseError("--checkpoint-every must be at least 1".into()));
+    }
+    if resume && checkpoint_dir.is_none() {
+        return Err(ParseError("--resume requires --checkpoint-dir".into()));
     }
     Ok(Command::Stream(StreamArgs {
         input: input.ok_or_else(|| ParseError("stream requires --input".into()))?,
@@ -316,6 +338,9 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
         capacity,
         follow,
         poll_ms,
+        checkpoint_dir,
+        checkpoint_every,
+        resume,
     }))
 }
 
@@ -495,6 +520,60 @@ mod tests {
             "12",
             "--poll-ms",
             "0"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn stream_checkpoint_flags() {
+        let cmd = parse(&["stream", "--input", "-", "--lmin", "8", "--lmax", "12"]).unwrap();
+        match cmd {
+            Command::Stream(a) => {
+                assert!(a.checkpoint_dir.is_none() && !a.resume);
+                assert_eq!(a.checkpoint_every, 256, "durability default cadence");
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "stream",
+            "--input",
+            "x",
+            "--lmin",
+            "8",
+            "--lmax",
+            "12",
+            "--checkpoint-dir",
+            "/tmp/ckpt",
+            "--checkpoint-every",
+            "64",
+            "--resume",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Stream(a) => {
+                assert_eq!(a.checkpoint_dir.as_deref(), Some("/tmp/ckpt"));
+                assert_eq!(a.checkpoint_every, 64);
+                assert!(a.resume);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --resume without a directory to resume from is a user error.
+        assert!(
+            parse(&["stream", "--input", "x", "--lmin", "8", "--lmax", "12", "--resume"]).is_err()
+        );
+        // A zero cadence would never checkpoint.
+        assert!(parse(&[
+            "stream",
+            "--input",
+            "x",
+            "--lmin",
+            "8",
+            "--lmax",
+            "12",
+            "--checkpoint-dir",
+            "d",
+            "--checkpoint-every",
+            "0",
         ])
         .is_err());
     }

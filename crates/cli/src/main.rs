@@ -182,19 +182,24 @@ fn cmd_generate(a: &GenerateArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Mutable state of one `valmod stream` session: the bootstrap buffer
-/// until enough points arrived, then the incremental engine.
+/// Mutable state of one `valmod stream` session: the warmup/engine state
+/// machine ([`valmod_stream::SessionCore`]) plus the NDJSON cadence, the
+/// durability layer, and the resume fast-forward.
 struct StreamSession {
-    config: ValmodConfig,
-    capacity: Option<usize>,
-    warmup: usize,
+    core: valmod_stream::SessionCore,
     l_min: usize,
     l_max: usize,
     every: usize,
-    bootstrap: Vec<f64>,
-    engine: Option<valmod_stream::StreamingValmod>,
     since_poll: usize,
     line_values: Vec<f64>,
+    /// Durability: checkpoints + per-sample journal (absent without
+    /// `--checkpoint-dir`).
+    store: Option<valmod_stream::CheckpointStore>,
+    checkpoint_every: usize,
+    since_checkpoint: usize,
+    /// Accepted samples to silently re-skip: a `--resume` over a file
+    /// re-reads the prefix the recovered engine already holds.
+    fast_forward: u64,
 }
 
 impl StreamSession {
@@ -224,52 +229,26 @@ impl StreamSession {
         line_no: usize,
         out: &mut impl Write,
     ) -> Result<(), Box<dyn std::error::Error>> {
-        match &mut self.engine {
-            None => {
-                if !value.is_finite() {
-                    eprintln!("skipping non-finite point on line {line_no}");
-                    return Ok(());
-                }
-                self.bootstrap.push(value);
-                if self.bootstrap.len() >= self.warmup {
-                    let built = match self.capacity {
-                        Some(cap) => valmod_stream::StreamingValmod::with_capacity(
-                            &self.bootstrap,
-                            self.config.clone(),
-                            cap,
-                        )?,
-                        None => valmod_stream::StreamingValmod::new(
-                            &self.bootstrap,
-                            self.config.clone(),
-                        )?,
-                    };
-                    writeln!(
-                        out,
-                        "{}",
-                        valmod_stream::bootstrap_line(
-                            built.len(),
-                            self.l_min,
-                            self.l_max,
-                            built.len() - self.l_min + 1
-                        )
-                    )?;
-                    out.flush()?;
-                    self.engine = Some(built);
-                }
+        if self.fast_forward > 0 {
+            // The recovered engine already holds this sample; a
+            // non-finite one was skipped by the original run too (count
+            // it so the final summary matches, but warn only once live).
+            if value.is_finite() {
+                self.fast_forward -= 1;
+            } else {
+                self.core.add_skipped(1);
             }
-            Some(engine) => {
-                match engine.try_append(value) {
-                    Ok(()) => {}
-                    Err(e @ valmod_series::SeriesError::NonFinite { .. }) => {
-                        // A bad sample is skippable; the feed goes on.
-                        eprintln!("skipping point on line {line_no}: {e}");
-                        return Ok(());
-                    }
-                    Err(e) => {
-                        // A full bounded buffer is back-pressure, not a
-                        // skippable sample: emit what we know, then fail
-                        // loudly instead of silently dropping the rest of
-                        // the feed.
+            return Ok(());
+        }
+        let outcome = match self.core.feed(value) {
+            Ok(outcome) => outcome,
+            // A full bounded buffer is back-pressure, not a skippable
+            // sample: emit what we know, then fail loudly instead of
+            // silently dropping the rest of the feed.
+            Err(e) => {
+                let skipped = self.core.skipped();
+                return match self.core.engine_mut() {
+                    Some(engine) => {
                         let n = engine.len();
                         for delta in engine.poll_deltas() {
                             writeln!(out, "{}", valmod_stream::update_line(n, &delta))?;
@@ -277,51 +256,156 @@ impl StreamSession {
                         writeln!(
                             out,
                             "{}",
-                            valmod_stream::summary_line(n, engine.valmap().best_entry())
+                            valmod_stream::summary_line(n, skipped, engine.valmap().best_entry())
                         )?;
                         out.flush()?;
-                        return Err(format!(
-                            "stream stopped at line {line_no} after {n} points: {e}"
-                        )
-                        .into());
+                        Err(format!("stream stopped at line {line_no} after {n} points: {e}")
+                            .into())
                     }
+                    None => Err(e.into()),
+                };
+            }
+        };
+        match outcome {
+            valmod_stream::FeedOutcome::Buffered => {}
+            valmod_stream::FeedOutcome::Skipped { warn } => {
+                // A bad sample is skippable; the feed goes on — but at
+                // sensor rates a broken feed must not drown stderr, so
+                // the warning is rate-limited (first 10, then every
+                // 1000th) while the count keeps exact.
+                if warn {
+                    eprintln!(
+                        "skipping non-finite point on line {line_no} ({} skipped so far)",
+                        self.core.skipped()
+                    );
+                }
+            }
+            valmod_stream::FeedOutcome::Bootstrapped => {
+                let engine = self.core.engine().expect("just bootstrapped");
+                let n = engine.len();
+                writeln!(
+                    out,
+                    "{}",
+                    valmod_stream::bootstrap_line(n, self.l_min, self.l_max, n - self.l_min + 1)
+                )?;
+                out.flush()?;
+                // Generation 0 captures the bootstrap, so the journal
+                // always has a checkpoint to replay onto.
+                self.checkpoint_now(out)?;
+            }
+            valmod_stream::FeedOutcome::Appended => {
+                if let Some(store) = &mut self.store {
+                    store.journal_sample(value)?;
+                }
+                self.since_checkpoint += 1;
+                if self.store.is_some() && self.since_checkpoint >= self.checkpoint_every {
+                    self.since_checkpoint = 0;
+                    self.checkpoint_now(out)?;
                 }
                 self.since_poll += 1;
                 if self.since_poll >= self.every {
                     self.since_poll = 0;
+                    let engine = self.core.engine_mut().expect("appended to a live engine");
                     let n = engine.len();
                     for delta in engine.poll_deltas() {
                         writeln!(out, "{}", valmod_stream::update_line(n, &delta))?;
                     }
                     out.flush()?;
+                    // The journal durability batch boundary rides the
+                    // emission cadence: what a consumer has seen, a
+                    // restart can reconstruct.
+                    if let Some(store) = &mut self.store {
+                        store.sync_journal()?;
+                    }
                 }
             }
         }
         Ok(())
     }
 
+    /// Writes a checkpoint generation (if durability is on) and emits
+    /// its NDJSON event.
+    fn checkpoint_now(&mut self, out: &mut impl Write) -> Result<(), Box<dyn std::error::Error>> {
+        let Some(store) = &mut self.store else { return Ok(()) };
+        let engine = self.core.engine().expect("checkpointing requires a live engine");
+        let generation = store.checkpoint(engine)?;
+        writeln!(out, "{}", valmod_stream::checkpoint_line(engine.len(), generation))?;
+        out.flush()?;
+        Ok(())
+    }
+
     /// Emits the pending deltas plus the closing summary line.
     fn finish(&mut self, out: &mut impl Write) -> Result<(), Box<dyn std::error::Error>> {
-        let Some(engine) = &mut self.engine else {
+        if !self.core.is_live() {
             return Err(format!(
                 "stream ended after {} points, before the {}-point bootstrap",
-                self.bootstrap.len(),
-                self.warmup
+                self.core.buffered(),
+                self.core.warmup()
             )
             .into());
-        };
+        }
+        if let Some(store) = &mut self.store {
+            store.sync_journal()?;
+        }
+        let skipped = self.core.skipped();
+        let engine = self.core.engine_mut().expect("live");
         let n = engine.len();
         for delta in engine.poll_deltas() {
             writeln!(out, "{}", valmod_stream::update_line(n, &delta))?;
         }
-        writeln!(out, "{}", valmod_stream::summary_line(n, engine.valmap().best_entry()))?;
+        writeln!(out, "{}", valmod_stream::summary_line(n, skipped, engine.valmap().best_entry()))?;
         out.flush()?;
         Ok(())
     }
 
     /// The summary line for an interrupted stream (closed output).
     fn summary_text(&mut self) -> Option<String> {
-        self.engine.as_mut().map(|e| valmod_stream::summary_line(e.len(), e.valmap().best_entry()))
+        let skipped = self.core.skipped();
+        self.core
+            .engine_mut()
+            .map(|e| valmod_stream::summary_line(e.len(), skipped, e.valmap().best_entry()))
+    }
+}
+
+/// Read-error kinds worth retrying: the feed is momentarily unready, not
+/// gone.
+fn is_transient_read(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Bounded retries before a transient read error is treated as
+/// persistent (with exponential backoff, the window is ~64× the cap).
+const MAX_READ_RETRIES: u32 = 64;
+
+/// `read_line` with bounded retry + exponential backoff for transient
+/// errors (`Interrupted`/`WouldBlock`/`TimedOut`): 1 ms doubling up to
+/// `cap_ms` (the `--poll-ms` scale — a reader that polls its feed every
+/// `cap_ms` has no reason to spin faster on a hiccup). Only persistent
+/// errors propagate. Bytes read before a mid-line hiccup stay in `buf`,
+/// so a retried line is never parsed in halves.
+fn read_line_retry(
+    reader: &mut dyn BufRead,
+    buf: &mut String,
+    cap_ms: u64,
+) -> std::io::Result<usize> {
+    let cap = std::time::Duration::from_millis(cap_ms.max(1));
+    let mut delay = std::time::Duration::from_millis(1).min(cap);
+    let mut attempts = 0u32;
+    loop {
+        match reader.read_line(buf) {
+            Ok(n) => return Ok(n),
+            Err(e) if is_transient_read(e.kind()) && attempts < MAX_READ_RETRIES => {
+                attempts += 1;
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2).min(cap);
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -375,34 +459,100 @@ fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let from_stdin = a.input == "-";
+    // The failpoint wrapper is a single relaxed atomic load per read
+    // when nothing is armed; armed (tests only), it injects the
+    // transient/persistent read errors the retry loop is built for.
     let mut reader: Box<dyn BufRead> = if from_stdin {
-        Box::new(BufReader::new(std::io::stdin()))
+        Box::new(BufReader::new(valmod_series::faults::ChaosRead::new(
+            "stream.read",
+            std::io::stdin(),
+        )))
     } else {
-        Box::new(BufReader::new(std::fs::File::open(&a.input)?))
+        Box::new(BufReader::new(valmod_series::faults::ChaosRead::new(
+            "stream.read",
+            std::fs::File::open(&a.input)?,
+        )))
     };
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
 
+    // Durability: open the store, then recover (--resume) or refuse to
+    // clobber a previous session's state.
+    let mut store =
+        a.checkpoint_dir.as_ref().map(valmod_stream::CheckpointStore::open).transpose()?;
+    let mut recovered: Option<valmod_stream::Recovery> = None;
+    if let Some(store) = &mut store {
+        if a.resume {
+            recovered = store.recover(&config)?;
+        } else if store.has_state() {
+            return Err(format!(
+                "checkpoint directory {:?} already holds session state; pass --resume to \
+                 recover it, or point --checkpoint-dir at an empty directory",
+                store.dir().display()
+            )
+            .into());
+        }
+    }
+    let mut fast_forward = 0u64;
+    let mut recovered_event = None;
+    let core = match recovered {
+        Some(rec) => {
+            let ckpt_cap = rec.engine.buffer().capacity();
+            if a.capacity.is_some() && a.capacity != ckpt_cap {
+                return Err(format!(
+                    "checkpoint was written with capacity {:?}, which conflicts with \
+                     --capacity {:?}",
+                    ckpt_cap, a.capacity
+                )
+                .into());
+            }
+            recovered_event = Some(valmod_stream::recovered_line(
+                rec.engine.len(),
+                rec.generation,
+                rec.replayed,
+                rec.fell_back,
+            ));
+            // A file input replays from its start: silently skip the
+            // prefix the recovered engine already holds. Stdin cannot
+            // seek back — new samples append directly.
+            if !from_stdin {
+                fast_forward = rec.engine.len() as u64;
+            }
+            valmod_stream::SessionCore::resumed(rec.engine, warmup)
+        }
+        None => valmod_stream::SessionCore::new(config, warmup, a.capacity),
+    };
+
     let mut session = StreamSession {
-        config,
-        capacity: a.capacity,
-        warmup,
+        core,
         l_min: a.l_min,
         l_max: a.l_max,
         every: a.every,
-        bootstrap: Vec::with_capacity(warmup),
-        engine: None,
         since_poll: 0,
         line_values: Vec::new(),
+        store,
+        checkpoint_every: a.checkpoint_every,
+        since_checkpoint: 0,
+        fast_forward,
     };
+    if let Some(line) = recovered_event {
+        writeln!(out, "{line}")?;
+        out.flush()?;
+        // Seal the recovered state into a fresh generation immediately:
+        // from here on the session appends to a clean journal, never to
+        // a possibly-torn tail.
+        session.checkpoint_now(&mut out)?;
+    }
     let result = stream_loop(a, &mut session, &mut reader, &mut out);
     match result {
         Err(e) if is_broken_pipe(&*e) => {
             // The consumer closed our stdout mid-stream. That is a normal
             // way for a pipeline to end: report the closing summary on
-            // stderr (stdout is gone) and exit cleanly.
+            // stderr (stdout is gone) and exit cleanly. stderr may be
+            // closed too — `eprintln!` would panic, so a failed write is
+            // simply dropped: there is nowhere left to report to.
             if let Some(summary) = session.summary_text() {
-                eprintln!("{summary}");
+                let _ = writeln!(std::io::stderr(), "{summary}");
             }
             Ok(())
         }
@@ -421,6 +571,9 @@ fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
 ///   buffered until its newline arrives, so a sample split across writes
 ///   is never parsed in halves. End-of-file on stdin is final even under
 ///   `--follow` — a closed pipe can never produce more data.
+/// * Transient read errors ([`is_transient_read`]) are retried with
+///   bounded exponential backoff ([`read_line_retry`]) instead of
+///   killing the session; only persistent errors are fatal.
 fn stream_loop(
     a: &StreamArgs,
     session: &mut StreamSession,
@@ -431,7 +584,7 @@ fn stream_loop(
     let mut buf = String::new();
     let mut line_no = 0usize;
     loop {
-        let n = reader.read_line(&mut buf)?;
+        let n = read_line_retry(reader, &mut buf, a.poll_ms)?;
         if n == 0 {
             if follow_retries {
                 std::thread::sleep(std::time::Duration::from_millis(a.poll_ms));
@@ -475,4 +628,53 @@ fn cmd_motif_set(a: &MotifSetArgs) -> Result<(), Box<dyn std::error::Error>> {
         println!("  offset {:>10} distance {:>12.4}", o.offset, o.distance);
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{is_transient_read, read_line_retry, MAX_READ_RETRIES};
+    use std::io::{BufReader, ErrorKind};
+    use valmod_series::faults::{self, ChaosRead, FaultKind, FaultPlan};
+
+    const SITE: &str = "cli.test.read";
+
+    fn plan(times: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan { site: Some(SITE.into()), after: 0, times, kind }
+    }
+
+    #[test]
+    fn transient_read_errors_retry_until_data_arrives() {
+        let mut reader = BufReader::new(ChaosRead::new(SITE, &b"1.5\n2.5\n"[..]));
+        let _g = faults::arm(plan(3, FaultKind::Err(ErrorKind::WouldBlock)));
+        let mut buf = String::new();
+        assert_eq!(read_line_retry(&mut reader, &mut buf, 2).unwrap(), 4);
+        assert_eq!(buf, "1.5\n");
+        // The fault window has passed: the next line reads clean.
+        buf.clear();
+        assert_eq!(read_line_retry(&mut reader, &mut buf, 2).unwrap(), 4);
+        assert_eq!(buf, "2.5\n");
+    }
+
+    #[test]
+    fn persistent_transient_errors_exhaust_the_retry_budget() {
+        let mut reader = BufReader::new(ChaosRead::new(SITE, &b"1.5\n"[..]));
+        let g = faults::arm(plan(u64::MAX, FaultKind::Err(ErrorKind::TimedOut)));
+        let mut buf = String::new();
+        let err = read_line_retry(&mut reader, &mut buf, 1).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::TimedOut);
+        assert!(buf.is_empty());
+        // Bounded: exactly the budget plus the final failing attempt.
+        assert_eq!(g.hits(), u64::from(MAX_READ_RETRIES) + 1);
+    }
+
+    #[test]
+    fn non_transient_errors_fail_immediately() {
+        let mut reader = BufReader::new(ChaosRead::new(SITE, &b"1.5\n"[..]));
+        let g = faults::arm(plan(u64::MAX, FaultKind::Err(ErrorKind::NotFound)));
+        let mut buf = String::new();
+        let err = read_line_retry(&mut reader, &mut buf, 1).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::NotFound);
+        assert_eq!(g.hits(), 1, "no retry for a persistent error");
+        assert!(!is_transient_read(ErrorKind::NotFound));
+    }
 }

@@ -378,6 +378,143 @@ fn stream_closed_output_ends_cleanly_with_summary_on_stderr() {
     assert!(err.contains("\"event\":\"summary\""), "summary missing on stderr: {err}");
 }
 
+fn stream_args<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    let mut args = vec![
+        "stream", "--lmin", "24", "--lmax", "28", "--k", "2", "--warmup", "200", "--every", "10",
+    ];
+    args.extend_from_slice(extra);
+    args
+}
+
+/// The last stdout line of a completed (non-durable) stream run — the
+/// byte-exact summary every recovery below must reproduce.
+fn reference_summary(series: &std::path::Path) -> String {
+    let out = bin().args(stream_args(&["--input"])).arg(series).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let last = text.lines().last().unwrap();
+    assert!(last.contains("\"event\":\"summary\""));
+    last.to_string()
+}
+
+#[test]
+fn stream_refuses_a_checkpoint_dir_with_state_unless_resuming() {
+    let series = temp_path("refuse_input.txt");
+    let dir = temp_path("refuse_ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    generate_ecg(&series, 400);
+
+    let run = |resume: bool| {
+        let mut args = stream_args(&["--checkpoint-every", "64"]);
+        if resume {
+            args.push("--resume");
+        }
+        args.extend_from_slice(&["--checkpoint-dir"]);
+        bin().args(args).arg(&dir).arg("--input").arg(&series).output().unwrap()
+    };
+    let first = run(false);
+    assert!(first.status.success(), "{}", String::from_utf8_lossy(&first.stderr));
+
+    // Same directory, no --resume: refuse rather than clobber state.
+    let second = run(false);
+    assert!(!second.status.success());
+    let err = String::from_utf8_lossy(&second.stderr);
+    assert!(err.contains("already holds session state") && err.contains("--resume"), "{err}");
+
+    // With --resume the same invocation recovers and completes.
+    let third = run(true);
+    assert!(third.status.success(), "{}", String::from_utf8_lossy(&third.stderr));
+    assert!(String::from_utf8_lossy(&third.stdout).contains("\"event\":\"recovered\""));
+}
+
+#[test]
+fn stream_sigkill_then_resume_reproduces_the_uninterrupted_summary() {
+    use std::time::{Duration, Instant};
+
+    let series = temp_path("sigkill_input.txt");
+    let dir = temp_path("sigkill_ckpt");
+    let ndjson = temp_path("sigkill_out.ndjson");
+    let _ = std::fs::remove_dir_all(&dir);
+    generate_ecg(&series, 700);
+    let reference = reference_summary(&series);
+
+    // A durable run parked at EOF by --follow, so the kill lands while
+    // the process is mid-session (state only in checkpoints + journal).
+    let mut args = stream_args(&["--checkpoint-every", "64", "--follow", "--poll-ms", "20"]);
+    args.extend_from_slice(&["--checkpoint-dir"]);
+    let mut child = bin()
+        .args(args)
+        .arg(&dir)
+        .arg("--input")
+        .arg(&series)
+        .stdout(std::fs::File::create(&ndjson).unwrap())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map(KillOnDrop)
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let text = std::fs::read_to_string(&ndjson).unwrap_or_default();
+        if text.contains("\"event\":\"checkpoint\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no checkpoint published before deadline:\n{text}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    child.0.kill().unwrap(); // SIGKILL: no destructors, no flushes
+    child.0.wait().unwrap();
+
+    // Recovery over the same file must converge on the byte-exact
+    // summary of the uninterrupted run.
+    let mut args = stream_args(&["--resume", "--checkpoint-dir"]);
+    args.push(dir.to_str().unwrap());
+    let out = bin().args(args).arg("--input").arg(&series).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().next().unwrap().contains("\"event\":\"recovered\""), "{text}");
+    assert_eq!(text.lines().last().unwrap(), reference, "summary diverged after crash recovery");
+}
+
+#[test]
+fn stream_corrupt_newest_checkpoint_falls_back_a_generation() {
+    let series = temp_path("fallback_input.txt");
+    let dir = temp_path("fallback_ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    generate_ecg(&series, 700);
+    let reference = reference_summary(&series);
+
+    let mut args = stream_args(&["--checkpoint-every", "64", "--checkpoint-dir"]);
+    args.push(dir.to_str().unwrap());
+    let out = bin().args(args).arg("--input").arg(&series).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Flip one byte in the middle of the newest checkpoint: its FNV
+    // trailer no longer matches, so recovery must fall back to the
+    // previous generation and replay the longer journal.
+    let mut ckpts: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.file_name().unwrap().to_str().unwrap().starts_with("ckpt-"))
+        .collect();
+    ckpts.sort();
+    assert!(ckpts.len() >= 2, "retention should keep two generations: {ckpts:?}");
+    let newest = ckpts.last().unwrap();
+    let mut bytes = std::fs::read(newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(newest, bytes).unwrap();
+
+    let mut args = stream_args(&["--resume", "--checkpoint-dir"]);
+    args.push(dir.to_str().unwrap());
+    let out = bin().args(args).arg("--input").arg(&series).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let recovered = text.lines().next().unwrap();
+    assert!(recovered.contains("\"event\":\"recovered\""), "{text}");
+    assert!(recovered.contains("\"fell_back\":1"), "corruption not skipped: {recovered}");
+    assert_eq!(text.lines().last().unwrap(), reference, "summary diverged after fallback");
+}
+
 #[test]
 fn run_on_missing_file_fails_cleanly() {
     let out = bin()

@@ -43,6 +43,21 @@ pub enum SeriesError {
         /// The buffer's fixed capacity, in points.
         capacity: usize,
     },
+    /// A checkpoint file is unreadable: truncated, bit-flipped (checksum
+    /// mismatch), wrong magic, or structurally inconsistent. Recovery
+    /// treats this as "fall back to the previous generation", never as a
+    /// panic.
+    CheckpointCorrupt {
+        /// What failed to validate.
+        detail: String,
+    },
+    /// A checkpoint was written under an incompatible configuration
+    /// (different length range, `k`, `p`, or exclusion zone — thread
+    /// counts and pools are allowed to differ, they never affect state).
+    CheckpointMismatch {
+        /// Which configuration field disagrees, with both values.
+        detail: String,
+    },
     /// An I/O failure while reading or writing a series file.
     Io(std::io::Error),
     /// A line of a series file could not be parsed as a number.
@@ -73,6 +88,12 @@ impl fmt::Display for SeriesError {
             }
             Self::CapacityExceeded { capacity } => {
                 write!(f, "append exceeds the buffer's fixed capacity of {capacity} points")
+            }
+            Self::CheckpointCorrupt { detail } => {
+                write!(f, "checkpoint is corrupt: {detail}")
+            }
+            Self::CheckpointMismatch { detail } => {
+                write!(f, "checkpoint configuration mismatch: {detail}")
             }
             Self::Io(e) => write!(f, "I/O error: {e}"),
             Self::Parse { line, token } => {
@@ -110,6 +131,8 @@ mod tests {
             (SeriesError::InvalidSubsequence { offset: 9, length: 4, series_len: 10 }, "offset=9"),
             (SeriesError::InvalidRange { l_min: 10, l_max: 5 }, "[10, 5]"),
             (SeriesError::CapacityExceeded { capacity: 1024 }, "capacity of 1024"),
+            (SeriesError::CheckpointCorrupt { detail: "short header".into() }, "short header"),
+            (SeriesError::CheckpointMismatch { detail: "l_min 8 vs 16".into() }, "l_min 8 vs 16"),
             (SeriesError::Parse { line: 7, token: "abc".into() }, "line 7"),
         ];
         for (err, needle) in cases {

@@ -29,6 +29,7 @@
 //! ```
 
 mod error;
+pub mod faults;
 pub mod gen;
 pub mod io;
 mod series;

@@ -71,20 +71,45 @@ pub fn update_line(n: usize, delta: &ValmapDelta) -> String {
 }
 
 /// The final NDJSON line: the best VALMAP entry after `points` points
-/// (`best` as returned by [`valmod_core::Valmap::best_entry`]).
+/// (`best` as returned by [`valmod_core::Valmap::best_entry`]), plus the
+/// count of non-finite samples the session skipped.
 #[must_use]
-pub fn summary_line(points: usize, best: Option<(usize, usize, usize, f64)>) -> String {
+pub fn summary_line(
+    points: usize,
+    skipped: u64,
+    best: Option<(usize, usize, usize, f64)>,
+) -> String {
     match best {
         Some((offset, match_offset, length, mpn)) => format!(
             "{{\"event\":\"summary\",\"points\":{points},\"offset\":{offset},\
-             \"match_offset\":{match_offset},\"length\":{length},\"mpn\":{}}}",
+             \"match_offset\":{match_offset},\"length\":{length},\"mpn\":{},\
+             \"skipped\":{skipped}}}",
             json_f64(mpn),
         ),
         None => format!(
             "{{\"event\":\"summary\",\"points\":{points},\"offset\":null,\
-             \"match_offset\":null,\"length\":null,\"mpn\":null}}"
+             \"match_offset\":null,\"length\":null,\"mpn\":null,\"skipped\":{skipped}}}"
         ),
     }
+}
+
+/// The NDJSON line announcing a durably published checkpoint: generation
+/// `generation` captured the engine after `points` points.
+#[must_use]
+pub fn checkpoint_line(points: usize, generation: u64) -> String {
+    format!("{{\"event\":\"checkpoint\",\"points\":{points},\"generation\":{generation}}}")
+}
+
+/// The NDJSON line announcing a successful crash recovery: checkpoint
+/// generation `generation` restored, `replayed` journal samples replayed
+/// on top, `fell_back` newer corrupt generations skipped, for a
+/// recovered engine of `points` points.
+#[must_use]
+pub fn recovered_line(points: usize, generation: u64, replayed: u64, fell_back: u64) -> String {
+    format!(
+        "{{\"event\":\"recovered\",\"points\":{points},\"generation\":{generation},\
+         \"replayed\":{replayed},\"fell_back\":{fell_back}}}"
+    )
 }
 
 #[cfg(test)]
@@ -135,9 +160,23 @@ mod tests {
         let b = bootstrap_line(256, 16, 24, 241);
         assert!(b.starts_with("{\"event\":\"bootstrap\"") && b.ends_with('}'));
         assert!(b.contains("\"points\":256") && b.contains("\"entries\":241"));
-        let s = summary_line(512, Some((12, 180, 20, 0.25)));
+        let s = summary_line(512, 3, Some((12, 180, 20, 0.25)));
         assert!(s.contains("\"event\":\"summary\"") && s.contains("\"mpn\":0.25"));
-        let empty = summary_line(5, None);
-        assert!(empty.contains("\"offset\":null"));
+        assert!(s.contains("\"skipped\":3"));
+        let empty = summary_line(5, 0, None);
+        assert!(empty.contains("\"offset\":null") && empty.contains("\"skipped\":0"));
+    }
+
+    #[test]
+    fn durability_event_lines_are_well_formed() {
+        let c = checkpoint_line(512, 7);
+        assert_eq!(c, "{\"event\":\"checkpoint\",\"points\":512,\"generation\":7}");
+        let r = recovered_line(480, 6, 68, 1);
+        assert!(r.starts_with("{\"event\":\"recovered\"") && r.ends_with('}'));
+        assert!(r.contains("\"points\":480") && r.contains("\"generation\":6"));
+        assert!(r.contains("\"replayed\":68") && r.contains("\"fell_back\":1"));
+        for line in [c, r] {
+            assert!(!line.contains('\n'));
+        }
     }
 }

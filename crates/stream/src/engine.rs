@@ -81,12 +81,12 @@ const MIN_CELLS_PER_WORKER: usize = 1 << 16;
 /// statistics (the streaming counterpart of [`valmod_series::RollingStats`],
 /// which is build-once).
 #[derive(Debug, Clone)]
-struct StreamStats {
+pub(crate) struct StreamStats {
     /// The fixed centering offset (bootstrap mean — the future is
     /// unknown, so the *final* global mean the batch engine uses is
     /// unavailable; any fixed shift keeps the sums conditioned and
     /// z-normalized quantities are shift-invariant).
-    center: f64,
+    pub(crate) center: f64,
     centered: Vec<f64>,
     /// `prefix[i]` = Σ of the first `i` centered values.
     prefix: Vec<f64>,
@@ -97,6 +97,27 @@ struct StreamStats {
 impl StreamStats {
     fn new(initial: &[f64], reserve: usize) -> Self {
         let center = initial.iter().sum::<f64>() / initial.len() as f64;
+        let mut this = Self::empty(center, reserve);
+        for &v in initial {
+            this.push(v);
+        }
+        this
+    }
+
+    /// Rebuilds from a persisted centering offset and the raw series,
+    /// replaying the exact push sequence the live engine executed.
+    /// Bit-identical to the live accumulation: prefix entries are
+    /// write-once, so re-pushing the same values in the same order
+    /// reproduces every partial sum exactly.
+    pub(crate) fn rebuild(center: f64, raw: &[f64], reserve: usize) -> Self {
+        let mut this = Self::empty(center, reserve);
+        for &v in raw {
+            this.push(v);
+        }
+        this
+    }
+
+    fn empty(center: f64, reserve: usize) -> Self {
         let mut this = Self {
             center,
             centered: Vec::with_capacity(reserve),
@@ -105,9 +126,6 @@ impl StreamStats {
         };
         this.prefix.push(0.0);
         this.prefix_sq.push(0.0);
-        for &v in initial {
-            this.push(v);
-        }
         this
     }
 
@@ -126,13 +144,13 @@ impl StreamStats {
 
     /// Centered mean of the window `[offset, offset+length)`.
     #[inline]
-    fn mean(&self, offset: usize, length: usize) -> f64 {
+    pub(crate) fn mean(&self, offset: usize, length: usize) -> f64 {
         (self.prefix[offset + length] - self.prefix[offset]) / length as f64
     }
 
     /// Population standard deviation of the window, with the exact
     /// recheck for near-zero variances.
-    fn std(&self, offset: usize, length: usize) -> f64 {
+    pub(crate) fn std(&self, offset: usize, length: usize) -> f64 {
         let l = length as f64;
         let mean = self.mean(offset, length);
         let sq = self.prefix_sq[offset + length] - self.prefix_sq[offset];
@@ -148,18 +166,18 @@ impl StreamStats {
 
 /// Incremental state of one subsequence length.
 #[derive(Debug, Clone)]
-struct LengthState {
-    length: usize,
-    exclusion: usize,
+pub(crate) struct LengthState {
+    pub(crate) length: usize,
+    pub(crate) exclusion: usize,
     /// Exact matrix profile at this length (STAMPI semantics: appends
     /// only ever improve entries).
-    profile: MatrixProfile,
+    pub(crate) profile: MatrixProfile,
     /// Dot products of the newest window against every window.
-    last_qt: Vec<f64>,
+    pub(crate) last_qt: Vec<f64>,
     /// Per-window statistics at this length (windows are immutable, so
     /// these are memoized once per window from the shared prefix sums).
-    means: Vec<f64>,
-    stds: Vec<f64>,
+    pub(crate) means: Vec<f64>,
+    pub(crate) stds: Vec<f64>,
 }
 
 impl LengthState {
@@ -256,7 +274,7 @@ pub struct LengthMotifs {
 
 /// The derived live views, rebuilt lazily when the engine has advanced.
 #[derive(Debug, Clone)]
-struct LiveViews {
+pub(crate) struct LiveViews {
     version: u64,
     valmap: Valmap,
     motifs: Vec<LengthMotifs>,
@@ -265,10 +283,10 @@ struct LiveViews {
 
 /// Previously-reported VALMAP state, diffed by [`StreamingValmod::poll_deltas`].
 #[derive(Debug, Clone)]
-struct EmittedValmap {
-    mpn: Vec<f64>,
-    ip: Vec<Option<usize>>,
-    lp: Vec<usize>,
+pub(crate) struct EmittedValmap {
+    pub(crate) mpn: Vec<f64>,
+    pub(crate) ip: Vec<Option<usize>>,
+    pub(crate) lp: Vec<usize>,
 }
 
 /// An incrementally maintained variable-length motif/discord engine.
@@ -300,16 +318,16 @@ struct EmittedValmap {
 /// ```
 #[derive(Debug, Clone)]
 pub struct StreamingValmod {
-    config: ValmodConfig,
-    buffer: RingBuffer,
-    stats: StreamStats,
-    lengths: Vec<LengthState>,
+    pub(crate) config: ValmodConfig,
+    pub(crate) buffer: RingBuffer,
+    pub(crate) stats: StreamStats,
+    pub(crate) lengths: Vec<LengthState>,
     /// Shared per-append scratch: the product row `v·t[·]`.
-    cross: Vec<f64>,
+    pub(crate) cross: Vec<f64>,
     /// Monotone state counter; bumps once per append/extend.
-    version: u64,
-    live: Option<LiveViews>,
-    emitted: EmittedValmap,
+    pub(crate) version: u64,
+    pub(crate) live: Option<LiveViews>,
+    pub(crate) emitted: EmittedValmap,
 }
 
 impl StreamingValmod {
@@ -651,7 +669,7 @@ impl StreamingValmod {
 
 /// Grows a vector's capacity toward the bounded-storage target without
 /// touching its contents (no-op when already large enough).
-fn reserve_extra<T>(v: &mut Vec<T>, target: usize) {
+pub(crate) fn reserve_extra<T>(v: &mut Vec<T>, target: usize) {
     if v.capacity() < target {
         v.reserve_exact(target - v.len());
     }

@@ -19,6 +19,7 @@
 //! | [`ValmapDelta`] | one VALMAP entry update — the unit of the checkpoint log, streamed as NDJSON |
 //! | [`StreamingValmod::snapshot`] | the batch algorithm's full output, bit-identical to `run_valmod` |
 //! | [`RingBuffer`] | eviction-free storage: exactness forbids dropping history |
+//! | [`CheckpointStore`] / [`StreamingValmod::checkpoint_to`] | crash-safe durability: checksummed checkpoints + sample journal, recovery bit-identical to the uninterrupted engine |
 //!
 //! The per-length profiles generalize the single-length STAMPI engine
 //! ([`valmod_mp::StreamingProfile`]): one append advances every length's
@@ -63,8 +64,14 @@
 
 pub mod delta;
 pub mod engine;
+pub mod persist;
 pub mod ring;
+pub mod session;
 
-pub use delta::{bootstrap_line, summary_line, update_line, ValmapDelta};
+pub use delta::{
+    bootstrap_line, checkpoint_line, recovered_line, summary_line, update_line, ValmapDelta,
+};
 pub use engine::{LengthMotifs, StreamingValmod};
+pub use persist::{CheckpointStore, JournalWriter, Recovery};
 pub use ring::RingBuffer;
+pub use session::{skip_warns, FeedOutcome, SessionCore};

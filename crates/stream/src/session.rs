@@ -1,0 +1,254 @@
+//! Warmup, bootstrap, and skipped-sample accounting for one stream.
+//!
+//! Both the CLI's `valmod stream` and the crash-recovery tests need the
+//! same small state machine in front of [`StreamingValmod`]: buffer
+//! points until the warmup target, bootstrap the engine, then append —
+//! while counting (and rate-limiting warnings for) non-finite samples
+//! that sensors inevitably emit. [`SessionCore`] is that machine,
+//! output-agnostic so library callers and the NDJSON-emitting CLI share
+//! one implementation.
+
+use valmod_core::ValmodConfig;
+use valmod_series::{Result, SeriesError};
+
+use crate::StreamingValmod;
+
+/// What [`SessionCore::feed`] did with one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedOutcome {
+    /// Buffered toward the warmup target; no engine yet.
+    Buffered,
+    /// This sample completed the warmup: the engine now exists
+    /// (bootstrapped over the whole warmup buffer).
+    Bootstrapped,
+    /// Appended to the live engine.
+    Appended,
+    /// Non-finite sample skipped. `warn` follows the rate-limit policy
+    /// ([`skip_warns`]): emit a diagnostic only when set.
+    Skipped {
+        /// Whether this skip is one the rate limiter lets through.
+        warn: bool,
+    },
+}
+
+/// Whether the `count`-th skipped sample (1-based) warrants a warning:
+/// the first 10 all do, after that every 1000th — enough to notice a
+/// persistently bad feed without drowning stderr at sensor rates.
+#[must_use]
+pub fn skip_warns(count: u64) -> bool {
+    count <= 10 || count.is_multiple_of(1000)
+}
+
+/// The pre-engine / live-engine state machine of one stream session.
+#[derive(Debug)]
+pub struct SessionCore {
+    config: ValmodConfig,
+    capacity: Option<usize>,
+    warmup: usize,
+    bootstrap: Vec<f64>,
+    engine: Option<StreamingValmod>,
+    skipped: u64,
+}
+
+impl SessionCore {
+    /// A fresh session: buffers `warmup` finite points, then bootstraps
+    /// with the given storage bound.
+    #[must_use]
+    pub fn new(config: ValmodConfig, warmup: usize, capacity: Option<usize>) -> Self {
+        Self {
+            config,
+            capacity,
+            warmup,
+            bootstrap: Vec::with_capacity(warmup),
+            engine: None,
+            skipped: 0,
+        }
+    }
+
+    /// A session resumed around an already-recovered engine (the warmup
+    /// happened in a previous life).
+    #[must_use]
+    pub fn resumed(engine: StreamingValmod, warmup: usize) -> Self {
+        let config = engine.config().clone();
+        let capacity = engine.buffer().capacity();
+        Self { config, capacity, warmup, bootstrap: Vec::new(), engine: Some(engine), skipped: 0 }
+    }
+
+    /// Feeds one sample: buffers, bootstraps, appends, or skips it.
+    ///
+    /// # Errors
+    ///
+    /// Bootstrap errors from [`StreamingValmod::new`] /
+    /// [`StreamingValmod::with_capacity`], or
+    /// [`SeriesError::CapacityExceeded`] from a full bounded buffer —
+    /// back-pressure is the caller's decision, never a silent drop.
+    /// Non-finite samples are *not* errors: they are counted and
+    /// reported via [`FeedOutcome::Skipped`].
+    pub fn feed(&mut self, value: f64) -> Result<FeedOutcome> {
+        if !value.is_finite() {
+            self.skipped += 1;
+            return Ok(FeedOutcome::Skipped { warn: skip_warns(self.skipped) });
+        }
+        match &mut self.engine {
+            None => {
+                self.bootstrap.push(value);
+                if self.bootstrap.len() < self.warmup {
+                    return Ok(FeedOutcome::Buffered);
+                }
+                let engine = match self.capacity {
+                    Some(cap) => {
+                        StreamingValmod::with_capacity(&self.bootstrap, self.config.clone(), cap)?
+                    }
+                    None => StreamingValmod::new(&self.bootstrap, self.config.clone())?,
+                };
+                self.bootstrap = Vec::new();
+                self.engine = Some(engine);
+                Ok(FeedOutcome::Bootstrapped)
+            }
+            Some(engine) => match engine.try_append(value) {
+                Ok(()) => Ok(FeedOutcome::Appended),
+                Err(SeriesError::NonFinite { .. }) => unreachable!("finiteness checked above"),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    /// The live engine, once bootstrapped.
+    #[must_use]
+    pub fn engine(&self) -> Option<&StreamingValmod> {
+        self.engine.as_ref()
+    }
+
+    /// Mutable access to the live engine (polling views advances caches).
+    pub fn engine_mut(&mut self) -> Option<&mut StreamingValmod> {
+        self.engine.as_mut()
+    }
+
+    /// Whether the engine has bootstrapped.
+    #[must_use]
+    pub fn is_live(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// Points buffered toward the warmup target (0 once live).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.bootstrap.len()
+    }
+
+    /// The warmup target.
+    #[must_use]
+    pub fn warmup(&self) -> usize {
+        self.warmup
+    }
+
+    /// Non-finite samples skipped so far.
+    #[must_use]
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Accounts skips that happened outside [`SessionCore::feed`] — the
+    /// resume fast-forward re-encounters (and silently re-skips) the
+    /// non-finite samples of the already-recovered prefix, so the final
+    /// summary's `skipped` matches an uninterrupted run's.
+    pub fn add_skipped(&mut self, n: u64) {
+        self.skipped += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_series::gen;
+
+    fn config() -> ValmodConfig {
+        ValmodConfig::new(8, 10).with_k(1).with_threads(1)
+    }
+
+    #[test]
+    fn warmup_then_bootstrap_then_append() {
+        let series = gen::random_walk(40, 5);
+        let mut s = SessionCore::new(config(), 30, None);
+        for &v in &series[..29] {
+            assert_eq!(s.feed(v).unwrap(), FeedOutcome::Buffered);
+        }
+        assert!(!s.is_live());
+        assert_eq!(s.buffered(), 29);
+        assert_eq!(s.feed(series[29]).unwrap(), FeedOutcome::Bootstrapped);
+        assert!(s.is_live());
+        for &v in &series[30..] {
+            assert_eq!(s.feed(v).unwrap(), FeedOutcome::Appended);
+        }
+        assert_eq!(s.engine().unwrap().len(), 40);
+    }
+
+    #[test]
+    fn non_finite_samples_are_counted_and_rate_limited() {
+        let series = gen::random_walk(35, 6);
+        let mut s = SessionCore::new(config(), 30, None);
+        for &v in &series[..32] {
+            s.feed(v).unwrap();
+        }
+        let mut warned = 0u64;
+        for i in 0..2500u64 {
+            match s.feed(if i % 2 == 0 { f64::NAN } else { f64::INFINITY }).unwrap() {
+                FeedOutcome::Skipped { warn } => {
+                    if warn {
+                        warned += 1;
+                    }
+                }
+                other => panic!("expected skip, got {other:?}"),
+            }
+        }
+        assert_eq!(s.skipped(), 2500);
+        // First 10, then the 1000th and 2000th.
+        assert_eq!(warned, 12);
+        // Skips never advanced the engine.
+        assert_eq!(s.engine().unwrap().len(), 32);
+        s.add_skipped(7);
+        assert_eq!(s.skipped(), 2507);
+    }
+
+    #[test]
+    fn skips_during_warmup_do_not_count_toward_bootstrap() {
+        let series = gen::random_walk(31, 7);
+        let mut s = SessionCore::new(config(), 30, None);
+        for &v in &series[..20] {
+            s.feed(v).unwrap();
+        }
+        assert!(matches!(s.feed(f64::NAN).unwrap(), FeedOutcome::Skipped { warn: true }));
+        assert_eq!(s.buffered(), 20, "a skipped sample must not pad the bootstrap");
+        for &v in &series[20..29] {
+            s.feed(v).unwrap();
+        }
+        assert_eq!(s.feed(series[29]).unwrap(), FeedOutcome::Bootstrapped);
+    }
+
+    #[test]
+    fn capacity_back_pressure_propagates() {
+        let series = gen::random_walk(33, 8);
+        let mut s = SessionCore::new(config(), 30, Some(32));
+        for &v in &series[..32] {
+            s.feed(v).unwrap();
+        }
+        assert!(matches!(s.feed(series[32]), Err(SeriesError::CapacityExceeded { capacity: 32 })));
+    }
+
+    #[test]
+    fn resumed_sessions_skip_the_warmup() {
+        let series = gen::random_walk(40, 9);
+        let engine = StreamingValmod::new(&series[..35], config()).unwrap();
+        let mut s = SessionCore::resumed(engine, 30);
+        assert!(s.is_live());
+        assert_eq!(s.feed(series[35]).unwrap(), FeedOutcome::Appended);
+        assert_eq!(s.engine().unwrap().len(), 36);
+    }
+
+    #[test]
+    fn warn_policy_matches_spec() {
+        let warned: Vec<u64> = (1..=3000).filter(|&c| skip_warns(c)).collect();
+        assert_eq!(warned[..10], [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(&warned[10..], &[1000, 2000, 3000]);
+    }
+}
