@@ -40,15 +40,24 @@ struct Run {
     threads: usize,
     stage1_secs: f64,
     stage2_secs: f64,
-    /// Stage-2 phase split (schema 3): the incremental dot-advance, the
-    /// classification work (stats + per-row classify + top-k selection),
-    /// and the MASS/STOMP recomputation fallback. The advance and
-    /// classification phases are the two the pipelined stage 2 overlaps,
-    /// so their sum against `stage2_secs` is what makes the overlap win
-    /// (or any regression) visible per snapshot.
+    /// Stage-2 phase split (schema 3; schema 5 splits the window
+    /// statistics out of classification): the incremental dot-advance,
+    /// the per-window means/stds, the per-row classification + top-k
+    /// selection, and the MASS/STOMP recomputation fallback. The advance
+    /// and classification phases are the two the pipelined stage 2
+    /// overlaps, so their sum against `stage2_secs` is what makes the
+    /// overlap win (or any regression) visible per snapshot.
     stage2_advance_secs: f64,
+    stage2_stats_secs: f64,
     stage2_classify_secs: f64,
     stage2_recompute_secs: f64,
+    /// Per-length stage-2 phase split (schema 5): one row per stepped
+    /// length, from [`valmod_core::StageTimings::per_length`].
+    per_length: Vec<StepRow>,
+    /// Engine counter deltas over this run (schema 5), read from the
+    /// `valmod-obs` registry: the pruning accounting the paper's Fig. 2
+    /// narrates, now visible per snapshot. All zero under `obs-off`.
+    obs: ObsRow,
     total_secs: f64,
     /// Stage-1 QT-cell throughput — the kernel's headline number: the
     /// walk visits one cell per admissible (i, j) pair at `l_min`, so
@@ -56,6 +65,54 @@ struct Run {
     /// (counted by [`valmod_bench::stage1_cells`]).
     stage1_cells_per_sec: f64,
     checksum: u64,
+}
+
+/// One per-length stage-2 timing row (schema 5).
+struct StepRow {
+    length: usize,
+    advance_secs: f64,
+    stats_secs: f64,
+    classify_secs: f64,
+    recompute_secs: f64,
+}
+
+/// Observability counter deltas over one measured run (schema 5).
+#[derive(Default)]
+struct ObsRow {
+    stage1_cells: u64,
+    stage1_offers: u64,
+    stage1_prefilter_rejected: u64,
+    stage2_dot_advances: u64,
+    stage2_valid_rows: u64,
+    stage2_invalid_rows: u64,
+    stage2_recomputed_rows: u64,
+}
+
+/// Snapshot of the registry counters the perf rows report.
+fn obs_counters() -> ObsRow {
+    let m = valmod_obs::metrics();
+    ObsRow {
+        stage1_cells: m.stage1_cells.get(),
+        stage1_offers: m.stage1_offers.get(),
+        stage1_prefilter_rejected: m.stage1_prefilter_rejected.get(),
+        stage2_dot_advances: m.stage2_dot_advances.get(),
+        stage2_valid_rows: m.stage2_valid_rows.get(),
+        stage2_invalid_rows: m.stage2_invalid_rows.get(),
+        stage2_recomputed_rows: m.stage2_recomputed_rows.get(),
+    }
+}
+
+fn obs_delta(before: &ObsRow, after: &ObsRow) -> ObsRow {
+    ObsRow {
+        stage1_cells: after.stage1_cells - before.stage1_cells,
+        stage1_offers: after.stage1_offers - before.stage1_offers,
+        stage1_prefilter_rejected: after.stage1_prefilter_rejected
+            - before.stage1_prefilter_rejected,
+        stage2_dot_advances: after.stage2_dot_advances - before.stage2_dot_advances,
+        stage2_valid_rows: after.stage2_valid_rows - before.stage2_valid_rows,
+        stage2_invalid_rows: after.stage2_invalid_rows - before.stage2_invalid_rows,
+        stage2_recomputed_rows: after.stage2_recomputed_rows - before.stage2_recomputed_rows,
+    }
 }
 
 /// The streaming row: incremental appends vs a batch re-run per append.
@@ -223,9 +280,11 @@ fn main() {
         let series = dataset.generate(n);
         for &threads in &thread_counts {
             let config = ValmodConfig::new(l_min, l_min + width).with_k(1).with_threads(threads);
+            let obs_before = obs_counters();
             let started = Instant::now();
             let out = run_valmod(&series, &config).expect("valid workload");
             let total = started.elapsed().as_secs_f64();
+            let obs = obs_delta(&obs_before, &obs_counters());
             let checksum = out.best_per_length().into_iter().flatten().fold(
                 0xcbf2_9ce4_8422_2325u64,
                 |acc, p| {
@@ -236,14 +295,15 @@ fn main() {
             );
             eprintln!(
                 "{} n={n} l=[{l_min},{}] threads={threads}: stage1 {:.3}s \
-                 ({:.1}M cells/s) stage2 {:.3}s (advance {:.3}s classify {:.3}s \
-                 recompute {:.3}s) total {total:.3}s",
+                 ({:.1}M cells/s) stage2 {:.3}s (advance {:.3}s stats {:.3}s \
+                 classify {:.3}s recompute {:.3}s) total {total:.3}s",
                 dataset.name(),
                 l_min + width,
                 out.timings.stage1.as_secs_f64(),
                 stage1_cells(n, l_min) as f64 / out.timings.stage1.as_secs_f64().max(1e-12) / 1e6,
                 out.timings.stage2.as_secs_f64(),
                 out.timings.stage2_advance.as_secs_f64(),
+                out.timings.stage2_stats.as_secs_f64(),
                 out.timings.stage2_classify.as_secs_f64(),
                 out.timings.stage2_recompute.as_secs_f64(),
             );
@@ -257,8 +317,22 @@ fn main() {
                 stage1_secs,
                 stage2_secs: out.timings.stage2.as_secs_f64(),
                 stage2_advance_secs: out.timings.stage2_advance.as_secs_f64(),
+                stage2_stats_secs: out.timings.stage2_stats.as_secs_f64(),
                 stage2_classify_secs: out.timings.stage2_classify.as_secs_f64(),
                 stage2_recompute_secs: out.timings.stage2_recompute.as_secs_f64(),
+                per_length: out
+                    .timings
+                    .per_length
+                    .iter()
+                    .map(|t| StepRow {
+                        length: t.length,
+                        advance_secs: t.advance.as_secs_f64(),
+                        stats_secs: t.stats.as_secs_f64(),
+                        classify_secs: t.classify.as_secs_f64(),
+                        recompute_secs: t.recompute.as_secs_f64(),
+                    })
+                    .collect(),
+                obs,
                 total_secs: total,
                 stage1_cells_per_sec: stage1_cells(n, l_min) as f64 / stage1_secs.max(1e-12),
                 checksum,
@@ -363,17 +437,41 @@ fn render_json(
     speedups: &[(String, f64)],
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 4,\n");
+    out.push_str("  \"schema\": 5,\n");
     out.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
     out.push_str(&format!("  \"max_threads\": {max_threads},\n"));
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
     out.push_str("  \"runs\": [\n");
     for (idx, r) in runs.iter().enumerate() {
+        let per_length: Vec<String> = r
+            .per_length
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"length\": {}, \"advance_secs\": {:.6}, \"stats_secs\": {:.6}, \
+                     \"classify_secs\": {:.6}, \"recompute_secs\": {:.6}}}",
+                    t.length, t.advance_secs, t.stats_secs, t.classify_secs, t.recompute_secs,
+                )
+            })
+            .collect();
+        let obs = format!(
+            "{{\"stage1_cells\": {}, \"stage1_offers\": {}, \"stage1_prefilter_rejected\": {}, \
+             \"stage2_dot_advances\": {}, \"stage2_valid_rows\": {}, \
+             \"stage2_invalid_rows\": {}, \"stage2_recomputed_rows\": {}}}",
+            r.obs.stage1_cells,
+            r.obs.stage1_offers,
+            r.obs.stage1_prefilter_rejected,
+            r.obs.stage2_dot_advances,
+            r.obs.stage2_valid_rows,
+            r.obs.stage2_invalid_rows,
+            r.obs.stage2_recomputed_rows,
+        );
         out.push_str(&format!(
             "    {{\"dataset\": \"{}\", \"n\": {}, \"l_min\": {}, \"l_max\": {}, \
              \"threads\": {}, \"stage1_secs\": {:.6}, \"stage2_secs\": {:.6}, \
-             \"stage2_advance_secs\": {:.6}, \"stage2_classify_secs\": {:.6}, \
-             \"stage2_recompute_secs\": {:.6}, \
+             \"stage2_advance_secs\": {:.6}, \"stage2_stats_secs\": {:.6}, \
+             \"stage2_classify_secs\": {:.6}, \"stage2_recompute_secs\": {:.6}, \
+             \"per_length\": [{}], \"obs\": {}, \
              \"total_secs\": {:.6}, \"stage1_cells_per_sec\": {:.0}, \
              \"checksum\": \"{:#018x}\"}}{}\n",
             r.dataset,
@@ -384,8 +482,11 @@ fn render_json(
             r.stage1_secs,
             r.stage2_secs,
             r.stage2_advance_secs,
+            r.stage2_stats_secs,
             r.stage2_classify_secs,
             r.stage2_recompute_secs,
+            per_length.join(", "),
+            obs,
             r.total_secs,
             r.stage1_cells_per_sec,
             r.checksum,

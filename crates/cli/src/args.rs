@@ -40,6 +40,11 @@ pub struct RunArgs {
     pub no_pipeline: bool,
     /// Optional path for a VALMAP JSON dump.
     pub valmap_out: Option<String>,
+    /// Optional path for the end-of-run Prometheus-style metrics dump
+    /// (`-` for stdout).
+    pub metrics: Option<String>,
+    /// Optional path for the Chrome trace-event JSON dump.
+    pub trace_out: Option<String>,
 }
 
 /// Arguments of `valmod profile`.
@@ -53,6 +58,11 @@ pub struct ProfileArgs {
     pub k: usize,
     /// Worker threads (defaults to the hardware parallelism).
     pub threads: Option<usize>,
+    /// Optional path for the end-of-run Prometheus-style metrics dump
+    /// (`-` for stdout).
+    pub metrics: Option<String>,
+    /// Optional path for the Chrome trace-event JSON dump.
+    pub trace_out: Option<String>,
 }
 
 /// Arguments of `valmod generate`.
@@ -118,6 +128,13 @@ pub struct StreamArgs {
     /// Recover from the newest valid checkpoint (+ journal replay) in
     /// `--checkpoint-dir` before consuming input.
     pub resume: bool,
+    /// Emit a `metrics` NDJSON event every N appended points (0 = off).
+    pub metrics_every: usize,
+    /// Optional path for the end-of-session Prometheus-style metrics dump
+    /// (`-` for stdout; NDJSON keeps stdout, so `-` interleaves).
+    pub metrics: Option<String>,
+    /// Optional path for the Chrome trace-event JSON dump.
+    pub trace_out: Option<String>,
 }
 
 /// A parse failure with a user-facing message.
@@ -138,14 +155,23 @@ valmod — variable-length motif discovery (VALMOD, SIGMOD 2018)
 
 USAGE:
   valmod run --input FILE --lmin N --lmax N [--k N] [--p N] [--threads N] [--no-pipeline]
-             [--valmap-out FILE]
+             [--valmap-out FILE] [--metrics PATH|-] [--trace-out FILE]
   valmod profile --input FILE --length N [--k N] [--threads N]
+                 [--metrics PATH|-] [--trace-out FILE]
   valmod generate --kind ecg|astro|walk|noise|seismic|epg --n N [--seed N] --output FILE
   valmod motif-set --input FILE --a N --b N --length N [--radius X]
   valmod stream --input FILE|- --lmin N --lmax N [--k N] [--p N] [--threads N]
                 [--warmup N] [--every N] [--capacity N] [--follow] [--poll-ms N]
                 [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+                [--metrics-every N] [--metrics PATH|-] [--trace-out FILE]
   valmod help
+
+`--metrics` writes an end-of-run Prometheus-style text dump of every
+engine counter/gauge/histogram to PATH (`-` for stdout); `--trace-out`
+writes the recorded spans as Chrome trace-event JSON, loadable in
+chrome://tracing or Perfetto. On `stream`, `--metrics-every N`
+additionally emits a `{\"event\":\"metrics\",...}` NDJSON line every N
+appended points on the delta channel.
 
 `stream` tails the input (use `-` for stdin), bootstraps on the first
 points, then appends each subsequent point incrementally and emits the
@@ -194,6 +220,7 @@ fn parse_run(rest: &[&str]) -> Result<Command, ParseError> {
     let (mut input, mut l_min, mut l_max) = (None, None, None);
     let (mut k, mut p, mut threads, mut valmap_out) = (10usize, 8usize, None, None);
     let mut no_pipeline = false;
+    let (mut metrics, mut trace_out) = (None, None);
     let mut it = rest.iter().copied();
     while let Some(flag) = it.next() {
         match flag {
@@ -205,6 +232,8 @@ fn parse_run(rest: &[&str]) -> Result<Command, ParseError> {
             "--threads" => threads = Some(parse_num(flag, take_value(flag, &mut it)?)?),
             "--no-pipeline" => no_pipeline = true,
             "--valmap-out" => valmap_out = Some(take_value(flag, &mut it)?.to_string()),
+            "--metrics" => metrics = Some(take_value(flag, &mut it)?.to_string()),
+            "--trace-out" => trace_out = Some(take_value(flag, &mut it)?.to_string()),
             other => return Err(ParseError(format!("unknown flag {other:?} for run"))),
         }
     }
@@ -217,11 +246,14 @@ fn parse_run(rest: &[&str]) -> Result<Command, ParseError> {
         threads,
         no_pipeline,
         valmap_out,
+        metrics,
+        trace_out,
     }))
 }
 
 fn parse_profile(rest: &[&str]) -> Result<Command, ParseError> {
     let (mut input, mut length, mut k, mut threads) = (None, None, 5usize, None);
+    let (mut metrics, mut trace_out) = (None, None);
     let mut it = rest.iter().copied();
     while let Some(flag) = it.next() {
         match flag {
@@ -229,6 +261,8 @@ fn parse_profile(rest: &[&str]) -> Result<Command, ParseError> {
             "--length" => length = Some(parse_num(flag, take_value(flag, &mut it)?)?),
             "--k" => k = parse_num(flag, take_value(flag, &mut it)?)?,
             "--threads" => threads = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--metrics" => metrics = Some(take_value(flag, &mut it)?.to_string()),
+            "--trace-out" => trace_out = Some(take_value(flag, &mut it)?.to_string()),
             other => return Err(ParseError(format!("unknown flag {other:?} for profile"))),
         }
     }
@@ -237,6 +271,8 @@ fn parse_profile(rest: &[&str]) -> Result<Command, ParseError> {
         length: length.ok_or_else(|| ParseError("profile requires --length".into()))?,
         k,
         threads,
+        metrics,
+        trace_out,
     }))
 }
 
@@ -294,6 +330,7 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
     let (mut warmup, mut every, mut capacity) = (None, 1usize, None);
     let (mut follow, mut poll_ms) = (false, 200u64);
     let (mut checkpoint_dir, mut checkpoint_every, mut resume) = (None, 256usize, false);
+    let (mut metrics_every, mut metrics, mut trace_out) = (0usize, None, None);
     let mut it = rest.iter().copied();
     while let Some(flag) = it.next() {
         match flag {
@@ -311,6 +348,9 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
             "--checkpoint-dir" => checkpoint_dir = Some(take_value(flag, &mut it)?.to_string()),
             "--checkpoint-every" => checkpoint_every = parse_num(flag, take_value(flag, &mut it)?)?,
             "--resume" => resume = true,
+            "--metrics-every" => metrics_every = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--metrics" => metrics = Some(take_value(flag, &mut it)?.to_string()),
+            "--trace-out" => trace_out = Some(take_value(flag, &mut it)?.to_string()),
             other => return Err(ParseError(format!("unknown flag {other:?} for stream"))),
         }
     }
@@ -341,6 +381,9 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
         checkpoint_dir,
         checkpoint_every,
         resume,
+        metrics_every,
+        metrics,
+        trace_out,
     }))
 }
 
@@ -576,6 +619,76 @@ mod tests {
             "0",
         ])
         .is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse_on_run_profile_and_stream() {
+        let cmd = parse(&["run", "--input", "x", "--lmin", "8", "--lmax", "16"]).unwrap();
+        match cmd {
+            Command::Run(a) => assert!(a.metrics.is_none() && a.trace_out.is_none()),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "run",
+            "--input",
+            "x",
+            "--lmin",
+            "8",
+            "--lmax",
+            "16",
+            "--metrics",
+            "-",
+            "--trace-out",
+            "t.json",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run(a) => {
+                assert_eq!(a.metrics.as_deref(), Some("-"));
+                assert_eq!(a.trace_out.as_deref(), Some("t.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd =
+            parse(&["profile", "--input", "x", "--length", "32", "--metrics", "m.prom"]).unwrap();
+        match cmd {
+            Command::Profile(a) => {
+                assert_eq!(a.metrics.as_deref(), Some("m.prom"));
+                assert!(a.trace_out.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "stream",
+            "--input",
+            "-",
+            "--lmin",
+            "8",
+            "--lmax",
+            "12",
+            "--metrics-every",
+            "64",
+            "--trace-out",
+            "trace.json",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Stream(a) => {
+                assert_eq!(a.metrics_every, 64);
+                assert_eq!(a.trace_out.as_deref(), Some("trace.json"));
+                assert!(a.metrics.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        // metrics_every defaults to off (0) and the flags require values.
+        let cmd = parse(&["stream", "--input", "-", "--lmin", "8", "--lmax", "12"]).unwrap();
+        match cmd {
+            Command::Stream(a) => assert_eq!(a.metrics_every, 0),
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse(&["run", "--input", "x", "--lmin", "8", "--lmax", "16", "--metrics"]).is_err()
+        );
     }
 
     #[test]

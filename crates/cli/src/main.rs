@@ -17,6 +17,7 @@ use valmod_core::{expand_motif_set, run_valmod, ValmodConfig};
 use valmod_mp::motif::{top_k_discords, top_k_pairs};
 use valmod_mp::stomp::stomp_parallel_in;
 use valmod_mp::{default_exclusion, MotifPair, WorkerPool};
+use valmod_obs as obs;
 use valmod_series::{gen, io};
 
 fn main() -> ExitCode {
@@ -46,6 +47,39 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Writes the observability dumps a subcommand was asked for: the
+/// Prometheus-style text exposition to `metrics` (`-` for stdout) and the
+/// Chrome trace-event JSON to `trace_out`.
+fn write_obs_outputs(
+    metrics: Option<&str>,
+    trace_out: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = metrics {
+        let dump = obs::render_prometheus();
+        if path == "-" {
+            let mut stdout = std::io::stdout().lock();
+            stdout.write_all(dump.as_bytes())?;
+            stdout.flush()?;
+        } else {
+            std::fs::write(path, dump)?;
+        }
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, obs::render_chrome_trace())?;
+    }
+    Ok(())
+}
+
+/// The input-side health stats the stream summary line carries, read
+/// back from the session's observability counters.
+fn summary_io() -> valmod_stream::SummaryIo {
+    let m = obs::metrics();
+    valmod_stream::SummaryIo {
+        read_retries: m.stream_read_retries.get(),
+        max_backoff_ms: u64::try_from(m.stream_max_backoff_ms.get()).unwrap_or(0),
     }
 }
 
@@ -104,6 +138,7 @@ fn cmd_run(a: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(path, json)?;
         println!("VALMAP written to {path}");
     }
+    write_obs_outputs(a.metrics.as_deref(), a.trace_out.as_deref())?;
     Ok(())
 }
 
@@ -164,6 +199,7 @@ fn cmd_profile(a: &ProfileArgs) -> Result<(), Box<dyn std::error::Error>> {
     for (rank, (offset, d)) in top_k_discords(&mp, a.k).iter().enumerate() {
         println!("{:>4} offset {:>10} distance {:>12.4}", rank + 1, offset, d);
     }
+    write_obs_outputs(a.metrics.as_deref(), a.trace_out.as_deref())?;
     Ok(())
 }
 
@@ -191,6 +227,9 @@ struct StreamSession {
     l_max: usize,
     every: usize,
     since_poll: usize,
+    /// Cadence of the `metrics` NDJSON event (0 = off).
+    metrics_every: usize,
+    since_metrics: usize,
     line_values: Vec<f64>,
     /// Durability: checkpoints + per-sample journal (absent without
     /// `--checkpoint-dir`).
@@ -256,7 +295,12 @@ impl StreamSession {
                         writeln!(
                             out,
                             "{}",
-                            valmod_stream::summary_line(n, skipped, engine.valmap().best_entry())
+                            valmod_stream::summary_line(
+                                n,
+                                skipped,
+                                summary_io(),
+                                engine.valmap().best_entry(),
+                            )
                         )?;
                         out.flush()?;
                         Err(format!("stream stopped at line {line_no} after {n} points: {e}")
@@ -318,6 +362,15 @@ impl StreamSession {
                         store.sync_journal()?;
                     }
                 }
+                if self.metrics_every > 0 {
+                    self.since_metrics += 1;
+                    if self.since_metrics >= self.metrics_every {
+                        self.since_metrics = 0;
+                        let n = self.core.engine().expect("appended to a live engine").len();
+                        writeln!(out, "{}", obs::metrics_line(n))?;
+                        out.flush()?;
+                    }
+                }
             }
         }
         Ok(())
@@ -353,7 +406,16 @@ impl StreamSession {
         for delta in engine.poll_deltas() {
             writeln!(out, "{}", valmod_stream::update_line(n, &delta))?;
         }
-        writeln!(out, "{}", valmod_stream::summary_line(n, skipped, engine.valmap().best_entry()))?;
+        if self.metrics_every > 0 {
+            // A final metrics event so a consumer always sees the
+            // end-of-session state, whatever the cadence remainder.
+            writeln!(out, "{}", obs::metrics_line(n))?;
+        }
+        writeln!(
+            out,
+            "{}",
+            valmod_stream::summary_line(n, skipped, summary_io(), engine.valmap().best_entry())
+        )?;
         out.flush()?;
         Ok(())
     }
@@ -361,9 +423,9 @@ impl StreamSession {
     /// The summary line for an interrupted stream (closed output).
     fn summary_text(&mut self) -> Option<String> {
         let skipped = self.core.skipped();
-        self.core
-            .engine_mut()
-            .map(|e| valmod_stream::summary_line(e.len(), skipped, e.valmap().best_entry()))
+        self.core.engine_mut().map(|e| {
+            valmod_stream::summary_line(e.len(), skipped, summary_io(), e.valmap().best_entry())
+        })
     }
 }
 
@@ -401,6 +463,10 @@ fn read_line_retry(
             Ok(n) => return Ok(n),
             Err(e) if is_transient_read(e.kind()) && attempts < MAX_READ_RETRIES => {
                 attempts += 1;
+                obs::count!(stream_read_retries, 1);
+                obs::metrics()
+                    .stream_max_backoff_ms
+                    .record_max(i64::try_from(delay.as_millis()).unwrap_or(i64::MAX));
                 std::thread::sleep(delay);
                 delay = delay.saturating_mul(2).min(cap);
             }
@@ -529,6 +595,8 @@ fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
         l_max: a.l_max,
         every: a.every,
         since_poll: 0,
+        metrics_every: a.metrics_every,
+        since_metrics: 0,
         line_values: Vec::new(),
         store,
         checkpoint_every: a.checkpoint_every,
@@ -544,7 +612,7 @@ fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
         session.checkpoint_now(&mut out)?;
     }
     let result = stream_loop(a, &mut session, &mut reader, &mut out);
-    match result {
+    let result = match result {
         Err(e) if is_broken_pipe(&*e) => {
             // The consumer closed our stdout mid-stream. That is a normal
             // way for a pipeline to end: report the closing summary on
@@ -557,6 +625,18 @@ fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
             Ok(())
         }
         other => other,
+    };
+    let _ = out.flush();
+    drop(out);
+    // The end-of-session dumps go to their own paths, so they are written
+    // even when the NDJSON consumer hung up; with nothing left to report
+    // to after an error, a failed dump is dropped rather than masking it.
+    match result {
+        Ok(()) => write_obs_outputs(a.metrics.as_deref(), a.trace_out.as_deref()),
+        Err(e) => {
+            let _ = write_obs_outputs(a.metrics.as_deref(), a.trace_out.as_deref());
+            Err(e)
+        }
     }
 }
 

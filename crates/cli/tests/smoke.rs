@@ -516,6 +516,99 @@ fn stream_corrupt_newest_checkpoint_falls_back_a_generation() {
 }
 
 #[test]
+fn run_metrics_dash_dumps_prometheus_to_stdout_and_trace_to_file() {
+    let series_path = temp_path("obs_run_input.txt");
+    let trace_path = temp_path("obs_run_trace.json");
+    generate_ecg(&series_path, 900);
+    let out = bin()
+        .args(["run", "--lmin", "16", "--lmax", "24", "--k", "2", "--metrics", "-", "--input"])
+        .arg(&series_path)
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The Prometheus exposition follows the report on stdout.
+    assert!(text.contains("# TYPE valmod_stage1_cells_total counter"), "{text}");
+    assert!(text.contains("# HELP valmod_stage2_valid_rows_total"), "{text}");
+    assert!(text.contains("valmod_pool_queue_depth"), "{text}");
+    // The trace file is a Chrome trace-event document.
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+    assert!(trace.ends_with("\"displayTimeUnit\":\"ms\"}"), "{trace}");
+}
+
+#[test]
+fn profile_metrics_flag_writes_the_dump_to_a_file() {
+    let series_path = temp_path("obs_profile_input.txt");
+    let metrics_path = temp_path("obs_profile.prom");
+    generate_ecg(&series_path, 800);
+    let out = bin()
+        .args(["profile", "--length", "32", "--input"])
+        .arg(&series_path)
+        .arg("--metrics")
+        .arg(&metrics_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // The dump goes to the file, not stdout.
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("# TYPE"));
+    let dump = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(dump.contains("# TYPE valmod_stage1_cells_total counter"), "{dump}");
+}
+
+#[test]
+fn stream_metrics_every_emits_ndjson_metrics_events() {
+    let series_path = temp_path("obs_stream_input.txt");
+    let metrics_path = temp_path("obs_stream.prom");
+    let trace_path = temp_path("obs_stream_trace.json");
+    generate_ecg(&series_path, 500);
+    let out = bin()
+        .args([
+            "stream",
+            "--lmin",
+            "16",
+            "--lmax",
+            "20",
+            "--warmup",
+            "200",
+            "--every",
+            "50",
+            "--metrics-every",
+            "100",
+            "--input",
+        ])
+        .arg(&series_path)
+        .arg("--metrics")
+        .arg(&metrics_path)
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let metrics_lines: Vec<&str> =
+        text.lines().filter(|l| l.contains("\"event\":\"metrics\"")).collect();
+    // 300 appended points at cadence 100, plus the final event.
+    assert!(metrics_lines.len() >= 3, "expected periodic metrics events:\n{text}");
+    for line in &metrics_lines {
+        assert!(line.starts_with("{\"event\":\"metrics\",\"points\":"), "{line}");
+        assert!(line.contains("\"stream_appends\":"), "{line}");
+        assert!(line.contains("\"stream_append_seconds_count\":"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+    // The summary still closes the stream, after the last metrics event.
+    let last = text.lines().last().unwrap();
+    assert!(last.contains("\"event\":\"summary\""), "{last}");
+    assert!(last.contains("\"read_retries\":"), "{last}");
+    assert!(last.contains("\"max_backoff_ms\":"), "{last}");
+    // End-of-session dumps land in their files.
+    assert!(std::fs::read_to_string(&metrics_path).unwrap().contains("# HELP"));
+    assert!(std::fs::read_to_string(&trace_path).unwrap().starts_with("{\"traceEvents\":["));
+}
+
+#[test]
 fn run_on_missing_file_fails_cleanly() {
     let out = bin()
         .args(["run", "--input", "/no/such/file.txt", "--lmin", "8", "--lmax", "16"])

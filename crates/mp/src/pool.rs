@@ -69,6 +69,8 @@ use std::marker::PhantomData;
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+use valmod_obs as obs;
+
 /// Upper bound on OS threads a pool will ever spawn. Batches may request
 /// more logical workers than this; the surplus jobs are executed by the
 /// pool threads and the helping caller, so results never depend on it.
@@ -292,6 +294,7 @@ impl WorkerPool {
         if num_workers <= 1 {
             return vec![worker(0)];
         }
+        let _run_span = obs::span("pool_run", obs::Layer::Pool);
         self.ensure_threads(num_workers - 1);
 
         /// Disjoint-by-index result slots shared across workers.
@@ -332,6 +335,8 @@ impl WorkerPool {
                 queue.jobs.push_back(Job { batch: &batch, latch: Arc::clone(&latch), index });
             }
         }
+        obs::count!(pool_submits, num_workers as u64 - 1);
+        obs::metrics().pool_queue_depth.add(num_workers as i64 - 1);
         self.shared.work_ready.notify_all();
         let panic0 = unsafe {
             // SAFETY: `batch` is alive (it is on this stack frame) and we
@@ -413,7 +418,14 @@ impl WorkerPool {
                 // SAFETY: every queued job's batch is kept alive by its own
                 // submitter (or submitting scope) blocking exactly as we do
                 // here until the job's latch counts down.
-                Some(job) => unsafe { job.execute() },
+                Some(job) => {
+                    // A job drained by a *waiter* rather than a pool thread
+                    // is the helping-submitter steal the module docs
+                    // describe.
+                    obs::metrics().pool_queue_depth.add(-1);
+                    obs::count!(pool_steals, 1);
+                    unsafe { job.execute() }
+                }
                 None => break,
             }
         }
@@ -513,6 +525,8 @@ impl<'p, 'env> PoolScope<'p, 'env> {
                 });
             }
         }
+        obs::count!(pool_submits, num_workers as u64);
+        obs::metrics().pool_queue_depth.add(num_workers as i64);
         self.pool.shared.work_ready.notify_all();
         self.pending.lock().expect("scope registry poisoned").push(Arc::clone(&latch));
         BatchHandle { pool: self.pool, latch, _state: state, ctx, done: false }
@@ -667,12 +681,18 @@ fn pool_thread(shared: &Shared) {
             let mut queue = shared.queue.lock().expect("pool queue poisoned");
             loop {
                 if let Some(job) = queue.jobs.pop_front() {
+                    obs::metrics().pool_queue_depth.add(-1);
                     break job;
                 }
                 if queue.shutdown {
                     return;
                 }
+                // One park/unpark transition per condvar round trip; the
+                // counters are relaxed atomics, so the idle-parking test
+                // (which watches CPU ticks via /proc) is unaffected.
+                obs::count!(pool_parks, 1);
                 queue = shared.work_ready.wait(queue).expect("pool queue poisoned");
+                obs::count!(pool_unparks, 1);
             }
         };
         // SAFETY: the job's submitting `run` frame is blocked on the batch

@@ -1,0 +1,292 @@
+//! Lock-free metric primitives: counters, gauges, histograms, timers.
+//!
+//! Everything here is const-constructible (so the whole registry is a
+//! plain `static` with no lazy initialization) and records through
+//! single relaxed atomic operations — the only ordering a monotone
+//! counter or a monitoring gauge needs. Readers (`get`, the renderers)
+//! also load relaxed: a metrics dump is a statistical snapshot, not a
+//! synchronization point.
+//!
+//! Under the `obs-off` feature every recording method compiles to an
+//! empty body and [`Timer`] loses its `Instant` field, so instrumented
+//! call sites vanish from the optimized build entirely.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+#[cfg(not(feature = "obs-off"))]
+use std::time::Instant;
+
+/// Log₂ histogram bucket count. Bucket `i` holds observations with
+/// raw value `< 2^i` (and `≥ 2^(i-1)` for `i > 0`); the last bucket
+/// additionally absorbs everything larger, rendering as `+Inf`. With 40
+/// buckets a nanosecond-unit histogram spans 1 ns to ~9 minutes.
+pub const BUCKETS: usize = 40;
+
+/// A monotone event counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter (const, so the registry is a plain `static`).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { value: AtomicU64::new(0) }
+    }
+
+    /// Adds `n` events: one relaxed `fetch_add`. Hot layers accumulate
+    /// locally and call this once per batch (see the kernel's deferred
+    /// flush), so even "per-cell" metrics cost one atomic per *walk*.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        let _ = n;
+    }
+
+    /// Current count.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An instantaneous signed value (queue depth, ring occupancy), plus a
+/// watermark mode ([`Gauge::record_max`]) for high-water readings.
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { value: AtomicI64::new(0) }
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        #[cfg(not(feature = "obs-off"))]
+        self.value.store(v, Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        let _ = v;
+    }
+
+    /// Adds `delta` (negative to decrement).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        #[cfg(not(feature = "obs-off"))]
+        self.value.fetch_add(delta, Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        let _ = delta;
+    }
+
+    /// Raises the gauge to `v` if `v` exceeds the current value — the
+    /// high-watermark mode (e.g. the largest backoff a stream session
+    /// ever slept).
+    #[inline]
+    pub fn record_max(&self, v: i64) {
+        #[cfg(not(feature = "obs-off"))]
+        self.value.fetch_max(v, Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        let _ = v;
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A log₂-bucketed histogram over non-negative integer observations
+/// (nanoseconds for latency histograms, plain counts otherwise).
+///
+/// Power-of-two buckets trade resolution for a branch-free `observe`:
+/// the bucket index is one `leading_zeros`, and the whole structure is
+/// a fixed array of relaxed atomics — no locks, no allocation, mergable
+/// by addition. Exactly the shape HdrHistogram-style recorders use for
+/// their coarse first level.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A zeroed histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the bucket holding `value`: the smallest `i` with
+    /// `value < 2^i`, clamped to the last (overflow) bucket.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one observation: three relaxed atomic adds.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+        }
+        #[cfg(feature = "obs-off")]
+        let _ = value;
+    }
+
+    /// Observations recorded.
+    #[inline]
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed raw values.
+    #[inline]
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts, `buckets()[i]` = observations
+    /// with value in `[2^(i-1), 2^i)`.
+    #[must_use]
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Times a scope into a histogram (nanosecond observations) on drop.
+/// Under `obs-off` this is a zero-sized type and `start` never reads
+/// the clock.
+#[derive(Debug)]
+pub struct Timer {
+    #[cfg(not(feature = "obs-off"))]
+    hist: &'static Histogram,
+    #[cfg(not(feature = "obs-off"))]
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts timing into `hist` (a `'static` registry field).
+    #[inline]
+    #[must_use]
+    pub fn start(hist: &'static Histogram) -> Self {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            Self { hist, start: Instant::now() }
+        }
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = hist;
+            Self {}
+        }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hist.observe(ns);
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_record() {
+        let c = Counter::new();
+        c.add(3);
+        c.add(0);
+        c.add(39);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-9);
+        assert_eq!(g.get(), -2);
+        g.record_max(5);
+        g.record_max(3);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index((1 << 39) - 1), BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 1000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        let b = h.buckets();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 1); // 1
+        assert_eq!(b[2], 2); // 2, 3
+        assert_eq!(b[10], 1); // 1000 < 1024
+        assert_eq!(b[BUCKETS - 1], 1); // u64::MAX overflows into +Inf
+        assert_eq!(b.iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn concurrent_adds_never_lose_events() {
+        static C: Counter = Counter::new();
+        static H: Histogram = Histogram::new();
+        let before = (C.get(), H.count());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..10_000u64 {
+                        C.add(1);
+                        H.observe(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(C.get() - before.0, 40_000);
+        assert_eq!(H.count() - before.1, 40_000);
+    }
+}

@@ -1,0 +1,334 @@
+//! Read-side renderers over the registry and the span ring.
+//!
+//! Three consumers, three formats, one source of truth:
+//!
+//! * [`render_prometheus`] — the text exposition format, for `--metrics`
+//!   dumps and anything that scrapes;
+//! * [`render_chrome_trace`] — Chrome `trace-event` JSON (the
+//!   `traceEvents` array form), for `--trace-out` files opened in
+//!   `chrome://tracing` or Perfetto;
+//! * [`metrics_line`] — a single-line NDJSON `metrics` event, emitted
+//!   periodically on the `valmod stream` delta channel next to
+//!   `update`/`checkpoint`/`summary` lines.
+//!
+//! All JSON here is hand-rolled like the rest of the suite (the
+//! vendored-only constraint): the grammar emitted is tiny, and the
+//! tests round-trip it through a real parser.
+
+use crate::metric::{Histogram, BUCKETS};
+use crate::registry::{Kind, MetricRef, Metrics, Unit};
+use crate::span::spans_snapshot;
+
+/// Renders one histogram bucket bound: `2^i` raw units, as seconds for
+/// nanosecond histograms (shortest round-trip float) or as an integer
+/// for count histograms. The final bucket is `+Inf` either way.
+fn bucket_bound(i: usize, unit: Unit) -> String {
+    if i == BUCKETS - 1 {
+        return "+Inf".into();
+    }
+    let raw = 1u64 << i;
+    match unit {
+        Unit::Count => raw.to_string(),
+        Unit::Nanos => format!("{}", raw as f64 / 1e9),
+    }
+}
+
+fn hist_sum(h: &Histogram, unit: Unit) -> String {
+    match unit {
+        Unit::Count => h.sum().to_string(),
+        Unit::Nanos => format!("{}", h.sum() as f64 / 1e9),
+    }
+}
+
+/// The Prometheus-style text exposition of every registry metric:
+/// `# HELP` / `# TYPE` metadata followed by sample lines, histograms in
+/// the cumulative `_bucket{le=...}` / `_sum` / `_count` form. Buckets
+/// render up to the highest occupied one (plus `+Inf`), keeping dumps
+/// short for idle subsystems.
+#[must_use]
+pub fn render_prometheus() -> String {
+    let mut out = String::with_capacity(4096);
+    let mut last_name = "";
+    for d in Metrics::descriptors() {
+        // Labeled variants share one metric family: emit HELP/TYPE once.
+        if d.name != last_name {
+            let type_name = match d.kind {
+                Kind::Counter => "counter",
+                Kind::Gauge => "gauge",
+                Kind::Histogram => "histogram",
+            };
+            out.push_str(&format!("# HELP {} {}\n", d.name, d.help));
+            out.push_str(&format!("# TYPE {} {}\n", d.name, type_name));
+            last_name = d.name;
+        }
+        match (d.get)() {
+            MetricRef::Counter(c) => {
+                out.push_str(&format!("{}{} {}\n", d.name, d.labels, c.get()));
+            }
+            MetricRef::Gauge(g) => {
+                out.push_str(&format!("{}{} {}\n", d.name, d.labels, g.get()));
+            }
+            MetricRef::Histogram(h) => {
+                let buckets = h.buckets();
+                let top = buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+                let mut cumulative = 0u64;
+                for (i, &count) in buckets.iter().enumerate().take(top) {
+                    cumulative += count;
+                    out.push_str(&format!(
+                        "{}_bucket{{le=\"{}\"}} {}\n",
+                        d.name,
+                        bucket_bound(i, d.unit),
+                        cumulative
+                    ));
+                }
+                out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", d.name, h.count()));
+                out.push_str(&format!("{}_sum {}\n", d.name, hist_sum(h, d.unit)));
+                out.push_str(&format!("{}_count {}\n", d.name, h.count()));
+            }
+        }
+    }
+    out
+}
+
+/// JSON-escapes a span/category name (the names are static identifiers,
+/// but the escape keeps the emitted grammar honest).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The retained spans as a Chrome `trace-event` JSON document: one
+/// complete (`"ph":"X"`) event per span, timestamps in microseconds,
+/// `pid` fixed at 1 and `tid` the span's stable per-thread id. Load the
+/// output of `--trace-out` directly in `chrome://tracing` or Perfetto.
+#[must_use]
+pub fn render_chrome_trace() -> String {
+    let spans = spans_snapshot();
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+            json_str(s.name),
+            json_str(s.layer.name()),
+            s.start_ns as f64 / 1e3,
+            s.dur_ns as f64 / 1e3,
+            s.tid
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// The periodic NDJSON `metrics` event for the streaming delta channel:
+/// `{"event":"metrics","points":N,...}` with one flat key per registry
+/// metric (descriptor order, so the schema is stable). Counters and
+/// gauges emit their value under the registry field name; histograms
+/// emit `<name>_count` and `<name>_sum` (sums in seconds for latency
+/// histograms). `points` is the stream position the event was observed
+/// at.
+#[must_use]
+pub fn metrics_line(points: usize) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!("{{\"event\":\"metrics\",\"points\":{points}"));
+    for d in Metrics::descriptors() {
+        let key = field_key(d.name, d.labels);
+        match (d.get)() {
+            MetricRef::Counter(c) => out.push_str(&format!(",\"{key}\":{}", c.get())),
+            MetricRef::Gauge(g) => out.push_str(&format!(",\"{key}\":{}", g.get())),
+            MetricRef::Histogram(h) => {
+                out.push_str(&format!(",\"{key}_count\":{}", h.count()));
+                out.push_str(&format!(",\"{key}_sum\":{}", hist_sum(h, d.unit)));
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// NDJSON key for a descriptor: the exposition name minus the
+/// `valmod_` prefix, with label values folded in (`stage1_dispatch_
+/// total{width="8",backend="packed"}` → `stage1_dispatch_w8_packed`).
+fn field_key(name: &str, labels: &str) -> String {
+    let base = name.strip_prefix("valmod_").unwrap_or(name).trim_end_matches("_total");
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut key = base.to_string();
+    // `{width="8",backend="packed"}` → suffixes `_w8`, `_packed`.
+    for pair in labels.trim_matches(|c| c == '{' || c == '}').split(',') {
+        if let Some((k, v)) = pair.split_once('=') {
+            let v = v.trim_matches('"');
+            if k == "width" {
+                key.push_str(&format!("_w{v}"));
+            } else {
+                key.push_str(&format!("_{v}"));
+            }
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{metrics, Layer};
+    use crate::span::span;
+
+    #[test]
+    fn prometheus_dump_covers_every_family_once() {
+        metrics().stage1_cells.add(10);
+        metrics().stream_append_seconds.observe(1_500);
+        let dump = render_prometheus();
+        assert_eq!(dump.matches("# TYPE valmod_stage1_cells_total counter").count(), 1);
+        assert_eq!(dump.matches("# TYPE valmod_stage1_dispatch_total counter").count(), 1);
+        assert_eq!(dump.matches("# TYPE valmod_stream_append_seconds histogram").count(), 1);
+        assert!(dump.contains("valmod_stage1_dispatch_total{width=\"8\",backend=\"packed\"}"));
+        assert!(dump.contains("valmod_stream_append_seconds_bucket{le=\"+Inf\"}"));
+        assert!(dump.contains("valmod_stream_append_seconds_count"));
+        assert!(dump.contains("valmod_stream_append_seconds_sum"));
+        for line in dump.lines() {
+            assert!(!line.is_empty(), "no blank lines in the exposition");
+        }
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn histogram_buckets_render_cumulatively() {
+        // A histogram not shared with other tests in this binary.
+        let h = &metrics().ckpt_restore_seconds;
+        let (c0, s0) = (h.count(), h.sum());
+        h.observe(1); // bucket le=2ns
+        h.observe(3); // bucket le=4ns
+        h.observe(3);
+        let dump = render_prometheus();
+        let section: Vec<&str> =
+            dump.lines().filter(|l| l.starts_with("valmod_ckpt_restore_seconds_bucket")).collect();
+        // Cumulative: each bucket's value never decreases.
+        let values: Vec<u64> =
+            section.iter().map(|l| l.rsplit(' ').next().unwrap().parse().unwrap()).collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1]), "{values:?}");
+        assert_eq!(*values.last().unwrap(), c0 + 3);
+        assert!(
+            dump.contains(&format!("valmod_ckpt_restore_seconds_sum {}", (s0 + 7) as f64 / 1e9))
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_json_with_complete_events() {
+        {
+            let _s = span("render-test-span", Layer::Kernel);
+        }
+        let doc = render_chrome_trace();
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.ends_with("\"displayTimeUnit\":\"ms\"}"));
+        #[cfg(not(feature = "obs-off"))]
+        {
+            assert!(doc.contains("\"name\":\"render-test-span\""));
+            assert!(doc.contains("\"cat\":\"kernel\""));
+            assert!(doc.contains("\"ph\":\"X\""));
+            assert!(doc.contains("\"pid\":1"));
+        }
+    }
+
+    #[test]
+    fn metrics_line_is_single_line_with_stable_keys() {
+        let line = metrics_line(512);
+        assert!(line.starts_with("{\"event\":\"metrics\",\"points\":512,"));
+        assert!(line.ends_with('}'));
+        assert!(!line.contains('\n'));
+        for key in [
+            "\"stage1_cells\":",
+            "\"stage1_dispatch_w8_packed\":",
+            "\"stage2_valid_rows\":",
+            "\"pool_queue_depth\":",
+            "\"stream_append_seconds_count\":",
+            "\"stream_append_seconds_sum\":",
+            "\"ckpt_published\":",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+    }
+
+    #[test]
+    fn metrics_line_schema_is_golden() {
+        // The full key sequence of the NDJSON `metrics` event, in
+        // descriptor order. A diff here is a wire-format change for
+        // every consumer of the delta channel: update the README table
+        // and this list together, never by accident.
+        const GOLDEN: &[&str] = &[
+            "event",
+            "points",
+            "stage1_cells",
+            "stage1_offers",
+            "stage1_prefilter_rejected",
+            "stage1_dispatch_w8_packed",
+            "stage1_dispatch_w4_packed",
+            "stage1_dispatch_w8_portable",
+            "stage1_dispatch_w4_portable",
+            "stage2_dot_advances",
+            "stage2_valid_rows",
+            "stage2_invalid_rows",
+            "stage2_recomputed_rows",
+            "stage2_lengths",
+            "stage2_stomp_fallback",
+            "pool_submits",
+            "pool_queue_depth",
+            "pool_steals",
+            "pool_parks",
+            "pool_unparks",
+            "stream_appends",
+            "stream_append_seconds_count",
+            "stream_append_seconds_sum",
+            "stream_delta_batch_size_count",
+            "stream_delta_batch_size_sum",
+            "stream_ring_occupancy",
+            "stream_read_retries",
+            "stream_max_backoff_ms",
+            "ckpt_serialize_seconds_count",
+            "ckpt_serialize_seconds_sum",
+            "ckpt_restore_seconds_count",
+            "ckpt_restore_seconds_sum",
+            "ckpt_fsync_seconds_count",
+            "ckpt_fsync_seconds_sum",
+            "ckpt_published",
+            "journal_replayed",
+        ];
+        let line = metrics_line(7);
+        // Values are bare JSON numbers, so commas only separate members.
+        let inner = line.strip_prefix('{').unwrap().strip_suffix('}').unwrap();
+        let keys: Vec<&str> = inner
+            .split(',')
+            .map(|member| {
+                let (key, value) = member.split_once(':').expect("key:value member");
+                assert!(key.starts_with('"') && key.ends_with('"'), "unquoted key {key}");
+                assert!(!value.is_empty());
+                key.trim_matches('"')
+            })
+            .collect();
+        assert_eq!(keys, GOLDEN);
+    }
+
+    #[test]
+    fn field_keys_fold_labels() {
+        assert_eq!(field_key("valmod_stage1_cells_total", ""), "stage1_cells");
+        assert_eq!(
+            field_key("valmod_stage1_dispatch_total", "{width=\"4\",backend=\"portable\"}"),
+            "stage1_dispatch_w4_portable"
+        );
+        assert_eq!(field_key("valmod_pool_queue_depth", ""), "pool_queue_depth");
+    }
+}

@@ -1,0 +1,194 @@
+//! Span tracing into a bounded in-memory ring.
+//!
+//! A [`span`] guard stamps a wall-clock start on creation and records
+//! `(name, layer, thread, start, duration)` into a fixed-capacity ring
+//! on drop. Spans wrap *phase-level* work — a stage-1 walk, a streaming
+//! append, a checkpoint — never per-cell loops, so the two `Instant`
+//! reads per span are noise next to the work they bracket. The ring
+//! overwrites its oldest entries: a long-lived stream session always
+//! holds the most recent window of activity, ready for
+//! [`crate::render_chrome_trace`].
+//!
+//! The ring is a `Mutex<Vec<_>>`, not a lock-free structure, and that
+//! is deliberate: spans fire at phase rate (thousands per second at the
+//! very worst), where an uncontended mutex costs about as much as the
+//! atomics a lock-free ring would need — without the torn-read
+//! subtleties. The *counters* are the hot-path story; see
+//! [`crate::metric`].
+
+#[cfg(not(feature = "obs-off"))]
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::registry::Layer;
+
+/// Spans retained before the ring starts overwriting its oldest.
+pub const SPAN_CAPACITY: usize = 8192;
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Static span name (e.g. `"stage1"`, `"checkpoint"`).
+    pub name: &'static str,
+    /// Owning subsystem (the Chrome trace `cat`).
+    pub layer: Layer,
+    /// Stable per-thread id (dense, assigned on first span).
+    pub tid: u32,
+    /// Start, in nanoseconds since the process's first observation.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// The bounded ring: a write cursor over a capacity-bound vector.
+struct Ring {
+    spans: Vec<Span>,
+    /// Next write position; `spans.len() < SPAN_CAPACITY` means the ring
+    /// has not wrapped yet.
+    head: usize,
+    /// Total spans ever recorded (so dropped-span counts are visible).
+    recorded: u64,
+}
+
+static RING: Mutex<Ring> = Mutex::new(Ring { spans: Vec::new(), head: 0, recorded: 0 });
+
+/// Monotonic anchor: all span timestamps are relative to the first
+/// clock read, so Chrome trace timestamps start near zero.
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process's first observation (monotonic).
+#[must_use]
+pub fn now_ns() -> u64 {
+    u64::try_from(anchor().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Dense stable thread ids: the first thread to record a span is tid 0,
+/// the next tid 1, and a thread keeps its id for the process lifetime —
+/// the "pids/tids stable" property the Chrome trace tests assert.
+#[cfg(not(feature = "obs-off"))]
+fn thread_id() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    thread_local! {
+        static TID: u32 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Opens a span; the returned guard records it when dropped. Under
+/// `obs-off` the guard is zero-sized and no clock is read.
+#[must_use]
+pub fn span(name: &'static str, layer: Layer) -> SpanGuard {
+    #[cfg(not(feature = "obs-off"))]
+    {
+        SpanGuard { name, layer, start_ns: now_ns(), start: Instant::now() }
+    }
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = (name, layer);
+        SpanGuard {}
+    }
+}
+
+/// Live span: records into the ring on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    #[cfg(not(feature = "obs-off"))]
+    name: &'static str,
+    #[cfg(not(feature = "obs-off"))]
+    layer: Layer,
+    #[cfg(not(feature = "obs-off"))]
+    start_ns: u64,
+    #[cfg(not(feature = "obs-off"))]
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let dur_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let record = Span {
+                name: self.name,
+                layer: self.layer,
+                tid: thread_id(),
+                start_ns: self.start_ns,
+                dur_ns,
+            };
+            let mut ring = RING.lock().expect("span ring poisoned");
+            ring.recorded += 1;
+            if ring.spans.len() < SPAN_CAPACITY {
+                ring.spans.push(record);
+            } else {
+                let at = ring.head;
+                ring.spans[at] = record;
+            }
+            ring.head = (ring.head + 1) % SPAN_CAPACITY;
+        }
+    }
+}
+
+/// A copy of the retained spans, oldest first. (Total spans ever
+/// recorded may exceed `spans_snapshot().len()` by the overwritten
+/// count; see [`spans_recorded`].)
+#[must_use]
+pub fn spans_snapshot() -> Vec<Span> {
+    let ring = RING.lock().expect("span ring poisoned");
+    if ring.spans.len() < SPAN_CAPACITY {
+        ring.spans.clone()
+    } else {
+        // Wrapped: oldest is at `head`.
+        let mut out = Vec::with_capacity(SPAN_CAPACITY);
+        out.extend_from_slice(&ring.spans[ring.head..]);
+        out.extend_from_slice(&ring.spans[..ring.head]);
+        out
+    }
+}
+
+/// Total spans ever recorded (including ones the ring overwrote).
+#[must_use]
+pub fn spans_recorded() -> u64 {
+    RING.lock().expect("span ring poisoned").recorded
+}
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_name_layer_and_monotone_times() {
+        let before = spans_recorded();
+        {
+            let _outer = span("outer-test-span", Layer::Stream);
+            let _inner = span("inner-test-span", Layer::Persist);
+        }
+        assert_eq!(spans_recorded() - before, 2);
+        let spans = spans_snapshot();
+        let inner = spans.iter().rev().find(|s| s.name == "inner-test-span").unwrap();
+        let outer = spans.iter().rev().find(|s| s.name == "outer-test-span").unwrap();
+        assert_eq!(inner.layer, Layer::Persist);
+        assert_eq!(outer.layer, Layer::Stream);
+        // Guards drop inner-first, and the inner interval nests inside
+        // the outer one.
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns + 1);
+        assert_eq!(inner.tid, outer.tid, "same thread, same stable tid");
+    }
+
+    #[test]
+    fn a_thread_keeps_its_tid() {
+        let (a, b) = {
+            let _s1 = span("tid-probe-1", Layer::Pool);
+            drop(_s1);
+            let _s2 = span("tid-probe-2", Layer::Pool);
+            drop(_s2);
+            let spans = spans_snapshot();
+            let probe = |n| spans.iter().rev().find(|s| s.name == n).unwrap().tid;
+            (probe("tid-probe-1"), probe("tid-probe-2"))
+        };
+        assert_eq!(a, b);
+    }
+}

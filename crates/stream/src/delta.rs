@@ -70,25 +70,43 @@ pub fn update_line(n: usize, delta: &ValmapDelta) -> String {
     )
 }
 
+/// Input-side health stats of a finished stream session, carried on the
+/// summary line next to `skipped`: transient stdin read retries
+/// attempted and the largest backoff delay one read needed. Sourced from
+/// the session's `valmod_stream_read_retries_total` /
+/// `valmod_stream_max_backoff_ms` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SummaryIo {
+    /// Transient stdin read errors retried over the whole session.
+    pub read_retries: u64,
+    /// Largest backoff delay (milliseconds) any single read climbed to.
+    pub max_backoff_ms: u64,
+}
+
 /// The final NDJSON line: the best VALMAP entry after `points` points
 /// (`best` as returned by [`valmod_core::Valmap::best_entry`]), plus the
-/// count of non-finite samples the session skipped.
+/// count of non-finite samples the session skipped and the input-side
+/// retry/backoff stats.
 #[must_use]
 pub fn summary_line(
     points: usize,
     skipped: u64,
+    io: SummaryIo,
     best: Option<(usize, usize, usize, f64)>,
 ) -> String {
+    let tail = format!(
+        "\"skipped\":{skipped},\"read_retries\":{},\"max_backoff_ms\":{}",
+        io.read_retries, io.max_backoff_ms
+    );
     match best {
         Some((offset, match_offset, length, mpn)) => format!(
             "{{\"event\":\"summary\",\"points\":{points},\"offset\":{offset},\
-             \"match_offset\":{match_offset},\"length\":{length},\"mpn\":{},\
-             \"skipped\":{skipped}}}",
+             \"match_offset\":{match_offset},\"length\":{length},\"mpn\":{},{tail}}}",
             json_f64(mpn),
         ),
         None => format!(
             "{{\"event\":\"summary\",\"points\":{points},\"offset\":null,\
-             \"match_offset\":null,\"length\":null,\"mpn\":null,\"skipped\":{skipped}}}"
+             \"match_offset\":null,\"length\":null,\"mpn\":null,{tail}}}"
         ),
     }
 }
@@ -160,11 +178,14 @@ mod tests {
         let b = bootstrap_line(256, 16, 24, 241);
         assert!(b.starts_with("{\"event\":\"bootstrap\"") && b.ends_with('}'));
         assert!(b.contains("\"points\":256") && b.contains("\"entries\":241"));
-        let s = summary_line(512, 3, Some((12, 180, 20, 0.25)));
+        let io = SummaryIo { read_retries: 4, max_backoff_ms: 64 };
+        let s = summary_line(512, 3, io, Some((12, 180, 20, 0.25)));
         assert!(s.contains("\"event\":\"summary\"") && s.contains("\"mpn\":0.25"));
         assert!(s.contains("\"skipped\":3"));
-        let empty = summary_line(5, 0, None);
+        assert!(s.contains("\"read_retries\":4") && s.contains("\"max_backoff_ms\":64"));
+        let empty = summary_line(5, 0, SummaryIo::default(), None);
         assert!(empty.contains("\"offset\":null") && empty.contains("\"skipped\":0"));
+        assert!(empty.contains("\"read_retries\":0") && empty.contains("\"max_backoff_ms\":0"));
     }
 
     #[test]

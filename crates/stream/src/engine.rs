@@ -58,6 +58,7 @@ use valmod_fft::sliding_dot_product;
 use valmod_mp::motif::{top_k_discords, top_k_pairs};
 use valmod_mp::stomp::stomp_parallel_in;
 use valmod_mp::{MatrixProfile, MotifPair};
+use valmod_obs as obs;
 use valmod_series::znorm::zdist_from_dot;
 use valmod_series::{Result, SeriesError};
 
@@ -360,6 +361,7 @@ impl StreamingValmod {
     }
 
     fn bootstrap(initial: &[f64], config: ValmodConfig, capacity: Option<usize>) -> Result<Self> {
+        let _span = obs::span("stream_bootstrap", obs::Layer::Stream);
         config.validate(initial.len())?;
         if let Some(index) = initial.iter().position(|v| !v.is_finite()) {
             return Err(SeriesError::NonFinite { index });
@@ -495,6 +497,7 @@ impl StreamingValmod {
         if !value.is_finite() {
             return Err(SeriesError::NonFinite { index: self.buffer.len() });
         }
+        let _append_timer = obs::time!(stream_append_seconds);
         self.buffer.try_push(value)?;
         self.stats.push(value);
         let n = self.buffer.len();
@@ -509,6 +512,8 @@ impl StreamingValmod {
             state.advance(stats, cross, n);
         });
         self.version += 1;
+        obs::count!(stream_appends, 1);
+        obs::metrics().stream_ring_occupancy.set(n as i64);
         Ok(())
     }
 
@@ -540,6 +545,7 @@ impl StreamingValmod {
         if let Some(offset) = points.iter().position(|v| !v.is_finite()) {
             return Err(SeriesError::NonFinite { index: self.buffer.len() + offset });
         }
+        let _append_span = obs::span("stream_extend", obs::Layer::Stream);
         let base_n = self.buffer.len();
         self.buffer.try_extend(points)?;
         for &v in points {
@@ -551,6 +557,8 @@ impl StreamingValmod {
             state.extend(stats, base_n, count);
         });
         self.version += 1;
+        obs::count!(stream_appends, count as u64);
+        obs::metrics().stream_ring_occupancy.set((base_n + count) as i64);
         Ok(())
     }
 
@@ -579,6 +587,10 @@ impl StreamingValmod {
     /// bootstrap for the first call), in ascending offset order — the
     /// feed behind the CLI's NDJSON delta stream.
     pub fn poll_deltas(&mut self) -> Vec<ValmapDelta> {
+        // Bounded frequency (one per `--every` emission boundary), so a
+        // span here gives point-by-point feeds — which never take the
+        // `extend` path — a timeline without per-append span cost.
+        let _span = obs::span("poll_deltas", obs::Layer::Stream);
         self.refresh_live();
         let live = self.live.as_ref().expect("just refreshed");
         let valmap = &live.valmap;
@@ -606,6 +618,7 @@ impl StreamingValmod {
         self.emitted.ip.extend_from_slice(&valmap.ip);
         self.emitted.lp.clear();
         self.emitted.lp.extend_from_slice(&valmap.lp);
+        obs::metrics().stream_delta_batch.observe(deltas.len() as u64);
         deltas
     }
 

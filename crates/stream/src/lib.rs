@@ -69,7 +69,8 @@ pub mod ring;
 pub mod session;
 
 pub use delta::{
-    bootstrap_line, checkpoint_line, recovered_line, summary_line, update_line, ValmapDelta,
+    bootstrap_line, checkpoint_line, recovered_line, summary_line, update_line, SummaryIo,
+    ValmapDelta,
 };
 pub use engine::{LengthMotifs, StreamingValmod};
 pub use persist::{CheckpointStore, JournalWriter, Recovery};

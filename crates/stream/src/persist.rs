@@ -49,6 +49,7 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 use valmod_core::ValmodConfig;
+use valmod_obs as obs;
 use valmod_series::{faults, Result, SeriesError};
 
 use crate::engine::{reserve_extra, EmittedValmap, LengthState, StreamStats};
@@ -504,6 +505,7 @@ impl JournalWriter {
     /// [`SeriesError::Io`] (fault site `journal.sync`).
     pub fn sync(&mut self) -> Result<()> {
         faults::check("journal.sync")?;
+        let _fsync_timer = obs::time!(ckpt_fsync_seconds);
         self.file.sync_all()?;
         Ok(())
     }
@@ -653,6 +655,7 @@ impl CheckpointStore {
     /// the journal-creation sites). On error the published state is
     /// whatever the previous generation left — recovery stays possible.
     pub fn checkpoint(&mut self, engine: &StreamingValmod) -> Result<u64> {
+        let _ckpt_span = obs::span("checkpoint", obs::Layer::Persist);
         // Close out the current journal durably before publishing the
         // image that supersedes it: if the checkpoint fails partway, the
         // previous generation + this journal still reconstruct everything.
@@ -663,15 +666,25 @@ impl CheckpointStore {
         let tmp = self.dir.join(format!("ckpt-{gen:08}.tmp"));
         faults::check("ckpt.create")?;
         let mut file = File::create(&tmp)?;
-        engine.checkpoint_to(&mut file)?;
+        {
+            let _serialize_timer = obs::time!(ckpt_serialize_seconds);
+            engine.checkpoint_to(&mut file)?;
+        }
         faults::check("ckpt.sync")?;
-        file.sync_all()?;
+        {
+            let _fsync_timer = obs::time!(ckpt_fsync_seconds);
+            file.sync_all()?;
+        }
         drop(file);
         faults::check("ckpt.rename")?;
         fs::rename(&tmp, self.ckpt_path(gen))?;
         // Make the rename itself durable: fsync the directory entry.
         faults::check("ckpt.dirsync")?;
-        File::open(&self.dir)?.sync_all()?;
+        {
+            let _fsync_timer = obs::time!(ckpt_fsync_seconds);
+            File::open(&self.dir)?.sync_all()?;
+        }
+        obs::count!(ckpt_published, 1);
 
         self.journal = None;
         self.gen = Some(gen);
@@ -735,16 +748,19 @@ impl CheckpointStore {
     /// [`SeriesError::CheckpointCorrupt`] when every generation failed
     /// validation.
     pub fn recover(&mut self, config: &ValmodConfig) -> Result<Option<Recovery>> {
+        let _recover_span = obs::span("recover", obs::Layer::Persist);
         let gens = self.checkpoint_gens();
         let Some(&newest) = gens.last() else { return Ok(None) };
         self.gen = Some(newest);
         let mut fell_back = 0u64;
         let mut last_err: Option<SeriesError> = None;
         for &gen in gens.iter().rev() {
+            let restore_timer = obs::time!(ckpt_restore_seconds);
             let restored = faults::check("ckpt.read")
                 .map_err(SeriesError::from)
                 .and_then(|()| Ok(File::open(self.ckpt_path(gen))?))
                 .and_then(|mut f| StreamingValmod::restore_from(&mut f, config));
+            drop(restore_timer);
             let mut engine = match restored {
                 Ok(engine) => engine,
                 Err(e @ SeriesError::CheckpointMismatch { .. }) => return Err(e),
@@ -774,6 +790,7 @@ impl CheckpointStore {
                 }
                 at += 1;
             }
+            obs::count!(journal_replayed, replayed);
             return Ok(Some(Recovery { engine, generation: gen, replayed, fell_back }));
         }
         Err(last_err.unwrap_or_else(|| corrupt("no recoverable checkpoint generation")))

@@ -64,6 +64,7 @@ use valmod_mp::mass::{DistanceProfiler, ProfileScratch};
 use valmod_mp::motif::top_k_pairs;
 use valmod_mp::stomp::{stomp_parallel_in, StompEngine};
 use valmod_mp::{MatrixProfile, MotifPair};
+use valmod_obs as obs;
 use valmod_series::stats::FLAT_EPS;
 use valmod_series::znorm::{pearson_from_dist, zdist_from_dot};
 use valmod_series::{Result, RollingStats};
@@ -119,7 +120,7 @@ pub struct LengthResult {
 }
 
 /// Wall-clock timings of the two stages, for perf snapshots and benches.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct StageTimings {
     /// Stage 1: base matrix profile + partial profiles at `ℓmin`.
     pub stage1: std::time::Duration,
@@ -128,12 +129,34 @@ pub struct StageTimings {
     /// Stage-2 phase: advancing the stored dot products by one point per
     /// length (the incremental recurrence the pipeline overlaps).
     pub stage2_advance: std::time::Duration,
-    /// Stage-2 phase: window statistics, per-row classification and
-    /// top-k selection.
+    /// Stage-2 phase: per-window means and standard deviations at the
+    /// step's length.
+    pub stage2_stats: std::time::Duration,
+    /// Stage-2 phase: per-row classification and top-k selection.
     pub stage2_classify: std::time::Duration,
     /// Stage-2 phase: exact MASS recomputation of uncertified rows (the
     /// fallback that forces a pipeline drain).
     pub stage2_recompute: std::time::Duration,
+    /// Per-length breakdown of the stage-2 phases, one entry per length
+    /// step `ℓmin+1 ..= ℓmax` in ascending order. The aggregate phase
+    /// fields above are the column sums of this table.
+    pub per_length: Vec<StepTimings>,
+}
+
+/// Wall-clock phase breakdown of one stage-2 length step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepTimings {
+    /// Subsequence length of this step.
+    pub length: usize,
+    /// Dot-product advance (incremental recurrence + pipeline drains).
+    pub advance: std::time::Duration,
+    /// Per-window means/standard deviations.
+    pub stats: std::time::Duration,
+    /// Per-row classification and top-k selection.
+    pub classify: std::time::Duration,
+    /// Exact MASS recomputation of uncertified rows (or the full STOMP
+    /// fallback at degenerate lengths).
+    pub recompute: std::time::Duration,
 }
 
 /// Everything a VALMOD run produces.
@@ -487,6 +510,7 @@ fn step_length(
     scratch: &mut StepScratch,
     timings: &mut StageTimings,
 ) -> Result<LengthResult> {
+    let _step_span = obs::span("stage2_step", obs::Layer::Stage2);
     let n = values.len();
     debug_assert!(length <= n);
     let m = n - length + 1;
@@ -495,6 +519,10 @@ fn step_length(
     let pool = config.pool();
     let row_workers = worker_count(threads, m, MIN_ROWS_PER_WORKER);
     let StepScratch { means, stds, outcomes, mass, dots } = scratch;
+    let mut step = StepTimings { length, ..StepTimings::default() };
+    // Table entries whose dots this step advances (deferred metrics
+    // flush: accumulated locally, one relaxed add at the end).
+    let mut dot_advances: u64 = 0;
 
     // ---- Bring the dots of `length` current. ----
     // Either the previous step's overlapped batch already advanced them
@@ -507,6 +535,7 @@ fn step_length(
     let row_count = rows.len();
     let adv_workers = worker_count(threads, dots.j.len(), MIN_ENTRIES_PER_ADVANCE_WORKER);
     if !dots.next_ready {
+        dot_advances += dots.j.len() as u64;
         let chunks = split_dot_chunks(&dots.offsets, &mut dots.qt_next, row_count, adv_workers);
         let (offsets, j_flat, qt) = (&dots.offsets, &dots.j, &dots.qt);
         pool.run(chunks.len(), |w| {
@@ -516,7 +545,9 @@ fn step_length(
         });
     }
     dots.promote_next();
-    timings.stage2_advance += phase_started.elapsed();
+    let advance_elapsed = phase_started.elapsed();
+    timings.stage2_advance += advance_elapsed;
+    step.advance += advance_elapsed;
 
     // ---- The pipelined step body. ----
     let pipelined = config.stage2_pipeline && threads > 1 && length < config.l_max;
@@ -534,6 +565,7 @@ fn step_length(
             // Submit the advance to `length + 1` into the shadow buffer;
             // it overlaps everything below until waited.
             let mut advance = pipelined.then(|| {
+                dot_advances += j_flat.len() as u64;
                 scope.submit(adv_chunks.len(), |w| {
                     let mut guard = adv_chunks[w].lock().expect("advance chunk lock poisoned");
                     let (rows_range, dst) = &mut *guard;
@@ -548,12 +580,15 @@ fn step_length(
                     );
                 })
             });
-            let classify_started = std::time::Instant::now();
+            let stats_started = std::time::Instant::now();
             means.resize(m, 0.0);
             stds.resize(m, 0.0);
             pool.for_each_mut(means, row_workers, |i, v| *v = stats.centered_mean(i, length));
             pool.for_each_mut(stds, row_workers, |i, v| *v = stats.std(i, length));
             let (means, stds) = (&means[..], &stds[..]);
+            let stats_elapsed = stats_started.elapsed();
+            timings.stage2_stats += stats_elapsed;
+            step.stats += stats_elapsed;
 
             if stds.iter().any(|&s| s < FLAT_EPS) {
                 // Degenerate windows break the correlation-rank machinery:
@@ -561,17 +596,20 @@ fn step_length(
                 // STOMP and re-seed nothing (stored profiles remain
                 // correct for later lengths). The overlapped advance stays
                 // valid — it never depended on this length's statistics.
-                timings.stage2_classify += classify_started.elapsed();
                 let drain_started = std::time::Instant::now();
                 if let Some(handle) = advance.take() {
                     handle.wait();
                     *next_ready = true;
                 }
-                timings.stage2_advance += drain_started.elapsed();
+                let drain_elapsed = drain_started.elapsed();
+                timings.stage2_advance += drain_elapsed;
+                step.advance += drain_elapsed;
                 let recompute_started = std::time::Instant::now();
                 let mp = stomp_parallel_in(values, length, excl, threads, pool)?;
                 let pairs = top_k_pairs(&mp, config.k);
-                timings.stage2_recompute += recompute_started.elapsed();
+                let recompute_elapsed = recompute_started.elapsed();
+                timings.stage2_recompute += recompute_elapsed;
+                step.recompute += recompute_elapsed;
                 return Ok((
                     LengthResult {
                         length,
@@ -644,7 +682,9 @@ fn step_length(
             } else {
                 f64::INFINITY
             };
-            timings.stage2_classify += classify_started.elapsed();
+            let classify_elapsed = classify_started.elapsed();
+            timings.stage2_classify += classify_elapsed;
+            step.classify += classify_elapsed;
 
             let recompute_started = std::time::Instant::now();
             let mut recomputed_rows = 0;
@@ -743,7 +783,9 @@ fn step_length(
             } else {
                 selection
             };
-            timings.stage2_recompute += recompute_started.elapsed();
+            let recompute_elapsed = recompute_started.elapsed();
+            timings.stage2_recompute += recompute_elapsed;
+            step.recompute += recompute_elapsed;
 
             // No re-seed happened: the overlapped advance (if any) is
             // valid — join it and promote at the next step.
@@ -752,7 +794,9 @@ fn step_length(
                 handle.wait();
                 *next_ready = !needs_rebuild;
             }
-            timings.stage2_advance += drain_started.elapsed();
+            let drain_elapsed = drain_started.elapsed();
+            timings.stage2_advance += drain_elapsed;
+            step.advance += drain_elapsed;
 
             Ok((
                 LengthResult {
@@ -772,6 +816,18 @@ fn step_length(
     };
     if needs_rebuild {
         dots.build(rows);
+    }
+    timings.per_length.push(step);
+
+    // Metrics flush — one relaxed add per counter per length step.
+    let s = result.stats;
+    obs::count!(stage2_lengths, 1);
+    obs::count!(stage2_dot_advances, dot_advances);
+    obs::count!(stage2_valid_rows, s.valid_rows as u64);
+    obs::count!(stage2_invalid_rows, s.invalid_rows as u64);
+    obs::count!(stage2_recomputed_rows, s.recomputed_rows as u64);
+    if s.stomp_fallback {
+        obs::count!(stage2_stomp_fallback, 1);
     }
     Ok(result)
 }

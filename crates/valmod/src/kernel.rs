@@ -111,6 +111,7 @@
 
 use valmod_fft::simd::{self, F64Lanes, SimdLevel};
 use valmod_mp::stomp::StompEngine;
+use valmod_obs as obs;
 
 use crate::partial::TopRhoSelector;
 
@@ -228,6 +229,7 @@ pub(crate) fn stage1_walk(
     profile_size: usize,
     level: SimdLevel,
 ) -> Stage1Part {
+    let _walk_span = obs::span("stage1_walk", obs::Layer::Kernel);
     let m = engine.num_windows();
     let l = engine.window();
     let lf = l as f64;
@@ -267,12 +269,43 @@ pub(crate) fn stage1_walk(
         _ => walk_lanes::<4, _>(simd::Portable, &ctx, first_diag, w, num_workers, &mut state),
     }
     // Flush the deferred prefilter credits.
+    let mut rejected: u64 = 0;
     for (selector, &r) in state.part.selectors.iter_mut().zip(&state.rej) {
         if r > 0 {
+            rejected += r;
             #[allow(clippy::cast_possible_truncation)]
             selector.count_rejected(r as usize);
         }
     }
+
+    // Metrics flush — once per walk, never per cell. The cell count is a
+    // pure function of the blocked partition geometry (each diagonal `k`
+    // holds `m − k` cells), the rejected count was deferred into
+    // `state.rej` during the walk, and every cell makes exactly two
+    // offers (row- and column-side), so the accepted-offer count follows
+    // arithmetically: four relaxed adds total.
+    let tile = 2 * level.width();
+    let stride = num_workers * tile;
+    let mut cells: u64 = 0;
+    let mut k0 = first_diag + w * tile;
+    while k0 < m {
+        for k in k0..(k0 + tile).min(m) {
+            cells += (m - k) as u64;
+        }
+        k0 += stride;
+    }
+    obs::count!(stage1_cells, cells);
+    obs::count!(stage1_prefilter_rejected, rejected);
+    obs::count!(stage1_offers, (2 * cells).saturating_sub(rejected));
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => obs::count!(stage1_dispatch_w8_packed, 1),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => obs::count!(stage1_dispatch_w4_packed, 1),
+        SimdLevel::Portable8 => obs::count!(stage1_dispatch_w8_portable, 1),
+        _ => obs::count!(stage1_dispatch_w4_portable, 1),
+    }
+
     state.part
 }
 

@@ -49,7 +49,7 @@ mod scratch;
 pub mod testkit;
 pub mod valmap;
 
-pub use algo::{run_valmod, LengthResult, LengthStats, StageTimings, ValmodOutput};
+pub use algo::{run_valmod, LengthResult, LengthStats, StageTimings, StepTimings, ValmodOutput};
 pub use config::ValmodConfig;
 pub use discord::{variable_length_discords, Discord, LengthDiscords};
 pub use lb::LbRowContext;

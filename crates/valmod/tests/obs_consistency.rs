@@ -1,0 +1,126 @@
+//! The observability counters must agree with the algorithm's own
+//! output: the Prometheus dump is a *view* of the run, not a second
+//! bookkeeping system that can drift.
+//!
+//! Single test function on purpose: the registry is process-global, so
+//! this binary holds exactly one test and measures counter deltas
+//! around exactly one `run_valmod` call.
+
+use valmod_core::{run_valmod, ValmodConfig};
+use valmod_obs as obs;
+use valmod_series::gen;
+
+struct KernelCounters {
+    cells: u64,
+    offers: u64,
+    rejected: u64,
+    dispatches: u64,
+}
+
+struct Stage2Counters {
+    lengths: u64,
+    valid: u64,
+    invalid: u64,
+    recomputed: u64,
+    advances: u64,
+}
+
+fn kernel_counters() -> KernelCounters {
+    let m = obs::metrics();
+    KernelCounters {
+        cells: m.stage1_cells.get(),
+        offers: m.stage1_offers.get(),
+        rejected: m.stage1_prefilter_rejected.get(),
+        dispatches: m.stage1_dispatch_w8_packed.get()
+            + m.stage1_dispatch_w4_packed.get()
+            + m.stage1_dispatch_w8_portable.get()
+            + m.stage1_dispatch_w4_portable.get(),
+    }
+}
+
+fn stage2_counters() -> Stage2Counters {
+    let m = obs::metrics();
+    Stage2Counters {
+        lengths: m.stage2_lengths.get(),
+        valid: m.stage2_valid_rows.get(),
+        invalid: m.stage2_invalid_rows.get(),
+        recomputed: m.stage2_recomputed_rows.get(),
+        advances: m.stage2_dot_advances.get(),
+    }
+}
+
+/// Whether this build records metrics at all (the `obs-off` leg of CI
+/// compiles every recording operation out; the view then has nothing to
+/// be consistent *with*).
+fn obs_enabled() -> bool {
+    let probe = obs::metrics().journal_replayed.get();
+    obs::metrics().journal_replayed.add(1);
+    obs::metrics().journal_replayed.get() == probe + 1
+}
+
+#[test]
+fn counters_match_the_runs_own_output() {
+    if !obs_enabled() {
+        return;
+    }
+    let series = gen::ecg(400, &gen::EcgConfig::default(), 17);
+    let config = ValmodConfig::new(16, 28).with_k(3).with_threads(2);
+    let k0 = kernel_counters();
+    let s0 = stage2_counters();
+    let output = run_valmod(&series, &config).unwrap();
+    let k1 = kernel_counters();
+    let s1 = stage2_counters();
+
+    // Stage 1: every walked cell makes one row-side and one column-side
+    // offer, minus the prefilter rejections flushed from the walk state.
+    let cells = k1.cells - k0.cells;
+    let offers = k1.offers - k0.offers;
+    let rejected = k1.rejected - k0.rejected;
+    assert!(cells > 0, "the walk visited no cells");
+    assert_eq!(offers, 2 * cells - rejected, "offer accounting drifted");
+    assert!(rejected <= 2 * cells);
+    // The exact cell count: diagonal k of the l_min profile holds m-k
+    // cells, walked once across all workers.
+    let m = series.len() - config.l_min + 1;
+    let first_diag = config.exclusion(config.l_min) + 1;
+    let expect_cells: u64 = (first_diag..m).map(|k| (m - k) as u64).sum();
+    assert_eq!(cells, expect_cells);
+    // One dispatch count per worker walk, whatever the SIMD level. The
+    // worker count is demand-clamped (a small series may not fill every
+    // thread), so bound it rather than pin it.
+    let dispatches = k1.dispatches - k0.dispatches;
+    assert!((1..=2).contains(&dispatches), "dispatches {dispatches} outside 1..=threads");
+
+    // Stage 2: the counters must equal the sums the output itself
+    // reports (the paper's valid/non-valid pruning accounting).
+    let steps: &[valmod_core::LengthResult] = &output.per_length[1..];
+    assert_eq!(s1.lengths - s0.lengths, steps.len() as u64);
+    let sum = |f: fn(&valmod_core::LengthStats) -> usize| -> u64 {
+        steps.iter().map(|r| f(&r.stats) as u64).sum()
+    };
+    assert_eq!(s1.valid - s0.valid, sum(|s| s.valid_rows));
+    assert_eq!(s1.invalid - s0.invalid, sum(|s| s.invalid_rows));
+    assert_eq!(s1.recomputed - s0.recomputed, sum(|s| s.recomputed_rows));
+    assert!(s1.advances > s0.advances, "no dot advances recorded");
+
+    // Satellite: the per-length stage-2 timing breakdown covers exactly
+    // the stepped lengths, in order.
+    let stepped: Vec<usize> = output.timings.per_length.iter().map(|t| t.length).collect();
+    let expect: Vec<usize> = steps.iter().map(|r| r.length).collect();
+    assert_eq!(stepped, expect);
+
+    // The Prometheus dump renders these exact totals — the CLI's
+    // `--metrics -` output is this same string.
+    let dump = obs::render_prometheus();
+    for (name, value) in [
+        ("valmod_stage1_cells_total", k1.cells),
+        ("valmod_stage1_offers_total", k1.offers),
+        ("valmod_stage1_prefilter_rejected_total", k1.rejected),
+        ("valmod_stage2_valid_rows_total", s1.valid),
+        ("valmod_stage2_invalid_rows_total", s1.invalid),
+        ("valmod_stage2_recomputed_rows_total", s1.recomputed),
+    ] {
+        let line = format!("{name} {value}");
+        assert!(dump.lines().any(|l| l == line), "missing `{line}` in dump");
+    }
+}
