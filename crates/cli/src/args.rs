@@ -16,6 +16,8 @@ pub enum Command {
     MotifSet(MotifSetArgs),
     /// Tail a file or stdin and emit VALMAP deltas as NDJSON.
     Stream(StreamArgs),
+    /// Run the multi-tenant streaming daemon.
+    Serve(ServeArgs),
     /// Print usage.
     Help,
 }
@@ -137,6 +139,47 @@ pub struct StreamArgs {
     pub trace_out: Option<String>,
 }
 
+/// Arguments of `valmod serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// TCP bind address (`host:port`; port 0 picks a free port, which the
+    /// `serving` NDJSON line reports). Mutually exclusive with `unix`.
+    pub bind: Option<String>,
+    /// Unix domain socket path. Mutually exclusive with `bind`.
+    pub unix: Option<String>,
+    /// Minimum subsequence length.
+    pub l_min: usize,
+    /// Maximum subsequence length.
+    pub l_max: usize,
+    /// Motif pairs per length.
+    pub k: usize,
+    /// Partial-profile size `p`.
+    pub p: usize,
+    /// Worker threads of the one shared pool (defaults to the hardware
+    /// parallelism).
+    pub threads: Option<usize>,
+    /// Per-tenant warmup target (defaults to the minimum the length
+    /// range requires).
+    pub warmup: Option<usize>,
+    /// Per-tenant storage capacity in points (unbounded when absent).
+    pub capacity: Option<usize>,
+    /// Global memory budget across all tenants, bytes (unbounded when
+    /// absent).
+    pub mem_budget: Option<u64>,
+    /// Per-tenant lane depth (queued operations before backpressure).
+    pub lane_depth: usize,
+    /// Durability root; each tenant checkpoints under
+    /// `DIR/tenants/<name>/` (durability off when absent).
+    pub checkpoint_dir: Option<String>,
+    /// Accepted samples between a tenant's periodic checkpoints
+    /// (staggered across tenants; 0 = checkpoint only at bootstrap and
+    /// shutdown).
+    pub checkpoint_every: u64,
+    /// Optional path for the exit-time tenant-labeled Prometheus dump
+    /// (`-` for stdout).
+    pub metrics: Option<String>,
+}
+
 /// A parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError(pub String);
@@ -164,6 +207,10 @@ USAGE:
                 [--warmup N] [--every N] [--capacity N] [--follow] [--poll-ms N]
                 [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
                 [--metrics-every N] [--metrics PATH|-] [--trace-out FILE]
+  valmod serve --lmin N --lmax N [--bind HOST:PORT | --unix PATH] [--k N] [--p N]
+               [--threads N] [--warmup N] [--capacity N] [--mem-budget BYTES]
+               [--lane-depth N] [--checkpoint-dir DIR] [--checkpoint-every N]
+               [--metrics PATH|-]
   valmod help
 
 `--metrics` writes an end-of-run Prometheus-style text dump of every
@@ -182,6 +229,17 @@ end-of-file finishes the stream as before. With `--checkpoint-dir` the
 session is crash-safe: atomic checkpoints every `--checkpoint-every`
 samples plus a per-sample journal, and `--resume` recovers the newest
 valid generation (journal replayed, bit-identical state) after a crash.
+
+`serve` hosts many independent tenant streams over one shared worker
+pool behind a framed socket protocol (length-prefixed frames, NDJSON
+responses): clients `open` named tenants, `append` samples, query
+`valmap`/`motifs`/`discords`/`snapshot`, and `shutdown` checkpoints
+every tenant before the daemon exits. Defaults to `--bind 127.0.0.1:0`
+(a free port, reported on the `serving` line). Each tenant gets a fair
+scheduler lane (`--lane-depth` pending operations before a typed
+`saturated` error) and, with `--checkpoint-dir`, its own crash-safe
+store under `DIR/tenants/<name>/` with checkpoint generations staggered
+across tenants.
 ";
 
 fn take_value<'a>(
@@ -212,6 +270,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
         "generate" => parse_generate(rest),
         "motif-set" => parse_motif_set(rest),
         "stream" => parse_stream(rest),
+        "serve" => parse_serve(rest),
         other => Err(ParseError(format!("unknown command {other:?}"))),
     }
 }
@@ -384,6 +443,57 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
         metrics_every,
         metrics,
         trace_out,
+    }))
+}
+
+fn parse_serve(rest: &[&str]) -> Result<Command, ParseError> {
+    let (mut bind, mut unix, mut l_min, mut l_max) = (None, None, None, None);
+    let (mut k, mut p, mut threads) = (10usize, 8usize, None);
+    let (mut warmup, mut capacity, mut mem_budget) = (None, None, None);
+    let mut lane_depth = 64usize;
+    let (mut checkpoint_dir, mut checkpoint_every) = (None, 256u64);
+    let mut metrics = None;
+    let mut it = rest.iter().copied();
+    while let Some(flag) = it.next() {
+        match flag {
+            "--bind" => bind = Some(take_value(flag, &mut it)?.to_string()),
+            "--unix" => unix = Some(take_value(flag, &mut it)?.to_string()),
+            "--lmin" => l_min = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--lmax" => l_max = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--k" => k = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--p" => p = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--threads" => threads = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--warmup" => warmup = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--capacity" => capacity = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--mem-budget" => mem_budget = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--lane-depth" => lane_depth = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--checkpoint-dir" => checkpoint_dir = Some(take_value(flag, &mut it)?.to_string()),
+            "--checkpoint-every" => checkpoint_every = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--metrics" => metrics = Some(take_value(flag, &mut it)?.to_string()),
+            other => return Err(ParseError(format!("unknown flag {other:?} for serve"))),
+        }
+    }
+    if bind.is_some() && unix.is_some() {
+        return Err(ParseError("--bind and --unix are mutually exclusive".into()));
+    }
+    if lane_depth == 0 {
+        return Err(ParseError("--lane-depth must be at least 1".into()));
+    }
+    Ok(Command::Serve(ServeArgs {
+        bind,
+        unix,
+        l_min: l_min.ok_or_else(|| ParseError("serve requires --lmin".into()))?,
+        l_max: l_max.ok_or_else(|| ParseError("serve requires --lmax".into()))?,
+        k,
+        p,
+        threads,
+        warmup,
+        capacity,
+        mem_budget,
+        lane_depth,
+        checkpoint_dir,
+        checkpoint_every,
+        metrics,
     }))
 }
 
@@ -689,6 +799,55 @@ mod tests {
         assert!(
             parse(&["run", "--input", "x", "--lmin", "8", "--lmax", "16", "--metrics"]).is_err()
         );
+    }
+
+    #[test]
+    fn serve_defaults_and_overrides() {
+        let cmd = parse(&["serve", "--lmin", "16", "--lmax", "24"]).unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert!(a.bind.is_none() && a.unix.is_none());
+                assert_eq!((a.l_min, a.l_max, a.k, a.p), (16, 24, 10, 8));
+                assert_eq!(a.lane_depth, 64);
+                assert_eq!(a.checkpoint_every, 256);
+                assert!(a.mem_budget.is_none() && a.checkpoint_dir.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "serve",
+            "--lmin",
+            "8",
+            "--lmax",
+            "12",
+            "--bind",
+            "127.0.0.1:4980",
+            "--mem-budget",
+            "1048576",
+            "--lane-depth",
+            "8",
+            "--checkpoint-dir",
+            "/tmp/serve",
+            "--checkpoint-every",
+            "64",
+            "--metrics",
+            "-",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.bind.as_deref(), Some("127.0.0.1:4980"));
+                assert_eq!(a.mem_budget, Some(1_048_576));
+                assert_eq!((a.lane_depth, a.checkpoint_every), (8, 64));
+                assert_eq!(a.checkpoint_dir.as_deref(), Some("/tmp/serve"));
+                assert_eq!(a.metrics.as_deref(), Some("-"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["serve", "--lmin", "8"]).is_err());
+        assert!(parse(&["serve", "--lmin", "8", "--lmax", "12", "--bind", "a:1", "--unix", "/s"])
+            .is_err());
+        assert!(parse(&["serve", "--lmin", "8", "--lmax", "12", "--lane-depth", "0"]).is_err());
     }
 
     #[test]

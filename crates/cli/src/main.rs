@@ -11,7 +11,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use args::{Command, GenerateArgs, MotifSetArgs, ProfileArgs, RunArgs, StreamArgs};
+use args::{Command, GenerateArgs, MotifSetArgs, ProfileArgs, RunArgs, ServeArgs, StreamArgs};
 use valmod_core::render::{render_valmap, sparkline};
 use valmod_core::{expand_motif_set, run_valmod, ValmodConfig};
 use valmod_mp::motif::{top_k_discords, top_k_pairs};
@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         Command::Generate(a) => cmd_generate(&a),
         Command::MotifSet(a) => cmd_motif_set(&a),
         Command::Stream(a) => cmd_stream(&a),
+        Command::Serve(a) => cmd_serve(&a),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -236,9 +237,6 @@ struct StreamSession {
     store: Option<valmod_stream::CheckpointStore>,
     checkpoint_every: usize,
     since_checkpoint: usize,
-    /// Accepted samples to silently re-skip: a `--resume` over a file
-    /// re-reads the prefix the recovered engine already holds.
-    fast_forward: u64,
 }
 
 impl StreamSession {
@@ -268,17 +266,6 @@ impl StreamSession {
         line_no: usize,
         out: &mut impl Write,
     ) -> Result<(), Box<dyn std::error::Error>> {
-        if self.fast_forward > 0 {
-            // The recovered engine already holds this sample; a
-            // non-finite one was skipped by the original run too (count
-            // it so the final summary matches, but warn only once live).
-            if value.is_finite() {
-                self.fast_forward -= 1;
-            } else {
-                self.core.add_skipped(1);
-            }
-            return Ok(());
-        }
         let outcome = match self.core.feed(value) {
             Ok(outcome) => outcome,
             // A full bounded buffer is back-pressure, not a skippable
@@ -311,6 +298,9 @@ impl StreamSession {
             }
         };
         match outcome {
+            // The resume fast-forward consumed a re-read prefix sample
+            // the recovered engine already holds.
+            valmod_stream::FeedOutcome::Replayed => {}
             valmod_stream::FeedOutcome::Buffered => {}
             valmod_stream::FeedOutcome::Skipped { warn } => {
                 // A bad sample is skippable; the feed goes on — but at
@@ -508,21 +498,10 @@ fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(threads) = a.threads {
         config = config.with_threads(threads);
     }
-    // The engine needs room for two non-trivially-matching windows of
-    // every length before it can bootstrap (ValmodConfig::validate's
-    // formula).
-    let needed = a.l_max + config.exclusion(a.l_max) + 1;
-    let warmup = a.warmup.unwrap_or(0).max(needed);
-    if let Some(cap) = a.capacity {
-        if cap < warmup {
-            return Err(format!(
-                "--capacity {cap} cannot hold the {warmup}-point bootstrap \
-                 (lengths up to {} need at least {needed} points)",
-                a.l_max
-            )
-            .into());
-        }
-    }
+    // The warmup floor and the capacity-vs-warmup check live in
+    // SessionCore (shared with the serve daemon's tenants); only the
+    // resumed path needs the effective target separately.
+    let warmup = valmod_stream::SessionCore::effective_warmup(&config, a.warmup);
 
     let from_stdin = a.input == "-";
     // The failpoint wrapper is a single relaxed atomic load per read
@@ -561,7 +540,7 @@ fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut fast_forward = 0u64;
     let mut recovered_event = None;
-    let core = match recovered {
+    let mut core = match recovered {
         Some(rec) => {
             let ckpt_cap = rec.engine.buffer().capacity();
             if a.capacity.is_some() && a.capacity != ckpt_cap {
@@ -586,8 +565,9 @@ fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
             }
             valmod_stream::SessionCore::resumed(rec.engine, warmup)
         }
-        None => valmod_stream::SessionCore::new(config, warmup, a.capacity),
+        None => valmod_stream::SessionCore::with_options(config, a.warmup, a.capacity)?,
     };
+    core.set_fast_forward(fast_forward);
 
     let mut session = StreamSession {
         core,
@@ -601,7 +581,6 @@ fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
         store,
         checkpoint_every: a.checkpoint_every,
         since_checkpoint: 0,
-        fast_forward,
     };
     if let Some(line) = recovered_event {
         writeln!(out, "{line}")?;
@@ -638,6 +617,44 @@ fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
             Err(e)
         }
     }
+}
+
+/// `valmod serve` — the multi-tenant streaming daemon. Binds the
+/// requested socket, prints a `serving` NDJSON line with the actual
+/// address (port 0 resolves to a free port), then blocks until a client
+/// issues the `shutdown` protocol command; shutdown checkpoints every
+/// tenant before the accept loop drains. The exit-time `--metrics` dump
+/// carries the per-tenant label dimension.
+fn cmd_serve(a: &ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ValmodConfig::new(a.l_min, a.l_max).with_k(a.k).with_profile_size(a.p);
+    if let Some(threads) = a.threads {
+        config = config.with_threads(threads);
+    }
+    let policy = valmod_stream::TenantPolicy {
+        warmup: a.warmup,
+        capacity: a.capacity,
+        mem_budget: a.mem_budget,
+        lane_depth: a.lane_depth,
+        checkpoint_root: a.checkpoint_dir.as_ref().map(std::path::PathBuf::from),
+        checkpoint_every: a.checkpoint_every,
+    };
+    let bind = match (&a.unix, &a.bind) {
+        (Some(path), _) => valmod_serve::Bind::Unix(path.into()),
+        (None, Some(addr)) => valmod_serve::Bind::Tcp(addr.clone()),
+        (None, None) => valmod_serve::Bind::Tcp("127.0.0.1:0".into()),
+    };
+    let handle = valmod_serve::serve(&bind, Arc::new(WorkerPool::new()), config, policy)?;
+    {
+        let mut stdout = std::io::stdout().lock();
+        writeln!(stdout, "{{\"event\":\"serving\",\"addr\":\"{}\"}}", handle.local_addr())?;
+        stdout.flush()?;
+    }
+    handle.join();
+    // After join the daemon has fully drained; the metrics registry
+    // still holds every tenant's final values.
+    write_obs_outputs(a.metrics.as_deref(), None)?;
+    println!("{{\"event\":\"stopped\"}}");
+    Ok(())
 }
 
 /// The read loop behind [`cmd_stream`]: line-at-a-time with explicit

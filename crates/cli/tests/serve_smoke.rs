@@ -1,0 +1,205 @@
+//! End-to-end smoke of `valmod serve`: the real binary, real sockets,
+//! concurrent tenants, the tenant-labeled Prometheus dump, clean
+//! shutdown with checkpoint-on-exit — and crash recovery after SIGKILL
+//! mid-serve.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use valmod_core::ValmodConfig;
+use valmod_obs as obs;
+use valmod_serve::{snapshot_checksum, Client};
+use valmod_stream::SessionCore;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_valmod"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("valmod_cli_serve_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Kills (and reaps) the daemon when dropped so a failing assert never
+/// leaks a listener.
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns `valmod serve` with the given extra flags and returns the
+/// child plus the address it bound (read from the `serving` line).
+fn spawn_serve(extra: &[&str]) -> (KillOnDrop, String) {
+    let mut child = bin()
+        .args(["serve", "--lmin", "8", "--lmax", "12", "--k", "2", "--threads", "2"])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map(KillOnDrop)
+        .expect("spawn valmod serve");
+    let stdout = child.0.stdout.as_mut().unwrap();
+    let mut first = String::new();
+    BufReader::new(stdout).read_line(&mut first).expect("read serving line");
+    assert!(first.contains("\"event\":\"serving\""), "unexpected first line: {first}");
+    let addr = first
+        .split("\"addr\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("serving line carries the address")
+        .to_string();
+    (child, addr)
+}
+
+/// Whether this build records metrics at all (the `obs-off` CI leg
+/// compiles the registry out of the daemon binary too — feature
+/// unification keeps this probe and the spawned binary in agreement).
+fn obs_enabled() -> bool {
+    let probe = obs::metrics().journal_replayed.get();
+    obs::metrics().journal_replayed.add(1);
+    obs::metrics().journal_replayed.get() == probe + 1
+}
+
+fn config() -> ValmodConfig {
+    ValmodConfig::new(8, 12).with_k(2).with_threads(2)
+}
+
+fn tenant_series(t: usize) -> Vec<f64> {
+    (0..110).map(|i| (i as f64 * (0.31 + t as f64 * 0.07)).sin() + t as f64).collect()
+}
+
+fn dedicated_checksum(series: &[f64]) -> String {
+    let mut session = SessionCore::with_options(config(), None, None).unwrap();
+    for &v in series {
+        session.feed(v).unwrap();
+    }
+    snapshot_checksum(&session.engine().unwrap().snapshot().unwrap())
+}
+
+#[test]
+fn serve_smoke_three_tenants_metrics_and_clean_shutdown() {
+    let ckpt = temp_path("smoke_ckpt");
+    let metrics_path = temp_path("smoke_metrics.prom");
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let (mut child, addr) = spawn_serve(&[
+        "--checkpoint-dir",
+        ckpt.to_str().unwrap(),
+        "--checkpoint-every",
+        "32",
+        "--metrics",
+        metrics_path.to_str().unwrap(),
+    ]);
+
+    // Three concurrent tenants, each on its own connection.
+    std::thread::scope(|s| {
+        for t in 0..3usize {
+            let addr = &addr;
+            s.spawn(move || {
+                let mut c = Client::connect_tcp(addr).expect("connect");
+                let name = format!("smoke-{t}");
+                c.open(&name).unwrap();
+                let series = tenant_series(t);
+                for chunk in series.chunks(19) {
+                    let lines = c.append(&name, chunk).unwrap();
+                    assert!(lines[0].contains("\"event\":\"append\""), "{name}: {}", lines[0]);
+                }
+            });
+        }
+    });
+
+    let mut c = Client::connect_tcp(&addr).unwrap();
+    // Every tenant's snapshot matches its dedicated single-stream run.
+    for t in 0..3usize {
+        let snap = c.snapshot(&format!("smoke-{t}")).unwrap();
+        let expect = dedicated_checksum(&tenant_series(t));
+        assert!(snap[0].contains(&format!("\"checksum\":\"{expect}\"")), "smoke-{t}: {}", snap[0]);
+    }
+    // The live Prometheus exposition carries the tenant dimension
+    // (unless this build compiled the registry out entirely).
+    let live_metrics = c.metrics().unwrap();
+    if obs_enabled() {
+        for t in 0..3usize {
+            assert!(
+                live_metrics.contains(&format!("{{tenant=\"smoke-{t}\"}}")),
+                "missing tenant label smoke-{t} in:\n{live_metrics}"
+            );
+        }
+    }
+
+    // Clean shutdown: the daemon checkpoints all tenants and exits 0.
+    let lines = c.shutdown().unwrap();
+    assert_eq!(
+        lines.iter().filter(|l| l.contains("\"event\":\"checkpoint\"")).count(),
+        3,
+        "{lines:?}"
+    );
+    let status = child.0.wait().unwrap();
+    assert!(status.success(), "daemon exited {status:?}");
+    for t in 0..3usize {
+        let dir = ckpt.join("tenants").join(format!("smoke-{t}"));
+        assert!(dir.is_dir(), "missing checkpoint dir {}", dir.display());
+        let has_ckpt = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .any(|e| e.file_name().to_string_lossy().starts_with("ckpt-"));
+        assert!(has_ckpt, "no checkpoint generation in {}", dir.display());
+    }
+    // The exit-time metrics dump was written and keeps the labels.
+    let dump = std::fs::read_to_string(&metrics_path).unwrap();
+    if obs_enabled() {
+        assert!(dump.contains("{tenant=\"smoke-0\"}"), "exit dump lost tenant labels:\n{dump}");
+    }
+    std::fs::remove_dir_all(&ckpt).unwrap();
+}
+
+#[test]
+fn sigkill_mid_serve_recovers_every_tenant_bit_identically() {
+    let ckpt = temp_path("sigkill_ckpt");
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let flags = ["--checkpoint-dir", ckpt.to_str().unwrap(), "--checkpoint-every", "16"];
+    let (mut child, addr) = spawn_serve(&flags);
+
+    // Feed two tenants fully; each append batch syncs the journal before
+    // responding, so everything acknowledged below must survive the kill.
+    let mut c = Client::connect_tcp(&addr).unwrap();
+    for t in 0..2usize {
+        let name = format!("crash-{t}");
+        c.open(&name).unwrap();
+        for chunk in tenant_series(t).chunks(23) {
+            c.append(&name, chunk).unwrap();
+        }
+    }
+    child.0.kill().unwrap();
+    child.0.wait().unwrap();
+
+    // A fresh daemon over the same root recovers both tenants with the
+    // exact state an uninterrupted run would have.
+    let (mut child, addr) = spawn_serve(&flags);
+    let mut c = Client::connect_tcp(&addr).unwrap();
+    for t in 0..2usize {
+        let name = format!("crash-{t}");
+        let open = c.open(&name).unwrap();
+        assert!(open[0].contains("\"status\":\"recovered\""), "{name}: {}", open[0]);
+        assert!(open[0].contains("\"len\":110"), "{name} lost samples: {}", open[0]);
+        let snap = c.snapshot(&name).unwrap();
+        let expect = dedicated_checksum(&tenant_series(t));
+        assert!(
+            snap[0].contains(&format!("\"checksum\":\"{expect}\"")),
+            "{name} diverged after recovery: {}",
+            snap[0]
+        );
+    }
+    // The recovered tenants keep serving appends.
+    let more = c.append("crash-0", &[0.25, 0.5]).unwrap();
+    assert!(more[0].contains("\"len\":112"), "{}", more[0]);
+    c.shutdown().unwrap();
+    assert!(child.0.wait().unwrap().success());
+    std::fs::remove_dir_all(&ckpt).unwrap();
+}

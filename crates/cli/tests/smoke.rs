@@ -186,7 +186,7 @@ fn stream_rejects_capacity_below_the_bootstrap_up_front() {
         .output()
         .unwrap();
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("--capacity 10"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("capacity 10 cannot hold"));
 }
 
 #[test]

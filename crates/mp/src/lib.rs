@@ -46,7 +46,7 @@ pub mod streaming;
 pub use abjoin::{abjoin, AbJoin};
 pub use mass::{DistanceProfiler, ProfileScratch};
 pub use motif::{top_k_pairs, MotifPair};
-pub use pool::WorkerPool;
+pub use pool::{LaneHandle, LanePriority, LaneSaturated, LaneTicket, WorkerPool};
 pub use profile::MatrixProfile;
 pub use scrimp::scrimp;
 pub use streaming::StreamingProfile;

@@ -49,11 +49,13 @@ pub mod metric;
 pub mod registry;
 pub mod render;
 pub mod span;
+pub mod tenant;
 
 pub use metric::{Counter, Gauge, Histogram, Timer};
 pub use registry::{metrics, Desc, Kind, Layer, MetricRef, Metrics, Unit};
-pub use render::{metrics_line, render_chrome_trace, render_prometheus};
+pub use render::{metrics_line, render_chrome_trace, render_prometheus, tenant_metrics_lines};
 pub use span::{span, spans_snapshot, Span, SpanGuard};
+pub use tenant::{tenant, tenants_snapshot, TenantMetrics};
 
 /// Starts a [`Timer`] observing into a histogram field of the static
 /// registry on drop; expands to a zero-sized no-op under `obs-off`.

@@ -28,6 +28,8 @@ pub enum Layer {
     Stream,
     /// Checkpoint/journal persistence.
     Persist,
+    /// The multi-tenant serve daemon (connections, frames, tenants).
+    Serve,
 }
 
 impl Layer {
@@ -40,6 +42,7 @@ impl Layer {
             Layer::Pool => "pool",
             Layer::Stream => "stream",
             Layer::Persist => "persist",
+            Layer::Serve => "serve",
         }
     }
 }
@@ -124,6 +127,9 @@ pub struct Metrics {
     pub pool_steals: Counter,
     pub pool_parks: Counter,
     pub pool_unparks: Counter,
+    pub pool_lane_submits: Counter,
+    pub pool_lane_rejections: Counter,
+    pub pool_lanes: Gauge,
     // -- streaming --
     pub stream_appends: Counter,
     pub stream_append_seconds: Histogram,
@@ -131,6 +137,13 @@ pub struct Metrics {
     pub stream_ring_occupancy: Gauge,
     pub stream_read_retries: Counter,
     pub stream_max_backoff_ms: Gauge,
+    pub stream_tree_updates: Counter,
+    pub stream_view_tree_pops: Counter,
+    pub stream_view_refreshes: Counter,
+    // -- serve daemon --
+    pub serve_connections: Counter,
+    pub serve_frames: Counter,
+    pub serve_tenants: Gauge,
     // -- persistence --
     pub ckpt_serialize_seconds: Histogram,
     pub ckpt_restore_seconds: Histogram,
@@ -160,12 +173,21 @@ impl Metrics {
             pool_steals: Counter::new(),
             pool_parks: Counter::new(),
             pool_unparks: Counter::new(),
+            pool_lane_submits: Counter::new(),
+            pool_lane_rejections: Counter::new(),
+            pool_lanes: Gauge::new(),
             stream_appends: Counter::new(),
             stream_append_seconds: Histogram::new(),
             stream_delta_batch: Histogram::new(),
             stream_ring_occupancy: Gauge::new(),
             stream_read_retries: Counter::new(),
             stream_max_backoff_ms: Gauge::new(),
+            stream_tree_updates: Counter::new(),
+            stream_view_tree_pops: Counter::new(),
+            stream_view_refreshes: Counter::new(),
+            serve_connections: Counter::new(),
+            serve_frames: Counter::new(),
+            serve_tenants: Gauge::new(),
             ckpt_serialize_seconds: Histogram::new(),
             ckpt_restore_seconds: Histogram::new(),
             ckpt_fsync_seconds: Histogram::new(),
@@ -398,6 +420,33 @@ static DESCRIPTORS: &[Desc] = &[
         "Worker wakeups out of the parked state"
     ),
     desc!(
+        "valmod_pool_lane_submits_total",
+        "",
+        Counter,
+        Pool,
+        Count,
+        pool_lane_submits,
+        "Jobs routed into a registered fair-scheduling lane"
+    ),
+    desc!(
+        "valmod_pool_lane_rejections_total",
+        "",
+        Counter,
+        Pool,
+        Count,
+        pool_lane_rejections,
+        "Lane admissions rejected by queue-depth backpressure"
+    ),
+    desc!(
+        "valmod_pool_lanes",
+        "",
+        Gauge,
+        Pool,
+        Count,
+        pool_lanes,
+        "Fair-scheduling lanes currently registered on the pool"
+    ),
+    desc!(
         "valmod_stream_appends_total",
         "",
         Counter,
@@ -452,6 +501,33 @@ static DESCRIPTORS: &[Desc] = &[
         "Largest read-retry backoff the stream CLI ever slept, in milliseconds"
     ),
     desc!(
+        "valmod_stream_tree_updates_total",
+        "",
+        Counter,
+        Stream,
+        Count,
+        stream_tree_updates,
+        "Tournament-tree leaf updates applied by profile changes under appends"
+    ),
+    desc!(
+        "valmod_stream_view_tree_pops_total",
+        "",
+        Counter,
+        Stream,
+        Count,
+        stream_view_tree_pops,
+        "Candidate entries popped best-first from the tournament trees during a live-view refresh"
+    ),
+    desc!(
+        "valmod_stream_view_refreshes_total",
+        "",
+        Counter,
+        Stream,
+        Count,
+        stream_view_refreshes,
+        "Live-view refreshes served by the incremental tree-driven path"
+    ),
+    desc!(
         "valmod_ckpt_serialize_seconds",
         "",
         Histogram,
@@ -496,6 +572,33 @@ static DESCRIPTORS: &[Desc] = &[
         journal_replayed,
         "Journal samples replayed during crash recovery"
     ),
+    desc!(
+        "valmod_serve_connections_total",
+        "",
+        Counter,
+        Serve,
+        Count,
+        serve_connections,
+        "Client connections accepted by the serve daemon"
+    ),
+    desc!(
+        "valmod_serve_frames_total",
+        "",
+        Counter,
+        Serve,
+        Count,
+        serve_frames,
+        "Protocol frames processed by the serve daemon"
+    ),
+    desc!(
+        "valmod_serve_tenants",
+        "",
+        Gauge,
+        Serve,
+        Count,
+        serve_tenants,
+        "Tenant sessions currently open in the serve daemon"
+    ),
 ];
 
 #[cfg(test)]
@@ -535,7 +638,9 @@ mod tests {
 
     #[test]
     fn every_layer_is_instrumented() {
-        for layer in [Layer::Kernel, Layer::Stage2, Layer::Pool, Layer::Stream, Layer::Persist] {
+        for layer in
+            [Layer::Kernel, Layer::Stage2, Layer::Pool, Layer::Stream, Layer::Persist, Layer::Serve]
+        {
             assert!(
                 Metrics::descriptors().iter().any(|d| d.layer == layer),
                 "layer {} has no metrics",

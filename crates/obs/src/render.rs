@@ -18,6 +18,7 @@
 use crate::metric::{Histogram, BUCKETS};
 use crate::registry::{Kind, MetricRef, Metrics, Unit};
 use crate::span::spans_snapshot;
+use crate::tenant::{escape_label, tenants_snapshot, TENANT_DESCS};
 
 /// Renders one histogram bucket bound: `2^i` raw units, as seconds for
 /// nanosecond histograms (shortest round-trip float) or as an integer
@@ -87,6 +88,29 @@ pub fn render_prometheus() -> String {
             }
         }
     }
+    // The per-tenant dimension: one sample per registered tenant under a
+    // `tenant="..."` label, HELP/TYPE once per family — the same family
+    // grouping discipline as the labeled static descriptors above.
+    let tenants = tenants_snapshot();
+    if !tenants.is_empty() {
+        for d in TENANT_DESCS {
+            let type_name = match d.kind {
+                Kind::Counter => "counter",
+                Kind::Gauge => "gauge",
+                Kind::Histogram => "histogram",
+            };
+            out.push_str(&format!("# HELP {} {}\n", d.name, d.help));
+            out.push_str(&format!("# TYPE {} {}\n", d.name, type_name));
+            for (name, m) in &tenants {
+                out.push_str(&format!(
+                    "{}{{tenant=\"{}\"}} {}\n",
+                    d.name,
+                    escape_label(name),
+                    (d.get)(m)
+                ));
+            }
+        }
+    }
     out
 }
 
@@ -116,10 +140,12 @@ pub fn render_chrome_trace() -> String {
     let spans = spans_snapshot();
     let mut out = String::with_capacity(64 + spans.len() * 96);
     out.push_str("{\"traceEvents\":[");
-    for (i, s) in spans.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for s in &spans {
+        if !first {
             out.push(',');
         }
+        first = false;
         out.push_str(&format!(
             "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
             json_str(s.name),
@@ -127,6 +153,29 @@ pub fn render_chrome_trace() -> String {
             s.start_ns as f64 / 1e3,
             s.dur_ns as f64 / 1e3,
             s.tid
+        ));
+    }
+    // The tenant dimension: one Chrome counter (`"ph":"C"`) event per
+    // tenant at export time, carrying the full per-tenant metric set in
+    // `args` — Perfetto renders these as named counter tracks.
+    let export_ts = crate::span::now_ns() as f64 / 1e3;
+    for (name, m) in tenants_snapshot() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let mut args = String::new();
+        for (i, d) in TENANT_DESCS.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            args.push_str(&format!("{}:{}", json_str(tenant_field_key(d.name)), (d.get)(&m)));
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"cat\":\"serve\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":0,\"args\":{{{}}}}}",
+            json_str(&format!("tenant:{name}")),
+            export_ts,
+            args
         ));
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
@@ -157,6 +206,36 @@ pub fn metrics_line(points: usize) -> String {
     }
     out.push('}');
     out
+}
+
+/// NDJSON field key of a per-tenant family: the exposition name minus
+/// the `valmod_tenant_` prefix and the counter `_total` suffix.
+fn tenant_field_key(name: &str) -> &str {
+    name.strip_prefix("valmod_tenant_").unwrap_or(name).trim_end_matches("_total")
+}
+
+/// The per-tenant NDJSON `tenant_metrics` events, one single-line JSON
+/// document per registered tenant — the tenant-labeled counterpart of
+/// [`metrics_line`], emitted on the serve daemon's delta channels. The
+/// static line's schema is untouched: tenants are a separate event so
+/// existing `metrics` consumers never see a schema change.
+#[must_use]
+pub fn tenant_metrics_lines(points: usize) -> Vec<String> {
+    tenants_snapshot()
+        .into_iter()
+        .map(|(name, m)| {
+            let mut out = String::with_capacity(256);
+            out.push_str(&format!(
+                "{{\"event\":\"tenant_metrics\",\"tenant\":\"{}\",\"points\":{points}",
+                escape_label(&name)
+            ));
+            for d in TENANT_DESCS {
+                out.push_str(&format!(",\"{}\":{}", tenant_field_key(d.name), (d.get)(&m)));
+            }
+            out.push('}');
+            out
+        })
+        .collect()
 }
 
 /// NDJSON key for a descriptor: the exposition name minus the
@@ -290,6 +369,9 @@ mod tests {
             "pool_steals",
             "pool_parks",
             "pool_unparks",
+            "pool_lane_submits",
+            "pool_lane_rejections",
+            "pool_lanes",
             "stream_appends",
             "stream_append_seconds_count",
             "stream_append_seconds_sum",
@@ -298,6 +380,9 @@ mod tests {
             "stream_ring_occupancy",
             "stream_read_retries",
             "stream_max_backoff_ms",
+            "stream_tree_updates",
+            "stream_view_tree_pops",
+            "stream_view_refreshes",
             "ckpt_serialize_seconds_count",
             "ckpt_serialize_seconds_sum",
             "ckpt_restore_seconds_count",
@@ -306,6 +391,9 @@ mod tests {
             "ckpt_fsync_seconds_sum",
             "ckpt_published",
             "journal_replayed",
+            "serve_connections",
+            "serve_frames",
+            "serve_tenants",
         ];
         let line = metrics_line(7);
         // Values are bare JSON numbers, so commas only separate members.
@@ -320,6 +408,44 @@ mod tests {
             })
             .collect();
         assert_eq!(keys, GOLDEN);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn renderers_carry_the_tenant_dimension() {
+        use crate::tenant::{reset_tenants, tenant, test_guard};
+        let _g = test_guard();
+        reset_tenants();
+        let t = tenant("render-tenant-a");
+        t.appends.add(41);
+        t.mem_bytes.set(1024);
+        let _ = tenant("render \"quoted\" tenant");
+
+        let dump = render_prometheus();
+        assert_eq!(dump.matches("# TYPE valmod_tenant_appends_total counter").count(), 1);
+        assert_eq!(dump.matches("# TYPE valmod_tenant_mem_bytes gauge").count(), 1);
+        assert!(dump.contains("valmod_tenant_appends_total{tenant=\"render-tenant-a\"} 41"));
+        assert!(dump.contains("valmod_tenant_mem_bytes{tenant=\"render-tenant-a\"} 1024"));
+        assert!(dump.contains("{tenant=\"render \\\"quoted\\\" tenant\"}"));
+
+        let doc = render_chrome_trace();
+        assert!(doc.contains("\"name\":\"tenant:render-tenant-a\""));
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("\"appends\":41"));
+        assert!(doc.ends_with("\"displayTimeUnit\":\"ms\"}"));
+
+        let lines = tenant_metrics_lines(99);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(
+            "{\"event\":\"tenant_metrics\",\"tenant\":\"render-tenant-a\",\"points\":99"
+        ));
+        assert!(lines[0].contains("\"appends\":41"));
+        assert!(lines[0].contains("\"mem_bytes\":1024"));
+        assert!(lines[0].ends_with('}') && !lines[0].contains('\n'));
+
+        // The static NDJSON line stays tenant-free: separate event type.
+        assert!(!metrics_line(1).contains("render-tenant-a"));
+        reset_tenants();
     }
 
     #[test]

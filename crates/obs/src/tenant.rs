@@ -1,0 +1,211 @@
+//! The per-tenant metric dimension.
+//!
+//! The static [`crate::registry`] is deliberately const-initialized —
+//! one field access plus a relaxed atomic per event, no locks, no
+//! registration. Tenants are the one dimension that cannot be static:
+//! the serve daemon opens and closes named sessions at runtime. This
+//! module adds a small *dynamic* registry beside the static one, under
+//! the same recording discipline:
+//!
+//! * [`tenant`] resolves a name to its [`TenantMetrics`] once (one lock
+//!   acquisition, amortized by the caller caching the `Arc`); every
+//!   *recording* after that is the same lock-free relaxed atomic as the
+//!   static registry — the hot append path never touches the map.
+//! * The per-tenant metric *set* is fixed ([`TENANT_DESCS`]), so the
+//!   renderers iterate `tenants × descriptors` exactly like they iterate
+//!   the static table, and the exposition schema stays knowable.
+//!
+//! All three renderers carry the dimension: the Prometheus exposition
+//! emits one sample per tenant with a `tenant="..."` label, the Chrome
+//! trace appends one `"C"` (counter) event per tenant at export time,
+//! and the NDJSON metrics line nests a `"tenants"` object keyed by
+//! tenant name. Under `obs-off` the map is never populated and every
+//! recording is a no-op, like the rest of the crate.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metric::{Counter, Gauge};
+
+/// The fixed metric set every tenant carries. Recording through the
+/// fields is lock-free (relaxed atomics); resolution of a name to this
+/// struct is [`tenant`].
+#[derive(Debug, Default)]
+pub struct TenantMetrics {
+    /// Samples appended to this tenant's engine (accepted, not skipped).
+    pub appends: Counter,
+    /// Queries served (snapshot/valmap/motifs/discords/summary).
+    pub queries: Counter,
+    /// VALMAP delta entries emitted to this tenant's delta stream.
+    pub deltas: Counter,
+    /// Operations rejected by backpressure (lane saturation or the
+    /// global memory budget).
+    pub backpressure: Counter,
+    /// Checkpoint generations published for this tenant.
+    pub checkpoints: Counter,
+    /// Accounted engine memory, in bytes.
+    pub mem_bytes: Gauge,
+}
+
+/// Metadata of one per-tenant family: exposition name (already carrying
+/// the Prometheus `_total` suffix where applicable), kind, help, and the
+/// field accessor.
+pub struct TenantDesc {
+    /// Full exposition name (`valmod_tenant_*`).
+    pub name: &'static str,
+    /// Metric kind (only counters and gauges exist per tenant).
+    pub kind: crate::registry::Kind,
+    /// One-line meaning for `# HELP`.
+    pub help: &'static str,
+    /// Reads the live value out of a tenant's metric set.
+    pub get: fn(&TenantMetrics) -> i64,
+}
+
+/// The per-tenant families, in exposition order.
+pub static TENANT_DESCS: &[TenantDesc] = &[
+    TenantDesc {
+        name: "valmod_tenant_appends_total",
+        kind: crate::registry::Kind::Counter,
+        help: "Samples appended per tenant",
+        get: |t| t.appends.get() as i64,
+    },
+    TenantDesc {
+        name: "valmod_tenant_queries_total",
+        kind: crate::registry::Kind::Counter,
+        help: "Queries served per tenant",
+        get: |t| t.queries.get() as i64,
+    },
+    TenantDesc {
+        name: "valmod_tenant_deltas_total",
+        kind: crate::registry::Kind::Counter,
+        help: "VALMAP delta entries emitted per tenant",
+        get: |t| t.deltas.get() as i64,
+    },
+    TenantDesc {
+        name: "valmod_tenant_backpressure_total",
+        kind: crate::registry::Kind::Counter,
+        help: "Operations rejected by backpressure per tenant",
+        get: |t| t.backpressure.get() as i64,
+    },
+    TenantDesc {
+        name: "valmod_tenant_checkpoints_total",
+        kind: crate::registry::Kind::Counter,
+        help: "Checkpoint generations published per tenant",
+        get: |t| t.checkpoints.get() as i64,
+    },
+    TenantDesc {
+        name: "valmod_tenant_mem_bytes",
+        kind: crate::registry::Kind::Gauge,
+        help: "Accounted engine memory per tenant, in bytes",
+        get: |t| t.mem_bytes.get(),
+    },
+];
+
+/// The registration list: insertion order is exposition order.
+type TenantList = Mutex<Vec<(String, Arc<TenantMetrics>)>>;
+
+/// Registration order is insertion order, so expositions are stable
+/// across scrapes of one process.
+fn registry() -> &'static TenantList {
+    static TENANTS: OnceLock<TenantList> = OnceLock::new();
+    TENANTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Resolves (registering on first sight) the metric set of one tenant.
+/// Callers cache the returned `Arc` so the map lock is paid once per
+/// tenant lifetime, not per event. Under `obs-off` nothing is
+/// registered and a shared no-op set is returned.
+#[must_use]
+pub fn tenant(name: &str) -> Arc<TenantMetrics> {
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = name;
+        static DUMMY: OnceLock<Arc<TenantMetrics>> = OnceLock::new();
+        Arc::clone(DUMMY.get_or_init(|| Arc::new(TenantMetrics::default())))
+    }
+    #[cfg(not(feature = "obs-off"))]
+    {
+        let mut tenants = registry().lock().expect("tenant registry poisoned");
+        if let Some((_, m)) = tenants.iter().find(|(n, _)| n == name) {
+            return Arc::clone(m);
+        }
+        let m = Arc::new(TenantMetrics::default());
+        tenants.push((name.to_string(), Arc::clone(&m)));
+        Arc::clone(&m)
+    }
+}
+
+/// Every registered tenant with its metric set, in registration order.
+/// Empty under `obs-off`.
+#[must_use]
+pub fn tenants_snapshot() -> Vec<(String, Arc<TenantMetrics>)> {
+    registry().lock().expect("tenant registry poisoned").clone()
+}
+
+/// Drops every tenant registration — test isolation support (tenant
+/// metrics otherwise persist for the process lifetime, as Prometheus
+/// scrapers expect).
+pub fn reset_tenants() {
+    registry().lock().expect("tenant registry poisoned").clear();
+}
+
+/// Escapes a tenant name for use inside a Prometheus label value or a
+/// JSON string (the two grammars share these escapes).
+#[must_use]
+pub fn escape_label(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes tests that mutate the process-global tenant registry
+/// (they run in parallel threads within one test binary otherwise).
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_resolution_is_idempotent() {
+        let _g = test_guard();
+        let a = tenant("idempotent-check");
+        a.appends.add(3);
+        let b = tenant("idempotent-check");
+        #[cfg(not(feature = "obs-off"))]
+        assert_eq!(b.appends.get(), 3, "same tenant name must resolve to the same set");
+        let _ = b;
+        reset_tenants();
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn snapshot_preserves_registration_order() {
+        let _g = test_guard();
+        reset_tenants();
+        for name in ["z-last", "a-first", "m-mid"] {
+            let _ = tenant(name);
+        }
+        let names: Vec<String> = tenants_snapshot().into_iter().map(|(n, _)| n).collect();
+        let pos = |n: &str| names.iter().position(|x| x == n).unwrap();
+        assert!(pos("z-last") < pos("a-first") && pos("a-first") < pos("m-mid"));
+        reset_tenants();
+    }
+
+    #[test]
+    fn label_escaping_covers_json_and_prometheus() {
+        assert_eq!(escape_label("plain-name_1.2"), "plain-name_1.2");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

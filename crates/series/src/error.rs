@@ -43,6 +43,14 @@ pub enum SeriesError {
         /// The buffer's fixed capacity, in points.
         capacity: usize,
     },
+    /// A bounded capacity cannot even hold the warmup prefix a session
+    /// needs before its engine can bootstrap.
+    CapacityTooSmall {
+        /// The requested storage bound, in points.
+        capacity: usize,
+        /// The warmup (bootstrap) target the capacity must hold.
+        warmup: usize,
+    },
     /// A checkpoint file is unreadable: truncated, bit-flipped (checksum
     /// mismatch), wrong magic, or structurally inconsistent. Recovery
     /// treats this as "fall back to the previous generation", never as a
@@ -89,6 +97,9 @@ impl fmt::Display for SeriesError {
             Self::CapacityExceeded { capacity } => {
                 write!(f, "append exceeds the buffer's fixed capacity of {capacity} points")
             }
+            Self::CapacityTooSmall { capacity, warmup } => {
+                write!(f, "capacity {capacity} cannot hold the {warmup}-point bootstrap")
+            }
             Self::CheckpointCorrupt { detail } => {
                 write!(f, "checkpoint is corrupt: {detail}")
             }
@@ -131,6 +142,7 @@ mod tests {
             (SeriesError::InvalidSubsequence { offset: 9, length: 4, series_len: 10 }, "offset=9"),
             (SeriesError::InvalidRange { l_min: 10, l_max: 5 }, "[10, 5]"),
             (SeriesError::CapacityExceeded { capacity: 1024 }, "capacity of 1024"),
+            (SeriesError::CapacityTooSmall { capacity: 20, warmup: 64 }, "64-point bootstrap"),
             (SeriesError::CheckpointCorrupt { detail: "short header".into() }, "short header"),
             (SeriesError::CheckpointMismatch { detail: "l_min 8 vs 16".into() }, "l_min 8 vs 16"),
             (SeriesError::Parse { line: 7, token: "abc".into() }, "line 7"),

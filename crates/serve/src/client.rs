@@ -1,0 +1,141 @@
+//! A blocking client for the serve protocol.
+//!
+//! Thin by design: one request frame out, one response frame in,
+//! responses surfaced as the NDJSON lines the daemon produced. Typed
+//! helpers cover the common calls; [`Client::request`] sends any raw
+//! command line (the protocol grammar lives in [`crate::proto`]).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::frame::{read_frame, write_frame};
+
+enum Transport {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a serve daemon.
+pub struct Client {
+    transport: Transport,
+}
+
+impl Client {
+    /// Connects over TCP (e.g. `"127.0.0.1:4980"`).
+    ///
+    /// # Errors
+    ///
+    /// Socket connect errors.
+    pub fn connect_tcp(addr: &str) -> io::Result<Self> {
+        Ok(Self { transport: Transport::Tcp(TcpStream::connect(addr)?) })
+    }
+
+    /// Connects over a Unix domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Socket connect errors.
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self { transport: Transport::Unix(UnixStream::connect(path)?) })
+    }
+
+    /// Sends one raw command line and returns the response's NDJSON
+    /// lines (a `metrics` response is raw Prometheus text — still
+    /// returned as its lines).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`io::ErrorKind::ConnectionAborted`] when
+    /// the daemon closed without answering.
+    pub fn request(&mut self, line: &str) -> io::Result<Vec<String>> {
+        write_frame(&mut self.transport, line.as_bytes())?;
+        let payload = read_frame(&mut self.transport)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::ConnectionAborted, "daemon closed before responding")
+        })?;
+        let text = String::from_utf8(payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))?;
+        Ok(text.lines().map(str::to_string).collect())
+    }
+
+    /// `open <tenant>`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn open(&mut self, tenant: &str) -> io::Result<Vec<String>> {
+        self.request(&format!("open {tenant}"))
+    }
+
+    /// `append <tenant> <values...>` — returns the append report line
+    /// followed by this batch's VALMAP delta lines.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn append(&mut self, tenant: &str, values: &[f64]) -> io::Result<Vec<String>> {
+        let mut line = String::with_capacity(16 + values.len() * 8);
+        line.push_str("append ");
+        line.push_str(tenant);
+        for v in values {
+            line.push(' ');
+            line.push_str(&format!("{v}"));
+        }
+        self.request(&line)
+    }
+
+    /// `snapshot <tenant>` — returns the batch-grade snapshot checksum
+    /// line.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn snapshot(&mut self, tenant: &str) -> io::Result<Vec<String>> {
+        self.request(&format!("snapshot {tenant}"))
+    }
+
+    /// `metrics` — the tenant-labeled Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn metrics(&mut self) -> io::Result<String> {
+        Ok(self.request("metrics")?.join("\n"))
+    }
+
+    /// `shutdown` — checkpoints every tenant and stops the daemon;
+    /// returns the per-tenant checkpoint lines plus the shutdown line.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown(&mut self) -> io::Result<Vec<String>> {
+        self.request("shutdown")
+    }
+}

@@ -1,0 +1,102 @@
+//! Length-prefixed framing over any byte stream.
+//!
+//! One frame is a 4-byte big-endian length followed by that many bytes
+//! of UTF-8 payload. The protocol is strictly request/response — each
+//! request frame a client writes is answered by exactly one response
+//! frame — so framing is the only transport state, and the same
+//! functions serve both sides of the connection.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame's payload, shared by both sides: large
+/// enough for bulk append batches and full-valmap responses, small
+/// enough that a corrupt length prefix cannot drive an allocation bomb.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Writes one frame (length prefix + payload).
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidInput`] when the payload exceeds
+/// [`MAX_FRAME_BYTES`]; otherwise the underlying writer's errors.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte limit", payload.len()),
+        ));
+    }
+    let len = u32::try_from(payload.len()).expect("MAX_FRAME_BYTES fits in u32");
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. Returns `None` on a clean end-of-stream
+/// (the peer closed between frames); a close mid-frame is an error.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] for an oversized length prefix,
+/// [`io::ErrorKind::UnexpectedEof`] for a truncated frame, and the
+/// underlying reader's errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    // A clean EOF before any prefix byte means "no more requests".
+    match r.read(&mut prefix) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut prefix[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            r.read_exact(&mut prefix)?;
+        }
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"open tenant-a").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, "append t \u{3bb}".as_bytes()).unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"open tenant-a");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "append t \u{3bb}".as_bytes());
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF between frames");
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+
+        let huge = (u32::try_from(MAX_FRAME_BYTES).unwrap() + 1).to_be_bytes().to_vec();
+        let mut r = huge.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap_err().kind(), io::ErrorKind::InvalidData);
+
+        let mut sink = Vec::new();
+        let too_big = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert_eq!(
+            write_frame(&mut sink, &too_big).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # `valmod-serve` — the multi-tenant VALMOD streaming daemon
+//!
+//! One machine, many independent sensor streams: `valmod serve` hosts a
+//! [`valmod_stream::TenantRegistry`] — many streaming engines over one
+//! shared [`valmod_mp::WorkerPool`] — behind a framed socket protocol.
+//! Clients open named tenant sessions, append samples (single or
+//! batched), and query the live VALMAP, motifs, discords, or a
+//! batch-grade snapshot checksum per tenant, with the VALMAP deltas each
+//! append produced streamed back on the response.
+//!
+//! The layering keeps the exactness story trivial:
+//!
+//! | Layer | Responsibility |
+//! |-------|----------------|
+//! | [`frame`] | u32 length-prefixed frames over TCP or Unix sockets |
+//! | [`proto`] | request grammar, NDJSON response vocabulary, checksums |
+//! | [`server`] | accept loop, thread-per-connection dispatch, shutdown |
+//! | [`valmod_stream::TenantRegistry`] | fair lanes, memory budget, per-tenant durability |
+//! | [`valmod_stream::StreamingValmod`] | the actual VALMOD math |
+//!
+//! The daemon adds no state below the registry, so every tenant's
+//! valmap/deltas/snapshot stays byte-identical to a dedicated
+//! single-stream run regardless of interleaving, tenant count, or
+//! worker count. Backpressure (lane saturation, memory budget) surfaces
+//! as typed protocol errors, never a panic; `shutdown` checkpoints all
+//! tenants into their namespaced stores before the daemon stops.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use valmod_core::ValmodConfig;
+//! use valmod_mp::WorkerPool;
+//! use valmod_serve::{serve, Bind, Client};
+//! use valmod_stream::TenantPolicy;
+//!
+//! let handle = serve(
+//!     &Bind::Tcp("127.0.0.1:0".into()),
+//!     Arc::new(WorkerPool::new()),
+//!     ValmodConfig::new(16, 24),
+//!     TenantPolicy::default(),
+//! )
+//! .unwrap();
+//! let mut client = Client::connect_tcp(&handle.local_addr().to_string()).unwrap();
+//! client.open("sensor-7").unwrap();
+//! client.append("sensor-7", &[0.5, 0.25, -1.0]).unwrap();
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+pub use proto::{parse_request, snapshot_checksum, Checksum, Request};
+pub use server::{serve, Bind, BoundAddr, ServerHandle};

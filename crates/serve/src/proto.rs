@@ -1,0 +1,299 @@
+//! The request grammar and NDJSON response vocabulary.
+//!
+//! Requests are single-line UTF-8 commands (space-separated tokens)
+//! carried in one frame; responses are NDJSON — one JSON object per
+//! line — so a response frame is exactly the delta-channel format the
+//! `valmod stream` CLI already emits, plus serve-specific events.
+//! Keeping both directions text keeps the protocol inspectable with
+//! nothing but a hex dump, and float values use shortest round-trip
+//! formatting so piping a response back in reproduces exact bits.
+//!
+//! ```text
+//! open sensor-7
+//! append sensor-7 0.5 0.25 -1.125
+//! valmap sensor-7
+//! snapshot sensor-7
+//! shutdown
+//! ```
+//!
+//! Tenant names are arbitrary non-empty UTF-8 without whitespace or
+//! control characters (the durability layer escapes them for the
+//! filesystem; the metrics layer escapes them for Prometheus labels).
+
+use valmod_stream::TenantError;
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open (or re-attach to) a tenant session.
+    Open {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Append a batch of samples to a tenant's stream.
+    Append {
+        /// Tenant name.
+        tenant: String,
+        /// Samples, in arrival order.
+        values: Vec<f64>,
+    },
+    /// Dump the tenant's live VALMAP (one line per entry).
+    Valmap {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Dump the tenant's live top-k motif pairs per length.
+    Motifs {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Dump the tenant's live top-k discords per length.
+    Discords {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Run a batch-grade snapshot and return its checksum — the
+    /// bit-identity anchor clients compare against dedicated runs.
+    Snapshot {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Registry-level stats (tenant count, memory use).
+    Stats,
+    /// The tenant-labeled Prometheus metrics dump.
+    Metrics,
+    /// Checkpoint and drop one tenant.
+    Close {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Checkpoint every tenant and stop the daemon.
+    Shutdown,
+}
+
+fn tenant_token(cmd: &str, token: Option<&str>) -> Result<String, String> {
+    let t = token.ok_or_else(|| format!("{cmd} requires a tenant name"))?;
+    if t.chars().any(|c| c.is_whitespace() || c.is_control()) {
+        return Err(format!("tenant name {t:?} contains whitespace or control characters"));
+    }
+    Ok(t.to_string())
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A user-facing message for unknown commands, missing tenant names,
+/// unparsable samples, or trailing tokens.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut tokens = line.split_whitespace();
+    let cmd = tokens.next().ok_or_else(|| "empty request".to_string())?;
+    let req = match cmd {
+        "open" => Request::Open { tenant: tenant_token(cmd, tokens.next())? },
+        "append" => {
+            let tenant = tenant_token(cmd, tokens.next())?;
+            let values = tokens
+                .by_ref()
+                .map(|t| {
+                    t.parse::<f64>().map_err(|_| format!("cannot parse sample {t:?} for append"))
+                })
+                .collect::<Result<Vec<f64>, String>>()?;
+            if values.is_empty() {
+                return Err("append requires at least one sample".into());
+            }
+            return Ok(Request::Append { tenant, values });
+        }
+        "valmap" => Request::Valmap { tenant: tenant_token(cmd, tokens.next())? },
+        "motifs" => Request::Motifs { tenant: tenant_token(cmd, tokens.next())? },
+        "discords" => Request::Discords { tenant: tenant_token(cmd, tokens.next())? },
+        "snapshot" => Request::Snapshot { tenant: tenant_token(cmd, tokens.next())? },
+        "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
+        "close" => Request::Close { tenant: tenant_token(cmd, tokens.next())? },
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown command {other:?}")),
+    };
+    if let Some(extra) = tokens.next() {
+        return Err(format!("unexpected token {extra:?} after {cmd}"));
+    }
+    Ok(req)
+}
+
+/// JSON string escape for tenant names and error messages.
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The protocol error line for one failed request. Codes are stable:
+/// `saturated` and `over_budget` are backpressure (retry later),
+/// `unknown_tenant`, `series`, and `proto` are caller mistakes.
+#[must_use]
+pub fn error_line(code: &str, message: &str) -> String {
+    format!("{{\"event\":\"error\",\"code\":{},\"message\":{}}}", json_str(code), json_str(message))
+}
+
+/// Maps a registry error onto its wire code + message.
+#[must_use]
+pub fn tenant_error_line(err: &TenantError) -> String {
+    let code = match err {
+        TenantError::Saturated(_) => "saturated",
+        TenantError::OverBudget { .. } => "over_budget",
+        TenantError::Unknown(_) => "unknown_tenant",
+        TenantError::Series(_) => "series",
+    };
+    error_line(code, &err.to_string())
+}
+
+/// FNV-1a 64-bit over a canonical byte stream — the checksum clients use
+/// to compare a served tenant against a dedicated run without shipping
+/// the whole structure. Stable across platforms: every value is folded
+/// in as explicit little-endian bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct Checksum(u64);
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Checksum {
+    /// Folds raw bytes into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds one `u64` (little-endian).
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Folds one `f64` by exact bit pattern.
+    pub fn update_f64(&mut self, v: f64) {
+        self.update_u64(v.to_bits());
+    }
+
+    /// Folds an optional index; `None` is distinct from every index.
+    pub fn update_opt(&mut self, v: Option<usize>) {
+        match v {
+            Some(i) => {
+                self.update_u64(1);
+                self.update_u64(i as u64);
+            }
+            None => self.update_u64(0),
+        }
+    }
+
+    /// The digest, as fixed-width lowercase hex.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// The canonical digest of one batch-grade snapshot: VALMAP `⟨MPn, IP,
+/// LP⟩` by exact bit pattern, then every per-length top-k pair. Two
+/// engines produce the same hex string iff their snapshots agree on
+/// those structures bit-for-bit — the serve protocol's `snapshot`
+/// response, and what CI smoke compares against dedicated runs.
+#[must_use]
+pub fn snapshot_checksum(snapshot: &valmod_core::ValmodOutput) -> String {
+    let mut c = Checksum::default();
+    for &v in &snapshot.valmap.mpn {
+        c.update_f64(v);
+    }
+    for &ip in &snapshot.valmap.ip {
+        c.update_opt(ip);
+    }
+    for &lp in &snapshot.valmap.lp {
+        c.update_u64(lp as u64);
+    }
+    for r in &snapshot.per_length {
+        c.update_u64(r.length as u64);
+        for p in &r.pairs {
+            c.update_u64(p.a as u64);
+            c.update_u64(p.b as u64);
+            c.update_f64(p.distance);
+        }
+    }
+    c.hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_and_reject() {
+        assert_eq!(parse_request("open a").unwrap(), Request::Open { tenant: "a".into() });
+        assert_eq!(
+            parse_request("append t 1.5 -2 0.25").unwrap(),
+            Request::Append { tenant: "t".into(), values: vec![1.5, -2.0, 0.25] }
+        );
+        assert_eq!(parse_request("  shutdown  ").unwrap(), Request::Shutdown);
+        assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("metrics").unwrap(), Request::Metrics);
+        for bad in
+            ["", "open", "append t", "append t x", "frobnicate t", "valmap a b", "shutdown now"]
+        {
+            assert!(parse_request(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn float_tokens_round_trip_exactly() {
+        let v = 0.123_456_789_012_345_6_f64.sin();
+        let line = format!("append t {v}");
+        match parse_request(&line).unwrap() {
+            Request::Append { values, .. } => assert_eq!(values[0].to_bits(), v.to_bits()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_lines_are_well_formed() {
+        let line = error_line("proto", "bad \"quoted\" input");
+        assert!(line.starts_with("{\"event\":\"error\",\"code\":\"proto\""));
+        assert!(line.contains("\\\"quoted\\\""));
+        let err = TenantError::Unknown("ghost".into());
+        assert!(tenant_error_line(&err).contains("\"code\":\"unknown_tenant\""));
+    }
+
+    #[test]
+    fn checksums_depend_on_every_field() {
+        let digest = |f: &dyn Fn(&mut Checksum)| {
+            let mut c = Checksum::default();
+            f(&mut c);
+            c.hex()
+        };
+        let base = digest(&|c| {
+            c.update_f64(1.0);
+            c.update_opt(Some(3));
+        });
+        assert_ne!(base, digest(&|c| c.update_f64(1.0)));
+        assert_ne!(
+            base,
+            digest(&|c| {
+                c.update_f64(1.0);
+                c.update_opt(None);
+            })
+        );
+        // Stable, platform-independent value (regression anchor).
+        assert_eq!(digest(&|c| c.update_u64(0)), "a8c7f832281a39c5");
+    }
+}

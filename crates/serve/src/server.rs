@@ -1,0 +1,461 @@
+//! The daemon: listener, per-connection threads, request dispatch.
+//!
+//! The server is deliberately boring: blocking sockets, one OS thread
+//! per connection, strict request/response framing. All the interesting
+//! multi-tenancy — fair lanes, memory budget, staggered durability —
+//! lives in [`TenantRegistry`]; the connection handler only parses
+//! requests, calls the registry, and renders NDJSON. Concurrency safety
+//! therefore reduces to the registry's own locking, and the daemon adds
+//! no state that could perturb engine results: every tenant stays
+//! byte-identical to a dedicated single-stream run.
+//!
+//! Shutdown is a protocol command, not a signal: `shutdown` checkpoints
+//! every tenant (each into its namespaced store), answers with the
+//! per-tenant generations, and stops the accept loop. Connection
+//! sockets carry a short read timeout so idle handler threads notice
+//! the flag and [`ServerHandle::join`] returns promptly.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use valmod_core::ValmodConfig;
+use valmod_mp::WorkerPool;
+use valmod_obs as obs;
+use valmod_stream::{update_line, OpenReport, TenantError, TenantPolicy, TenantRegistry};
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{
+    error_line, json_str, parse_request, snapshot_checksum, tenant_error_line, Request,
+};
+
+/// How long a connection read blocks before re-checking the shutdown
+/// flag. Bounds how stale an idle handler thread can be at shutdown.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bind {
+    /// A TCP address, e.g. `127.0.0.1:0` (port 0 picks a free port —
+    /// read the bound address back from [`ServerHandle::local_addr`]).
+    Tcp(String),
+    /// A Unix domain socket path (removed and re-created on bind).
+    Unix(PathBuf),
+}
+
+/// The daemon's bound address, printable for clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundAddr {
+    /// The actual TCP socket address.
+    Tcp(SocketAddr),
+    /// The Unix socket path.
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for BoundAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Tcp(a) => write!(f, "{a}"),
+            Self::Unix(p) => write!(f, "{}", p.display()),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, t: Duration) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_read_timeout(Some(t)),
+            Self::Unix(s) => s.set_read_timeout(Some(t)),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+struct Shared {
+    registry: TenantRegistry,
+    addr: BoundAddr,
+    shutting_down: AtomicBool,
+}
+
+/// A running daemon. Dropping the handle does not stop the server; send
+/// the `shutdown` protocol command (e.g. via
+/// [`crate::Client::shutdown`]) and then [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: BoundAddr,
+    shared: Arc<Shared>,
+    acceptor: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the daemon actually bound (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> &BoundAddr {
+        &self.addr
+    }
+
+    /// The tenant registry (shared with every connection).
+    #[must_use]
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.shared.registry
+    }
+
+    /// Whether a `shutdown` command has been processed.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the accept loop and every connection thread to finish.
+    /// Returns once shutdown has fully drained; call after a client has
+    /// issued `shutdown`.
+    ///
+    /// # Panics
+    ///
+    /// If the acceptor thread panicked.
+    pub fn join(self) {
+        self.acceptor.join().expect("acceptor thread panicked");
+    }
+}
+
+/// Binds and starts the daemon: a listener thread accepting
+/// connections, each served by its own thread until shutdown.
+///
+/// # Errors
+///
+/// Socket bind errors (address in use, bad address, unwritable socket
+/// path).
+pub fn serve(
+    bind: &Bind,
+    pool: Arc<WorkerPool>,
+    base: ValmodConfig,
+    policy: TenantPolicy,
+) -> io::Result<ServerHandle> {
+    let (listener, addr) = match bind {
+        Bind::Tcp(spec) => {
+            let l = TcpListener::bind(spec)?;
+            let addr = BoundAddr::Tcp(l.local_addr()?);
+            (Listener::Tcp(l), addr)
+        }
+        Bind::Unix(path) => {
+            // A stale socket file from a previous run blocks bind.
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)?;
+            (Listener::Unix(l), BoundAddr::Unix(path.clone()))
+        }
+    };
+    let shared = Arc::new(Shared {
+        registry: TenantRegistry::new(pool, base, policy),
+        addr: addr.clone(),
+        shutting_down: AtomicBool::new(false),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let acceptor = std::thread::Builder::new()
+        .name("valmod-serve-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_shared))
+        .expect("spawning the acceptor thread");
+    Ok(ServerHandle { addr, shared, acceptor })
+}
+
+fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        let conn = match listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("valmod-serve-conn".into())
+                    .spawn(move || connection_loop(stream, &conn_shared))
+                    .expect("spawning a connection thread");
+                handlers.push(handle);
+            }
+            // Transient accept errors (per-connection resets) never
+            // take the daemon down.
+            Err(_) => continue,
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Wakes the (blocking) accept call after the shutdown flag is set by
+/// connecting once; the accept loop sees the flag and exits, dropping
+/// the wake connection unserved.
+fn wake_acceptor(addr: &BoundAddr) {
+    match addr {
+        BoundAddr::Tcp(a) => {
+            let _ = TcpStream::connect_timeout(a, Duration::from_secs(1));
+        }
+        BoundAddr::Unix(p) => {
+            let _ = UnixStream::connect(p);
+        }
+    }
+}
+
+fn connection_loop(mut stream: Conn, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(IDLE_POLL).is_err() {
+        return;
+    }
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        let (response, shutdown) = match std::str::from_utf8(&payload) {
+            Ok(text) => respond(shared, text),
+            Err(_) => (error_line("proto", "request is not UTF-8").into_bytes(), false),
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+        if shutdown {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            wake_acceptor(&shared.addr);
+            return;
+        }
+    }
+}
+
+/// Handles one request line: returns the response payload and whether
+/// this request shuts the daemon down.
+fn respond(shared: &Arc<Shared>, line: &str) -> (Vec<u8>, bool) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => return (error_line("proto", &msg).into_bytes(), false),
+    };
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return (error_line("shutting_down", "daemon is shutting down").into_bytes(), false);
+    }
+    let reg = &shared.registry;
+    let result: Result<(Vec<String>, bool), TenantError> = dispatch(reg, &request);
+    match result {
+        Ok((lines, shutdown)) => (lines.join("\n").into_bytes(), shutdown),
+        Err(e) => (tenant_error_line(&e).into_bytes(), false),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn dispatch(reg: &TenantRegistry, request: &Request) -> Result<(Vec<String>, bool), TenantError> {
+    let lines = match request {
+        Request::Open { tenant } => {
+            let report = reg.open(tenant)?;
+            let len = reg.with_session(tenant, |s| s.engine().map_or(0, |e| e.len()))?;
+            let t = json_str(tenant);
+            vec![match report {
+                OpenReport::Created => {
+                    format!("{{\"event\":\"open\",\"tenant\":{t},\"status\":\"created\",\"len\":{len}}}")
+                }
+                OpenReport::Existing => {
+                    format!("{{\"event\":\"open\",\"tenant\":{t},\"status\":\"existing\",\"len\":{len}}}")
+                }
+                OpenReport::Recovered { generation, len } => format!(
+                    "{{\"event\":\"open\",\"tenant\":{t},\"status\":\"recovered\",\
+                     \"generation\":{generation},\"len\":{len}}}"
+                ),
+            }]
+        }
+        Request::Append { tenant, values } => {
+            let report = reg.append(tenant, values)?;
+            let mut lines = vec![format!(
+                "{{\"event\":\"append\",\"tenant\":{},\"accepted\":{},\"skipped\":{},\
+                 \"bootstrapped\":{},\"checkpoints\":{},\"len\":{},\"live\":{}}}",
+                json_str(tenant),
+                report.accepted,
+                report.skipped,
+                report.bootstrapped,
+                report.checkpoints,
+                report.len,
+                report.live,
+            )];
+            if report.live {
+                // The session's delta stream: every VALMAP entry this
+                // batch changed, in the CLI's NDJSON update format.
+                let deltas = reg.with_session(tenant, |s| {
+                    s.engine_mut().map_or_else(Vec::new, |e| e.poll_deltas())
+                })?;
+                lines.extend(deltas.iter().map(|d| update_line(report.len, d)));
+            }
+            lines
+        }
+        Request::Valmap { tenant } => reg.with_session(tenant, |s| {
+            let t = json_str(tenant);
+            match s.engine_mut() {
+                None => vec![format!(
+                    "{{\"event\":\"valmap\",\"tenant\":{t},\"live\":false,\"entries\":0}}"
+                )],
+                Some(engine) => {
+                    let points = engine.len();
+                    let v = engine.valmap();
+                    let mut lines = Vec::with_capacity(v.mpn.len() + 1);
+                    lines.push(format!(
+                        "{{\"event\":\"valmap\",\"tenant\":{t},\"live\":true,\
+                         \"points\":{points},\"entries\":{}}}",
+                        v.mpn.len()
+                    ));
+                    for (i, (&mpn, (&ip, &lp))) in
+                        v.mpn.iter().zip(v.ip.iter().zip(v.lp.iter())).enumerate()
+                    {
+                        let ip = ip.map_or_else(|| "null".to_string(), |j| j.to_string());
+                        let mpn = if mpn.is_finite() { format!("{mpn}") } else { "null".into() };
+                        lines.push(format!(
+                            "{{\"offset\":{i},\"mpn\":{mpn},\"ip\":{ip},\"lp\":{lp}}}"
+                        ));
+                    }
+                    lines
+                }
+            }
+        })?,
+        Request::Motifs { tenant } => reg.with_session(tenant, |s| {
+            let t = json_str(tenant);
+            match s.engine_mut() {
+                None => {
+                    vec![format!("{{\"event\":\"motifs\",\"tenant\":{t},\"live\":false}}")]
+                }
+                Some(engine) => {
+                    let mut lines =
+                        vec![format!("{{\"event\":\"motifs\",\"tenant\":{t},\"live\":true}}")];
+                    for lm in engine.motifs() {
+                        for p in &lm.pairs {
+                            lines.push(format!(
+                                "{{\"length\":{},\"a\":{},\"b\":{},\"distance\":{}}}",
+                                lm.length, p.a, p.b, p.distance
+                            ));
+                        }
+                    }
+                    lines
+                }
+            }
+        })?,
+        Request::Discords { tenant } => reg.with_session(tenant, |s| {
+            let t = json_str(tenant);
+            match s.engine_mut() {
+                None => {
+                    vec![format!("{{\"event\":\"discords\",\"tenant\":{t},\"live\":false}}")]
+                }
+                Some(engine) => {
+                    let mut lines =
+                        vec![format!("{{\"event\":\"discords\",\"tenant\":{t},\"live\":true}}")];
+                    for ld in engine.discords() {
+                        for d in &ld.discords {
+                            lines.push(format!(
+                                "{{\"length\":{},\"offset\":{},\"nn_distance\":{}}}",
+                                ld.length, d.offset, d.nn_distance
+                            ));
+                        }
+                    }
+                    lines
+                }
+            }
+        })?,
+        Request::Snapshot { tenant } => {
+            let out = reg.with_session(tenant, |s| s.engine().map(|e| (e.len(), e.snapshot())))?;
+            let t = json_str(tenant);
+            match out {
+                None => {
+                    vec![format!("{{\"event\":\"snapshot\",\"tenant\":{t},\"live\":false}}")]
+                }
+                Some((points, snapshot)) => {
+                    let snapshot = snapshot.map_err(TenantError::Series)?;
+                    vec![format!(
+                        "{{\"event\":\"snapshot\",\"tenant\":{t},\"live\":true,\
+                         \"points\":{points},\"checksum\":\"{}\"}}",
+                        snapshot_checksum(&snapshot)
+                    )]
+                }
+            }
+        }
+        Request::Stats => {
+            let names = reg.names();
+            let rendered: Vec<String> = names.iter().map(|n| json_str(n)).collect();
+            vec![format!(
+                "{{\"event\":\"stats\",\"tenants\":{},\"mem_bytes\":{},\"names\":[{}]}}",
+                names.len(),
+                reg.mem_used(),
+                rendered.join(",")
+            )]
+        }
+        Request::Metrics => {
+            // The one non-NDJSON response: the raw tenant-labeled
+            // Prometheus text exposition, scrape-ready.
+            return Ok((vec![obs::render_prometheus()], false));
+        }
+        Request::Close { tenant } => {
+            let existed = reg.close(tenant)?;
+            vec![format!(
+                "{{\"event\":\"close\",\"tenant\":{},\"existed\":{existed}}}",
+                json_str(tenant)
+            )]
+        }
+        Request::Shutdown => {
+            let done = reg.checkpoint_all()?;
+            let mut lines: Vec<String> = done
+                .iter()
+                .map(|(name, generation)| {
+                    format!(
+                        "{{\"event\":\"checkpoint\",\"tenant\":{},\"generation\":{generation}}}",
+                        json_str(name)
+                    )
+                })
+                .collect();
+            lines.push(format!(
+                "{{\"event\":\"shutdown\",\"tenants\":{},\"checkpointed\":{}}}",
+                reg.names().len(),
+                done.len()
+            ));
+            return Ok((lines, true));
+        }
+    };
+    Ok((lines, false))
+}

@@ -1,0 +1,235 @@
+//! End-to-end protocol tests against an in-process daemon: session
+//! lifecycle, typed errors, durability-on-shutdown, and the acceptance
+//! bar — 64 concurrent tenants whose snapshot checksums are
+//! byte-identical to dedicated single-stream runs.
+
+use std::sync::Arc;
+
+use valmod_core::ValmodConfig;
+use valmod_mp::WorkerPool;
+use valmod_obs as obs;
+use valmod_series::gen;
+use valmod_serve::{serve, snapshot_checksum, Bind, Client};
+use valmod_stream::{SessionCore, TenantPolicy};
+
+/// Whether this build records metrics at all (the `obs-off` CI leg
+/// compiles the registry out; the tenant label dimension then has
+/// nothing to render).
+fn obs_enabled() -> bool {
+    let probe = obs::metrics().journal_replayed.get();
+    obs::metrics().journal_replayed.add(1);
+    obs::metrics().journal_replayed.get() == probe + 1
+}
+
+fn config() -> ValmodConfig {
+    ValmodConfig::new(8, 12).with_k(2).with_threads(2)
+}
+
+fn start(policy: TenantPolicy) -> valmod_serve::ServerHandle {
+    serve(&Bind::Tcp("127.0.0.1:0".into()), Arc::new(WorkerPool::new()), config(), policy)
+        .expect("bind")
+}
+
+fn connect(handle: &valmod_serve::ServerHandle) -> Client {
+    Client::connect_tcp(&handle.local_addr().to_string()).expect("connect")
+}
+
+/// The checksum a dedicated single-stream session produces for `series`.
+fn dedicated_checksum(series: &[f64]) -> String {
+    let mut session = SessionCore::with_options(config(), None, None).expect("options");
+    for &v in series {
+        session.feed(v).expect("feed");
+    }
+    snapshot_checksum(&session.engine().expect("live").snapshot().expect("snapshot"))
+}
+
+#[test]
+fn session_lifecycle_round_trips() {
+    let handle = start(TenantPolicy::default());
+    let mut c = connect(&handle);
+    let series = gen::ecg(80, &gen::EcgConfig::default(), 3);
+
+    let open = c.open("sensor-a").unwrap();
+    assert_eq!(open.len(), 1);
+    assert!(open[0].contains("\"status\":\"created\""), "{}", open[0]);
+    let again = c.open("sensor-a").unwrap();
+    assert!(again[0].contains("\"status\":\"existing\""));
+
+    let lines = c.append("sensor-a", &series).unwrap();
+    assert!(lines[0].contains("\"event\":\"append\"") && lines[0].contains("\"live\":true"));
+    assert!(lines[0].contains("\"accepted\":80"), "{}", lines[0]);
+    // The batch's VALMAP deltas ride the same response.
+    assert!(lines.len() > 1, "a bootstrapping batch must stream deltas");
+    assert!(lines[1..].iter().all(|l| l.contains("\"event\":\"update\"")));
+
+    let valmap = c.request("valmap sensor-a").unwrap();
+    assert!(valmap[0].contains("\"live\":true") && valmap[0].contains("\"points\":80"));
+    assert_eq!(valmap.len(), 80 - 8 + 1 + 1, "header plus one line per entry");
+    let motifs = c.request("motifs sensor-a").unwrap();
+    assert!(motifs[0].contains("\"event\":\"motifs\"") && motifs.len() > 1);
+    let discords = c.request("discords sensor-a").unwrap();
+    assert!(discords[0].contains("\"event\":\"discords\"") && discords.len() > 1);
+
+    let snap = c.snapshot("sensor-a").unwrap();
+    let expect = dedicated_checksum(&series);
+    assert!(snap[0].contains(&format!("\"checksum\":\"{expect}\"")), "{}", snap[0]);
+
+    let stats = c.request("stats").unwrap();
+    assert!(stats[0].contains("\"tenants\":1") && stats[0].contains("\"sensor-a\""));
+    let metrics = c.metrics().unwrap();
+    assert!(
+        !obs_enabled() || metrics.contains("{tenant=\"sensor-a\"}"),
+        "Prometheus dump must carry the tenant label dimension"
+    );
+
+    let close = c.request("close sensor-a").unwrap();
+    assert!(close[0].contains("\"existed\":true"));
+    let shutdown = c.shutdown().unwrap();
+    assert!(shutdown.last().unwrap().contains("\"event\":\"shutdown\""));
+    handle.join();
+}
+
+#[test]
+fn errors_are_typed_lines_not_disconnects() {
+    let handle = start(TenantPolicy { mem_budget: Some(1), ..TenantPolicy::default() });
+    let mut c = connect(&handle);
+
+    let bad = c.request("frobnicate now").unwrap();
+    assert!(bad[0].contains("\"code\":\"proto\""), "{}", bad[0]);
+    let ghost = c.append("ghost", &[1.0]).unwrap();
+    assert!(ghost[0].contains("\"code\":\"unknown_tenant\""));
+
+    // The connection survives every error above and the budget error
+    // below — the same client keeps issuing requests throughout.
+    c.open("t").unwrap();
+    let series = gen::random_walk(60, 4);
+    let first = c.append("t", &series[..40]).unwrap();
+    assert!(first[0].contains("\"live\":true"));
+    let refused = c.append("t", &series[40..]).unwrap();
+    assert!(refused[0].contains("\"code\":\"over_budget\""), "{}", refused[0]);
+
+    // Non-finite samples are counted, never fatal.
+    let skipped = c.append("t", &[f64::NAN]).unwrap();
+    assert!(skipped[0].contains("\"code\":\"over_budget\""), "budget still gates");
+
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn shutdown_checkpoints_every_tenant() {
+    let root = std::env::temp_dir().join(format!("valmod-serve-shutdown-{}", std::process::id()));
+    let policy = TenantPolicy {
+        checkpoint_root: Some(root.clone()),
+        checkpoint_every: 0,
+        ..TenantPolicy::default()
+    };
+    let handle = start(policy.clone());
+    let mut c = connect(&handle);
+    for (i, name) in ["a", "b"].iter().enumerate() {
+        c.open(name).unwrap();
+        c.append(name, &gen::random_walk(50, i as u64)).unwrap();
+    }
+    let lines = c.shutdown().unwrap();
+    let checkpoints = lines.iter().filter(|l| l.contains("\"event\":\"checkpoint\"")).count();
+    assert_eq!(checkpoints, 2, "{lines:?}");
+    handle.join();
+
+    // A fresh daemon over the same root recovers both tenants.
+    let handle = start(policy);
+    let mut c = connect(&handle);
+    for name in ["a", "b"] {
+        let open = c.open(name).unwrap();
+        assert!(open[0].contains("\"status\":\"recovered\""), "{}", open[0]);
+        assert!(open[0].contains("\"len\":50"));
+    }
+    c.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn unix_socket_transport_works() {
+    let path = std::env::temp_dir().join(format!("valmod-serve-sock-{}.sock", std::process::id()));
+    let handle = serve(
+        &Bind::Unix(path.clone()),
+        Arc::new(WorkerPool::new()),
+        config(),
+        TenantPolicy::default(),
+    )
+    .expect("bind unix");
+    let mut c = Client::connect_unix(&path).expect("connect unix");
+    c.open("u").unwrap();
+    let lines = c.append("u", &gen::random_walk(40, 9)).unwrap();
+    assert!(lines[0].contains("\"live\":true"));
+    c.shutdown().unwrap();
+    handle.join();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The acceptance bar: 64 tenants fed concurrently over 8 connections,
+/// every tenant's snapshot checksum byte-identical to a dedicated
+/// single-stream run of the same samples.
+#[test]
+fn sixty_four_tenants_stay_byte_identical_under_concurrency() {
+    const TENANTS: usize = 64;
+    const CONNS: usize = 8;
+    let handle = start(TenantPolicy::default());
+    let series: Vec<Vec<f64>> =
+        (0..TENANTS).map(|i| gen::random_walk(90 + i % 7, i as u64)).collect();
+
+    std::thread::scope(|s| {
+        for conn in 0..CONNS {
+            let handle = &handle;
+            let series = &series;
+            s.spawn(move || {
+                let mut c = connect(handle);
+                let mine: Vec<usize> = (0..TENANTS).filter(|t| t % CONNS == conn).collect();
+                for &t in &mine {
+                    c.open(&format!("tenant-{t}")).unwrap();
+                }
+                // Interleave batches across this connection's tenants so
+                // engine advances from different tenants overlap in the
+                // shared pool.
+                let mut cursors = vec![0usize; mine.len()];
+                loop {
+                    let mut progressed = false;
+                    for (slot, &t) in mine.iter().enumerate() {
+                        let data = &series[t];
+                        let at = cursors[slot];
+                        if at >= data.len() {
+                            continue;
+                        }
+                        let end = (at + 17).min(data.len());
+                        let lines = c.append(&format!("tenant-{t}"), &data[at..end]).unwrap();
+                        assert!(
+                            lines[0].contains("\"event\":\"append\""),
+                            "tenant-{t}: {}",
+                            lines[0]
+                        );
+                        cursors[slot] = end;
+                        progressed = true;
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    let mut c = connect(&handle);
+    let stats = c.request("stats").unwrap();
+    assert!(stats[0].contains(&format!("\"tenants\":{TENANTS}")), "{}", stats[0]);
+    for (t, data) in series.iter().enumerate() {
+        let snap = c.snapshot(&format!("tenant-{t}")).unwrap();
+        let expect = dedicated_checksum(data);
+        assert!(
+            snap[0].contains(&format!("\"checksum\":\"{expect}\"")),
+            "tenant-{t} diverged from its dedicated run: {}",
+            snap[0]
+        );
+    }
+    c.shutdown().unwrap();
+    handle.join();
+}

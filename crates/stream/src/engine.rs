@@ -64,6 +64,7 @@ use valmod_series::{Result, SeriesError};
 
 use crate::delta::ValmapDelta;
 use crate::ring::RingBuffer;
+use crate::tree::TournamentTree;
 
 /// Fast-path variances below this threshold are recomputed exactly from
 /// the stored values — same guard, for the same reason, as
@@ -165,6 +166,46 @@ impl StreamStats {
     }
 }
 
+/// The motif total order of [`top_k_pairs`], as a strict "does entry `x`
+/// beat entry `y`" predicate over live profile entries: candidates
+/// (finite distance with a neighbor) ascending by `(distance, a, b)` with
+/// the entry index as the stable-sort tie-break; non-candidates after
+/// every candidate.
+fn pair_better(profile: &MatrixProfile) -> impl Fn(u32, u32) -> bool + '_ {
+    #[inline]
+    fn key(profile: &MatrixProfile, i: u32) -> Option<(f64, usize, usize)> {
+        let i = i as usize;
+        let j = (*profile.indices.get(i)?)?;
+        let d = profile.values[i];
+        d.is_finite().then_some(if i <= j { (d, i, j) } else { (d, j, i) })
+    }
+    move |x, y| match (key(profile, x), key(profile, y)) {
+        (Some((dx, ax, bx)), Some((dy, ay, by))) => {
+            matches!((dx, ax, bx, x).partial_cmp(&(dy, ay, by, y)), Some(std::cmp::Ordering::Less))
+        }
+        (Some(_), None) => true,
+        _ => false,
+    }
+}
+
+/// The discord total order of [`top_k_discords`]: finite entries by
+/// distance *descending*, entry index ascending as tie-break;
+/// non-finite entries last.
+fn discord_better(profile: &MatrixProfile) -> impl Fn(u32, u32) -> bool + '_ {
+    move |x, y| {
+        let (dx, dy) = (profile.values[x as usize], profile.values[y as usize]);
+        match (dx.is_finite(), dy.is_finite()) {
+            (true, true) => match dx.partial_cmp(&dy).expect("profile distances are never NaN") {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => x < y,
+            },
+            (true, false) => true,
+            _ => false,
+        }
+    }
+}
+
 /// Incremental state of one subsequence length.
 #[derive(Debug, Clone)]
 pub(crate) struct LengthState {
@@ -179,15 +220,38 @@ pub(crate) struct LengthState {
     /// these are memoized once per window from the shared prefix sums).
     pub(crate) means: Vec<f64>,
     pub(crate) stds: Vec<f64>,
+    /// Tournament tree over profile entries under the motif order;
+    /// updated in O(log m) per changed entry as appends improve the
+    /// profile, so top-k extraction never re-sorts all entries.
+    pub(crate) pair_tree: TournamentTree,
+    /// The same, under the discord order.
+    pub(crate) discord_tree: TournamentTree,
 }
 
 impl LengthState {
+    /// Builds both view trees from the current profile — the
+    /// construction-time counterpart of the incremental updates in
+    /// [`LengthState::offer_new_window`]. O(m) per tree.
+    pub(crate) fn built_trees(profile: &MatrixProfile) -> (TournamentTree, TournamentTree) {
+        let m = profile.len();
+        (
+            TournamentTree::build(m, &pair_better(profile)),
+            TournamentTree::build(m, &discord_better(profile)),
+        )
+    }
     /// Offers the new window `new_i` against every admissible older
     /// window (symmetric updates — the shared tail of both append paths).
+    ///
+    /// Improvements are detected here (the [`MatrixProfile::offer`]
+    /// condition, hoisted) so the view trees re-seat exactly the entries
+    /// that changed: O(log m) per improved older window, plus one leaf
+    /// push for the new window once its final value is known. This is
+    /// the dirty set the O(changed·log m) refresh bound rests on.
     fn offer_new_window(&mut self, new_i: usize, mean: f64, std: f64) {
         let m = new_i + 1;
         self.profile.values.push(f64::INFINITY);
         self.profile.indices.push(None);
+        let mut tree_updates = 0u64;
         for j in 0..m {
             if new_i.abs_diff(j) <= self.exclusion {
                 continue;
@@ -201,8 +265,78 @@ impl LengthState {
                 self.stds[j],
             );
             self.profile.offer(new_i, d, j);
-            self.profile.offer(j, d, new_i);
+            if d < self.profile.values[j] {
+                self.profile.offer(j, d, new_i);
+                self.pair_tree.update(j, &pair_better(&self.profile));
+                self.discord_tree.update(j, &discord_better(&self.profile));
+                tree_updates += 2;
+            }
         }
+        // The new entry enters both trees once, with its final key.
+        self.pair_tree.push(&pair_better(&self.profile));
+        self.discord_tree.push(&discord_better(&self.profile));
+        obs::count!(stream_tree_updates, tree_updates + 2);
+    }
+
+    /// The top-k motif pairs of this length, extracted best-first from
+    /// the pair tree — identical output to
+    /// [`top_k_pairs`]`(&self.profile, k)` (same total order, same
+    /// overlap deduplication) in O((k + dups)·log m) instead of a full
+    /// sort.
+    pub(crate) fn top_pairs(&self, k: usize) -> Vec<MotifPair> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let better = pair_better(&self.profile);
+        let mut cursor = self.pair_tree.cursor();
+        let mut selected: Vec<MotifPair> = Vec::with_capacity(k);
+        let mut pops = 0u64;
+        while selected.len() < k {
+            let Some(i) = self.pair_tree.pop_best(&mut cursor, &better) else { break };
+            pops += 1;
+            let i = i as usize;
+            // Non-candidates sort after every candidate: the first one
+            // seen means the candidates are exhausted.
+            let Some(j) = self.profile.indices[i] else { break };
+            let d = self.profile.values[i];
+            if !d.is_finite() {
+                break;
+            }
+            let cand = MotifPair::new(i, j, d, self.length);
+            if selected.iter().any(|s| cand.overlaps(s, self.profile.exclusion)) {
+                continue;
+            }
+            selected.push(cand);
+        }
+        obs::count!(stream_view_tree_pops, pops);
+        selected
+    }
+
+    /// The top-k discords of this length via the discord tree —
+    /// identical output to [`top_k_discords`]`(&self.profile, k)`.
+    pub(crate) fn top_discords(&self, k: usize) -> Vec<(usize, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let better = discord_better(&self.profile);
+        let mut cursor = self.discord_tree.cursor();
+        let mut selected: Vec<(usize, f64)> = Vec::with_capacity(k);
+        let mut pops = 0u64;
+        while selected.len() < k {
+            let Some(i) = self.discord_tree.pop_best(&mut cursor, &better) else { break };
+            pops += 1;
+            let i = i as usize;
+            let d = self.profile.values[i];
+            if !d.is_finite() {
+                break;
+            }
+            if selected.iter().any(|&(s, _)| s.abs_diff(i) <= self.profile.exclusion) {
+                continue;
+            }
+            selected.push((i, d));
+        }
+        obs::count!(stream_view_tree_pops, pops);
+        selected
     }
 
     /// One append at this length, reading the shared product row
@@ -396,6 +530,7 @@ impl StreamingValmod {
                 means.push(stats.mean(i, length));
                 stds.push(stats.std(i, length));
             }
+            let (pair_tree, discord_tree) = LengthState::built_trees(&profile);
             lengths.push(LengthState {
                 length,
                 exclusion: config.exclusion(length),
@@ -403,6 +538,8 @@ impl StreamingValmod {
                 last_qt,
                 means,
                 stds,
+                pair_tree,
+                discord_tree,
             });
         }
         let mut this = Self {
@@ -461,6 +598,30 @@ impl StreamingValmod {
     #[must_use]
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Rough resident size of the engine's state in bytes, for
+    /// multi-tenant memory budgeting: sample storage, the shared prefix
+    /// sums, and every length's profile arrays, memoized statistics, dot
+    /// row, and view trees. An estimate — allocator overhead and `Vec`
+    /// spare capacity outside the dominant arrays are not modeled — but
+    /// the O(n·R) terms that matter at budget scale are counted exactly.
+    #[must_use]
+    pub fn approx_mem_bytes(&self) -> u64 {
+        let f = std::mem::size_of::<f64>();
+        let mut total = (self.buffer.capacity().unwrap_or_else(|| self.buffer.len())
+            + self.cross.len()
+            + self.stats.centered.len()
+            + self.stats.prefix.len()
+            + self.stats.prefix_sq.len())
+            * f;
+        for state in &self.lengths {
+            total += state.profile.values.len() * f;
+            total += state.profile.indices.len() * std::mem::size_of::<Option<usize>>();
+            total += (state.last_qt.len() + state.means.len() + state.stds.len()) * f;
+            total += state.pair_tree.mem_bytes() + state.discord_tree.mem_bytes();
+        }
+        total as u64
     }
 
     /// The live exact matrix profile at `length`, or `None` outside
@@ -649,21 +810,32 @@ impl StreamingValmod {
 
     /// Rebuilds the derived views if the engine advanced since the last
     /// rebuild.
+    ///
+    /// Top-k per length comes from the tournament trees the appends
+    /// maintained — O((k + dups)·log m) per length instead of the
+    /// O(m log m) per-length sort this used to pay, which is what makes
+    /// a [`StreamingValmod::poll_deltas`] after a single append cheap
+    /// (the `stream_view_tree_pops` counter against `stream_appends`
+    /// documents the gap at runtime).
     fn refresh_live(&mut self) -> &LiveViews {
         if self.live.as_ref().is_none_or(|l| l.version != self.version) {
+            obs::count!(stream_view_refreshes, 1);
             let k = self.config.k;
             let mut valmap = Valmap::from_base_profile(&self.lengths[0].profile);
             let mut motifs = Vec::with_capacity(self.lengths.len());
             let mut discords = Vec::with_capacity(self.lengths.len());
             for state in &self.lengths {
-                let pairs = top_k_pairs(&state.profile, k);
+                let pairs = state.top_pairs(k);
+                debug_assert_eq!(pairs, top_k_pairs(&state.profile, k));
                 if state.length > self.config.l_min {
                     valmap.apply_length(state.length, &pairs);
                 }
                 motifs.push(LengthMotifs { length: state.length, pairs });
+                let top = state.top_discords(k);
+                debug_assert_eq!(top, top_k_discords(&state.profile, k));
                 discords.push(LengthDiscords {
                     length: state.length,
-                    discords: top_k_discords(&state.profile, k)
+                    discords: top
                         .into_iter()
                         .map(|(offset, nn_distance)| Discord {
                             offset,
@@ -832,6 +1004,38 @@ mod tests {
         }
         // Polling again without an append reports nothing.
         assert!(engine.poll_deltas().is_empty());
+    }
+
+    #[test]
+    fn tree_views_match_full_sorts_after_streaming() {
+        // The O(changed·log m) extraction must reproduce the sort-based
+        // top-k bit for bit — same total order, same dedup — after any
+        // mix of appends, across k values.
+        let series = gen::ecg(520, &gen::EcgConfig::default(), 21);
+        let config = ValmodConfig::new(16, 24).with_k(3).with_threads(1);
+        let mut engine = StreamingValmod::new(&series[..300], config).unwrap();
+        let mut at = 300;
+        for chunk in [1usize, 13, 1, 1, 90, 114] {
+            let end = (at + chunk).min(series.len());
+            engine.extend(&series[at..end]);
+            at = end;
+            for state in &engine.lengths {
+                for k in [1usize, 3, 8] {
+                    assert_eq!(
+                        state.top_pairs(k),
+                        top_k_pairs(&state.profile, k),
+                        "pairs diverge at length {} k {k}",
+                        state.length
+                    );
+                    assert_eq!(
+                        state.top_discords(k),
+                        top_k_discords(&state.profile, k),
+                        "discords diverge at length {} k {k}",
+                        state.length
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -65,14 +65,17 @@
 pub mod delta;
 pub mod engine;
 pub mod persist;
+pub mod registry;
 pub mod ring;
 pub mod session;
+pub(crate) mod tree;
 
 pub use delta::{
     bootstrap_line, checkpoint_line, recovered_line, summary_line, update_line, SummaryIo,
     ValmapDelta,
 };
 pub use engine::{LengthMotifs, StreamingValmod};
-pub use persist::{CheckpointStore, JournalWriter, Recovery};
+pub use persist::{escape_tenant, CheckpointScheduler, CheckpointStore, JournalWriter, Recovery};
+pub use registry::{AppendReport, OpenReport, TenantError, TenantPolicy, TenantRegistry};
 pub use ring::RingBuffer;
 pub use session::{skip_warns, FeedOutcome, SessionCore};

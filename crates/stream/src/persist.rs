@@ -397,18 +397,22 @@ impl StreamingValmod {
                 means.push(stats.mean(i, length));
                 stds.push(stats.std(i, length));
             }
+            let profile = MatrixProfile {
+                window: length,
+                exclusion: config.exclusion(length),
+                values,
+                indices,
+            };
+            let (pair_tree, discord_tree) = LengthState::built_trees(&profile);
             lengths.push(LengthState {
                 length,
                 exclusion: config.exclusion(length),
-                profile: MatrixProfile {
-                    window: length,
-                    exclusion: config.exclusion(length),
-                    values,
-                    indices,
-                },
+                profile,
                 last_qt,
                 means,
                 stds,
+                pair_tree,
+                discord_tree,
             });
         }
         if !dec.done() {
@@ -568,6 +572,68 @@ pub struct Recovery {
     pub fell_back: u64,
 }
 
+/// Escapes a tenant name into a filesystem-safe, collision-free
+/// directory component: ASCII alphanumerics, `-` and `_` pass through,
+/// every other byte becomes `%XX` (uppercase hex). The mapping is
+/// injective, so distinct tenant names can never share a directory —
+/// including hostile names like `..`, `a/b`, or `a%2Fb` (the `%` itself
+/// is escaped).
+#[must_use]
+pub fn escape_tenant(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for b in name.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decides *when* each tenant of a shared daemon checkpoints, staggering
+/// the write bursts so they never align: every tenant checkpoints once
+/// per `cadence` accepted samples, but tenant slots are phase-shifted by
+/// the van der Corput (bit-reversal) sequence — slot 0 at offset 0,
+/// slot 1 at cadence/2, slot 2 at cadence/4, slot 3 at 3·cadence/4, … —
+/// which spreads any prefix of join-order slots near-uniformly across
+/// the cadence window without knowing the tenant count up front.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointScheduler {
+    cadence: u64,
+    phase: u64,
+}
+
+impl CheckpointScheduler {
+    /// A scheduler for the `slot`-th tenant (join order) at the given
+    /// cadence. A zero cadence disables periodic checkpoints.
+    #[must_use]
+    pub fn new(cadence: u64, slot: u64) -> Self {
+        let phase = if cadence == 0 {
+            0
+        } else {
+            // slot.reverse_bits() / 2^64 is the van der Corput point in
+            // [0, 1); scale it to the cadence in exact integer math.
+            u64::try_from((u128::from(slot.reverse_bits()) * u128::from(cadence)) >> 64)
+                .expect("product >> 64 fits u64 because cadence does")
+        };
+        Self { cadence, phase }
+    }
+
+    /// Whether a checkpoint is due after the tenant's `appends`-th
+    /// accepted sample (1-based count of post-bootstrap appends).
+    #[must_use]
+    pub fn due(&self, appends: u64) -> bool {
+        self.cadence > 0 && appends > 0 && (appends + self.phase).is_multiple_of(self.cadence)
+    }
+
+    /// The slot's phase offset within the cadence window (test hook and
+    /// observability).
+    #[must_use]
+    pub fn phase(&self) -> u64 {
+        self.phase
+    }
+}
+
 /// A directory of generation-numbered checkpoints and journals.
 ///
 /// Files: `ckpt-<gen>.bin` (the engine image at some sample count) and
@@ -602,6 +668,18 @@ impl CheckpointStore {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         Ok(Self { dir, gen: None, journal: None })
+    }
+
+    /// Opens the tenant-namespaced store `root/tenants/<escaped name>/`.
+    /// Every tenant of a multi-tenant daemon gets its own generation
+    /// sequence and journal chain, fully isolated from its neighbors —
+    /// recovery of one tenant never reads another's files.
+    ///
+    /// # Errors
+    ///
+    /// [`SeriesError::Io`] when the directory cannot be created.
+    pub fn open_tenant(root: impl AsRef<Path>, name: &str) -> Result<Self> {
+        Self::open(root.as_ref().join("tenants").join(escape_tenant(name)))
     }
 
     /// The directory this store persists into.
@@ -816,6 +894,58 @@ mod tests {
         let mut buf = Vec::new();
         engine.checkpoint_to(&mut buf).unwrap();
         buf
+    }
+
+    #[test]
+    fn tenant_escaping_is_injective_and_filesystem_safe() {
+        let names = ["alice", "a/b", "a%2Fb", "a%b", "..", ".", "ü", "a b", "A", "a", "-", "_x9"];
+        let escaped: Vec<String> = names.iter().map(|n| escape_tenant(n)).collect();
+        for (i, e) in escaped.iter().enumerate() {
+            assert!(
+                e.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'%'),
+                "{:?} -> {e:?} has unsafe bytes",
+                names[i]
+            );
+            for (k, other) in escaped.iter().enumerate() {
+                assert!(i == k || e != other, "{:?} and {:?} collide", names[i], names[k]);
+            }
+        }
+        assert_eq!(escape_tenant("a/b"), "a%2Fb");
+        assert_eq!(escape_tenant(".."), "%2E%2E");
+    }
+
+    #[test]
+    fn tenant_stores_are_isolated_directories() {
+        let root = std::env::temp_dir().join(format!("valmod-tenant-store-{}", std::process::id()));
+        let engine = small_engine(110);
+        let mut a = CheckpointStore::open_tenant(&root, "a/b").unwrap();
+        let b = CheckpointStore::open_tenant(&root, "a%2Fb").unwrap();
+        assert_ne!(a.dir(), b.dir());
+        a.checkpoint(&engine).unwrap();
+        assert!(a.has_state());
+        assert!(!b.has_state(), "one tenant's checkpoints must not leak into another's");
+        let reopened = CheckpointStore::open_tenant(&root, "a/b").unwrap();
+        assert!(reopened.has_state());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn scheduler_staggers_slots_across_the_cadence_window() {
+        let cadence = 16u64;
+        // The van der Corput phases of the first four slots quarter the
+        // window: 0, 1/2, 1/4, 3/4.
+        let phases: Vec<u64> =
+            (0..4).map(|s| CheckpointScheduler::new(cadence, s).phase()).collect();
+        assert_eq!(phases, vec![0, 8, 4, 12]);
+        for slot in 0..8 {
+            let sched = CheckpointScheduler::new(cadence, slot);
+            let due: Vec<u64> = (1..=64).filter(|&a| sched.due(a)).collect();
+            assert_eq!(due.len(), 4, "every slot checkpoints once per cadence");
+            assert!(due.windows(2).all(|w| w[1] - w[0] == cadence));
+            assert!(!sched.due(0), "the bootstrap checkpoint is not the scheduler's job");
+        }
+        // Zero cadence disables periodic checkpoints outright.
+        assert!((0..100).all(|a| !CheckpointScheduler::new(0, 3).due(a)));
     }
 
     #[test]

@@ -1,0 +1,575 @@
+//! Many tenants, one pool: the multi-tenant session layer.
+//!
+//! A serving daemon hosts many independent streams — *tenants* — each
+//! with its own [`SessionCore`] (warmup → bootstrap → append), its own
+//! durability directory, and its own metrics, all sharing **one**
+//! [`WorkerPool`]. [`TenantRegistry`] owns that mapping and enforces the
+//! shared-resource policy:
+//!
+//! * **Fair scheduling** — every tenant gets its own bulk-priority
+//!   submission lane ([`WorkerPool::lane`]); entering it around the
+//!   engine's feed path routes all of the tenant's pool batches through
+//!   the round-robin scheduler, so one firehose tenant cannot starve
+//!   its neighbors.
+//! * **Backpressure** — appends are admitted through the lane's
+//!   bounded ticket queue; saturation surfaces as the typed
+//!   [`TenantError::Saturated`], never a panic or a silent drop. A
+//!   global memory budget over the tenants' estimated engine sizes
+//!   ([`StreamingValmod::approx_mem_bytes`]) gates ingest the same way
+//!   ([`TenantError::OverBudget`]).
+//! * **Durability** — with a checkpoint root configured, each tenant
+//!   persists into its own namespaced directory
+//!   ([`CheckpointStore::open_tenant`]), with generations staggered
+//!   across tenants by [`CheckpointScheduler`] so checkpoint write
+//!   bursts never align.
+//!
+//! # Exactness under multi-tenancy
+//!
+//! The registry never touches engine math: a tenant's engine is fed
+//! exactly the samples its clients append, in order, under a per-tenant
+//! lock. Lanes decide only *when* pool jobs run, and every engine
+//! computation is bit-identical across thread counts and pool layouts —
+//! so each tenant's valmap, deltas, and snapshot are byte-identical to a
+//! dedicated single-stream run, regardless of how many neighbors it has
+//! (proptested in `tests/serve_tenants.rs`).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use valmod_core::ValmodConfig;
+use valmod_mp::{LaneHandle, LanePriority, LaneSaturated, WorkerPool};
+use valmod_obs as obs;
+use valmod_series::SeriesError;
+
+use crate::persist::{CheckpointScheduler, CheckpointStore};
+use crate::session::{FeedOutcome, SessionCore};
+
+/// Shared-resource policy of a [`TenantRegistry`].
+#[derive(Debug, Clone)]
+pub struct TenantPolicy {
+    /// Requested warmup target; `None` applies [`SessionCore::min_warmup`].
+    pub warmup: Option<usize>,
+    /// Per-tenant storage bound, in points (`None` = unbounded).
+    pub capacity: Option<usize>,
+    /// Global memory budget across all tenants, in estimated bytes
+    /// (`None` = unbounded). Enforced at batch granularity: a batch that
+    /// starts under budget runs to completion.
+    pub mem_budget: Option<u64>,
+    /// Per-tenant lane depth: concurrent admitted operations before
+    /// [`TenantError::Saturated`].
+    pub lane_depth: usize,
+    /// Durability root; each tenant persists under
+    /// `<root>/tenants/<escaped name>/` (`None` = in-memory only).
+    pub checkpoint_root: Option<PathBuf>,
+    /// Accepted samples between periodic checkpoints, staggered across
+    /// tenants (0 = checkpoint only at bootstrap, recovery seal, and
+    /// [`TenantRegistry::checkpoint_all`]).
+    pub checkpoint_every: u64,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        Self {
+            warmup: None,
+            capacity: None,
+            mem_budget: None,
+            lane_depth: 64,
+            checkpoint_root: None,
+            checkpoint_every: 0,
+        }
+    }
+}
+
+/// Typed per-tenant failure of a registry operation — the serving
+/// front-end maps these onto protocol errors.
+#[derive(Debug)]
+pub enum TenantError {
+    /// The tenant's lane is at its depth limit (queue backpressure).
+    Saturated(LaneSaturated),
+    /// The global memory budget cannot admit more ingest.
+    OverBudget {
+        /// Estimated bytes currently used across all tenants.
+        used: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// No tenant with this name is open.
+    Unknown(String),
+    /// An engine, session, or durability error.
+    Series(SeriesError),
+}
+
+impl std::fmt::Display for TenantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Saturated(s) => write!(f, "{s}"),
+            Self::OverBudget { used, budget } => {
+                write!(f, "memory budget exhausted: ~{used} of {budget} bytes in use")
+            }
+            Self::Unknown(name) => write!(f, "unknown tenant {name:?}"),
+            Self::Series(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TenantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Saturated(s) => Some(s),
+            Self::Series(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SeriesError> for TenantError {
+    fn from(e: SeriesError) -> Self {
+        Self::Series(e)
+    }
+}
+
+/// What [`TenantRegistry::append`] did with one batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppendReport {
+    /// Finite samples consumed (buffered toward warmup or appended).
+    pub accepted: u64,
+    /// Non-finite samples skipped in this batch.
+    pub skipped: u64,
+    /// Whether this batch completed the warmup (the engine now exists).
+    pub bootstrapped: bool,
+    /// Checkpoint generations written during this batch.
+    pub checkpoints: u64,
+    /// Engine length after the batch (0 before bootstrap).
+    pub len: usize,
+    /// Whether the engine is live.
+    pub live: bool,
+}
+
+/// What [`TenantRegistry::open`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenReport {
+    /// The tenant already existed in this registry.
+    Existing,
+    /// A fresh tenant (no durable state).
+    Created,
+    /// Recovered from the tenant's checkpoint directory; carries the
+    /// restored generation and the sample count.
+    Recovered {
+        /// Generation the recovery restored from.
+        generation: u64,
+        /// Engine length after recovery (checkpoint + journal replay).
+        len: usize,
+    },
+}
+
+/// One tenant's slot: the lane is lock-free to read, the session state
+/// is behind its own mutex so tenants never contend with each other.
+struct Slot {
+    name: String,
+    lane: LaneHandle,
+    scheduler: CheckpointScheduler,
+    state: Mutex<TenantState>,
+}
+
+struct TenantState {
+    session: SessionCore,
+    store: Option<CheckpointStore>,
+    /// Accepted post-bootstrap appends — the checkpoint scheduler clock.
+    appends: u64,
+    /// Last published memory estimate (the share this tenant holds of
+    /// the registry's global total).
+    mem_bytes: i64,
+}
+
+/// The multi-tenant session registry (see module docs).
+pub struct TenantRegistry {
+    pool: Arc<WorkerPool>,
+    base: ValmodConfig,
+    policy: TenantPolicy,
+    tenants: Mutex<HashMap<String, Arc<Slot>>>,
+    /// Join-order counter feeding the checkpoint stagger (never reused,
+    /// so a close/reopen cycle keeps phases spread).
+    next_slot: Mutex<u64>,
+    /// Sum of every tenant's published `mem_bytes` estimate.
+    mem_total: AtomicI64,
+}
+
+impl TenantRegistry {
+    /// A registry whose tenants all dispatch onto `pool` (the base
+    /// configuration's own pool setting is overridden).
+    #[must_use]
+    pub fn new(pool: Arc<WorkerPool>, base: ValmodConfig, policy: TenantPolicy) -> Self {
+        let base = base.with_pool(Arc::clone(&pool));
+        Self {
+            pool,
+            base,
+            policy,
+            tenants: Mutex::new(HashMap::new()),
+            next_slot: Mutex::new(0),
+            mem_total: AtomicI64::new(0),
+        }
+    }
+
+    /// The shared worker pool (for front-ends that need query lanes).
+    #[must_use]
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// The base configuration tenants are created from.
+    #[must_use]
+    pub fn config(&self) -> &ValmodConfig {
+        &self.base
+    }
+
+    /// Opens (or re-attaches to) the named tenant. With a durability
+    /// root configured, a tenant directory holding previous state is
+    /// recovered — bit-identical to the uninterrupted engine — and
+    /// immediately sealed into a fresh checkpoint generation, so the
+    /// follow-on journal never appends to a possibly-torn tail.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Series`] for store, recovery, or configuration
+    /// errors (including a capacity below the warmup floor).
+    pub fn open(&self, name: &str) -> Result<OpenReport, TenantError> {
+        let mut map = self.tenants.lock().expect("tenant map poisoned");
+        if map.contains_key(name) {
+            return Ok(OpenReport::Existing);
+        }
+        let config = self.base.clone();
+        let warmup = SessionCore::effective_warmup(&config, self.policy.warmup);
+        let mut store = match &self.policy.checkpoint_root {
+            Some(root) => Some(CheckpointStore::open_tenant(root, name)?),
+            None => None,
+        };
+        let mut report = OpenReport::Created;
+        let session = match store.as_mut().map(|s| s.recover(&config)).transpose()? {
+            Some(Some(rec)) => {
+                report =
+                    OpenReport::Recovered { generation: rec.generation, len: rec.engine.len() };
+                let session = SessionCore::resumed(rec.engine, warmup);
+                // Seal the recovered state into a fresh generation.
+                let store = store.as_mut().expect("recovery implies a store");
+                store.checkpoint(session.engine().expect("recovered sessions are live"))?;
+                session
+            }
+            _ => SessionCore::with_options(config, self.policy.warmup, self.policy.capacity)?,
+        };
+        let slot_ix = {
+            let mut next = self.next_slot.lock().expect("slot counter poisoned");
+            let ix = *next;
+            *next += 1;
+            ix
+        };
+        let mem = session.engine().map_or(0, |e| i64::try_from(e.approx_mem_bytes()).unwrap_or(0));
+        self.mem_total.fetch_add(mem, Ordering::Relaxed);
+        obs::tenant(name).mem_bytes.set(mem);
+        let slot = Arc::new(Slot {
+            name: name.to_string(),
+            lane: self.pool.lane(LanePriority::Bulk, self.policy.lane_depth),
+            scheduler: CheckpointScheduler::new(self.policy.checkpoint_every, slot_ix),
+            state: Mutex::new(TenantState { session, store, appends: 0, mem_bytes: mem }),
+        });
+        map.insert(name.to_string(), slot);
+        Ok(report)
+    }
+
+    /// Open tenant names, sorted (stable for rendering and shutdown).
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let map = self.tenants.lock().expect("tenant map poisoned");
+        let mut names: Vec<String> = map.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Estimated bytes in use across all tenants.
+    #[must_use]
+    pub fn mem_used(&self) -> u64 {
+        u64::try_from(self.mem_total.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    fn slot(&self, name: &str) -> Result<Arc<Slot>, TenantError> {
+        let map = self.tenants.lock().expect("tenant map poisoned");
+        map.get(name).cloned().ok_or_else(|| TenantError::Unknown(name.to_string()))
+    }
+
+    /// Feeds a batch of samples to the named tenant through its fair
+    /// lane: admission is gated by the lane's depth limit and the global
+    /// memory budget, each sample runs the shared [`SessionCore`] feed
+    /// path, journal/checkpoint durability rides the batch, and the
+    /// tenant's memory share and metrics are republished at the end.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Saturated`] (queue depth), [`TenantError::OverBudget`]
+    /// (memory), [`TenantError::Unknown`], or [`TenantError::Series`]
+    /// (capacity overflow and durability I/O; the tenant stays open).
+    pub fn append(&self, name: &str, samples: &[f64]) -> Result<AppendReport, TenantError> {
+        let slot = self.slot(name)?;
+        let metrics = obs::tenant(&slot.name);
+        let _ticket = slot.lane.try_admit().map_err(|e| {
+            metrics.backpressure.add(1);
+            TenantError::Saturated(e)
+        })?;
+        if let Some(budget) = self.policy.mem_budget {
+            let used = self.mem_used();
+            if used > budget {
+                metrics.backpressure.add(1);
+                return Err(TenantError::OverBudget { used, budget });
+            }
+        }
+        let mut guard = slot.state.lock().expect("tenant state poisoned");
+        let TenantState { session, store, appends, mem_bytes } = &mut *guard;
+        let mut report = AppendReport::default();
+        let feed_result: Result<(), TenantError> = (|| {
+            let _lane = slot.lane.enter();
+            let mut journaled = false;
+            for &value in samples {
+                match session.feed(value)? {
+                    FeedOutcome::Buffered => report.accepted += 1,
+                    FeedOutcome::Skipped { .. } => report.skipped += 1,
+                    FeedOutcome::Replayed => {}
+                    FeedOutcome::Bootstrapped => {
+                        report.accepted += 1;
+                        report.bootstrapped = true;
+                        // Generation 0 captures the bootstrap, so the
+                        // journal always has a checkpoint to replay onto.
+                        if let Some(store) = store.as_mut() {
+                            store.checkpoint(session.engine().expect("just bootstrapped"))?;
+                            report.checkpoints += 1;
+                        }
+                    }
+                    FeedOutcome::Appended => {
+                        report.accepted += 1;
+                        *appends += 1;
+                        if let Some(store) = store.as_mut() {
+                            store.journal_sample(value)?;
+                            journaled = true;
+                            if slot.scheduler.due(*appends) {
+                                store.checkpoint(session.engine().expect("live"))?;
+                                report.checkpoints += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            // Durability batch boundary: what this call accepted, a
+            // restart can reconstruct.
+            if journaled {
+                if let Some(store) = store.as_mut() {
+                    store.sync_journal()?;
+                }
+            }
+            Ok(())
+        })();
+        report.live = session.is_live();
+        report.len = session.engine().map_or(0, |e| e.len());
+        // Republish the tenant's memory share even on error — partial
+        // batches still grew the engine.
+        let est = session.engine().map_or(0, |e| i64::try_from(e.approx_mem_bytes()).unwrap_or(0));
+        self.mem_total.fetch_add(est - *mem_bytes, Ordering::Relaxed);
+        *mem_bytes = est;
+        metrics.appends.add(report.accepted);
+        metrics.checkpoints.add(report.checkpoints);
+        metrics.mem_bytes.set(est);
+        feed_result?;
+        Ok(report)
+    }
+
+    /// Runs `f` against the tenant's session with the tenant's lane
+    /// entered, so any pool work the closure triggers (view refreshes,
+    /// snapshots) routes through the fair scheduler. Queries are not
+    /// ticket-gated: reads should stay answerable while ingest is
+    /// saturated.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Unknown`] when no such tenant is open.
+    pub fn with_session<T>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut SessionCore) -> T,
+    ) -> Result<T, TenantError> {
+        let slot = self.slot(name)?;
+        obs::tenant(&slot.name).queries.add(1);
+        let mut guard = slot.state.lock().expect("tenant state poisoned");
+        let _lane = slot.lane.enter();
+        Ok(f(&mut guard.session))
+    }
+
+    /// Syncs journals and writes a final checkpoint generation for every
+    /// live tenant — the graceful-shutdown path. Returns `(name,
+    /// generation)` per checkpointed tenant, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// The first [`TenantError::Series`] hit; earlier tenants' state is
+    /// already durable at that point.
+    pub fn checkpoint_all(&self) -> Result<Vec<(String, u64)>, TenantError> {
+        let mut done = Vec::new();
+        for name in self.names() {
+            let slot = self.slot(&name)?;
+            let mut guard = slot.state.lock().expect("tenant state poisoned");
+            let TenantState { session, store, .. } = &mut *guard;
+            if let (Some(store), Some(engine)) = (store.as_mut(), session.engine()) {
+                store.sync_journal()?;
+                let generation = store.checkpoint(engine)?;
+                obs::tenant(&name).checkpoints.add(1);
+                done.push((name.clone(), generation));
+            }
+        }
+        Ok(done)
+    }
+
+    /// Closes the named tenant: syncs and checkpoints its durable state
+    /// (if live), then drops the slot — its lane unregisters and any
+    /// queued jobs spill to the pool's default queue. Returns whether
+    /// the tenant existed.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Series`] from the final sync/checkpoint; the
+    /// tenant stays open so the caller can retry.
+    pub fn close(&self, name: &str) -> Result<bool, TenantError> {
+        let Ok(slot) = self.slot(name) else { return Ok(false) };
+        {
+            let mut guard = slot.state.lock().expect("tenant state poisoned");
+            let TenantState { session, store, mem_bytes, .. } = &mut *guard;
+            if let (Some(store), Some(engine)) = (store.as_mut(), session.engine()) {
+                store.sync_journal()?;
+                store.checkpoint(engine)?;
+            }
+            self.mem_total.fetch_sub(*mem_bytes, Ordering::Relaxed);
+            obs::tenant(name).mem_bytes.set(0);
+        }
+        let mut map = self.tenants.lock().expect("tenant map poisoned");
+        Ok(map.remove(name).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_series::gen;
+
+    fn base() -> ValmodConfig {
+        ValmodConfig::new(8, 12).with_k(2).with_threads(2)
+    }
+
+    fn registry(policy: TenantPolicy) -> TenantRegistry {
+        TenantRegistry::new(Arc::new(WorkerPool::new()), base(), policy)
+    }
+
+    #[test]
+    fn tenants_bootstrap_and_answer_independently() {
+        let reg = registry(TenantPolicy::default());
+        assert_eq!(reg.open("a").unwrap(), OpenReport::Created);
+        assert_eq!(reg.open("b").unwrap(), OpenReport::Created);
+        assert_eq!(reg.open("a").unwrap(), OpenReport::Existing);
+        let series_a = gen::random_walk(60, 1);
+        let series_b = gen::ecg(60, &gen::EcgConfig::default(), 2);
+        let ra = reg.append("a", &series_a).unwrap();
+        let rb = reg.append("b", &series_b).unwrap();
+        assert!(ra.bootstrapped && rb.bootstrapped);
+        assert_eq!((ra.len, rb.len), (60, 60));
+        // Each tenant's answers are byte-identical to a dedicated
+        // single-stream session fed the same samples.
+        for (name, series) in [("a", &series_a), ("b", &series_b)] {
+            let mut dedicated =
+                SessionCore::with_options(base(), None, None).expect("valid options");
+            for &v in series.iter() {
+                dedicated.feed(v).unwrap();
+            }
+            let want = dedicated.engine_mut().unwrap().valmap().clone();
+            let got = reg.with_session(name, |s| s.engine_mut().unwrap().valmap().clone()).unwrap();
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&got.mpn), bits(&want.mpn), "tenant {name}");
+        }
+        assert_eq!(reg.names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(matches!(
+            reg.append("nobody", &[1.0]),
+            Err(TenantError::Unknown(n)) if n == "nobody"
+        ));
+    }
+
+    #[test]
+    fn the_memory_budget_gates_ingest_with_a_typed_error() {
+        let reg = registry(TenantPolicy { mem_budget: Some(1), ..TenantPolicy::default() });
+        reg.open("t").unwrap();
+        let series = gen::random_walk(80, 3);
+        // First batch bootstraps (the gate admits while under budget)...
+        let first = reg.append("t", &series[..40]).unwrap();
+        assert!(first.live);
+        assert!(reg.mem_used() > 1);
+        // ...after which the estimate exceeds the budget and ingest is
+        // refused, typed, with the engine untouched.
+        let err = reg.append("t", &series[40..]).unwrap_err();
+        assert!(matches!(err, TenantError::OverBudget { budget: 1, .. }), "{err}");
+        assert_eq!(reg.with_session("t", |s| s.engine().unwrap().len()).unwrap(), 40);
+    }
+
+    #[test]
+    fn skipped_and_capacity_semantics_flow_through() {
+        let reg = registry(TenantPolicy { capacity: Some(40), ..TenantPolicy::default() });
+        reg.open("t").unwrap();
+        let series = gen::random_walk(40, 4);
+        let mut samples = series.clone();
+        samples.insert(10, f64::NAN);
+        let report = reg.append("t", &samples).unwrap();
+        assert_eq!(report.accepted, 40);
+        assert_eq!(report.skipped, 1);
+        // The 41st finite point overflows the bounded buffer: typed, and
+        // everything accepted so far stays queryable.
+        let err = reg.append("t", &[0.5]).unwrap_err();
+        assert!(matches!(err, TenantError::Series(SeriesError::CapacityExceeded { .. })), "{err}");
+        assert_eq!(reg.with_session("t", |s| s.engine().unwrap().len()).unwrap(), 40);
+    }
+
+    #[test]
+    fn a_new_registry_recovers_tenants_from_the_checkpoint_root() {
+        let root =
+            std::env::temp_dir().join(format!("valmod-registry-recover-{}", std::process::id()));
+        let policy = || TenantPolicy {
+            checkpoint_root: Some(root.clone()),
+            checkpoint_every: 8,
+            ..TenantPolicy::default()
+        };
+        let series = gen::random_walk(70, 6);
+        {
+            let reg = registry(policy());
+            assert_eq!(reg.open("t").unwrap(), OpenReport::Created);
+            let report = reg.append("t", &series).unwrap();
+            // gen 0 at bootstrap plus staggered periodic generations.
+            assert!(report.checkpoints >= 2, "{report:?}");
+            let done = reg.checkpoint_all().unwrap();
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].0, "t");
+        }
+        let reg = registry(policy());
+        match reg.open("t").unwrap() {
+            OpenReport::Recovered { len, .. } => assert_eq!(len, 70),
+            other => panic!("expected recovery, got {other:?}"),
+        }
+        // The recovered tenant keeps appending exactly where it left off.
+        let more = gen::random_walk(5, 7);
+        let report = reg.append("t", &more).unwrap();
+        assert_eq!(report.len, 75);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn closing_a_tenant_releases_its_memory_share() {
+        let reg = registry(TenantPolicy::default());
+        reg.open("t").unwrap();
+        reg.append("t", &gen::random_walk(60, 5)).unwrap();
+        assert!(reg.mem_used() > 0);
+        assert!(reg.close("t").unwrap());
+        assert_eq!(reg.mem_used(), 0);
+        assert!(!reg.close("t").unwrap());
+        assert!(reg.names().is_empty());
+    }
+}

@@ -29,6 +29,11 @@ pub enum FeedOutcome {
         /// Whether this skip is one the rate limiter lets through.
         warn: bool,
     },
+    /// Consumed by the resume fast-forward ([`SessionCore::set_fast_forward`]):
+    /// the recovered engine already holds this sample (or, for a
+    /// non-finite one, already skipped it — the skip is re-counted
+    /// silently so the final summary matches an uninterrupted run's).
+    Replayed,
 }
 
 /// Whether the `count`-th skipped sample (1-based) warrants a warning:
@@ -48,6 +53,7 @@ pub struct SessionCore {
     bootstrap: Vec<f64>,
     engine: Option<StreamingValmod>,
     skipped: u64,
+    fast_forward: u64,
 }
 
 impl SessionCore {
@@ -62,7 +68,45 @@ impl SessionCore {
             bootstrap: Vec::with_capacity(warmup),
             engine: None,
             skipped: 0,
+            fast_forward: 0,
         }
+    }
+
+    /// The smallest warmup the configuration can bootstrap from: room
+    /// for two non-trivially-matching windows of every length
+    /// (`ValmodConfig::validate`'s formula).
+    #[must_use]
+    pub fn min_warmup(config: &ValmodConfig) -> usize {
+        config.l_max + config.exclusion(config.l_max) + 1
+    }
+
+    /// Applies the warmup policy front-ends share: the requested target
+    /// (if any), raised to [`SessionCore::min_warmup`]'s floor.
+    #[must_use]
+    pub fn effective_warmup(config: &ValmodConfig, requested: Option<usize>) -> usize {
+        requested.unwrap_or(0).max(Self::min_warmup(config))
+    }
+
+    /// The policy constructor front-ends (the CLI's `stream`, the serve
+    /// daemon's tenants) share: computes the effective warmup and
+    /// validates that a bounded capacity can hold it.
+    ///
+    /// # Errors
+    ///
+    /// [`SeriesError::CapacityTooSmall`] when `capacity` cannot hold the
+    /// effective warmup — the session could never bootstrap.
+    pub fn with_options(
+        config: ValmodConfig,
+        requested_warmup: Option<usize>,
+        capacity: Option<usize>,
+    ) -> Result<Self> {
+        let warmup = Self::effective_warmup(&config, requested_warmup);
+        if let Some(cap) = capacity {
+            if cap < warmup {
+                return Err(SeriesError::CapacityTooSmall { capacity: cap, warmup });
+            }
+        }
+        Ok(Self::new(config, warmup, capacity))
     }
 
     /// A session resumed around an already-recovered engine (the warmup
@@ -71,7 +115,24 @@ impl SessionCore {
     pub fn resumed(engine: StreamingValmod, warmup: usize) -> Self {
         let config = engine.config().clone();
         let capacity = engine.buffer().capacity();
-        Self { config, capacity, warmup, bootstrap: Vec::new(), engine: Some(engine), skipped: 0 }
+        Self {
+            config,
+            capacity,
+            warmup,
+            bootstrap: Vec::new(),
+            engine: Some(engine),
+            skipped: 0,
+            fast_forward: 0,
+        }
+    }
+
+    /// Arms the resume fast-forward: the next `n` *finite* samples are
+    /// consumed as [`FeedOutcome::Replayed`] (a re-read input prefix the
+    /// recovered engine already holds); non-finite samples encountered
+    /// while armed are re-counted as silent skips without consuming the
+    /// budget, mirroring the original run's accounting.
+    pub fn set_fast_forward(&mut self, n: u64) {
+        self.fast_forward = n;
     }
 
     /// Feeds one sample: buffers, bootstraps, appends, or skips it.
@@ -85,6 +146,14 @@ impl SessionCore {
     /// Non-finite samples are *not* errors: they are counted and
     /// reported via [`FeedOutcome::Skipped`].
     pub fn feed(&mut self, value: f64) -> Result<FeedOutcome> {
+        if self.fast_forward > 0 {
+            if value.is_finite() {
+                self.fast_forward -= 1;
+            } else {
+                self.skipped += 1;
+            }
+            return Ok(FeedOutcome::Replayed);
+        }
         if !value.is_finite() {
             self.skipped += 1;
             return Ok(FeedOutcome::Skipped { warn: skip_warns(self.skipped) });
@@ -241,6 +310,36 @@ mod tests {
         let engine = StreamingValmod::new(&series[..35], config()).unwrap();
         let mut s = SessionCore::resumed(engine, 30);
         assert!(s.is_live());
+        assert_eq!(s.feed(series[35]).unwrap(), FeedOutcome::Appended);
+        assert_eq!(s.engine().unwrap().len(), 36);
+    }
+
+    #[test]
+    fn with_options_applies_the_warmup_floor_and_capacity_check() {
+        let cfg = config(); // l_max 10, exclusion 3 → floor 14
+        assert_eq!(SessionCore::min_warmup(&cfg), 14);
+        assert_eq!(SessionCore::with_options(cfg.clone(), None, None).unwrap().warmup(), 14);
+        assert_eq!(SessionCore::with_options(cfg.clone(), Some(5), None).unwrap().warmup(), 14);
+        assert_eq!(SessionCore::with_options(cfg.clone(), Some(40), None).unwrap().warmup(), 40);
+        assert!(matches!(
+            SessionCore::with_options(cfg, Some(40), Some(20)),
+            Err(SeriesError::CapacityTooSmall { capacity: 20, warmup: 40 })
+        ));
+    }
+
+    #[test]
+    fn fast_forward_replays_the_recovered_prefix() {
+        let series = gen::random_walk(40, 9);
+        let engine = StreamingValmod::new(&series[..35], config()).unwrap();
+        let mut s = SessionCore::resumed(engine, 30);
+        s.set_fast_forward(3);
+        assert_eq!(s.feed(series[0]).unwrap(), FeedOutcome::Replayed);
+        // A non-finite sample is silently re-counted, not consumed.
+        assert_eq!(s.feed(f64::NAN).unwrap(), FeedOutcome::Replayed);
+        assert_eq!(s.skipped(), 1);
+        assert_eq!(s.feed(series[1]).unwrap(), FeedOutcome::Replayed);
+        assert_eq!(s.feed(series[2]).unwrap(), FeedOutcome::Replayed);
+        // Budget exhausted: the next sample appends for real.
         assert_eq!(s.feed(series[35]).unwrap(), FeedOutcome::Appended);
         assert_eq!(s.engine().unwrap().len(), 36);
     }

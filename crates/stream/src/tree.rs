@@ -1,0 +1,284 @@
+//! Index-only tournament trees over per-length profile minima.
+//!
+//! The live views of [`crate::StreamingValmod`] need, per length, the
+//! best few entries of the profile under two total orders: the motif
+//! order (distance ascending, then canonical offsets, then entry index —
+//! exactly the stable sort of [`valmod_mp::motif::top_k_pairs`]) and the
+//! discord order (distance descending, then entry index). Re-sorting all
+//! `m` entries on every refresh costs O(m log m) *per length* — the
+//! O(n·R·log n) wall the delta channel used to pay after every single
+//! append. A tournament (segment) tree over entry indices replaces that:
+//!
+//! * each append touches few entries (the new window plus the older
+//!   windows it improved), and each touched entry updates its
+//!   leaf-to-root path in O(log m) — charged to the append that caused
+//!   it, inside the same parallel per-length job, so determinism is
+//!   untouched;
+//! * a refresh extracts the top-k *without mutating the tree* by
+//!   best-first search over subtree winners: every pop costs O(log m),
+//!   so top-k extraction is O((k + dups)·log m) instead of a full sort.
+//!
+//! The tree stores only `u32` entry indices (4 bytes per node); the
+//! comparator reads distances and neighbor offsets from the live profile
+//! arrays at comparison time, so the tree never holds a stale copy of a
+//! key — an entry whose profile value improved is re-seated by one
+//! [`TournamentTree::update`] call and everything above it stays
+//! consistent.
+
+/// Sentinel for "no entry" in a tree node (empty subtree).
+const NONE: u32 = u32::MAX;
+
+/// A power-of-two-capacity tournament tree whose node payloads are entry
+/// indices and whose order is supplied per call (`better(x, y)` — does
+/// entry `x` strictly beat entry `y`?). Ties cannot occur between live
+/// entries: every comparator in this crate includes the entry index as
+/// its final tie-break.
+#[derive(Debug, Clone)]
+pub(crate) struct TournamentTree {
+    /// Leaf capacity; always a power of two.
+    size: usize,
+    /// Live entries (leaves `0..len` are populated).
+    len: usize,
+    /// `2*size` slots: `nodes[1]` is the root winner, leaves start at
+    /// `size`. `NONE` marks an empty subtree.
+    nodes: Vec<u32>,
+}
+
+#[inline]
+fn combine(a: u32, b: u32, better: &impl Fn(u32, u32) -> bool) -> u32 {
+    if a == NONE {
+        b
+    } else if b == NONE || !better(b, a) {
+        a
+    } else {
+        b
+    }
+}
+
+impl TournamentTree {
+    /// Builds a tree over entries `0..len` in O(len).
+    pub(crate) fn build(len: usize, better: &impl Fn(u32, u32) -> bool) -> Self {
+        let size = len.next_power_of_two().max(1);
+        let mut nodes = vec![NONE; 2 * size];
+        for (i, slot) in nodes[size..size + len].iter_mut().enumerate() {
+            *slot = i as u32;
+        }
+        for p in (1..size).rev() {
+            nodes[p] = combine(nodes[2 * p], nodes[2 * p + 1], better);
+        }
+        Self { size, len, nodes }
+    }
+
+    /// Number of live entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Resident bytes of the node array (memory-budget accounting).
+    pub(crate) fn mem_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Re-seats entry `i` after its key changed: recomputes the winners
+    /// on its leaf-to-root path. O(log len).
+    pub(crate) fn update(&mut self, i: usize, better: &impl Fn(u32, u32) -> bool) {
+        debug_assert!(i < self.len);
+        let mut p = (self.size + i) / 2;
+        while p >= 1 {
+            let w = combine(self.nodes[2 * p], self.nodes[2 * p + 1], better);
+            // An unchanged winner that is NOT the re-keyed entry means the
+            // subtree's result and its key are both unchanged, so every
+            // ancestor is unchanged too. (If the winner IS entry `i`, its
+            // key changed even though the index did not — keep climbing.)
+            if self.nodes[p] == w && w != i as u32 {
+                break;
+            }
+            self.nodes[p] = w;
+            p /= 2;
+        }
+    }
+
+    /// Appends the next entry (index `len`) as a new leaf. Amortized
+    /// O(log len): the capacity doubles with an O(len) rebuild when full,
+    /// matching the `Vec` growth of the profile arrays alongside it.
+    pub(crate) fn push(&mut self, better: &impl Fn(u32, u32) -> bool) {
+        if self.len == self.size {
+            let grown = {
+                let size = self.size * 2;
+                let mut nodes = vec![NONE; 2 * size];
+                for (i, slot) in nodes[size..size + self.len].iter_mut().enumerate() {
+                    *slot = i as u32;
+                }
+                let mut tree = Self { size, len: self.len, nodes };
+                for p in (1..size).rev() {
+                    tree.nodes[p] = combine(tree.nodes[2 * p], tree.nodes[2 * p + 1], better);
+                }
+                tree
+            };
+            *self = grown;
+        }
+        let i = self.len;
+        self.len += 1;
+        self.nodes[self.size + i] = i as u32;
+        self.update(i, better);
+    }
+
+    /// Opens a best-first enumeration over the tree's entries; the
+    /// cursor borrows nothing, so the caller can hold it across reads of
+    /// the profile arrays. The tree must not be mutated while a cursor
+    /// is live (cursors are refresh-local).
+    pub(crate) fn cursor(&self) -> TreeCursor {
+        let mut frontier = Vec::with_capacity(16);
+        if self.len > 0 && self.nodes[1] != NONE {
+            frontier.push(1usize);
+        }
+        TreeCursor { frontier }
+    }
+
+    /// Pops the best not-yet-returned entry: scans the cursor's frontier
+    /// of disjoint subtrees for the best winner, then splits that subtree
+    /// along the winner's path — O(log len) new frontier nodes per pop,
+    /// and the frontier scan is O(pops·log len), tiny for top-k use.
+    pub(crate) fn pop_best(
+        &self,
+        cursor: &mut TreeCursor,
+        better: &impl Fn(u32, u32) -> bool,
+    ) -> Option<u32> {
+        if cursor.frontier.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        for fi in 1..cursor.frontier.len() {
+            if better(self.nodes[cursor.frontier[fi]], self.nodes[cursor.frontier[best]]) {
+                best = fi;
+            }
+        }
+        let mut p = cursor.frontier.swap_remove(best);
+        let w = self.nodes[p];
+        debug_assert_ne!(w, NONE, "frontier never holds empty subtrees");
+        // Descend toward the winner's leaf; every subtree on the other
+        // side of the path still holds unreturned entries.
+        while p < self.size {
+            let (l, r) = (2 * p, 2 * p + 1);
+            if self.nodes[l] == w {
+                if self.nodes[r] != NONE {
+                    cursor.frontier.push(r);
+                }
+                p = l;
+            } else {
+                if self.nodes[l] != NONE {
+                    cursor.frontier.push(l);
+                }
+                p = r;
+            }
+        }
+        Some(w)
+    }
+}
+
+/// Enumeration state of one best-first walk: a frontier of disjoint
+/// subtree roots covering exactly the not-yet-returned entries.
+#[derive(Debug)]
+pub(crate) struct TreeCursor {
+    frontier: Vec<usize>,
+}
+
+impl TreeCursor {
+    /// Current frontier width (test hook for the O(pops·log n) bound).
+    #[cfg(test)]
+    pub(crate) fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Orders entries by a key table, index as tie-break — the same
+    /// shape as the profile-backed comparators.
+    fn by_keys(keys: &[f64]) -> impl Fn(u32, u32) -> bool + '_ {
+        move |x, y| {
+            let (kx, ky) = (keys[x as usize], keys[y as usize]);
+            match kx.partial_cmp(&ky).unwrap() {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => x < y,
+            }
+        }
+    }
+
+    fn pseudo_keys(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1_000) as f64 / 7.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn enumeration_matches_a_full_sort() {
+        for n in [1usize, 2, 5, 17, 64, 257] {
+            let keys = pseudo_keys(n, n as u64);
+            let better = by_keys(&keys);
+            let tree = TournamentTree::build(n, &better);
+            let mut cursor = tree.cursor();
+            let mut got = Vec::new();
+            while let Some(i) = tree.pop_best(&mut cursor, &better) {
+                got.push(i as usize);
+            }
+            let mut want: Vec<usize> = (0..n).collect();
+            want.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).unwrap().then(a.cmp(&b)));
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn updates_and_pushes_track_key_changes() {
+        let mut keys = pseudo_keys(50, 3);
+        let mut tree = TournamentTree::build(40, &by_keys(&keys));
+        // Improve a few entries (the append pattern: values only drop).
+        for &i in &[7usize, 31, 0, 19] {
+            keys[i] = -(i as f64);
+            tree.update(i, &by_keys(&keys));
+        }
+        // Append the remaining entries one by one.
+        while tree.len() < 50 {
+            tree.push(&by_keys(&keys));
+        }
+        let better = by_keys(&keys);
+        let mut cursor = tree.cursor();
+        let mut got = Vec::new();
+        while let Some(i) = tree.pop_best(&mut cursor, &better) {
+            got.push(i as usize);
+        }
+        let mut want: Vec<usize> = (0..50).collect();
+        want.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).unwrap().then(a.cmp(&b)));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn top_k_pops_stay_logarithmic() {
+        // The satellite's point: extracting a few best entries must not
+        // scan the whole tree. Each pop adds at most log2(size) frontier
+        // nodes, so after k pops the frontier is O(k·log n) — far below n.
+        let n = 4096usize;
+        let keys = pseudo_keys(n, 11);
+        let better = by_keys(&keys);
+        let tree = TournamentTree::build(n, &better);
+        let mut cursor = tree.cursor();
+        for _ in 0..3 {
+            tree.pop_best(&mut cursor, &better).unwrap();
+        }
+        assert!(
+            cursor.frontier_len() <= 3 * 12,
+            "frontier {} after 3 pops of {n} entries",
+            cursor.frontier_len()
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Multi-tenant exactness: ≥8 tenants interleaved on ONE shared worker
+//! pool through [`TenantRegistry`] must be byte-identical — live VALMAP,
+//! delta stream, and batch-grade snapshot — to isolated reference
+//! sessions each fed the same samples on a dedicated pool, across
+//! SIMD lane levels and thread counts.
+//!
+//! The registry only decides *when* engine work runs (fair lanes over
+//! one pool, per-tenant locks); the engines decide *what* is computed.
+//! Any divergence here would mean tenancy leaked into math — a lane
+//! routing bug, a cross-tenant state leak, or a pool-reuse bug.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use valmod_core::testkit::{force_level, test_levels};
+use valmod_core::ValmodConfig;
+use valmod_mp::WorkerPool;
+use valmod_series::gen;
+use valmod_stream::{SessionCore, TenantPolicy, TenantRegistry, ValmapDelta};
+
+const TENANTS: usize = 8;
+
+fn config(threads: usize) -> ValmodConfig {
+    ValmodConfig::new(8, 12).with_k(2).with_profile_size(4).with_threads(threads)
+}
+
+fn delta_bits(d: &ValmapDelta) -> (usize, Option<usize>, usize, u64) {
+    (d.offset, d.match_offset, d.length, d.normalized_distance.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn interleaved_tenants_match_isolated_references(seed in 0u64..100_000) {
+        // Per-tenant series of varying kinds and lengths (including one
+        // with non-finite samples to exercise the skip path).
+        let series: Vec<Vec<f64>> = (0..TENANTS)
+            .map(|t| {
+                let n = 70 + (seed as usize + t * 13) % 40;
+                let mut s = match t % 3 {
+                    0 => gen::random_walk(n, seed + t as u64),
+                    1 => gen::ecg(n, &gen::EcgConfig::default(), seed + t as u64),
+                    _ => gen::sine_mix(n, &[(20.0, 1.0), (45.0, 0.4)], 0.05, seed + t as u64),
+                };
+                if t == 2 {
+                    s.insert(n / 2, f64::NAN);
+                }
+                s
+            })
+            .collect();
+
+        for level in test_levels() {
+        let _lanes = force_level(level);
+        for threads in [1usize, 8] {
+            let registry = TenantRegistry::new(
+                Arc::new(WorkerPool::new()),
+                config(threads),
+                TenantPolicy::default(),
+            );
+            let mut refs: Vec<SessionCore> = (0..TENANTS)
+                .map(|_| SessionCore::with_options(config(threads), None, None).unwrap())
+                .collect();
+            for t in 0..TENANTS {
+                registry.open(&format!("t{t}")).unwrap();
+            }
+
+            // Interleave: rotate through tenants with chunk sizes that
+            // drift per round, so batch boundaries land differently for
+            // every tenant and lanes overlap in the shared pool.
+            let mut cursors = [0usize; TENANTS];
+            let mut round = 0usize;
+            loop {
+                let mut progressed = false;
+                for t in 0..TENANTS {
+                    let data = &series[t];
+                    let at = cursors[t];
+                    if at >= data.len() {
+                        continue;
+                    }
+                    let step = 5 + (seed as usize + round * 7 + t * 3) % 23;
+                    let end = (at + step).min(data.len());
+                    registry.append(&format!("t{t}"), &data[at..end]).unwrap();
+                    for &v in &data[at..end] {
+                        refs[t].feed(v).unwrap();
+                    }
+                    // Delta streams must agree batch by batch, not just
+                    // in aggregate.
+                    let got: Vec<_> = registry
+                        .with_session(&format!("t{t}"), |s| {
+                            s.engine_mut().map_or_else(Vec::new, |e| e.poll_deltas())
+                        })
+                        .unwrap()
+                        .iter()
+                        .map(delta_bits)
+                        .collect();
+                    let want: Vec<_> = refs[t]
+                        .engine_mut()
+                        .map_or_else(Vec::new, |e| e.poll_deltas())
+                        .iter()
+                        .map(delta_bits)
+                        .collect();
+                    prop_assert_eq!(
+                        got, want,
+                        "delta stream diverged for tenant {} at {} threads ({:?})", t, threads, level
+                    );
+                    cursors[t] = end;
+                    progressed = true;
+                }
+                round += 1;
+                if !progressed {
+                    break;
+                }
+            }
+
+            for (t, reference) in refs.iter_mut().enumerate() {
+                let name = format!("t{t}");
+                let (live_mpn, snap_mpn) = registry
+                    .with_session(&name, |s| {
+                        let e = s.engine_mut().expect("live after full feed");
+                        let live: Vec<u64> =
+                            e.valmap().mpn.iter().map(|v| v.to_bits()).collect();
+                        let snap: Vec<u64> = e
+                            .snapshot()
+                            .unwrap()
+                            .valmap
+                            .mpn
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect();
+                        (live, snap)
+                    })
+                    .unwrap();
+                let re = reference.engine_mut().expect("reference live");
+                let ref_live: Vec<u64> = re.valmap().mpn.iter().map(|v| v.to_bits()).collect();
+                let ref_snap: Vec<u64> =
+                    re.snapshot().unwrap().valmap.mpn.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(
+                    live_mpn, ref_live,
+                    "live VALMAP diverged for tenant {} at {} threads ({:?})", t, threads, level
+                );
+                prop_assert_eq!(
+                    snap_mpn, ref_snap,
+                    "snapshot diverged for tenant {} at {} threads ({:?})", t, threads, level
+                );
+            }
+        }
+        }
+    }
+}

@@ -436,6 +436,29 @@ fn split_dot_chunks<'a>(
     chunks
 }
 
+/// One claimable chunk of the shadow statistics buffers: (first row
+/// index, means slice, stds slice).
+type StatChunk<'a> = std::sync::Mutex<(usize, &'a mut [f64], &'a mut [f64])>;
+
+/// Splits the shadow statistics buffers into per-worker chunks for the
+/// overlapped prefetch of the next length's window statistics. Each
+/// value is an independent prefix-sum read, so any split yields
+/// identical results.
+fn split_stat_chunks<'a>(
+    means: &'a mut [f64],
+    stds: &'a mut [f64],
+    workers: usize,
+) -> Vec<StatChunk<'a>> {
+    debug_assert_eq!(means.len(), stds.len());
+    let chunk_len = means.len().div_ceil(workers.max(1)).max(1);
+    means
+        .chunks_mut(chunk_len)
+        .zip(stds.chunks_mut(chunk_len))
+        .enumerate()
+        .map(|(c, (ms, ss))| std::sync::Mutex::new((c * chunk_len, ms, ss)))
+        .collect()
+}
+
 /// Advances one contiguous chunk of table rows to `target_len`: rows still
 /// alive at that length go through the SIMD entry advance
 /// ([`kernel::advance_entry_dots`]); rows whose window no longer exists
@@ -488,10 +511,18 @@ const MIN_ENTRIES_PER_ADVANCE_WORKER: usize = 1 << 15;
 /// current, a batch advancing them to `length + 1` is *submitted without
 /// blocking* ([`valmod_mp::pool::PoolScope::submit`]) into the shadow
 /// buffer of the double-buffered [`crate::scratch::DotTable`], and the
-/// classification work of `length` (statistics, per-row classification,
-/// top-k selection) proceeds concurrently — the advance reads only the
-/// current buffer, classification never writes it, so the two batches
-/// share no mutable state. The next step then just swaps buffers.
+/// classification work of `length` (per-row classification, top-k
+/// selection) proceeds concurrently — the advance reads only the current
+/// buffer, classification never writes it, so the two batches share no
+/// mutable state. The next step then just swaps buffers.
+///
+/// The same overlapped batch also *prefetches the window statistics of
+/// `length + 1`*: each advance worker fills its slice of the shadow
+/// means/stds buffers in [`crate::scratch::StepScratch`] with the same
+/// prefix-sum reads the next step would otherwise pay two blocking pool
+/// passes for. Statistics depend only on the immutable series, so the
+/// prefetch survives every fallback below — only the dot shadow is ever
+/// discarded.
 ///
 /// The MASS fallback is the one event whose re-seeding invalidates the
 /// shadow: it drains the in-flight batch, recomputes, writes the current
@@ -518,7 +549,8 @@ fn step_length(
     let threads = config.threads;
     let pool = config.pool();
     let row_workers = worker_count(threads, m, MIN_ROWS_PER_WORKER);
-    let StepScratch { means, stds, outcomes, mass, dots } = scratch;
+    let StepScratch { means, stds, means_next, stds_next, stats_next_for, outcomes, mass, dots } =
+        scratch;
     let mut step = StepTimings { length, ..StepTimings::default() };
     // Table entries whose dots this step advances (deferred metrics
     // flush: accumulated locally, one relaxed add at the end).
@@ -549,6 +581,25 @@ fn step_length(
     timings.stage2_advance += advance_elapsed;
     step.advance += advance_elapsed;
 
+    // ---- Window statistics of `length`. ----
+    // Either the previous step's overlapped batch already prefetched them
+    // into the shadow buffers (swap them in), or compute them now — same
+    // values either way: both paths call the same pure prefix-sum reads.
+    let stats_started = std::time::Instant::now();
+    if *stats_next_for == length && means_next.len() == m {
+        std::mem::swap(means, means_next);
+        std::mem::swap(stds, stds_next);
+    } else {
+        means.resize(m, 0.0);
+        stds.resize(m, 0.0);
+        pool.for_each_mut(means, row_workers, |i, v| *v = stats.centered_mean(i, length));
+        pool.for_each_mut(stds, row_workers, |i, v| *v = stats.std(i, length));
+    }
+    *stats_next_for = 0;
+    let stats_elapsed = stats_started.elapsed();
+    timings.stage2_stats += stats_elapsed;
+    step.stats += stats_elapsed;
+
     // ---- The pipelined step body. ----
     let pipelined = config.stage2_pipeline && threads > 1 && length < config.l_max;
     let (result, needs_rebuild) = {
@@ -561,34 +612,49 @@ fn step_length(
         } else {
             Vec::new()
         };
+        // The overlapped batch also prefetches the window statistics of
+        // `length + 1` (satisfying the next step's swap above): resize
+        // the shadow buffers and split them into per-worker slices.
+        let stat_chunks = if pipelined {
+            means_next.resize(m - 1, 0.0);
+            stds_next.resize(m - 1, 0.0);
+            split_stat_chunks(means_next, stds_next, adv_chunks.len())
+        } else {
+            Vec::new()
+        };
         pool.scope(|scope| -> Result<(LengthResult, bool)> {
             // Submit the advance to `length + 1` into the shadow buffer;
             // it overlaps everything below until waited.
             let mut advance = pipelined.then(|| {
                 dot_advances += j_flat.len() as u64;
                 scope.submit(adv_chunks.len(), |w| {
-                    let mut guard = adv_chunks[w].lock().expect("advance chunk lock poisoned");
-                    let (rows_range, dst) = &mut *guard;
-                    advance_dot_chunk(
-                        offsets,
-                        j_flat,
-                        qt,
-                        values,
-                        length + 1,
-                        rows_range.clone(),
-                        dst,
-                    );
+                    {
+                        let mut guard = adv_chunks[w].lock().expect("advance chunk lock poisoned");
+                        let (rows_range, dst) = &mut *guard;
+                        advance_dot_chunk(
+                            offsets,
+                            j_flat,
+                            qt,
+                            values,
+                            length + 1,
+                            rows_range.clone(),
+                            dst,
+                        );
+                    }
+                    // Same batch, second duty: prefetch this worker's
+                    // slice of the next length's window statistics.
+                    if let Some(chunk) = stat_chunks.get(w) {
+                        let mut guard = chunk.lock().expect("stats chunk lock poisoned");
+                        let (start, ms, ss) = &mut *guard;
+                        for (off, (mv, sv)) in ms.iter_mut().zip(ss.iter_mut()).enumerate() {
+                            let i = *start + off;
+                            *mv = stats.centered_mean(i, length + 1);
+                            *sv = stats.std(i, length + 1);
+                        }
+                    }
                 })
             });
-            let stats_started = std::time::Instant::now();
-            means.resize(m, 0.0);
-            stds.resize(m, 0.0);
-            pool.for_each_mut(means, row_workers, |i, v| *v = stats.centered_mean(i, length));
-            pool.for_each_mut(stds, row_workers, |i, v| *v = stats.std(i, length));
             let (means, stds) = (&means[..], &stds[..]);
-            let stats_elapsed = stats_started.elapsed();
-            timings.stage2_stats += stats_elapsed;
-            step.stats += stats_elapsed;
 
             if stds.iter().any(|&s| s < FLAT_EPS) {
                 // Degenerate windows break the correlation-rank machinery:
@@ -814,6 +880,13 @@ fn step_length(
             ))
         })?
     };
+    if pipelined {
+        // Every exit path of the scope joins the overlapped batch, so the
+        // shadow statistics are complete. They depend only on the
+        // immutable prefix sums — valid even when the *dot* shadow was
+        // discarded by a re-seed or superseded by the STOMP fallback.
+        *stats_next_for = length + 1;
+    }
     if needs_rebuild {
         dots.build(rows);
     }

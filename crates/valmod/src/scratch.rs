@@ -109,10 +109,25 @@ pub(crate) fn write_back_dots(offsets: &[usize], qt: &[f64], rows: &mut [Partial
 
 /// Stage-2 buffers allocated once per run and recycled across length
 /// steps; `mass` holds one MASS scratch per recomputation worker.
+///
+/// The window statistics are double-buffered like the dot table: the
+/// overlapped advance batch of length `ℓ` also prefetches the means and
+/// standard deviations of `ℓ+1` into the shadow buffers, and the next
+/// step swaps them in instead of paying two pool passes. Unlike the dot
+/// shadow, the statistics read only the immutable prefix sums — no
+/// re-seed or fallback ever invalidates them, so `stats_next_for` is the
+/// sole validity condition.
 #[derive(Default)]
 pub(crate) struct StepScratch {
     pub means: Vec<f64>,
     pub stds: Vec<f64>,
+    /// Shadow buffers the next length's window statistics are prefetched
+    /// into by the overlapped stage-2 batch.
+    pub means_next: Vec<f64>,
+    pub stds_next: Vec<f64>,
+    /// The length `means_next`/`stds_next` currently hold statistics for
+    /// (0 = nothing prefetched).
+    pub stats_next_for: usize,
     pub outcomes: Vec<RowOutcome>,
     pub mass: Vec<ProfileScratch>,
     pub dots: DotTable,
