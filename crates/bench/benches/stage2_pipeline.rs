@@ -30,10 +30,8 @@ fn bench_stage2_pipeline(c: &mut Criterion) {
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     for (name, pipelined) in [("pipeline_on", true), ("pipeline_off", false)] {
         // l ∈ [64, 96]: 32 stage-2 steps per run, paper-default p = 8.
-        let config = ValmodConfig::new(64, 96)
-            .with_k(1)
-            .with_threads(threads)
-            .with_stage2_pipeline(pipelined);
+        let mut config = ValmodConfig::new(64, 96).with_k(1).with_threads(threads);
+        config.stage2_pipeline = pipelined;
         group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
             b.iter(|| black_box(run_valmod(black_box(&series), &config).unwrap()));
         });
@@ -52,11 +50,9 @@ fn bench_stage2_recompute_heavy(c: &mut Criterion) {
     let series = Dataset::Ecg.generate(n);
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     for (name, pipelined) in [("pipeline_on", true), ("pipeline_off", false)] {
-        let config = ValmodConfig::new(64, 80)
-            .with_k(1)
-            .with_profile_size(1)
-            .with_threads(threads)
-            .with_stage2_pipeline(pipelined);
+        let mut config =
+            ValmodConfig::new(64, 80).with_k(1).with_profile_size(1).with_threads(threads);
+        config.stage2_pipeline = pipelined;
         group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
             b.iter(|| black_box(run_valmod(black_box(&series), &config).unwrap()));
         });

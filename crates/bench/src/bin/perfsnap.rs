@@ -9,6 +9,7 @@
 //! ```text
 //! perfsnap [--smoke] [--n N] [--threads N] [--out FILE]
 //!          [--assert-speedup X] [--assert-stage1-cells N]
+//!          [--assert-anytime]
 //! ```
 //!
 //! `--smoke` shrinks the workloads for CI (seconds, not minutes);
@@ -23,12 +24,22 @@
 //! second. Thresholds are meant to be *generous* (catching an
 //! order-of-magnitude regression or a dead dispatch path, not run-to-run
 //! noise); the uploaded snapshot artifact carries the precise numbers.
+//!
+//! The `anytime` row (schema 6) measures the anytime tier's convergence
+//! at a fixed acceptance workload — ECG n = 30 000, ℓ = 64, k = 3,
+//! budget 4, seed 42, always at this size even under `--smoke` because
+//! the row *is* the acceptance gate: the fraction of stage-1 cells the
+//! first streamed preview had retired, and the fraction of VALMAP
+//! entries on which that preview already agrees with the exact base
+//! VALMAP (within 15% relative on the length-normalized distance, both
+//! non-finite counting as agreement). `--assert-anytime` fails the run
+//! unless the first preview reaches ≥ 90% agreement at ≤ 30% of cells.
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use valmod_bench::{stage1_cells, Dataset};
-use valmod_core::{run_valmod, ValmodConfig};
+use valmod_core::{run_valmod, run_valmod_observed, Quality, Valmap, ValmodConfig};
 use valmod_stream::StreamingValmod;
 
 /// One measured configuration.
@@ -125,6 +136,100 @@ struct StreamingRow {
     per_append_secs: f64,
     batch_secs: f64,
     speedup_per_append: f64,
+}
+
+/// The anytime row (schema 6): first-preview convergence at the fixed
+/// acceptance workload — how much of the exact base VALMAP the first
+/// streamed preview already carried, and how early it arrived.
+struct AnytimeRow {
+    dataset: &'static str,
+    n: usize,
+    length: usize,
+    k: usize,
+    budget: usize,
+    seed: u64,
+    threads: usize,
+    /// Rounds the budget actually split into.
+    rounds: usize,
+    /// Fraction of stage-1 QT cells retired when the first preview fired.
+    first_preview_cells: f64,
+    /// Fraction of VALMAP entries where the first preview's `MPn` is
+    /// within 15% relative of the exact base VALMAP's (both non-finite
+    /// counts as agreement).
+    first_preview_agreement: f64,
+    total_secs: f64,
+}
+
+/// Fraction of entries where preview and exact agree: both non-finite,
+/// or within 15% relative (plus an absolute epsilon for exact zeros) on
+/// the length-normalized distance.
+fn valmap_agreement(preview: &Valmap, exact: &Valmap) -> f64 {
+    let m = exact.mpn.len();
+    if m == 0 {
+        return 1.0;
+    }
+    let agreeing = (0..m)
+        .filter(|&i| {
+            let (a, b) = (preview.mpn[i], exact.mpn[i]);
+            (!a.is_finite() && !b.is_finite()) || (a - b).abs() <= 0.15 * b + 1e-12
+        })
+        .count();
+    #[allow(clippy::cast_precision_loss)]
+    {
+        agreeing as f64 / m as f64
+    }
+}
+
+/// Runs the anytime tier once at the acceptance workload and compares
+/// the *first* preview against the settled (exact) base VALMAP of the
+/// same run — the settled output is bit-identical to the eager walk, so
+/// one run yields both sides of the comparison.
+fn measure_anytime(threads: usize) -> AnytimeRow {
+    let (n, length, k, budget, seed) = (30_000usize, 64usize, 3usize, 4usize, 42u64);
+    let dataset = Dataset::Ecg;
+    let series = dataset.generate(n);
+    let config = ValmodConfig::new(length, length)
+        .with_k(k)
+        .with_threads(threads)
+        .with_quality(Quality::Anytime { budget })
+        .with_seed(seed);
+    let mut first: Option<(u64, u64, Valmap)> = None;
+    let mut rounds = 0usize;
+    let started = Instant::now();
+    let out = run_valmod_observed(&series, &config, &mut |p| {
+        rounds = p.rounds;
+        if first.is_none() {
+            first = Some((p.cells_retired, p.cells_total, p.valmap.clone()));
+        }
+    })
+    .expect("valid workload");
+    let total_secs = started.elapsed().as_secs_f64();
+    let (retired, total, preview) = first.expect("anytime runs emit at least one preview");
+    let exact = Valmap::from_base_profile(&out.base_profile);
+    #[allow(clippy::cast_precision_loss)]
+    let first_preview_cells = retired as f64 / (total.max(1)) as f64;
+    let row = AnytimeRow {
+        dataset: dataset.name(),
+        n,
+        length,
+        k,
+        budget,
+        seed,
+        threads,
+        rounds,
+        first_preview_cells,
+        first_preview_agreement: valmap_agreement(&preview, &exact),
+        total_secs,
+    };
+    eprintln!(
+        "{} n={n} l={length} k={k} budget={budget} seed={seed} threads={threads} anytime: \
+         first preview at {:.1}% of cells, {:.1}% VALMAP agreement, {rounds} rounds, {:.3}s",
+        row.dataset,
+        row.first_preview_cells * 100.0,
+        row.first_preview_agreement * 100.0,
+        row.total_secs,
+    );
+    row
 }
 
 /// The durability row: serializing and restoring one checkpoint image of
@@ -241,6 +346,7 @@ fn main() {
     let mut out_path = String::from("BENCH_valmod.json");
     let mut assert_speedup: Option<f64> = None;
     let mut assert_stage1_cells: Option<f64> = None;
+    let mut assert_anytime = false;
     let mut it = refs.iter().copied();
     while let Some(flag) = it.next() {
         match flag {
@@ -254,6 +360,7 @@ fn main() {
             "--assert-stage1-cells" => {
                 assert_stage1_cells = Some(expect_float(&mut it, "--assert-stage1-cells"));
             }
+            "--assert-anytime" => assert_anytime = true,
             other => usage(&format!("unknown flag {other:?}")),
         }
     }
@@ -367,8 +474,18 @@ fn main() {
 
     let streaming = measure_streaming(smoke, max_threads);
     let checkpoint = measure_checkpoint(smoke, max_threads);
+    let anytime = measure_anytime(max_threads);
 
-    let json = render_json(hardware, max_threads, smoke, &runs, &streaming, &checkpoint, &speedups);
+    let json = render_json(
+        hardware,
+        max_threads,
+        smoke,
+        &runs,
+        &streaming,
+        &checkpoint,
+        &anytime,
+        &speedups,
+    );
     std::fs::write(&out_path, json).expect("write snapshot");
     eprintln!("snapshot written to {out_path}");
     for (name, s) in &speedups {
@@ -401,6 +518,22 @@ fn main() {
             gate_failed = true;
         }
     }
+    if assert_anytime {
+        if anytime.first_preview_agreement < 0.9 {
+            eprintln!(
+                "GATE: first anytime preview agreement {:.1}% below the 90% floor",
+                anytime.first_preview_agreement * 100.0
+            );
+            gate_failed = true;
+        }
+        if anytime.first_preview_cells > 0.3 {
+            eprintln!(
+                "GATE: first anytime preview retired {:.1}% of cells, above the 30% ceiling",
+                anytime.first_preview_cells * 100.0
+            );
+            gate_failed = true;
+        }
+    }
     if gate_failed {
         std::process::exit(1);
     }
@@ -421,12 +554,13 @@ fn expect_float<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> f64 {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: perfsnap [--smoke] [--n N] [--threads N] [--out FILE] \
-         [--assert-speedup X] [--assert-stage1-cells N]"
+         [--assert-speedup X] [--assert-stage1-cells N] [--assert-anytime]"
     );
     std::process::exit(2);
 }
 
 /// Hand-rolled JSON (the workspace carries no JSON dependency).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     hardware: usize,
     max_threads: usize,
@@ -434,10 +568,11 @@ fn render_json(
     runs: &[Run],
     streaming: &StreamingRow,
     checkpoint: &CheckpointRow,
+    anytime: &AnytimeRow,
     speedups: &[(String, f64)],
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 5,\n");
+    out.push_str("  \"schema\": 6,\n");
     out.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
     out.push_str(&format!("  \"max_threads\": {max_threads},\n"));
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
@@ -511,6 +646,23 @@ fn render_json(
         "  \"checkpoint\": {{\"n\": {}, \"image_bytes\": {}, \"write_secs\": {:.6}, \
          \"restore_secs\": {:.6}}},\n",
         checkpoint.n, checkpoint.image_bytes, checkpoint.write_secs, checkpoint.restore_secs,
+    ));
+    out.push_str(&format!(
+        "  \"anytime\": {{\"dataset\": \"{}\", \"n\": {}, \"length\": {}, \"k\": {}, \
+         \"budget\": {}, \"seed\": {}, \"threads\": {}, \"rounds\": {}, \
+         \"first_preview_cells\": {:.4}, \"first_preview_agreement\": {:.4}, \
+         \"total_secs\": {:.6}}},\n",
+        anytime.dataset,
+        anytime.n,
+        anytime.length,
+        anytime.k,
+        anytime.budget,
+        anytime.seed,
+        anytime.threads,
+        anytime.rounds,
+        anytime.first_preview_cells,
+        anytime.first_preview_agreement,
+        anytime.total_secs,
     ));
     out.push_str("  \"speedup_end_to_end\": {");
     for (idx, (name, s)) in speedups.iter().enumerate() {

@@ -3,6 +3,8 @@
 
 use std::fmt;
 
+use valmod_core::{parse_quality, Quality};
+
 /// Parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -42,6 +44,12 @@ pub struct RunArgs {
     pub no_pipeline: bool,
     /// Optional path for a VALMAP JSON dump.
     pub valmap_out: Option<String>,
+    /// Quality tier: `exact` (default), `anytime[:budget]` (improving
+    /// previews settling to the exact result), or `screen` (lower-bound
+    /// ranking only).
+    pub quality: Quality,
+    /// Seed of the anytime tier's diagonal visiting order.
+    pub seed: u64,
     /// Optional path for the end-of-run Prometheus-style metrics dump
     /// (`-` for stdout).
     pub metrics: Option<String>,
@@ -130,6 +138,11 @@ pub struct StreamArgs {
     /// Recover from the newest valid checkpoint (+ journal replay) in
     /// `--checkpoint-dir` before consuming input.
     pub resume: bool,
+    /// Quality tier of the batch-grade snapshot taken at end-of-stream
+    /// (`anytime` additionally emits per-round `preview` events).
+    pub quality: Quality,
+    /// Seed of the anytime tier's diagonal visiting order.
+    pub seed: u64,
     /// Emit a `metrics` NDJSON event every N appended points (0 = off).
     pub metrics_every: usize,
     /// Optional path for the end-of-session Prometheus-style metrics dump
@@ -198,20 +211,33 @@ valmod — variable-length motif discovery (VALMOD, SIGMOD 2018)
 
 USAGE:
   valmod run --input FILE --lmin N --lmax N [--k N] [--p N] [--threads N] [--no-pipeline]
+             [--quality exact|anytime[:N]|screen] [--seed N]
              [--valmap-out FILE] [--metrics PATH|-] [--trace-out FILE]
-  valmod profile --input FILE --length N [--k N] [--threads N]
+  valmod profile --input FILE --length N [--k N] [--threads N] [--quality exact]
                  [--metrics PATH|-] [--trace-out FILE]
   valmod generate --kind ecg|astro|walk|noise|seismic|epg --n N [--seed N] --output FILE
   valmod motif-set --input FILE --a N --b N --length N [--radius X]
   valmod stream --input FILE|- --lmin N --lmax N [--k N] [--p N] [--threads N]
                 [--warmup N] [--every N] [--capacity N] [--follow] [--poll-ms N]
                 [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+                [--quality exact|anytime[:N]] [--seed N]
                 [--metrics-every N] [--metrics PATH|-] [--trace-out FILE]
   valmod serve --lmin N --lmax N [--bind HOST:PORT | --unix PATH] [--k N] [--p N]
                [--threads N] [--warmup N] [--capacity N] [--mem-budget BYTES]
                [--lane-depth N] [--checkpoint-dir DIR] [--checkpoint-every N]
                [--metrics PATH|-]
   valmod help
+
+`--quality` picks the answer tier. `exact` (the default) is the eager
+VALMOD run. `anytime[:BUDGET]` walks stage 1 in a seeded shuffled order
+(`--seed`) over BUDGET rounds (default 4), emitting one NDJSON `preview`
+event per round (convergence = fraction of cells retired, VALMAP churn)
+before settling to the byte-identical exact result. `screen` ranks
+candidate lengths and offsets by the admissible lower bound without
+exact recomputation — a cheap pre-pass whose bounds never exceed the
+true distances. On `stream`, the tier shapes the end-of-stream
+batch-grade snapshot (`anytime` emits its preview events on the delta
+channel).
 
 `--metrics` writes an end-of-run Prometheus-style text dump of every
 engine counter/gauge/histogram to PATH (`-` for stdout); `--trace-out`
@@ -279,6 +305,7 @@ fn parse_run(rest: &[&str]) -> Result<Command, ParseError> {
     let (mut input, mut l_min, mut l_max) = (None, None, None);
     let (mut k, mut p, mut threads, mut valmap_out) = (10usize, 8usize, None, None);
     let mut no_pipeline = false;
+    let (mut quality, mut seed) = (Quality::Exact, 0u64);
     let (mut metrics, mut trace_out) = (None, None);
     let mut it = rest.iter().copied();
     while let Some(flag) = it.next() {
@@ -290,6 +317,10 @@ fn parse_run(rest: &[&str]) -> Result<Command, ParseError> {
             "--p" => p = parse_num(flag, take_value(flag, &mut it)?)?,
             "--threads" => threads = Some(parse_num(flag, take_value(flag, &mut it)?)?),
             "--no-pipeline" => no_pipeline = true,
+            "--quality" => {
+                quality = parse_quality(take_value(flag, &mut it)?).map_err(ParseError)?
+            }
+            "--seed" => seed = parse_num(flag, take_value(flag, &mut it)?)?,
             "--valmap-out" => valmap_out = Some(take_value(flag, &mut it)?.to_string()),
             "--metrics" => metrics = Some(take_value(flag, &mut it)?.to_string()),
             "--trace-out" => trace_out = Some(take_value(flag, &mut it)?.to_string()),
@@ -305,6 +336,8 @@ fn parse_run(rest: &[&str]) -> Result<Command, ParseError> {
         threads,
         no_pipeline,
         valmap_out,
+        quality,
+        seed,
         metrics,
         trace_out,
     }))
@@ -320,6 +353,18 @@ fn parse_profile(rest: &[&str]) -> Result<Command, ParseError> {
             "--length" => length = Some(parse_num(flag, take_value(flag, &mut it)?)?),
             "--k" => k = parse_num(flag, take_value(flag, &mut it)?)?,
             "--threads" => threads = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            // `profile` is a single fixed-length pass with no stage-1/2
+            // split, so only the exact tier applies; the flag exists for a
+            // uniform command line and rejects the other tiers loudly.
+            "--quality" => {
+                if parse_quality(take_value(flag, &mut it)?).map_err(ParseError)? != Quality::Exact
+                {
+                    return Err(ParseError(
+                        "profile is exact-only; anytime/screen tiers apply to run and stream"
+                            .into(),
+                    ));
+                }
+            }
             "--metrics" => metrics = Some(take_value(flag, &mut it)?.to_string()),
             "--trace-out" => trace_out = Some(take_value(flag, &mut it)?.to_string()),
             other => return Err(ParseError(format!("unknown flag {other:?} for profile"))),
@@ -389,6 +434,7 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
     let (mut warmup, mut every, mut capacity) = (None, 1usize, None);
     let (mut follow, mut poll_ms) = (false, 200u64);
     let (mut checkpoint_dir, mut checkpoint_every, mut resume) = (None, 256usize, false);
+    let (mut quality, mut seed) = (Quality::Exact, 0u64);
     let (mut metrics_every, mut metrics, mut trace_out) = (0usize, None, None);
     let mut it = rest.iter().copied();
     while let Some(flag) = it.next() {
@@ -407,6 +453,10 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
             "--checkpoint-dir" => checkpoint_dir = Some(take_value(flag, &mut it)?.to_string()),
             "--checkpoint-every" => checkpoint_every = parse_num(flag, take_value(flag, &mut it)?)?,
             "--resume" => resume = true,
+            "--quality" => {
+                quality = parse_quality(take_value(flag, &mut it)?).map_err(ParseError)?
+            }
+            "--seed" => seed = parse_num(flag, take_value(flag, &mut it)?)?,
             "--metrics-every" => metrics_every = parse_num(flag, take_value(flag, &mut it)?)?,
             "--metrics" => metrics = Some(take_value(flag, &mut it)?.to_string()),
             "--trace-out" => trace_out = Some(take_value(flag, &mut it)?.to_string()),
@@ -425,6 +475,11 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
     if resume && checkpoint_dir.is_none() {
         return Err(ParseError("--resume requires --checkpoint-dir".into()));
     }
+    if quality == Quality::Screen {
+        return Err(ParseError(
+            "stream snapshots are exact or anytime; the screen tier applies to run".into(),
+        ));
+    }
     Ok(Command::Stream(StreamArgs {
         input: input.ok_or_else(|| ParseError("stream requires --input".into()))?,
         l_min: l_min.ok_or_else(|| ParseError("stream requires --lmin".into()))?,
@@ -440,6 +495,8 @@ fn parse_stream(rest: &[&str]) -> Result<Command, ParseError> {
         checkpoint_dir,
         checkpoint_every,
         resume,
+        quality,
+        seed,
         metrics_every,
         metrics,
         trace_out,
@@ -848,6 +905,106 @@ mod tests {
         assert!(parse(&["serve", "--lmin", "8", "--lmax", "12", "--bind", "a:1", "--unix", "/s"])
             .is_err());
         assert!(parse(&["serve", "--lmin", "8", "--lmax", "12", "--lane-depth", "0"]).is_err());
+    }
+
+    #[test]
+    fn quality_flags_parse_per_command() {
+        let cmd = parse(&["run", "--input", "x", "--lmin", "8", "--lmax", "16"]).unwrap();
+        match cmd {
+            Command::Run(a) => assert_eq!((a.quality, a.seed), (Quality::Exact, 0)),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "run",
+            "--input",
+            "x",
+            "--lmin",
+            "8",
+            "--lmax",
+            "16",
+            "--quality",
+            "anytime:6",
+            "--seed",
+            "42",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run(a) => {
+                assert_eq!(a.quality, Quality::Anytime { budget: 6 });
+                assert_eq!(a.seed, 42);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd =
+            parse(&["run", "--input", "x", "--lmin", "8", "--lmax", "16", "--quality", "screen"])
+                .unwrap();
+        match cmd {
+            Command::Run(a) => assert_eq!(a.quality, Quality::Screen),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "stream",
+            "--input",
+            "-",
+            "--lmin",
+            "8",
+            "--lmax",
+            "12",
+            "--quality",
+            "anytime",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Stream(a) => {
+                assert_eq!(
+                    a.quality,
+                    Quality::Anytime { budget: valmod_core::DEFAULT_ANYTIME_BUDGET }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // Profile accepts only the exact tier; stream has no screen tier;
+        // bad tier names fail everywhere with the shared grammar.
+        assert!(parse(&["profile", "--input", "x", "--length", "32", "--quality", "exact"]).is_ok());
+        assert!(
+            parse(&["profile", "--input", "x", "--length", "32", "--quality", "anytime"]).is_err()
+        );
+        assert!(parse(&[
+            "stream",
+            "--input",
+            "-",
+            "--lmin",
+            "8",
+            "--lmax",
+            "12",
+            "--quality",
+            "screen"
+        ])
+        .is_err());
+        assert!(parse(&[
+            "run",
+            "--input",
+            "x",
+            "--lmin",
+            "8",
+            "--lmax",
+            "16",
+            "--quality",
+            "sloppy"
+        ])
+        .is_err());
+        assert!(parse(&[
+            "run",
+            "--input",
+            "x",
+            "--lmin",
+            "8",
+            "--lmax",
+            "16",
+            "--quality",
+            "anytime:0"
+        ])
+        .is_err());
     }
 
     #[test]

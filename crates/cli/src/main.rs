@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use args::{Command, GenerateArgs, MotifSetArgs, ProfileArgs, RunArgs, ServeArgs, StreamArgs};
 use valmod_core::render::{render_valmap, sparkline};
-use valmod_core::{expand_motif_set, run_valmod, ValmodConfig};
+use valmod_core::{expand_motif_set, Query, QueryOutcome, ScreenReport};
 use valmod_mp::motif::{top_k_discords, top_k_pairs};
 use valmod_mp::stomp::stomp_parallel_in;
 use valmod_mp::{default_exclusion, MotifPair, WorkerPool};
@@ -106,17 +106,32 @@ fn cmd_run(a: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
     let series = io::read_series(&a.input)?;
     // The command owns one persistent pool for its whole run: threads are
     // spawned once, parked between phases, joined when the command ends.
-    let mut config = ValmodConfig::new(a.l_min, a.l_max)
-        .with_k(a.k)
-        .with_profile_size(a.p)
-        .with_stage2_pipeline(!a.no_pipeline)
-        .with_pool(Arc::new(WorkerPool::new()));
+    let mut query = Query::new(a.l_min, a.l_max)
+        .k(a.k)
+        .profile_size(a.p)
+        .pipeline(!a.no_pipeline)
+        .quality(a.quality)
+        .seed(a.seed)
+        .pool(Arc::new(WorkerPool::new()));
     if let Some(threads) = a.threads {
-        config = config.with_threads(threads);
+        query = query.threads(threads);
     }
     let started = std::time::Instant::now();
-    let output = run_valmod(series.values(), &config)?;
+    // Anytime preview rounds emit NDJSON progress lines ahead of the
+    // human-readable report (the same event shape `valmod stream` uses).
+    let n = series.len();
+    let outcome = query.run_with_preview(series.values(), |p| {
+        println!("{}", valmod_stream::preview_line(n, p));
+    })?;
     let elapsed = started.elapsed();
+    let output = match outcome {
+        QueryOutcome::Screen(report) => {
+            print_screen_report(&a.input, series.values(), &report, elapsed);
+            return write_obs_outputs(a.metrics.as_deref(), a.trace_out.as_deref());
+        }
+        QueryOutcome::Exact(output) => output,
+    };
+    let config = query.config();
 
     println!("series: {} ({} points)", a.input, series.len());
     println!("data |{}|\n", sparkline(series.values(), 72));
@@ -141,6 +156,45 @@ fn cmd_run(a: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
     }
     write_obs_outputs(a.metrics.as_deref(), a.trace_out.as_deref())?;
     Ok(())
+}
+
+/// Renders the screening tier's lower-bound ranking: the exact base
+/// length, then the top candidates per extended length with their
+/// admissible bounds (never exceeding the true distances).
+fn print_screen_report(
+    input: &str,
+    series: &[f64],
+    report: &ScreenReport,
+    elapsed: std::time::Duration,
+) {
+    println!("series: {input} ({} points) — screening tier (lower bounds only)", series.len());
+    println!("data |{}|\n", sparkline(series, 72));
+    println!("exact base length {}:", report.base.length);
+    print_pairs_table(&report.base.pairs);
+    println!("\nscreened candidates by admissible lower bound (no exact recomputation):");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>14}",
+        "length", "offset", "match", "lower bound", "lb/sqrt(l)"
+    );
+    for sl in &report.lengths {
+        for c in &sl.candidates {
+            println!(
+                "{:>8} {:>10} {:>12} {:>14.4} {:>14.4}",
+                c.length,
+                c.offset,
+                c.match_offset,
+                c.lower_bound,
+                c.lower_bound / (c.length as f64).sqrt()
+            );
+        }
+    }
+    if let Some(best) = report.best_candidate() {
+        println!(
+            "\nbest screened candidate: offsets ({}, {}), length {}, bound {:.4}",
+            best.offset, best.match_offset, best.length, best.lower_bound
+        );
+    }
+    println!("screened in {elapsed:.2?}");
 }
 
 /// Minimal hand-rolled JSON dump of VALMAP (front-end hand-off format).
@@ -396,6 +450,18 @@ impl StreamSession {
         for delta in engine.poll_deltas() {
             writeln!(out, "{}", valmod_stream::update_line(n, &delta))?;
         }
+        // Under the anytime tier, certify the session at end-of-stream:
+        // the batch-grade snapshot streams one `preview` event per round
+        // (convergence, churn) before settling to the exact answer.
+        if matches!(engine.config().quality, valmod_core::Quality::Anytime { .. }) {
+            let mut lines = Vec::new();
+            engine.snapshot_with_preview(&mut |p| {
+                lines.push(valmod_stream::preview_line(n, p));
+            })?;
+            for line in lines {
+                writeln!(out, "{line}")?;
+            }
+        }
         if self.metrics_every > 0 {
             // A final metrics event so a consumer always sees the
             // end-of-session state, whatever the cadence remainder.
@@ -491,13 +557,16 @@ fn is_broken_pipe(err: &(dyn std::error::Error + 'static)) -> bool {
 /// that pauses keeps the service alive; a closed output (SIGPIPE /
 /// broken pipe) ends the run cleanly with the summary on stderr.
 fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
-    let mut config = ValmodConfig::new(a.l_min, a.l_max)
-        .with_k(a.k)
-        .with_profile_size(a.p)
-        .with_pool(Arc::new(WorkerPool::new()));
+    let mut query = Query::new(a.l_min, a.l_max)
+        .k(a.k)
+        .profile_size(a.p)
+        .quality(a.quality)
+        .seed(a.seed)
+        .pool(Arc::new(WorkerPool::new()));
     if let Some(threads) = a.threads {
-        config = config.with_threads(threads);
+        query = query.threads(threads);
     }
+    let config = query.into_config();
     // The warmup floor and the capacity-vs-warmup check live in
     // SessionCore (shared with the serve daemon's tenants); only the
     // resumed path needs the effective target separately.
@@ -626,10 +695,11 @@ fn cmd_stream(a: &StreamArgs) -> Result<(), Box<dyn std::error::Error>> {
 /// tenant before the accept loop drains. The exit-time `--metrics` dump
 /// carries the per-tenant label dimension.
 fn cmd_serve(a: &ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
-    let mut config = ValmodConfig::new(a.l_min, a.l_max).with_k(a.k).with_profile_size(a.p);
+    let mut query = Query::new(a.l_min, a.l_max).k(a.k).profile_size(a.p);
     if let Some(threads) = a.threads {
-        config = config.with_threads(threads);
+        query = query.threads(threads);
     }
+    let config = query.into_config();
     let policy = valmod_stream::TenantPolicy {
         warmup: a.warmup,
         capacity: a.capacity,

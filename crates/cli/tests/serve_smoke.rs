@@ -159,6 +159,90 @@ fn serve_smoke_three_tenants_metrics_and_clean_shutdown() {
     std::fs::remove_dir_all(&ckpt).unwrap();
 }
 
+/// The quality-tier round trip over the wire: version negotiation, an
+/// interactive-QoS tenant, anytime preview events that settle, and the
+/// `certify` checksum agreeing with both the preview's settled checksum
+/// and a dedicated single-stream run.
+#[test]
+fn preview_then_certify_round_trip_matches_dedicated_run() {
+    let (mut child, addr) = spawn_serve(&[]);
+    let mut c = Client::connect_tcp(&addr).unwrap();
+
+    // Version negotiation first: the server reports its generation and
+    // the quality-tier capabilities; an impossible requirement is a typed
+    // proto error on that request, not a disconnect.
+    let hello = c.hello(Some(1)).unwrap();
+    assert!(hello[0].contains("\"event\":\"hello\""), "{}", hello[0]);
+    assert!(hello[0].contains("\"proto\":1"), "{}", hello[0]);
+    for cap in ["preview", "screen", "certify", "priority"] {
+        assert!(hello[0].contains(&format!("\"{cap}\"")), "missing {cap}: {}", hello[0]);
+    }
+    let refused = c.hello(Some(999)).unwrap();
+    assert!(refused[0].contains("\"code\":\"proto\""), "{}", refused[0]);
+
+    // An interactive tenant: the open event echoes the QoS lane.
+    let open = c.open_with_priority("qt", valmod_mp::LanePriority::Interactive).unwrap();
+    assert!(open[0].contains("\"priority\":\"interactive\""), "{}", open[0]);
+    // Unknown parameter keys degrade to typed proto errors, connection
+    // intact (the next request still answers).
+    let bad = c.request("open qt2 qos=fast").unwrap();
+    assert!(bad[0].contains("\"code\":\"proto\""), "{}", bad[0]);
+
+    let series = tenant_series(0);
+    for chunk in series.chunks(19) {
+        c.append("qt", chunk).unwrap();
+    }
+
+    // Anytime preview: per-round events with growing retired-cell counts,
+    // then a settled final round and the exact settled checksum.
+    let lines = c.preview("qt", 3).unwrap();
+    let previews: Vec<&String> =
+        lines.iter().filter(|l| l.contains("\"event\":\"preview\",")).collect();
+    assert!(
+        (1..=3).contains(&previews.len()),
+        "expected 1..=3 preview rounds, got {}: {lines:?}",
+        previews.len()
+    );
+    assert!(previews[0].contains("\"round\":1"), "{}", previews[0]);
+    assert!(
+        previews.last().unwrap().contains("\"settled\":true"),
+        "last round must settle: {}",
+        previews.last().unwrap()
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("\"event\":\"update\"")),
+        "previews ride the delta channel: {lines:?}"
+    );
+    let done = lines.last().unwrap();
+    assert!(done.contains("\"event\":\"preview_done\""), "{done}");
+
+    // The screening tier answers standalone, bounds only.
+    let screen = c.screen("qt").unwrap();
+    assert!(screen[0].contains("\"event\":\"screen\""), "{}", screen[0]);
+    assert!(screen[0].contains("\"base_length\":8"), "{}", screen[0]);
+    assert!(
+        screen.iter().skip(1).any(|l| l.contains("\"lower_bound\":")),
+        "no screened candidates: {screen:?}"
+    );
+
+    // certify == preview's settled checksum == a dedicated run.
+    let expect = dedicated_checksum(&series);
+    assert!(
+        done.contains(&format!("\"checksum\":\"{expect}\"")),
+        "preview settled away from the dedicated run: {done}"
+    );
+    let certify = c.certify("qt").unwrap();
+    assert!(certify[0].contains("\"event\":\"certify\""), "{}", certify[0]);
+    assert!(
+        certify[0].contains(&format!("\"checksum\":\"{expect}\"")),
+        "certify diverged: {}",
+        certify[0]
+    );
+
+    c.shutdown().unwrap();
+    assert!(child.0.wait().unwrap().success());
+}
+
 #[test]
 fn sigkill_mid_serve_recovers_every_tenant_bit_identically() {
     let ckpt = temp_path("sigkill_ckpt");

@@ -668,13 +668,18 @@ pub enum LanePriority {
     /// Throughput work (ingest, bootstraps): guaranteed at least one pick
     /// in every `BULK_SERVICE_STRIDE` when contended.
     Bulk,
+    /// Housekeeping work (compaction, re-checkpointing): scheduled in the
+    /// bulk class — same service guarantee as [`LanePriority::Bulk`] —
+    /// but a distinct label, so front-ends can expose it as a QoS tier
+    /// and meter it per lane.
+    Maintenance,
 }
 
 impl LanePriority {
     fn class(self) -> usize {
         match self {
             LanePriority::Interactive => 0,
-            LanePriority::Bulk => 1,
+            LanePriority::Bulk | LanePriority::Maintenance => 1,
         }
     }
 }

@@ -114,6 +114,10 @@ pub struct Metrics {
     pub stage1_dispatch_w4_packed: Counter,
     pub stage1_dispatch_w8_portable: Counter,
     pub stage1_dispatch_w4_portable: Counter,
+    pub anytime_rounds: Counter,
+    pub anytime_cells_retired: Counter,
+    pub anytime_convergence_permille: Gauge,
+    pub anytime_churn_permille: Gauge,
     // -- stage 2 --
     pub stage2_dot_advances: Counter,
     pub stage2_valid_rows: Counter,
@@ -162,6 +166,10 @@ impl Metrics {
             stage1_dispatch_w4_packed: Counter::new(),
             stage1_dispatch_w8_portable: Counter::new(),
             stage1_dispatch_w4_portable: Counter::new(),
+            anytime_rounds: Counter::new(),
+            anytime_cells_retired: Counter::new(),
+            anytime_convergence_permille: Gauge::new(),
+            anytime_churn_permille: Gauge::new(),
             stage2_dot_advances: Counter::new(),
             stage2_valid_rows: Counter::new(),
             stage2_invalid_rows: Counter::new(),
@@ -319,6 +327,42 @@ static DESCRIPTORS: &[Desc] = &[
         Count,
         stage1_dispatch_w4_portable,
         "Stage-1 walks dispatched to the portable 4-lane kernel"
+    ),
+    desc!(
+        "valmod_anytime_rounds_total",
+        "",
+        Counter,
+        Kernel,
+        Count,
+        anytime_rounds,
+        "Anytime stage-1 rounds completed (one VALMAP preview per round)"
+    ),
+    desc!(
+        "valmod_anytime_cells_retired_total",
+        "",
+        Counter,
+        Kernel,
+        Count,
+        anytime_cells_retired,
+        "QT cells retired by anytime stage-1 rounds"
+    ),
+    desc!(
+        "valmod_anytime_convergence_permille",
+        "",
+        Gauge,
+        Kernel,
+        Count,
+        anytime_convergence_permille,
+        "Fraction of stage-1 cells retired by the current anytime run, in permille"
+    ),
+    desc!(
+        "valmod_anytime_churn_permille",
+        "",
+        Gauge,
+        Kernel,
+        Count,
+        anytime_churn_permille,
+        "VALMAP entry churn of the latest anytime preview round, in permille"
     ),
     desc!(
         "valmod_stage2_dot_advances_total",

@@ -358,6 +358,10 @@ mod tests {
             "stage1_dispatch_w4_packed",
             "stage1_dispatch_w8_portable",
             "stage1_dispatch_w4_portable",
+            "anytime_rounds",
+            "anytime_cells_retired",
+            "anytime_convergence_permille",
+            "anytime_churn_permille",
             "stage2_dot_advances",
             "stage2_valid_rows",
             "stage2_invalid_rows",

@@ -84,13 +84,73 @@ impl Client {
         Ok(text.lines().map(str::to_string).collect())
     }
 
-    /// `open <tenant>`.
+    /// `hello [proto=N]` — version negotiation: the server's protocol
+    /// generation and capability list, or a typed `proto` error when the
+    /// required generation exceeds what the server speaks.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn hello(&mut self, required: Option<u32>) -> io::Result<Vec<String>> {
+        match required {
+            Some(v) => self.request(&format!("hello proto={v}")),
+            None => self.request("hello"),
+        }
+    }
+
+    /// `open <tenant>` (the default `bulk` scheduling lane).
     ///
     /// # Errors
     ///
     /// See [`Client::request`].
     pub fn open(&mut self, tenant: &str) -> io::Result<Vec<String>> {
         self.request(&format!("open {tenant}"))
+    }
+
+    /// `open <tenant> priority=<tier>` — opens the tenant on an explicit
+    /// QoS lane (`interactive`, `bulk`, or `maintenance`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn open_with_priority(
+        &mut self,
+        tenant: &str,
+        priority: valmod_mp::LanePriority,
+    ) -> io::Result<Vec<String>> {
+        self.request(&format!("open {tenant} priority={}", crate::proto::priority_name(priority)))
+    }
+
+    /// `preview <tenant> budget=<n>` — anytime preview events (one per
+    /// round, with convergence and churn, plus VALMAP `update` deltas)
+    /// ending in a `preview_done` line whose checksum matches `certify`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn preview(&mut self, tenant: &str, budget: usize) -> io::Result<Vec<String>> {
+        self.request(&format!("preview {tenant} budget={budget}"))
+    }
+
+    /// `screen <tenant>` — the screening tier: candidate lengths and
+    /// offsets ranked by the admissible lower bound, no exact
+    /// recomputation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn screen(&mut self, tenant: &str) -> io::Result<Vec<String>> {
+        self.request(&format!("screen {tenant}"))
+    }
+
+    /// `certify <tenant>` — the exact batch-grade checksum (the settling
+    /// anchor a `preview` converges to).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn certify(&mut self, tenant: &str) -> io::Result<Vec<String>> {
+        self.request(&format!("certify {tenant}"))
     }
 
     /// `append <tenant> <values...>` — returns the append report line

@@ -9,26 +9,48 @@
 //! formatting so piping a response back in reproduces exact bits.
 //!
 //! ```text
-//! open sensor-7
+//! hello proto=1
+//! open sensor-7 priority=interactive
 //! append sensor-7 0.5 0.25 -1.125
 //! valmap sensor-7
-//! snapshot sensor-7
+//! preview sensor-7 budget=4
+//! certify sensor-7
 //! shutdown
 //! ```
+//!
+//! Optional request parameters ride as trailing `key=value` tokens, so
+//! older clients' bare commands keep parsing and newer clients degrade
+//! loudly: an unknown key is a typed `proto` error on that request, never
+//! a disconnect.
 //!
 //! Tenant names are arbitrary non-empty UTF-8 without whitespace or
 //! control characters (the durability layer escapes them for the
 //! filesystem; the metrics layer escapes them for Prometheus labels).
 
+use valmod_mp::LanePriority;
 use valmod_stream::TenantError;
+
+/// The protocol generation this build speaks. Sent back in the `hello`
+/// event; a client that needs a newer generation (`hello proto=N` with
+/// `N > PROTO_VERSION`) gets a typed `proto` error instead of silently
+/// wrong behavior.
+pub const PROTO_VERSION: u32 = 1;
 
 /// One parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Version negotiation: the server answers with its protocol
+    /// generation and capabilities before any tenant work.
+    Hello {
+        /// Minimum protocol generation the client requires, if stated.
+        proto: Option<u32>,
+    },
     /// Open (or re-attach to) a tenant session.
     Open {
         /// Tenant name.
         tenant: String,
+        /// Scheduling lane for the tenant's work (client-visible QoS).
+        priority: LanePriority,
     },
     /// Append a batch of samples to a tenant's stream.
     Append {
@@ -58,6 +80,28 @@ pub enum Request {
         /// Tenant name.
         tenant: String,
     },
+    /// Anytime preview: stream improving VALMAP previews (one NDJSON
+    /// event per round with convergence and churn), settling to the exact
+    /// answer — the final event carries the same checksum `certify`
+    /// returns.
+    Preview {
+        /// Tenant name.
+        tenant: String,
+        /// Number of anytime rounds (the preview budget).
+        budget: usize,
+    },
+    /// Screening tier: rank candidate lengths and offsets by the
+    /// admissible lower bound, without exact recomputation.
+    Screen {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Exact certification: run the full pipeline and return the
+    /// batch-grade checksum (the settling anchor for `preview`).
+    Certify {
+        /// Tenant name.
+        tenant: String,
+    },
     /// Registry-level stats (tenant count, memory use).
     Stats,
     /// The tenant-labeled Prometheus metrics dump.
@@ -79,17 +123,102 @@ fn tenant_token(cmd: &str, token: Option<&str>) -> Result<String, String> {
     Ok(t.to_string())
 }
 
+/// Maps a wire QoS token onto the pool's scheduling lane.
+///
+/// # Errors
+///
+/// A user-facing message naming the valid tiers.
+pub fn parse_priority(token: &str) -> Result<LanePriority, String> {
+    match token {
+        "interactive" => Ok(LanePriority::Interactive),
+        "bulk" => Ok(LanePriority::Bulk),
+        "maintenance" => Ok(LanePriority::Maintenance),
+        other => {
+            Err(format!("unknown priority {other:?} (expected interactive, bulk, or maintenance)"))
+        }
+    }
+}
+
+/// The wire name of a scheduling lane (echoed in the `open` event).
+#[must_use]
+pub fn priority_name(priority: LanePriority) -> &'static str {
+    match priority {
+        LanePriority::Interactive => "interactive",
+        LanePriority::Bulk => "bulk",
+        LanePriority::Maintenance => "maintenance",
+    }
+}
+
+/// Splits trailing `key=value` parameter tokens: each remaining token
+/// must contain `=`; a bare token or an unknown key (checked by the
+/// caller) is a `proto` error on this request, never a disconnect.
+fn kv_params<'a>(
+    cmd: &str,
+    tokens: impl Iterator<Item = &'a str>,
+) -> Result<Vec<(&'a str, &'a str)>, String> {
+    tokens
+        .map(|t| {
+            t.split_once('=')
+                .filter(|(k, v)| !k.is_empty() && !v.is_empty())
+                .ok_or_else(|| format!("expected key=value parameter after {cmd}, got {t:?}"))
+        })
+        .collect()
+}
+
+fn reject_unknown_key(cmd: &str, key: &str, known: &[&str]) -> Result<(), String> {
+    if known.contains(&key) {
+        Ok(())
+    } else {
+        Err(format!("unknown parameter {key:?} for {cmd} (expected one of {known:?})"))
+    }
+}
+
 /// Parses one request line.
 ///
 /// # Errors
 ///
 /// A user-facing message for unknown commands, missing tenant names,
-/// unparsable samples, or trailing tokens.
+/// unparsable samples, malformed or unknown `key=value` parameters, or
+/// trailing tokens.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let mut tokens = line.split_whitespace();
     let cmd = tokens.next().ok_or_else(|| "empty request".to_string())?;
     let req = match cmd {
-        "open" => Request::Open { tenant: tenant_token(cmd, tokens.next())? },
+        "hello" => {
+            let mut proto = None;
+            for (key, value) in kv_params(cmd, tokens.by_ref())? {
+                reject_unknown_key(cmd, key, &["proto"])?;
+                proto = Some(
+                    value
+                        .parse::<u32>()
+                        .map_err(|_| format!("cannot parse proto version {value:?}"))?,
+                );
+            }
+            return Ok(Request::Hello { proto });
+        }
+        "open" => {
+            let tenant = tenant_token(cmd, tokens.next())?;
+            let mut priority = LanePriority::Bulk;
+            for (key, value) in kv_params(cmd, tokens.by_ref())? {
+                reject_unknown_key(cmd, key, &["priority"])?;
+                priority = parse_priority(value)?;
+            }
+            return Ok(Request::Open { tenant, priority });
+        }
+        "preview" => {
+            let tenant = tenant_token(cmd, tokens.next())?;
+            let mut budget = valmod_core::DEFAULT_ANYTIME_BUDGET;
+            for (key, value) in kv_params(cmd, tokens.by_ref())? {
+                reject_unknown_key(cmd, key, &["budget"])?;
+                budget =
+                    value.parse::<usize>().ok().filter(|&b| b > 0).ok_or_else(|| {
+                        format!("budget must be a positive integer, got {value:?}")
+                    })?;
+            }
+            return Ok(Request::Preview { tenant, budget });
+        }
+        "screen" => Request::Screen { tenant: tenant_token(cmd, tokens.next())? },
+        "certify" => Request::Certify { tenant: tenant_token(cmd, tokens.next())? },
         "append" => {
             let tenant = tenant_token(cmd, tokens.next())?;
             let values = tokens
@@ -240,7 +369,10 @@ mod tests {
 
     #[test]
     fn requests_parse_and_reject() {
-        assert_eq!(parse_request("open a").unwrap(), Request::Open { tenant: "a".into() });
+        assert_eq!(
+            parse_request("open a").unwrap(),
+            Request::Open { tenant: "a".into(), priority: LanePriority::Bulk }
+        );
         assert_eq!(
             parse_request("append t 1.5 -2 0.25").unwrap(),
             Request::Append { tenant: "t".into(), values: vec![1.5, -2.0, 0.25] }
@@ -253,6 +385,54 @@ mod tests {
         {
             assert!(parse_request(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn quality_tier_verbs_parse_and_reject() {
+        assert_eq!(parse_request("hello").unwrap(), Request::Hello { proto: None });
+        assert_eq!(parse_request("hello proto=1").unwrap(), Request::Hello { proto: Some(1) });
+        assert_eq!(
+            parse_request("open t priority=interactive").unwrap(),
+            Request::Open { tenant: "t".into(), priority: LanePriority::Interactive }
+        );
+        assert_eq!(
+            parse_request("open t priority=maintenance").unwrap(),
+            Request::Open { tenant: "t".into(), priority: LanePriority::Maintenance }
+        );
+        assert_eq!(
+            parse_request("preview t").unwrap(),
+            Request::Preview { tenant: "t".into(), budget: valmod_core::DEFAULT_ANYTIME_BUDGET }
+        );
+        assert_eq!(
+            parse_request("preview t budget=7").unwrap(),
+            Request::Preview { tenant: "t".into(), budget: 7 }
+        );
+        assert_eq!(parse_request("screen t").unwrap(), Request::Screen { tenant: "t".into() });
+        assert_eq!(parse_request("certify t").unwrap(), Request::Certify { tenant: "t".into() });
+        // Unknown keys, bare parameters, and bad values are request-level
+        // errors (mapped to `proto` error lines), never disconnects.
+        for bad in [
+            "hello proto=banana",
+            "hello shout",
+            "open t priority=urgent",
+            "open t priority",
+            "open t qos=interactive",
+            "preview t budget=0",
+            "preview t budget=-1",
+            "preview t rounds=4",
+            "screen",
+            "certify t extra",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn priority_names_round_trip() {
+        for p in [LanePriority::Interactive, LanePriority::Bulk, LanePriority::Maintenance] {
+            assert_eq!(parse_priority(priority_name(p)).unwrap(), p);
+        }
+        assert!(parse_priority("turbo").is_err());
     }
 
     #[test]

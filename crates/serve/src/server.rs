@@ -26,11 +26,14 @@ use std::time::Duration;
 use valmod_core::ValmodConfig;
 use valmod_mp::WorkerPool;
 use valmod_obs as obs;
-use valmod_stream::{update_line, OpenReport, TenantError, TenantPolicy, TenantRegistry};
+use valmod_stream::{
+    update_line, OpenReport, TenantError, TenantPolicy, TenantRegistry, ValmapDelta,
+};
 
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{
-    error_line, json_str, parse_request, snapshot_checksum, tenant_error_line, Request,
+    error_line, json_str, parse_request, priority_name, snapshot_checksum, tenant_error_line,
+    Request, PROTO_VERSION,
 };
 
 /// How long a connection read blocks before re-checking the shutdown
@@ -286,23 +289,43 @@ fn respond(shared: &Arc<Shared>, line: &str) -> (Vec<u8>, bool) {
     }
 }
 
+/// The previous preview round's VALMAP columns (`mpn`, `ip`, `lp`),
+/// kept to diff each round's entries into `update` delta lines.
+type PrevPreview = (Vec<f64>, Vec<Option<usize>>, Vec<usize>);
+
 #[allow(clippy::too_many_lines)]
 fn dispatch(reg: &TenantRegistry, request: &Request) -> Result<(Vec<String>, bool), TenantError> {
     let lines = match request {
-        Request::Open { tenant } => {
-            let report = reg.open(tenant)?;
+        Request::Hello { proto } => {
+            if let Some(required) = proto {
+                if *required > PROTO_VERSION {
+                    let msg =
+                        format!("server speaks proto {PROTO_VERSION}, client requires {required}");
+                    return Ok((vec![error_line("proto", &msg)], false));
+                }
+            }
+            vec![format!(
+                "{{\"event\":\"hello\",\"proto\":{PROTO_VERSION},\"capabilities\":\
+                 [\"priority\",\"preview\",\"screen\",\"certify\"]}}"
+            )]
+        }
+        Request::Open { tenant, priority } => {
+            let report = reg.open_with_priority(tenant, *priority)?;
             let len = reg.with_session(tenant, |s| s.engine().map_or(0, |e| e.len()))?;
             let t = json_str(tenant);
+            let q = priority_name(*priority);
             vec![match report {
-                OpenReport::Created => {
-                    format!("{{\"event\":\"open\",\"tenant\":{t},\"status\":\"created\",\"len\":{len}}}")
-                }
-                OpenReport::Existing => {
-                    format!("{{\"event\":\"open\",\"tenant\":{t},\"status\":\"existing\",\"len\":{len}}}")
-                }
+                OpenReport::Created => format!(
+                    "{{\"event\":\"open\",\"tenant\":{t},\"status\":\"created\",\
+                     \"priority\":\"{q}\",\"len\":{len}}}"
+                ),
+                OpenReport::Existing => format!(
+                    "{{\"event\":\"open\",\"tenant\":{t},\"status\":\"existing\",\
+                     \"priority\":\"{q}\",\"len\":{len}}}"
+                ),
                 OpenReport::Recovered { generation, len } => format!(
                     "{{\"event\":\"open\",\"tenant\":{t},\"status\":\"recovered\",\
-                     \"generation\":{generation},\"len\":{len}}}"
+                     \"priority\":\"{q}\",\"generation\":{generation},\"len\":{len}}}"
                 ),
             }]
         }
@@ -410,6 +433,109 @@ fn dispatch(reg: &TenantRegistry, request: &Request) -> Result<(Vec<String>, boo
                     let snapshot = snapshot.map_err(TenantError::Series)?;
                     vec![format!(
                         "{{\"event\":\"snapshot\",\"tenant\":{t},\"live\":true,\
+                         \"points\":{points},\"checksum\":\"{}\"}}",
+                        snapshot_checksum(&snapshot)
+                    )]
+                }
+            }
+        }
+        Request::Preview { tenant, budget } => {
+            let t = json_str(tenant);
+            let out = reg.with_session(tenant, |s| {
+                s.engine().map(|e| {
+                    let n = e.len();
+                    let mut lines = Vec::new();
+                    let mut prev: Option<PrevPreview> = None;
+                    let result = e.snapshot_anytime(*budget, &mut |p| {
+                        lines.push(format!(
+                            "{{\"event\":\"preview\",\"tenant\":{t},\"round\":{},\
+                             \"rounds\":{},\"cells_retired\":{},\"cells_total\":{},\
+                             \"convergence\":{},\"churn\":{},\"settled\":{}}}",
+                            p.round,
+                            p.rounds,
+                            p.cells_retired,
+                            p.cells_total,
+                            p.convergence(),
+                            p.churn,
+                            p.settled(),
+                        ));
+                        // The improving VALMAP rides the existing delta
+                        // channel: one `update` line per entry that
+                        // changed since the previous round's preview.
+                        let v = &p.valmap;
+                        for i in 0..v.mpn.len() {
+                            let changed =
+                                prev.as_ref().map_or(v.mpn[i].is_finite(), |(m, ip, lp)| {
+                                    m[i].to_bits() != v.mpn[i].to_bits()
+                                        || ip[i] != v.ip[i]
+                                        || lp[i] != v.lp[i]
+                                });
+                            if changed {
+                                lines.push(update_line(
+                                    n,
+                                    &ValmapDelta {
+                                        offset: i,
+                                        match_offset: v.ip[i],
+                                        length: v.lp[i],
+                                        normalized_distance: v.mpn[i],
+                                    },
+                                ));
+                            }
+                        }
+                        prev = Some((v.mpn.clone(), v.ip.clone(), v.lp.clone()));
+                    });
+                    (n, result, lines)
+                })
+            })?;
+            match out {
+                None => vec![format!("{{\"event\":\"preview\",\"tenant\":{t},\"live\":false}}")],
+                Some((points, result, mut lines)) => {
+                    let snapshot = result.map_err(TenantError::Series)?;
+                    lines.push(format!(
+                        "{{\"event\":\"preview_done\",\"tenant\":{t},\"live\":true,\
+                         \"points\":{points},\"budget\":{budget},\"checksum\":\"{}\"}}",
+                        snapshot_checksum(&snapshot)
+                    ));
+                    lines
+                }
+            }
+        }
+        Request::Screen { tenant } => {
+            let out = reg.with_session(tenant, |s| s.engine().map(|e| (e.len(), e.screen())))?;
+            let t = json_str(tenant);
+            match out {
+                None => vec![format!("{{\"event\":\"screen\",\"tenant\":{t},\"live\":false}}")],
+                Some((points, report)) => {
+                    let report = report.map_err(TenantError::Series)?;
+                    let mut lines = vec![format!(
+                        "{{\"event\":\"screen\",\"tenant\":{t},\"live\":true,\
+                         \"points\":{points},\"base_length\":{},\"lengths\":{}}}",
+                        report.base.length,
+                        report.lengths.len()
+                    )];
+                    for sl in &report.lengths {
+                        for c in &sl.candidates {
+                            let m = c.match_offset;
+                            lines.push(format!(
+                                "{{\"length\":{},\"offset\":{},\"match_offset\":{m},\
+                                 \"lower_bound\":{}}}",
+                                c.length, c.offset, c.lower_bound
+                            ));
+                        }
+                    }
+                    lines
+                }
+            }
+        }
+        Request::Certify { tenant } => {
+            let out = reg.with_session(tenant, |s| s.engine().map(|e| (e.len(), e.snapshot())))?;
+            let t = json_str(tenant);
+            match out {
+                None => vec![format!("{{\"event\":\"certify\",\"tenant\":{t},\"live\":false}}")],
+                Some((points, snapshot)) => {
+                    let snapshot = snapshot.map_err(TenantError::Series)?;
+                    vec![format!(
+                        "{{\"event\":\"certify\",\"tenant\":{t},\"live\":true,\
                          \"points\":{points},\"checksum\":\"{}\"}}",
                         snapshot_checksum(&snapshot)
                     )]

@@ -56,6 +56,26 @@ pub fn bootstrap_line(points: usize, l_min: usize, l_max: usize, entries: usize)
     )
 }
 
+/// The NDJSON line for one anytime preview round, where `n` is the
+/// number of points the previewed snapshot covers. Rides the same
+/// channel as [`update_line`]; `convergence` is the fraction of stage-1
+/// cells retired and `churn` the fraction of VALMAP entries the round
+/// changed.
+#[must_use]
+pub fn preview_line(n: usize, preview: &valmod_core::AnytimePreview) -> String {
+    format!(
+        "{{\"event\":\"preview\",\"n\":{n},\"round\":{},\"rounds\":{},\"cells_retired\":{},\
+         \"cells_total\":{},\"convergence\":{},\"churn\":{},\"settled\":{}}}",
+        preview.round,
+        preview.rounds,
+        preview.cells_retired,
+        preview.cells_total,
+        json_f64(preview.convergence()),
+        json_f64(preview.churn),
+        preview.settled(),
+    )
+}
+
 /// The NDJSON line for one VALMAP update, where `n` is the number of
 /// points consumed when the update was observed.
 #[must_use]

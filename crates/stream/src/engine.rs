@@ -798,6 +798,52 @@ impl StreamingValmod {
         run_valmod(self.buffer.as_slice(), &self.config)
     }
 
+    /// [`StreamingValmod::snapshot`] with anytime previews: when the
+    /// engine's configuration carries [`valmod_core::Quality::Anytime`],
+    /// `on_preview` observes each improving stage-1 VALMAP (round,
+    /// convergence, churn) before the exact output is returned. The final
+    /// output is byte-identical to [`StreamingValmod::snapshot`] under
+    /// [`valmod_core::Quality::Exact`] — the anytime walk settles to the
+    /// same answer, it only reports along the way.
+    ///
+    /// # Errors
+    ///
+    /// As [`valmod_core::run_valmod`].
+    pub fn snapshot_with_preview(
+        &self,
+        on_preview: &mut dyn FnMut(&valmod_core::AnytimePreview),
+    ) -> Result<ValmodOutput> {
+        valmod_core::run_valmod_observed(self.buffer.as_slice(), &self.config, on_preview)
+    }
+
+    /// [`StreamingValmod::snapshot_with_preview`] at an explicit anytime
+    /// `budget`, overriding the configured quality tier for this call
+    /// only. Used by the serve protocol's `preview` verb, where the
+    /// client picks the budget per request.
+    ///
+    /// # Errors
+    ///
+    /// As [`valmod_core::run_valmod`]; additionally rejects `budget == 0`.
+    pub fn snapshot_anytime(
+        &self,
+        budget: usize,
+        on_preview: &mut dyn FnMut(&valmod_core::AnytimePreview),
+    ) -> Result<ValmodOutput> {
+        let config = self.config.clone().with_quality(valmod_core::Quality::Anytime { budget });
+        valmod_core::run_valmod_observed(self.buffer.as_slice(), &config, on_preview)
+    }
+
+    /// Screening-tier answer over the buffered series: ranks candidate
+    /// lengths and offsets by the admissible lower bound without exact
+    /// stage-2 recomputation. See [`valmod_core::screen_series`].
+    ///
+    /// # Errors
+    ///
+    /// As [`valmod_core::screen_series`].
+    pub fn screen(&self) -> Result<valmod_core::ScreenReport> {
+        valmod_core::screen_series(self.buffer.as_slice(), &self.config)
+    }
+
     /// Batch-grade discord answer over the buffered series,
     /// bit-identical to [`valmod_core::variable_length_discords`].
     ///

@@ -71,8 +71,8 @@ pub mod session;
 pub(crate) mod tree;
 
 pub use delta::{
-    bootstrap_line, checkpoint_line, recovered_line, summary_line, update_line, SummaryIo,
-    ValmapDelta,
+    bootstrap_line, checkpoint_line, preview_line, recovered_line, summary_line, update_line,
+    SummaryIo, ValmapDelta,
 };
 pub use engine::{LengthMotifs, StreamingValmod};
 pub use persist::{escape_tenant, CheckpointScheduler, CheckpointStore, JournalWriter, Recovery};

@@ -235,6 +235,24 @@ impl TenantRegistry {
     /// [`TenantError::Series`] for store, recovery, or configuration
     /// errors (including a capacity below the warmup floor).
     pub fn open(&self, name: &str) -> Result<OpenReport, TenantError> {
+        self.open_with_priority(name, LanePriority::Bulk)
+    }
+
+    /// [`TenantRegistry::open`] with an explicit scheduling lane: the
+    /// tenant's appends are admitted through a lane of the given
+    /// [`LanePriority`], so interactive tenants can jump the pool's queue
+    /// ahead of bulk backfills. The priority binds at creation; reopening
+    /// an existing tenant returns [`OpenReport::Existing`] without
+    /// changing its lane.
+    ///
+    /// # Errors
+    ///
+    /// As [`TenantRegistry::open`].
+    pub fn open_with_priority(
+        &self,
+        name: &str,
+        priority: LanePriority,
+    ) -> Result<OpenReport, TenantError> {
         let mut map = self.tenants.lock().expect("tenant map poisoned");
         if map.contains_key(name) {
             return Ok(OpenReport::Existing);
@@ -269,7 +287,7 @@ impl TenantRegistry {
         obs::tenant(name).mem_bytes.set(mem);
         let slot = Arc::new(Slot {
             name: name.to_string(),
-            lane: self.pool.lane(LanePriority::Bulk, self.policy.lane_depth),
+            lane: self.pool.lane(priority, self.policy.lane_depth),
             scheduler: CheckpointScheduler::new(self.policy.checkpoint_every, slot_ix),
             state: Mutex::new(TenantState { session, store, appends: 0, mem_bytes: mem }),
         });

@@ -138,12 +138,13 @@ proptest! {
         let series = gen::ecg(640, &gen::EcgConfig::default(), seed);
         let shared = Arc::new(WorkerPool::new());
         let config = |pool: Arc<WorkerPool>, threads: usize, pipelined: bool| {
-            ValmodConfig::new(20, 32)
+            let mut c = ValmodConfig::new(20, 32)
                 .with_k(2)
                 .with_profile_size(p)
                 .with_threads(threads)
-                .with_stage2_pipeline(pipelined)
-                .with_pool(pool)
+                .with_pool(pool);
+            c.stage2_pipeline = pipelined;
+            c
         };
         let base = run_valmod(&series, &config(Arc::new(WorkerPool::new()), 1, false)).unwrap();
         let recomputed: usize = base.per_length.iter().map(|r| r.stats.recomputed_rows).sum();

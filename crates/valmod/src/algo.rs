@@ -73,6 +73,7 @@ use crate::config::ValmodConfig;
 use crate::kernel::{self, Stage1Part};
 use crate::lb::LbRowContext;
 use crate::partial::{PartialRow, TopRhoSelector};
+use crate::query::Quality;
 use crate::scratch::{write_back_dots, RowOutcome, StepScratch};
 use crate::valmap::Valmap;
 
@@ -210,6 +211,27 @@ impl ValmodOutput {
 /// assert!(out.per_length.iter().all(|r| !r.pairs.is_empty()));
 /// ```
 pub fn run_valmod(series: &[f64], config: &ValmodConfig) -> Result<ValmodOutput> {
+    run_valmod_observed(series, config, &mut |_| {})
+}
+
+/// [`run_valmod`] with an anytime-preview observer: when
+/// [`ValmodConfig::quality`] is [`Quality::Anytime`], stage 1 walks the
+/// diagonal blocks in the seeded shuffled order and invokes `on_preview`
+/// after every round with the interim VALMAP and convergence estimate
+/// (see [`crate::anytime::AnytimePreview`]); the run then **settles to
+/// the byte-identical exact output** — same VALMAP, pairs, and checksums
+/// as the eager walk. `Exact` (and `Screen`, which only short-circuits
+/// through [`crate::Query::run`]) never invoke the observer.
+///
+/// # Errors
+///
+/// Returns a [`valmod_series::SeriesError`] when the configuration is
+/// invalid for this series (range malformed or series too short).
+pub fn run_valmod_observed(
+    series: &[f64],
+    config: &ValmodConfig,
+    on_preview: &mut dyn FnMut(&crate::anytime::AnytimePreview),
+) -> Result<ValmodOutput> {
     config.validate(series.len())?;
     let l0 = config.l_min;
 
@@ -222,7 +244,12 @@ pub fn run_valmod(series: &[f64], config: &ValmodConfig) -> Result<ValmodOutput>
 
     // ---- Stage 1: full matrix profile at l0 + partial profiles. ----
     let stage1_started = std::time::Instant::now();
-    let (base_profile, mut rows) = stage_one(&engine, config);
+    let (base_profile, mut rows) = match config.quality {
+        Quality::Anytime { budget } => {
+            crate::anytime::stage_one_anytime(&engine, config, budget, on_preview)
+        }
+        _ => stage_one(&engine, config),
+    };
     let stage1 = stage1_started.elapsed();
     let base_pairs = top_k_pairs(&base_profile, config.k);
     let mut valmap = Valmap::from_base_profile(&base_profile);
@@ -294,17 +321,7 @@ pub(crate) fn stage_one(
         return (mp, rows);
     }
 
-    // Scale the worker count to the actual cell work and keep the
-    // per-worker state within the memory budget; any count produces
-    // identical results, so both caps are pure performance knobs.
-    let cells = (m - first_diag).saturating_mul(m - first_diag) / 2;
-    let per_worker_bytes = m
-        * (config.profile_size * std::mem::size_of::<crate::partial::PartialEntry>()
-            + std::mem::size_of::<(f64, usize)>());
-    let state_cap = (STAGE1_STATE_BYTES_BUDGET / per_worker_bytes.max(1)).max(1);
-    let num_workers = worker_count(config.threads, cells, STAGE1_MIN_CELLS_PER_WORKER)
-        .min(state_cap)
-        .min(m - first_diag);
+    let num_workers = stage1_worker_count(config, m, first_diag);
     // The hot path is the SIMD kernel (crate::kernel); series with flat
     // windows at ℓmin take the scalar distance-space walk instead, whose
     // per-cell conventions the kernel does not model. Both produce the
@@ -323,27 +340,52 @@ pub(crate) fn stage_one(
         }
     });
 
-    // Row-wise merge of the worker partitions.
+    // Row-wise merge of the worker partitions under the total orders
+    // (see [`Stage1Part::absorb`]): any grouping yields the same state.
     let rest = parts.split_off(1);
-    let first = parts.pop().expect("at least one worker");
-    let mut rows: Vec<PartialRow> = Vec::with_capacity(m);
-    for (i, (mut selector, (mut best_d, mut best_j))) in
-        first.selectors.into_iter().zip(first.best_d.into_iter().zip(first.best_j)).enumerate()
+    let mut merged = parts.pop().expect("at least one worker");
+    for part in &rest {
+        merged.absorb(part);
+    }
+    let rows = rows_from_part(merged, &mut mp, l0);
+    (mp, rows)
+}
+
+/// Stage 1's worker-count policy: scale to the actual cell work and keep
+/// the per-worker state within the memory budget. Any count produces
+/// identical results, so both caps are pure performance knobs. Shared
+/// with the anytime scheduler so both walks size their fan-out the same
+/// way.
+pub(crate) fn stage1_worker_count(config: &ValmodConfig, m: usize, first_diag: usize) -> usize {
+    let cells = (m - first_diag).saturating_mul(m - first_diag) / 2;
+    let per_worker_bytes = m
+        * (config.profile_size * std::mem::size_of::<crate::partial::PartialEntry>()
+            + std::mem::size_of::<(f64, usize)>());
+    let state_cap = (STAGE1_STATE_BYTES_BUDGET / per_worker_bytes.max(1)).max(1);
+    worker_count(config.threads, cells, STAGE1_MIN_CELLS_PER_WORKER)
+        .min(state_cap)
+        .min(m - first_diag)
+}
+
+/// Finalizes a fully merged stage-1 part: per-row best → matrix-profile
+/// offer, selector → sorted [`PartialRow`]. The tail both the eager and
+/// the anytime stage 1 funnel through, so their outputs are bitwise the
+/// same function of the merged state.
+pub(crate) fn rows_from_part(
+    part: Stage1Part,
+    mp: &mut MatrixProfile,
+    l0: usize,
+) -> Vec<PartialRow> {
+    let mut rows: Vec<PartialRow> = Vec::with_capacity(part.best_d.len());
+    for (i, (selector, (best_d, best_j))) in
+        part.selectors.into_iter().zip(part.best_d.into_iter().zip(part.best_j)).enumerate()
     {
-        for part in &rest {
-            selector.absorb(&part.selectors[i]);
-            let (cand_d, cand_j) = (part.best_d[i], part.best_j[i]);
-            if cand_d < best_d || (cand_d == best_d && cand_j < best_j) {
-                best_d = cand_d;
-                best_j = cand_j;
-            }
-        }
         if best_j != u32::MAX {
             mp.offer(i, best_d, best_j as usize);
         }
         rows.push(selector.into_row(l0));
     }
-    (mp, rows)
+    rows
 }
 
 /// The scalar stage-1 worker for series with flat (σ ≈ 0) windows at the
@@ -361,34 +403,50 @@ fn stage_one_flat_worker(
     let m = engine.num_windows();
     let means = engine.means();
     let stds = engine.stds();
-    let lf = l0 as f64;
     let mut part = Stage1Part::new(m, config.profile_size);
     engine.walk_diagonals(first_diag + w, num_workers, |i, j, qt| {
-        let (d, rho) = if stds[i] < FLAT_EPS || stds[j] < FLAT_EPS {
-            // Degenerate pair: contribute the conventional distance to
-            // the profile and enter the partial profile with the worst
-            // correlation. The lower bound evaluated at ρ = −1 (its
-            // plateau) remains admissible for flat candidates, so
-            // pruning stays exact.
-            (zdist_from_dot(qt, l0, means[i], stds[i], means[j], stds[j]), -1.0)
-        } else {
-            let rho = ((qt - lf * means[i] * means[j]) / (lf * stds[i] * stds[j])).clamp(-1.0, 1.0);
-            ((2.0 * lf * (1.0 - rho)).max(0.0).sqrt(), rho)
-        };
-        part.selectors[i].offer(j, rho, qt);
-        part.selectors[j].offer(i, rho, qt);
-        let ju = kernel::idx32(j);
-        if d < part.best_d[i] || (d == part.best_d[i] && ju < part.best_j[i]) {
-            part.best_d[i] = d;
-            part.best_j[i] = ju;
-        }
-        let iu = kernel::idx32(i);
-        if d < part.best_d[j] || (d == part.best_d[j] && iu < part.best_j[j]) {
-            part.best_d[j] = d;
-            part.best_j[j] = iu;
-        }
+        flat_stage1_cell(&mut part, l0, means, stds, i, j, qt);
     });
     part
+}
+
+/// One cell of the scalar flat-path walk — the per-cell body shared by
+/// the eager interleaved worker above and the anytime tier's listed
+/// walk, so the two paths can never drift on the degenerate-pair
+/// conventions.
+pub(crate) fn flat_stage1_cell(
+    part: &mut Stage1Part,
+    l0: usize,
+    means: &[f64],
+    stds: &[f64],
+    i: usize,
+    j: usize,
+    qt: f64,
+) {
+    let lf = l0 as f64;
+    let (d, rho) = if stds[i] < FLAT_EPS || stds[j] < FLAT_EPS {
+        // Degenerate pair: contribute the conventional distance to
+        // the profile and enter the partial profile with the worst
+        // correlation. The lower bound evaluated at ρ = −1 (its
+        // plateau) remains admissible for flat candidates, so
+        // pruning stays exact.
+        (zdist_from_dot(qt, l0, means[i], stds[i], means[j], stds[j]), -1.0)
+    } else {
+        let rho = ((qt - lf * means[i] * means[j]) / (lf * stds[i] * stds[j])).clamp(-1.0, 1.0);
+        ((2.0 * lf * (1.0 - rho)).max(0.0).sqrt(), rho)
+    };
+    part.selectors[i].offer(j, rho, qt);
+    part.selectors[j].offer(i, rho, qt);
+    let ju = kernel::idx32(j);
+    if d < part.best_d[i] || (d == part.best_d[i] && ju < part.best_j[i]) {
+        part.best_d[i] = d;
+        part.best_j[i] = ju;
+    }
+    let iu = kernel::idx32(i);
+    if d < part.best_d[j] || (d == part.best_d[j] && iu < part.best_j[j]) {
+        part.best_d[j] = d;
+        part.best_j[j] = iu;
+    }
 }
 
 /// One row re-seeded by the MASS fallback, produced by a worker and
@@ -957,8 +1015,9 @@ pub(crate) fn reseed_row_from_profile(
 }
 
 /// Greedy top-k selection with pair deduplication (same policy as
-/// `valmod_mp::motif::top_k_pairs`).
-fn select_top_k(candidates: &[MotifPair], k: usize, exclusion: usize) -> Vec<MotifPair> {
+/// `valmod_mp::motif::top_k_pairs`). Shared with the screening tier,
+/// which ranks by lower bound instead of exact distance.
+pub(crate) fn select_top_k(candidates: &[MotifPair], k: usize, exclusion: usize) -> Vec<MotifPair> {
     let mut sorted: Vec<MotifPair> = candidates.to_vec();
     sorted.sort_by(|x, y| {
         x.distance

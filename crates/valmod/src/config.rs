@@ -5,6 +5,8 @@ use std::sync::Arc;
 use valmod_mp::WorkerPool;
 use valmod_series::{Result, SeriesError};
 
+use crate::query::Quality;
+
 /// Parameters of a VALMOD run.
 ///
 /// Defaults follow the paper: top-`k = 10` motif pairs per length and
@@ -49,6 +51,18 @@ pub struct ValmodConfig {
     /// performance knob (and a CI dimension: the equality suites run both
     /// ways).
     pub stage2_pipeline: bool,
+    /// Execution quality tier (see [`Quality`]). `Exact` and `Anytime`
+    /// produce byte-identical outputs — anytime merely streams VALMAP
+    /// previews while stage 1 converges — and code paths that need a full
+    /// output treat `Screen` as `Exact` (the screening short-circuit only
+    /// engages through [`crate::Query::run`] /
+    /// [`crate::screen::screen_series`]).
+    pub quality: Quality,
+    /// Seed of the anytime tier's shuffled diagonal visiting order.
+    /// Results settle byte-identically for every seed; the seed only
+    /// shapes the intermediate previews, so two runs with the same seed
+    /// stream the same preview sequence.
+    pub seed: u64,
     /// The persistent [`WorkerPool`] every parallel phase of this run
     /// dispatches to; `None` uses the process-wide [`WorkerPool::global`].
     /// Purely a performance/ownership knob (results never depend on which
@@ -71,18 +85,31 @@ impl PartialEq for ValmodConfig {
             exclusion_den,
             threads,
             stage2_pipeline,
+            quality,
+            seed,
             pool: _,
         } = self;
-        (*l_min, *l_max, *k, *profile_size, *exclusion_den, *threads, *stage2_pipeline)
-            == (
-                other.l_min,
-                other.l_max,
-                other.k,
-                other.profile_size,
-                other.exclusion_den,
-                other.threads,
-                other.stage2_pipeline,
-            )
+        (
+            *l_min,
+            *l_max,
+            *k,
+            *profile_size,
+            *exclusion_den,
+            *threads,
+            *stage2_pipeline,
+            *quality,
+            *seed,
+        ) == (
+            other.l_min,
+            other.l_max,
+            other.k,
+            other.profile_size,
+            other.exclusion_den,
+            other.threads,
+            other.stage2_pipeline,
+            other.quality,
+            other.seed,
+        )
     }
 }
 
@@ -102,6 +129,8 @@ impl ValmodConfig {
             exclusion_den: 4,
             threads,
             stage2_pipeline: true,
+            quality: Quality::Exact,
+            seed: 0,
             pool: None,
         }
     }
@@ -121,6 +150,8 @@ impl ValmodConfig {
     }
 
     /// Sets the exclusion-zone denominator (`⌈ℓ/den⌉`).
+    #[deprecated(note = "use the `Query` builder (`valmod_core::Query::exclusion_den`) or set \
+                         the public `exclusion_den` field directly")]
     #[must_use]
     pub fn with_exclusion_den(mut self, den: usize) -> Self {
         self.exclusion_den = den;
@@ -138,9 +169,27 @@ impl ValmodConfig {
     /// Enables or disables the stage-2 software pipeline (see the
     /// [`ValmodConfig::stage2_pipeline`] field docs; results are identical
     /// either way).
+    #[deprecated(note = "use the `Query` builder (`valmod_core::Query::pipeline`) or set the \
+                         public `stage2_pipeline` field directly")]
     #[must_use]
     pub fn with_stage2_pipeline(mut self, pipelined: bool) -> Self {
         self.stage2_pipeline = pipelined;
+        self
+    }
+
+    /// Sets the execution quality tier (see [`Quality`] and
+    /// [`crate::Query`]).
+    #[must_use]
+    pub fn with_quality(mut self, quality: Quality) -> Self {
+        self.quality = quality;
+        self
+    }
+
+    /// Sets the seed of the anytime tier's shuffled diagonal order
+    /// (results settle byte-identically for every seed).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -186,6 +235,9 @@ impl ValmodConfig {
         if self.k == 0 || self.profile_size == 0 || self.exclusion_den == 0 || self.threads == 0 {
             return Err(SeriesError::InvalidRange { l_min: self.l_min, l_max: self.l_max });
         }
+        if matches!(self.quality, Quality::Anytime { budget: 0 }) {
+            return Err(SeriesError::InvalidRange { l_min: self.l_min, l_max: self.l_max });
+        }
         let needed = self.l_max + self.exclusion(self.l_max) + 1;
         if n < needed {
             return Err(SeriesError::TooShort { len: n, needed });
@@ -208,14 +260,33 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = ValmodConfig::new(8, 16)
-            .with_k(3)
-            .with_profile_size(4)
-            .with_exclusion_den(2)
-            .with_threads(6);
+        let mut c = ValmodConfig::new(8, 16).with_k(3).with_profile_size(4).with_threads(6);
+        c.exclusion_den = 2;
         assert_eq!((c.k, c.profile_size, c.exclusion(8), c.threads), (3, 4, 4, 6));
         // Zero threads clamps to the serial path rather than erroring.
         assert_eq!(ValmodConfig::new(8, 16).with_threads(0).threads, 1);
+    }
+
+    /// The deprecated shims still compile and behave — downstream code
+    /// gets one release of warning, not breakage.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let c = ValmodConfig::new(8, 16).with_exclusion_den(2).with_stage2_pipeline(false);
+        assert_eq!(c.exclusion(8), 4);
+        assert!(!c.stage2_pipeline);
+    }
+
+    #[test]
+    fn quality_and_seed_participate_in_equality() {
+        use crate::query::Quality;
+        let base = ValmodConfig::new(8, 16);
+        assert_eq!(base, base.clone());
+        assert_ne!(base, base.clone().with_quality(Quality::Anytime { budget: 4 }));
+        assert_ne!(base, base.clone().with_seed(7));
+        // A zero-round anytime budget is rejected up front.
+        assert!(base.clone().with_quality(Quality::Anytime { budget: 0 }).validate(1000).is_err());
+        assert!(base.with_quality(Quality::Screen).validate(1000).is_ok());
     }
 
     #[test]

@@ -136,6 +136,24 @@ impl Stage1Part {
             best_j: vec![u32::MAX; m],
         }
     }
+
+    /// Merges another part built from a *disjoint* partition of the QT
+    /// cells: row-wise [`TopRhoSelector::absorb`] plus the best fold
+    /// under "(d asc, j asc)" — exactly the merge `algo::stage_one`
+    /// performs. Because both reductions are pure functions of the
+    /// contributed multiset, absorbing parts in any order or grouping
+    /// (workers, anytime rounds) yields byte-identical merged state.
+    pub(crate) fn absorb(&mut self, other: &Stage1Part) {
+        debug_assert_eq!(self.best_d.len(), other.best_d.len());
+        for i in 0..self.best_d.len() {
+            self.selectors[i].absorb(&other.selectors[i]);
+            let (cd, cj) = (other.best_d[i], other.best_j[i]);
+            if cd < self.best_d[i] || (cd == self.best_d[i] && cj < self.best_j[i]) {
+                self.best_d[i] = cd;
+                self.best_j[i] = cj;
+            }
+        }
+    }
 }
 
 /// Narrows a subsequence offset to the `u32` the SoA state stores.
@@ -268,22 +286,8 @@ pub(crate) fn stage1_walk(
         // resolves a packed level) the unreachable packed arms.
         _ => walk_lanes::<4, _>(simd::Portable, &ctx, first_diag, w, num_workers, &mut state),
     }
-    // Flush the deferred prefilter credits.
-    let mut rejected: u64 = 0;
-    for (selector, &r) in state.part.selectors.iter_mut().zip(&state.rej) {
-        if r > 0 {
-            rejected += r;
-            #[allow(clippy::cast_possible_truncation)]
-            selector.count_rejected(r as usize);
-        }
-    }
-
-    // Metrics flush — once per walk, never per cell. The cell count is a
-    // pure function of the blocked partition geometry (each diagonal `k`
-    // holds `m − k` cells), the rejected count was deferred into
-    // `state.rej` during the walk, and every cell makes exactly two
-    // offers (row- and column-side), so the accepted-offer count follows
-    // arithmetically: four relaxed adds total.
+    // Cell count — a pure function of the blocked partition geometry
+    // (each diagonal `k` holds `m − k` cells).
     let tile = 2 * level.width();
     let stride = num_workers * tile;
     let mut cells: u64 = 0;
@@ -293,6 +297,88 @@ pub(crate) fn stage1_walk(
             cells += (m - k) as u64;
         }
         k0 += stride;
+    }
+    finish_walk(state, cells, level)
+}
+
+/// Walks an explicit list of diagonal blocks instead of the eager
+/// round-robin stride — the anytime tier's entry point, reusing the same
+/// register-tiled kernel per block. `blocks` holds block *starts*: each
+/// entry `k0` covers diagonals `k0 .. min(k0 + 2W, m)` where `W` is
+/// `level`'s lane width. Starts must come from the tile grid
+/// `first_diag + q·2W` (the same grid [`stage1_walk`] walks) and be
+/// mutually distinct so the union of any set of listed walks partitions
+/// the cells; order within the list is irrelevant to the merged result
+/// (see the module docs) and only shapes preview timing.
+///
+/// Same caller contract as [`stage1_walk`]: no flat window at this
+/// length.
+pub(crate) fn stage1_walk_listed(
+    engine: &StompEngine,
+    blocks: &[usize],
+    profile_size: usize,
+    level: SimdLevel,
+) -> Stage1Part {
+    let _walk_span = obs::span("stage1_walk", obs::Layer::Kernel);
+    let m = engine.num_windows();
+    let l = engine.window();
+    let lf = l as f64;
+    let ctx = Ctx {
+        t: engine.values(),
+        first_row: engine.first_row(),
+        means: engine.means(),
+        stds: engine.stds(),
+        l,
+        m,
+        lf,
+        two_lf: 2.0 * lf,
+    };
+    let mut state = WalkState {
+        part: Stage1Part::new(m, profile_size),
+        thresh: vec![f64::NEG_INFINITY; m],
+        rej: vec![0; m],
+    };
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => {
+            let b = simd::Avx512::new().expect("dispatch resolved AVX-512 without CPU support");
+            // SAFETY: the `Avx512` token proves the target features.
+            unsafe { walk_avx512_listed(b, &ctx, blocks, &mut state) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            let b = simd::Avx2::new().expect("dispatch resolved AVX2 without CPU support");
+            // SAFETY: the `Avx2` token proves the target features.
+            unsafe { walk_avx2_listed(b, &ctx, blocks, &mut state) }
+        }
+        SimdLevel::Portable8 => {
+            walk_lanes_listed::<8, _>(simd::Portable, &ctx, blocks, &mut state);
+        }
+        _ => walk_lanes_listed::<4, _>(simd::Portable, &ctx, blocks, &mut state),
+    }
+    let tile = 2 * level.width();
+    let mut cells: u64 = 0;
+    for &k0 in blocks {
+        for k in k0..(k0 + tile).min(m) {
+            cells += (m - k) as u64;
+        }
+    }
+    finish_walk(state, cells, level)
+}
+
+/// Shared tail of every walk entry point: flushes the deferred prefilter
+/// credits into the selectors, then the metrics — once per walk, never
+/// per cell. Every cell makes exactly two offers (row- and column-side),
+/// so the accepted-offer count follows arithmetically from `cells` and
+/// the deferred rejected count: four relaxed adds total.
+fn finish_walk(mut state: WalkState, cells: u64, level: SimdLevel) -> Stage1Part {
+    let mut rejected: u64 = 0;
+    for (selector, &r) in state.part.selectors.iter_mut().zip(&state.rej) {
+        if r > 0 {
+            rejected += r;
+            #[allow(clippy::cast_possible_truncation)]
+            selector.count_rejected(r as usize);
+        }
     }
     obs::count!(stage1_cells, cells);
     obs::count!(stage1_prefilter_rejected, rejected);
@@ -305,7 +391,6 @@ pub(crate) fn stage1_walk(
         SimdLevel::Portable8 => obs::count!(stage1_dispatch_w8_portable, 1),
         _ => obs::count!(stage1_dispatch_w4_portable, 1),
     }
-
     state.part
 }
 
@@ -375,6 +460,60 @@ fn walk_lanes<const W: usize, B: F64Lanes<W>>(
             }
         }
         k0 += stride;
+    }
+}
+
+/// The AVX2+FMA instantiation of [`walk_lanes_listed`] at W=4.
+///
+/// # Safety
+///
+/// The `Avx2` token proves the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn walk_avx2_listed(b: simd::Avx2, ctx: &Ctx<'_>, blocks: &[usize], state: &mut WalkState) {
+    walk_lanes_listed::<4, _>(b, ctx, blocks, state);
+}
+
+/// The AVX-512 instantiation of [`walk_lanes_listed`] at W=8.
+///
+/// # Safety
+///
+/// The `Avx512` token proves the CPU supports AVX-512 F/DQ/VL (+AVX2+FMA).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx2,fma")]
+unsafe fn walk_avx512_listed(
+    b: simd::Avx512,
+    ctx: &Ctx<'_>,
+    blocks: &[usize],
+    state: &mut WalkState,
+) {
+    walk_lanes_listed::<8, _>(b, ctx, blocks, state);
+}
+
+/// [`walk_lanes`] over an explicit block list: each listed start goes
+/// through the identical tiled/ragged split, so a listed walk over the
+/// blocks a strided walk would visit performs exactly the same cell
+/// operations in the same per-block order.
+#[inline(always)]
+fn walk_lanes_listed<const W: usize, B: F64Lanes<W>>(
+    b: B,
+    ctx: &Ctx<'_>,
+    blocks: &[usize],
+    state: &mut WalkState,
+) {
+    let m = ctx.m;
+    let tile = 2 * W;
+    for &k0 in blocks {
+        debug_assert!(k0 < m);
+        if k0 + tile <= m {
+            process_block(b, ctx, k0, state);
+        } else {
+            for k in k0..m {
+                let qt0 = ctx.first_row[k];
+                process_cell(ctx, 0, k, qt0, state);
+                tail_scalar(ctx, k, 1, qt0, state);
+            }
+        }
     }
 }
 

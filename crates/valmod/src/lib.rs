@@ -12,6 +12,9 @@
 //! * [`run_valmod`] / [`ValmodConfig`] — the algorithm itself (module
 //!   [`algo`]), built on the lower bound of module [`lb`] and the partial
 //!   distance profiles of module [`partial`];
+//! * [`Query`] / [`Quality`] — the typed query surface over the quality
+//!   tiers: exact, anytime (seeded previews settling to the exact bits,
+//!   module [`anytime`]), and lower-bound screening (module [`screen`]);
 //! * [`Valmap`] — the Variable-Length Matrix Profile meta-data structure
 //!   `⟨MPn, IP, LP⟩` with its checkpoint log (module [`valmap`]);
 //! * [`rank`] — the length-normalized ranking of motifs across lengths;
@@ -36,23 +39,32 @@
 //! ```
 
 pub mod algo;
+pub mod anytime;
 pub mod config;
 pub mod discord;
 pub mod kernel;
 pub mod lb;
 pub mod motif_set;
 pub mod partial;
+pub mod query;
 pub mod rank;
 pub mod render;
 mod scratch;
+pub mod screen;
 #[doc(hidden)]
 pub mod testkit;
 pub mod valmap;
 
-pub use algo::{run_valmod, LengthResult, LengthStats, StageTimings, StepTimings, ValmodOutput};
+pub use algo::{
+    run_valmod, run_valmod_observed, LengthResult, LengthStats, StageTimings, StepTimings,
+    ValmodOutput,
+};
+pub use anytime::AnytimePreview;
 pub use config::ValmodConfig;
 pub use discord::{variable_length_discords, Discord, LengthDiscords};
 pub use lb::LbRowContext;
 pub use motif_set::{expand_motif_set, MotifSet, Occurrence};
+pub use query::{parse_quality, Quality, Query, QueryOutcome, DEFAULT_ANYTIME_BUDGET};
 pub use rank::{rank_and_dedupe, rank_pairs, RankedMotif};
+pub use screen::{screen_series, ScreenCandidate, ScreenLength, ScreenReport};
 pub use valmap::{Valmap, ValmapCheckpoint, ValmapUpdate};

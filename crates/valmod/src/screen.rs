@@ -1,0 +1,226 @@
+//! The lower-bound-only screening tier behind
+//! [`Quality::Screen`](crate::Quality).
+//!
+//! Screening answers "*which lengths and offsets deserve exact
+//! extension?*" at a fraction of a full run's cost: it pays for stage 1
+//! once (the exact matrix profile and partial profiles at `ℓmin`), then
+//! ranks every longer length's candidates by the **admissible lower
+//! bound** of [`crate::lb`] — no dot-product advances, no MASS
+//! recomputation, no per-length classification. Because the bound never
+//! exceeds the true z-normalized distance (pinned by the admissibility
+//! proptests), a candidate's `lower_bound` is a certificate: the true
+//! motif distance at that length is *at least* that value, so lengths
+//! whose best bound is already large can be skipped with confidence,
+//! and small bounds mark where an exact [`Quality::Exact`] or
+//! [`Quality::Anytime`](crate::Quality) run should be spent.
+
+use valmod_mp::motif::top_k_pairs;
+use valmod_mp::stomp::StompEngine;
+use valmod_mp::{MatrixProfile, MotifPair};
+use valmod_series::{Result, RollingStats};
+
+use crate::algo::{select_top_k, stage_one, LengthResult, LengthStats};
+use crate::config::ValmodConfig;
+use crate::lb::LbRowContext;
+
+/// One screened candidate pair: where an exact run should look, and the
+/// admissible floor under its true distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScreenCandidate {
+    /// Subsequence length this candidate was screened at.
+    pub length: usize,
+    /// Row offset of the pair.
+    pub offset: usize,
+    /// Matching offset of the pair.
+    pub match_offset: usize,
+    /// Admissible lower bound on the pair's z-normalized distance at
+    /// `length` — never exceeds the true distance.
+    pub lower_bound: f64,
+}
+
+/// The screened top-k of one length, ascending lower bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreenLength {
+    /// Subsequence length.
+    pub length: usize,
+    /// Top-k candidate pairs by ascending lower bound, deduplicated
+    /// with the same trivial-match policy as the exact top-k.
+    pub candidates: Vec<ScreenCandidate>,
+}
+
+/// Everything the screening tier produces: the exact base length plus a
+/// lower-bound ranking of every longer length.
+#[derive(Debug, Clone)]
+pub struct ScreenReport {
+    /// The configuration that produced this report.
+    pub config: ValmodConfig,
+    /// The exact per-length result at `ℓmin` (stage 1 is always exact,
+    /// so the base length needs no screening).
+    pub base: LengthResult,
+    /// The full matrix profile at `ℓmin`.
+    pub base_profile: MatrixProfile,
+    /// Lower-bound rankings for the lengths `ℓmin+1 ..= ℓmax`,
+    /// ascending length.
+    pub lengths: Vec<ScreenLength>,
+}
+
+impl ScreenReport {
+    /// The most promising screened candidate across all lengths — the
+    /// globally smallest lower bound (ties: shortest length first).
+    #[must_use]
+    pub fn best_candidate(&self) -> Option<&ScreenCandidate> {
+        self.lengths
+            .iter()
+            .filter_map(|l| l.candidates.first())
+            .min_by(|a, b| a.lower_bound.total_cmp(&b.lower_bound).then(a.length.cmp(&b.length)))
+    }
+}
+
+/// Screens `series`: exact stage 1 at `ℓmin`, then every length in
+/// `(ℓmin, ℓmax]` ranked by the admissible lower bound from the stored
+/// partial profiles — no exact recomputation at any extended length.
+///
+/// # Errors
+///
+/// Returns a [`valmod_series::SeriesError`] when the configuration is
+/// invalid for this series (range malformed or series too short).
+///
+/// # Example
+///
+/// ```
+/// use valmod_core::{screen_series, ValmodConfig};
+/// use valmod_series::gen;
+///
+/// let series = gen::sine_mix(600, &[(40.0, 1.0)], 0.05, 3);
+/// let report = screen_series(&series, &ValmodConfig::new(24, 32).with_k(2)).unwrap();
+/// assert_eq!(report.lengths.len(), 8);
+/// // A strongly periodic series screens with small bounds everywhere.
+/// assert!(report.best_candidate().unwrap().lower_bound < 1.0);
+/// ```
+pub fn screen_series(series: &[f64], config: &ValmodConfig) -> Result<ScreenReport> {
+    config.validate(series.len())?;
+    let l0 = config.l_min;
+    let engine = StompEngine::new(series, l0)?;
+    // Same unit system as the exact run: bounds are evaluated over the
+    // engine's globally centered values.
+    let values: Vec<f64> = engine.values().to_vec();
+    let stats = RollingStats::new(&values);
+    let n = values.len();
+
+    let (base_profile, rows) = stage_one(&engine, config);
+    let base = LengthResult {
+        length: l0,
+        pairs: top_k_pairs(&base_profile, config.k),
+        stats: LengthStats {
+            valid_rows: base_profile.len(),
+            invalid_rows: 0,
+            recomputed_rows: 0,
+            min_lb_abs: f64::INFINITY,
+            stomp_fallback: false,
+        },
+    };
+
+    let mut lengths = Vec::with_capacity(config.l_max - l0);
+    for length in l0 + 1..=config.l_max {
+        let m = n - length + 1;
+        let excl = config.exclusion(length);
+        // Per row: the smallest admissible bound over the stored
+        // candidates that still exist (and are non-trivial) at this
+        // length. The bound is monotone non-increasing in ρ, so this is
+        // the floor under the row's best stored match.
+        let mut candidates: Vec<MotifPair> = Vec::new();
+        for (i, row) in rows.iter().enumerate().take(m) {
+            if row.entries.is_empty() {
+                continue;
+            }
+            let ctx = LbRowContext::new(&stats, i, l0, length);
+            let mut best_lb = f64::INFINITY;
+            let mut best_j = usize::MAX;
+            for e in &row.entries {
+                let j = e.j as usize;
+                if j >= m || i.abs_diff(j) <= excl {
+                    continue;
+                }
+                let lb = ctx.bound(e.rho_base);
+                if lb < best_lb || (lb == best_lb && j < best_j) {
+                    best_lb = lb;
+                    best_j = j;
+                }
+            }
+            if best_j != usize::MAX {
+                candidates.push(MotifPair::new(i, best_j, best_lb, length));
+            }
+        }
+        let top = select_top_k(&candidates, config.k, excl);
+        lengths.push(ScreenLength {
+            length,
+            candidates: top
+                .into_iter()
+                .map(|p| ScreenCandidate {
+                    length,
+                    offset: p.a,
+                    match_offset: p.b,
+                    lower_bound: p.distance,
+                })
+                .collect(),
+        });
+    }
+
+    Ok(ScreenReport { config: config.clone(), base, base_profile, lengths })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::run_valmod;
+    use valmod_series::gen;
+
+    /// Every screened bound is admissible versus the exact run: the
+    /// screen's lower bound at (length) never exceeds the exact top
+    /// pair's distance at that length.
+    #[test]
+    fn screened_bounds_never_exceed_exact_distances() {
+        let series = gen::ecg(500, &gen::EcgConfig::default(), 17);
+        let config = ValmodConfig::new(16, 28).with_k(3);
+        let report = screen_series(&series, &config).unwrap();
+        let exact = run_valmod(&series, &config).unwrap();
+        for (screened, res) in report.lengths.iter().zip(exact.per_length.iter().skip(1)) {
+            assert_eq!(screened.length, res.length);
+            let (Some(best), Some(pair)) = (screened.candidates.first(), res.pairs.first()) else {
+                continue;
+            };
+            assert!(
+                best.lower_bound <= pair.distance + 1e-6,
+                "length {}: screen bound {} above exact best {}",
+                res.length,
+                best.lower_bound,
+                pair.distance
+            );
+        }
+    }
+
+    #[test]
+    fn base_length_is_exact_and_lengths_cover_the_range() {
+        let series = gen::random_walk(400, 5);
+        let config = ValmodConfig::new(12, 20).with_k(2);
+        let report = screen_series(&series, &config).unwrap();
+        let exact = run_valmod(&series, &config).unwrap();
+        assert_eq!(report.base.pairs, exact.per_length[0].pairs);
+        assert_eq!(report.lengths.len(), 8);
+        for (sl, l) in report.lengths.iter().zip(13..=20) {
+            assert_eq!(sl.length, l);
+            assert!(sl.candidates.len() <= 2);
+            // Ascending lower bound within a length.
+            for pair in sl.candidates.windows(2) {
+                assert!(pair[0].lower_bound <= pair[1].lower_bound);
+            }
+        }
+    }
+
+    #[test]
+    fn screen_rejects_invalid_configurations() {
+        let series = gen::random_walk(100, 1);
+        assert!(screen_series(&series, &ValmodConfig::new(64, 32)).is_err());
+        assert!(screen_series(&series, &ValmodConfig::new(90, 99)).is_err());
+    }
+}

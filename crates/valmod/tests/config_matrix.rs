@@ -28,7 +28,9 @@ fn check_motifs(series: &[f64], config: &ValmodConfig) {
 fn exclusion_policy_matrix() {
     let series = gen::ecg(300, &gen::EcgConfig::default(), 91);
     for den in [2usize, 4, 8] {
-        check_motifs(&series, &ValmodConfig::new(16, 24).with_k(2).with_exclusion_den(den));
+        let mut config = ValmodConfig::new(16, 24).with_k(2);
+        config.exclusion_den = den;
+        check_motifs(&series, &config);
     }
 }
 
@@ -61,7 +63,8 @@ fn wide_range_against_brute() {
 fn discords_across_exclusion_policies() {
     let series = gen::seismic(260, &gen::SeismicConfig::default(), 95);
     for den in [2usize, 4] {
-        let config = ValmodConfig::new(12, 18).with_k(2).with_exclusion_den(den);
+        let mut config = ValmodConfig::new(12, 18).with_k(2);
+        config.exclusion_den = den;
         let results = variable_length_discords(&series, &config).unwrap();
         for r in &results {
             let mp = stomp(&series, r.length, config.exclusion(r.length)).unwrap();

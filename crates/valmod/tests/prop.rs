@@ -158,14 +158,20 @@ proptest! {
         let config = ValmodConfig::new(18, 30).with_k(3).with_profile_size(p);
         let base = run_valmod(
             &series,
-            &config.clone().with_threads(1).with_stage2_pipeline(false),
+            &valmod_core::Query::from_config(config.clone())
+                .threads(1)
+                .pipeline(false)
+                .into_config(),
         )
         .unwrap();
         for threads in [1usize, 2, 8] {
             for pipelined in [false, true] {
                 let out = run_valmod(
                     &series,
-                    &config.clone().with_threads(threads).with_stage2_pipeline(pipelined),
+                    &valmod_core::Query::from_config(config.clone())
+                        .threads(threads)
+                        .pipeline(pipelined)
+                        .into_config(),
                 )
                 .unwrap();
                 for (a, b) in out.per_length.iter().zip(&base.per_length) {

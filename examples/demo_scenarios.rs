@@ -61,7 +61,8 @@ fn main() {
     // coda rings at a ~18-sample period, so a wide exclusion zone (ℓ/2)
     // keeps in-event oscillations from posing as motifs.
     let quake = gen::seismic(12_000, &gen::SeismicConfig::default(), 31);
-    report("SEISMOLOGY", &quake, &ValmodConfig::new(48, 160).with_k(3).with_exclusion_den(2));
+    let seismic_config = Query::new(48, 160).k(3).exclusion_den(2).into_config();
+    report("SEISMOLOGY", &quake, &seismic_config);
 
     // Entomology: stereotyped probing bouts, 105-195 samples each.
     let insects = gen::epg(12_000, &gen::EpgConfig::default(), 77);

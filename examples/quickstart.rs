@@ -13,10 +13,14 @@ fn main() {
     //    whose natural duration varies beat to beat.
     let series = gen::ecg(4000, &gen::EcgConfig::default(), 42);
 
-    // 2. Pick a length range and run VALMOD. The algorithm returns the
-    //    exact top-k motif pairs for EVERY length in the range.
-    let config = ValmodConfig::new(40, 80).with_k(3);
-    let output = run_valmod(&series, &config).expect("valid configuration");
+    // 2. Pick a length range and run VALMOD through the Query builder.
+    //    The default quality tier is `Quality::Exact`: the algorithm
+    //    returns the exact top-k motif pairs for EVERY length in the
+    //    range. (`.quality(Quality::Anytime { budget })` would stream
+    //    improving previews first; `.quality(Quality::Screen)` ranks by
+    //    lower bounds only.)
+    let outcome = Query::new(40, 80).k(3).run(&series).expect("valid configuration");
+    let output = outcome.output().expect("the exact tier carries the full output");
 
     // 3. The global ranking compares lengths via the length-normalized
     //    distance d/sqrt(l), deliberately favoring longer patterns.

@@ -8,16 +8,20 @@
 //! example bootstraps the incremental engine on the first half of a
 //! synthetic ECG, then feeds the rest point by point (with an occasional
 //! batched chunk, as a buffered transport would deliver), watching the
-//! VALMAP improve live — and finishes with the batch-grade snapshot,
-//! bit-identical to running `run_valmod` on everything at once.
+//! VALMAP improve live — and finishes with an anytime preview pass and
+//! the batch-grade snapshot, bit-identical to running `run_valmod` on
+//! everything at once.
 
 use valmod_suite::prelude::*;
 use valmod_suite::series::gen;
-use valmod_suite::stream::update_line;
+use valmod_suite::stream::{preview_line, update_line};
 
 fn main() {
     let series = gen::ecg(3000, &gen::EcgConfig::default(), 42);
-    let config = ValmodConfig::new(40, 60).with_k(2);
+    // The Query builder is the one configuration surface across the
+    // library, the CLI, and the serve protocol; `into_config()` yields
+    // the engine-level config the streaming engine consumes.
+    let config = Query::new(40, 60).k(2).into_config();
 
     // 1. Bootstrap on the history we already have.
     let mut engine =
@@ -58,10 +62,19 @@ fn main() {
         "live best motif: offsets ({offset}, {match_offset}), length {length}, d/sqrt(l)={mpn:.4}"
     );
 
-    // 4. ...and the canonical snapshot is bit-identical to the batch
-    //    engine over the concatenated series.
+    // 4. An impatient consumer can ask for the anytime tier: the same
+    //    snapshot, but streaming improving VALMAP previews per round
+    //    before settling to the exact bits.
+    let anytime = engine
+        .snapshot_anytime(4, &mut |p| println!("  {}", preview_line(engine.len(), p)))
+        .expect("valid series");
+
+    // 5. ...and the canonical snapshot is bit-identical to the batch
+    //    engine over the concatenated series — as is the settled
+    //    anytime run.
     let snapshot = engine.snapshot().expect("valid series");
     let batch = run_valmod(&series, &config).expect("valid series");
     assert_eq!(snapshot.valmap, batch.valmap, "snapshot must equal batch bit for bit");
+    assert_eq!(anytime.valmap, batch.valmap, "settled anytime must equal batch bit for bit");
     println!("snapshot == run_valmod(all {} points): verified", series.len());
 }

@@ -55,7 +55,7 @@ pub use valmod_stream as stream;
 
 /// The most common imports for applications.
 pub mod prelude {
-    pub use valmod_core::{run_valmod, ValmodConfig, ValmodOutput};
+    pub use valmod_core::{run_valmod, Quality, Query, QueryOutcome, ValmodConfig, ValmodOutput};
     pub use valmod_mp::{default_exclusion, MatrixProfile, MotifPair};
     pub use valmod_series::{DataSeries, RollingStats, SeriesError};
     pub use valmod_stream::StreamingValmod;
